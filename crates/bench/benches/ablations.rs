@@ -1,0 +1,57 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * mixed (fp16×fp16→fp32) vs pure-fp16 dot accumulation — the reason for
+//!   the hardware's mixed inner-product instruction,
+//! * fused vs two-rounding multiply-accumulate,
+//! * sequential vs pairwise (tree) reduction order — the AllReduce's
+//!   association order,
+//! * 3D Z-in-core vs 2D block-in-core mapping overhead (computed, not
+//!   timed — printed by `experiments spmv2d`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use wse_float::reduce::{sum_pairwise_f32, sum_sequential_f32};
+use wse_float::{dot_mixed, dot_pure_f16, fma16, F16};
+
+fn bench_dot_accumulation(c: &mut Criterion) {
+    let n = 4096;
+    let x: Vec<F16> = (0..n).map(|i| F16::from_f64(((i % 61) as f64 - 30.0) / 32.0)).collect();
+    let mut g = c.benchmark_group("ablation_dot_accumulation");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("mixed_fp32_acc", |b| b.iter(|| dot_mixed(black_box(&x), black_box(&x))));
+    g.bench_function("pure_fp16_acc", |b| b.iter(|| dot_pure_f16(black_box(&x), black_box(&x))));
+    g.finish();
+
+    // Accuracy side of the ablation (printed once; the benchmark above
+    // gives the cost side).
+    let exact: f64 = x.iter().map(|v| v.to_f64() * v.to_f64()).sum();
+    let mixed_err = (dot_mixed(&x, &x) as f64 - exact).abs() / exact;
+    let pure_err = (dot_pure_f16(&x, &x).to_f64() - exact).abs() / exact;
+    println!("dot accumulation relative error: mixed {mixed_err:.2e} vs pure-fp16 {pure_err:.2e}");
+}
+
+fn bench_fused_vs_unfused(c: &mut Criterion) {
+    let a = F16::from_f64(1.0009765625);
+    let b = F16::from_f64(0.99951171875);
+    let acc = F16::from_f64(-1.0);
+    let mut g = c.benchmark_group("ablation_fma");
+    g.bench_function("fused_single_rounding", |bch| {
+        bch.iter(|| fma16(black_box(a), black_box(b), black_box(acc)))
+    });
+    g.bench_function("two_roundings", |bch| {
+        bch.iter(|| black_box(a) * black_box(b) + black_box(acc))
+    });
+    g.finish();
+}
+
+fn bench_reduction_order(c: &mut Criterion) {
+    let n = 1 << 16;
+    let v: Vec<f32> = (0..n).map(|i| 1.0 + (i % 7) as f32 * 1e-3).collect();
+    let mut g = c.benchmark_group("ablation_reduction_order");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("sequential", |b| b.iter(|| sum_sequential_f32(black_box(&v))));
+    g.bench_function("pairwise_tree", |b| b.iter(|| sum_pairwise_f32(black_box(&v))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_dot_accumulation, bench_fused_vs_unfused, bench_reduction_order);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! CFD substrate benchmarks: the Table II workload (momentum / continuity
+//! assembly, field update) and a complete SIMPLE iteration.
+
+use cfd::continuity::assemble_pressure_correction;
+use cfd::fields::FlowField;
+use cfd::grid::{Component, StaggeredGrid};
+use cfd::momentum::{assemble_momentum, FluidProps};
+use cfd::simple::{SimpleParams, SimpleSolver};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn developed_field(n: usize) -> FlowField {
+    let grid = StaggeredGrid::new(n, n, n, 1.0 / n as f64);
+    let mut s = SimpleSolver::new(grid, SimpleParams::default());
+    s.run(3);
+    s.field
+}
+
+fn bench_momentum_assembly(c: &mut Criterion) {
+    let f = developed_field(12);
+    let props = FluidProps::default();
+    let mut g = c.benchmark_group("cfd_assembly_12cubed");
+    g.throughput(Throughput::Elements(f.grid.cells() as u64));
+    g.bench_function("momentum_u", |b| {
+        b.iter(|| assemble_momentum(black_box(&f), Component::U, &props))
+    });
+    let su = assemble_momentum(&f, Component::U, &props);
+    let sv = assemble_momentum(&f, Component::V, &props);
+    let sw = assemble_momentum(&f, Component::W, &props);
+    g.bench_function("continuity", |b| {
+        b.iter(|| assemble_pressure_correction(black_box(&f), &su.ap, &sv.ap, &sw.ap))
+    });
+    g.finish();
+}
+
+fn bench_simple_iteration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cfd_simple_iteration");
+    g.sample_size(10);
+    for n in [8usize, 12] {
+        let grid = StaggeredGrid::new(n, n, n, 1.0 / n as f64);
+        g.bench_function(format!("{n}cubed"), |b| {
+            b.iter_batched(
+                || SimpleSolver::new(grid, SimpleParams::default()),
+                |mut s| {
+                    s.iterate();
+                    s
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_momentum_assembly, bench_simple_iteration);
+criterion_main!(benches);

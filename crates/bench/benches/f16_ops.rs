@@ -1,0 +1,48 @@
+//! Microbenchmarks of the software binary16 datapath (substrate for every
+//! fp16 number in the paper: Table I's 40-of-44 half-precision operations).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use wse_float::{dot_mixed, dot_pure_f16, fma16, F16};
+
+fn bench_scalar_ops(c: &mut Criterion) {
+    let a = F16::from_f64(1.2345);
+    let b = F16::from_f64(-0.6789);
+    let d = F16::from_f64(0.111);
+    let mut g = c.benchmark_group("f16_scalar");
+    g.bench_function("add", |bch| bch.iter(|| black_box(a) + black_box(b)));
+    g.bench_function("mul", |bch| bch.iter(|| black_box(a) * black_box(b)));
+    g.bench_function("fma", |bch| bch.iter(|| fma16(black_box(a), black_box(b), black_box(d))));
+    g.bench_function("from_f32", |bch| bch.iter(|| F16::from_f32(black_box(1.234567f32))));
+    g.bench_function("to_f32", |bch| bch.iter(|| black_box(a).to_f32()));
+    g.finish();
+}
+
+fn bench_dots(c: &mut Criterion) {
+    // Z = 1536 is the paper's per-core vector length.
+    let n = 1536;
+    let x: Vec<F16> = (0..n).map(|i| F16::from_f64(((i % 31) as f64 - 15.0) / 16.0)).collect();
+    let y: Vec<F16> = (0..n).map(|i| F16::from_f64(((i % 17) as f64 - 8.0) / 16.0)).collect();
+    let mut g = c.benchmark_group("f16_dot_z1536");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("mixed_16x32", |bch| bch.iter(|| dot_mixed(black_box(&x), black_box(&y))));
+    g.bench_function("pure_16", |bch| bch.iter(|| dot_pure_f16(black_box(&x), black_box(&y))));
+    g.finish();
+}
+
+fn bench_axpy(c: &mut Criterion) {
+    let n = 1536;
+    let x: Vec<F16> = (0..n).map(|i| F16::from_f64((i % 13) as f64 / 16.0)).collect();
+    let mut y: Vec<F16> = (0..n).map(|i| F16::from_f64((i % 7) as f64 / 8.0)).collect();
+    let alpha = F16::from_f64(0.5);
+    let mut g = c.benchmark_group("f16_axpy_z1536");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("fused", |bch| {
+        bch.iter(|| {
+            wse_float::simd::axpy_f16(black_box(alpha), black_box(&x), &mut y);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scalar_ops, bench_dots, bench_axpy);
+criterion_main!(benches);

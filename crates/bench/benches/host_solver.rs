@@ -1,0 +1,60 @@
+//! Host-side solver benchmarks: the SpMV and full BiCGStab iterations that
+//! Table I counts and Fig. 9 exercises, across precision policies.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use solver::policy::{Fp32, Fp64, MixedF16};
+use solver::{bicgstab, SolveOptions};
+use stencil::dia::DiaMatrix;
+use stencil::mesh::Mesh3D;
+use stencil::problem::manufactured;
+use wse_float::F16;
+
+fn bench_spmv(c: &mut Criterion) {
+    let mesh = Mesh3D::new(24, 24, 24);
+    let p = manufactured(mesh, (1.0, -0.5, 0.5), 7).preconditioned();
+    let n = mesh.len();
+    let mut g = c.benchmark_group("host_spmv_24cubed");
+    g.throughput(Throughput::Elements(n as u64));
+    {
+        let x: Vec<f64> = (0..n).map(|i| (i % 9) as f64 * 0.1).collect();
+        let mut y = vec![0.0f64; n];
+        g.bench_function("fp64", |b| b.iter(|| p.matrix.matvec(black_box(&x), &mut y)));
+    }
+    {
+        let a32: DiaMatrix<f32> = p.matrix.convert();
+        let x: Vec<f32> = (0..n).map(|i| (i % 9) as f32 * 0.1).collect();
+        let mut y = vec![0.0f32; n];
+        g.bench_function("fp32", |b| b.iter(|| a32.matvec(black_box(&x), &mut y)));
+    }
+    {
+        let a16: DiaMatrix<F16> = p.matrix.convert();
+        let x: Vec<F16> = (0..n).map(|i| F16::from_f64((i % 9) as f64 * 0.1)).collect();
+        let mut y = vec![F16::ZERO; n];
+        g.bench_function("fp16(software)", |b| b.iter(|| a16.matvec(black_box(&x), &mut y)));
+    }
+    g.finish();
+}
+
+fn bench_bicgstab_iteration(c: &mut Criterion) {
+    let mesh = Mesh3D::new(16, 16, 16);
+    let p = manufactured(mesh, (1.0, -0.5, 0.5), 7).preconditioned();
+    let opts = SolveOptions { max_iters: 5, rtol: 0.0, record_true_residual: false };
+    let mut g = c.benchmark_group("host_bicgstab_5iters_16cubed");
+    g.bench_with_input(BenchmarkId::new("policy", "fp64"), &p, |b, p| {
+        b.iter(|| bicgstab::<Fp64>(&p.matrix, &p.rhs, &opts))
+    });
+    let a32: DiaMatrix<f32> = p.matrix.convert();
+    let b32: Vec<f32> = p.rhs.iter().map(|&v| v as f32).collect();
+    g.bench_function(BenchmarkId::new("policy", "fp32"), |b| {
+        b.iter(|| bicgstab::<Fp32>(&a32, &b32, &opts))
+    });
+    let a16: DiaMatrix<F16> = p.matrix.convert();
+    let b16: Vec<F16> = p.rhs.iter().map(|&v| F16::from_f64(v)).collect();
+    g.bench_function(BenchmarkId::new("policy", "mixed16/32"), |b| {
+        b.iter(|| bicgstab::<MixedF16>(&a16, &b16, &opts))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_spmv, bench_bicgstab_iteration);
+criterion_main!(benches);

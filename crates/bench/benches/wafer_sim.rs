@@ -1,0 +1,75 @@
+//! Wafer-simulator benchmarks: the Listing-1 SpMV (E-HL's calibration
+//! kernel), the Fig. 6 AllReduce, and a full on-wafer BiCGStab iteration.
+//! Criterion measures host wall time; the *simulated cycle counts* these
+//! kernels produce are what the `experiments headline` / `fig6` runs report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stencil::dia::{DiaMatrix, Offset3};
+use stencil::mesh::Mesh3D;
+use stencil::problem::manufactured;
+use wse_arch::Fabric;
+use wse_core::allreduce::AllReduce;
+use wse_core::bicgstab::WaferBicgstab;
+use wse_core::spmv3d::WaferSpmv;
+use wse_float::F16;
+
+fn unit_diag_system(mesh: Mesh3D) -> (DiaMatrix<F16>, Vec<F16>) {
+    let mut a = DiaMatrix::<f64>::new(mesh, &Offset3::seven_point());
+    for (x, y, z) in mesh.iter() {
+        a.set(x, y, z, Offset3::CENTER, 1.0);
+        for off in &Offset3::seven_point()[1..] {
+            if mesh.neighbor(x, y, z, off.dx, off.dy, off.dz).is_some() {
+                a.set(x, y, z, *off, -0.125);
+            }
+        }
+    }
+    let v: Vec<F16> =
+        (0..mesh.len()).map(|i| F16::from_f64(((i % 8) as f64 - 4.0) * 0.25)).collect();
+    (a.convert(), v)
+}
+
+fn bench_wafer_spmv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wafer_spmv");
+    g.sample_size(10);
+    for z in [128usize, 512] {
+        let mesh = Mesh3D::new(4, 4, z);
+        let (a, v) = unit_diag_system(mesh);
+        let mut fabric = Fabric::new(4, 4);
+        let spmv = WaferSpmv::build(&mut fabric, &a);
+        g.bench_with_input(BenchmarkId::new("4x4_fabric_z", z), &z, |b, _| {
+            b.iter(|| spmv.run(&mut fabric, &v))
+        });
+    }
+    g.finish();
+}
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wafer_allreduce");
+    g.sample_size(10);
+    for n in [8usize, 24] {
+        let mut fabric = Fabric::new(n, n);
+        let ar = AllReduce::build(&mut fabric, n, n, 24, 25, 26);
+        let values = vec![1.0f32; n * n];
+        g.bench_with_input(BenchmarkId::new("fabric", n), &n, |b, _| {
+            b.iter(|| ar.run(&mut fabric, &values))
+        });
+    }
+    g.finish();
+}
+
+fn bench_wafer_bicgstab_iteration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wafer_bicgstab_iteration");
+    g.sample_size(10);
+    let mesh = Mesh3D::new(4, 4, 128);
+    let p = manufactured(mesh, (1.0, -0.5, 0.5), 3).preconditioned();
+    let a16: DiaMatrix<F16> = p.matrix.convert();
+    let b16: Vec<F16> = p.rhs.iter().map(|&v| F16::from_f64(v)).collect();
+    let mut fabric = Fabric::new(4, 4);
+    let solver = WaferBicgstab::build(&mut fabric, &a16);
+    solver.load_rhs(&mut fabric, &b16);
+    g.bench_function("4x4x128", |b| b.iter(|| solver.iterate(&mut fabric)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_wafer_spmv, bench_allreduce, bench_wafer_bicgstab_iteration);
+criterion_main!(benches);

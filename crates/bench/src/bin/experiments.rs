@@ -1,0 +1,57 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! Usage:
+//! ```text
+//! experiments [all|table1|table2|fig1|fig5|fig6|fig7|fig8|fig9|headline|
+//!              spmv2d|memory|mfix|refine|commhiding|capacity] [--full]
+//! ```
+//!
+//! `--full` runs the Fig. 9 precision study at larger scale (slower).
+
+use wse_bench as experiments_lib;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let full = args.iter().any(|a| a == "--full");
+    let (fig9_scale, fig9_iters) = if full { (4, 16) } else { (10, 16) };
+    let (t2_n, t2_iters) = if full { (16, 4) } else { (8, 3) };
+
+    let mut ran = false;
+    let mut section = |name: &str, f: &mut dyn FnMut()| {
+        if which == "all" || which == name {
+            f();
+            println!();
+            ran = true;
+        }
+    };
+
+    section("fig1", &mut experiments_lib::print_fig1);
+    section("table1", &mut experiments_lib::print_table1);
+    section("fig5", &mut experiments_lib::print_fig5);
+    section("fig6", &mut experiments_lib::print_fig6);
+    section("memory", &mut experiments_lib::print_memory);
+    section("spmv2d", &mut experiments_lib::print_spmv2d);
+    section("headline", &mut experiments_lib::print_headline);
+    section("fig7", &mut || experiments_lib::print_fig7_fig8());
+    section("fig8", &mut || {
+        if which == "fig8" {
+            experiments_lib::print_fig7_fig8()
+        }
+    });
+    section("table2", &mut || experiments_lib::print_table2(t2_n, t2_iters));
+    section("fig9", &mut || experiments_lib::print_fig9(fig9_scale, fig9_iters));
+    section("mfix", &mut experiments_lib::print_mfix);
+    section("refine", &mut || experiments_lib::print_refinement(fig9_scale));
+    section("commhiding", &mut experiments_lib::print_comm_hiding);
+    section("capacity", &mut experiments_lib::print_capacity);
+    section("energy", &mut experiments_lib::print_energy);
+
+    if !ran {
+        eprintln!(
+            "unknown experiment '{which}'; expected one of: all table1 table2 fig1 fig5 \
+             fig6 fig7 fig8 fig9 headline spmv2d memory mfix refine commhiding capacity"
+        );
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,11 @@
+//! Experiment harness: one entry point per table and figure of the paper.
+//!
+//! Each function both *computes* a structured result (so integration tests
+//! can assert on it) and can *print* the same rows/series the paper reports.
+//! The `experiments` binary dispatches to these.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::*;

@@ -1,0 +1,114 @@
+//! The lid-driven cavity case.
+//!
+//! This is the configuration behind the paper's cluster comparison ("the
+//! BiCGstab solution of a nonsymmetric linear system arising from a 7-point
+//! stencil finite volume approximation; this was done within the NETL MFIX
+//! code while computing a lid-driven cavity flow") and the source of the
+//! Fig. 9 momentum system ("the momentum equation for a velocity component
+//! on a 100 × 400 × 100 mesh").
+
+use crate::grid::{Component, StaggeredGrid};
+use crate::momentum::{assemble_momentum, FluidProps, MomentumSystem};
+use crate::simple::{SimpleParams, SimpleSolver};
+
+/// A configured lid-driven cavity.
+pub struct Cavity {
+    /// The SIMPLE driver.
+    pub solver: SimpleSolver,
+}
+
+impl Cavity {
+    /// A unit cavity on an `nx × ny × nz` grid with lid speed 1 and the
+    /// given Reynolds-ish viscosity.
+    pub fn new(nx: usize, ny: usize, nz: usize, nu: f64) -> Cavity {
+        let grid = StaggeredGrid::new(nx, ny, nz, 1.0 / nx as f64);
+        let params = SimpleParams {
+            props: FluidProps { nu, dt: 0.05, lid_velocity: 1.0 },
+            ..Default::default()
+        };
+        Cavity { solver: SimpleSolver::new(grid, params) }
+    }
+
+    /// Advances `n` SIMPLE iterations.
+    pub fn run(&mut self, n: usize) {
+        self.solver.run(n);
+    }
+
+    /// The vertical centerline profile of `u` (x-velocity vs z), the
+    /// classic cavity diagnostic.
+    pub fn centerline_u(&self) -> Vec<f64> {
+        let g = self.solver.field.grid;
+        let um = g.face_mesh(Component::U);
+        let (ic, jc) = (g.nx / 2, g.ny / 2);
+        (0..g.nz).map(|k| self.solver.field.u[um.idx(ic, jc, k)]).collect()
+    }
+
+    /// Assembles the current u-momentum system — the Fig. 9 workload
+    /// generator. The returned system is *not* yet diagonally
+    /// preconditioned.
+    pub fn momentum_system(&self, c: Component) -> MomentumSystem {
+        assemble_momentum(&self.solver.field, c, &self.solver.params.props)
+    }
+}
+
+/// Builds the Fig. 9 linear system: a momentum system from a developed
+/// lid-driven cavity on (a scaled version of) the paper's 100×400×100 mesh.
+///
+/// `scale` divides each dimension (`scale = 1` reproduces the full size;
+/// larger values give cheap smoke-test versions with the same structure).
+/// `develop_iters` SIMPLE iterations run first so the convection
+/// coefficients are nontrivial. The returned system is assembled at the
+/// **steady-state limit** (no inertia term) with low viscosity, matching the
+/// conditioning regime in which the paper's Fig. 9 curves need ~14
+/// iterations and expose the fp16 accuracy floor.
+pub fn fig9_momentum_system(scale: usize, develop_iters: usize) -> MomentumSystem {
+    assert!(scale >= 1);
+    let (nx, ny, nz) = ((100 / scale).max(4), (400 / scale).max(4), (100 / scale).max(4));
+    let mut cavity = Cavity::new(nx, ny, nz, 0.01);
+    cavity.run(develop_iters);
+    let stiff = FluidProps { nu: 0.01, dt: 1.0e9, lid_velocity: 1.0 };
+    assemble_momentum(&cavity.solver.field, Component::U, &stiff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil::stencil7::{diagonal_dominance_slack, is_symmetric};
+
+    #[test]
+    fn centerline_shows_shear_profile() {
+        let mut c = Cavity::new(6, 6, 6, 0.1);
+        c.run(10);
+        let profile = c.centerline_u();
+        assert!(profile.last().unwrap() > &0.0, "top follows lid");
+        assert!(
+            profile.last().unwrap() > profile.first().unwrap(),
+            "u increases toward the lid: {profile:?}"
+        );
+    }
+
+    #[test]
+    fn fig9_system_is_nonsymmetric_and_solvable() {
+        let sys = fig9_momentum_system(20, 3);
+        assert!(sys.matrix.validate().is_ok());
+        assert!(!is_symmetric(&sys.matrix), "convection present");
+        // At the steady-state limit the diagonal's flux-imbalance term can
+        // go slightly negative where the developed field is not perfectly
+        // divergence-free; it must stay small relative to the coefficients.
+        let slack = diagonal_dominance_slack(&sys.matrix);
+        assert!(slack >= -0.05, "slack {slack}");
+        // And BiCGStab solves it (the steady-state system is deliberately
+        // stiff, so allow a realistic iteration budget).
+        let scaled = stencil::precond::jacobi_scale(&sys.matrix, &sys.rhs);
+        let opts = solver::SolveOptions { max_iters: 300, rtol: 1e-7, record_true_residual: false };
+        let res = solver::bicgstab::<solver::Fp64>(&scaled.matrix, &scaled.rhs, &opts);
+        assert_eq!(res.outcome, solver::BiCgStabOutcome::Converged);
+    }
+
+    #[test]
+    fn fig9_full_scale_mesh_shape() {
+        // Don't build it (4M unknowns); just check the shape arithmetic.
+        let (nx, ny, nz) = (100 / 1, 400 / 1, 100 / 1);
+        assert_eq!((nx, ny, nz), (100, 400, 100));
+    }
+}

@@ -1,0 +1,122 @@
+//! The MAC-staggered Cartesian grid.
+//!
+//! Pressure lives at cell centers (`nx × ny × nz`); the `u`, `v`, `w`
+//! velocity components live on x-, y-, z-normal faces respectively, so each
+//! component's unknowns form their own structured mesh — which is why every
+//! one of MFIX's four linear systems is a 7-point stencil system on a
+//! regular mesh, exactly the shape the wafer solver targets.
+
+use stencil::mesh::Mesh3D;
+
+/// A uniform staggered grid with cubic cells of spacing `h`.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct StaggeredGrid {
+    /// Cells along x.
+    pub nx: usize,
+    /// Cells along y.
+    pub ny: usize,
+    /// Cells along z.
+    pub nz: usize,
+    /// Cell spacing.
+    pub h: f64,
+}
+
+/// Velocity component selector.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Component {
+    /// x-velocity, on x-normal faces.
+    U,
+    /// y-velocity, on y-normal faces.
+    V,
+    /// z-velocity, on z-normal faces.
+    W,
+}
+
+impl StaggeredGrid {
+    /// Creates a grid; all dimensions must be at least 2 cells.
+    ///
+    /// # Panics
+    /// Panics on degenerate dimensions or non-positive spacing.
+    pub fn new(nx: usize, ny: usize, nz: usize, h: f64) -> StaggeredGrid {
+        assert!(nx >= 2 && ny >= 2 && nz >= 2, "grid needs at least 2 cells per axis");
+        assert!(h > 0.0, "cell spacing must be positive");
+        StaggeredGrid { nx, ny, nz, h }
+    }
+
+    /// The pressure (cell-center) mesh.
+    pub fn p_mesh(&self) -> Mesh3D {
+        Mesh3D::new(self.nx, self.ny, self.nz)
+    }
+
+    /// The mesh of a velocity component's faces.
+    pub fn face_mesh(&self, c: Component) -> Mesh3D {
+        match c {
+            Component::U => Mesh3D::new(self.nx + 1, self.ny, self.nz),
+            Component::V => Mesh3D::new(self.nx, self.ny + 1, self.nz),
+            Component::W => Mesh3D::new(self.nx, self.ny, self.nz + 1),
+        }
+    }
+
+    /// Total number of cells.
+    pub fn cells(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// `true` if a face index is on the boundary *in its normal direction*
+    /// (these faces carry Dirichlet wall values).
+    pub fn is_normal_boundary(&self, c: Component, x: usize, y: usize, z: usize) -> bool {
+        match c {
+            Component::U => x == 0 || x == self.nx,
+            Component::V => y == 0 || y == self.ny,
+            Component::W => z == 0 || z == self.nz,
+        }
+    }
+
+    /// Cell volume `h³`.
+    pub fn vol(&self) -> f64 {
+        self.h * self.h * self.h
+    }
+
+    /// Face area `h²`.
+    pub fn area(&self) -> f64 {
+        self.h * self.h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meshes_have_staggered_sizes() {
+        let g = StaggeredGrid::new(4, 5, 6, 0.1);
+        assert_eq!(g.p_mesh().len(), 120);
+        assert_eq!(g.face_mesh(Component::U).len(), 5 * 5 * 6);
+        assert_eq!(g.face_mesh(Component::V).len(), 4 * 6 * 6);
+        assert_eq!(g.face_mesh(Component::W).len(), 4 * 5 * 7);
+    }
+
+    #[test]
+    fn normal_boundary_detection() {
+        let g = StaggeredGrid::new(3, 3, 3, 1.0);
+        assert!(g.is_normal_boundary(Component::U, 0, 1, 1));
+        assert!(g.is_normal_boundary(Component::U, 3, 1, 1));
+        assert!(!g.is_normal_boundary(Component::U, 1, 0, 0));
+        assert!(g.is_normal_boundary(Component::W, 1, 1, 3));
+        assert!(!g.is_normal_boundary(Component::V, 1, 1, 0));
+    }
+
+    #[test]
+    fn geometry_helpers() {
+        let g = StaggeredGrid::new(2, 2, 2, 0.5);
+        assert_eq!(g.vol(), 0.125);
+        assert_eq!(g.area(), 0.25);
+        assert_eq!(g.cells(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 cells")]
+    fn tiny_grid_panics() {
+        StaggeredGrid::new(1, 2, 2, 1.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! An MFIX-like incompressible CFD substrate.
+//!
+//! The paper's application context is the NETL MFIX code: a Cartesian-mesh
+//! finite-volume solver using the SIMPLE (Semi-Implicit Method for
+//! Pressure-Linked Equations) algorithm, where "four linear systems are
+//! solved at every time step, one for each of the solution variables, three
+//! velocity components u, v, w and pressure p" — each a nonsymmetric
+//! 7-point system handed to BiCGStab. This crate implements that substrate
+//! from scratch:
+//!
+//! * [`grid`] — a MAC-staggered Cartesian grid (velocities on faces,
+//!   pressure at cell centers),
+//! * [`fields`] — the flow state and its interpolations,
+//! * [`momentum`] — implicit momentum assembly with first-order upwinding
+//!   ("First order upwinding is the most common scheme and was used to
+//!   determine operation types and counts"),
+//! * [`continuity`] — the SIMPLE pressure-correction equation,
+//! * [`simple`] — Algorithm 2: the outer loop coupling them,
+//! * [`cavity`] — the lid-driven cavity case used for the paper's cluster
+//!   comparison ("this was done within the NETL MFIX code while computing a
+//!   lid-driven cavity flow"),
+//! * [`scalar`] — passive-scalar (energy) transport, the next complexity
+//!   level §VI defers ("without energy and species equations"),
+//! * [`opcount`] — instrumented operation counts per SIMPLE step, the raw
+//!   material for Table II.
+//!
+//! The momentum systems this crate assembles are the Fig. 9 workload: "We
+//! took a linear system from the timestep discretization ... of the momentum
+//! equation for a velocity component on a 100 × 400 × 100 mesh."
+
+#![warn(missing_docs)]
+
+pub mod cavity;
+pub mod continuity;
+pub mod diagnostics;
+pub mod fields;
+pub mod grid;
+pub mod momentum;
+pub mod opcount;
+pub mod scalar;
+pub mod simple;
+
+pub use cavity::Cavity;
+pub use grid::StaggeredGrid;
+pub use simple::{SimpleParams, SimpleSolver};

@@ -1,0 +1,97 @@
+//! Instrumented operation counts per SIMPLE step — the raw material for
+//! Table II.
+//!
+//! The paper groups the work outside the linear solver "into vector merge
+//! operations, floating point (FLOP) operations (multiply, add, subtract),
+//! square root, divide, and neighbor transport operations", and reports
+//! estimated *cycles per meshpoint* for each SIMPLE step. The assembly
+//! routines in this crate count those operation classes as they run; the
+//! `perf-model` crate converts counts to cycles.
+
+/// Counts of the five operation classes of Table II.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct OpClassCounts {
+    /// Vector merge operations (upwind selections, boundary masking).
+    pub merge: u64,
+    /// Adds, subtracts and multiplies.
+    pub flop: u64,
+    /// Square roots.
+    pub sqrt: u64,
+    /// Divides.
+    pub div: u64,
+    /// Neighbor transport operations (reads of another mesh point's data).
+    pub transport: u64,
+}
+
+impl OpClassCounts {
+    /// Elementwise sum.
+    pub fn add(&mut self, other: OpClassCounts) {
+        self.merge += other.merge;
+        self.flop += other.flop;
+        self.sqrt += other.sqrt;
+        self.div += other.div;
+        self.transport += other.transport;
+    }
+
+    /// Per-meshpoint averages over `points`.
+    pub fn per_point(&self, points: usize) -> PerPointClassCounts {
+        let d = points as f64;
+        PerPointClassCounts {
+            merge: self.merge as f64 / d,
+            flop: self.flop as f64 / d,
+            sqrt: self.sqrt as f64 / d,
+            div: self.div as f64 / d,
+            transport: self.transport as f64 / d,
+        }
+    }
+}
+
+/// Per-meshpoint operation-class averages.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct PerPointClassCounts {
+    /// Merges per point.
+    pub merge: f64,
+    /// FLOPs per point.
+    pub flop: f64,
+    /// Square roots per point.
+    pub sqrt: f64,
+    /// Divides per point.
+    pub div: f64,
+    /// Neighbor transports per point.
+    pub transport: f64,
+}
+
+/// Counts for every step of one SIMPLE iteration (the rows of Table II).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct SimpleStepCounts {
+    /// Initialization (shear and time-dependent source terms).
+    pub initialization: OpClassCounts,
+    /// One momentum-component assembly (averaged over u, v, w).
+    pub momentum: OpClassCounts,
+    /// Continuity (pressure-correction) assembly.
+    pub continuity: OpClassCounts,
+    /// Field update (corrections applied to u, v, w, p).
+    pub field_update: OpClassCounts,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_accumulates() {
+        let mut a = OpClassCounts { merge: 1, flop: 2, sqrt: 3, div: 4, transport: 5 };
+        a.add(OpClassCounts { merge: 10, flop: 20, sqrt: 30, div: 40, transport: 50 });
+        assert_eq!(a, OpClassCounts { merge: 11, flop: 22, sqrt: 33, div: 44, transport: 55 });
+    }
+
+    #[test]
+    fn per_point_divides() {
+        let a = OpClassCounts { merge: 10, flop: 100, sqrt: 0, div: 20, transport: 60 };
+        let pp = a.per_point(10);
+        assert_eq!(pp.merge, 1.0);
+        assert_eq!(pp.flop, 10.0);
+        assert_eq!(pp.div, 2.0);
+        assert_eq!(pp.transport, 6.0);
+    }
+}

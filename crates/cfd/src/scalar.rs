@@ -1,0 +1,234 @@
+//! Passive-scalar (energy) transport — the paper's next complexity level.
+//!
+//! §VI discusses "a single phase, compressible, viscous fluid problem
+//! *without energy and species equations*" and notes "It is straightforward
+//! to extrapolate the allowable size and arithmetic intensity at any level
+//! of complexity following the methodology outlined below." This module
+//! adds that next level: an implicit advection–diffusion equation for a
+//! cell-centered scalar (temperature), discretized with the same
+//! first-order upwinding — producing a fourth nonsymmetric 7-point system
+//! per time step, exactly the shape the wafer solver consumes, with its own
+//! operation counts extending the Table II accounting.
+
+use crate::fields::FlowField;
+use crate::grid::Component;
+use crate::opcount::OpClassCounts;
+use solver::policy::Fp64;
+use solver::{bicgstab, SolveOptions};
+use stencil::dia::{DiaMatrix, Offset3};
+use stencil::precond::jacobi_scale;
+
+/// Scalar-transport state and parameters.
+#[derive(Clone, Debug)]
+pub struct ScalarTransport {
+    /// Cell-centered scalar values.
+    pub t: Vec<f64>,
+    /// Diffusivity κ.
+    pub kappa: f64,
+    /// Value held at the lid (the +z wall) — a "hot lid".
+    pub lid_value: f64,
+    /// Value held at every other wall.
+    pub wall_value: f64,
+    /// Accumulated operation counts (assembly only).
+    pub counts: OpClassCounts,
+}
+
+/// An assembled scalar-transport system.
+#[derive(Clone, Debug)]
+pub struct ScalarSystem {
+    /// The nonsymmetric 7-point matrix on the cell mesh.
+    pub matrix: DiaMatrix<f64>,
+    /// Right-hand side.
+    pub rhs: Vec<f64>,
+}
+
+impl ScalarTransport {
+    /// A uniform initial field at `wall_value`.
+    pub fn new(field: &FlowField, kappa: f64, lid_value: f64, wall_value: f64) -> ScalarTransport {
+        ScalarTransport {
+            t: vec![wall_value; field.grid.p_mesh().len()],
+            kappa,
+            lid_value,
+            wall_value,
+            counts: OpClassCounts::default(),
+        }
+    }
+
+    /// Assembles the implicit transport system around the current velocity
+    /// field: `(V/Δt + Σ a_nb + ΣF) T_P − Σ a_nb T_nb = V/Δt·Tⁿ + wall
+    /// sources`, with `a_nb = D + max(∓F, 0)` per face.
+    pub fn assemble(&mut self, field: &FlowField, dt: f64) -> ScalarSystem {
+        let grid = field.grid;
+        let mesh = grid.p_mesh();
+        let area = grid.area();
+        let vol = grid.vol();
+        let d_cond = self.kappa * grid.h;
+        let inertia = vol / dt;
+        let umesh = grid.face_mesh(Component::U);
+        let vmesh = grid.face_mesh(Component::V);
+        let wmesh = grid.face_mesh(Component::W);
+
+        let mut matrix = DiaMatrix::new(mesh, &Offset3::seven_point());
+        let mut rhs = vec![0.0; mesh.len()];
+
+        for (i, j, k) in mesh.iter() {
+            let row = mesh.idx(i, j, k);
+            let mut ap = inertia;
+            let mut b = inertia * self.t[row];
+            self.counts.flop += 1;
+
+            // Six faces: (offset, face normal velocity, on-boundary?).
+            let faces: [(Offset3, f64); 6] = [
+                (Offset3::new(1, 0, 0), field.u[umesh.idx(i + 1, j, k)]),
+                (Offset3::new(-1, 0, 0), -field.u[umesh.idx(i, j, k)]),
+                (Offset3::new(0, 1, 0), field.v[vmesh.idx(i, j + 1, k)]),
+                (Offset3::new(0, -1, 0), -field.v[vmesh.idx(i, j, k)]),
+                (Offset3::new(0, 0, 1), field.w[wmesh.idx(i, j, k + 1)]),
+                (Offset3::new(0, 0, -1), -field.w[wmesh.idx(i, j, k)]),
+            ];
+            for (off, vel_out) in faces {
+                let f_flux = area * vel_out; // positive = outflow
+                self.counts.flop += 1;
+                self.counts.transport += 1;
+                if mesh.neighbor(i, j, k, off.dx, off.dy, off.dz).is_some() {
+                    let a_nb = d_cond + (-f_flux).max(0.0);
+                    self.counts.merge += 1;
+                    self.counts.flop += 3;
+                    matrix.set(i, j, k, off, -a_nb);
+                    ap += a_nb + f_flux;
+                } else {
+                    // Wall: half-cell conductance to the boundary value; no
+                    // convective flux through walls (no-penetration).
+                    let tb = if off == Offset3::new(0, 0, 1) {
+                        self.lid_value
+                    } else {
+                        self.wall_value
+                    };
+                    ap += 2.0 * d_cond;
+                    b += 2.0 * d_cond * tb;
+                    self.counts.merge += 1;
+                    self.counts.flop += 3;
+                }
+            }
+            matrix.set(i, j, k, Offset3::CENTER, ap);
+            rhs[row] = b;
+        }
+        ScalarSystem { matrix, rhs }
+    }
+
+    /// Advances one implicit time step (assemble + BiCGStab solve + update).
+    /// Returns the solver's iteration count.
+    pub fn step(&mut self, field: &FlowField, dt: f64, max_iters: usize) -> usize {
+        let sys = self.assemble(field, dt);
+        let scaled = jacobi_scale(&sys.matrix, &sys.rhs);
+        let opts = SolveOptions { max_iters, rtol: 1e-10, record_true_residual: false };
+        let result = bicgstab::<Fp64>(&scaled.matrix, &scaled.rhs, &opts);
+        self.t = result.x;
+        result.iters
+    }
+
+    /// Extremes of the field (maximum-principle diagnostics).
+    pub fn min_max(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in &self.t {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        (lo, hi)
+    }
+
+    /// Mean value of the field.
+    pub fn mean(&self) -> f64 {
+        self.t.iter().sum::<f64>() / self.t.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::StaggeredGrid;
+    use crate::simple::{SimpleParams, SimpleSolver};
+    use stencil::stencil7::is_symmetric;
+
+    fn flowing_field() -> FlowField {
+        let grid = StaggeredGrid::new(6, 6, 6, 1.0 / 6.0);
+        let mut s = SimpleSolver::new(grid, SimpleParams::default());
+        s.run(5);
+        s.field
+    }
+
+    #[test]
+    fn hot_lid_heats_the_top_layer() {
+        let field = flowing_field();
+        let mut scalar = ScalarTransport::new(&field, 0.01, 1.0, 0.0);
+        for _ in 0..20 {
+            scalar.step(&field, 0.2, 60);
+        }
+        let mesh = field.grid.p_mesh();
+        let top = scalar.t[mesh.idx(3, 3, 5)];
+        let bottom = scalar.t[mesh.idx(3, 3, 0)];
+        assert!(top > 0.15, "top must heat up: {top}");
+        assert!(top > bottom * 1.5 + 0.05, "gradient toward the lid: {top} vs {bottom}");
+    }
+
+    #[test]
+    fn maximum_principle_holds() {
+        // With boundary values in [0, 1] and no sources, T stays in [0, 1].
+        let field = flowing_field();
+        let mut scalar = ScalarTransport::new(&field, 0.05, 1.0, 0.0);
+        for _ in 0..15 {
+            scalar.step(&field, 0.5, 80);
+            let (lo, hi) = scalar.min_max();
+            assert!(lo >= -1e-8, "undershoot {lo}");
+            assert!(hi <= 1.0 + 1e-8, "overshoot {hi}");
+        }
+    }
+
+    #[test]
+    fn quiescent_field_gives_symmetric_diffusion() {
+        let grid = StaggeredGrid::new(4, 4, 4, 0.25);
+        let field = FlowField::zeros(grid);
+        let mut scalar = ScalarTransport::new(&field, 0.1, 1.0, 0.0);
+        let sys = scalar.assemble(&field, 0.1);
+        assert!(sys.matrix.validate().is_ok());
+        assert!(is_symmetric(&sys.matrix), "pure diffusion is symmetric");
+    }
+
+    #[test]
+    fn convection_breaks_symmetry() {
+        let field = flowing_field();
+        let mut scalar = ScalarTransport::new(&field, 0.01, 1.0, 0.0);
+        let sys = scalar.assemble(&field, 0.1);
+        assert!(sys.matrix.validate().is_ok());
+        assert!(!is_symmetric(&sys.matrix));
+    }
+
+    #[test]
+    fn op_counts_accumulate() {
+        let field = flowing_field();
+        let mut scalar = ScalarTransport::new(&field, 0.01, 1.0, 0.0);
+        scalar.assemble(&field, 0.1);
+        let c1 = scalar.counts;
+        scalar.assemble(&field, 0.1);
+        assert_eq!(scalar.counts.flop, 2 * c1.flop);
+        assert!(c1.merge > 0 && c1.transport > 0);
+    }
+
+    #[test]
+    fn steady_state_approaches_laplace_solution() {
+        // With zero velocity, long time steps drive T to the harmonic
+        // steady state: monotone from lid (1) to the far wall (0) along z.
+        let grid = StaggeredGrid::new(4, 4, 8, 0.25);
+        let field = FlowField::zeros(grid);
+        let mut scalar = ScalarTransport::new(&field, 0.1, 1.0, 0.0);
+        for _ in 0..60 {
+            scalar.step(&field, 5.0, 120);
+        }
+        let mesh = grid.p_mesh();
+        let profile: Vec<f64> = (0..grid.nz).map(|k| scalar.t[mesh.idx(2, 2, k)]).collect();
+        for w in profile.windows(2) {
+            assert!(w[1] > w[0], "monotone toward the hot lid: {profile:?}");
+        }
+    }
+}

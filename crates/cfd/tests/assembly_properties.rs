@@ -1,0 +1,95 @@
+//! Property tests for the CFD assembly: invariants that must hold for any
+//! flow state the SIMPLE loop can produce.
+
+use cfd::continuity::assemble_pressure_correction;
+use cfd::fields::FlowField;
+use cfd::grid::{Component, StaggeredGrid};
+use cfd::momentum::{assemble_momentum, FluidProps};
+use proptest::prelude::*;
+use stencil::stencil7::is_symmetric;
+
+/// A random (bounded) flow field on a random small grid.
+fn arb_field() -> impl Strategy<Value = FlowField> {
+    (3usize..6, 3usize..6, 3usize..6, prop::collection::vec(-100i32..100, 600))
+        .prop_map(|(nx, ny, nz, seeds)| {
+            let grid = StaggeredGrid::new(nx, ny, nz, 1.0 / nx as f64);
+            let mut f = FlowField::zeros(grid);
+            let mut k = 0usize;
+            let mut next = |scale: f64| {
+                let v = seeds[k % seeds.len()] as f64 / 100.0 * scale;
+                k += 1;
+                v
+            };
+            for u in f.u.iter_mut() {
+                *u = next(1.0);
+            }
+            for v in f.v.iter_mut() {
+                *v = next(1.0);
+            }
+            for w in f.w.iter_mut() {
+                *w = next(1.0);
+            }
+            for p in f.p.iter_mut() {
+                *p = next(0.5);
+            }
+            f
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Upwinding keeps every momentum system weakly diagonally dominant for
+    /// *any* velocity field — the property that guarantees solvability.
+    #[test]
+    fn momentum_always_diagonally_dominant(field in arb_field()) {
+        let props = FluidProps::default();
+        for c in [Component::U, Component::V, Component::W] {
+            let sys = assemble_momentum(&field, c, &props);
+            prop_assert!(sys.matrix.validate().is_ok());
+            // Dominance up to the flux-imbalance term (bounded by the
+            // divergence of the random field times face area).
+            let slack = stencil::stencil7::diagonal_dominance_slack(&sys.matrix);
+            let h2 = field.grid.area();
+            // Worst-case imbalance: 6 faces × max |vel| × area.
+            let bound = 6.0 * 1.0 * h2;
+            prop_assert!(slack > -bound, "{c:?}: slack {} bound {}", slack, bound);
+        }
+    }
+
+    /// The pressure-correction matrix is symmetric for any field and any
+    /// momentum diagonals.
+    #[test]
+    fn pressure_correction_always_symmetric(field in arb_field()) {
+        let props = FluidProps::default();
+        let su = assemble_momentum(&field, Component::U, &props);
+        let sv = assemble_momentum(&field, Component::V, &props);
+        let sw = assemble_momentum(&field, Component::W, &props);
+        let ps = assemble_pressure_correction(&field, &su.ap, &sv.ap, &sw.ap);
+        prop_assert!(ps.matrix.validate().is_ok());
+        prop_assert!(is_symmetric(&ps.matrix));
+    }
+
+    /// Momentum diagonals are strictly positive (the `d`-coefficients the
+    /// correction step divides by are well-defined).
+    #[test]
+    fn momentum_diagonals_positive(field in arb_field()) {
+        let props = FluidProps::default();
+        for c in [Component::U, Component::V, Component::W] {
+            let sys = assemble_momentum(&field, c, &props);
+            for (i, &ap) in sys.ap.iter().enumerate() {
+                prop_assert!(ap > 0.0, "{c:?} row {} diag {}", i, ap);
+            }
+        }
+    }
+
+    /// The assembled rhs is finite for any bounded field.
+    #[test]
+    fn rhs_always_finite(field in arb_field()) {
+        let props = FluidProps::default();
+        for c in [Component::U, Component::V, Component::W] {
+            let sys = assemble_momentum(&field, c, &props);
+            prop_assert!(sys.rhs.iter().all(|v| v.is_finite()));
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! 3D block decomposition of an `n³` mesh over `P` ranks.
+
+/// The rank grid and the (largest) per-rank block it induces.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct BlockShape {
+    /// Rank-grid extents.
+    pub px: usize,
+    /// Rank-grid extents.
+    pub py: usize,
+    /// Rank-grid extents.
+    pub pz: usize,
+    /// Largest block extents (ceil division — the load-imbalance driver).
+    pub bx: usize,
+    /// Largest block extents.
+    pub by: usize,
+    /// Largest block extents.
+    pub bz: usize,
+}
+
+impl BlockShape {
+    /// Points in the largest block (the critical-path rank's share).
+    pub fn max_points(&self) -> usize {
+        self.bx * self.by * self.bz
+    }
+
+    /// Average points per rank.
+    pub fn avg_points(&self, n: usize) -> f64 {
+        (n as f64).powi(3) / (self.px * self.py * self.pz) as f64
+    }
+
+    /// Load imbalance: largest block over average.
+    pub fn imbalance(&self, n: usize) -> f64 {
+        self.max_points() as f64 / self.avg_points(n)
+    }
+
+    /// Face points of the largest block (halo surface), per direction pair.
+    pub fn face_points(&self) -> [usize; 3] {
+        [self.by * self.bz, self.bx * self.bz, self.bx * self.by]
+    }
+
+    /// Total halo points exchanged by the largest block per sweep (both
+    /// directions of all three axes).
+    pub fn halo_points(&self) -> usize {
+        2 * (self.face_points()[0] + self.face_points()[1] + self.face_points()[2])
+    }
+}
+
+/// Splits `p` (a power of two in the paper's sweeps, but any value works)
+/// into three near-equal factors, then blocks the mesh with ceil division.
+pub fn decompose(n: usize, p: usize) -> BlockShape {
+    assert!(n > 0 && p > 0);
+    // Greedy: repeatedly assign the largest prime factor to the currently
+    // smallest rank-grid dimension.
+    let mut dims = [1usize; 3];
+    let mut rem = p;
+    let mut factor = 2usize;
+    let mut factors = Vec::new();
+    while rem > 1 {
+        while rem % factor == 0 {
+            factors.push(factor);
+            rem /= factor;
+        }
+        factor += 1;
+        if factor * factor > rem && rem > 1 {
+            factors.push(rem);
+            break;
+        }
+    }
+    factors.sort_unstable_by(|a, b| b.cmp(a));
+    for f in factors {
+        let i = (0..3).min_by_key(|&i| dims[i]).unwrap();
+        dims[i] *= f;
+    }
+    dims.sort_unstable(); // px <= py <= pz
+    let (px, py, pz) = (dims[0], dims[1], dims[2]);
+    BlockShape {
+        px,
+        py,
+        pz,
+        bx: n.div_ceil(px),
+        by: n.div_ceil(py),
+        bz: n.div_ceil(pz),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn powers_of_two_split_near_cubically() {
+        let b = decompose(600, 1024);
+        assert_eq!(b.px * b.py * b.pz, 1024);
+        // 1024 = 8 * 8 * 16 (or a permutation of near-equal factors).
+        assert!(b.pz <= 2 * b.px, "{b:?}");
+        let b = decompose(600, 16384);
+        assert_eq!(b.px * b.py * b.pz, 16384);
+        assert!(b.pz <= 2 * b.px, "{b:?}");
+    }
+
+    #[test]
+    fn blocks_cover_the_mesh() {
+        for (n, p) in [(600, 1024), (370, 8192), (600, 16384), (100, 7)] {
+            let b = decompose(n, p);
+            assert!(b.bx * b.px >= n);
+            assert!(b.by * b.py >= n);
+            assert!(b.bz * b.pz >= n);
+        }
+    }
+
+    #[test]
+    fn imbalance_grows_when_blocks_shrink() {
+        let big = decompose(600, 1024).imbalance(600);
+        let small = decompose(370, 16384).imbalance(370);
+        assert!(big >= 1.0 && small >= 1.0);
+        assert!(small > big, "small blocks suffer more ceil imbalance: {big} vs {small}");
+    }
+
+    #[test]
+    fn halo_surface_to_volume_grows_at_scale() {
+        let b1 = decompose(370, 1024);
+        let b2 = decompose(370, 16384);
+        let r1 = b1.halo_points() as f64 / b1.max_points() as f64;
+        let r2 = b2.halo_points() as f64 / b2.max_points() as f64;
+        assert!(r2 > 2.0 * r1, "surface share must grow: {r1} vs {r2}");
+    }
+}

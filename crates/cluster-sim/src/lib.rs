@@ -1,0 +1,29 @@
+//! Rank-level simulation of MPI-style BiCGStab on a commodity cluster —
+//! the paper's Joule 2.0 baseline, rebuilt as a simulation instead of a
+//! closed-form model.
+//!
+//! Where `perf-model::cluster` fits a formula to the paper's two anchors,
+//! this crate *simulates* the per-iteration critical path rank by rank:
+//!
+//! * a 3D block [`decomp::decompose`] of the mesh over `P` ranks, with the
+//!   real ceil-division load imbalance,
+//! * per-rank sweep compute time (memory-bandwidth-bound, with lognormal
+//!   OS jitter whose **max over P ranks** is what every collective waits
+//!   for — the classic noise-amplification effect),
+//! * six-face halo exchanges under an α–β message model, including the
+//!   pack/unpack cost of strided faces,
+//! * tree AllReduces (2·log₂P stages) for the four inner products.
+//!
+//! Constants are calibrated to the same two published anchors (75 ms @
+//! 1024 cores and ~6 ms @ 16K cores on 600³), after which the 370³ curve
+//! and the efficiency collapse at the tail are *predictions* of the
+//! simulation. See `experiments fig7`/`fig8` for the side-by-side with the
+//! analytic model.
+
+#![warn(missing_docs)]
+
+pub mod decomp;
+pub mod sim;
+
+pub use decomp::{decompose, BlockShape};
+pub use sim::{ClusterParams, ClusterSim, IterationBreakdown};

@@ -1,0 +1,224 @@
+//! The per-iteration cluster simulation.
+
+use crate::decomp::decompose;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Calibrated machine constants (see the crate docs; the defaults reproduce
+/// the paper's two 600³ anchors).
+#[derive(Copy, Clone, Debug)]
+pub struct ClusterParams {
+    /// Effective seconds per meshpoint per BiCGStab iteration of sweep
+    /// compute (memory-bandwidth-bound; MFIX-realistic, far below peak).
+    pub seconds_per_point: f64,
+    /// Extra per-halo-point cost of packing/unpacking strided faces,
+    /// relative to `seconds_per_point`.
+    pub pack_factor: f64,
+    /// Per-message latency α (software + network).
+    pub alpha_msg: f64,
+    /// Per-byte cost β (link bandwidth, shared).
+    pub beta_byte: f64,
+    /// Per-stage AllReduce latency (tree stage: one send + one recv + sum).
+    pub alpha_reduce: f64,
+    /// Relative lognormal OS jitter per compute phase (σ). Collectives wait
+    /// for the slowest of `P` ranks, amplifying this with scale.
+    pub noise_sigma: f64,
+    /// Bytes per mesh point on the wire (fp64).
+    pub bytes_per_point: f64,
+    /// AllReduces per BiCGStab iteration (the paper's four).
+    pub reduces_per_iter: usize,
+    /// Halo-exchanged sweeps per iteration (the two SpMVs).
+    pub sweeps_per_iter: usize,
+}
+
+impl Default for ClusterParams {
+    fn default() -> ClusterParams {
+        ClusterParams {
+            // Calibrated (see tests::anchors): ~0.14 µs/point/sweep matches
+            // 75 ms at 1024 cores for 600³ with two sweeps per iteration.
+            seconds_per_point: 0.142e-6,
+            pack_factor: 0.3,
+            alpha_msg: 10e-6,
+            beta_byte: 1.0 / 2.0e9, // ~2 GB/s effective per link under load
+            alpha_reduce: 9.5e-6,
+            noise_sigma: 0.05,
+            bytes_per_point: 8.0,
+            reduces_per_iter: 4,
+            sweeps_per_iter: 2,
+        }
+    }
+}
+
+/// One simulated iteration's critical-path breakdown (seconds).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct IterationBreakdown {
+    /// Sweep compute on the slowest rank (including jitter).
+    pub compute: f64,
+    /// Halo pack/exchange on the slowest rank.
+    pub halo: f64,
+    /// The tree AllReduces.
+    pub reduce: f64,
+}
+
+impl IterationBreakdown {
+    /// Total seconds.
+    pub fn total(&self) -> f64 {
+        self.compute + self.halo + self.reduce
+    }
+}
+
+/// The simulator: deterministic given its seed.
+pub struct ClusterSim {
+    /// Machine constants.
+    pub params: ClusterParams,
+    rng: SmallRng,
+}
+
+impl ClusterSim {
+    /// A simulator with the default (anchor-calibrated) constants.
+    pub fn new(seed: u64) -> ClusterSim {
+        ClusterSim { params: ClusterParams::default(), rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Simulates one BiCGStab iteration of an `n³` mesh on `p` ranks.
+    ///
+    /// The collectives synchronize all ranks, so each sweep phase costs the
+    /// **maximum** over ranks of (compute + halo). Sampling the max of `p`
+    /// lognormal draws directly is O(p); we use the exact order-statistics
+    /// shortcut only when `p` is large.
+    pub fn simulate_iteration(&mut self, n: usize, p: usize) -> IterationBreakdown {
+        let b = decompose(n, p);
+        let pts = b.max_points() as f64;
+        let sigma = self.params.noise_sigma;
+
+        // Max of p lognormal(0, σ) factors: sample directly up to 4096
+        // ranks, else use E[max] ≈ exp(σ·√(2 ln p)) (extreme-value
+        // asymptotics) with a small sampled correction.
+        let max_noise = if p <= 4096 {
+            let mut m: f64 = 0.0;
+            for _ in 0..p {
+                let g: f64 = self.gaussian();
+                m = m.max((sigma * g).exp());
+            }
+            m
+        } else {
+            let base = (sigma * (2.0 * (p as f64).ln()).sqrt()).exp();
+            // jitter the asymptote a little so repeated calls vary
+            let g: f64 = self.gaussian();
+            base * (1.0 + 0.02 * g).max(0.9)
+        };
+
+        let sweep_compute = pts * self.params.seconds_per_point * max_noise;
+        let halo_pts = b.halo_points() as f64;
+        let pack = halo_pts * self.params.pack_factor * self.params.seconds_per_point;
+        let wire = 6.0 * self.params.alpha_msg
+            + halo_pts * self.params.bytes_per_point * self.params.beta_byte;
+        let sweep_halo = pack + wire;
+
+        let stages = 2.0 * (p as f64).log2().ceil();
+        let reduce = self.params.reduces_per_iter as f64 * stages * self.params.alpha_reduce;
+
+        IterationBreakdown {
+            compute: self.params.sweeps_per_iter as f64 * sweep_compute,
+            halo: self.params.sweeps_per_iter as f64 * sweep_halo,
+            reduce,
+        }
+    }
+
+    /// Mean of `samples` simulated iterations.
+    pub fn mean_iteration(&mut self, n: usize, p: usize, samples: usize) -> IterationBreakdown {
+        let mut acc = IterationBreakdown::default();
+        for _ in 0..samples {
+            let it = self.simulate_iteration(n, p);
+            acc.compute += it.compute;
+            acc.halo += it.halo;
+            acc.reduce += it.reduce;
+        }
+        let s = samples as f64;
+        IterationBreakdown { compute: acc.compute / s, halo: acc.halo / s, reduce: acc.reduce / s }
+    }
+
+    /// The Figs. 7–8 sweep: `(cores, seconds/iteration)`.
+    pub fn scaling_curve(&mut self, n: usize, cores: &[usize]) -> Vec<(usize, f64)> {
+        cores.iter().map(|&p| (p, self.mean_iteration(n, p, 16).total())).collect()
+    }
+
+    /// Box–Muller standard normal.
+    fn gaussian(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(1e-12..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_are_reproduced_within_tolerance() {
+        let mut sim = ClusterSim::new(7);
+        let t1024 = sim.mean_iteration(600, 1024, 32).total();
+        let t16k = sim.mean_iteration(600, 16384, 32).total();
+        assert!(
+            (t1024 - 0.075).abs() / 0.075 < 0.15,
+            "1024-core anchor: {:.1} ms vs 75 ms",
+            t1024 * 1e3
+        );
+        assert!(
+            (t16k - 0.006).abs() / 0.006 < 0.30,
+            "16K-core anchor: {:.2} ms vs ~6 ms",
+            t16k * 1e3
+        );
+    }
+
+    #[test]
+    fn large_mesh_scales_small_mesh_collapses() {
+        let mut sim = ClusterSim::new(3);
+        let b8 = sim.mean_iteration(600, 8192, 16).total();
+        let b16 = sim.mean_iteration(600, 16384, 16).total();
+        let s8 = sim.mean_iteration(370, 8192, 16).total();
+        let s16 = sim.mean_iteration(370, 16384, 16).total();
+        // 600³ keeps a solid gain; 370³'s efficiency collapses.
+        let big_gain = b8 / b16;
+        let small_gain = s8 / s16;
+        assert!(big_gain > 1.5, "600^3 gain {big_gain}");
+        assert!(small_gain < big_gain, "370^3 must scale worse: {small_gain} vs {big_gain}");
+        assert!(small_gain < 1.55, "370^3 efficiency collapse: gain {small_gain} for 2x cores");
+    }
+
+    #[test]
+    fn reduce_share_grows_with_scale() {
+        let mut sim = ClusterSim::new(5);
+        let small = sim.mean_iteration(370, 1024, 16);
+        let large = sim.mean_iteration(370, 16384, 16);
+        assert!(
+            large.reduce / large.total() > small.reduce / small.total(),
+            "collectives dominate at scale: {small:?} vs {large:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let a = ClusterSim::new(11).mean_iteration(600, 4096, 8).total();
+        let b = ClusterSim::new(11).mean_iteration(600, 4096, 8).total();
+        assert_eq!(a, b);
+        let c = ClusterSim::new(12).mean_iteration(600, 4096, 8).total();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn agrees_with_the_analytic_model_on_the_anchored_mesh() {
+        let analytic = perf_model::JouleModel::default();
+        let mut sim = ClusterSim::new(9);
+        for p in [1024usize, 2048, 4096, 8192, 16384] {
+            let t_model = analytic.time_per_iteration(600, p);
+            let t_sim = sim.mean_iteration(600, p, 16).total();
+            let ratio = (t_sim / t_model).max(t_model / t_sim);
+            assert!(
+                ratio < 1.6,
+                "sim and model should agree on 600^3 within 60%: p={p}, {t_sim} vs {t_model}"
+            );
+        }
+    }
+}

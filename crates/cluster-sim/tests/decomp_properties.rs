@@ -1,0 +1,54 @@
+//! Property tests for the cluster decomposition and simulation.
+
+use cluster_sim::{decompose, ClusterSim};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The rank grid always multiplies out to exactly `p` and covers the
+    /// mesh.
+    #[test]
+    fn decomposition_covers(n in 8usize..1000, p in 1usize..20000) {
+        let b = decompose(n, p);
+        prop_assert_eq!(b.px * b.py * b.pz, p);
+        prop_assert!(b.bx * b.px >= n && b.by * b.py >= n && b.bz * b.pz >= n);
+        // Ceil division never over-allocates by more than one block row.
+        prop_assert!((b.bx - 1) * b.px < n);
+    }
+
+    /// The grid is near-cubic for powers of two: max factor ≤ 2 × min.
+    #[test]
+    fn powers_of_two_near_cubic(k in 0u32..15) {
+        let p = 1usize << k;
+        let b = decompose(600, p);
+        prop_assert!(b.pz <= 2 * b.px, "{:?}", b);
+    }
+
+    /// Imbalance is bounded: the largest block holds at most ~(1+1/b)³ of
+    /// the average share.
+    #[test]
+    fn imbalance_is_bounded(n in 32usize..800, k in 0u32..14) {
+        let p = 1usize << k;
+        let b = decompose(n, p);
+        let imb = b.imbalance(n);
+        prop_assert!(imb >= 1.0 - 1e-12);
+        let side = b.bx.min(b.by).min(b.bz) as f64;
+        let bound = (1.0 + 1.0 / side).powi(3) + 1e-9;
+        prop_assert!(imb <= bound, "imbalance {} bound {}", imb, bound);
+    }
+
+    /// Simulated iteration times are positive, finite, and decrease (or
+    /// flatten) with more cores for big meshes.
+    #[test]
+    fn simulation_is_sane(seed in 0u64..1000) {
+        let mut sim = ClusterSim::new(seed);
+        let mut prev = f64::INFINITY;
+        for p in [1024usize, 4096, 16384] {
+            let t = sim.mean_iteration(600, p, 4).total();
+            prop_assert!(t.is_finite() && t > 0.0);
+            prop_assert!(t < prev * 1.05, "600^3 should not slow down: {} -> {}", prev, t);
+            prev = t;
+        }
+    }
+}

@@ -1,0 +1,515 @@
+//! The scalar AllReduce of Fig. 6.
+//!
+//! "The reduction is performed in parallel along fabric rows, then along two
+//! central columns. ... We use two cores in the center, each receiving input
+//! from one direction at the rate of one datum per cycle. ... the partial
+//! sums are reduced along two columns towards the central four cores that
+//! finally reduce their content to a single core. ... The broadcast is done
+//! in reverse, sending the result along two central columns and then across
+//! all rows."
+//!
+//! All arithmetic is fp32 ("we do the AllReduce at 32-bit precision"). The
+//! single-cycle-per-hop fabric makes the whole operation complete "in a
+//! cycle count only about 10% greater than the diameter of the system" —
+//! the latency tests below check exactly that property.
+
+use wse_arch::dsr::mk;
+use wse_arch::instr::{Op, RegOp, Stmt, Task, TensorInstr};
+use wse_arch::types::{Port, Reg, TaskId};
+use wse_arch::Fabric;
+
+/// Virtual channels used by the AllReduce, as offsets from a configurable
+/// base (disjoint instances let several scalars reduce **concurrently** —
+/// the communication-fusion variant merges the ω-step's two reductions into
+/// one round this way). The default base is 10, clear of the SpMV's 0..5.
+pub mod colors {
+    /// Default color base.
+    pub const DEFAULT_BASE: u8 = 10;
+    /// Colors consumed per instance.
+    pub const SPAN: u8 = 6;
+    /// Left half-rows flowing east toward the center-left column.
+    pub const ROW_E: u8 = 0;
+    /// Right half-rows flowing west toward the center-right column.
+    pub const ROW_W: u8 = 1;
+    /// Upper half of the central columns flowing south.
+    pub const COL_S: u8 = 2;
+    /// Lower half of the central columns flowing north.
+    pub const COL_N: u8 = 3;
+    /// The final 4:1 reduction to the root.
+    pub const FIN: u8 = 4;
+    /// Result broadcast.
+    pub const BC: u8 = 5;
+}
+
+/// A built AllReduce program over a `w × h` fabric region.
+pub struct AllReduce {
+    w: usize,
+    h: usize,
+    /// Input register (each core's contribution).
+    pub r_in: Reg,
+    /// Output register (the global sum, on every core).
+    pub r_out: Reg,
+    /// Scratch accumulator register.
+    pub r_acc: Reg,
+    base: u8,
+    tasks: Vec<TaskId>,
+}
+
+impl AllReduce {
+    /// Builds the routing and per-tile tasks. Requires `w ≥ 2` and `h ≥ 2`.
+    ///
+    /// # Panics
+    /// Panics if the region is smaller than 2×2 or exceeds the fabric.
+    pub fn build(
+        fabric: &mut Fabric,
+        w: usize,
+        h: usize,
+        r_in: Reg,
+        r_out: Reg,
+        r_acc: Reg,
+    ) -> AllReduce {
+        Self::build_with_base(fabric, w, h, r_in, r_out, r_acc, colors::DEFAULT_BASE)
+    }
+
+    /// Like [`AllReduce::build`], on a custom virtual-channel base so that
+    /// several instances can coexist and run concurrently.
+    ///
+    /// # Panics
+    /// Panics if the region is smaller than 2×2 or exceeds the fabric.
+    pub fn build_with_base(
+        fabric: &mut Fabric,
+        w: usize,
+        h: usize,
+        r_in: Reg,
+        r_out: Reg,
+        r_acc: Reg,
+        base: u8,
+    ) -> AllReduce {
+        assert!(w >= 2 && h >= 2, "AllReduce needs at least a 2x2 region");
+        assert!(w <= fabric.width() && h <= fabric.height(), "region exceeds fabric");
+        let cx0 = (w - 1) / 2;
+        let cx1 = cx0 + 1;
+        let cy0 = (h - 1) / 2;
+        let cy1 = cy0 + 1;
+
+        Self::configure_routes(fabric, w, h, cx0, cx1, cy0, cy1, base);
+
+        let mut tasks = Vec::with_capacity(w * h);
+        for y in 0..h {
+            for x in 0..w {
+                let (mut body, recv) = Self::tile_body_parts(
+                    fabric, x, y, w, h, cx0, cx1, cy0, cy1, r_in, r_out, r_acc, base,
+                );
+                body.extend(recv);
+                let id = fabric.tile_mut(x, y).core.add_task(Task::new("allreduce", body));
+                tasks.push(id);
+            }
+        }
+        AllReduce { w, h, r_in, r_out, r_acc, base, tasks }
+    }
+
+    /// The task id to activate on tile `(x, y)` (for phase chaining).
+    pub fn task(&self, x: usize, y: usize) -> TaskId {
+        self.tasks[y * self.w + x]
+    }
+
+    /// The virtual-channel base this instance was built on.
+    pub fn color_base(&self) -> u8 {
+        self.base
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn configure_routes(
+        fabric: &mut Fabric,
+        w: usize,
+        h: usize,
+        cx0: usize,
+        cx1: usize,
+        cy0: usize,
+        cy1: usize,
+        base: u8,
+    ) {
+        let (row_e, row_w, col_s, col_n, fin, bc) = (
+            base + colors::ROW_E,
+            base + colors::ROW_W,
+            base + colors::COL_S,
+            base + colors::COL_N,
+            base + colors::FIN,
+            base + colors::BC,
+        );
+        // --- Row reduction. ---
+        for y in 0..h {
+            for x in 0..cx0 {
+                fabric.set_route(x, y, Port::Ramp, row_e, &[Port::East]);
+                if x > 0 {
+                    fabric.set_route(x, y, Port::West, row_e, &[Port::East]);
+                }
+            }
+            if cx0 > 0 {
+                fabric.set_route(cx0, y, Port::West, row_e, &[Port::Ramp]);
+            }
+            for x in cx1 + 1..w {
+                fabric.set_route(x, y, Port::Ramp, row_w, &[Port::West]);
+                if x < w - 1 {
+                    fabric.set_route(x, y, Port::East, row_w, &[Port::West]);
+                }
+            }
+            if cx1 < w - 1 {
+                fabric.set_route(cx1, y, Port::East, row_w, &[Port::Ramp]);
+            }
+        }
+        // --- Column reduction on the two central columns. ---
+        for &cx in &[cx0, cx1] {
+            for y in 0..cy0 {
+                fabric.set_route(cx, y, Port::Ramp, col_s, &[Port::South]);
+                if y > 0 {
+                    fabric.set_route(cx, y, Port::North, col_s, &[Port::South]);
+                }
+            }
+            if cy0 > 0 {
+                fabric.set_route(cx, cy0, Port::North, col_s, &[Port::Ramp]);
+            }
+            for y in cy1 + 1..h {
+                fabric.set_route(cx, y, Port::Ramp, col_n, &[Port::North]);
+                if y < h - 1 {
+                    fabric.set_route(cx, y, Port::South, col_n, &[Port::North]);
+                }
+            }
+            if cy1 < h - 1 {
+                fabric.set_route(cx, cy1, Port::South, col_n, &[Port::Ramp]);
+            }
+        }
+        // --- 4:1 to the root (cx0, cy0). ---
+        fabric.set_route(cx1, cy0, Port::Ramp, fin, &[Port::West]);
+        fabric.set_route(cx0, cy0, Port::East, fin, &[Port::Ramp]);
+        fabric.set_route(cx1, cy1, Port::Ramp, fin, &[Port::West]);
+        fabric.set_route(cx0, cy1, Port::East, fin, &[Port::North]);
+        fabric.set_route(cx0, cy1, Port::Ramp, fin, &[Port::North]);
+        fabric.set_route(cx0, cy0, Port::South, fin, &[Port::Ramp]);
+        // --- Broadcast from the root. ---
+        {
+            let mut fan = vec![Port::East, Port::South];
+            if cx0 > 0 {
+                fan.push(Port::West);
+            }
+            if cy0 > 0 {
+                fan.push(Port::North);
+            }
+            fabric.set_route(cx0, cy0, Port::Ramp, bc, &fan);
+        }
+        {
+            // (cx1, cy0) relays vertically and into its row's right segment.
+            let mut fan = vec![Port::Ramp, Port::South];
+            if cy0 > 0 {
+                fan.push(Port::North);
+            }
+            if cx1 < w - 1 {
+                fan.push(Port::East);
+            }
+            fabric.set_route(cx1, cy0, Port::West, bc, &fan);
+        }
+        // Central columns relay away from the root and into their rows.
+        for (cx, row_port, row_exists) in
+            [(cx0, Port::West, cx0 > 0), (cx1, Port::East, cx1 < w - 1)]
+        {
+            for y in 0..h {
+                if y == cy0 {
+                    continue; // root / relay handled above
+                }
+                let from = if y < cy0 { Port::South } else { Port::North };
+                let mut fan = vec![Port::Ramp];
+                if y < cy0 && y > 0 {
+                    fan.push(Port::North);
+                }
+                if y > cy0 && y < h - 1 {
+                    fan.push(Port::South);
+                }
+                if row_exists {
+                    fan.push(row_port);
+                }
+                fabric.set_route(cx, y, from, bc, &fan);
+            }
+        }
+        // Row tiles outside the central columns relay outward.
+        for y in 0..h {
+            for x in 0..cx0 {
+                let mut fan = vec![Port::Ramp];
+                if x > 0 {
+                    fan.push(Port::West);
+                }
+                fabric.set_route(x, y, Port::East, bc, &fan);
+            }
+            for x in cx1 + 1..w {
+                let mut fan = vec![Port::Ramp];
+                if x < w - 1 {
+                    fan.push(Port::East);
+                }
+                fabric.set_route(x, y, Port::West, bc, &fan);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    /// Builds one tile's statements, split into the *upstream work* (sends,
+    /// partial sums, broadcast transmit) and the *broadcast receive*. The
+    /// split lets two instances interleave: both do their upstream work
+    /// before either blocks waiting for its result.
+    #[allow(clippy::too_many_arguments)]
+    fn tile_body_parts(
+        fabric: &mut Fabric,
+        x: usize,
+        y: usize,
+        w: usize,
+        h: usize,
+        cx0: usize,
+        cx1: usize,
+        cy0: usize,
+        cy1: usize,
+        r_in: Reg,
+        r_out: Reg,
+        r_acc: Reg,
+        base: u8,
+    ) -> (Vec<Stmt>, Vec<Stmt>) {
+        let (row_e, row_w, col_s, col_n, fin, bc) = (
+            base + colors::ROW_E,
+            base + colors::ROW_W,
+            base + colors::COL_S,
+            base + colors::COL_N,
+            base + colors::FIN,
+            base + colors::BC,
+        );
+        let core = &mut fabric.tile_mut(x, y).core;
+        let mut body = Vec::new();
+        let in_central_col = x == cx0 || x == cx1;
+
+        if !in_central_col {
+            // Plain tile: contribute to the row reduction, then await the
+            // broadcast.
+            let color = if x < cx0 { row_e } else { row_w };
+            let d_tx = core.add_dsr(mk::tx32(color, 1));
+            body.push(Stmt::InitDsr { dsr: d_tx, desc: mk::tx32(color, 1) });
+            body.push(Stmt::Exec(TensorInstr {
+                op: Op::StoreReg { reg: r_in },
+                dst: Some(d_tx),
+                a: None,
+                b: None,
+            }));
+        } else {
+            // Row-center tile: accumulate own value + the half-row stream.
+            let (color, len) = if x == cx0 { (row_e, cx0) } else { (row_w, w - 1 - cx1) };
+            let d_rx = core.add_dsr(mk::rx32(color, len as u32));
+            body.push(Stmt::RegArith { op: RegOp::Mov, dst: r_acc, a: r_in, b: r_in });
+            body.push(Stmt::InitDsr { dsr: d_rx, desc: mk::rx32(color, len as u32) });
+            body.push(Stmt::Exec(TensorInstr {
+                op: Op::SumReg { acc: r_acc },
+                dst: None,
+                a: Some(d_rx),
+                b: None,
+            }));
+
+            if y != cy0 && y != cy1 {
+                // Column contributor.
+                let color = if y < cy0 { col_s } else { col_n };
+                let d_tx = core.add_dsr(mk::tx32(color, 1));
+                body.push(Stmt::InitDsr { dsr: d_tx, desc: mk::tx32(color, 1) });
+                body.push(Stmt::Exec(TensorInstr {
+                    op: Op::StoreReg { reg: r_acc },
+                    dst: Some(d_tx),
+                    a: None,
+                    b: None,
+                }));
+            } else {
+                // One of the central four: fold in the half-column stream.
+                let (color, len) = if y == cy0 { (col_s, cy0) } else { (col_n, h - 1 - cy1) };
+                let d_rx = core.add_dsr(mk::rx32(color, len as u32));
+                body.push(Stmt::InitDsr { dsr: d_rx, desc: mk::rx32(color, len as u32) });
+                body.push(Stmt::Exec(TensorInstr {
+                    op: Op::SumReg { acc: r_acc },
+                    dst: None,
+                    a: Some(d_rx),
+                    b: None,
+                }));
+
+                let is_root = x == cx0 && y == cy0;
+                if is_root {
+                    let d_rx = core.add_dsr(mk::rx32(fin, 3));
+                    body.push(Stmt::InitDsr { dsr: d_rx, desc: mk::rx32(fin, 3) });
+                    body.push(Stmt::Exec(TensorInstr {
+                        op: Op::SumReg { acc: r_acc },
+                        dst: None,
+                        a: Some(d_rx),
+                        b: None,
+                    }));
+                    let d_tx = core.add_dsr(mk::tx32(bc, 1));
+                    body.push(Stmt::InitDsr { dsr: d_tx, desc: mk::tx32(bc, 1) });
+                    body.push(Stmt::Exec(TensorInstr {
+                        op: Op::StoreReg { reg: r_acc },
+                        dst: Some(d_tx),
+                        a: None,
+                        b: None,
+                    }));
+                    body.push(Stmt::RegArith { op: RegOp::Mov, dst: r_out, a: r_acc, b: r_acc });
+                    return (body, Vec::new()); // the root keeps its own copy
+                }
+                let d_tx = core.add_dsr(mk::tx32(fin, 1));
+                body.push(Stmt::InitDsr { dsr: d_tx, desc: mk::tx32(fin, 1) });
+                body.push(Stmt::Exec(TensorInstr {
+                    op: Op::StoreReg { reg: r_acc },
+                    dst: Some(d_tx),
+                    a: None,
+                    b: None,
+                }));
+            }
+        }
+
+        // Everyone except the root receives the broadcast — returned as the
+        // separate blocking part.
+        let d_bc = core.add_dsr(mk::rx32(bc, 1));
+        let recv = vec![
+            Stmt::InitDsr { dsr: d_bc, desc: mk::rx32(bc, 1) },
+            Stmt::Exec(TensorInstr {
+                op: Op::LoadReg { reg: r_out },
+                dst: None,
+                a: Some(d_bc),
+                b: None,
+            }),
+        ];
+        (body, recv)
+    }
+
+    /// Builds a per-tile task that runs `self` and `other` **concurrently**:
+    /// both instances' upstream work first, then both broadcast receives.
+    /// Both instances must have been built over the same region.
+    ///
+    /// # Panics
+    /// Panics if the regions differ.
+    pub fn build_fused_task(
+        &self,
+        other: &AllReduce,
+        fabric: &mut Fabric,
+        x: usize,
+        y: usize,
+    ) -> TaskId {
+        assert_eq!((self.w, self.h), (other.w, other.h), "regions must match");
+        let (w, h) = (self.w, self.h);
+        let cx0 = (w - 1) / 2;
+        let cx1 = cx0 + 1;
+        let cy0 = (h - 1) / 2;
+        let cy1 = cy0 + 1;
+        let (w1, r1) = Self::tile_body_parts(
+            fabric, x, y, w, h, cx0, cx1, cy0, cy1, self.r_in, self.r_out, self.r_acc, self.base,
+        );
+        let (w2, r2) = Self::tile_body_parts(
+            fabric, x, y, w, h, cx0, cx1, cy0, cy1, other.r_in, other.r_out, other.r_acc,
+            other.base,
+        );
+        let mut body = w1;
+        body.extend(w2);
+        body.extend(r1);
+        body.extend(r2);
+        fabric.tile_mut(x, y).core.add_task(Task::new("allreduce-fused", body))
+    }
+
+    /// Host-driven execution: sets each tile's input register, activates
+    /// every task, runs to quiescence, and reads back every tile's output
+    /// register. Returns the per-tile results and the cycle count.
+    ///
+    /// # Panics
+    /// Panics if `values.len() != w*h` or the fabric stalls.
+    pub fn run(&self, fabric: &mut Fabric, values: &[f32]) -> (Vec<f32>, u64) {
+        assert_eq!(values.len(), self.w * self.h, "one value per tile");
+        for y in 0..self.h {
+            for x in 0..self.w {
+                let core = &mut fabric.tile_mut(x, y).core;
+                core.regs[self.r_in] = values[y * self.w + x];
+                core.activate(self.tasks[y * self.w + x]);
+            }
+        }
+        let cycles = fabric
+            .run_until_quiescent(100_000)
+            .unwrap_or_else(|e| panic!("allreduce stalled: {e}"));
+        let mut out = Vec::with_capacity(values.len());
+        for y in 0..self.h {
+            for x in 0..self.w {
+                out.push(fabric.tile(x, y).core.regs[self.r_out]);
+            }
+        }
+        (out, cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const R_IN: Reg = 24;
+    const R_OUT: Reg = 25;
+    const R_ACC: Reg = 26;
+
+    fn reduce(w: usize, h: usize, values: &[f32]) -> (Vec<f32>, u64) {
+        let mut fabric = Fabric::new(w, h);
+        let ar = AllReduce::build(&mut fabric, w, h, R_IN, R_OUT, R_ACC);
+        ar.run(&mut fabric, values)
+    }
+
+    #[test]
+    fn sums_ones_on_various_sizes() {
+        for (w, h) in [(2, 2), (3, 3), (4, 4), (5, 3), (2, 7), (8, 8), (9, 5)] {
+            let n = w * h;
+            let (out, cycles) = reduce(w, h, &vec![1.0; n]);
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(*v, n as f32, "{w}x{h} tile {i} after {cycles} cycles");
+            }
+        }
+    }
+
+    #[test]
+    fn sums_distinct_values() {
+        let (w, h) = (6, 5);
+        let values: Vec<f32> = (0..w * h).map(|i| (i as f32) - 7.5).collect();
+        let expect: f32 = values.iter().sum();
+        let (out, _) = reduce(w, h, &values);
+        for v in out {
+            assert!((v - expect).abs() <= 1e-3, "got {v}, expect {expect}");
+        }
+    }
+
+    #[test]
+    fn reruns_produce_fresh_results() {
+        let (w, h) = (4, 4);
+        let mut fabric = Fabric::new(w, h);
+        let ar = AllReduce::build(&mut fabric, w, h, R_IN, R_OUT, R_ACC);
+        let (out1, _) = ar.run(&mut fabric, &vec![2.0; 16]);
+        assert!(out1.iter().all(|&v| v == 32.0));
+        let (out2, _) = ar.run(&mut fabric, &vec![0.5; 16]);
+        assert!(out2.iter().all(|&v| v == 8.0), "{out2:?}");
+    }
+
+    #[test]
+    fn latency_tracks_the_diameter() {
+        // Paper: "cycle count only about 10% greater than the diameter".
+        // Our model adds a constant per-phase task overhead; check that the
+        // per-hop slope is ~1 by differencing two sizes.
+        let c16 = reduce(16, 16, &vec![1.0; 256]).1;
+        let c32 = reduce(32, 32, &vec![1.0; 1024]).1;
+        let slope = (c32 - c16) as f64 / 32.0; // diameter grew by 32 hops
+        assert!(
+            (0.8..2.5).contains(&slope),
+            "per-hop latency slope should be near 1, got {slope} (c16={c16}, c32={c32})"
+        );
+        let diameter = 62.0;
+        assert!(
+            (c32 as f64) < 3.0 * diameter + 60.0,
+            "allreduce latency {c32} too far above diameter {diameter}"
+        );
+    }
+
+    #[test]
+    fn fp32_precision_is_used() {
+        // 4096 ones: fp16 accumulation would stagnate at 2048; fp32 is
+        // exact. 64x64 fabric gives 4096 contributions.
+        let (w, h) = (64, 64);
+        let (out, _) = reduce(w, h, &vec![1.0; w * h]);
+        assert_eq!(out[0], 4096.0, "fp32 accumulation must be exact here");
+    }
+}

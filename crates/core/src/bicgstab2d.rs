@@ -1,0 +1,551 @@
+//! BiCGStab on the **2D block mapping** of §IV.2.
+//!
+//! The paper sketches the 9-point 2D SpMV and asserts "the efficiency of
+//! this approach is approximately the same as for the 3D mapping". This
+//! module completes the sketch into a full solver so that claim can be
+//! *measured*: the two SpMVs use the output-halo-exchange kernel (sharing
+//! one copy of the nine coefficient arrays), the dots run row-wise with the
+//! mixed-precision MAC, the AXPY/XPAY updates sweep the block row by row,
+//! and the scalar coefficients use the same Fig. 6 AllReduce as the 3D
+//! solver.
+//!
+//! The result vectors `s = A p` and `y = A q` are *not copied out* of the
+//! extended output buffers: dot products and updates address their interior
+//! rows directly (each interior row `(i+1, 1..=by)` is a contiguous slice).
+
+use crate::allreduce::AllReduce;
+use crate::spmv2d::{Spmv2dLayout, WaferSpmv2d};
+use stencil::decomp::Block2D;
+use stencil::dia::DiaMatrix;
+use stencil::mesh::Mesh2D;
+use wse_arch::dsr::mk;
+use wse_arch::instr::{Op, RegOp, Stmt, Task, TensorInstr};
+use wse_arch::types::{Dtype, TaskId};
+use wse_arch::{Fabric, Tile};
+use wse_float::F16;
+
+use crate::bicgstab::regs;
+
+/// Per-tile vector addresses (all `bx·by` contiguous block arrays except
+/// the SpMV sources/outputs, which live in the kernel layouts).
+#[derive(Copy, Clone, Debug)]
+struct Tile2dVecs {
+    /// Residual.
+    r: u32,
+    /// Shadow residual.
+    r0: u32,
+    /// Iterate.
+    x: u32,
+}
+
+#[derive(Clone, Debug)]
+struct Tile2dTasks {
+    spmv_ps: TaskId,
+    spmv_qy: TaskId,
+    dot_r0s: TaskId,
+    dot_qy: TaskId,
+    dot_yy: TaskId,
+    dot_rho: TaskId,
+    dot_rr: TaskId,
+    post_r0s: TaskId,
+    post_qy: TaskId,
+    post_yy: TaskId,
+    post_rho: TaskId,
+    init_rho: TaskId,
+    post_rr: TaskId,
+    upd_q: TaskId,
+    upd_x: TaskId,
+    upd_r: TaskId,
+    upd_p: TaskId,
+}
+
+/// The 2D-mapped wafer BiCGStab solver.
+pub struct WaferBicgstab2d {
+    fabric_w: usize,
+    fabric_h: usize,
+    block: Block2D,
+    lay_p: Vec<Spmv2dLayout>,
+    #[allow(dead_code)] // kept for symmetric diagnostics/readback
+    lay_q: Vec<Spmv2dLayout>,
+    vecs: Vec<Tile2dVecs>,
+    tasks: Vec<Tile2dTasks>,
+    allreduce: AllReduce,
+}
+
+/// Emits `bx` row-wise statements applying `f(row_dst, row_a, row_b)` over
+/// contiguous row slices of length `by`.
+fn rowwise(
+    tile: &mut Tile,
+    bx: usize,
+    by: usize,
+    mut row_addrs: impl FnMut(usize) -> (u32, u32, Option<u32>),
+    op: Op,
+) -> Vec<Stmt> {
+    let mut body = Vec::with_capacity(bx);
+    for i in 0..bx {
+        let (dst, a, b) = row_addrs(i);
+        let dd = tile.core.add_dsr(mk::tensor16(dst, by as u32));
+        let da = tile.core.add_dsr(mk::tensor16(a, by as u32));
+        let db = b.map(|addr| tile.core.add_dsr(mk::tensor16(addr, by as u32)));
+        body.push(Stmt::Exec(TensorInstr { op, dst: Some(dd), a: Some(da), b: db }));
+    }
+    body
+}
+
+/// Emits a row-wise mixed-precision dot of two block-shaped operands into
+/// `AR_IN`-style registers.
+fn rowwise_dot(
+    tile: &mut Tile,
+    bx: usize,
+    by: usize,
+    mut row_addrs: impl FnMut(usize) -> (u32, u32),
+    move_to: usize,
+) -> Vec<Stmt> {
+    let mut body = vec![Stmt::SetReg { reg: regs::DOT_ACC, value: 0.0 }];
+    for i in 0..bx {
+        let (a, b) = row_addrs(i);
+        let da = tile.core.add_dsr(mk::tensor16(a, by as u32));
+        let db = tile.core.add_dsr(mk::tensor16(b, by as u32));
+        body.push(Stmt::Exec(TensorInstr {
+            op: Op::MacReg { acc: regs::DOT_ACC },
+            dst: None,
+            a: Some(da),
+            b: Some(db),
+        }));
+    }
+    body.push(Stmt::RegArith { op: RegOp::Mov, dst: move_to, a: regs::DOT_ACC, b: regs::DOT_ACC });
+    body
+}
+
+impl WaferBicgstab2d {
+    /// Distributes a unit-diagonal 9-point system (mesh = `block` ×
+    /// fabric) and builds all per-tile programs.
+    ///
+    /// # Panics
+    /// Panics on geometry mismatch, non-unit diagonal, or SRAM exhaustion.
+    pub fn build(fabric: &mut Fabric, a: &DiaMatrix<F16>, block: Block2D) -> WaferBicgstab2d {
+        assert!(
+            stencil::precond::has_unit_diagonal(a),
+            "matrix must be diagonally preconditioned"
+        );
+        let mesh3 = a.mesh();
+        assert_eq!(mesh3.nz, 1, "2D mapping requires nz == 1");
+        let (w, h) = (mesh3.nx / block.bx, mesh3.ny / block.by);
+        assert_eq!(w * block.bx, mesh3.nx, "mesh x must tile evenly");
+        assert_eq!(h * block.by, mesh3.ny, "mesh y must tile evenly");
+
+        assert!(w >= 2 && h >= 2, "2D solver needs at least a 2x2 tile region");
+        WaferSpmv2d::configure_routes(fabric, w, h);
+        let allreduce = AllReduce::build(fabric, w, h, regs::AR_IN, regs::AR_OUT, regs::AR_ACC);
+
+        let (bx, by) = (block.bx, block.by);
+        let n = (bx * by) as u32;
+        let mut lay_p = Vec::new();
+        let mut lay_q = Vec::new();
+        let mut vecs = Vec::new();
+        let mut tasks = Vec::new();
+
+        for ty in 0..h {
+            for tx in 0..w {
+                let tile = fabric.tile_mut(tx, ty);
+                // One copy of the nine coefficient arrays, shared by both
+                // SpMV instances (as the paper's memory accounting assumes).
+                let mut coef = [0u32; 9];
+                for c in &mut coef {
+                    *c = tile.mem.alloc_vec(n, Dtype::F16).expect("SRAM: coefficients");
+                }
+                let ub = ((bx + 2) * (by + 2)) as u32;
+                let lp = Spmv2dLayout {
+                    block,
+                    coef,
+                    v: tile.mem.alloc_vec(n, Dtype::F16).expect("SRAM: p"),
+                    ubuf: tile.mem.alloc_vec(ub, Dtype::F16).expect("SRAM: s"),
+                };
+                let lq = Spmv2dLayout {
+                    block,
+                    coef,
+                    v: tile.mem.alloc_vec(n, Dtype::F16).expect("SRAM: q"),
+                    ubuf: tile.mem.alloc_vec(ub, Dtype::F16).expect("SRAM: y"),
+                };
+                WaferSpmv2d::load_tile_coefficients(tile, &lp, a, tx, ty);
+                let tv = Tile2dVecs {
+                    r: tile.mem.alloc_vec(n, Dtype::F16).expect("SRAM: r"),
+                    r0: tile.mem.alloc_vec(n, Dtype::F16).expect("SRAM: r0"),
+                    x: tile.mem.alloc_vec(n, Dtype::F16).expect("SRAM: x"),
+                };
+
+                let spmv_ps = WaferSpmv2d::build_tile_task(tile, &lp, tx, ty, w, h);
+                let spmv_qy = WaferSpmv2d::build_tile_task(tile, &lq, tx, ty, w, h);
+
+                let row = |base: u32, i: usize| base + 2 * (i * by) as u32;
+                let s_row = |i: usize| lp.u_addr(i + 1, 1);
+                let y_row = |i: usize| lq.u_addr(i + 1, 1);
+
+                // --- Dots. ---
+                let dot_r0s = {
+                    let body = rowwise_dot(tile, bx, by, |i| (row(tv.r0, i), s_row(i)), regs::AR_IN);
+                    tile.core.add_task(Task::new("2d_dot_r0s", body))
+                };
+                let dot_qy = {
+                    let body = rowwise_dot(tile, bx, by, |i| (row(lq.v, i), y_row(i)), regs::AR_IN);
+                    tile.core.add_task(Task::new("2d_dot_qy", body))
+                };
+                let dot_yy = {
+                    let body = rowwise_dot(tile, bx, by, |i| (y_row(i), y_row(i)), regs::AR_IN);
+                    tile.core.add_task(Task::new("2d_dot_yy", body))
+                };
+                let dot_rho = {
+                    let body = rowwise_dot(tile, bx, by, |i| (row(tv.r0, i), row(tv.r, i)), regs::AR_IN);
+                    tile.core.add_task(Task::new("2d_dot_rho", body))
+                };
+                let dot_rr = {
+                    let body = rowwise_dot(tile, bx, by, |i| (row(tv.r, i), row(tv.r, i)), regs::AR_IN);
+                    tile.core.add_task(Task::new("2d_dot_rr", body))
+                };
+
+                // --- Scalar phases (same algebra as the 3D solver). ---
+                let post_r0s = tile.core.add_task(Task::new(
+                    "2d_post_r0s",
+                    vec![
+                        Stmt::RegArith { op: RegOp::Mov, dst: regs::R0S, a: regs::AR_OUT, b: regs::AR_OUT },
+                        Stmt::RegArith { op: RegOp::Add, dst: regs::R0S, a: regs::R0S, b: regs::EPS },
+                        Stmt::RegArith { op: RegOp::Div, dst: regs::ALPHA, a: regs::RHO, b: regs::R0S },
+                        Stmt::RegArith { op: RegOp::Neg, dst: regs::NEG_ALPHA, a: regs::ALPHA, b: regs::ALPHA },
+                    ],
+                ));
+                let post_qy = tile.core.add_task(Task::new(
+                    "2d_post_qy",
+                    vec![Stmt::RegArith { op: RegOp::Mov, dst: regs::QY, a: regs::AR_OUT, b: regs::AR_OUT }],
+                ));
+                let post_yy = tile.core.add_task(Task::new(
+                    "2d_post_yy",
+                    vec![
+                        Stmt::RegArith { op: RegOp::Mov, dst: regs::YY, a: regs::AR_OUT, b: regs::AR_OUT },
+                        Stmt::RegArith { op: RegOp::Add, dst: regs::YY, a: regs::YY, b: regs::EPS },
+                        Stmt::RegArith { op: RegOp::Div, dst: regs::OMEGA, a: regs::QY, b: regs::YY },
+                        Stmt::RegArith { op: RegOp::Neg, dst: regs::NEG_OMEGA, a: regs::OMEGA, b: regs::OMEGA },
+                    ],
+                ));
+                let post_rho = tile.core.add_task(Task::new(
+                    "2d_post_rho",
+                    vec![
+                        Stmt::RegArith { op: RegOp::Mov, dst: regs::RHO_NEXT, a: regs::AR_OUT, b: regs::AR_OUT },
+                        Stmt::RegArith { op: RegOp::Add, dst: regs::TMP, a: regs::OMEGA, b: regs::EPS },
+                        Stmt::RegArith { op: RegOp::Div, dst: regs::TMP, a: regs::ALPHA, b: regs::TMP },
+                        Stmt::RegArith { op: RegOp::Add, dst: regs::BETA, a: regs::RHO, b: regs::EPS },
+                        Stmt::RegArith { op: RegOp::Div, dst: regs::BETA, a: regs::RHO_NEXT, b: regs::BETA },
+                        Stmt::RegArith { op: RegOp::Mul, dst: regs::BETA, a: regs::TMP, b: regs::BETA },
+                        Stmt::RegArith { op: RegOp::Mov, dst: regs::RHO, a: regs::RHO_NEXT, b: regs::RHO_NEXT },
+                    ],
+                ));
+                let init_rho = tile.core.add_task(Task::new(
+                    "2d_init_rho",
+                    vec![Stmt::RegArith { op: RegOp::Mov, dst: regs::RHO, a: regs::AR_OUT, b: regs::AR_OUT }],
+                ));
+                let post_rr = tile.core.add_task(Task::new(
+                    "2d_post_rr",
+                    vec![Stmt::RegArith { op: RegOp::Mov, dst: regs::RR, a: regs::AR_OUT, b: regs::AR_OUT }],
+                ));
+
+                // --- Vector updates (row-wise). ---
+                // q := r − α s  (q is the second SpMV's input block).
+                let upd_q = {
+                    let body = rowwise(
+                        tile,
+                        bx,
+                        by,
+                        |i| (row(lq.v, i), row(tv.r, i), Some(s_row(i))),
+                        Op::Xpay { scalar: regs::NEG_ALPHA },
+                    );
+                    tile.core.add_task(Task::new("2d_upd_q", body))
+                };
+                // x += α p; x += ω q.
+                let upd_x = {
+                    let mut body = rowwise(
+                        tile,
+                        bx,
+                        by,
+                        |i| (row(tv.x, i), row(lp.v, i), None),
+                        Op::Axpy { scalar: regs::ALPHA },
+                    );
+                    body.extend(rowwise(
+                        tile,
+                        bx,
+                        by,
+                        |i| (row(tv.x, i), row(lq.v, i), None),
+                        Op::Axpy { scalar: regs::OMEGA },
+                    ));
+                    tile.core.add_task(Task::new("2d_upd_x", body))
+                };
+                // r := q − ω y.
+                let upd_r = {
+                    let body = rowwise(
+                        tile,
+                        bx,
+                        by,
+                        |i| (row(tv.r, i), row(lq.v, i), Some(y_row(i))),
+                        Op::Xpay { scalar: regs::NEG_OMEGA },
+                    );
+                    tile.core.add_task(Task::new("2d_upd_r", body))
+                };
+                // p := r + β (p − ω s): tilt then XPAY, row-wise.
+                let upd_p = {
+                    let mut body = rowwise(
+                        tile,
+                        bx,
+                        by,
+                        |i| (row(lp.v, i), row(lp.v, i), Some(s_row(i))),
+                        Op::Xpay { scalar: regs::NEG_OMEGA },
+                    );
+                    body.extend(rowwise(
+                        tile,
+                        bx,
+                        by,
+                        |i| (row(lp.v, i), row(tv.r, i), Some(row(lp.v, i))),
+                        Op::Xpay { scalar: regs::BETA },
+                    ));
+                    tile.core.add_task(Task::new("2d_upd_p", body))
+                };
+
+                lay_p.push(lp);
+                lay_q.push(lq);
+                vecs.push(tv);
+                tasks.push(Tile2dTasks {
+                    spmv_ps,
+                    spmv_qy,
+                    dot_r0s,
+                    dot_qy,
+                    dot_yy,
+                    dot_rho,
+                    dot_rr,
+                    post_r0s,
+                    post_qy,
+                    post_yy,
+                    post_rho,
+                    init_rho,
+                    post_rr,
+                    upd_q,
+                    upd_x,
+                    upd_r,
+                    upd_p,
+                });
+            }
+        }
+        WaferBicgstab2d { fabric_w: w, fabric_h: h, block, lay_p, lay_q, vecs, tasks, allreduce }
+    }
+
+    fn idx(&self, x: usize, y: usize) -> usize {
+        y * self.fabric_w + x
+    }
+
+    fn phase(&self, fabric: &mut Fabric, pick: impl Fn(&Tile2dTasks) -> TaskId) -> u64 {
+        for y in 0..self.fabric_h {
+            for x in 0..self.fabric_w {
+                let t = pick(&self.tasks[self.idx(x, y)]);
+                fabric.tile_mut(x, y).core.activate(t);
+            }
+        }
+        fabric
+            .run_until_quiescent(2_000 * (self.block.points() as u64) + 100_000)
+            .unwrap_or_else(|e| panic!("2D bicgstab phase stalled: {e}"))
+    }
+
+    fn reduce(&self, fabric: &mut Fabric) -> u64 {
+        for y in 0..self.fabric_h {
+            for x in 0..self.fabric_w {
+                fabric.tile_mut(x, y).core.activate(self.allreduce.task(x, y));
+            }
+        }
+        fabric
+            .run_until_quiescent(100 * (self.fabric_w + self.fabric_h) as u64 + 50_000)
+            .unwrap_or_else(|e| panic!("2D allreduce stalled: {e}"))
+    }
+
+    /// Scatters `b` (global 2D mesh order), zeroes `x`, seeds ρ and ε.
+    pub fn load_rhs(&self, fabric: &mut Fabric, b: &[F16]) {
+        let (bx, by) = (self.block.bx, self.block.by);
+        let mesh = Mesh2D::new(self.fabric_w * bx, self.fabric_h * by);
+        assert_eq!(b.len(), mesh.len(), "rhs length mismatch");
+        for ty in 0..self.fabric_h {
+            for tx in 0..self.fabric_w {
+                let k = self.idx(tx, ty);
+                let mut local = vec![F16::ZERO; bx * by];
+                for i in 0..bx {
+                    for j in 0..by {
+                        local[i * by + j] = b[mesh.idx(tx * bx + i, ty * by + j)];
+                    }
+                }
+                let (r, r0, x, p) =
+                    (self.vecs[k].r, self.vecs[k].r0, self.vecs[k].x, self.lay_p[k].v);
+                let tile = fabric.tile_mut(tx, ty);
+                tile.mem.store_f16_slice(r, &local);
+                tile.mem.store_f16_slice(r0, &local);
+                tile.mem.store_f16_slice(p, &local);
+                tile.mem.store_f16_slice(x, &vec![F16::ZERO; bx * by]);
+                tile.core.regs[regs::EPS] = 1e-30;
+            }
+        }
+        self.phase(fabric, |t| t.dot_rho);
+        self.reduce(fabric);
+        self.phase(fabric, |t| t.init_rho);
+    }
+
+    /// Runs one iteration; returns total cycles.
+    pub fn iterate(&self, fabric: &mut Fabric) -> u64 {
+        let mut total = 0;
+        total += self.phase(fabric, |t| t.spmv_ps);
+        total += self.phase(fabric, |t| t.dot_r0s);
+        total += self.reduce(fabric);
+        total += self.phase(fabric, |t| t.post_r0s);
+        total += self.phase(fabric, |t| t.upd_q);
+        total += self.phase(fabric, |t| t.spmv_qy);
+        total += self.phase(fabric, |t| t.dot_qy);
+        total += self.reduce(fabric);
+        total += self.phase(fabric, |t| t.post_qy);
+        total += self.phase(fabric, |t| t.dot_yy);
+        total += self.reduce(fabric);
+        total += self.phase(fabric, |t| t.post_yy);
+        total += self.phase(fabric, |t| t.upd_x);
+        total += self.phase(fabric, |t| t.upd_r);
+        total += self.phase(fabric, |t| t.dot_rho);
+        total += self.reduce(fabric);
+        total += self.phase(fabric, |t| t.post_rho);
+        total += self.phase(fabric, |t| t.upd_p);
+        total
+    }
+
+    /// Relative on-wafer residual norm.
+    pub fn residual_norm(&self, fabric: &mut Fabric) -> f32 {
+        self.phase(fabric, |t| t.dot_rr);
+        self.reduce(fabric);
+        self.phase(fabric, |t| t.post_rr);
+        fabric.tile(0, 0).core.regs[regs::RR].max(0.0).sqrt()
+    }
+
+    /// Gathers the iterate (global 2D mesh order).
+    pub fn read_x(&self, fabric: &Fabric) -> Vec<F16> {
+        let (bx, by) = (self.block.bx, self.block.by);
+        let mesh = Mesh2D::new(self.fabric_w * bx, self.fabric_h * by);
+        let mut out = vec![F16::ZERO; mesh.len()];
+        for ty in 0..self.fabric_h {
+            for tx in 0..self.fabric_w {
+                let k = self.idx(tx, ty);
+                let local = fabric.tile(tx, ty).mem.load_f16_slice(self.vecs[k].x, bx * by);
+                for i in 0..bx {
+                    for j in 0..by {
+                        out[mesh.idx(tx * bx + i, ty * by + j)] = local[i * by + j];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Loads `b`, iterates, returns `(x, cycles/iter, residuals)`.
+    pub fn solve(
+        &self,
+        fabric: &mut Fabric,
+        b: &[F16],
+        iters: usize,
+    ) -> (Vec<F16>, Vec<u64>, Vec<f64>) {
+        let norm_b: f64 = b.iter().map(|v| v.to_f64() * v.to_f64()).sum::<f64>().sqrt();
+        if norm_b == 0.0 {
+            return (vec![F16::ZERO; b.len()], Vec::new(), Vec::new());
+        }
+        self.load_rhs(fabric, b);
+        let mut cycles = Vec::new();
+        let mut residuals = Vec::new();
+        for _ in 0..iters {
+            cycles.push(self.iterate(fabric));
+            let rel = self.residual_norm(fabric) as f64 / norm_b;
+            residuals.push(rel);
+            if rel < 1e-7 || !rel.is_finite() || rel > 1e6 {
+                break;
+            }
+        }
+        (self.read_x(fabric), cycles, residuals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solver::policy::MixedF16;
+    use solver::{bicgstab as host_bicgstab, SolveOptions};
+    use stencil::precond::jacobi_scale;
+    use stencil::stencil9::convection_diffusion9;
+
+    fn system(w: usize, h: usize, block: Block2D) -> (DiaMatrix<F16>, Vec<F16>) {
+        let mesh = block.covered_mesh(w, h);
+        let a = convection_diffusion9(mesh, (1.5, -0.5));
+        let exact: Vec<f64> = (0..mesh.len()).map(|i| ((i % 9) as f64) * 0.125 - 0.5).collect();
+        let mut b = vec![0.0; mesh.len()];
+        a.matvec_f64(&exact, &mut b);
+        let sys = jacobi_scale(&a, &b);
+        let a16: DiaMatrix<F16> = sys.matrix.convert();
+        let b16: Vec<F16> = sys.rhs.iter().map(|&v| F16::from_f64(v)).collect();
+        (a16, b16)
+    }
+
+    #[test]
+    fn two_d_bicgstab_converges() {
+        let block = Block2D::new(4, 4);
+        let (a, b) = system(3, 3, block);
+        let mut fabric = Fabric::new(3, 3);
+        let solver = WaferBicgstab2d::build(&mut fabric, &a, block);
+        let (_, _, residuals) = solver.solve(&mut fabric, &b, 20);
+        let best = residuals.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(best < 0.02, "best residual {best} ({residuals:?})");
+    }
+
+    #[test]
+    fn two_d_matches_host_mixed_policy() {
+        let block = Block2D::new(3, 3);
+        let (a, b) = system(3, 3, block);
+        let mut fabric = Fabric::new(3, 3);
+        let solver = WaferBicgstab2d::build(&mut fabric, &a, block);
+        let iters = 6;
+        let (_, _, wafer_res) = solver.solve(&mut fabric, &b, iters);
+        let host = host_bicgstab::<MixedF16>(
+            &a,
+            &b,
+            &SolveOptions { max_iters: iters, rtol: 0.0, record_true_residual: false },
+        );
+        for (wr, hr) in wafer_res.iter().zip(&host.history.records).take(4) {
+            let ratio = (wr / hr.recursive_rel.max(1e-12)).max(hr.recursive_rel / wr.max(1e-12));
+            assert!(ratio < 5.0, "wafer {wr:.3e} vs host {:.3e}", hr.recursive_rel);
+        }
+    }
+
+    #[test]
+    fn efficiency_comparable_to_3d_mapping() {
+        // The paper's §IV.2 claim. Compare cycles per meshpoint per
+        // iteration: 3D with z = 16 on 4x4 (256 points) vs 2D with 4x4
+        // blocks on 4x4 (256 points).
+        use crate::bicgstab::WaferBicgstab;
+        use stencil::mesh::Mesh3D;
+        use stencil::problem::manufactured;
+
+        let mesh3 = Mesh3D::new(4, 4, 16);
+        let p3 = manufactured(mesh3, (1.0, -0.5, 0.5), 3).preconditioned();
+        let a3: DiaMatrix<F16> = p3.matrix.convert();
+        let b3: Vec<F16> = p3.rhs.iter().map(|&v| F16::from_f64(v)).collect();
+        let mut f3 = Fabric::new(4, 4);
+        let s3 = WaferBicgstab::build(&mut f3, &a3);
+        s3.load_rhs(&mut f3, &b3);
+        let c3 = s3.iterate(&mut f3).total() as f64 / 256.0;
+
+        let block = Block2D::new(4, 4);
+        let (a2, b2) = system(4, 4, block);
+        let mut f2 = Fabric::new(4, 4);
+        let s2 = WaferBicgstab2d::build(&mut f2, &a2, block);
+        s2.load_rhs(&mut f2, &b2);
+        let c2 = s2.iterate(&mut f2) as f64 / 256.0;
+
+        let ratio = (c2 / c3).max(c3 / c2);
+        assert!(
+            ratio < 4.0,
+            "2D and 3D mappings should be within a small factor: {c3:.1} vs {c2:.1} cycles/point"
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! On-wafer kernels — the paper's primary contribution.
+//!
+//! This crate maps the BiCGStab stencil solver onto the simulated
+//! wafer-scale engine (`wse-arch`), reproducing:
+//!
+//! * [`routing`] — the tessellation channel assignment of Fig. 5,
+//! * [`spmv3d`] — the 7-point SpMV dataflow of Listing 1 / Fig. 4
+//!   (broadcast, FIFO-decoupled multiply/add pipelines, loopback main
+//!   diagonal, completion-barrier tree),
+//! * [`spmv2d`] — the 2D 9-point block mapping of §IV.2 with output-halo
+//!   exchange, and [`bicgstab2d`] — the full solver on that mapping,
+//! * [`allreduce`] — the row/column scalar AllReduce of Fig. 6 plus
+//!   broadcast,
+//! * [`kernels`] — AXPY/XPAY and local mixed-precision dot phases,
+//! * [`bicgstab`] — the complete BiCGStab iteration on the fabric (with a
+//!   communication-fused variant),
+//! * [`cg`] — conjugate gradients on the fabric, in standard and
+//!   Chronopoulos–Gear single-reduction forms.
+
+#![warn(missing_docs)]
+
+pub mod allreduce;
+pub mod bicgstab;
+pub mod bicgstab2d;
+pub mod cg;
+pub mod kernels;
+pub mod routing;
+pub mod spmv2d;
+pub mod spmv3d;
+
+pub use bicgstab::WaferBicgstab;
+pub use spmv3d::WaferSpmv;

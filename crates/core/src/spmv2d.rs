@@ -1,0 +1,589 @@
+//! The 2D 9-point SpMV with block-per-core mapping and output-halo exchange
+//! (§IV.2 of the paper).
+//!
+//! "For the 2D problem we map a rectangular region of the mesh of v to each
+//! core, and store all elements of the corresponding columns of A. After
+//! multiplication of the local v with the local A we have generated products
+//! in an output halo that must be sent to neighboring tiles. ... We complete
+//! a round of send and add in one direction, then a round for the other
+//! direction, and in this way avoid communication along diagonals of the
+//! tile grid."
+//!
+//! Per core: the local `bx × by` block of `v` is multiplied against the nine
+//! stored **column** coefficient arrays with fused FMACs into a
+//! `(bx+2) × (by+2)` extended output buffer; the four edge strips (the
+//! output halo) are then exchanged — first the x direction (full-height
+//! strips, so corner products ride along), then the y direction — and added
+//! into the neighbors' interiors.
+
+use stencil::decomp::Block2D;
+use stencil::dia::{DiaMatrix, Offset3};
+use stencil::mesh::Mesh2D;
+use wse_arch::dsr::mk;
+use wse_arch::dsr::Descriptor;
+use wse_arch::instr::{Op, Stmt, Task, TaskAction, TensorInstr};
+use wse_arch::types::{Dtype, Port, TaskId};
+use wse_arch::{Fabric, Tile};
+use wse_float::F16;
+
+/// Virtual channels for the halo exchange (disjoint from SpMV-3D and
+/// AllReduce colors).
+pub mod colors {
+    /// Eastward halo strips.
+    pub const HALO_E: u8 = 16;
+    /// Westward halo strips.
+    pub const HALO_W: u8 = 17;
+    /// Southward halo strips.
+    pub const HALO_S: u8 = 18;
+    /// Northward halo strips.
+    pub const HALO_N: u8 = 19;
+}
+
+/// Register used as the zero constant when clearing the output buffer.
+const R_ZERO: usize = 30;
+
+/// Byte addresses of one tile's 2D SpMV data.
+#[derive(Copy, Clone, Debug)]
+pub struct Spmv2dLayout {
+    /// Block extents.
+    pub block: Block2D,
+    /// Nine column-coefficient arrays (`bx·by` each), indexed like
+    /// [`Offset3::nine_point_2d`].
+    pub coef: [u32; 9],
+    /// Local iterate block, `bx·by` words, row-major (y fastest).
+    pub v: u32,
+    /// Extended output buffer, `(bx+2)·(by+2)` words, row-major with width
+    /// `by + 2`.
+    pub ubuf: u32,
+}
+
+impl Spmv2dLayout {
+    /// Allocates the layout in a tile's SRAM.
+    ///
+    /// # Panics
+    /// Panics when the block exceeds the 48 KB budget — by construction this
+    /// reproduces the paper's "up-to 38×38" limit.
+    pub fn alloc(tile: &mut Tile, block: Block2D) -> Spmv2dLayout {
+        let n = (block.bx * block.by) as u32;
+        let mut coef = [0u32; 9];
+        for c in &mut coef {
+            *c = tile.mem.alloc_vec(n, Dtype::F16).expect("SRAM: 2D coefficients");
+        }
+        let v = tile.mem.alloc_vec(n, Dtype::F16).expect("SRAM: 2D iterate");
+        let ubuf = tile
+            .mem
+            .alloc_vec(((block.bx + 2) * (block.by + 2)) as u32, Dtype::F16)
+            .expect("SRAM: 2D output buffer");
+        Spmv2dLayout { block, coef, v, ubuf }
+    }
+
+    /// Byte address of `ubuf[i][j]` (extended coordinates, `i` along x).
+    pub fn u_addr(&self, i: usize, j: usize) -> u32 {
+        self.ubuf + 2 * (i * (self.block.by + 2) + j) as u32
+    }
+
+    /// Byte address of `v[i][j]` (block coordinates).
+    pub fn v_addr(&self, i: usize, j: usize) -> u32 {
+        self.v + 2 * (i * self.block.by + j) as u32
+    }
+}
+
+/// The whole-fabric 2D SpMV.
+pub struct WaferSpmv2d {
+    fabric_w: usize,
+    fabric_h: usize,
+    block: Block2D,
+    layouts: Vec<Spmv2dLayout>,
+    tasks: Vec<TaskId>,
+}
+
+impl WaferSpmv2d {
+    /// Distributes a 9-point 2D matrix over a fabric of `w × h` cores, each
+    /// holding a `block` region. The matrix mesh must equal
+    /// `block.covered_mesh(w, h)`.
+    ///
+    /// # Panics
+    /// Panics on geometry mismatch or SRAM exhaustion.
+    pub fn build(fabric: &mut Fabric, a: &DiaMatrix<F16>, block: Block2D) -> WaferSpmv2d {
+        let mesh3 = a.mesh();
+        assert_eq!(mesh3.nz, 1, "2D kernel requires nz == 1");
+        assert_eq!(a.offsets().len(), 9, "9-point stencil required");
+        let (w, h) = (mesh3.nx / block.bx, mesh3.ny / block.by);
+        assert_eq!(w * block.bx, mesh3.nx, "mesh x must tile evenly");
+        assert_eq!(h * block.by, mesh3.ny, "mesh y must tile evenly");
+        assert!(w <= fabric.width() && h <= fabric.height(), "mesh exceeds fabric");
+
+        Self::configure_routes(fabric, w, h);
+
+        let mut layouts = Vec::with_capacity(w * h);
+        let mut tasks = Vec::with_capacity(w * h);
+        for ty in 0..h {
+            for tx in 0..w {
+                let tile = fabric.tile_mut(tx, ty);
+                let layout = Spmv2dLayout::alloc(tile, block);
+                Self::load_tile_coefficients(tile, &layout, a, tx, ty);
+                let task = Self::build_tile_task(tile, &layout, tx, ty, w, h);
+                layouts.push(layout);
+                tasks.push(task);
+            }
+        }
+        WaferSpmv2d { fabric_w: w, fabric_h: h, block, layouts, tasks }
+    }
+
+    pub(crate) fn configure_routes(fabric: &mut Fabric, w: usize, h: usize) {
+        use colors::*;
+        for y in 0..h {
+            for x in 0..w {
+                if x + 1 < w {
+                    fabric.set_route(x, y, Port::Ramp, HALO_E, &[Port::East]);
+                    fabric.set_route(x, y, Port::East, HALO_W, &[Port::Ramp]);
+                }
+                if x > 0 {
+                    fabric.set_route(x, y, Port::Ramp, HALO_W, &[Port::West]);
+                    fabric.set_route(x, y, Port::West, HALO_E, &[Port::Ramp]);
+                }
+                if y + 1 < h {
+                    fabric.set_route(x, y, Port::Ramp, HALO_S, &[Port::South]);
+                    fabric.set_route(x, y, Port::South, HALO_N, &[Port::Ramp]);
+                }
+                if y > 0 {
+                    fabric.set_route(x, y, Port::Ramp, HALO_N, &[Port::North]);
+                    fabric.set_route(x, y, Port::North, HALO_S, &[Port::Ramp]);
+                }
+            }
+        }
+    }
+
+    /// Stores per-core **column** coefficients: `coef[o][i][j]` multiplies
+    /// local `v[i][j]` and contributes to the output at extended position
+    /// `(i+1+dx, j+1+dy)` — i.e. it is the matrix entry
+    /// `A[(gi+dx, gj+dy), (gi, gj)]`, the transpose view of the row-stored
+    /// DIA bands.
+    pub(crate) fn load_tile_coefficients(
+        tile: &mut Tile,
+        layout: &Spmv2dLayout,
+        a: &DiaMatrix<F16>,
+        tx: usize,
+        ty: usize,
+    ) {
+        let mesh = a.mesh();
+        let b = layout.block;
+        for (o, off) in Offset3::nine_point_2d().iter().enumerate() {
+            let mut data = vec![F16::ZERO; b.bx * b.by];
+            for i in 0..b.bx {
+                for j in 0..b.by {
+                    let gi = tx * b.bx + i;
+                    let gj = ty * b.by + j;
+                    // Row = (gi+dx, gj+dy); its coefficient toward column
+                    // (gi, gj) sits at offset (-dx, -dy) in row storage.
+                    let ri = gi as i64 + off.dx as i64;
+                    let rj = gj as i64 + off.dy as i64;
+                    if ri < 0 || rj < 0 || ri >= mesh.nx as i64 || rj >= mesh.ny as i64 {
+                        continue;
+                    }
+                    let mirror = Offset3::new(-off.dx, -off.dy, 0);
+                    data[i * b.by + j] = a.coeff(ri as usize, rj as usize, 0, mirror);
+                }
+            }
+            tile.mem.store_f16_slice(layout.coef[o], &data);
+        }
+    }
+
+    /// Builds the per-tile task: zero `ubuf`, nine FMAC passes (one per
+    /// offset, row-at-a-time), then the two-round halo exchange with a
+    /// barrier between rounds.
+    pub(crate) fn build_tile_task(
+        tile: &mut Tile,
+        layout: &Spmv2dLayout,
+        tx: usize,
+        ty: usize,
+        w: usize,
+        h: usize,
+    ) -> TaskId {
+        use colors::*;
+        let b = layout.block;
+        let (bx, by) = (b.bx, b.by);
+        let core = &mut tile.core;
+        let ub_w = (by + 2) as u32;
+
+        let mut body: Vec<Stmt> = vec![Stmt::SetReg { reg: R_ZERO, value: 0.0 }];
+
+        // Zero the extended buffer with a register broadcast (source-free:
+        // a single DSR, so the cursor semantics are trivially correct on
+        // every invocation).
+        let n_ub = ((bx + 2) * (by + 2)) as u32;
+        let d_ub_all = core.add_dsr(mk::tensor16(layout.ubuf, n_ub));
+        body.push(Stmt::Exec(TensorInstr {
+            op: Op::StoreReg { reg: R_ZERO },
+            dst: Some(d_ub_all),
+            a: None,
+            b: None,
+        }));
+
+        // Nine offsets × bx rows of fused multiply-accumulate. (This is
+        // where the paper's "all 9 multiplies and adds ... on the same core,
+        // we are able to use the fused multiply-accumulate instruction"
+        // shows up.)
+        for (o, off) in Offset3::nine_point_2d().iter().enumerate() {
+            for i in 0..bx {
+                let d_dst = core.add_dsr(mk::tensor16(
+                    layout.u_addr((i as i64 + 1 + off.dx as i64) as usize, (1 + off.dy) as usize),
+                    by as u32,
+                ));
+                let d_coef = core.add_dsr(mk::tensor16(layout.coef[o] + 2 * (i * by) as u32, by as u32));
+                let d_v = core.add_dsr(mk::tensor16(layout.v_addr(i, 0), by as u32));
+                body.push(Stmt::Exec(TensorInstr {
+                    op: Op::FmaAssign,
+                    dst: Some(d_dst),
+                    a: Some(d_coef),
+                    b: Some(d_v),
+                }));
+            }
+        }
+
+        // --- Halo exchange round 1: x direction, full-height strips. ---
+        // Send east strip (extended column bx+1), receive west neighbor's
+        // east strip into interior column 1; symmetric westward.
+        let strip_h = (by + 2) as u32;
+        let has_e = tx + 1 < w;
+        let has_w = tx > 0;
+        let has_s = ty + 1 < h;
+        let has_n = ty > 0;
+
+        // Barrier between rounds: chain of two-input barriers over the
+        // launched threads of round 1.
+        let round2 = core.add_task(Task::new("halo-y", vec![]));
+        let mut r1_threads = 0usize;
+        r1_threads += usize::from(has_e) * 2; // send E + add-from-E
+        r1_threads += usize::from(has_w) * 2;
+        let mut chain: Vec<TaskId> = Vec::new();
+        if r1_threads >= 2 {
+            let n = r1_threads - 1;
+            for _ in 0..n {
+                // Every barrier starts blocked: it needs BOTH its Activate
+                // and its Unblock trigger before it may run.
+                chain.push(core.add_task(Task::new("halo-x-barrier", vec![]).blocked()));
+            }
+            for i in 0..n {
+                let next = if i + 1 < n {
+                    Stmt::TaskCtl { task: chain[i + 1], action: TaskAction::Activate }
+                } else {
+                    Stmt::TaskCtl { task: round2, action: TaskAction::Activate }
+                };
+                // Re-block first (the paper's two-way barrier reset), so the
+                // chain is armed again for the next SpMV invocation.
+                core.set_task_body(
+                    chain[i],
+                    vec![Stmt::TaskCtl { task: chain[i], action: TaskAction::Block }, next],
+                );
+            }
+        }
+        let trigger = |k: usize, chain: &Vec<TaskId>| -> Option<(TaskId, TaskAction)> {
+            if chain.is_empty() {
+                return None;
+            }
+            Some(match k {
+                0 => (chain[0], TaskAction::Activate),
+                1 => (chain[0], TaskAction::Unblock),
+                k => (chain[k - 1], TaskAction::Unblock),
+            })
+        };
+
+        let mut k = 0usize;
+        let mut slot = 0u8;
+        if has_e {
+            // Send extended column bx+1 (stride = row width).
+            let d_src = core.add_dsr(Descriptor::Mem {
+                addr: layout.u_addr(bx + 1, 0),
+                len: strip_h,
+                stride: 1,
+                dtype: Dtype::F16,
+                rewind: true,
+            });
+            let d_tx = core.add_dsr(mk::tx16(HALO_E, strip_h));
+            body.push(Stmt::InitDsr { dsr: d_tx, desc: mk::tx16(HALO_E, strip_h) });
+            body.push(Stmt::Launch {
+                slot,
+                instr: TensorInstr { op: Op::Copy, dst: Some(d_tx), a: Some(d_src), b: None },
+                on_complete: trigger(k, &chain),
+            });
+            slot += 1;
+            k += 1;
+            // Receive from the east neighbor's westward send into interior
+            // column bx.
+            let d_rx = core.add_dsr(mk::rx16(HALO_W, strip_h));
+            let d_acc = core.add_dsr(Descriptor::Mem {
+                addr: layout.u_addr(bx, 0),
+                len: strip_h,
+                stride: 1,
+                dtype: Dtype::F16,
+                rewind: true,
+            });
+            body.push(Stmt::InitDsr { dsr: d_rx, desc: mk::rx16(HALO_W, strip_h) });
+            body.push(Stmt::Launch {
+                slot,
+                instr: TensorInstr { op: Op::AddAssign, dst: Some(d_acc), a: Some(d_rx), b: None },
+                on_complete: trigger(k, &chain),
+            });
+            slot += 1;
+            k += 1;
+        }
+        if has_w {
+            let d_src = core.add_dsr(Descriptor::Mem {
+                addr: layout.u_addr(0, 0),
+                len: strip_h,
+                stride: 1,
+                dtype: Dtype::F16,
+                rewind: true,
+            });
+            let d_tx = core.add_dsr(mk::tx16(HALO_W, strip_h));
+            body.push(Stmt::InitDsr { dsr: d_tx, desc: mk::tx16(HALO_W, strip_h) });
+            body.push(Stmt::Launch {
+                slot,
+                instr: TensorInstr { op: Op::Copy, dst: Some(d_tx), a: Some(d_src), b: None },
+                on_complete: trigger(k, &chain),
+            });
+            slot += 1;
+            k += 1;
+            let d_rx = core.add_dsr(mk::rx16(HALO_E, strip_h));
+            let d_acc = core.add_dsr(Descriptor::Mem {
+                addr: layout.u_addr(1, 0),
+                len: strip_h,
+                stride: 1,
+                dtype: Dtype::F16,
+                rewind: true,
+            });
+            body.push(Stmt::InitDsr { dsr: d_rx, desc: mk::rx16(HALO_E, strip_h) });
+            body.push(Stmt::Launch {
+                slot,
+                instr: TensorInstr { op: Op::AddAssign, dst: Some(d_acc), a: Some(d_rx), b: None },
+                on_complete: trigger(k, &chain),
+            });
+            k += 1;
+        }
+        let _ = (slot, k);
+        if chain.is_empty() {
+            // No x neighbors: go straight to round 2.
+            body.push(Stmt::TaskCtl { task: round2, action: TaskAction::Activate });
+        }
+
+        // --- Round 2 (y direction): interior-width strips (rows 0 and
+        // by+1 of the extended buffer, columns 1..=bx... i.e. along x). ---
+        // In our layout a "row j = const" strip is strided by (by+2).
+        let mut r2_body: Vec<Stmt> = Vec::new();
+        let strip_w = bx as u32;
+        let stride = ub_w;
+        let mut slot2 = 4u8;
+        if has_s {
+            // Output halo for the +y neighbor: extended row j = by+1,
+            // interior columns i = 1..=bx.
+            let d_src = core.add_dsr(Descriptor::Mem {
+                addr: layout.u_addr(1, by + 1),
+                len: strip_w,
+                stride,
+                dtype: Dtype::F16,
+                rewind: true,
+            });
+            let d_tx = core.add_dsr(mk::tx16(HALO_S, strip_w));
+            r2_body.push(Stmt::InitDsr { dsr: d_tx, desc: mk::tx16(HALO_S, strip_w) });
+            r2_body.push(Stmt::Launch {
+                slot: slot2,
+                instr: TensorInstr { op: Op::Copy, dst: Some(d_tx), a: Some(d_src), b: None },
+                on_complete: None,
+            });
+            slot2 += 1;
+            let d_rx = core.add_dsr(mk::rx16(HALO_N, strip_w));
+            let d_acc = core.add_dsr(Descriptor::Mem {
+                addr: layout.u_addr(1, by),
+                len: strip_w,
+                stride,
+                dtype: Dtype::F16,
+                rewind: true,
+            });
+            r2_body.push(Stmt::InitDsr { dsr: d_rx, desc: mk::rx16(HALO_N, strip_w) });
+            r2_body.push(Stmt::Launch {
+                slot: slot2,
+                instr: TensorInstr { op: Op::AddAssign, dst: Some(d_acc), a: Some(d_rx), b: None },
+                on_complete: None,
+            });
+            slot2 += 1;
+        }
+        if has_n {
+            let d_src = core.add_dsr(Descriptor::Mem {
+                addr: layout.u_addr(1, 0),
+                len: strip_w,
+                stride,
+                dtype: Dtype::F16,
+                rewind: true,
+            });
+            let d_tx = core.add_dsr(mk::tx16(HALO_N, strip_w));
+            r2_body.push(Stmt::InitDsr { dsr: d_tx, desc: mk::tx16(HALO_N, strip_w) });
+            r2_body.push(Stmt::Launch {
+                slot: slot2,
+                instr: TensorInstr { op: Op::Copy, dst: Some(d_tx), a: Some(d_src), b: None },
+                on_complete: None,
+            });
+            slot2 += 1;
+            let d_rx = core.add_dsr(mk::rx16(HALO_S, strip_w));
+            let d_acc = core.add_dsr(Descriptor::Mem {
+                addr: layout.u_addr(1, 1),
+                len: strip_w,
+                stride,
+                dtype: Dtype::F16,
+                rewind: true,
+            });
+            r2_body.push(Stmt::InitDsr { dsr: d_rx, desc: mk::rx16(HALO_S, strip_w) });
+            r2_body.push(Stmt::Launch {
+                slot: slot2,
+                instr: TensorInstr { op: Op::AddAssign, dst: Some(d_acc), a: Some(d_rx), b: None },
+                on_complete: None,
+            });
+        }
+        core.set_task_body(round2, r2_body);
+
+        core.add_task(Task::new("spmv2d", body))
+    }
+
+    /// Executes `u = A v`. Input and output are in global mesh order
+    /// (x-major, y fastest within a row of blocks — see
+    /// [`stencil::mesh::Mesh2D::idx`]). Returns the result and cycle count.
+    ///
+    /// # Panics
+    /// Panics on stall or length mismatch.
+    pub fn run(&self, fabric: &mut Fabric, v: &[F16]) -> (Vec<F16>, u64) {
+        let b = self.block;
+        let mesh = Mesh2D::new(self.fabric_w * b.bx, self.fabric_h * b.by);
+        assert_eq!(v.len(), mesh.len(), "iterate length mismatch");
+        // Scatter.
+        for ty in 0..self.fabric_h {
+            for tx in 0..self.fabric_w {
+                let layout = &self.layouts[ty * self.fabric_w + tx];
+                let mut local = vec![F16::ZERO; b.bx * b.by];
+                for i in 0..b.bx {
+                    for j in 0..b.by {
+                        local[i * b.by + j] = v[mesh.idx(tx * b.bx + i, ty * b.by + j)];
+                    }
+                }
+                let tile = fabric.tile_mut(tx, ty);
+                tile.mem.store_f16_slice(layout.v, &local);
+                tile.core.activate(self.tasks[ty * self.fabric_w + tx]);
+            }
+        }
+        let budget = 2_000 * (b.bx * b.by) as u64 + 100_000;
+        let cycles = fabric
+            .run_until_quiescent(budget)
+            .unwrap_or_else(|e| panic!("2D SpMV stalled: {e}"));
+        // Gather interiors.
+        let mut out = vec![F16::ZERO; mesh.len()];
+        for ty in 0..self.fabric_h {
+            for tx in 0..self.fabric_w {
+                let layout = &self.layouts[ty * self.fabric_w + tx];
+                let tile = fabric.tile(tx, ty);
+                for i in 0..b.bx {
+                    for j in 0..b.by {
+                        let addr = layout.u_addr(i + 1, j + 1);
+                        out[mesh.idx(tx * b.bx + i, ty * b.by + j)] = tile.mem.read_f16(addr);
+                    }
+                }
+            }
+        }
+        (out, cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact-arithmetic 9-point operator: unit diagonal, −1/8 couplings.
+    fn exact9(mesh: Mesh2D) -> (DiaMatrix<F16>, Vec<F16>) {
+        let m3 = mesh.as_3d();
+        let mut a = DiaMatrix::<f64>::new(m3, &Offset3::nine_point_2d());
+        for (x, y, _z) in m3.iter() {
+            a.set(x, y, 0, Offset3::CENTER, 1.0);
+            for off in &Offset3::nine_point_2d()[1..] {
+                if m3.neighbor(x, y, 0, off.dx, off.dy, 0).is_some() {
+                    a.set(x, y, 0, *off, -0.125);
+                }
+            }
+        }
+        let v: Vec<F16> =
+            (0..mesh.len()).map(|i| F16::from_f64(((i % 16) as f64 - 8.0) * 0.125)).collect();
+        (a.convert(), v)
+    }
+
+    fn check(fabric_w: usize, fabric_h: usize, block: Block2D) {
+        let mesh = block.covered_mesh(fabric_w, fabric_h);
+        let (a, v) = exact9(mesh);
+        let mut fabric = Fabric::new(fabric_w, fabric_h);
+        let spmv = WaferSpmv2d::build(&mut fabric, &a, block);
+        let (wafer, _) = spmv.run(&mut fabric, &v);
+        let mut host = vec![F16::ZERO; mesh.len()];
+        a.matvec(&v, &mut host);
+        for i in 0..mesh.len() {
+            assert_eq!(
+                wafer[i].to_bits(),
+                host[i].to_bits(),
+                "mismatch at {i}: wafer {} host {} ({}x{} fabric, {:?})",
+                wafer[i],
+                host[i],
+                fabric_w,
+                fabric_h,
+                block
+            );
+        }
+    }
+
+    #[test]
+    fn matches_host_on_2x2_fabric_4x4_blocks() {
+        check(2, 2, Block2D::new(4, 4));
+    }
+
+    #[test]
+    fn matches_host_on_3x3_fabric_rectangular_blocks() {
+        check(3, 3, Block2D::new(3, 5));
+    }
+
+    #[test]
+    fn matches_host_on_single_row_of_tiles() {
+        check(4, 1, Block2D::new(3, 3));
+    }
+
+    #[test]
+    fn matches_host_on_single_tile() {
+        check(1, 1, Block2D::new(6, 6));
+    }
+
+    #[test]
+    fn corner_contributions_cross_diagonally() {
+        // A lone 1.0 at a block corner: its NE diagonal contribution must
+        // reach the diagonal neighbor via the two-round exchange.
+        let block = Block2D::new(4, 4);
+        let mesh = block.covered_mesh(2, 2);
+        let (a, _) = exact9(mesh);
+        let mut v = vec![F16::ZERO; mesh.len()];
+        // Last cell of tile (0,0)'s block: global (3, 3).
+        v[mesh.idx(3, 3)] = F16::ONE;
+        let mut fabric = Fabric::new(2, 2);
+        let spmv = WaferSpmv2d::build(&mut fabric, &a, block);
+        let (wafer, _) = spmv.run(&mut fabric, &v);
+        // Diagonal neighbor (4,4) lives on tile (1,1).
+        let got = wafer[mesh.idx(4, 4)].to_f64();
+        assert_eq!(got, -0.125, "diagonal coupling must arrive");
+    }
+
+    #[test]
+    fn cycles_grow_with_block_area() {
+        let run = |n: usize| {
+            let block = Block2D::new(n, n);
+            let mesh = block.covered_mesh(2, 2);
+            let (a, v) = exact9(mesh);
+            let mut fabric = Fabric::new(2, 2);
+            let spmv = WaferSpmv2d::build(&mut fabric, &a, block);
+            spmv.run(&mut fabric, &v).1
+        };
+        let c4 = run(4);
+        let c8 = run(8);
+        assert!(c8 > c4, "bigger blocks take longer: {c4} vs {c8}");
+    }
+}

@@ -1,0 +1,689 @@
+//! The 3D 7-point SpMV kernel — Listing 1 / Fig. 4 of the paper.
+//!
+//! Per tile, the kernel computes `u = A v` for its Z-column of the mesh:
+//!
+//! * the local iterate `v` is **broadcast** on the tile's own color to its
+//!   four neighbors and looped back to its own ramp,
+//! * the result is **initialized** by the in-memory `zm` term
+//!   (`u[z] = zm_a[z] · v[z−1]`, via a zero-padded copy of `v`),
+//! * the `zp` term is accumulated from memory with the fused FMAC
+//!   (`u[z] += zp_a[z] · v[z+1]`),
+//! * four background threads multiply the **incoming neighbor streams** by
+//!   the `xp/xm/yp/ym` coefficient vectors into four hardware FIFOs,
+//! * a high-priority `sumtask`, activated by FIFO pushes, drains the FIFOs
+//!   into the result through persistent accumulator DSRs,
+//! * the unit main diagonal is handled by a thread that **adds the looped-
+//!   back local stream directly** — "Because the diagonal is all ones there
+//!   is no FIFO and no multiplication",
+//! * a chain of two-way barriers (block/unblock/activate) detects completion
+//!   and hands control back (the paper's `xdone/ydone/.../xycdone` tree).
+//!
+//! One deviation from Listing 1 is documented in DESIGN.md: the paper also
+//! sources the `zp` term from the loopback to save memory bandwidth; this
+//! model folds memory bandwidth into the datapath SIMD widths, so `zp` reads
+//! the in-memory copy and the loopback feeds only the main-diagonal add.
+
+use crate::routing::{configure_spmv_routes, incoming_colors, spmv_color};
+use stencil::decomp::Mapping3D;
+use stencil::dia::{DiaMatrix, Offset3};
+use stencil::precond::has_unit_diagonal;
+use wse_arch::dsr::mk;
+use wse_arch::fifo::Fifo;
+use wse_arch::instr::{Op, Stmt, Task, TaskAction, TensorInstr};
+use wse_arch::types::{Dtype, TaskId};
+use wse_arch::{Fabric, Tile};
+use wse_float::F16;
+
+/// Depth of the intermediate-product FIFOs ("We used a FIFO depth of 20").
+pub const FIFO_DEPTH: u32 = 20;
+
+/// Byte addresses of one tile's SpMV data.
+#[derive(Copy, Clone, Debug)]
+pub struct SpmvLayout {
+    /// Local Z extent.
+    pub z: u32,
+    /// Coefficient vectors `[xp, xm, yp, ym, zp, zm]`, each `z` fp16 words.
+    pub diag: [u32; 6],
+    /// Zero-padded iterate: `z + 2` words, live data at `[1 ..= z]`.
+    pub vpad: u32,
+    /// Result vector `u`, `z` words.
+    pub u: u32,
+}
+
+impl SpmvLayout {
+    /// Allocates the layout in a tile's SRAM.
+    ///
+    /// # Panics
+    /// Panics if the tile runs out of SRAM (the 48 KB budget is real).
+    pub fn alloc(tile: &mut Tile, z: u32) -> SpmvLayout {
+        let mut diag = [0u32; 6];
+        for d in &mut diag {
+            *d = tile.mem.alloc_vec(z, Dtype::F16).expect("SRAM for diagonals");
+        }
+        let vpad = tile.mem.alloc_vec(z + 2, Dtype::F16).expect("SRAM for vpad");
+        let u = tile.mem.alloc_vec(z, Dtype::F16).expect("SRAM for u");
+        SpmvLayout { z, diag, vpad, u }
+    }
+
+    /// Base address of the live (unpadded) part of `v`.
+    pub fn v_live(&self) -> u32 {
+        self.vpad + 2
+    }
+}
+
+/// Task ids of one tile's SpMV program.
+#[derive(Clone, Debug)]
+pub struct SpmvTasks {
+    /// The entry task; activate it to start one SpMV.
+    pub start: TaskId,
+    /// The final barrier; its body fires the continuation. Also activatable
+    /// for tests.
+    pub last_barrier: TaskId,
+}
+
+/// Which neighbors a tile has (edge tiles have fewer streams).
+#[derive(Copy, Clone, Debug, Default)]
+struct Neighbors {
+    xp: bool,
+    xm: bool,
+    yp: bool,
+    ym: bool,
+}
+
+/// Builds one tile's SpMV program. `continuation` (task, action) fires when
+/// the SpMV completes.
+///
+/// The caller must have configured the tessellation routes
+/// ([`configure_spmv_routes`]) and loaded coefficients via
+/// [`load_coefficients`].
+pub fn build_spmv_tile(
+    tile: &mut Tile,
+    x: usize,
+    y: usize,
+    region_w: usize,
+    region_h: usize,
+    layout: SpmvLayout,
+    continuation: Option<(TaskId, TaskAction)>,
+) -> SpmvTasks {
+    let z = layout.z;
+    let mine = spmv_color(x, y);
+    let (cxp, cxm, cyp, cym) = incoming_colors(x, y);
+    let nb = Neighbors {
+        xp: x + 1 < region_w,
+        xm: x > 0,
+        yp: y + 1 < region_h,
+        ym: y > 0,
+    };
+
+    let core = &mut tile.core;
+
+    // --- DSRs over memory (coefficients, padded iterate, result). ---
+    let d_send_src = core.add_dsr(mk::tensor16(layout.v_live(), z));
+    let d_zm_a = core.add_dsr(mk::tensor16(layout.diag[5], z));
+    let d_zm_b = core.add_dsr(mk::tensor16(layout.vpad, z)); // v[z-1]
+    let d_zp_a = core.add_dsr(mk::tensor16(layout.diag[4], z));
+    let d_zp_b = core.add_dsr(mk::tensor16(layout.vpad + 4, z)); // v[z+1]
+    let d_u_init = core.add_dsr(mk::tensor16(layout.u, z));
+    let d_u_zp = core.add_dsr(mk::tensor16(layout.u, z));
+    let d_xp_a = core.add_dsr(mk::tensor16(layout.diag[0], z));
+    let d_xm_a = core.add_dsr(mk::tensor16(layout.diag[1], z));
+    let d_yp_a = core.add_dsr(mk::tensor16(layout.diag[2], z));
+    let d_ym_a = core.add_dsr(mk::tensor16(layout.diag[3], z));
+
+    // Fabric and accumulator DSRs are re-initialized at the top of each SpMV
+    // invocation (their cursors are consumed by use).
+    let d_tx = core.add_dsr(mk::tx16(mine, z));
+    let d_c_rx = core.add_dsr(mk::rx16(mine, z));
+    let d_c_acc = core.add_dsr(mk::acc16(layout.u, z));
+    let d_xp_rx = core.add_dsr(mk::rx16(cxp, z));
+    let d_xm_rx = core.add_dsr(mk::rx16(cxm, z));
+    let d_yp_rx = core.add_dsr(mk::rx16(cyp, z));
+    let d_ym_rx = core.add_dsr(mk::rx16(cym, z));
+    let d_xp_acc = core.add_dsr(mk::acc16(layout.u, z));
+    let d_xm_acc = core.add_dsr(mk::acc16(layout.u, z));
+    let d_yp_acc = core.add_dsr(mk::acc16(layout.u, z));
+    let d_ym_acc = core.add_dsr(mk::acc16(layout.u, z));
+
+    // --- Completion chain. Participating threads: one per existing
+    // neighbor, plus the loopback add and the send. ---
+    let mut threads = 2; // c add + send
+    for present in [nb.xp, nb.xm, nb.yp, nb.ym] {
+        if present {
+            threads += 1;
+        }
+    }
+    // Chain tasks C1..C(threads-1): C1 triggered by (T1 Activate, T2
+    // Unblock); each later Ci starts blocked, is activated by C(i-1)'s body
+    // and unblocked by T(i+1)'s completion. The last body fires the
+    // continuation.
+    let nchain = threads - 1;
+    let mut chain: Vec<TaskId> = Vec::with_capacity(nchain);
+    for _ in 0..nchain {
+        // Every barrier starts blocked: it needs both its Activate and its
+        // Unblock trigger before it may run (the paper's two-way barriers).
+        chain.push(core.add_task(Task::new("spmv-barrier", vec![]).blocked()));
+    }
+    // Fill chain bodies. Like the paper's tree ("task xdone { block(xdone),
+    // unblock(xydone) }"), each barrier RE-BLOCKS ITSELF first so it is
+    // armed again for the next SpMV invocation.
+    for i in 0..nchain {
+        let mut body = vec![Stmt::TaskCtl { task: chain[i], action: TaskAction::Block }];
+        if i + 1 < nchain {
+            body.push(Stmt::TaskCtl { task: chain[i + 1], action: TaskAction::Activate });
+        } else if let Some((task, action)) = continuation {
+            body.push(Stmt::TaskCtl { task, action });
+        }
+        core.set_task_body(chain[i], body);
+    }
+    // Trigger assignment: thread k (0-based) → k == 0: Activate C1;
+    // k == 1: Unblock C1; k >= 2: Unblock C(k-1).
+    let trigger = |k: usize| -> (TaskId, TaskAction) {
+        match k {
+            0 => (chain[0], TaskAction::Activate),
+            1 => (chain[0], TaskAction::Unblock),
+            k => (chain[k - 1], TaskAction::Unblock),
+        }
+    };
+
+    // --- FIFOs + sumtask. ---
+    // sumtask is created first (empty) so FIFOs can reference it; its body
+    // is filled once FIFO DSR ids exist.
+    let sumtask = core.add_task(Task::new("sumtask", vec![]).priority(3));
+    let mut fifo_dsrs = Vec::new();
+    let mut sum_body = Vec::new();
+    let present = [nb.xp, nb.xm, nb.yp, nb.ym];
+    let accs = [d_xp_acc, d_xm_acc, d_yp_acc, d_ym_acc];
+    for i in 0..4 {
+        if !present[i] {
+            fifo_dsrs.push(None);
+            continue;
+        }
+        let base = tile.mem.alloc_vec(FIFO_DEPTH, Dtype::F16).expect("SRAM for fifo");
+        let fid = core.add_fifo(Fifo::new(base, FIFO_DEPTH, Dtype::F16, Some(sumtask)));
+        let dsr = core.add_dsr(mk::fifo(fid));
+        fifo_dsrs.push(Some(dsr));
+        sum_body.push(Stmt::Exec(TensorInstr {
+            op: Op::AddAssign,
+            dst: Some(accs[i]),
+            a: Some(dsr),
+            b: None,
+        }));
+    }
+    core.set_task_body(sumtask, sum_body);
+
+    // --- The spmv entry task. ---
+    let mut body = vec![
+        // Re-arm the one-shot fabric descriptors and accumulators.
+        Stmt::InitDsr { dsr: d_tx, desc: mk::tx16(mine, z) },
+        Stmt::InitDsr { dsr: d_c_rx, desc: mk::rx16(mine, z) },
+        Stmt::InitDsr { dsr: d_c_acc, desc: mk::acc16(layout.u, z) },
+    ];
+    let rxs = [d_xp_rx, d_xm_rx, d_yp_rx, d_ym_rx];
+    let colors = [cxp, cxm, cyp, cym];
+    for i in 0..4 {
+        if present[i] {
+            body.push(Stmt::InitDsr { dsr: rxs[i], desc: mk::rx16(colors[i], z) });
+            body.push(Stmt::InitDsr { dsr: accs[i], desc: mk::acc16(layout.u, z) });
+        }
+    }
+
+    let mut thread_no = 0;
+    // Send local vector to neighbors + loopback.
+    body.push(Stmt::Launch {
+        slot: 5,
+        instr: TensorInstr { op: Op::Copy, dst: Some(d_tx), a: Some(d_send_src), b: None },
+        on_complete: Some(trigger(thread_no)),
+    });
+    thread_no += 1;
+
+    // Initialize u with the zm term, then accumulate zp — both synchronous.
+    body.push(Stmt::Exec(TensorInstr {
+        op: Op::Mul,
+        dst: Some(d_u_init),
+        a: Some(d_zm_a),
+        b: Some(d_zm_b),
+    }));
+    body.push(Stmt::Exec(TensorInstr {
+        op: Op::FmaAssign,
+        dst: Some(d_u_zp),
+        a: Some(d_zp_a),
+        b: Some(d_zp_b),
+    }));
+
+    // Neighbor product threads into FIFOs.
+    let diags = [d_xp_a, d_xm_a, d_yp_a, d_ym_a];
+    for i in 0..4 {
+        if !present[i] {
+            continue;
+        }
+        body.push(Stmt::Launch {
+            slot: i as u8,
+            instr: TensorInstr {
+                op: Op::Mul,
+                dst: Some(fifo_dsrs[i].unwrap()),
+                a: Some(rxs[i]),
+                b: Some(diags[i]),
+            },
+            on_complete: Some(trigger(thread_no)),
+        });
+        thread_no += 1;
+    }
+
+    // Main-diagonal add from the loopback (no FIFO, no multiply).
+    body.push(Stmt::Launch {
+        slot: 6,
+        instr: TensorInstr { op: Op::AddAssign, dst: Some(d_c_acc), a: Some(d_c_rx), b: None },
+        on_complete: Some(trigger(thread_no)),
+    });
+
+    let start = core.add_task(Task::new("spmv", body));
+    SpmvTasks { start, last_barrier: *chain.last().unwrap() }
+}
+
+/// Builds the **naive ablation** of the SpMV: no FIFO decoupling, no
+/// multiply/receive overlap — each neighbor stream is received *fully* into
+/// a scratch buffer (blocking, sequential), and only then multiplied and
+/// accumulated. This is the design the paper's Listing-1 dataflow exists to
+/// beat; `experiments commhiding`-style measurements quantify the gap.
+///
+/// Costs four extra `z`-length scratch buffers of SRAM.
+pub fn build_spmv_tile_naive(
+    tile: &mut Tile,
+    x: usize,
+    y: usize,
+    region_w: usize,
+    region_h: usize,
+    layout: SpmvLayout,
+) -> SpmvTasks {
+    let z = layout.z;
+    let mine = spmv_color(x, y);
+    let (cxp, cxm, cyp, cym) = incoming_colors(x, y);
+    let present = [x + 1 < region_w, x > 0, y + 1 < region_h, y > 0];
+    let colors = [cxp, cxm, cyp, cym];
+
+    // Scratch receive buffers.
+    let mut bufs = [0u32; 4];
+    for (i, b) in bufs.iter_mut().enumerate() {
+        if present[i] {
+            *b = tile.mem.alloc_vec(z, Dtype::F16).expect("SRAM: naive rx buffer");
+        }
+    }
+    let cbuf = tile.mem.alloc_vec(z, Dtype::F16).expect("SRAM: naive loopback buffer");
+
+    let core = &mut tile.core;
+    let d_send_src = core.add_dsr(mk::tensor16(layout.v_live(), z));
+    let d_tx = core.add_dsr(mk::tx16(mine, z));
+    let d_zm_a = core.add_dsr(mk::tensor16(layout.diag[5], z));
+    let d_zm_b = core.add_dsr(mk::tensor16(layout.vpad, z));
+    let d_zp_a = core.add_dsr(mk::tensor16(layout.diag[4], z));
+    let d_zp_b = core.add_dsr(mk::tensor16(layout.vpad + 4, z));
+    let d_u_init = core.add_dsr(mk::tensor16(layout.u, z));
+    let d_u_zp = core.add_dsr(mk::tensor16(layout.u, z));
+
+    let mut body = vec![
+        Stmt::InitDsr { dsr: d_tx, desc: mk::tx16(mine, z) },
+        // The send must still be a background thread, or neighbors
+        // deadlock waiting for each other's data.
+        Stmt::Launch {
+            slot: 5,
+            instr: TensorInstr { op: Op::Copy, dst: Some(d_tx), a: Some(d_send_src), b: None },
+            on_complete: None,
+        },
+        // z terms while nothing else overlaps (same as the real kernel).
+        Stmt::Exec(TensorInstr { op: Op::Mul, dst: Some(d_u_init), a: Some(d_zm_a), b: Some(d_zm_b) }),
+        Stmt::Exec(TensorInstr { op: Op::FmaAssign, dst: Some(d_u_zp), a: Some(d_zp_a), b: Some(d_zp_b) }),
+    ];
+
+    // Blocking receive of each neighbor stream, then a separate FMA pass.
+    for i in 0..4 {
+        if !present[i] {
+            continue;
+        }
+        let d_rx = core.add_dsr(mk::rx16(colors[i], z));
+        let d_buf_w = core.add_dsr(mk::tensor16(bufs[i], z));
+        body.push(Stmt::InitDsr { dsr: d_rx, desc: mk::rx16(colors[i], z) });
+        body.push(Stmt::Exec(TensorInstr { op: Op::Copy, dst: Some(d_buf_w), a: Some(d_rx), b: None }));
+        let d_buf_r = core.add_dsr(mk::tensor16(bufs[i], z));
+        let d_a = core.add_dsr(mk::tensor16(layout.diag[i], z));
+        let d_u = core.add_dsr(mk::tensor16(layout.u, z));
+        body.push(Stmt::Exec(TensorInstr { op: Op::FmaAssign, dst: Some(d_u), a: Some(d_a), b: Some(d_buf_r) }));
+    }
+    // Loopback diagonal, equally blocking.
+    let d_c_rx = core.add_dsr(mk::rx16(mine, z));
+    let d_cbuf_w = core.add_dsr(mk::tensor16(cbuf, z));
+    body.push(Stmt::InitDsr { dsr: d_c_rx, desc: mk::rx16(mine, z) });
+    body.push(Stmt::Exec(TensorInstr { op: Op::Copy, dst: Some(d_cbuf_w), a: Some(d_c_rx), b: None }));
+    let d_cbuf_r = core.add_dsr(mk::tensor16(cbuf, z));
+    let d_u_c = core.add_dsr(mk::tensor16(layout.u, z));
+    body.push(Stmt::Exec(TensorInstr { op: Op::AddAssign, dst: Some(d_u_c), a: Some(d_cbuf_r), b: None }));
+
+    let start = core.add_task(Task::new("spmv-naive", body));
+    SpmvTasks { start, last_barrier: start }
+}
+
+/// Extracts tile `(x, y)`'s six off-diagonal coefficient vectors from a
+/// unit-diagonal 7-point matrix, in the kernel's `[xp, xm, yp, ym, zp, zm]`
+/// order.
+pub fn tile_coefficients(a: &DiaMatrix<F16>, x: usize, y: usize) -> [Vec<F16>; 6] {
+    let mesh = a.mesh();
+    let order = [
+        Offset3::new(1, 0, 0),
+        Offset3::new(-1, 0, 0),
+        Offset3::new(0, 1, 0),
+        Offset3::new(0, -1, 0),
+        Offset3::new(0, 0, 1),
+        Offset3::new(0, 0, -1),
+    ];
+    order.map(|off| (0..mesh.nz).map(|zz| a.coeff(x, y, zz, off)).collect())
+}
+
+/// Loads a tile's coefficients into its SRAM.
+pub fn load_coefficients(tile: &mut Tile, layout: &SpmvLayout, coeffs: &[Vec<F16>; 6]) {
+    for (i, c) in coeffs.iter().enumerate() {
+        assert_eq!(c.len() as u32, layout.z, "coefficient length");
+        tile.mem.store_f16_slice(layout.diag[i], c);
+    }
+}
+
+/// Writes a tile's local iterate (with zero padding).
+pub fn load_iterate(tile: &mut Tile, layout: &SpmvLayout, v: &[F16]) {
+    assert_eq!(v.len() as u32, layout.z, "iterate length");
+    tile.mem.write_f16(layout.vpad, F16::ZERO);
+    tile.mem.store_f16_slice(layout.v_live(), v);
+    tile.mem.write_f16(layout.vpad + 2 * (layout.z + 1), F16::ZERO);
+}
+
+/// Reads a tile's result vector.
+pub fn read_result(tile: &Tile, layout: &SpmvLayout) -> Vec<F16> {
+    tile.mem.load_f16_slice(layout.u, layout.z as usize)
+}
+
+/// A whole-fabric SpMV: matrix distributed over a `w × h` region, one
+/// Z-column per tile.
+pub struct WaferSpmv {
+    mapping: Mapping3D,
+    layouts: Vec<SpmvLayout>,
+    tasks: Vec<SpmvTasks>,
+}
+
+impl WaferSpmv {
+    /// Distributes a unit-diagonal 7-point matrix across the fabric and
+    /// builds every tile's program.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not unit-diagonal 7-point, or the mesh does
+    /// not fit the fabric, or a tile runs out of SRAM.
+    pub fn build(fabric: &mut Fabric, a: &DiaMatrix<F16>) -> WaferSpmv {
+        assert!(has_unit_diagonal(a), "wafer SpMV requires a diagonally preconditioned matrix");
+        assert_eq!(a.offsets().len(), 7, "wafer SpMV requires a 7-point stencil");
+        let mesh = a.mesh();
+        let mapping = Mapping3D::new(mesh, fabric.width(), fabric.height());
+        configure_spmv_routes(fabric, mapping.fabric_w, mapping.fabric_h);
+
+        let mut layouts = Vec::with_capacity(mapping.cores());
+        let mut tasks = Vec::with_capacity(mapping.cores());
+        for y in 0..mapping.fabric_h {
+            for x in 0..mapping.fabric_w {
+                let tile = fabric.tile_mut(x, y);
+                let layout = SpmvLayout::alloc(tile, mapping.z as u32);
+                let coeffs = tile_coefficients(a, x, y);
+                load_coefficients(tile, &layout, &coeffs);
+                let t = build_spmv_tile(
+                    tile,
+                    x,
+                    y,
+                    mapping.fabric_w,
+                    mapping.fabric_h,
+                    layout,
+                    None,
+                );
+                layouts.push(layout);
+                tasks.push(t);
+            }
+        }
+        WaferSpmv { mapping, layouts, tasks }
+    }
+
+    /// The mesh→fabric mapping in use.
+    pub fn mapping(&self) -> Mapping3D {
+        self.mapping
+    }
+
+    fn tile_index(&self, x: usize, y: usize) -> usize {
+        y * self.mapping.fabric_w + x
+    }
+
+    /// Executes `u = A v` on the fabric. `v` is in global mesh order; the
+    /// result is returned in global mesh order. Returns the cycles the
+    /// operation took.
+    ///
+    /// # Panics
+    /// Panics if the fabric fails to quiesce (deadlock) or `v` has the wrong
+    /// length.
+    pub fn run(&self, fabric: &mut Fabric, v: &[F16]) -> (Vec<F16>, u64) {
+        let m = self.mapping;
+        assert_eq!(v.len(), m.cores() * m.z, "iterate length mismatch");
+        for y in 0..m.fabric_h {
+            for x in 0..m.fabric_w {
+                let i = self.tile_index(x, y);
+                let rows = m.core_rows(x, y);
+                load_iterate(fabric.tile_mut(x, y), &self.layouts[i], &v[rows]);
+                fabric.tile_mut(x, y).core.activate(self.tasks[i].start);
+            }
+        }
+        let budget = 64 * m.z as u64 + 10_000;
+        let cycles = fabric
+            .run_until_quiescent(budget)
+            .unwrap_or_else(|e| panic!("wafer SpMV stalled: {e}"));
+        let mut out = vec![F16::ZERO; v.len()];
+        for y in 0..m.fabric_h {
+            for x in 0..m.fabric_w {
+                let i = self.tile_index(x, y);
+                let rows = m.core_rows(x, y);
+                let u = read_result(fabric.tile(x, y), &self.layouts[i]);
+                out[rows].copy_from_slice(&u);
+            }
+        }
+        (out, cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil::mesh::Mesh3D;
+    use stencil::precond::jacobi_scale;
+    use stencil::stencil7::{convection_diffusion, poisson};
+
+    /// Builds an exact-arithmetic test system: coefficients and iterate are
+    /// small powers of two, so fp16 arithmetic is exact and the wafer result
+    /// must equal the host result bit-for-bit regardless of summation order.
+    fn exact_system(mesh: Mesh3D) -> (DiaMatrix<F16>, Vec<F16>) {
+        let a = poisson(mesh);
+        let sys = jacobi_scale(&a, &vec![1.0; mesh.len()]);
+        // After scaling by 1/6 the off-diagonals are -1/6 (inexact!).
+        // Instead build a hand-made unit-diagonal matrix with -1/8 couplings.
+        let mut a = DiaMatrix::<f64>::new(mesh, &Offset3::seven_point());
+        for (x, y, z) in mesh.iter() {
+            a.set(x, y, z, Offset3::CENTER, 1.0);
+            for off in &Offset3::seven_point()[1..] {
+                if mesh.neighbor(x, y, z, off.dx, off.dy, off.dz).is_some() {
+                    a.set(x, y, z, *off, -0.125);
+                }
+            }
+        }
+        let _ = sys;
+        let v: Vec<F16> = (0..mesh.len())
+            .map(|i| F16::from_f64(((i % 8) as f64 - 4.0) * 0.25))
+            .collect();
+        (a.convert(), v)
+    }
+
+    #[test]
+    fn wafer_spmv_matches_host_exactly_on_exact_data() {
+        let mesh = Mesh3D::new(3, 3, 8);
+        let (a, v) = exact_system(mesh);
+        let mut fabric = Fabric::new(3, 3);
+        let spmv = WaferSpmv::build(&mut fabric, &a);
+        let (wafer, cycles) = spmv.run(&mut fabric, &v);
+        let mut host = vec![F16::ZERO; mesh.len()];
+        a.matvec(&v, &mut host);
+        for i in 0..mesh.len() {
+            assert_eq!(
+                wafer[i].to_bits(),
+                host[i].to_bits(),
+                "mismatch at {i}: wafer {} host {}",
+                wafer[i],
+                host[i]
+            );
+        }
+        assert!(cycles > 0);
+    }
+
+    #[test]
+    fn wafer_spmv_close_to_f64_on_general_data() {
+        let mesh = Mesh3D::new(4, 3, 12);
+        let a64 = convection_diffusion(mesh, (1.0, -0.5, 0.25), 1.0);
+        let sys = jacobi_scale(&a64, &vec![0.0; mesh.len()]);
+        let a: DiaMatrix<F16> = sys.matrix.convert();
+        let v: Vec<F16> = (0..mesh.len())
+            .map(|i| F16::from_f64(((i * 37 % 97) as f64 / 97.0) - 0.5))
+            .collect();
+        let mut fabric = Fabric::new(4, 3);
+        let spmv = WaferSpmv::build(&mut fabric, &a);
+        let (wafer, _) = spmv.run(&mut fabric, &v);
+        // f64 reference on the same (rounded) coefficients.
+        let vf: Vec<f64> = v.iter().map(|h| h.to_f64()).collect();
+        let mut reference = vec![0.0; mesh.len()];
+        a.matvec_f64(&vf, &mut reference);
+        for i in 0..mesh.len() {
+            let err = (wafer[i].to_f64() - reference[i]).abs();
+            // 7 terms, each O(1): a handful of fp16 ulps.
+            assert!(err < 8.0 * 0.001, "element {i}: wafer {} vs {reference:.5?}", wafer[i].to_f64());
+        }
+    }
+
+    #[test]
+    fn repeated_spmv_reuses_program() {
+        // Running the kernel twice must work (fabric DSRs re-armed by
+        // InitDsr) and give identical results for identical input.
+        let mesh = Mesh3D::new(2, 2, 6);
+        let (a, v) = exact_system(mesh);
+        let mut fabric = Fabric::new(2, 2);
+        let spmv = WaferSpmv::build(&mut fabric, &a);
+        let (r1, _) = spmv.run(&mut fabric, &v);
+        let (r2, _) = spmv.run(&mut fabric, &v);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn flop_count_matches_table1_for_interior_tiles() {
+        // An interior tile executes 12 fp16 flops per meshpoint per SpMV:
+        // zm mul (1) + zp fused (2) + 4 × (mul+add) (8) + diagonal add (1).
+        let mesh = Mesh3D::new(3, 3, 16);
+        let (a, v) = exact_system(mesh);
+        let mut fabric = Fabric::new(3, 3);
+        let spmv = WaferSpmv::build(&mut fabric, &a);
+        let _ = spmv.run(&mut fabric, &v);
+        let interior = fabric.tile(1, 1).core.perf;
+        assert_eq!(interior.flops_f16, 12 * 16, "12 flops per z element");
+    }
+
+    #[test]
+    fn single_tile_column_works() {
+        // 1×1 fabric region: no neighbors at all; only z terms + loopback.
+        let mesh = Mesh3D::new(1, 1, 10);
+        let (a, v) = exact_system(mesh);
+        let mut fabric = Fabric::new(1, 1);
+        let spmv = WaferSpmv::build(&mut fabric, &a);
+        let (wafer, _) = spmv.run(&mut fabric, &v);
+        let mut host = vec![F16::ZERO; mesh.len()];
+        a.matvec(&v, &mut host);
+        for i in 0..mesh.len() {
+            assert_eq!(wafer[i].to_bits(), host[i].to_bits());
+        }
+    }
+
+    #[test]
+    fn cycles_scale_linearly_in_z() {
+        let run_z = |z: usize| -> u64 {
+            let mesh = Mesh3D::new(3, 3, z);
+            let (a, v) = exact_system(mesh);
+            let mut fabric = Fabric::new(3, 3);
+            let spmv = WaferSpmv::build(&mut fabric, &a);
+            spmv.run(&mut fabric, &v).1
+        };
+        let c32 = run_z(32);
+        let c128 = run_z(128);
+        // Slope between 2 and 8 cycles per z element once overheads wash out.
+        let slope = (c128 - c32) as f64 / 96.0;
+        assert!((2.0..8.0).contains(&slope), "cycles/z slope {slope}");
+    }
+
+    #[test]
+    fn naive_spmv_matches_but_is_slower() {
+        // Same answers, more cycles: the FIFO-decoupled dataflow's whole
+        // point. (At small z the fixed overheads shrink the gap; the slope
+        // difference is what matters.)
+        let mesh = Mesh3D::new(3, 3, 256);
+        let (a, v) = exact_system(mesh);
+        // Reference: the Listing-1 kernel.
+        let mut f1 = Fabric::new(3, 3);
+        let spmv = WaferSpmv::build(&mut f1, &a);
+        let (fast_out, fast_cycles) = spmv.run(&mut f1, &v);
+
+        // Naive: build per tile with the ablation builder.
+        let mut f2 = Fabric::new(3, 3);
+        let mapping = Mapping3D::new(mesh, 3, 3);
+        configure_spmv_routes(&mut f2, 3, 3);
+        let mut layouts = Vec::new();
+        let mut tasks = Vec::new();
+        for y in 0..3 {
+            for x in 0..3 {
+                let tile = f2.tile_mut(x, y);
+                let layout = SpmvLayout::alloc(tile, 256);
+                let coeffs = tile_coefficients(&a, x, y);
+                load_coefficients(tile, &layout, &coeffs);
+                let t = build_spmv_tile_naive(tile, x, y, 3, 3, layout);
+                layouts.push(layout);
+                tasks.push(t);
+            }
+        }
+        for y in 0..3 {
+            for x in 0..3 {
+                let i = y * 3 + x;
+                let rows = mapping.core_rows(x, y);
+                load_iterate(f2.tile_mut(x, y), &layouts[i], &v[rows]);
+                f2.tile_mut(x, y).core.activate(tasks[i].start);
+            }
+        }
+        let naive_cycles = f2.run_until_quiescent(1_000_000).unwrap();
+        let mut naive_out = vec![F16::ZERO; mesh.len()];
+        for y in 0..3 {
+            for x in 0..3 {
+                let i = y * 3 + x;
+                let rows = mapping.core_rows(x, y);
+                let u = read_result(f2.tile(x, y), &layouts[i]);
+                naive_out[rows].copy_from_slice(&u);
+            }
+        }
+        // Same result (exact arithmetic ⇒ order irrelevant)…
+        for i in 0..mesh.len() {
+            assert_eq!(naive_out[i].to_bits(), fast_out[i].to_bits(), "element {i}");
+        }
+        // …but meaningfully more cycles.
+        assert!(
+            naive_cycles as f64 > 1.2 * fast_cycles as f64,
+            "naive {naive_cycles} vs decoupled {fast_cycles}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonally preconditioned")]
+    fn rejects_non_unit_diagonal() {
+        let mesh = Mesh3D::new(2, 2, 4);
+        let a: DiaMatrix<F16> = poisson(mesh).convert();
+        let mut fabric = Fabric::new(2, 2);
+        WaferSpmv::build(&mut fabric, &a);
+    }
+}

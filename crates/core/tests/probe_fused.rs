@@ -1,0 +1,27 @@
+use stencil::dia::DiaMatrix;
+use stencil::mesh::Mesh3D;
+use stencil::problem::manufactured;
+use wse_arch::Fabric;
+use wse_core::bicgstab::WaferBicgstab;
+use wse_float::F16;
+
+#[test]
+#[ignore]
+fn probe() {
+    for n in [8usize, 16, 24] {
+        let mesh = Mesh3D::new(n, n, 8);
+        let p = manufactured(mesh, (1.0, -0.5, 0.5), 11).preconditioned();
+        let a: DiaMatrix<F16> = p.matrix.convert();
+        let b: Vec<F16> = p.rhs.iter().map(|&v| F16::from_f64(v)).collect();
+        let mut f1 = Fabric::new(n, n);
+        let s = WaferBicgstab::build(&mut f1, &a);
+        s.load_rhs(&mut f1, &b);
+        let c1 = s.iterate(&mut f1);
+        let mut f2 = Fabric::new(n, n);
+        let sf = WaferBicgstab::build_fused(&mut f2, &a);
+        sf.load_rhs(&mut f2, &b);
+        let c2 = sf.iterate(&mut f2);
+        println!("{n}x{n}: standard allreduce {} total {} | fused allreduce {} total {}",
+            c1.allreduce, c1.total(), c2.allreduce, c2.total());
+    }
+}

@@ -1,0 +1,39 @@
+use stencil::dia::{DiaMatrix, Offset3};
+use stencil::mesh::Mesh3D;
+use wse_arch::Fabric;
+use wse_core::spmv3d::WaferSpmv;
+use wse_float::F16;
+
+fn system(mesh: Mesh3D) -> (DiaMatrix<F16>, Vec<F16>) {
+    let mut a = DiaMatrix::<f64>::new(mesh, &Offset3::seven_point());
+    for (x, y, z) in mesh.iter() {
+        a.set(x, y, z, Offset3::CENTER, 1.0);
+        for off in &Offset3::seven_point()[1..] {
+            if mesh.neighbor(x, y, z, off.dx, off.dy, off.dz).is_some() {
+                a.set(x, y, z, *off, -0.125);
+            }
+        }
+    }
+    let v: Vec<F16> = (0..mesh.len()).map(|i| F16::from_f64(((i % 8) as f64 - 4.0) * 0.25)).collect();
+    (a.convert(), v)
+}
+
+#[test]
+#[ignore]
+fn probe() {
+    for (w, h) in [(3usize, 3usize), (5, 5), (8, 8)] {
+        for z in [64usize, 256, 1024] {
+            let mesh = Mesh3D::new(w, h, z);
+            let (a, v) = system(mesh);
+            let mut fabric = Fabric::new(w, h);
+            let spmv = WaferSpmv::build(&mut fabric, &a);
+            let (_, cycles) = spmv.run(&mut fabric, &v);
+            let perf = fabric.perf();
+            println!(
+                "fabric {w}x{h} z={z}: cycles={cycles} cyc/z={:.2} busy/core/z={:.2}",
+                cycles as f64 / z as f64,
+                perf.busy_cycles as f64 / (w * h * z) as f64
+            );
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! AllReduce latency model (Fig. 6 / §IV.3).
+//!
+//! "The single cycle-per-hop latency of the interconnect allows us to
+//! implement the AllReduce operation in a cycle count only about 10% greater
+//! than the diameter of the system" — and the paper's headline: "our
+//! AllReduce ... for scalars takes under 1.5 microseconds for a system of
+//! about 380,000 ... processors."
+
+/// Latency model: `cycles = hop_factor · (w + h) + fixed`.
+#[derive(Copy, Clone, Debug)]
+pub struct AllReduceModel {
+    /// Effective cycles per hop including pipelining slack (paper: ~1.1).
+    pub hop_factor: f64,
+    /// Fixed cycles for the task launches and the 4:1 / broadcast corner
+    /// turns.
+    pub fixed: f64,
+}
+
+impl Default for AllReduceModel {
+    fn default() -> AllReduceModel {
+        AllReduceModel { hop_factor: 1.1, fixed: 25.0 }
+    }
+}
+
+impl AllReduceModel {
+    /// Predicted cycles on a `w × h` fabric.
+    pub fn cycles(&self, w: usize, h: usize) -> f64 {
+        self.hop_factor * (w + h) as f64 + self.fixed
+    }
+
+    /// Predicted latency in microseconds at `clock_ghz`.
+    pub fn time_us(&self, w: usize, h: usize, clock_ghz: f64) -> f64 {
+        self.cycles(w, h) / (clock_ghz * 1e3)
+    }
+
+    /// Fits `hop_factor` and `fixed` from simulator measurements of
+    /// `(w, h, cycles)`.
+    pub fn calibrate(&mut self, samples: &[(usize, usize, u64)]) {
+        assert!(samples.len() >= 2, "need at least two samples");
+        let n = samples.len() as f64;
+        let sx: f64 = samples.iter().map(|&(w, h, _)| (w + h) as f64).sum();
+        let sy: f64 = samples.iter().map(|&(_, _, c)| c as f64).sum();
+        let sxx: f64 = samples.iter().map(|&(w, h, _)| ((w + h) as f64).powi(2)).sum();
+        let sxy: f64 = samples.iter().map(|&(w, h, c)| (w + h) as f64 * c as f64).sum();
+        let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+        let intercept = (sy - slope * sx) / n;
+        self.hop_factor = slope;
+        self.fixed = intercept.max(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_machine_is_under_1_5_us() {
+        let m = AllReduceModel::default();
+        let t = m.time_us(602, 595, 0.9);
+        assert!(t < 1.5, "paper claims < 1.5 µs, model gives {t:.2} µs");
+        assert!(t > 1.0, "latency should still be diameter-bound: {t:.2} µs");
+    }
+
+    #[test]
+    fn cycles_track_diameter_within_10_to_20_percent() {
+        let m = AllReduceModel::default();
+        let diameter = (602 + 595) as f64;
+        let ratio = m.cycles(602, 595) / diameter;
+        assert!((1.05..1.25).contains(&ratio), "cycles/diameter = {ratio:.3}");
+    }
+
+    #[test]
+    fn calibrate_recovers_slope() {
+        let mut m = AllReduceModel::default();
+        m.calibrate(&[(16, 16, 100), (32, 32, 150), (64, 64, 250)]);
+        assert!((m.hop_factor - 1.5625).abs() < 1e-6);
+        assert!((m.fixed - 50.0).abs() < 1e-6);
+    }
+}

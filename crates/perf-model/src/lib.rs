@@ -1,0 +1,41 @@
+//! Analytic performance models reproducing the paper's quantitative claims.
+//!
+//! The paper validates "a simple performance model" against CS-1
+//! measurements and uses it "to predict the effect of changing mesh size and
+//! shape". This crate is that model, rebuilt:
+//!
+//! * [`cs1`] — machine parameters and the per-iteration cycle model behind
+//!   the headline **28.1 µs / 0.86 PFLOPS** result (§V),
+//! * [`allreduce`] — the diameter-bound AllReduce latency (<1.5 µs, §IV.3),
+//! * [`cluster`] — the Joule-cluster strong-scaling model behind Figs. 7–8
+//!   (75 ms @ 1024 cores → ~6 ms @ 16K on 600³; "about 214 times" slower
+//!   than the CS-1; no scaling beyond 8K cores on 370³),
+//! * [`balance`] — the flops-per-word machine-balance landscape of Fig. 1,
+//! * [`mfix`] — Table II cycle accounting and the §VI.A projection of 80–125
+//!   time steps per second for a 600³ SIMPLE simulation,
+//! * [`capacity`] — the §VIII.B memory-capacity frontier (16 nm → 7 nm →
+//!   5 nm wafer generations) and campaign-scale use cases,
+//! * [`energy`] — performance-per-watt (§I's 20 kW claim),
+//! * [`multiwafer`] — §VIII.B's multi-wafer clustering question ("with
+//!   sufficient bandwidth"), answered quantitatively,
+//! * [`opcounts`] — Table I (operations per meshpoint per iteration).
+//!
+//! Model constants are calibrated against the `wse-arch` simulator (the
+//! benches re-verify the calibration at run time) and against the anchor
+//! numbers the paper publishes for the cluster.
+
+#![warn(missing_docs)]
+
+pub mod allreduce;
+pub mod balance;
+pub mod capacity;
+pub mod cluster;
+pub mod cs1;
+pub mod energy;
+pub mod hpcg;
+pub mod mfix;
+pub mod multiwafer;
+pub mod opcounts;
+
+pub use cluster::JouleModel;
+pub use cs1::Cs1Model;

@@ -1,0 +1,268 @@
+//! Table II cycle accounting and the §VI.A MFIX-on-CS-1 projection.
+//!
+//! Table II estimates "cycles per meshpoint for SIMPLE, excluding the
+//! solver". §VI.A combines it with solver costs: "the number of simple
+//! iterations ranges from 5-20 per time step, the linear solver is limited
+//! to 5 iterations for transport equations and 20 for continuity", and
+//! concludes "the wall time per time step was estimated to be roughly two
+//! microseconds per Z meshpoint. Assuming a problem size of 600x600x600 and
+//! 15 simple iterations per time step, ... we expect to achieve between 80
+//! and 125 timesteps per second", "above 200 times faster than ... a
+//! 16,384-core partition of the NETL Joule cluster".
+
+use crate::cluster::JouleModel;
+use crate::cs1::Cs1Model;
+
+/// One row of Table II: cycles per meshpoint, as a low–high range.
+#[derive(Copy, Clone, Debug)]
+pub struct Table2Row {
+    /// Step name.
+    pub step: &'static str,
+    /// Merge cycles (low, high).
+    pub merge: (f64, f64),
+    /// FLOP cycles (low, high).
+    pub flop: (f64, f64),
+    /// Square-root cycles.
+    pub sqrt: (f64, f64),
+    /// Divide cycles.
+    pub div: (f64, f64),
+    /// Neighbor-transport cycles.
+    pub transport: (f64, f64),
+    /// Published totals (low, high).
+    pub total: (f64, f64),
+}
+
+/// The paper's Table II, verbatim.
+pub fn paper_table2() -> [Table2Row; 4] {
+    [
+        Table2Row {
+            step: "Initialization",
+            merge: (2.0, 9.0),
+            flop: (35.0, 47.0),
+            sqrt: (0.0, 0.0),
+            div: (0.0, 0.0),
+            transport: (8.0, 8.0),
+            total: (45.0, 64.0),
+        },
+        Table2Row {
+            step: "Momentum",
+            merge: (25.0, 153.0),
+            flop: (18.0, 25.0),
+            sqrt: (13.0, 13.0),
+            div: (15.0, 16.0),
+            transport: (6.0, 6.0),
+            total: (79.0, 213.0),
+        },
+        Table2Row {
+            step: "Continuity",
+            merge: (8.0, 45.0),
+            flop: (13.0, 18.0),
+            sqrt: (0.0, 0.0),
+            div: (15.0, 16.0),
+            transport: (2.0, 2.0),
+            total: (37.0, 81.0),
+        },
+        Table2Row {
+            step: "Field Update",
+            merge: (0.0, 0.0),
+            flop: (3.0, 5.0),
+            sqrt: (0.0, 0.0),
+            div: (0.0, 0.0),
+            transport: (1.0, 1.0),
+            total: (4.0, 6.0),
+        },
+    ]
+}
+
+/// Converts instrumented operation counts (from the `cfd` crate) to cycles
+/// per meshpoint, using per-class cycle costs representative of the tile
+/// datapath: SIMD-4 for flops and merges, pipelined transport, long-latency
+/// divide and square root.
+#[derive(Copy, Clone, Debug)]
+pub struct CycleCosts {
+    /// Cycles per merge (SIMD select).
+    pub merge: f64,
+    /// Cycles per add/sub/mul.
+    pub flop: f64,
+    /// Cycles per square root.
+    pub sqrt: f64,
+    /// Cycles per divide.
+    pub div: f64,
+    /// Cycles per neighbor transport.
+    pub transport: f64,
+}
+
+impl Default for CycleCosts {
+    fn default() -> CycleCosts {
+        CycleCosts { merge: 0.25, flop: 0.25, sqrt: 4.0, div: 4.0, transport: 0.5 }
+    }
+}
+
+impl CycleCosts {
+    /// Cycles per point for a set of per-point class counts.
+    pub fn cycles(&self, merge: f64, flop: f64, sqrt: f64, div: f64, transport: f64) -> f64 {
+        merge * self.merge + flop * self.flop + sqrt * self.sqrt + div * self.div + transport * self.transport
+    }
+}
+
+/// §VI.A projection inputs.
+#[derive(Copy, Clone, Debug)]
+pub struct MfixProjection {
+    /// The machine.
+    pub machine: Cs1Model,
+    /// Mesh edge (the paper assumes 600³).
+    pub n: usize,
+    /// SIMPLE iterations per time step (paper assumes 15).
+    pub simple_iters: usize,
+    /// BiCGStab iterations per momentum solve (paper: 5), three solves.
+    pub momentum_solver_iters: usize,
+    /// BiCGStab iterations for the continuity solve (paper: 20).
+    pub continuity_solver_iters: usize,
+}
+
+impl Default for MfixProjection {
+    fn default() -> MfixProjection {
+        MfixProjection {
+            machine: Cs1Model::default(),
+            n: 600,
+            simple_iters: 15,
+            momentum_solver_iters: 5,
+            continuity_solver_iters: 20,
+        }
+    }
+}
+
+/// Projection output.
+#[derive(Copy, Clone, Debug)]
+pub struct MfixRate {
+    /// Time steps per second, using Table II's low cycle estimates.
+    pub steps_per_sec_high: f64,
+    /// Time steps per second, using Table II's high cycle estimates.
+    pub steps_per_sec_low: f64,
+    /// Wall microseconds per Z meshpoint per SIMPLE iteration (low, high)
+    /// — the paper's "roughly two microseconds per Z meshpoint" figure.
+    pub us_per_z_point: (f64, f64),
+    /// Speedup over the 16,384-core Joule cluster (low end).
+    pub speedup_vs_joule: f64,
+}
+
+impl MfixProjection {
+    /// Solver cycles per meshpoint per BiCGStab iteration, from the CS-1
+    /// iteration model.
+    fn solver_cycles_per_point(&self) -> f64 {
+        let p = self.machine.predict_iteration(self.n, self.n.min(595), 1536);
+        // Normalize to per-meshpoint: cycles / Z.
+        p.total_cycles / 1536.0
+    }
+
+    /// Runs the projection.
+    pub fn project(&self) -> MfixRate {
+        let t2 = paper_table2();
+        let form_low: f64 = t2[0].total.0 + 3.0 * t2[1].total.0 + t2[2].total.0 + t2[3].total.0;
+        let form_high: f64 = t2[0].total.1 + 3.0 * t2[1].total.1 + t2[2].total.1 + t2[3].total.1;
+        let solver_iters = 3 * self.momentum_solver_iters + self.continuity_solver_iters;
+        let solve = solver_iters as f64 * self.solver_cycles_per_point();
+        let per_point_per_simple_low = form_low + solve;
+        let per_point_per_simple_high = form_high + solve;
+
+        let hz = self.machine.clock_ghz * 1e9;
+        let z = self.n as f64;
+        let step_time = |cyc_per_point: f64| -> f64 {
+            self.simple_iters as f64 * z * cyc_per_point / hz
+        };
+        let t_low = step_time(per_point_per_simple_low); // faster
+        let t_high = step_time(per_point_per_simple_high);
+
+        // Joule comparison: the cluster spends its per-iteration time on
+        // each of the same solver iterations; forms are bandwidth-bound
+        // sweeps we fold in with a 40% overhead (the paper: forms are
+        // "30 to 50 percent of the operation count").
+        let joule = JouleModel::default();
+        let t_joule_step = 1.4
+            * self.simple_iters as f64
+            * solver_iters as f64
+            * joule.time_per_iteration(self.n, 16384);
+
+        MfixRate {
+            steps_per_sec_high: 1.0 / t_low,
+            steps_per_sec_low: 1.0 / t_high,
+            us_per_z_point: (
+                1e6 * per_point_per_simple_low / hz,
+                1e6 * per_point_per_simple_high / hz,
+            ),
+            speedup_vs_joule: t_joule_step / t_high,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_totals_are_consistent() {
+        for row in paper_table2() {
+            let low =
+                row.merge.0 + row.flop.0 + row.sqrt.0 + row.div.0 + row.transport.0;
+            let high =
+                row.merge.1 + row.flop.1 + row.sqrt.1 + row.div.1 + row.transport.1;
+            // The published Momentum low total (79) exceeds its column sum
+            // (77) by 2 — reproduce the table as printed, tolerate the gap.
+            assert!(
+                (low - row.total.0).abs() <= 2.0,
+                "{}: {} vs published {}",
+                row.step,
+                low,
+                row.total.0
+            );
+            assert!(
+                (high - row.total.1).abs() <= 1.0,
+                "{}: {} vs published {}",
+                row.step,
+                high,
+                row.total.1
+            );
+        }
+    }
+
+    #[test]
+    fn projection_lands_in_the_papers_band() {
+        let rate = MfixProjection::default().project();
+        // Paper: "between 80 and 125 timesteps per second". Allow the model
+        // a generous envelope around that band.
+        assert!(
+            rate.steps_per_sec_low > 50.0 && rate.steps_per_sec_high < 220.0,
+            "projection [{:.0}, {:.0}] steps/s",
+            rate.steps_per_sec_low,
+            rate.steps_per_sec_high
+        );
+        assert!(
+            rate.steps_per_sec_low < 125.0 && rate.steps_per_sec_high > 80.0,
+            "band must overlap the paper's 80–125: [{:.0}, {:.0}]",
+            rate.steps_per_sec_low,
+            rate.steps_per_sec_high
+        );
+    }
+
+    #[test]
+    fn us_per_z_point_is_order_two() {
+        let rate = MfixProjection::default().project();
+        // "roughly two microseconds per Z meshpoint": our model gives
+        // ~0.9–1.5 µs per Z point per SIMPLE iteration — same order.
+        assert!(
+            rate.us_per_z_point.0 > 0.3 && rate.us_per_z_point.1 < 5.0,
+            "µs per Z point: {:?}",
+            rate.us_per_z_point
+        );
+    }
+
+    #[test]
+    fn speedup_vs_joule_exceeds_200() {
+        let rate = MfixProjection::default().project();
+        assert!(
+            rate.speedup_vs_joule > 200.0,
+            "paper claims above 200×, model gives {:.0}×",
+            rate.speedup_vs_joule
+        );
+    }
+}

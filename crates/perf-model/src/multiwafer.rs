@@ -1,0 +1,148 @@
+//! Multi-wafer clustering — §VIII.B's closing direction: "Solutions
+//! involving the clustering, with sufficient bandwidth, of several
+//! wafer-scale systems is certainly a possibility."
+//!
+//! Model: `k` wafers tile the mesh along X. Each inter-wafer interface
+//! crosses a Y×Z plane of the mesh twice per BiCGStab iteration (once per
+//! SpMV), in fp16; the global reduction pays extra off-wafer latency per
+//! hop between wafers. The model answers the §VIII.B question directly:
+//! *how much* inter-wafer bandwidth is "sufficient"?
+
+use crate::cs1::Cs1Model;
+
+/// Multi-wafer configuration.
+#[derive(Copy, Clone, Debug)]
+pub struct MultiWafer {
+    /// The per-wafer machine.
+    pub wafer: Cs1Model,
+    /// Number of wafers, tiled along the mesh X axis.
+    pub k: usize,
+    /// Inter-wafer link bandwidth per interface, GB/s.
+    pub link_gb_s: f64,
+    /// One-way inter-wafer message latency, µs.
+    pub link_latency_us: f64,
+}
+
+impl Default for MultiWafer {
+    fn default() -> MultiWafer {
+        MultiWafer {
+            wafer: Cs1Model::default(),
+            k: 2,
+            link_gb_s: 1000.0,
+            link_latency_us: 0.2,
+        }
+    }
+}
+
+/// One prediction row.
+#[derive(Copy, Clone, Debug)]
+pub struct MultiWaferPrediction {
+    /// Wafers.
+    pub k: usize,
+    /// Mesh solved (x-extent grows with k).
+    pub mesh: (usize, usize, usize),
+    /// Time per iteration, µs.
+    pub time_us: f64,
+    /// Aggregate PFLOPS.
+    pub pflops: f64,
+    /// Parallel efficiency vs. one wafer on 1/k of the mesh.
+    pub efficiency: f64,
+}
+
+impl MultiWafer {
+    /// Predicts one BiCGStab iteration for a `(k·600) × 595 × z` mesh split
+    /// across the `k` wafers (weak scaling in X).
+    pub fn predict(&self, z: usize) -> MultiWaferPrediction {
+        let base = self.wafer.predict_iteration(600, 595, z);
+        // Inter-wafer halo: a 595×z fp16 plane each way per SpMV, 2 SpMVs.
+        let plane_bytes = 595.0 * z as f64 * 2.0;
+        let halo_us = if self.k > 1 {
+            2.0 * (self.link_latency_us + plane_bytes / (self.link_gb_s * 1e3))
+        } else {
+            0.0
+        };
+        // The reduction tree crosses ⌈log₂k⌉ seam levels twice (reduce +
+        // broadcast), 4 rounds per iteration.
+        let levels = (self.k as f64).log2().ceil();
+        let reduce_extra_us = 4.0 * 2.0 * levels * self.link_latency_us;
+        let time_us = base.time_us + halo_us + reduce_extra_us;
+        let points = (self.k * 600 * 595 * z) as f64;
+        let pflops = 44.0 * points / (time_us * 1e-6) / 1e15;
+        MultiWaferPrediction {
+            k: self.k,
+            mesh: (self.k * 600, 595, z),
+            time_us,
+            pflops,
+            efficiency: base.time_us / time_us,
+        }
+    }
+
+    /// The minimum link bandwidth (GB/s) keeping weak-scaling efficiency
+    /// above `target` at the given `z` (latency terms held fixed).
+    pub fn required_bandwidth(&self, z: usize, target: f64) -> f64 {
+        assert!((0.0..1.0).contains(&target));
+        let base = self.wafer.predict_iteration(600, 595, z);
+        let levels = (self.k as f64).log2().ceil();
+        let reduce_extra_us = 4.0 * 2.0 * levels * self.link_latency_us;
+        // efficiency = base / (base + halo + reduce_extra) >= target
+        let budget_us = base.time_us / target - base.time_us - reduce_extra_us;
+        let halo_latency = 2.0 * self.link_latency_us;
+        let transfer_budget = (budget_us - halo_latency).max(1e-9);
+        let plane_bytes = 595.0 * z as f64 * 2.0;
+        2.0 * plane_bytes / (transfer_budget * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_wafer_reduces_to_base_model() {
+        let mw = MultiWafer { k: 1, ..Default::default() };
+        let p = mw.predict(1536);
+        let base = Cs1Model::default().predict_headline();
+        assert!((p.time_us - base.time_us).abs() < 1e-9);
+        assert!((p.efficiency - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_wafers_with_good_links_stay_efficient() {
+        let mw = MultiWafer::default(); // 1 TB/s, 0.2 µs
+        let p = mw.predict(1536);
+        assert!(p.efficiency > 0.75, "efficiency {}", p.efficiency);
+        assert!(p.pflops > 1.2, "two wafers should well exceed one: {}", p.pflops);
+        assert_eq!(p.mesh.0, 1200);
+    }
+
+    #[test]
+    fn starved_links_destroy_scaling() {
+        let mw = MultiWafer { link_gb_s: 1.0, ..Default::default() };
+        let p = mw.predict(1536);
+        assert!(p.efficiency < 0.5, "1 GB/s cannot feed a wafer: {}", p.efficiency);
+    }
+
+    #[test]
+    fn required_bandwidth_is_self_consistent() {
+        let mw = MultiWafer::default();
+        let need = mw.required_bandwidth(1536, 0.9);
+        // The quantitative answer to §VIII.B: "sufficient bandwidth" means
+        // multi-TB/s seams for 90% weak-scaling efficiency.
+        assert!(need > 1_000.0 && need < 20_000.0, "required {need} GB/s");
+        // Provisioning exactly that bandwidth yields ~the target efficiency.
+        let tuned = MultiWafer { link_gb_s: need, ..mw };
+        let p = tuned.predict(1536);
+        assert!((p.efficiency - 0.9).abs() < 0.05, "efficiency {}", p.efficiency);
+    }
+
+    #[test]
+    fn efficiency_degrades_gracefully_with_k() {
+        let mut prev = 1.0;
+        for k in [1usize, 2, 4, 8] {
+            let p = MultiWafer { k, ..Default::default() }.predict(1536);
+            assert!(p.efficiency <= prev + 1e-12, "monotone: {} then {}", prev, p.efficiency);
+            prev = p.efficiency;
+        }
+        assert!(prev > 0.5, "8 wafers at 400 GB/s still worthwhile: {prev}");
+    }
+}

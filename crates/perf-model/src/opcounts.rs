@@ -1,0 +1,67 @@
+//! Table I: operations per meshpoint per BiCGStab iteration.
+
+/// One row of Table I.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Table1Row {
+    /// Kernel name with its per-iteration multiplicity.
+    pub op: &'static str,
+    /// Single-precision adds (pure-fp32 configuration).
+    pub sp_add: u32,
+    /// Single-precision multiplies.
+    pub sp_mul: u32,
+    /// Half-precision adds (mixed configuration).
+    pub hp_add: u32,
+    /// Half-precision multiplies (mixed configuration).
+    pub hp_mul: u32,
+    /// Single-precision adds remaining in the mixed configuration.
+    pub mixed_sp_add: u32,
+}
+
+/// The paper's Table I, verbatim.
+pub fn paper_table1() -> [Table1Row; 3] {
+    [
+        Table1Row { op: "Matvec (x2)", sp_add: 12, sp_mul: 12, hp_add: 12, hp_mul: 12, mixed_sp_add: 0 },
+        Table1Row { op: "Dot (x4)", sp_add: 4, sp_mul: 4, hp_add: 0, hp_mul: 4, mixed_sp_add: 4 },
+        Table1Row { op: "AXPY (x6)", sp_add: 6, sp_mul: 6, hp_add: 6, hp_mul: 6, mixed_sp_add: 0 },
+    ]
+}
+
+/// Total operations per meshpoint per iteration (the 44 behind the 0.86
+/// PFLOPS).
+pub fn total_ops_per_point() -> u32 {
+    paper_table1().iter().map(|r| r.sp_add + r.sp_mul).sum()
+}
+
+/// Ops per point executing in fp16 under the mixed configuration (40).
+pub fn mixed_hp_ops_per_point() -> u32 {
+    paper_table1().iter().map(|r| r.hp_add + r.hp_mul).sum()
+}
+
+/// Ops per point executing in fp32 under the mixed configuration (4).
+pub fn mixed_sp_ops_per_point() -> u32 {
+    paper_table1().iter().map(|r| r.mixed_sp_add).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_the_paper() {
+        assert_eq!(total_ops_per_point(), 44);
+        assert_eq!(mixed_hp_ops_per_point(), 40);
+        assert_eq!(mixed_sp_ops_per_point(), 4);
+        assert_eq!(mixed_hp_ops_per_point() + mixed_sp_ops_per_point(), 44);
+    }
+
+    #[test]
+    fn row_structure_matches_kernel_inventory() {
+        let rows = paper_table1();
+        // 2 matvecs × (6 mul + 6 add) each.
+        assert_eq!(rows[0].sp_mul, 12);
+        // 4 dots × (1 mul + 1 add).
+        assert_eq!(rows[1].sp_add, 4);
+        // 6 AXPYs × (1 mul + 1 add).
+        assert_eq!(rows[2].hp_mul, 6);
+    }
+}

@@ -1,0 +1,129 @@
+//! Point-Jacobi relaxation — the stationary-method baseline.
+//!
+//! For a unit-diagonal (already Jacobi-scaled) system this is Richardson
+//! iteration `x ← x + (b − A x)`. Its linear convergence contrasts with the
+//! Krylov methods and provides a sanity baseline for the solver comparisons.
+
+use crate::bicgstab::{BiCgStabOutcome, SolveOptions, SolveResult};
+use crate::convergence::{true_relative_residual, History, IterationRecord};
+use crate::policy::{OpCounts, Precision};
+use stencil::{DiaMatrix, Scalar};
+use wse_float::reduce::norm2_f64;
+
+/// Runs (damped) point-Jacobi / Richardson iteration on a unit-diagonal
+/// system: `x ← x + θ (b − A x)` with damping `theta`.
+///
+/// # Panics
+/// Panics if `b.len() != a.nrows()` or the matrix diagonal is not unit.
+pub fn jacobi<P: Precision>(
+    a: &DiaMatrix<P::Storage>,
+    b: &[P::Storage],
+    theta: f64,
+    opts: &SolveOptions,
+) -> SolveResult<P::Storage> {
+    assert_eq!(b.len(), a.nrows(), "rhs length mismatch");
+    assert!(
+        stencil::precond::has_unit_diagonal(a),
+        "jacobi() expects a diagonally preconditioned (unit-diagonal) system"
+    );
+    let n = b.len();
+    let mut ops = OpCounts::default();
+    let mut history = History::default();
+    let theta_s = P::Storage::from_f64(theta);
+
+    let norm_b = {
+        let bf: Vec<f64> = b.iter().map(|v| v.to_f64()).collect();
+        norm2_f64(&bf)
+    };
+    if norm_b == 0.0 {
+        return SolveResult {
+            x: vec![P::Storage::zero(); n],
+            outcome: BiCgStabOutcome::Converged,
+            iters: 0,
+            history,
+            ops,
+        };
+    }
+
+    let mut x = vec![P::Storage::zero(); n];
+    let mut ax = vec![P::Storage::zero(); n];
+    let mut outcome = BiCgStabOutcome::MaxIterations;
+    let mut iters = 0;
+
+    for i in 0..opts.max_iters {
+        a.matvec(&x, &mut ax);
+        let nbands = a.offsets().len() as u64;
+        ops.matvec_mul += (nbands - 1) * n as u64;
+        ops.matvec_add += (nbands - 1) * n as u64;
+        let mut rr = 0.0f64;
+        for j in 0..n {
+            let r = b[j].sub(ax[j]);
+            rr += r.to_f64() * r.to_f64();
+            x[j] = x[j].mul_add(theta_s, r);
+        }
+        ops.axpy_mul += n as u64;
+        ops.axpy_add += 2 * n as u64; // residual subtract + update add
+
+        iters = i + 1;
+        let recursive_rel = rr.sqrt() / norm_b;
+        let true_rel = if opts.record_true_residual {
+            true_relative_residual(a, &x, b)
+        } else {
+            f64::NAN
+        };
+        history.push(IterationRecord { iter: iters, recursive_rel, true_rel });
+        if x.iter().any(|v| v.is_non_finite()) {
+            outcome = BiCgStabOutcome::NonFinite;
+            break;
+        }
+        if recursive_rel < opts.rtol {
+            outcome = BiCgStabOutcome::Converged;
+            break;
+        }
+    }
+
+    SolveResult { x, outcome, iters, history, ops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bicgstab::bicgstab;
+    use crate::policy::Fp64;
+    use stencil::mesh::Mesh3D;
+    use stencil::problem::manufactured;
+
+    #[test]
+    fn jacobi_converges_on_dominant_system() {
+        let p = manufactured(Mesh3D::new(5, 5, 5), (0.0, 0.0, 0.0), 3).preconditioned();
+        let opts = SolveOptions { max_iters: 2000, rtol: 1e-8, record_true_residual: false };
+        let res = jacobi::<Fp64>(&p.matrix, &p.rhs, 1.0, &opts);
+        assert_eq!(res.outcome, BiCgStabOutcome::Converged);
+        let exact = p.exact.unwrap();
+        let err = res.x.iter().zip(&exact).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        assert!(err < 1e-6, "max err {err}");
+    }
+
+    #[test]
+    fn bicgstab_needs_far_fewer_iterations() {
+        let p = manufactured(Mesh3D::new(6, 6, 6), (1.0, 0.0, 0.0), 4).preconditioned();
+        let opts = SolveOptions { max_iters: 5000, rtol: 1e-8, record_true_residual: false };
+        let jac = jacobi::<Fp64>(&p.matrix, &p.rhs, 1.0, &opts);
+        let bicg = bicgstab::<Fp64>(&p.matrix, &p.rhs, &opts);
+        assert_eq!(jac.outcome, BiCgStabOutcome::Converged);
+        assert_eq!(bicg.outcome, BiCgStabOutcome::Converged);
+        assert!(
+            bicg.iters * 4 < jac.iters,
+            "Krylov should beat stationary: bicg {} vs jacobi {}",
+            bicg.iters,
+            jac.iters
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unit-diagonal")]
+    fn rejects_unscaled_matrix() {
+        let p = manufactured(Mesh3D::new(3, 3, 3), (0.0, 0.0, 0.0), 3);
+        jacobi::<Fp64>(&p.matrix, &p.rhs, 1.0, &SolveOptions::default());
+    }
+}

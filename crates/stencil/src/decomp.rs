@@ -1,0 +1,304 @@
+//! Domain decomposition onto the wafer fabric, with SRAM footprint
+//! accounting.
+//!
+//! 3D mapping (Fig. 3): "map X and Y across the two axes of the fabric, with
+//! each core handling all of the Z dimension". Per core this needs the six
+//! off-diagonals of the preconditioned matrix plus four iteration vectors:
+//! "a storage requirement per core of 10 Z words. Thus, with Z = 1536 we are
+//! using about 31 KB out of 48 KB".
+//!
+//! 2D mapping (§IV.2): a rectangular block of the mesh per core, nine stored
+//! coefficient diagonals, the BiCGStab vectors, plus input/output halo rings.
+//! "The local memory in each core is sufficient to ... hold a sub-block
+//! up-to 38×38 in size, corresponding to geometries of 22800×22800 ...
+//! When a core holds only an 8×8 region ... the overhead remains less
+//! than 20%."
+
+use crate::mesh::{Mesh2D, Mesh3D};
+
+/// Per-core SRAM capacity of the CS-1: 48 KB.
+pub const SRAM_BYTES: usize = 48 * 1024;
+
+/// Bytes per fp16 word.
+pub const FP16_BYTES: usize = 2;
+
+/// Fixed per-core overhead we budget for code, FIFO buffers (the paper's
+/// five 20-deep FIFOs), DSR state and scratch, when accounting the 2D
+/// mapping.
+pub const FIXED_OVERHEAD_BYTES: usize = 2048;
+
+/// The 3D X,Y→fabric / Z→memory mapping.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Mapping3D {
+    /// Fabric width used (= mesh X).
+    pub fabric_w: usize,
+    /// Fabric height used (= mesh Y).
+    pub fabric_h: usize,
+    /// Local vector length per core (= mesh Z).
+    pub z: usize,
+}
+
+impl Mapping3D {
+    /// Maps a mesh onto a fabric of at least `nx × ny` cores.
+    ///
+    /// # Panics
+    /// Panics if the fabric is smaller than the mesh's X×Y extent.
+    pub fn new(mesh: Mesh3D, fabric_w: usize, fabric_h: usize) -> Mapping3D {
+        assert!(
+            mesh.nx <= fabric_w && mesh.ny <= fabric_h,
+            "mesh {}x{} exceeds fabric {}x{}",
+            mesh.nx,
+            mesh.ny,
+            fabric_w,
+            fabric_h
+        );
+        Mapping3D { fabric_w: mesh.nx, fabric_h: mesh.ny, z: mesh.nz }
+    }
+
+    /// The paper's configuration: 600×595×1536 mesh on a 602×595 fabric.
+    pub fn paper() -> Mapping3D {
+        Mapping3D::new(Mesh3D::paper_3d(), 602, 595)
+    }
+
+    /// Number of cores in use.
+    pub fn cores(&self) -> usize {
+        self.fabric_w * self.fabric_h
+    }
+
+    /// fp16 words per core: 6 matrix diagonals + 4 iteration vectors, each of
+    /// length Z ("10 Z words"). The Z padding words of Listing 1 (`zm[Z+1]`,
+    /// `v[Z+1]`, `u[Z+2]`) are counted in [`Mapping3D::bytes_per_core`]'s
+    /// exact variant but are negligible.
+    pub fn words_per_core(&self) -> usize {
+        10 * self.z
+    }
+
+    /// Data bytes per core under the 10Z-word model.
+    pub fn bytes_per_core(&self) -> usize {
+        self.words_per_core() * FP16_BYTES
+    }
+
+    /// Exact Listing-1 allocation in bytes: `xp,xm,yp,ym,zp[Z]`, `zm[Z+1]`,
+    /// `v[Z+1]`, `u[Z+2]`, the four BiCG vectors are `v`,`u` plus `p`,`r0`
+    /// (two more `[Z]`), and the five 20-deep FIFOs.
+    pub fn bytes_per_core_exact(&self) -> usize {
+        let z = self.z;
+        let vectors = 5 * z + (z + 1) + (z + 1) + (z + 2) + 2 * z;
+        let fifos = 5 * 20;
+        (vectors + fifos) * FP16_BYTES
+    }
+
+    /// `true` if the per-core data fits in SRAM.
+    pub fn fits(&self) -> bool {
+        self.bytes_per_core_exact() <= SRAM_BYTES
+    }
+
+    /// Largest Z that fits in SRAM under the 10Z model (with exact padding
+    /// and FIFO overhead).
+    pub fn max_z() -> usize {
+        let budget = SRAM_BYTES / FP16_BYTES - 5 * 20 - 4; // words
+        budget / 10
+    }
+
+    /// The contiguous global row range owned by core `(cx, cy)`.
+    pub fn core_rows(&self, cx: usize, cy: usize) -> std::ops::Range<usize> {
+        assert!(cx < self.fabric_w && cy < self.fabric_h, "core outside mapping");
+        let start = (cx * self.fabric_h + cy) * self.z;
+        start..start + self.z
+    }
+}
+
+/// The 2D block-per-core mapping for the 9-point stencil.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Block2D {
+    /// Block extent along X.
+    pub bx: usize,
+    /// Block extent along Y.
+    pub by: usize,
+}
+
+impl Block2D {
+    /// fp16 words stored per mesh point: 9 coefficient diagonals plus 7
+    /// BiCGStab vectors (x, r, r̂₀, p, q, y, b).
+    pub const WORDS_PER_POINT: usize = 16;
+
+    /// Creates a block; extents must be nonzero.
+    ///
+    /// # Panics
+    /// Panics if either extent is zero.
+    pub fn new(bx: usize, by: usize) -> Block2D {
+        assert!(bx > 0 && by > 0, "block extents must be nonzero");
+        Block2D { bx, by }
+    }
+
+    /// Points in the block.
+    pub fn points(&self) -> usize {
+        self.bx * self.by
+    }
+
+    /// Points in the one-wide halo ring around the block.
+    pub fn ring(&self) -> usize {
+        2 * (self.bx + self.by) + 4
+    }
+
+    /// Data bytes per core: per-point storage plus input and output halo
+    /// rings (one fp16 word each per ring point).
+    pub fn bytes_per_core(&self) -> usize {
+        (self.points() * Self::WORDS_PER_POINT + 2 * self.ring()) * FP16_BYTES
+    }
+
+    /// `true` if block data plus fixed overhead fits in SRAM.
+    pub fn fits(&self) -> bool {
+        self.bytes_per_core() + FIXED_OVERHEAD_BYTES <= SRAM_BYTES
+    }
+
+    /// The largest square block that fits — the paper's "up-to 38×38".
+    pub fn max_square() -> usize {
+        let mut n = 1;
+        while Block2D::new(n + 1, n + 1).fits() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Redundant-work overhead of the halo exchange, as a fraction of the
+    /// useful FMAC cycles.
+    ///
+    /// Model: the 9-point FMAC sweep spends 3 cycles per point (18 flops at
+    /// SIMD-4 mixed throughput); each received halo value costs one extra
+    /// datapath slot (the "redundant summation work" of §IV.2), and a full
+    /// exchange delivers one ring of values per iteration at SIMD-4 across
+    /// the four direction rounds — `ring` extra cycles total.
+    pub fn overhead_fraction(&self) -> f64 {
+        self.ring() as f64 / (3.0 * self.points() as f64)
+    }
+
+    /// Mesh geometry covered when every core of a `w × h` fabric holds this
+    /// block.
+    pub fn covered_mesh(&self, fabric_w: usize, fabric_h: usize) -> Mesh2D {
+        Mesh2D::new(self.bx * fabric_w, self.by * fabric_h)
+    }
+}
+
+/// Splits `n` items into `parts` nearly equal contiguous chunks (cluster
+/// decomposition helper). The first `n % parts` chunks get one extra item.
+pub fn split_even(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(parts > 0, "parts must be nonzero");
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_mapping_uses_31kb_of_48() {
+        let m = Mapping3D::paper();
+        assert_eq!(m.z, 1536);
+        assert_eq!(m.words_per_core(), 15_360);
+        let kb = m.bytes_per_core() as f64 / 1024.0;
+        assert!((29.0..32.0).contains(&kb), "expected ~31 KB, got {kb}");
+        assert!(m.fits());
+        assert_eq!(m.cores(), 600 * 595);
+    }
+
+    #[test]
+    fn exact_footprint_close_to_model() {
+        let m = Mapping3D::paper();
+        let model = m.bytes_per_core() as i64;
+        let exact = m.bytes_per_core_exact() as i64;
+        assert!((exact - model).abs() < 512, "model {model} vs exact {exact}");
+    }
+
+    #[test]
+    fn max_z_bounds() {
+        let z = Mapping3D::max_z();
+        assert!(z >= 1536, "paper's Z must fit, got max {z}");
+        let m = Mapping3D::new(Mesh3D::new(2, 2, z), 2, 2);
+        assert!(m.fits());
+        let too_big = Mapping3D::new(Mesh3D::new(2, 2, z + 100), 2, 2);
+        assert!(!too_big.fits());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds fabric")]
+    fn oversize_mesh_panics() {
+        Mapping3D::new(Mesh3D::new(700, 595, 10), 602, 595);
+    }
+
+    #[test]
+    fn core_rows_partition_the_mesh() {
+        let mesh = Mesh3D::new(3, 4, 5);
+        let m = Mapping3D::new(mesh, 10, 10);
+        let mut seen = vec![false; mesh.len()];
+        for cx in 0..m.fabric_w {
+            for cy in 0..m.fabric_h {
+                for r in m.core_rows(cx, cy) {
+                    assert!(!seen[r], "row {r} owned twice");
+                    seen[r] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Ownership agrees with the mesh layout: core (x,y) owns (x,y,*).
+        assert_eq!(m.core_rows(1, 2).start, mesh.idx(1, 2, 0));
+    }
+
+    #[test]
+    fn max_square_block_is_38() {
+        assert_eq!(Block2D::max_square(), 38, "paper claims up-to 38x38 blocks fit");
+        assert!(Block2D::new(38, 38).fits());
+        assert!(!Block2D::new(39, 39).fits());
+    }
+
+    #[test]
+    fn block_38_covers_paper_geometry() {
+        // "corresponding to geometries of 22800x22800" — 38 * 600 = 22800.
+        let mesh = Block2D::new(38, 38).covered_mesh(600, 600);
+        assert_eq!((mesh.nx, mesh.ny), (22_800, 22_800));
+    }
+
+    #[test]
+    fn eight_by_eight_overhead_below_20_percent() {
+        let o = Block2D::new(8, 8).overhead_fraction();
+        assert!(o < 0.20, "paper claims <20% at 8x8, got {o}");
+        assert!(o > 0.05, "model should show nontrivial overhead at 8x8, got {o}");
+        // 8x8 blocks on a 600x600 fabric give the quoted 4800^2 mesh.
+        let mesh = Block2D::new(8, 8).covered_mesh(600, 600);
+        assert_eq!((mesh.nx, mesh.ny), (4800, 4800));
+    }
+
+    #[test]
+    fn overhead_decreases_with_block_size() {
+        let mut prev = f64::INFINITY;
+        for n in [2, 4, 8, 16, 38] {
+            let o = Block2D::new(n, n).overhead_fraction();
+            assert!(o < prev, "overhead must shrink with block size");
+            prev = o;
+        }
+        assert!(Block2D::new(38, 38).overhead_fraction() < 0.05);
+    }
+
+    #[test]
+    fn split_even_covers_exactly() {
+        for (n, p) in [(10, 3), (7, 7), (5, 8), (0, 2), (100, 1)] {
+            let parts = split_even(n, p);
+            assert_eq!(parts.len(), p);
+            let total: usize = parts.iter().map(|r| r.len()).sum();
+            assert_eq!(total, n);
+            for w in parts.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+                assert!(w[0].len() >= w[1].len());
+            }
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Structured meshes with the paper's storage layout.
+//!
+//! The 3D mesh `X × Y × Z` is mapped "X and Y across the two axes of the
+//! fabric, with each core handling all of the Z dimension" (Fig. 3), so `z`
+//! is the fastest-varying (unit-stride) index: a core's local vector segment
+//! is the contiguous run `v[(x·Y + y)·Z ..][..Z]`.
+
+/// A 3D structured mesh of `nx × ny × nz` points.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Mesh3D {
+    /// Points along X (mapped to the fabric's first axis).
+    pub nx: usize,
+    /// Points along Y (mapped to the fabric's second axis).
+    pub ny: usize,
+    /// Points along Z (held entirely in one core's memory).
+    pub nz: usize,
+}
+
+impl Mesh3D {
+    /// Creates a mesh; all dimensions must be nonzero.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero.
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Mesh3D {
+        assert!(nx > 0 && ny > 0 && nz > 0, "mesh dimensions must be nonzero");
+        Mesh3D { nx, ny, nz }
+    }
+
+    /// The paper's measured problem: 600 × 595 × 1536.
+    pub fn paper_3d() -> Mesh3D {
+        Mesh3D::new(600, 595, 1536)
+    }
+
+    /// Total number of mesh points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// `true` if the mesh has no points (never, by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Linear index of point `(x, y, z)`, z fastest.
+    #[inline]
+    pub fn idx(&self, x: usize, y: usize, z: usize) -> usize {
+        debug_assert!(x < self.nx && y < self.ny && z < self.nz);
+        (x * self.ny + y) * self.nz + z
+    }
+
+    /// Inverse of [`Mesh3D::idx`].
+    #[inline]
+    pub fn coords(&self, idx: usize) -> (usize, usize, usize) {
+        debug_assert!(idx < self.len());
+        let z = idx % self.nz;
+        let rest = idx / self.nz;
+        (rest / self.ny, rest % self.ny, z)
+    }
+
+    /// Index of the neighbor at signed offset, or `None` at the boundary.
+    #[inline]
+    pub fn neighbor(&self, x: usize, y: usize, z: usize, dx: i32, dy: i32, dz: i32) -> Option<usize> {
+        let nx = x as i64 + dx as i64;
+        let ny_ = y as i64 + dy as i64;
+        let nz_ = z as i64 + dz as i64;
+        if nx < 0
+            || ny_ < 0
+            || nz_ < 0
+            || nx >= self.nx as i64
+            || ny_ >= self.ny as i64
+            || nz_ >= self.nz as i64
+        {
+            None
+        } else {
+            Some(self.idx(nx as usize, ny_ as usize, nz_ as usize))
+        }
+    }
+
+    /// Iterates all `(x, y, z)` coordinates in storage order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
+        (0..nx).flat_map(move |x| (0..ny).flat_map(move |y| (0..nz).map(move |z| (x, y, z))))
+    }
+
+    /// `true` if `(x, y, z)` lies on any boundary face.
+    #[inline]
+    pub fn on_boundary(&self, x: usize, y: usize, z: usize) -> bool {
+        x == 0 || y == 0 || z == 0 || x == self.nx - 1 || y == self.ny - 1 || z == self.nz - 1
+    }
+}
+
+/// A 2D structured mesh of `nx × ny` points (used by the 9-point mapping).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Mesh2D {
+    /// Points along X.
+    pub nx: usize,
+    /// Points along Y.
+    pub ny: usize,
+}
+
+impl Mesh2D {
+    /// Creates a mesh; both dimensions must be nonzero.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(nx: usize, ny: usize) -> Mesh2D {
+        assert!(nx > 0 && ny > 0, "mesh dimensions must be nonzero");
+        Mesh2D { nx, ny }
+    }
+
+    /// Total number of mesh points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// `true` if the mesh has no points (never, by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Views this 2D mesh as a degenerate 3D mesh (`nz = 1`) so the same
+    /// diagonal-storage machinery serves both mappings.
+    #[inline]
+    pub fn as_3d(&self) -> Mesh3D {
+        Mesh3D::new(self.nx, self.ny, 1)
+    }
+
+    /// Linear index of `(x, y)`, y fastest.
+    #[inline]
+    pub fn idx(&self, x: usize, y: usize) -> usize {
+        debug_assert!(x < self.nx && y < self.ny);
+        x * self.ny + y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idx_is_z_fastest() {
+        let m = Mesh3D::new(4, 3, 5);
+        assert_eq!(m.idx(0, 0, 0), 0);
+        assert_eq!(m.idx(0, 0, 1), 1);
+        assert_eq!(m.idx(0, 1, 0), 5);
+        assert_eq!(m.idx(1, 0, 0), 15);
+        assert_eq!(m.len(), 60);
+    }
+
+    #[test]
+    fn coords_inverts_idx() {
+        let m = Mesh3D::new(3, 4, 6);
+        for i in 0..m.len() {
+            let (x, y, z) = m.coords(i);
+            assert_eq!(m.idx(x, y, z), i);
+        }
+    }
+
+    #[test]
+    fn neighbor_respects_boundaries() {
+        let m = Mesh3D::new(3, 3, 3);
+        assert_eq!(m.neighbor(0, 0, 0, -1, 0, 0), None);
+        assert_eq!(m.neighbor(0, 0, 0, 1, 0, 0), Some(m.idx(1, 0, 0)));
+        assert_eq!(m.neighbor(2, 2, 2, 0, 0, 1), None);
+        assert_eq!(m.neighbor(1, 1, 1, 0, 0, -1), Some(m.idx(1, 1, 0)));
+    }
+
+    #[test]
+    fn iter_matches_storage_order() {
+        let m = Mesh3D::new(2, 2, 2);
+        let order: Vec<_> = m.iter().collect();
+        for (i, &(x, y, z)) in order.iter().enumerate() {
+            assert_eq!(m.idx(x, y, z), i);
+        }
+        assert_eq!(order.len(), m.len());
+    }
+
+    #[test]
+    fn boundary_detection() {
+        let m = Mesh3D::new(3, 3, 3);
+        assert!(m.on_boundary(0, 1, 1));
+        assert!(m.on_boundary(1, 2, 1));
+        assert!(!m.on_boundary(1, 1, 1));
+    }
+
+    #[test]
+    fn paper_mesh_dimensions() {
+        let m = Mesh3D::paper_3d();
+        assert_eq!(m.len(), 600 * 595 * 1536);
+    }
+
+    #[test]
+    fn mesh2d_as_3d() {
+        let m = Mesh2D::new(4, 7);
+        assert_eq!(m.len(), 28);
+        let m3 = m.as_3d();
+        assert_eq!(m3.len(), 28);
+        assert_eq!(m.idx(2, 3), m3.idx(2, 3, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_dimension_panics() {
+        Mesh3D::new(0, 1, 1);
+    }
+}

@@ -1,0 +1,146 @@
+//! Reproducible linear-system generators for tests and experiments.
+
+use crate::dia::DiaMatrix;
+use crate::mesh::Mesh3D;
+use crate::precond::{jacobi_scale, ScaledSystem};
+use crate::stencil7::convection_diffusion;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A complete test problem: matrix, right-hand side, and (when constructed
+/// from a known solution) the exact solution.
+#[derive(Clone, Debug)]
+pub struct Problem {
+    /// The system matrix (f64 master copy; narrow with
+    /// [`DiaMatrix::convert`] for precision studies).
+    pub matrix: DiaMatrix<f64>,
+    /// Right-hand side.
+    pub rhs: Vec<f64>,
+    /// Exact solution if the problem was manufactured, else `None`.
+    pub exact: Option<Vec<f64>>,
+}
+
+impl Problem {
+    /// Jacobi-scales the problem to unit diagonal (the wafer's required
+    /// form).
+    pub fn preconditioned(&self) -> Problem {
+        let ScaledSystem { matrix, rhs, .. } = jacobi_scale(&self.matrix, &self.rhs);
+        Problem { matrix, rhs, exact: self.exact.clone() }
+    }
+}
+
+/// Convection–diffusion problem with a manufactured smooth solution
+/// `x(i,j,k) = sin-like product`, so the exact discrete solution is known.
+pub fn manufactured(mesh: Mesh3D, velocity: (f64, f64, f64), seed: u64) -> Problem {
+    let matrix = convection_diffusion(mesh, velocity, 1.0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Smooth plus small noise: representative magnitudes around O(1), which
+    // keeps everything comfortably inside fp16 range.
+    let exact: Vec<f64> = mesh
+        .iter()
+        .map(|(x, y, z)| {
+            let (fx, fy, fz) = (
+                x as f64 / mesh.nx as f64,
+                y as f64 / mesh.ny as f64,
+                z as f64 / mesh.nz as f64,
+            );
+            (6.283 * fx).sin() * (3.141 * fy).cos() * (1.0 - fz) + 0.01 * rng.gen_range(-1.0..1.0)
+        })
+        .collect();
+    let mut rhs = vec![0.0; mesh.len()];
+    matrix.matvec_f64(&exact, &mut rhs);
+    Problem { matrix, rhs, exact: Some(exact) }
+}
+
+/// Random diagonally dominant nonsymmetric 7-point problem (stress test for
+/// solver robustness).
+pub fn random_dominant(mesh: Mesh3D, dominance: f64, seed: u64) -> Problem {
+    assert!(dominance > 1.0, "dominance factor must exceed 1");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut matrix = convection_diffusion(mesh, (0.0, 0.0, 0.0), 1.0);
+    // Perturb off-diagonals randomly, then set the diagonal to dominate.
+    let offsets: Vec<_> = matrix.offsets().to_vec();
+    for (bi, off) in offsets.iter().enumerate() {
+        if off.is_center() {
+            continue;
+        }
+        let band = matrix.band_mut(bi);
+        for v in band.iter_mut() {
+            if *v != 0.0 {
+                *v = -rng.gen_range(0.25..1.0);
+            }
+        }
+    }
+    // Diagonal = dominance * sum |offdiag| per row.
+    let center = matrix.band_index(crate::dia::Offset3::CENTER).unwrap();
+    let mut diag = vec![0.0; mesh.len()];
+    for (bi, off) in offsets.iter().enumerate() {
+        if bi == center || off.is_center() {
+            continue;
+        }
+        for (row, v) in matrix.band(bi).iter().enumerate() {
+            diag[row] += v.abs();
+        }
+    }
+    for (row, d) in diag.iter().enumerate() {
+        matrix.band_mut(center)[row] = dominance * d.max(1e-3);
+    }
+    let exact: Vec<f64> = (0..mesh.len()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut rhs = vec![0.0; mesh.len()];
+    matrix.matvec_f64(&exact, &mut rhs);
+    Problem { matrix, rhs, exact: Some(exact) }
+}
+
+/// The lid-driven-cavity-like momentum problem shape used by Fig. 9
+/// (100 × 400 × 100 at full size); `scale` divides each dimension for quick
+/// runs. The actual Fig. 9 system is assembled by the `cfd` crate; this is a
+/// structurally equivalent stand-in for stencil-level tests.
+pub fn fig9_shape(scale: usize) -> Mesh3D {
+    assert!(scale >= 1);
+    Mesh3D::new((100 / scale).max(2), (400 / scale).max(2), (100 / scale).max(2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stencil7::diagonal_dominance_slack;
+
+    #[test]
+    fn manufactured_solution_is_consistent() {
+        let p = manufactured(Mesh3D::new(6, 5, 4), (1.0, 0.0, -0.5), 42);
+        let exact = p.exact.as_ref().unwrap();
+        let r = p.matrix.residual_f64(exact, &p.rhs);
+        assert!(r.iter().all(|&v| v.abs() < 1e-10));
+    }
+
+    #[test]
+    fn manufactured_is_deterministic() {
+        let a = manufactured(Mesh3D::new(4, 4, 4), (1.0, 1.0, 1.0), 7);
+        let b = manufactured(Mesh3D::new(4, 4, 4), (1.0, 1.0, 1.0), 7);
+        assert_eq!(a.rhs, b.rhs);
+        let c = manufactured(Mesh3D::new(4, 4, 4), (1.0, 1.0, 1.0), 8);
+        assert_ne!(a.rhs, c.rhs);
+    }
+
+    #[test]
+    fn random_dominant_is_dominant() {
+        let p = random_dominant(Mesh3D::new(5, 4, 3), 1.5, 11);
+        assert!(diagonal_dominance_slack(&p.matrix) > 0.0);
+        assert!(p.matrix.validate().is_ok());
+    }
+
+    #[test]
+    fn preconditioned_has_unit_diagonal() {
+        let p = manufactured(Mesh3D::new(4, 4, 4), (2.0, 1.0, 0.0), 3).preconditioned();
+        assert!(crate::precond::has_unit_diagonal(&p.matrix));
+        // Solution unchanged by row scaling.
+        let r = p.matrix.residual_f64(p.exact.as_ref().unwrap(), &p.rhs);
+        assert!(r.iter().all(|&v| v.abs() < 1e-10));
+    }
+
+    #[test]
+    fn fig9_shape_scales() {
+        assert_eq!(fig9_shape(1), Mesh3D::new(100, 400, 100));
+        assert_eq!(fig9_shape(10), Mesh3D::new(10, 40, 10));
+    }
+}

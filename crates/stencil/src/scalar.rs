@@ -1,0 +1,289 @@
+//! The numeric abstraction over which every operator and solver is generic.
+//!
+//! The paper's implementation runs "16-bit for all arithmetic except the
+//! inner products"; the accuracy study (Fig. 9) compares the same solver in
+//! 32-bit and mixed 16/32-bit. Making the stencil matvec and the Krylov
+//! vectors generic over [`Scalar`] lets one code path produce all the curves.
+
+use std::fmt::Debug;
+use wse_float::F16;
+
+/// A floating-point scalar usable as vector/matrix storage.
+///
+/// Every operation rounds in the implementing type's precision, so running a
+/// solver at `S = F16` reproduces exactly the roundoff behaviour of the
+/// 16-bit wafer datapath.
+pub trait Scalar: Copy + Default + PartialEq + Debug + Send + Sync + 'static {
+    /// Human-readable precision name used in experiment output.
+    const NAME: &'static str;
+
+    /// Converts from f64, rounding once.
+    fn from_f64(v: f64) -> Self;
+    /// Widens to f64 (exact for all implementors here).
+    fn to_f64(self) -> f64;
+
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+
+    /// `self + rhs`, rounded in `Self`.
+    fn add(self, rhs: Self) -> Self;
+    /// `self - rhs`, rounded in `Self`.
+    fn sub(self, rhs: Self) -> Self;
+    /// `self * rhs`, rounded in `Self`.
+    fn mul(self, rhs: Self) -> Self;
+    /// `self / rhs`, rounded in `Self`.
+    fn div(self, rhs: Self) -> Self;
+    /// Negation (sign flip; exact).
+    fn neg(self) -> Self;
+
+    /// Fused multiply-add `a * b + self` with a single rounding, matching
+    /// the hardware FMAC ("no rounding of the product prior to the add").
+    fn mul_add(self, a: Self, b: Self) -> Self;
+
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root, correctly rounded.
+    fn sqrt(self) -> Self;
+
+    /// `true` if the value is NaN or infinite — used by solvers to detect
+    /// breakdown/overflow (a real hazard in fp16).
+    fn is_non_finite(self) -> bool;
+}
+
+impl Scalar for f64 {
+    const NAME: &'static str = "fp64";
+
+    #[inline]
+    fn from_f64(v: f64) -> f64 {
+        v
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn zero() -> f64 {
+        0.0
+    }
+    #[inline]
+    fn one() -> f64 {
+        1.0
+    }
+    #[inline]
+    fn add(self, rhs: f64) -> f64 {
+        self + rhs
+    }
+    #[inline]
+    fn sub(self, rhs: f64) -> f64 {
+        self - rhs
+    }
+    #[inline]
+    fn mul(self, rhs: f64) -> f64 {
+        self * rhs
+    }
+    #[inline]
+    fn div(self, rhs: f64) -> f64 {
+        self / rhs
+    }
+    #[inline]
+    fn neg(self) -> f64 {
+        -self
+    }
+    #[inline]
+    fn mul_add(self, a: f64, b: f64) -> f64 {
+        f64::mul_add(a, b, self)
+    }
+    #[inline]
+    fn abs(self) -> f64 {
+        f64::abs(self)
+    }
+    #[inline]
+    fn sqrt(self) -> f64 {
+        f64::sqrt(self)
+    }
+    #[inline]
+    fn is_non_finite(self) -> bool {
+        !self.is_finite()
+    }
+}
+
+impl Scalar for f32 {
+    const NAME: &'static str = "fp32";
+
+    #[inline]
+    fn from_f64(v: f64) -> f32 {
+        v as f32
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline]
+    fn zero() -> f32 {
+        0.0
+    }
+    #[inline]
+    fn one() -> f32 {
+        1.0
+    }
+    #[inline]
+    fn add(self, rhs: f32) -> f32 {
+        self + rhs
+    }
+    #[inline]
+    fn sub(self, rhs: f32) -> f32 {
+        self - rhs
+    }
+    #[inline]
+    fn mul(self, rhs: f32) -> f32 {
+        self * rhs
+    }
+    #[inline]
+    fn div(self, rhs: f32) -> f32 {
+        self / rhs
+    }
+    #[inline]
+    fn neg(self) -> f32 {
+        -self
+    }
+    #[inline]
+    fn mul_add(self, a: f32, b: f32) -> f32 {
+        f32::mul_add(a, b, self)
+    }
+    #[inline]
+    fn abs(self) -> f32 {
+        f32::abs(self)
+    }
+    #[inline]
+    fn sqrt(self) -> f32 {
+        f32::sqrt(self)
+    }
+    #[inline]
+    fn is_non_finite(self) -> bool {
+        !self.is_finite()
+    }
+}
+
+impl Scalar for F16 {
+    const NAME: &'static str = "fp16";
+
+    #[inline]
+    fn from_f64(v: f64) -> F16 {
+        F16::from_f64(v)
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        F16::to_f64(self)
+    }
+    #[inline]
+    fn zero() -> F16 {
+        F16::ZERO
+    }
+    #[inline]
+    fn one() -> F16 {
+        F16::ONE
+    }
+    #[inline]
+    fn add(self, rhs: F16) -> F16 {
+        self + rhs
+    }
+    #[inline]
+    fn sub(self, rhs: F16) -> F16 {
+        self - rhs
+    }
+    #[inline]
+    fn mul(self, rhs: F16) -> F16 {
+        self * rhs
+    }
+    #[inline]
+    fn div(self, rhs: F16) -> F16 {
+        self / rhs
+    }
+    #[inline]
+    fn neg(self) -> F16 {
+        -self
+    }
+    #[inline]
+    fn mul_add(self, a: F16, b: F16) -> F16 {
+        wse_float::fma16(a, b, self)
+    }
+    #[inline]
+    fn abs(self) -> F16 {
+        F16::abs(self)
+    }
+    #[inline]
+    fn sqrt(self) -> F16 {
+        F16::sqrt(self)
+    }
+    #[inline]
+    fn is_non_finite(self) -> bool {
+        !self.is_finite()
+    }
+}
+
+/// Converts a slice between scalar types, rounding each element once.
+pub fn convert_slice<A: Scalar, B: Scalar>(src: &[A]) -> Vec<B> {
+    src.iter().map(|&v| B::from_f64(v.to_f64())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise<S: Scalar>() {
+        let two = S::from_f64(2.0);
+        let three = S::from_f64(3.0);
+        assert_eq!(two.add(three).to_f64(), 5.0);
+        assert_eq!(three.sub(two).to_f64(), 1.0);
+        assert_eq!(two.mul(three).to_f64(), 6.0);
+        assert_eq!(three.div(two).to_f64(), 1.5);
+        assert_eq!(two.neg().to_f64(), -2.0);
+        assert_eq!(S::zero().to_f64(), 0.0);
+        assert_eq!(S::one().to_f64(), 1.0);
+        assert_eq!(S::one().mul_add(two, three).to_f64(), 7.0);
+        assert_eq!(S::from_f64(-4.0).abs().to_f64(), 4.0);
+        assert_eq!(S::from_f64(9.0).sqrt().to_f64(), 3.0);
+        assert!(!two.is_non_finite());
+        assert!(S::from_f64(f64::INFINITY).is_non_finite());
+        assert!(S::from_f64(f64::NAN).is_non_finite());
+    }
+
+    #[test]
+    fn all_scalars_satisfy_basic_algebra() {
+        exercise::<f64>();
+        exercise::<f32>();
+        exercise::<F16>();
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        assert_eq!(f64::NAME, "fp64");
+        assert_eq!(f32::NAME, "fp32");
+        assert_eq!(F16::NAME, "fp16");
+    }
+
+    #[test]
+    fn f16_ops_round_in_f16() {
+        // 1 + eps16/2 rounds back to 1 in fp16 but not in fp32/f64.
+        let one = F16::one();
+        let tiny = F16::from_f64(f64::powi(2.0, -12));
+        assert_eq!(one.add(tiny).to_f64(), 1.0);
+        let one32 = <f32 as Scalar>::one();
+        let tiny32 = <f32 as Scalar>::from_f64(f64::powi(2.0, -12));
+        assert!(one32.add(tiny32).to_f64() > 1.0);
+    }
+
+    #[test]
+    fn convert_slice_rounds_once() {
+        let src = vec![1.0f64, 0.1, -2.5];
+        let out: Vec<F16> = convert_slice(&src);
+        assert_eq!(out[0].to_f64(), 1.0);
+        assert_eq!(out[2].to_f64(), -2.5);
+        // 0.1 is inexact in binary16
+        assert!((out[1].to_f64() - 0.1).abs() < 1e-4);
+        let back: Vec<f64> = convert_slice(&out);
+        assert_eq!(back[0], 1.0);
+    }
+}

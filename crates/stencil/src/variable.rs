@@ -1,0 +1,230 @@
+//! Variable-coefficient and anisotropic 7-point operators.
+//!
+//! The paper's application domain (MFIX multiphase flow) produces systems
+//! whose coefficients vary in space — mixtures, stretched meshes, phase
+//! fractions. These generators create that matrix class for stress-testing
+//! the solvers beyond the constant-coefficient Poisson/convection cases:
+//! heterogeneous diffusivity fields (harmonic-mean face coefficients, as a
+//! finite-volume code computes them) and axis-anisotropic operators (the
+//! stretched-mesh effect).
+
+use crate::dia::{DiaMatrix, Offset3};
+use crate::mesh::Mesh3D;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A spatially varying diffusivity field on cell centers.
+#[derive(Clone, Debug)]
+pub struct DiffusivityField {
+    mesh: Mesh3D,
+    kappa: Vec<f64>,
+}
+
+impl DiffusivityField {
+    /// A log-uniform random field in `[lo, hi]` (the classic heterogeneous
+    /// media test; contrast `hi/lo` controls the conditioning).
+    ///
+    /// # Panics
+    /// Panics unless `0 < lo <= hi`.
+    pub fn random(mesh: Mesh3D, lo: f64, hi: f64, seed: u64) -> DiffusivityField {
+        assert!(lo > 0.0 && hi >= lo, "need 0 < lo <= hi");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (llo, lhi) = (lo.ln(), hi.ln());
+        let kappa = (0..mesh.len()).map(|_| rng.gen_range(llo..=lhi).exp()).collect();
+        DiffusivityField { mesh, kappa }
+    }
+
+    /// A two-layer field: `lo` in the lower half of z, `hi` above (a sharp
+    /// material interface).
+    pub fn layered(mesh: Mesh3D, lo: f64, hi: f64) -> DiffusivityField {
+        assert!(lo > 0.0 && hi > 0.0);
+        let kappa = mesh
+            .iter()
+            .map(|(_, _, z)| if z < mesh.nz / 2 { lo } else { hi })
+            .collect();
+        DiffusivityField { mesh, kappa }
+    }
+
+    /// The value at a cell.
+    pub fn at(&self, x: usize, y: usize, z: usize) -> f64 {
+        self.kappa[self.mesh.idx(x, y, z)]
+    }
+
+    /// Harmonic mean of the two cells sharing a face — the standard
+    /// finite-volume face coefficient for discontinuous media.
+    fn face(&self, a: f64, b: f64) -> f64 {
+        2.0 * a * b / (a + b)
+    }
+}
+
+/// Builds the variable-coefficient diffusion operator
+/// `-∇·(κ(x) ∇u)` with harmonic-mean face coefficients and Dirichlet
+/// boundaries. Symmetric positive definite for any positive field.
+pub fn variable_diffusion(field: &DiffusivityField) -> DiaMatrix<f64> {
+    let mesh = field.mesh;
+    let mut a = DiaMatrix::new(mesh, &Offset3::seven_point());
+    for (x, y, z) in mesh.iter() {
+        let here = field.at(x, y, z);
+        let mut diag = 0.0;
+        for off in &Offset3::seven_point()[1..] {
+            let c = match mesh.neighbor(x, y, z, off.dx, off.dy, off.dz) {
+                Some(nbr) => {
+                    let (nx, ny, nz) = mesh.coords(nbr);
+                    let c = field.face(here, field.at(nx, ny, nz));
+                    a.set(x, y, z, *off, -c);
+                    c
+                }
+                // Dirichlet wall at half-cell distance: conductance 2κ.
+                None => 2.0 * here,
+            };
+            diag += c;
+        }
+        a.set(x, y, z, Offset3::CENTER, diag);
+    }
+    a
+}
+
+/// Builds an axis-anisotropic constant-coefficient operator with per-axis
+/// conductances `(kx, ky, kz)` — the discrete effect of a stretched mesh
+/// (`k ∝ 1/h²` per axis). Strong anisotropy is the classic hard case for
+/// unpreconditioned Krylov methods.
+pub fn anisotropic_diffusion(mesh: Mesh3D, kx: f64, ky: f64, kz: f64) -> DiaMatrix<f64> {
+    assert!(kx > 0.0 && ky > 0.0 && kz > 0.0);
+    let mut a = DiaMatrix::new(mesh, &Offset3::seven_point());
+    for (x, y, z) in mesh.iter() {
+        let mut diag = 0.0;
+        for off in &Offset3::seven_point()[1..] {
+            let k = if off.dx != 0 {
+                kx
+            } else if off.dy != 0 {
+                ky
+            } else {
+                kz
+            };
+            diag += k;
+            if mesh.neighbor(x, y, z, off.dx, off.dy, off.dz).is_some() {
+                a.set(x, y, z, *off, -k);
+            }
+        }
+        a.set(x, y, z, Offset3::CENTER, diag);
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precond::jacobi_scale;
+    use crate::stencil7::{diagonal_dominance_slack, is_symmetric};
+
+    #[test]
+    fn variable_diffusion_is_spd_shaped() {
+        let field = DiffusivityField::random(Mesh3D::new(5, 4, 6), 0.01, 10.0, 42);
+        let a = variable_diffusion(&field);
+        assert!(a.validate().is_ok());
+        assert!(is_symmetric(&a), "harmonic means keep symmetry");
+        // Interior rows are weakly dominant (slack 0); boundary rows carry
+        // the extra Dirichlet conductance.
+        assert!(diagonal_dominance_slack(&a) >= -1e-12);
+        let corner_diag: f64 = a.coeff(0, 0, 0, Offset3::CENTER);
+        let corner_off: f64 = a.row_entries(0).iter().skip(1).map(|(_, v)| v.abs()).sum();
+        assert!(corner_diag > corner_off, "boundary rows strictly dominant");
+    }
+
+    #[test]
+    fn layered_field_has_sharp_interface() {
+        let mesh = Mesh3D::new(3, 3, 8);
+        let field = DiffusivityField::layered(mesh, 1e-3, 1.0);
+        assert_eq!(field.at(1, 1, 0), 1e-3);
+        assert_eq!(field.at(1, 1, 7), 1.0);
+        let a = variable_diffusion(&field);
+        // Across the interface the harmonic mean is close to 2·lo.
+        let c = a.coeff(1, 1, mesh.nz / 2 - 1, Offset3::new(0, 0, 1)).abs();
+        assert!(c < 3.0e-3, "interface coefficient {c}");
+        assert!(is_symmetric(&a));
+    }
+
+    #[test]
+    fn high_contrast_system_still_solvable_after_jacobi() {
+        let mesh = Mesh3D::new(4, 4, 6);
+        let field = DiffusivityField::random(mesh, 1e-3, 1.0, 7);
+        let a = variable_diffusion(&field);
+        let exact: Vec<f64> = (0..mesh.len()).map(|i| ((i % 11) as f64) * 0.1 - 0.5).collect();
+        let mut b = vec![0.0; mesh.len()];
+        a.matvec_f64(&exact, &mut b);
+        let sys = jacobi_scale(&a, &b);
+        let opts =
+            solver_opts();
+        let res = crate::variable::tests_support::solve_f64(&sys.matrix, &sys.rhs, &opts);
+        assert!(res < 1e-7, "relative residual {res}");
+    }
+
+    #[test]
+    fn anisotropy_shapes_the_stencil() {
+        let mesh = Mesh3D::new(4, 4, 4);
+        let a = anisotropic_diffusion(mesh, 1.0, 1.0, 100.0);
+        assert!(is_symmetric(&a));
+        let cz = a.coeff(1, 1, 1, Offset3::new(0, 0, 1)).abs();
+        let cx = a.coeff(1, 1, 1, Offset3::new(1, 0, 0)).abs();
+        assert_eq!(cz / cx, 100.0);
+        let diag: f64 = a.coeff(1, 1, 1, Offset3::CENTER);
+        assert_eq!(diag, 2.0 * (1.0 + 1.0 + 100.0));
+    }
+
+    fn solver_opts() -> (usize, f64) {
+        (400, 1e-9)
+    }
+}
+
+/// Minimal in-crate solver used only by tests (the real solvers live in the
+/// `solver` crate, which depends on this one — so the test here carries its
+/// own tiny BiCGStab to avoid a dependency cycle).
+#[cfg(test)]
+mod tests_support {
+    use crate::dia::DiaMatrix;
+
+    /// Plain f64 BiCGStab; returns the final relative residual.
+    pub fn solve_f64(a: &DiaMatrix<f64>, b: &[f64], opts: &(usize, f64)) -> f64 {
+        let n = b.len();
+        let norm_b = b.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-300);
+        let mut x = vec![0.0; n];
+        let mut r = b.to_vec();
+        let r0 = r.clone();
+        let mut p = r.clone();
+        let mut s = vec![0.0; n];
+        let mut y = vec![0.0; n];
+        let mut rho: f64 = r0.iter().zip(&r).map(|(a, b)| a * b).sum();
+        for _ in 0..opts.0 {
+            a.matvec_f64(&p, &mut s);
+            let r0s: f64 = r0.iter().zip(&s).map(|(a, b)| a * b).sum();
+            if r0s == 0.0 || rho == 0.0 {
+                break;
+            }
+            let alpha = rho / r0s;
+            let q: Vec<f64> = r.iter().zip(&s).map(|(r, s)| r - alpha * s).collect();
+            a.matvec_f64(&q, &mut y);
+            let qy: f64 = q.iter().zip(&y).map(|(a, b)| a * b).sum();
+            let yy: f64 = y.iter().map(|v| v * v).sum();
+            if yy == 0.0 {
+                break;
+            }
+            let omega = qy / yy;
+            for j in 0..n {
+                x[j] += alpha * p[j] + omega * q[j];
+            }
+            let r_new: Vec<f64> = q.iter().zip(&y).map(|(q, y)| q - omega * y).collect();
+            let rho_new: f64 = r0.iter().zip(&r_new).map(|(a, b)| a * b).sum();
+            let beta = (alpha / omega) * (rho_new / rho);
+            rho = rho_new;
+            for j in 0..n {
+                p[j] = r_new[j] + beta * (p[j] - omega * s[j]);
+            }
+            r = r_new;
+            let rel = r.iter().map(|v| v * v).sum::<f64>().sqrt() / norm_b;
+            if rel < opts.1 {
+                break;
+            }
+        }
+        r.iter().map(|v| v * v).sum::<f64>().sqrt() / norm_b
+    }
+}

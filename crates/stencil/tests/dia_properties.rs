@@ -1,0 +1,105 @@
+//! Property tests for the diagonal-storage matrices: linearity, adjointness,
+//! conversion monotonicity, and preconditioning invariants.
+
+use proptest::prelude::*;
+use stencil::dia::{DiaMatrix, Offset3};
+use stencil::mesh::Mesh3D;
+use stencil::precond::jacobi_scale;
+use stencil::problem::random_dominant;
+use stencil::scalar::convert_slice;
+use wse_float::F16;
+
+fn arb_mesh() -> impl Strategy<Value = Mesh3D> {
+    (2usize..5, 2usize..5, 2usize..7).prop_map(|(x, y, z)| Mesh3D::new(x, y, z))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The f64 matvec is linear: A(αx + y) = αAx + Ay.
+    #[test]
+    fn matvec_is_linear(mesh in arb_mesh(), seed in 0u64..500, alpha in -4.0f64..4.0) {
+        let p = random_dominant(mesh, 1.5, seed);
+        let n = mesh.len();
+        let x: Vec<f64> = (0..n).map(|i| ((i * 13 + 1) % 17) as f64 * 0.1 - 0.8).collect();
+        let y: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 11) as f64 * 0.2 - 1.0).collect();
+        let combo: Vec<f64> = x.iter().zip(&y).map(|(a, b)| alpha * a + b).collect();
+        let mut lhs = vec![0.0; n];
+        p.matrix.matvec_f64(&combo, &mut lhs);
+        let mut ax = vec![0.0; n];
+        let mut ay = vec![0.0; n];
+        p.matrix.matvec_f64(&x, &mut ax);
+        p.matrix.matvec_f64(&y, &mut ay);
+        for i in 0..n {
+            let rhs = alpha * ax[i] + ay[i];
+            prop_assert!((lhs[i] - rhs).abs() < 1e-9 * (1.0 + rhs.abs()), "i={}", i);
+        }
+    }
+
+    /// The transpose matvec is the adjoint: ⟨Ax, y⟩ = ⟨x, Aᵀy⟩.
+    #[test]
+    fn transpose_is_adjoint(mesh in arb_mesh(), seed in 0u64..500) {
+        let p = random_dominant(mesh, 1.3, seed);
+        let n = mesh.len();
+        let x: Vec<f64> = (0..n).map(|i| ((i * 5) % 9) as f64 * 0.25 - 1.0).collect();
+        let y: Vec<f64> = (0..n).map(|i| ((i * 11) % 13) as f64 * 0.125 - 0.75).collect();
+        let mut ax = vec![0.0; n];
+        let mut aty = vec![0.0; n];
+        p.matrix.matvec_f64(&x, &mut ax);
+        p.matrix.matvec_transpose_f64(&y, &mut aty);
+        let lhs: f64 = ax.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let rhs: f64 = x.iter().zip(&aty).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-8 * (1.0 + lhs.abs()), "{} vs {}", lhs, rhs);
+    }
+
+    /// Narrowing to fp16 perturbs the matvec by at most the componentwise
+    /// fp16 bound: |A₁₆x − Ax| ≤ C·ε₁₆ per row (few terms, O(1) values).
+    #[test]
+    fn f16_conversion_error_is_bounded(mesh in arb_mesh(), seed in 0u64..500) {
+        let p = random_dominant(mesh, 1.5, seed).preconditioned();
+        let n = mesh.len();
+        let a16: DiaMatrix<F16> = p.matrix.convert();
+        let x: Vec<f64> = (0..n).map(|i| ((i * 3) % 7) as f64 * 0.25 - 0.75).collect();
+        let x16: Vec<F16> = convert_slice(&x);
+        let mut exact = vec![0.0; n];
+        p.matrix.matvec_f64(&x, &mut exact);
+        let mut approx = vec![F16::ZERO; n];
+        a16.matvec(&x16, &mut approx);
+        // 7 terms, coefficients O(1) after scaling, x O(1): the worst case
+        // is a few dozen fp16 ulps of the row magnitudes.
+        let eps16 = f64::powi(2.0, -11);
+        for i in 0..n {
+            let err = (approx[i].to_f64() - exact[i]).abs();
+            let scale: f64 = p.matrix.row_entries(i).iter().map(|(_, v)| v.abs()).sum::<f64>() + 1.0;
+            prop_assert!(err <= 40.0 * eps16 * scale, "i={}: err {} scale {}", i, err, scale);
+        }
+    }
+
+    /// Jacobi scaling is idempotent: scaling an already unit-diagonal
+    /// system changes nothing.
+    #[test]
+    fn jacobi_scale_idempotent(mesh in arb_mesh(), seed in 0u64..500) {
+        let p = random_dominant(mesh, 1.4, seed);
+        let s1 = jacobi_scale(&p.matrix, &p.rhs);
+        let s2 = jacobi_scale(&s1.matrix, &s1.rhs);
+        for row in 0..mesh.len() {
+            prop_assert_eq!(s1.matrix.row_entries(row), s2.matrix.row_entries(row));
+        }
+        for i in 0..mesh.len() {
+            prop_assert!((s1.rhs[i] - s2.rhs[i]).abs() < 1e-14);
+        }
+    }
+
+    /// `norm_inf` dominates the matvec: ‖Ax‖∞ ≤ ‖A‖∞·‖x‖∞.
+    #[test]
+    fn norm_inf_bounds_matvec(mesh in arb_mesh(), seed in 0u64..500) {
+        let p = random_dominant(mesh, 1.5, seed);
+        let n = mesh.len();
+        let x: Vec<f64> = (0..n).map(|i| ((i * 17) % 23) as f64 * 0.1 - 1.1).collect();
+        let xinf = x.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let mut ax = vec![0.0; n];
+        p.matrix.matvec_f64(&x, &mut ax);
+        let axinf = ax.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        prop_assert!(axinf <= p.matrix.norm_inf() * xinf * (1.0 + 1e-12));
+    }
+}

@@ -1,0 +1,1130 @@
+//! The processor core: task scheduler, background threads, and the shared
+//! SIMD datapath.
+//!
+//! Execution model, from the paper:
+//!
+//! * "Code consists of tasks that react to events. Tasks are triggered by
+//!   other tasks, or by arriving data words."
+//! * "An instruction with tensor operands can run synchronously or ... as a
+//!   background thread that shares the datapath with other threads including
+//!   the main one. ... The core supports nine concurrent threads of
+//!   execution."
+//! * "The hardware directly implements scheduling activities that would
+//!   normally be performed by an operating system."
+//!
+//! The cycle model: each cycle the core may retire one *control* statement
+//! of the running task (task/DSR bookkeeping, register arithmetic, thread
+//! launch) and may issue the datapath to exactly one runnable thread
+//! (round-robin), which processes up to its SIMD width of elements, stalling
+//! on fabric/FIFO availability.
+
+use crate::dsr::{Descriptor, Dsr};
+use crate::fifo::Fifo;
+use crate::instr::{ColorBinding, Op, RegOp, Stmt, Task, TaskAction, TensorInstr};
+use crate::memory::Memory;
+use crate::types::{
+    Color, Dtype, DsrId, FifoId, Flit, TaskId, NUM_COLORS, NUM_REGS, NUM_THREADS,
+    RAMP_OUT_CAPACITY, QUEUE_CAPACITY, SIMD_F16, SIMD_F32, SIMD_MIXED,
+};
+use std::collections::VecDeque;
+use wse_float::F16;
+
+/// Performance counters for one core.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct CorePerf {
+    /// Cycles in which the datapath issued at least one element.
+    pub busy_cycles: u64,
+    /// Cycles in which the datapath had nothing runnable.
+    pub idle_cycles: u64,
+    /// fp16 floating-point operations executed.
+    pub flops_f16: u64,
+    /// fp32 floating-point operations executed.
+    pub flops_f32: u64,
+    /// Flits injected into the fabric.
+    pub flits_sent: u64,
+    /// Flits consumed from the fabric.
+    pub flits_received: u64,
+    /// Control statements retired.
+    pub ctrl_stmts: u64,
+}
+
+#[derive(Clone, Debug)]
+struct TaskState {
+    task: Task,
+    activated: bool,
+    blocked: bool,
+}
+
+#[derive(Clone, Debug)]
+struct ActiveInstr {
+    instr: TensorInstr,
+    on_complete: Option<(TaskId, TaskAction)>,
+}
+
+#[derive(Clone, Debug)]
+struct RunningTask {
+    id: TaskId,
+    pc: usize,
+    /// A synchronous instruction the task is waiting on.
+    exec: Option<ActiveInstr>,
+}
+
+/// One tile's core.
+#[derive(Clone, Debug)]
+pub struct Core {
+    /// Scalar register file (fp32).
+    pub regs: [f32; NUM_REGS],
+    dsrs: Vec<Dsr>,
+    fifos: Vec<Fifo>,
+    tasks: Vec<TaskState>,
+    bindings: Vec<ColorBinding>,
+    main: Option<RunningTask>,
+    threads: [Option<ActiveInstr>; NUM_THREADS],
+    rr_cursor: usize,
+    /// Words received from the router, one queue per color.
+    ramp_in: Vec<VecDeque<Flit>>,
+    /// Words awaiting injection into the router.
+    ramp_out: VecDeque<(Color, Flit)>,
+    /// Performance counters.
+    pub perf: CorePerf,
+}
+
+impl Default for Core {
+    fn default() -> Core {
+        Core::new()
+    }
+}
+
+impl Core {
+    /// A fresh core with empty task table and register file.
+    pub fn new() -> Core {
+        Core {
+            regs: [0.0; NUM_REGS],
+            dsrs: Vec::new(),
+            fifos: Vec::new(),
+            tasks: Vec::new(),
+            bindings: Vec::new(),
+            main: None,
+            threads: Default::default(),
+            rr_cursor: 0,
+            ramp_in: (0..NUM_COLORS).map(|_| VecDeque::new()).collect(),
+            ramp_out: VecDeque::new(),
+            perf: CorePerf::default(),
+        }
+    }
+
+    /// Registers a DSR, returning its id.
+    pub fn add_dsr(&mut self, desc: Descriptor) -> DsrId {
+        self.dsrs.push(Dsr::new(desc));
+        self.dsrs.len() - 1
+    }
+
+    /// Reads a DSR's state (test/diagnostic access).
+    pub fn dsr(&self, id: DsrId) -> &Dsr {
+        &self.dsrs[id]
+    }
+
+    /// Registers a hardware FIFO, returning its id.
+    pub fn add_fifo(&mut self, fifo: Fifo) -> FifoId {
+        self.fifos.push(fifo);
+        self.fifos.len() - 1
+    }
+
+    /// Reads a FIFO's state (test/diagnostic access).
+    pub fn fifo(&self, id: FifoId) -> &Fifo {
+        &self.fifos[id]
+    }
+
+    /// Registers a task, returning its id.
+    pub fn add_task(&mut self, task: Task) -> TaskId {
+        let st = TaskState {
+            activated: task.start_activated,
+            blocked: task.start_blocked,
+            task,
+        };
+        self.tasks.push(st);
+        self.tasks.len() - 1
+    }
+
+    /// Replaces a task's body. Kernel builders use this when a task must
+    /// exist (so FIFOs/triggers can name it) before the DSRs its body
+    /// references have been created.
+    ///
+    /// # Panics
+    /// Panics if the task is currently running.
+    pub fn set_task_body(&mut self, task: TaskId, body: Vec<Stmt>) {
+        assert!(
+            self.main.as_ref().map_or(true, |r| r.id != task),
+            "cannot rewrite the body of a running task"
+        );
+        self.tasks[task].task.body = body;
+    }
+
+    /// Binds arriving data on `color` to activate `task`.
+    pub fn bind_color(&mut self, color: Color, task: TaskId) {
+        self.bindings.push(ColorBinding { color, task });
+    }
+
+    /// Externally activates a task (the host-side "go" signal).
+    pub fn activate(&mut self, task: TaskId) {
+        self.tasks[task].activated = true;
+    }
+
+    /// Applies a scheduling action to a task.
+    fn apply_action(&mut self, task: TaskId, action: TaskAction) {
+        match action {
+            TaskAction::Activate => self.tasks[task].activated = true,
+            TaskAction::Block => self.tasks[task].blocked = true,
+            TaskAction::Unblock => self.tasks[task].blocked = false,
+        }
+    }
+
+    /// `true` when nothing is running or runnable and no output is pending.
+    pub fn is_quiescent(&self) -> bool {
+        self.main.is_none()
+            && self.threads.iter().all(|t| t.is_none())
+            && self.ramp_out.is_empty()
+            && self
+                .tasks
+                .iter()
+                .all(|t| !t.activated || t.blocked)
+    }
+
+    /// Space left in the ramp-in queue for `color` (router-side check).
+    pub fn ramp_in_space(&self, color: Color) -> usize {
+        QUEUE_CAPACITY - self.ramp_in[color as usize].len()
+    }
+
+    /// Delivers a flit from the router to the core.
+    ///
+    /// # Panics
+    /// Panics if the queue is full (the router must check first).
+    pub fn deliver(&mut self, color: Color, flit: Flit) {
+        assert!(self.ramp_in_space(color) > 0, "ramp-in overflow on color {color}");
+        self.ramp_in[color as usize].push_back(flit);
+    }
+
+    /// Takes up to `budget_bytes` of injection from the core (router-side).
+    pub fn drain_ramp_out(&mut self, budget_bytes: u32) -> Vec<(Color, Flit)> {
+        let mut out = Vec::new();
+        let mut budget = budget_bytes;
+        while let Some(&(_, flit)) = self.ramp_out.front() {
+            if flit.bytes() > budget {
+                break;
+            }
+            budget -= flit.bytes();
+            out.push(self.ramp_out.pop_front().unwrap());
+        }
+        out
+    }
+
+    /// Pending injection queue length (diagnostics).
+    pub fn ramp_out_len(&self) -> usize {
+        self.ramp_out.len()
+    }
+
+    /// Peeks the head of the injection queue without removing it
+    /// (router-side).
+    pub fn peek_ramp_out(&self) -> Option<&(Color, Flit)> {
+        self.ramp_out.front()
+    }
+
+    /// Unconsumed ramp-in words (diagnostics; should be zero after a
+    /// well-formed program quiesces).
+    pub fn ramp_in_residue(&self) -> usize {
+        self.ramp_in.iter().map(|q| q.len()).sum()
+    }
+
+    /// Renders the core's program (tasks, bodies, DSRs, FIFOs) as
+    /// CSL-flavored text — the disassembler view for debugging kernel
+    /// builders.
+    pub fn dump_program(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, d) in self.dsrs.iter().enumerate() {
+            let _ = writeln!(out, "dsr {i}: {:?} (pos {})", d.desc, d.pos);
+        }
+        for (i, f) in self.fifos.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "fifo {i}: base {} cap {} {:?} onpush {:?} (len {})",
+                f.base, f.capacity, f.dtype, f.onpush, f.len()
+            );
+        }
+        for (i, t) in self.tasks.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "task {i} \"{}\" prio {}{}{}{} {{",
+                t.task.name,
+                t.task.priority,
+                if t.blocked { " [blocked]" } else { "" },
+                if t.activated { " [activated]" } else { "" },
+                if self.main.as_ref().is_some_and(|r| r.id == i) { " [running]" } else { "" },
+            );
+            for stmt in &t.task.body {
+                let line = match stmt {
+                    Stmt::Exec(instr) => format!("exec {:?} dst={:?} a={:?} b={:?}", instr.op, instr.dst, instr.a, instr.b),
+                    Stmt::Launch { slot, instr, on_complete } => format!(
+                        "launch@{slot} {:?} dst={:?} a={:?} b={:?} then {:?}",
+                        instr.op, instr.dst, instr.a, instr.b, on_complete
+                    ),
+                    Stmt::InitDsr { dsr, desc } => format!("init dsr {dsr} = {desc:?}"),
+                    Stmt::TaskCtl { task, action } => format!("{action:?}(task {task})"),
+                    Stmt::RegArith { op, dst, a, b } => format!("r{dst} = r{a} {op:?} r{b}"),
+                    Stmt::SetReg { reg, value } => format!("r{reg} = {value}"),
+                };
+                let _ = writeln!(out, "  {line}");
+            }
+            let _ = writeln!(out, "}}");
+        }
+        for b in &self.bindings {
+            let _ = writeln!(out, "on color {} activate task {}", b.color, b.task);
+        }
+        out
+    }
+
+    /// Executes one cycle. `mem` is the tile's SRAM.
+    pub fn step(&mut self, mem: &mut Memory) {
+        self.data_triggers();
+        self.schedule();
+        self.control_step();
+        self.datapath_step(mem);
+    }
+
+    /// Activates tasks bound to colors with pending data.
+    fn data_triggers(&mut self) {
+        for b in &self.bindings {
+            if !self.ramp_in[b.color as usize].is_empty() {
+                self.tasks[b.task].activated = true;
+            }
+        }
+    }
+
+    /// Picks a task for the main thread if it is free.
+    fn schedule(&mut self) {
+        if self.main.is_some() {
+            return;
+        }
+        let mut best: Option<(u8, usize)> = None;
+        for (id, t) in self.tasks.iter().enumerate() {
+            if t.activated && !t.blocked {
+                let key = (t.task.priority, usize::MAX - id);
+                if best.map_or(true, |b| key > b) {
+                    best = Some(key);
+                }
+            }
+        }
+        if let Some((_, inv_id)) = best {
+            let id = usize::MAX - inv_id;
+            self.tasks[id].activated = false; // activation is consumed
+            self.main = Some(RunningTask { id, pc: 0, exec: None });
+        }
+    }
+
+    /// Retires at most one control statement of the running task.
+    fn control_step(&mut self) {
+        let Some(running) = self.main.as_mut() else { return };
+        if running.exec.is_some() {
+            return; // waiting on a synchronous tensor instruction
+        }
+        let task_id = running.id;
+        let pc = running.pc;
+        let body_len = self.tasks[task_id].task.body.len();
+        if pc >= body_len {
+            self.main = None;
+            return;
+        }
+        let stmt = self.tasks[task_id].task.body[pc].clone();
+        match stmt {
+            Stmt::Exec(instr) => {
+                let r = self.main.as_mut().unwrap();
+                r.exec = Some(ActiveInstr { instr, on_complete: None });
+                r.pc += 1;
+            }
+            Stmt::Launch { slot, instr, on_complete } => {
+                let slot = slot as usize;
+                assert!(slot < NUM_THREADS, "thread slot out of range");
+                if self.threads[slot].is_some() {
+                    // Slot busy: stall (retry next cycle). Real programs
+                    // avoid this; the stall keeps the model safe.
+                    return;
+                }
+                self.threads[slot] = Some(ActiveInstr { instr, on_complete });
+                self.main.as_mut().unwrap().pc += 1;
+            }
+            Stmt::InitDsr { dsr, desc } => {
+                self.dsrs[dsr] = Dsr::new(desc);
+                self.main.as_mut().unwrap().pc += 1;
+            }
+            Stmt::TaskCtl { task, action } => {
+                self.apply_action(task, action);
+                self.main.as_mut().unwrap().pc += 1;
+            }
+            Stmt::RegArith { op, dst, a, b } => {
+                let (va, vb) = (self.regs[a], self.regs[b]);
+                self.regs[dst] = match op {
+                    RegOp::Add => va + vb,
+                    RegOp::Sub => va - vb,
+                    RegOp::Mul => va * vb,
+                    RegOp::Div => va / vb,
+                    RegOp::Neg => -va,
+                    RegOp::Mov => va,
+                };
+                self.main.as_mut().unwrap().pc += 1;
+            }
+            Stmt::SetReg { reg, value } => {
+                self.regs[reg] = value;
+                self.main.as_mut().unwrap().pc += 1;
+            }
+        }
+        self.perf.ctrl_stmts += 1;
+        // A task whose body is exhausted (and not waiting) retires.
+        let r = self.main.as_ref().unwrap();
+        if r.exec.is_none() && r.pc >= self.tasks[task_id].task.body.len() {
+            self.main = None;
+        }
+    }
+
+    /// Issues the datapath to one runnable thread (round-robin).
+    fn datapath_step(&mut self, mem: &mut Memory) {
+        // Candidate order: thread slots 0..N, then the main-exec pseudo-slot.
+        const MAIN_SLOT: usize = NUM_THREADS;
+        let total = NUM_THREADS + 1;
+        let mut issued = false;
+        for k in 0..total {
+            let slot = (self.rr_cursor + k) % total;
+            let has = if slot == MAIN_SLOT {
+                self.main.as_ref().map_or(false, |r| r.exec.is_some())
+            } else {
+                self.threads[slot].is_some()
+            };
+            if !has {
+                continue;
+            }
+            let active = if slot == MAIN_SLOT {
+                self.main.as_ref().unwrap().exec.clone().unwrap()
+            } else {
+                self.threads[slot].clone().unwrap()
+            };
+            let (progress, complete) = self.process(mem, &active.instr);
+            if complete {
+                self.finish_operands(&active.instr);
+                if let Some((task, action)) = active.on_complete {
+                    self.apply_action(task, action);
+                }
+                if slot == MAIN_SLOT {
+                    let r = self.main.as_mut().unwrap();
+                    r.exec = None;
+                    // Retire the task if the body is done.
+                    if r.pc >= self.tasks[r.id].task.body.len() {
+                        self.main = None;
+                    }
+                } else {
+                    self.threads[slot] = None;
+                }
+            }
+            if progress > 0 || complete {
+                self.rr_cursor = (slot + 1) % total;
+                issued = progress > 0;
+                break;
+            }
+        }
+        if issued {
+            self.perf.busy_cycles += 1;
+        } else {
+            self.perf.idle_cycles += 1;
+        }
+    }
+
+    /// Rewinds rewinding DSR operands at instruction completion.
+    fn finish_operands(&mut self, instr: &TensorInstr) {
+        for id in [instr.dst, instr.a, instr.b].into_iter().flatten() {
+            self.dsrs[id].finish_instruction();
+        }
+    }
+
+    /// SIMD lanes available to `op` at element type `dtype`.
+    fn lanes(op: Op, dtype: Dtype) -> u32 {
+        match op {
+            Op::MacReg { .. } => SIMD_MIXED,
+            _ => match dtype {
+                Dtype::F16 => SIMD_F16,
+                Dtype::F32 => SIMD_F32,
+            },
+        }
+    }
+
+    /// Element dtype governing an instruction (destination wins; register
+    /// reductions use the source type).
+    fn instr_dtype(&self, instr: &TensorInstr) -> Dtype {
+        let of = |id: Option<DsrId>| -> Option<Dtype> {
+            id.and_then(|d| match self.dsrs[d].desc {
+                Descriptor::Fifo { fifo } => Some(self.fifos[fifo].dtype),
+                ref other => other.dtype(),
+            })
+        };
+        of(instr.dst).or_else(|| of(instr.a)).unwrap_or(Dtype::F16)
+    }
+
+    /// Processes up to one SIMD group of `instr`. Returns
+    /// `(elements_processed, completed)`.
+    fn process(&mut self, mem: &mut Memory, instr: &TensorInstr) -> (u32, bool) {
+        // A destination must not share a DSR with a source: the shared
+        // cursor would advance twice per element. (Aliasing the same
+        // *memory* through two DSRs is fine and common.)
+        if let Some(d) = instr.dst {
+            debug_assert!(instr.a != Some(d), "dst and src a share DSR {d}");
+            debug_assert!(instr.b != Some(d), "dst and src b share DSR {d}");
+        }
+        let dtype = self.instr_dtype(instr);
+        let lanes = Self::lanes(instr.op, dtype);
+        let mut processed = 0;
+        let mut fifo_src_empty = false;
+
+        for _ in 0..lanes {
+            // Completion on exhausted fixed-length operands.
+            if self.any_operand_exhausted(instr) {
+                return (processed, true);
+            }
+            // Availability checks.
+            if !self.sources_ready(instr) {
+                if self.fifo_source_empty(instr) {
+                    fifo_src_empty = true;
+                }
+                break;
+            }
+            if !self.dst_ready(instr) {
+                break;
+            }
+            self.execute_element(mem, instr, dtype);
+            processed += 1;
+        }
+
+        if self.any_operand_exhausted(instr) {
+            return (processed, true);
+        }
+        // FIFO-source semantics: "Each add pulls as much data as it can from
+        // its input FIFO, finishing when empty."
+        if fifo_src_empty || (processed > 0 && self.fifo_source_empty(instr)) {
+            return (processed, true);
+        }
+        (processed, false)
+    }
+
+    fn any_operand_exhausted(&self, instr: &TensorInstr) -> bool {
+        [instr.dst, instr.a, instr.b]
+            .into_iter()
+            .flatten()
+            .any(|id| self.dsrs[id].remaining() == 0)
+    }
+
+    fn fifo_source_empty(&self, instr: &TensorInstr) -> bool {
+        for id in [instr.a, instr.b].into_iter().flatten() {
+            if let Descriptor::Fifo { fifo } = self.dsrs[id].desc {
+                if self.fifos[fifo].is_empty() {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn sources_ready(&self, instr: &TensorInstr) -> bool {
+        for id in [instr.a, instr.b].into_iter().flatten() {
+            match self.dsrs[id].desc {
+                Descriptor::Mem { .. } => {}
+                Descriptor::FabricIn { color, .. } => {
+                    if self.ramp_in[color as usize].is_empty() {
+                        return false;
+                    }
+                }
+                Descriptor::FabricOut { .. } => panic!("FabricOut used as a source"),
+                Descriptor::Fifo { fifo } => {
+                    if self.fifos[fifo].is_empty() {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn dst_ready(&self, instr: &TensorInstr) -> bool {
+        let Some(id) = instr.dst else { return true };
+        match self.dsrs[id].desc {
+            Descriptor::Mem { .. } => true,
+            Descriptor::FabricIn { .. } => panic!("FabricIn used as a destination"),
+            Descriptor::FabricOut { .. } => self.ramp_out.len() < RAMP_OUT_CAPACITY,
+            Descriptor::Fifo { fifo } => !self.fifos[fifo].is_full(),
+        }
+    }
+
+    /// Reads one element from a source DSR, advancing it.
+    fn read_src(&mut self, mem: &Memory, id: DsrId) -> (u32, Dtype) {
+        let dsr = self.dsrs[id];
+        match dsr.desc {
+            Descriptor::Mem { dtype, .. } => {
+                let addr = dsr.current_addr().unwrap();
+                self.dsrs[id].advance(1);
+                (mem.read_bits(addr, dtype), dtype)
+            }
+            Descriptor::FabricIn { color, dtype, .. } => {
+                let flit = self.ramp_in[color as usize]
+                    .pop_front()
+                    .expect("sources_ready checked");
+                debug_assert_eq!(flit.dtype, dtype, "flit dtype mismatch on color {color}");
+                self.dsrs[id].advance(1);
+                self.perf.flits_received += 1;
+                (flit.bits, dtype)
+            }
+            Descriptor::Fifo { fifo } => {
+                let f = &self.fifos[fifo];
+                let dtype = f.dtype;
+                let addr = f.pop_addr().expect("sources_ready checked");
+                let bits = mem.read_bits(addr, dtype);
+                self.fifos[fifo].commit_pop();
+                (bits, dtype)
+            }
+            Descriptor::FabricOut { .. } => unreachable!(),
+        }
+    }
+
+    /// Writes one element to the destination DSR, advancing it. Returns a
+    /// task to activate (FIFO onpush), if any.
+    fn write_dst(&mut self, mem: &mut Memory, id: DsrId, bits: u32, dtype: Dtype) -> Option<TaskId> {
+        let dsr = self.dsrs[id];
+        match dsr.desc {
+            Descriptor::Mem { dtype: d, .. } => {
+                debug_assert_eq!(d, dtype);
+                let addr = dsr.current_addr().unwrap();
+                mem.write_bits(addr, d, bits);
+                self.dsrs[id].advance(1);
+                None
+            }
+            Descriptor::FabricOut { color, dtype: d, .. } => {
+                debug_assert_eq!(d, dtype);
+                let flit = Flit { bits, dtype: d };
+                self.ramp_out.push_back((color, flit));
+                self.dsrs[id].advance(1);
+                self.perf.flits_sent += 1;
+                None
+            }
+            Descriptor::Fifo { fifo } => {
+                let f = &self.fifos[fifo];
+                debug_assert_eq!(f.dtype, dtype);
+                let addr = f.push_addr().expect("dst_ready checked");
+                mem.write_bits(addr, dtype, bits);
+                self.fifos[fifo].commit_push()
+            }
+            Descriptor::FabricIn { .. } => unreachable!(),
+        }
+    }
+
+    /// Reads the destination's current element *without* advancing
+    /// (read-modify-write ops).
+    fn peek_dst(&self, mem: &Memory, id: DsrId) -> u32 {
+        let dsr = self.dsrs[id];
+        match dsr.desc {
+            Descriptor::Mem { dtype, .. } => mem.read_bits(dsr.current_addr().unwrap(), dtype),
+            _ => panic!("read-modify-write destination must be in memory"),
+        }
+    }
+
+    /// Executes one element of `instr`.
+    fn execute_element(&mut self, mem: &mut Memory, instr: &TensorInstr, dtype: Dtype) {
+        let mut activation = None;
+        match instr.op {
+            Op::Copy => {
+                let (bits, dt) = self.read_src(mem, instr.a.expect("copy src"));
+                activation = self.write_dst(mem, instr.dst.expect("copy dst"), bits, dt);
+            }
+            Op::Add | Op::Mul => {
+                let (ab, dt) = self.read_src(mem, instr.a.expect("src a"));
+                let (bb, dt2) = self.read_src(mem, instr.b.expect("src b"));
+                debug_assert_eq!(dt, dt2, "mixed-dtype binary op");
+                let bits = match dt {
+                    Dtype::F16 => {
+                        let (x, y) = (F16::from_bits(ab as u16), F16::from_bits(bb as u16));
+                        let r = if matches!(instr.op, Op::Add) { x + y } else { x * y };
+                        self.perf.flops_f16 += 1;
+                        r.to_bits() as u32
+                    }
+                    Dtype::F32 => {
+                        let (x, y) = (f32::from_bits(ab), f32::from_bits(bb));
+                        let r = if matches!(instr.op, Op::Add) { x + y } else { x * y };
+                        self.perf.flops_f32 += 1;
+                        r.to_bits()
+                    }
+                };
+                activation = self.write_dst(mem, instr.dst.expect("dst"), bits, dt);
+            }
+            Op::AddAssign => {
+                let dst = instr.dst.expect("dst");
+                let cur = self.peek_dst(mem, dst);
+                let (ab, dt) = self.read_src(mem, instr.a.expect("src a"));
+                let bits = match dt {
+                    Dtype::F16 => {
+                        let r = F16::from_bits(cur as u16) + F16::from_bits(ab as u16);
+                        self.perf.flops_f16 += 1;
+                        r.to_bits() as u32
+                    }
+                    Dtype::F32 => {
+                        let r = f32::from_bits(cur) + f32::from_bits(ab);
+                        self.perf.flops_f32 += 1;
+                        r.to_bits()
+                    }
+                };
+                activation = self.write_dst(mem, dst, bits, dt);
+            }
+            Op::FmaAssign => {
+                let dst = instr.dst.expect("dst");
+                let cur = self.peek_dst(mem, dst);
+                let (ab, dta) = self.read_src(mem, instr.a.expect("src a"));
+                let (bb, dtb) = self.read_src(mem, instr.b.expect("src b"));
+                debug_assert_eq!(dta, dtb, "mixed-dtype fma");
+                let bits = match dta {
+                    Dtype::F16 => {
+                        let r = wse_float::fma16(
+                            F16::from_bits(ab as u16),
+                            F16::from_bits(bb as u16),
+                            F16::from_bits(cur as u16),
+                        );
+                        self.perf.flops_f16 += 2;
+                        r.to_bits() as u32
+                    }
+                    Dtype::F32 => {
+                        let r = f32::from_bits(ab).mul_add(f32::from_bits(bb), f32::from_bits(cur));
+                        self.perf.flops_f32 += 2;
+                        r.to_bits()
+                    }
+                };
+                activation = self.write_dst(mem, dst, bits, dta);
+            }
+            Op::Xpay { scalar } => {
+                let (ab, dta) = self.read_src(mem, instr.a.expect("src a"));
+                let (bb, dtb) = self.read_src(mem, instr.b.expect("src b"));
+                debug_assert_eq!(dta, dtb, "mixed-dtype xpay");
+                let bits = match dta {
+                    Dtype::F16 => {
+                        let s = F16::from_f32(self.regs[scalar]);
+                        let r = wse_float::fma16(s, F16::from_bits(bb as u16), F16::from_bits(ab as u16));
+                        self.perf.flops_f16 += 2;
+                        r.to_bits() as u32
+                    }
+                    Dtype::F32 => {
+                        let r = self.regs[scalar].mul_add(f32::from_bits(bb), f32::from_bits(ab));
+                        self.perf.flops_f32 += 2;
+                        r.to_bits()
+                    }
+                };
+                activation = self.write_dst(mem, instr.dst.expect("dst"), bits, dta);
+            }
+            Op::Axpy { scalar } => {
+                let dst = instr.dst.expect("dst");
+                let cur = self.peek_dst(mem, dst);
+                let (ab, dt) = self.read_src(mem, instr.a.expect("src a"));
+                let bits = match dt {
+                    Dtype::F16 => {
+                        let s = F16::from_f32(self.regs[scalar]);
+                        let r = wse_float::fma16(s, F16::from_bits(ab as u16), F16::from_bits(cur as u16));
+                        self.perf.flops_f16 += 2;
+                        r.to_bits() as u32
+                    }
+                    Dtype::F32 => {
+                        let r = self.regs[scalar].mul_add(f32::from_bits(ab), f32::from_bits(cur));
+                        self.perf.flops_f32 += 2;
+                        r.to_bits()
+                    }
+                };
+                activation = self.write_dst(mem, dst, bits, dt);
+            }
+            Op::Scale { scalar } => {
+                let (ab, dt) = self.read_src(mem, instr.a.expect("src a"));
+                let bits = match dt {
+                    Dtype::F16 => {
+                        let r = F16::from_f32(self.regs[scalar]) * F16::from_bits(ab as u16);
+                        self.perf.flops_f16 += 1;
+                        r.to_bits() as u32
+                    }
+                    Dtype::F32 => {
+                        let r = self.regs[scalar] * f32::from_bits(ab);
+                        self.perf.flops_f32 += 1;
+                        r.to_bits()
+                    }
+                };
+                activation = self.write_dst(mem, instr.dst.expect("dst"), bits, dt);
+            }
+            Op::MacReg { acc } => {
+                let (ab, dta) = self.read_src(mem, instr.a.expect("src a"));
+                let (bb, dtb) = self.read_src(mem, instr.b.expect("src b"));
+                debug_assert_eq!(dta, Dtype::F16, "mixed mac sources are fp16");
+                debug_assert_eq!(dtb, Dtype::F16, "mixed mac sources are fp16");
+                let prod = F16::from_bits(ab as u16).to_f32() * F16::from_bits(bb as u16).to_f32();
+                self.regs[acc] += prod;
+                self.perf.flops_f16 += 1; // the multiply
+                self.perf.flops_f32 += 1; // the accumulate
+            }
+            Op::SumReg { acc } => {
+                let (ab, dt) = self.read_src(mem, instr.a.expect("src a"));
+                let v = match dt {
+                    Dtype::F32 => f32::from_bits(ab),
+                    Dtype::F16 => F16::from_bits(ab as u16).to_f32(),
+                };
+                self.regs[acc] += v;
+                self.perf.flops_f32 += 1;
+            }
+            Op::StoreReg { reg } => {
+                let v = self.regs[reg];
+                let bits = match dtype {
+                    Dtype::F32 => v.to_bits(),
+                    Dtype::F16 => F16::from_f32(v).to_bits() as u32,
+                };
+                activation = self.write_dst(mem, instr.dst.expect("dst"), bits, dtype);
+            }
+            Op::LoadReg { reg } => {
+                let (ab, dt) = self.read_src(mem, instr.a.expect("src a"));
+                self.regs[reg] = match dt {
+                    Dtype::F32 => f32::from_bits(ab),
+                    Dtype::F16 => F16::from_bits(ab as u16).to_f32(),
+                };
+            }
+        }
+        if let Some(task) = activation {
+            self.tasks[task].activated = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsr::mk;
+
+    fn run(core: &mut Core, mem: &mut Memory, cycles: usize) {
+        for _ in 0..cycles {
+            core.step(mem);
+        }
+    }
+
+    /// Builds a core+memory with two fp16 vectors in SRAM.
+    fn setup(a: &[f64], b: &[f64]) -> (Core, Memory, u32, u32) {
+        let mut mem = Memory::new();
+        let va: Vec<F16> = a.iter().map(|&v| F16::from_f64(v)).collect();
+        let vb: Vec<F16> = b.iter().map(|&v| F16::from_f64(v)).collect();
+        let addr_a = mem.alloc_vec(a.len() as u32, Dtype::F16).unwrap();
+        let addr_b = mem.alloc_vec(b.len() as u32, Dtype::F16).unwrap();
+        mem.store_f16_slice(addr_a, &va);
+        mem.store_f16_slice(addr_b, &vb);
+        (Core::new(), mem, addr_a, addr_b)
+    }
+
+    #[test]
+    fn elementwise_mul_task() {
+        let (mut core, mut mem, aa, ab) = setup(&[1.0, 2.0, 3.0, 4.0, 5.0], &[2.0; 5]);
+        let dst_addr = mem.alloc_vec(5, Dtype::F16).unwrap();
+        let da = core.add_dsr(mk::tensor16(aa, 5));
+        let db = core.add_dsr(mk::tensor16(ab, 5));
+        let dd = core.add_dsr(mk::tensor16(dst_addr, 5));
+        let t = core.add_task(Task::new(
+            "mul",
+            vec![Stmt::Exec(TensorInstr { op: Op::Mul, dst: Some(dd), a: Some(da), b: Some(db) })],
+        ));
+        core.activate(t);
+        run(&mut core, &mut mem, 10);
+        assert!(core.is_quiescent());
+        let out = mem.load_f16_slice(dst_addr, 5);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(v.to_f64(), 2.0 * (i + 1) as f64);
+        }
+        assert_eq!(core.perf.flops_f16, 5);
+    }
+
+    #[test]
+    fn simd4_throughput_for_f16() {
+        // 16 elements at 4 lanes = 4 busy datapath cycles.
+        let (mut core, mut mem, aa, ab) = setup(&[1.0; 16], &[1.0; 16]);
+        let da = core.add_dsr(mk::tensor16(aa, 16));
+        let db = core.add_dsr(mk::tensor16(ab, 16));
+        let dst = mem.alloc_vec(16, Dtype::F16).unwrap();
+        let dd = core.add_dsr(mk::tensor16(dst, 16));
+        let t = core.add_task(Task::new(
+            "add",
+            vec![Stmt::Exec(TensorInstr { op: Op::Add, dst: Some(dd), a: Some(da), b: Some(db) })],
+        ));
+        core.activate(t);
+        run(&mut core, &mut mem, 20);
+        assert!(core.is_quiescent());
+        assert_eq!(core.perf.flops_f16, 16);
+        assert_eq!(core.perf.busy_cycles, 4, "4 lanes/cycle");
+    }
+
+    #[test]
+    fn axpy_uses_register_scalar() {
+        let (mut core, mut mem, ax, ay) = setup(&[1.0, 2.0, 3.0], &[10.0, 10.0, 10.0]);
+        let dx = core.add_dsr(mk::tensor16(ax, 3));
+        let dy = core.add_dsr(mk::tensor16(ay, 3));
+        let t = core.add_task(Task::new(
+            "axpy",
+            vec![
+                Stmt::SetReg { reg: 0, value: 0.5 },
+                Stmt::Exec(TensorInstr { op: Op::Axpy { scalar: 0 }, dst: Some(dy), a: Some(dx), b: None }),
+            ],
+        ));
+        core.activate(t);
+        run(&mut core, &mut mem, 10);
+        assert!(core.is_quiescent());
+        let out = mem.load_f16_slice(ay, 3);
+        assert_eq!(out[0].to_f64(), 10.5);
+        assert_eq!(out[1].to_f64(), 11.0);
+        assert_eq!(out[2].to_f64(), 11.5);
+    }
+
+    #[test]
+    fn mixed_mac_accumulates_in_register() {
+        let (mut core, mut mem, aa, ab) = setup(&[1.0, 2.0, 3.0, 4.0], &[1.0, 1.0, 1.0, 1.0]);
+        let da = core.add_dsr(mk::tensor16(aa, 4));
+        let db = core.add_dsr(mk::tensor16(ab, 4));
+        let t = core.add_task(Task::new(
+            "dot",
+            vec![Stmt::Exec(TensorInstr { op: Op::MacReg { acc: 3 }, dst: None, a: Some(da), b: Some(db) })],
+        ));
+        core.activate(t);
+        run(&mut core, &mut mem, 10);
+        assert!(core.is_quiescent());
+        assert_eq!(core.regs[3], 10.0);
+        // Mixed throughput: 2 elements/cycle → 2 busy cycles for 4 elements.
+        assert_eq!(core.perf.busy_cycles, 2);
+    }
+
+    #[test]
+    fn fifo_decoupled_producer_consumer() {
+        // Producer: mul of two memory vectors into a FIFO. Consumer task
+        // (onpush-activated) drains the FIFO into an accumulator vector.
+        let n = 12u32;
+        let (mut core, mut mem, aa, ab) =
+            setup(&vec![2.0; n as usize], &(0..n).map(|i| i as f64).collect::<Vec<_>>());
+        let acc_addr = mem.alloc_vec(n, Dtype::F16).unwrap();
+        mem.store_f16_slice(acc_addr, &vec![F16::from_f64(1.0); n as usize]);
+        let fifo_mem = mem.alloc_vec(4, Dtype::F16).unwrap();
+
+        let da = core.add_dsr(mk::tensor16(aa, n));
+        let db = core.add_dsr(mk::tensor16(ab, n));
+        let dacc = core.add_dsr(mk::acc16(acc_addr, n));
+
+        // Consumer defined first so the fifo can name it.
+        let sum_task = core.add_task(Task::new("sum", vec![]));
+        let fid = core.add_fifo(Fifo::new(fifo_mem, 4, Dtype::F16, Some(sum_task)));
+        let dfifo = core.add_dsr(mk::fifo(fid));
+        // Patch the consumer body now that DSR ids exist.
+        core.tasks[sum_task].task.body = vec![Stmt::Exec(TensorInstr {
+            op: Op::AddAssign,
+            dst: Some(dacc),
+            a: Some(dfifo),
+            b: None,
+        })];
+        core.tasks[sum_task].task.priority = 1;
+
+        let producer = core.add_task(Task::new(
+            "mul",
+            vec![Stmt::Launch {
+                slot: 0,
+                instr: TensorInstr { op: Op::Mul, dst: Some(dfifo), a: Some(da), b: Some(db) },
+                on_complete: None,
+            }],
+        ));
+        core.activate(producer);
+        run(&mut core, &mut mem, 80);
+        assert!(core.is_quiescent(), "core did not quiesce");
+        let out = mem.load_f16_slice(acc_addr, n as usize);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(v.to_f64(), 1.0 + 2.0 * i as f64, "element {i}");
+        }
+        assert_eq!(core.fifo(fid).total_pushed, n as u64);
+        assert!(core.fifo(fid).peak_occupancy <= 4);
+    }
+
+    #[test]
+    fn fabric_out_then_loopback_in() {
+        // Without a router, deliver manually: the core sends, we shuttle the
+        // flits back to its own ramp-in on another color, a second task sums
+        // them into a register.
+        let (mut core, mut mem, aa, _) = setup(&[1.5, 2.5, 3.0], &[0.0; 3]);
+        let dsrc = core.add_dsr(mk::tensor16(aa, 3));
+        let dtx = core.add_dsr(mk::tx16(2, 3));
+        let drx = core.add_dsr(mk::rx16(5, 3));
+        let send = core.add_task(Task::new(
+            "send",
+            vec![Stmt::Exec(TensorInstr { op: Op::Copy, dst: Some(dtx), a: Some(dsrc), b: None })],
+        ));
+        let recv = core.add_task(Task::new(
+            "recv",
+            vec![Stmt::Exec(TensorInstr { op: Op::SumReg { acc: 1 }, dst: None, a: Some(drx), b: None })],
+        ));
+        core.activate(send);
+        core.activate(recv);
+        for _ in 0..40 {
+            core.step(&mut mem);
+            for (color, flit) in core.drain_ramp_out(4) {
+                assert_eq!(color, 2);
+                core.deliver(5, flit);
+            }
+        }
+        assert!(core.is_quiescent());
+        assert_eq!(core.regs[1], 7.0);
+        assert_eq!(core.perf.flits_sent, 3);
+        assert_eq!(core.perf.flits_received, 3);
+    }
+
+    #[test]
+    fn completion_tree_with_block_unblock() {
+        // Mirror the paper's two-way barrier: two launched threads trigger
+        // `done` via Activate and Unblock respectively; `done` must run only
+        // after both complete.
+        let (mut core, mut mem, aa, ab) = setup(&[1.0; 8], &[2.0; 8]);
+        let d1 = core.add_dsr(mk::tensor16(aa, 8));
+        let d2 = core.add_dsr(mk::tensor16(ab, 8));
+        let o1 = mem.alloc_vec(8, Dtype::F16).unwrap();
+        let o2 = mem.alloc_vec(8, Dtype::F16).unwrap();
+        let do1 = core.add_dsr(mk::tensor16(o1, 8));
+        let do2 = core.add_dsr(mk::tensor16(o2, 8));
+
+        let done = core.add_task(
+            Task::new("done", vec![Stmt::SetReg { reg: 7, value: 42.0 }]).blocked(),
+        );
+        let start = core.add_task(Task::new(
+            "start",
+            vec![
+                Stmt::Launch {
+                    slot: 0,
+                    instr: TensorInstr { op: Op::Copy, dst: Some(do1), a: Some(d1), b: None },
+                    on_complete: Some((done, TaskAction::Activate)),
+                },
+                Stmt::Launch {
+                    slot: 1,
+                    instr: TensorInstr { op: Op::Copy, dst: Some(do2), a: Some(d2), b: None },
+                    on_complete: Some((done, TaskAction::Unblock)),
+                },
+            ],
+        ));
+        core.activate(start);
+        run(&mut core, &mut mem, 60);
+        assert!(core.is_quiescent());
+        assert_eq!(core.regs[7], 42.0, "done must have run after both triggers");
+    }
+
+    #[test]
+    fn priority_wins_scheduling() {
+        let (mut core, mut mem, _, _) = setup(&[0.0], &[0.0]);
+        let lo = core.add_task(Task::new("lo", vec![Stmt::SetReg { reg: 0, value: 1.0 }]));
+        let hi =
+            Task::new("hi", vec![Stmt::SetReg { reg: 1, value: 1.0 }, Stmt::SetReg { reg: 2, value: 1.0 }])
+                .priority(5);
+        let hi = core.add_task(hi);
+        core.activate(lo);
+        core.activate(hi);
+        // One step: hi must be scheduled first.
+        core.step(&mut mem);
+        assert_eq!(core.regs[1], 1.0);
+        assert_eq!(core.regs[0], 0.0);
+        run(&mut core, &mut mem, 5);
+        assert_eq!(core.regs[0], 1.0);
+    }
+
+    #[test]
+    fn data_triggered_task_activation() {
+        let (mut core, mut mem, _, _) = setup(&[0.0], &[0.0]);
+        let drx = core.add_dsr(mk::rx16(4, 1));
+        let t = core.add_task(Task::new(
+            "on_data",
+            vec![Stmt::Exec(TensorInstr { op: Op::LoadReg { reg: 9 }, dst: None, a: Some(drx), b: None })],
+        ));
+        core.bind_color(4, t);
+        run(&mut core, &mut mem, 3);
+        assert_eq!(core.regs[9], 0.0, "nothing happened yet");
+        core.deliver(4, Flit::f16(F16::from_f32(6.0).to_bits()));
+        run(&mut core, &mut mem, 5);
+        assert!(core.is_quiescent());
+        assert_eq!(core.regs[9], 6.0);
+    }
+
+    #[test]
+    fn reg_arith_statements() {
+        let (mut core, mut mem, _, _) = setup(&[0.0], &[0.0]);
+        let t = core.add_task(Task::new(
+            "regs",
+            vec![
+                Stmt::SetReg { reg: 0, value: 12.0 },
+                Stmt::SetReg { reg: 1, value: 4.0 },
+                Stmt::RegArith { op: RegOp::Div, dst: 2, a: 0, b: 1 },
+                Stmt::RegArith { op: RegOp::Sub, dst: 3, a: 2, b: 1 },
+                Stmt::RegArith { op: RegOp::Neg, dst: 4, a: 3, b: 3 },
+                Stmt::RegArith { op: RegOp::Mul, dst: 5, a: 2, b: 2 },
+            ],
+        ));
+        core.activate(t);
+        run(&mut core, &mut mem, 10);
+        assert_eq!(core.regs[2], 3.0);
+        assert_eq!(core.regs[3], -1.0);
+        assert_eq!(core.regs[4], 1.0);
+        assert_eq!(core.regs[5], 9.0);
+    }
+
+    #[test]
+    fn dump_program_renders_everything() {
+        let (mut core, mut mem, aa, ab) = setup(&[1.0; 4], &[2.0; 4]);
+        let fifo_mem = mem.alloc_vec(4, Dtype::F16).unwrap();
+        let consumer = core.add_task(Task::new("consumer", vec![]));
+        let fid = core.add_fifo(Fifo::new(fifo_mem, 4, Dtype::F16, Some(consumer)));
+        let da = core.add_dsr(mk::tensor16(aa, 4));
+        let db = core.add_dsr(mk::tensor16(ab, 4));
+        let df = core.add_dsr(mk::fifo(fid));
+        let producer = core.add_task(Task::new(
+            "producer",
+            vec![
+                Stmt::SetReg { reg: 1, value: 2.5 },
+                Stmt::Launch {
+                    slot: 0,
+                    instr: TensorInstr { op: Op::Mul, dst: Some(df), a: Some(da), b: Some(db) },
+                    on_complete: None,
+                },
+            ],
+        ));
+        core.bind_color(5, consumer);
+        let text = core.dump_program();
+        assert!(text.contains("\"producer\""), "{text}");
+        assert!(text.contains("\"consumer\""));
+        assert!(text.contains("launch@0 Mul"));
+        assert!(text.contains("r1 = 2.5"));
+        assert!(text.contains("fifo 0"));
+        assert!(text.contains("on color 5 activate task"));
+        let _ = producer;
+    }
+
+    #[test]
+    fn ramp_out_backpressure_stalls_sender() {
+        // Send more than RAMP_OUT_CAPACITY without draining: the thread
+        // must stall rather than overflow.
+        let n = 32;
+        let vals: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
+        let (mut core, mut mem, aa, _) = setup(&vals, &[0.0]);
+        let dsrc = core.add_dsr(mk::tensor16(aa, n as u32));
+        let dtx = core.add_dsr(mk::tx16(1, n as u32));
+        let t = core.add_task(Task::new(
+            "send",
+            vec![Stmt::Exec(TensorInstr { op: Op::Copy, dst: Some(dtx), a: Some(dsrc), b: None })],
+        ));
+        core.activate(t);
+        run(&mut core, &mut mem, 50);
+        assert!(!core.is_quiescent(), "sender must be stalled on backpressure");
+        assert_eq!(core.ramp_out_len(), RAMP_OUT_CAPACITY);
+        // Drain and let it finish.
+        let mut got = Vec::new();
+        for _ in 0..100 {
+            got.extend(core.drain_ramp_out(4));
+            core.step(&mut mem);
+        }
+        got.extend(core.drain_ramp_out(4));
+        assert!(core.is_quiescent());
+        assert_eq!(got.len(), n);
+    }
+}

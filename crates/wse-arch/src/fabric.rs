@@ -1,0 +1,564 @@
+//! The 2D tile fabric: the wafer.
+//!
+//! A [`Fabric`] is a `w × h` grid of [`Tile`]s (core + 48 KB SRAM + router)
+//! stepped on a global clock. Links have single-cycle per-hop latency: a
+//! flit staged on an output port this cycle is available in the neighbor's
+//! input queue next cycle ("nanosecond per hop message latencies" at
+//! ~1 cycle/hop).
+
+use crate::core::Core;
+use crate::memory::Memory;
+use crate::router::{Router, StagedFlit};
+use crate::types::{Color, Flit, Port, PORT_BYTES_PER_CYCLE};
+use rayon::prelude::*;
+
+/// One tile: processor core, private SRAM, and router.
+#[derive(Clone, Debug, Default)]
+pub struct Tile {
+    /// The tile's 48 KB SRAM.
+    pub mem: Memory,
+    /// The processor core.
+    pub core: Core,
+    /// The router.
+    pub router: Router,
+}
+
+/// Error from [`Fabric::run_until_quiescent`] when the deadline passes.
+#[derive(Clone, Debug)]
+pub struct Stalled {
+    /// Cycle count at the timeout.
+    pub cycle: u64,
+    /// Human-readable description of what was still busy.
+    pub diagnostics: String,
+}
+
+impl std::fmt::Display for Stalled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fabric failed to quiesce by cycle {}: {}", self.cycle, self.diagnostics)
+    }
+}
+
+impl std::error::Error for Stalled {}
+
+/// Aggregate performance counters across the fabric.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct FabricPerf {
+    /// Total fp16 flops executed.
+    pub flops_f16: u64,
+    /// Total fp32 flops executed.
+    pub flops_f32: u64,
+    /// Total datapath-busy core-cycles.
+    pub busy_cycles: u64,
+    /// Total idle core-cycles.
+    pub idle_cycles: u64,
+    /// Total flits forwarded by routers.
+    pub flits_routed: u64,
+}
+
+/// One sample of fabric activity (see [`Fabric::enable_sampling`]).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct ActivitySample {
+    /// Cycle the sample was taken at.
+    pub cycle: u64,
+    /// Fraction of cores whose datapath issued during the sampling window.
+    pub core_utilization: f64,
+    /// Flits forwarded by routers during the window.
+    pub flits_routed: u64,
+    /// fp16 + fp32 flops executed during the window.
+    pub flops: u64,
+}
+
+/// The wafer: a grid of tiles with a global clock.
+pub struct Fabric {
+    w: usize,
+    h: usize,
+    tiles: Vec<Tile>,
+    cycle: u64,
+    sample_interval: u64,
+    samples: Vec<ActivitySample>,
+    last_sample_perf: FabricPerf,
+}
+
+impl Fabric {
+    /// Creates a `w × h` fabric of fresh tiles.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(w: usize, h: usize) -> Fabric {
+        assert!(w > 0 && h > 0, "fabric dimensions must be nonzero");
+        Fabric {
+            w,
+            h,
+            tiles: (0..w * h).map(|_| Tile::default()).collect(),
+            cycle: 0,
+            sample_interval: 0,
+            samples: Vec::new(),
+            last_sample_perf: FabricPerf::default(),
+        }
+    }
+
+    /// Enables periodic activity sampling: every `interval` cycles a
+    /// [`ActivitySample`] is appended (utilization timeline for phase
+    /// analysis and the examples' activity plots). `interval = 0` disables.
+    pub fn enable_sampling(&mut self, interval: u64) {
+        self.sample_interval = interval;
+        self.samples.clear();
+        self.last_sample_perf = self.perf();
+    }
+
+    /// The collected activity timeline.
+    pub fn samples(&self) -> &[ActivitySample] {
+        &self.samples
+    }
+
+    /// Fabric width in tiles.
+    pub fn width(&self) -> usize {
+        self.w
+    }
+
+    /// Fabric height in tiles.
+    pub fn height(&self) -> usize {
+        self.h
+    }
+
+    /// Elapsed cycles.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    #[inline]
+    fn index(&self, x: usize, y: usize) -> usize {
+        debug_assert!(x < self.w && y < self.h, "tile ({x},{y}) outside fabric");
+        y * self.w + x
+    }
+
+    /// Immutable tile access.
+    pub fn tile(&self, x: usize, y: usize) -> &Tile {
+        &self.tiles[self.index(x, y)]
+    }
+
+    /// Mutable tile access (program loading).
+    pub fn tile_mut(&mut self, x: usize, y: usize) -> &mut Tile {
+        let i = self.index(x, y);
+        &mut self.tiles[i]
+    }
+
+    /// Configures a route on tile `(x, y)`.
+    pub fn set_route(&mut self, x: usize, y: usize, in_port: Port, color: Color, outs: &[Port]) {
+        // Validate that no output points off the wafer.
+        for &o in outs {
+            if o == Port::Ramp {
+                continue;
+            }
+            let (dx, dy) = o.delta();
+            let (nx, ny) = (x as i64 + dx as i64, y as i64 + dy as i64);
+            assert!(
+                nx >= 0 && ny >= 0 && nx < self.w as i64 && ny < self.h as i64,
+                "route at ({x},{y}) port {o:?} points off the fabric"
+            );
+        }
+        self.tile_mut(x, y).router.set_route(in_port, color, outs);
+    }
+
+    /// Advances the fabric one cycle.
+    pub fn step(&mut self) {
+        // Phase 1: cores execute (independent per tile — parallel).
+        self.tiles.par_iter_mut().for_each(|t| {
+            let Tile { mem, core, .. } = t;
+            core.step(mem);
+        });
+
+        // Phase 2: core injection moves into the router's ramp-input queues
+        // (bounded by port bandwidth and queue space).
+        for t in &mut self.tiles {
+            // Respect the ramp queue's *minimum* color space conservatively:
+            // drain one flit at a time, checking the target queue.
+            let mut budget = PORT_BYTES_PER_CYCLE;
+            loop {
+                let Some(&(color, flit)) = t.core_peek_ramp_out() else { break };
+                if flit.bytes() > budget || t.router.space(Port::Ramp, color) == 0 {
+                    break;
+                }
+                let drained = t.core.drain_ramp_out(flit.bytes());
+                debug_assert_eq!(drained.len(), 1);
+                t.router.enqueue(Port::Ramp, color, flit);
+                budget -= flit.bytes();
+            }
+        }
+
+        // Phase 3: routers stage flits against a start-of-phase snapshot of
+        // destination occupancy, then deliveries land (1 cycle/hop).
+        let all_staged: Vec<(usize, Vec<StagedFlit>)>;
+        {
+            // Occupancy snapshots (immutable borrows end before staging).
+            let router_space: Vec<[[usize; crate::types::NUM_COLORS]; 5]> = self
+                .tiles
+                .iter()
+                .map(|t| {
+                    let mut s = [[0usize; crate::types::NUM_COLORS]; 5];
+                    for p in Port::ALL {
+                        for c in 0..crate::types::NUM_COLORS {
+                            s[p.index()][c] = t.router.space(p, c as Color);
+                        }
+                    }
+                    s
+                })
+                .collect();
+            let ramp_space: Vec<[usize; crate::types::NUM_COLORS]> = self
+                .tiles
+                .iter()
+                .map(|t| {
+                    let mut s = [0usize; crate::types::NUM_COLORS];
+                    for c in 0..crate::types::NUM_COLORS {
+                        s[c] = t.core.ramp_in_space(c as Color);
+                    }
+                    s
+                })
+                .collect();
+
+            let w = self.w;
+            let h = self.h;
+            all_staged = self
+                .tiles
+                .par_iter_mut()
+                .enumerate()
+                .map(|(i, t)| {
+                    let (x, y) = (i % w, i / w);
+                    let staged = t.router.stage(|out, color, already| {
+                        match out {
+                            Port::Ramp => already < ramp_space[i][color as usize],
+                            _ => {
+                                let (dx, dy) = out.delta();
+                                let (nx, ny) = (x as i64 + dx as i64, y as i64 + dy as i64);
+                                if nx < 0 || ny < 0 || nx >= w as i64 || ny >= h as i64 {
+                                    return false; // edge of the wafer: hold
+                                }
+                                let ni = ny as usize * w + nx as usize;
+                                let in_port = out.opposite().unwrap();
+                                already
+                                    < router_space[ni][in_port.index()][color as usize]
+                            }
+                        }
+                    });
+                    (i, staged)
+                })
+                .collect();
+        }
+
+        // Phase 4: deliveries.
+        for (i, staged) in all_staged {
+            let (x, y) = (i % self.w, i / self.w);
+            for s in staged {
+                match s.out {
+                    Port::Ramp => {
+                        self.tiles[i].core.deliver(s.color, s.flit);
+                    }
+                    out => {
+                        let (dx, dy) = out.delta();
+                        let nx = (x as i64 + dx as i64) as usize;
+                        let ny = (y as i64 + dy as i64) as usize;
+                        let ni = self.index(nx, ny);
+                        let in_port = out.opposite().unwrap();
+                        self.tiles[ni].router.enqueue(in_port, s.color, s.flit);
+                    }
+                }
+            }
+        }
+
+        self.cycle += 1;
+        if self.sample_interval > 0 && self.cycle % self.sample_interval == 0 {
+            let now = self.perf();
+            let window_busy = now.busy_cycles - self.last_sample_perf.busy_cycles;
+            let window_cycles = self.sample_interval * self.tiles.len() as u64;
+            self.samples.push(ActivitySample {
+                cycle: self.cycle,
+                core_utilization: window_busy as f64 / window_cycles as f64,
+                flits_routed: now.flits_routed - self.last_sample_perf.flits_routed,
+                flops: (now.flops_f16 + now.flops_f32)
+                    - (self.last_sample_perf.flops_f16 + self.last_sample_perf.flops_f32),
+            });
+            self.last_sample_perf = now;
+        }
+    }
+
+    /// `true` when every core is quiescent and every queue is empty.
+    pub fn is_quiescent(&self) -> bool {
+        self.tiles.iter().all(|t| t.core.is_quiescent() && t.router.queued() == 0)
+    }
+
+    /// Steps until quiescent, returning the number of cycles elapsed since
+    /// the call began.
+    ///
+    /// # Errors
+    /// Returns [`Stalled`] with per-tile diagnostics if `max_cycles` pass
+    /// without quiescence (deadlock or unfinished stream).
+    pub fn run_until_quiescent(&mut self, max_cycles: u64) -> Result<u64, Stalled> {
+        let start = self.cycle;
+        while !self.is_quiescent() {
+            if self.cycle - start >= max_cycles {
+                return Err(Stalled { cycle: self.cycle, diagnostics: self.diagnose() });
+            }
+            self.step();
+        }
+        Ok(self.cycle - start)
+    }
+
+    /// Describes which tiles are still busy (deadlock debugging).
+    pub fn diagnose(&self) -> String {
+        let mut out = String::new();
+        let mut shown = 0;
+        for y in 0..self.h {
+            for x in 0..self.w {
+                let t = self.tile(x, y);
+                let busy_core = !t.core.is_quiescent();
+                let busy_router = t.router.queued() > 0;
+                if busy_core || busy_router {
+                    if shown < 12 {
+                        out.push_str(&format!(
+                            "tile({x},{y}): core_busy={busy_core} router_queued={} ramp_out={} ramp_in_residue={}; ",
+                            t.router.queued(),
+                            t.core.ramp_out_len(),
+                            t.core.ramp_in_residue(),
+                        ));
+                    }
+                    shown += 1;
+                }
+            }
+        }
+        if shown > 12 {
+            out.push_str(&format!("... and {} more tiles", shown - 12));
+        }
+        if out.is_empty() {
+            out.push_str("nothing busy (already quiescent)");
+        }
+        out
+    }
+
+    /// Aggregates performance counters over all tiles.
+    pub fn perf(&self) -> FabricPerf {
+        let mut p = FabricPerf::default();
+        for t in &self.tiles {
+            p.flops_f16 += t.core.perf.flops_f16;
+            p.flops_f32 += t.core.perf.flops_f32;
+            p.busy_cycles += t.core.perf.busy_cycles;
+            p.idle_cycles += t.core.perf.idle_cycles;
+            p.flits_routed += t.router.flits_routed;
+        }
+        p
+    }
+}
+
+impl Tile {
+    /// Peeks the head of the core's injection queue without removing it.
+    fn core_peek_ramp_out(&self) -> Option<&(Color, Flit)> {
+        self.core.peek_ramp_out()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsr::mk;
+    use crate::instr::{Op, Stmt, Task, TensorInstr};
+    use crate::types::Dtype;
+    use wse_float::F16;
+
+    /// Two tiles: (0,0) sends three fp16 values east on color 1; (1,0)
+    /// receives and stores them.
+    #[test]
+    fn point_to_point_transfer() {
+        let mut f = Fabric::new(2, 1);
+        // Route: sender ramp -> East; receiver West -> Ramp.
+        f.set_route(0, 0, Port::Ramp, 1, &[Port::East]);
+        f.set_route(1, 0, Port::West, 1, &[Port::Ramp]);
+
+        // Sender program.
+        {
+            let t = f.tile_mut(0, 0);
+            let data: Vec<F16> = [1.0, 2.0, 3.0].iter().map(|&v| F16::from_f64(v)).collect();
+            let addr = t.mem.alloc_vec(3, Dtype::F16).unwrap();
+            t.mem.store_f16_slice(addr, &data);
+            let dsrc = t.core.add_dsr(mk::tensor16(addr, 3));
+            let dtx = t.core.add_dsr(mk::tx16(1, 3));
+            let task = t.core.add_task(Task::new(
+                "send",
+                vec![Stmt::Exec(TensorInstr { op: Op::Copy, dst: Some(dtx), a: Some(dsrc), b: None })],
+            ));
+            t.core.activate(task);
+        }
+        // Receiver program.
+        let raddr;
+        {
+            let t = f.tile_mut(1, 0);
+            raddr = t.mem.alloc_vec(3, Dtype::F16).unwrap();
+            let drx = t.core.add_dsr(mk::rx16(1, 3));
+            let ddst = t.core.add_dsr(mk::tensor16(raddr, 3));
+            let task = t.core.add_task(Task::new(
+                "recv",
+                vec![Stmt::Exec(TensorInstr { op: Op::Copy, dst: Some(ddst), a: Some(drx), b: None })],
+            ));
+            t.core.activate(task);
+        }
+
+        let cycles = f.run_until_quiescent(1000).expect("must quiesce");
+        assert!(cycles > 0 && cycles < 50, "cycles = {cycles}");
+        let got = f.tile(1, 0).mem.load_f16_slice(raddr, 3);
+        assert_eq!(got.iter().map(|v| v.to_f64()).collect::<Vec<_>>(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(f.perf().flits_routed, 6, "3 flits through 2 routers");
+    }
+
+    /// A flit crossing k hops takes ~k cycles (single-cycle per hop).
+    #[test]
+    fn hop_latency_is_about_one_cycle() {
+        let n = 12;
+        let mut f = Fabric::new(n, 1);
+        // Pass-through routes on color 0, west→east.
+        f.set_route(0, 0, Port::Ramp, 0, &[Port::East]);
+        for x in 1..n - 1 {
+            f.set_route(x, 0, Port::West, 0, &[Port::East]);
+        }
+        f.set_route(n - 1, 0, Port::West, 0, &[Port::Ramp]);
+
+        {
+            let t = f.tile_mut(0, 0);
+            let addr = t.mem.alloc_vec(1, Dtype::F16).unwrap();
+            t.mem.store_f16_slice(addr, &[F16::from_f64(9.0)]);
+            let dsrc = t.core.add_dsr(mk::tensor16(addr, 1));
+            let dtx = t.core.add_dsr(mk::tx16(0, 1));
+            let task = t.core.add_task(Task::new(
+                "send",
+                vec![Stmt::Exec(TensorInstr { op: Op::Copy, dst: Some(dtx), a: Some(dsrc), b: None })],
+            ));
+            t.core.activate(task);
+        }
+        {
+            let t = f.tile_mut(n - 1, 0);
+            let drx = t.core.add_dsr(mk::rx16(0, 1));
+            let task = t.core.add_task(Task::new(
+                "recv",
+                vec![Stmt::Exec(TensorInstr { op: Op::LoadReg { reg: 0 }, dst: None, a: Some(drx), b: None })],
+            ));
+            t.core.activate(task);
+        }
+        let cycles = f.run_until_quiescent(1000).unwrap();
+        assert_eq!(f.tile(n - 1, 0).core.regs[0], 9.0);
+        // n-1 hops plus a few cycles of launch/ramp overhead.
+        assert!(
+            cycles as usize >= n - 1 && (cycles as usize) < n + 12,
+            "expected ~{} cycles, got {cycles}",
+            n - 1
+        );
+    }
+
+    /// Fanout: one sender broadcasts to all four neighbors simultaneously.
+    #[test]
+    fn broadcast_to_four_neighbors() {
+        let mut f = Fabric::new(3, 3);
+        f.set_route(1, 1, Port::Ramp, 2, &[Port::North, Port::South, Port::East, Port::West]);
+        for (x, y, port) in [
+            (1usize, 0usize, Port::South),
+            (1, 2, Port::North),
+            (2, 1, Port::West),
+            (0, 1, Port::East),
+        ] {
+            f.set_route(x, y, port, 2, &[Port::Ramp]);
+            let t = f.tile_mut(x, y);
+            let drx = t.core.add_dsr(mk::rx16(2, 1));
+            let task = t.core.add_task(Task::new(
+                "recv",
+                vec![Stmt::Exec(TensorInstr { op: Op::LoadReg { reg: 5 }, dst: None, a: Some(drx), b: None })],
+            ));
+            t.core.activate(task);
+        }
+        {
+            let t = f.tile_mut(1, 1);
+            let addr = t.mem.alloc_vec(1, Dtype::F16).unwrap();
+            t.mem.store_f16_slice(addr, &[F16::from_f64(4.0)]);
+            let dsrc = t.core.add_dsr(mk::tensor16(addr, 1));
+            let dtx = t.core.add_dsr(mk::tx16(2, 1));
+            let task = t.core.add_task(Task::new(
+                "send",
+                vec![Stmt::Exec(TensorInstr { op: Op::Copy, dst: Some(dtx), a: Some(dsrc), b: None })],
+            ));
+            t.core.activate(task);
+        }
+        f.run_until_quiescent(100).unwrap();
+        for (x, y) in [(1, 0), (1, 2), (2, 1), (0, 1)] {
+            assert_eq!(f.tile(x, y).core.regs[5], 4.0, "neighbor ({x},{y})");
+        }
+    }
+
+    #[test]
+    fn stalled_reports_diagnostics() {
+        let mut f = Fabric::new(2, 1);
+        // Receiver waits for data that never comes.
+        let t = f.tile_mut(1, 0);
+        let drx = t.core.add_dsr(mk::rx16(0, 1));
+        let task = t.core.add_task(Task::new(
+            "recv",
+            vec![Stmt::Exec(TensorInstr { op: Op::LoadReg { reg: 0 }, dst: None, a: Some(drx), b: None })],
+        ));
+        t.core.activate(task);
+        let err = f.run_until_quiescent(50).unwrap_err();
+        assert!(err.diagnostics.contains("tile(1,0)"), "{}", err.diagnostics);
+    }
+
+    #[test]
+    fn sampling_records_activity() {
+        let mut f = Fabric::new(2, 1);
+        f.set_route(0, 0, Port::Ramp, 1, &[Port::East]);
+        f.set_route(1, 0, Port::West, 1, &[Port::Ramp]);
+        f.enable_sampling(4);
+        {
+            let t = f.tile_mut(0, 0);
+            let data: Vec<F16> = (0..32).map(|i| F16::from_f64(i as f64 * 0.125)).collect();
+            let addr = t.mem.alloc_vec(32, Dtype::F16).unwrap();
+            t.mem.store_f16_slice(addr, &data);
+            let dsrc = t.core.add_dsr(mk::tensor16(addr, 32));
+            let dtx = t.core.add_dsr(mk::tx16(1, 32));
+            let task = t.core.add_task(Task::new(
+                "send",
+                vec![Stmt::Exec(TensorInstr { op: Op::Copy, dst: Some(dtx), a: Some(dsrc), b: None })],
+            ));
+            t.core.activate(task);
+        }
+        {
+            let t = f.tile_mut(1, 0);
+            let addr = t.mem.alloc_vec(32, Dtype::F16).unwrap();
+            let drx = t.core.add_dsr(mk::rx16(1, 32));
+            let ddst = t.core.add_dsr(mk::tensor16(addr, 32));
+            let task = t.core.add_task(Task::new(
+                "recv",
+                vec![Stmt::Exec(TensorInstr { op: Op::Copy, dst: Some(ddst), a: Some(drx), b: None })],
+            ));
+            t.core.activate(task);
+        }
+        f.run_until_quiescent(500).unwrap();
+        let samples = f.samples();
+        assert!(!samples.is_empty(), "samples must accumulate");
+        assert!(samples.iter().any(|s| s.core_utilization > 0.0));
+        assert!(samples.iter().any(|s| s.flits_routed > 0));
+        let total_flits: u64 = samples.iter().map(|s| s.flits_routed).sum();
+        assert!(total_flits <= f.perf().flits_routed);
+        // Cycles are strictly increasing multiples of the interval.
+        for w in samples.windows(2) {
+            assert_eq!(w[1].cycle - w[0].cycle, 4);
+        }
+    }
+
+    #[test]
+    fn sampling_disabled_by_default() {
+        let mut f = Fabric::new(1, 1);
+        for _ in 0..10 {
+            f.step();
+        }
+        assert!(f.samples().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "points off the fabric")]
+    fn edge_route_panics() {
+        let mut f = Fabric::new(2, 2);
+        f.set_route(0, 0, Port::Ramp, 0, &[Port::West]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Hardware-managed in-memory FIFOs.
+//!
+//! "The instruction set supports hardware-managed, in-memory FIFOs that use
+//! memory regions as circular buffers. The core has special hardware
+//! registers to manage the state (head and tail location, for example) of
+//! each FIFO. ... They are able to activate tasks ... whenever they aren't
+//! empty." — the decoupling mechanism between the SpMV multiply threads and
+//! the `sumtask` adds.
+
+use crate::types::{Dtype, TaskId};
+
+/// State of one hardware FIFO: a circular buffer over a tile-memory region.
+#[derive(Clone, Debug)]
+pub struct Fifo {
+    /// Base byte address of the backing memory region.
+    pub base: u32,
+    /// Capacity in elements.
+    pub capacity: u32,
+    /// Element type.
+    pub dtype: Dtype,
+    /// Task to activate when data is pushed (`onpush` in Listing 1).
+    pub onpush: Option<TaskId>,
+    head: u32,
+    len: u32,
+    /// Total elements ever pushed (diagnostics).
+    pub total_pushed: u64,
+    /// High-water mark of occupancy (diagnostics: validates the paper's
+    /// "FIFO depth of 20" sizing).
+    pub peak_occupancy: u32,
+}
+
+impl Fifo {
+    /// Creates a FIFO over `capacity` elements of `dtype` backed at `base`.
+    ///
+    /// # Panics
+    /// Panics if capacity is zero.
+    pub fn new(base: u32, capacity: u32, dtype: Dtype, onpush: Option<TaskId>) -> Fifo {
+        assert!(capacity > 0, "fifo capacity must be nonzero");
+        Fifo {
+            base,
+            capacity,
+            dtype,
+            onpush,
+            head: 0,
+            len: 0,
+            total_pushed: 0,
+            peak_occupancy: 0,
+        }
+    }
+
+    /// Current occupancy in elements.
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// `true` when no elements are queued.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `true` when a push would overwrite unread data.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.len == self.capacity
+    }
+
+    /// Byte address for the next push, if space is available.
+    pub fn push_addr(&self) -> Option<u32> {
+        if self.is_full() {
+            return None;
+        }
+        let slot = (self.head + self.len) % self.capacity;
+        Some(self.base + slot * self.dtype.bytes())
+    }
+
+    /// Commits a push (the caller has written the element at
+    /// [`Fifo::push_addr`]). Returns the task to activate, if any.
+    ///
+    /// # Panics
+    /// Panics if the FIFO is full.
+    pub fn commit_push(&mut self) -> Option<TaskId> {
+        assert!(!self.is_full(), "push into full fifo");
+        self.len += 1;
+        self.total_pushed += 1;
+        self.peak_occupancy = self.peak_occupancy.max(self.len);
+        self.onpush
+    }
+
+    /// Byte address of the element at the head, if any.
+    pub fn pop_addr(&self) -> Option<u32> {
+        if self.is_empty() {
+            return None;
+        }
+        Some(self.base + self.head * self.dtype.bytes())
+    }
+
+    /// Commits a pop (the caller has read the element at [`Fifo::pop_addr`]).
+    ///
+    /// # Panics
+    /// Panics if the FIFO is empty.
+    pub fn commit_pop(&mut self) {
+        assert!(!self.is_empty(), "pop from empty fifo");
+        self.head = (self.head + 1) % self.capacity;
+        self.len -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_wraps_around() {
+        let mut f = Fifo::new(100, 3, Dtype::F16, Some(7));
+        assert!(f.is_empty());
+        assert_eq!(f.push_addr(), Some(100));
+        assert_eq!(f.commit_push(), Some(7));
+        assert_eq!(f.push_addr(), Some(102));
+        f.commit_push();
+        assert_eq!(f.push_addr(), Some(104));
+        f.commit_push();
+        assert!(f.is_full());
+        assert_eq!(f.push_addr(), None);
+        assert_eq!(f.pop_addr(), Some(100));
+        f.commit_pop();
+        // Wrap: next push lands back at base.
+        assert_eq!(f.push_addr(), Some(100));
+        f.commit_push();
+        assert_eq!(f.pop_addr(), Some(102));
+        assert_eq!(f.total_pushed, 4);
+        assert_eq!(f.peak_occupancy, 3);
+    }
+
+    #[test]
+    fn f32_addressing() {
+        let mut f = Fifo::new(0, 4, Dtype::F32, None);
+        f.commit_push();
+        assert_eq!(f.push_addr(), Some(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "pop from empty")]
+    fn pop_empty_panics() {
+        let mut f = Fifo::new(0, 2, Dtype::F16, None);
+        f.commit_pop();
+    }
+}

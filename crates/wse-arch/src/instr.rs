@@ -1,0 +1,258 @@
+//! The tensor instruction set and task-program statements.
+//!
+//! An instruction names DSRs for its destination and source operands; the
+//! hardware streams elements through the datapath at the SIMD rate the
+//! operand types allow, stalling on fabric/FIFO availability. "All of this
+//! is accomplished using only two machine instructions that run as
+//! independent threads."
+
+use crate::dsr::Descriptor;
+use crate::types::{Color, DsrId, Reg, TaskId};
+
+/// The arithmetic performed per element pair.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// `dst[i] = a[i]` — data movement (memory↔fabric↔FIFO).
+    Copy,
+    /// `dst[i] = a[i] + b[i]` in the destination precision.
+    Add,
+    /// `dst[i] = dst[i] + a[i]` (read-modify-write accumulate; Listing 1's
+    /// `c_acc[] = c_acc[] + c_rx[]` and the `sumtask` adds).
+    AddAssign,
+    /// `dst[i] = a[i] * b[i]` in the destination precision.
+    Mul,
+    /// `dst[i] = dst[i] + a[i] * b[i]` with the fused FMAC ("no rounding of
+    /// the product prior to the add") — the multiply-accumulate tensor
+    /// instruction used when both operands are local (the 2D SpMV, and the
+    /// z-direction terms when sourced from memory).
+    FmaAssign,
+    /// `dst[i] = a[i] + r · b[i]` (fused) — the XPAY form used by BiCGStab's
+    /// `q := r − α s`, `r := q − ω y` and `p := r + β (p − ω s)` updates.
+    Xpay {
+        /// Register holding the scalar multiplier.
+        scalar: Reg,
+    },
+    /// `dst[i] = dst[i] + r · a[i]` with the fused fp16 FMAC — the AXPY
+    /// instruction ("y = y + a × x where the operand a is a scalar held in a
+    /// register").
+    Axpy {
+        /// Register holding the scalar multiplier.
+        scalar: Reg,
+    },
+    /// `dst[i] = r · a[i]` (scaled copy).
+    Scale {
+        /// Register holding the scalar multiplier.
+        scalar: Reg,
+    },
+    /// `acc += Σ a[i] · b[i]` — the mixed-precision inner-product
+    /// instruction: fp16 multiplies (exact in fp32), fp32 accumulation into
+    /// a register, two elements per cycle.
+    MacReg {
+        /// fp32 accumulator register.
+        acc: Reg,
+    },
+    /// `acc += Σ a[i]` in fp32 — the AllReduce center-core accumulation.
+    SumReg {
+        /// fp32 accumulator register.
+        acc: Reg,
+    },
+    /// `dst[i] = r` — broadcast a register value into a stream (used to send
+    /// scalar partial sums onto the fabric).
+    StoreReg {
+        /// Source register.
+        reg: Reg,
+    },
+    /// `r = a[last]` — load each streamed element into a register (the last
+    /// one sticks; with `len = 1` this receives a broadcast scalar).
+    LoadReg {
+        /// Destination register.
+        reg: Reg,
+    },
+}
+
+impl Op {
+    /// `true` if the op reads the destination before writing it.
+    pub fn reads_dst(self) -> bool {
+        matches!(self, Op::AddAssign | Op::Axpy { .. } | Op::FmaAssign)
+    }
+
+    /// Number of source operands expected (besides the destination).
+    pub fn num_srcs(self) -> usize {
+        match self {
+            Op::Copy | Op::AddAssign | Op::Scale { .. } | Op::Axpy { .. } | Op::SumReg { .. } | Op::LoadReg { .. } => 1,
+            Op::Add | Op::Mul | Op::MacReg { .. } | Op::FmaAssign | Op::Xpay { .. } => 2,
+            Op::StoreReg { .. } => 0,
+        }
+    }
+}
+
+/// A tensor instruction: op plus DSR operands.
+#[derive(Copy, Clone, Debug)]
+pub struct TensorInstr {
+    /// The per-element operation.
+    pub op: Op,
+    /// Destination DSR (`None` for reductions into registers).
+    pub dst: Option<DsrId>,
+    /// First source DSR.
+    pub a: Option<DsrId>,
+    /// Second source DSR.
+    pub b: Option<DsrId>,
+}
+
+/// Scheduling-state manipulation, mirroring Listing 1's `block()/unblock()/
+/// activate()` and the `.trig/.act` fields of fabric descriptors.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TaskAction {
+    /// Make the task runnable (it runs when unblocked and scheduled).
+    Activate,
+    /// Prevent the task from being scheduled even if activated.
+    Block,
+    /// Remove a block.
+    Unblock,
+}
+
+/// One statement of a task body.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// Run a tensor instruction synchronously in the main thread; the task
+    /// does not advance until it completes.
+    Exec(TensorInstr),
+    /// Launch a tensor instruction as a background thread in `slot`; the
+    /// task advances on the next cycle. `on_complete` manipulates a task's
+    /// state when the thread finishes (the fabric descriptors' `.trig`).
+    Launch {
+        /// Thread slot 0..[`crate::types::NUM_THREADS`].
+        slot: u8,
+        /// The instruction to run.
+        instr: TensorInstr,
+        /// State change applied when the thread completes.
+        on_complete: Option<(TaskId, TaskAction)>,
+    },
+    /// Re-initialize a DSR with a fresh descriptor (cursor reset) — Listing
+    /// 1 does this for the fabric descriptors at the top of the spmv task.
+    InitDsr {
+        /// Which DSR.
+        dsr: DsrId,
+        /// New descriptor.
+        desc: Descriptor,
+    },
+    /// Manipulate another task's scheduling state.
+    TaskCtl {
+        /// Target task.
+        task: TaskId,
+        /// What to do.
+        action: TaskAction,
+    },
+    /// Scalar register arithmetic (f32): `dst = a (op) b`.
+    RegArith {
+        /// Operation.
+        op: RegOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand register.
+        a: Reg,
+        /// Right operand register.
+        b: Reg,
+    },
+    /// Load an immediate into a register.
+    SetReg {
+        /// Destination register.
+        reg: Reg,
+        /// Value.
+        value: f32,
+    },
+}
+
+/// Scalar register operations.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RegOp {
+    /// `dst = a + b`.
+    Add,
+    /// `dst = a - b`.
+    Sub,
+    /// `dst = a * b`.
+    Mul,
+    /// `dst = a / b`.
+    Div,
+    /// `dst = -a` (b ignored).
+    Neg,
+    /// `dst = a` (b ignored).
+    Mov,
+}
+
+/// A task: a body of statements plus scheduling metadata.
+#[derive(Clone, Debug)]
+pub struct Task {
+    /// Statements executed in order when the task runs.
+    pub body: Vec<Stmt>,
+    /// Higher priority wins the scheduler ("It is marked as higher priority
+    /// to avoid a race condition with the synchronization task tree").
+    pub priority: u8,
+    /// Start in the blocked state (the SpMV completion tree starts blocked).
+    pub start_blocked: bool,
+    /// Start activated (entry-point tasks).
+    pub start_activated: bool,
+    /// Debug name.
+    pub name: &'static str,
+}
+
+impl Task {
+    /// A normal-priority, initially idle task.
+    pub fn new(name: &'static str, body: Vec<Stmt>) -> Task {
+        Task { body, priority: 0, start_blocked: false, start_activated: false, name }
+    }
+
+    /// Builder: set priority.
+    pub fn priority(mut self, p: u8) -> Task {
+        self.priority = p;
+        self
+    }
+
+    /// Builder: start blocked.
+    pub fn blocked(mut self) -> Task {
+        self.start_blocked = true;
+        self
+    }
+
+    /// Builder: start activated.
+    pub fn activated(mut self) -> Task {
+        self.start_activated = true;
+        self
+    }
+}
+
+/// A data-triggered binding: a word arriving on `color` activates `task`
+/// ("The channel of the arriving word determines the code that is
+/// triggered").
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ColorBinding {
+    /// The triggering virtual channel.
+    pub color: Color,
+    /// The task activated when data arrives.
+    pub task: TaskId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_metadata() {
+        assert!(Op::AddAssign.reads_dst());
+        assert!(Op::Axpy { scalar: 0 }.reads_dst());
+        assert!(!Op::Mul.reads_dst());
+        assert_eq!(Op::Mul.num_srcs(), 2);
+        assert_eq!(Op::Copy.num_srcs(), 1);
+        assert_eq!(Op::StoreReg { reg: 0 }.num_srcs(), 0);
+        assert_eq!(Op::MacReg { acc: 1 }.num_srcs(), 2);
+    }
+
+    #[test]
+    fn task_builder() {
+        let t = Task::new("t", vec![]).priority(3).blocked().activated();
+        assert_eq!(t.priority, 3);
+        assert!(t.start_blocked);
+        assert!(t.start_activated);
+        assert_eq!(t.name, "t");
+    }
+}

@@ -1,0 +1,210 @@
+//! Per-tile SRAM.
+//!
+//! Each tile owns 48 KB of private SRAM ("Local memory is 48 KB ... There is
+//! no shared memory"). The model is byte-addressed with typed fp16/fp32
+//! accessors and a bump allocator used by kernel builders; exceeding the
+//! 48 KB capacity is a hard error, which is how the paper's memory-footprint
+//! constraints (10 Z words, 38×38 blocks) become enforced invariants rather
+//! than documentation.
+
+use crate::types::Dtype;
+use wse_float::F16;
+
+/// Capacity of one tile's SRAM in bytes.
+pub const TILE_SRAM_BYTES: u32 = 48 * 1024;
+
+/// A tile's private memory with a bump allocator.
+#[derive(Clone, Debug)]
+pub struct Memory {
+    bytes: Vec<u8>,
+    next: u32,
+    peak: u32,
+}
+
+/// Error returned when an allocation exceeds SRAM capacity.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct OutOfSram {
+    /// Bytes requested.
+    pub requested: u32,
+    /// Bytes still free.
+    pub free: u32,
+}
+
+impl std::fmt::Display for OutOfSram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tile SRAM exhausted: requested {} B, free {} B", self.requested, self.free)
+    }
+}
+
+impl std::error::Error for OutOfSram {}
+
+impl Default for Memory {
+    fn default() -> Memory {
+        Memory::new()
+    }
+}
+
+impl Memory {
+    /// A fresh, zeroed 48 KB SRAM.
+    pub fn new() -> Memory {
+        Memory { bytes: vec![0; TILE_SRAM_BYTES as usize], next: 0, peak: 0 }
+    }
+
+    /// Allocates `nbytes` (2-byte aligned), returning the base address.
+    pub fn alloc(&mut self, nbytes: u32) -> Result<u32, OutOfSram> {
+        let aligned = (nbytes + 1) & !1;
+        let free = TILE_SRAM_BYTES - self.next;
+        if aligned > free {
+            return Err(OutOfSram { requested: aligned, free });
+        }
+        let base = self.next;
+        self.next += aligned;
+        self.peak = self.peak.max(self.next);
+        Ok(base)
+    }
+
+    /// Allocates a vector of `len` elements of `dtype`.
+    pub fn alloc_vec(&mut self, len: u32, dtype: Dtype) -> Result<u32, OutOfSram> {
+        self.alloc(len * dtype.bytes())
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u32 {
+        self.next
+    }
+
+    /// High-water mark of the allocator.
+    pub fn peak(&self) -> u32 {
+        self.peak
+    }
+
+    /// Resets the allocator (contents retained; used between solver phases
+    /// that rebuild their layout from scratch).
+    pub fn reset_allocator(&mut self) {
+        self.next = 0;
+    }
+
+    /// Reads an fp16 element at byte address `addr`.
+    #[inline]
+    pub fn read_f16(&self, addr: u32) -> F16 {
+        let a = addr as usize;
+        F16::from_bits(u16::from_le_bytes([self.bytes[a], self.bytes[a + 1]]))
+    }
+
+    /// Writes an fp16 element at byte address `addr`.
+    #[inline]
+    pub fn write_f16(&mut self, addr: u32, v: F16) {
+        let a = addr as usize;
+        self.bytes[a..a + 2].copy_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Reads an fp32 element at byte address `addr`.
+    #[inline]
+    pub fn read_f32(&self, addr: u32) -> f32 {
+        let a = addr as usize;
+        f32::from_le_bytes([self.bytes[a], self.bytes[a + 1], self.bytes[a + 2], self.bytes[a + 3]])
+    }
+
+    /// Writes an fp32 element at byte address `addr`.
+    #[inline]
+    pub fn write_f32(&mut self, addr: u32, v: f32) {
+        let a = addr as usize;
+        self.bytes[a..a + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads raw bits of an element of `dtype` (for fabric transport).
+    #[inline]
+    pub fn read_bits(&self, addr: u32, dtype: Dtype) -> u32 {
+        match dtype {
+            Dtype::F16 => self.read_f16(addr).to_bits() as u32,
+            Dtype::F32 => self.read_f32(addr).to_bits(),
+        }
+    }
+
+    /// Writes raw bits of an element of `dtype`.
+    #[inline]
+    pub fn write_bits(&mut self, addr: u32, dtype: Dtype, bits: u32) {
+        match dtype {
+            Dtype::F16 => self.write_f16(addr, F16::from_bits(bits as u16)),
+            Dtype::F32 => self.write_f32(addr, f32::from_bits(bits)),
+        }
+    }
+
+    /// Copies an fp16 slice into memory starting at `addr` (host-side data
+    /// loading, standing in for the CS-1's host interface).
+    pub fn store_f16_slice(&mut self, addr: u32, data: &[F16]) {
+        for (i, &v) in data.iter().enumerate() {
+            self.write_f16(addr + 2 * i as u32, v);
+        }
+    }
+
+    /// Reads `len` fp16 elements starting at `addr`.
+    pub fn load_f16_slice(&self, addr: u32, len: usize) -> Vec<F16> {
+        (0..len).map(|i| self.read_f16(addr + 2 * i as u32)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_until_full() {
+        let mut m = Memory::new();
+        let a = m.alloc(100).unwrap();
+        let b = m.alloc(3).unwrap(); // rounds to 4
+        assert_eq!(a, 0);
+        assert_eq!(b, 100);
+        assert_eq!(m.used(), 104);
+        let err = m.alloc(TILE_SRAM_BYTES).unwrap_err();
+        assert_eq!(err.free, TILE_SRAM_BYTES - 104);
+        // Exactly the rest fits.
+        assert!(m.alloc(TILE_SRAM_BYTES - 104).is_ok());
+        assert_eq!(m.used(), TILE_SRAM_BYTES);
+        assert!(m.alloc(2).is_err());
+    }
+
+    #[test]
+    fn paper_3d_footprint_fits_with_room() {
+        // 10 vectors of Z=1536 fp16: ~30 KB of 48 KB.
+        let mut m = Memory::new();
+        for _ in 0..10 {
+            m.alloc_vec(1536, Dtype::F16).unwrap();
+        }
+        assert_eq!(m.used(), 10 * 1536 * 2);
+        assert!(m.used() < TILE_SRAM_BYTES);
+    }
+
+    #[test]
+    fn rw_roundtrip_f16_f32() {
+        let mut m = Memory::new();
+        m.write_f16(10, F16::from_f32(1.5));
+        assert_eq!(m.read_f16(10).to_f32(), 1.5);
+        m.write_f32(100, -2.25);
+        assert_eq!(m.read_f32(100), -2.25);
+        // bits path
+        m.write_bits(20, Dtype::F16, F16::from_f32(3.0).to_bits() as u32);
+        assert_eq!(m.read_bits(20, Dtype::F16), F16::from_f32(3.0).to_bits() as u32);
+        m.write_bits(24, Dtype::F32, 7.5f32.to_bits());
+        assert_eq!(m.read_f32(24), 7.5);
+    }
+
+    #[test]
+    fn slice_roundtrip() {
+        let mut m = Memory::new();
+        let data: Vec<F16> = (0..17).map(|i| F16::from_f64(i as f64 * 0.5)).collect();
+        let addr = m.alloc_vec(17, Dtype::F16).unwrap();
+        m.store_f16_slice(addr, &data);
+        assert_eq!(m.load_f16_slice(addr, 17), data);
+    }
+
+    #[test]
+    fn reset_allocator_reuses_space() {
+        let mut m = Memory::new();
+        m.alloc(40_000).unwrap();
+        m.reset_allocator();
+        assert_eq!(m.used(), 0);
+        assert_eq!(m.peak(), 40_000);
+        assert!(m.alloc(40_000).is_ok());
+    }
+}

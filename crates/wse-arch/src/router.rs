@@ -1,0 +1,238 @@
+//! The per-tile router.
+//!
+//! "The core connects to a local router that has five bidirectional links,
+//! one to each of its four nearest neighbors and one to its own core. The
+//! router can move data into and out of these five links, in parallel, on
+//! every cycle. ... Communication between potentially distant processors
+//! occurs along predetermined routes. Routing is configured offline ... The
+//! fanout of data to multiple destinations is done through the routing; the
+//! router can forward an input word to any subset of its five output ports."
+//!
+//! Each (input-port, color) pair has a small hardware queue; each output
+//! port moves [`PORT_BYTES_PER_CYCLE`] per cycle; a flit forwards only when
+//! *all* of its fanout destinations can accept it (credit-based
+//! backpressure, which is how the hardware avoids loss).
+
+use crate::types::{Color, Flit, Port, NUM_COLORS, PORT_BYTES_PER_CYCLE, QUEUE_CAPACITY};
+use std::collections::VecDeque;
+
+/// Routing table entry: the set of output ports for one (input, color).
+type Fanout = Vec<Port>;
+
+/// The router of one tile.
+#[derive(Clone, Debug, Default)]
+pub struct Router {
+    /// `routes[in_port][color]` → output fanout.
+    routes: [[Option<Fanout>; NUM_COLORS]; 5],
+    /// `in_queues[in_port][color]`.
+    in_queues: [[VecDeque<Flit>; NUM_COLORS]; 5],
+    /// Round-robin arbitration cursor over (in_port, color) pairs.
+    rr: usize,
+    /// Flits forwarded (perf counter).
+    pub flits_routed: u64,
+}
+
+/// A flit staged for delivery at the end of the cycle.
+#[derive(Copy, Clone, Debug)]
+pub struct StagedFlit {
+    /// Output port it leaves through.
+    pub out: Port,
+    /// Its color.
+    pub color: Color,
+    /// The payload.
+    pub flit: Flit,
+}
+
+impl Router {
+    /// A router with no routes configured.
+    pub fn new() -> Router {
+        Router::default()
+    }
+
+    /// Configures (replaces) the fanout for `(in_port, color)`.
+    ///
+    /// A cardinal port may not reflect back out the same link; the ramp
+    /// *may* route back to the ramp — that is the paper's loopback ("we loop
+    /// back the outgoing local data and route it in").
+    ///
+    /// # Panics
+    /// Panics if the fanout is empty or u-turns a cardinal port.
+    pub fn set_route(&mut self, in_port: Port, color: Color, outs: &[Port]) {
+        assert!(!outs.is_empty(), "empty fanout");
+        assert!(
+            in_port == Port::Ramp || !outs.contains(&in_port),
+            "route reflects {in_port:?} back to itself on color {color}"
+        );
+        self.routes[in_port.index()][color as usize] = Some(outs.to_vec());
+    }
+
+    /// The configured fanout, if any.
+    pub fn route(&self, in_port: Port, color: Color) -> Option<&[Port]> {
+        self.routes[in_port.index()][color as usize].as_deref()
+    }
+
+    /// Space available in the `(in_port, color)` queue.
+    pub fn space(&self, in_port: Port, color: Color) -> usize {
+        QUEUE_CAPACITY - self.in_queues[in_port.index()][color as usize].len()
+    }
+
+    /// Enqueues an arriving flit.
+    ///
+    /// # Panics
+    /// Panics on overflow (senders must honor [`Router::space`]).
+    pub fn enqueue(&mut self, in_port: Port, color: Color, flit: Flit) {
+        assert!(self.space(in_port, color) > 0, "router queue overflow at {in_port:?}/{color}");
+        self.in_queues[in_port.index()][color as usize].push_back(flit);
+    }
+
+    /// Total queued flits (diagnostics / quiescence).
+    pub fn queued(&self) -> usize {
+        self.in_queues.iter().flatten().map(|q| q.len()).sum()
+    }
+
+    /// Selects flits to forward this cycle.
+    ///
+    /// `can_accept(out, color, already_staged_to_that_destination)` tells the
+    /// router whether the *next hop* (neighbor queue or core ramp) can take
+    /// one more flit; the fabric provides it from a start-of-cycle snapshot.
+    pub fn stage(
+        &mut self,
+        mut can_accept: impl FnMut(Port, Color, usize) -> bool,
+    ) -> Vec<StagedFlit> {
+        let mut budget = [PORT_BYTES_PER_CYCLE; 5];
+        let mut staged: Vec<StagedFlit> = Vec::new();
+        // counts[(out, color)] of flits already staged this cycle.
+        let mut counts = [[0usize; NUM_COLORS]; 5];
+        let pairs = 5 * NUM_COLORS;
+        loop {
+            let mut moved = false;
+            for k in 0..pairs {
+                let slot = (self.rr + k) % pairs;
+                let (pi, color) = (slot / NUM_COLORS, slot % NUM_COLORS);
+                let Some(&flit) = self.in_queues[pi][color].front() else { continue };
+                let Some(fanout) = self.routes[pi][color].clone() else { continue };
+                let fits = fanout.iter().all(|o| budget[o.index()] >= flit.bytes())
+                    && fanout
+                        .iter()
+                        .all(|&o| can_accept(o, color as Color, counts[o.index()][color]));
+                if !fits {
+                    continue;
+                }
+                self.in_queues[pi][color].pop_front();
+                for &o in &fanout {
+                    budget[o.index()] -= flit.bytes();
+                    counts[o.index()][color] += 1;
+                    staged.push(StagedFlit { out: o, color: color as Color, flit });
+                }
+                self.flits_routed += 1;
+                moved = true;
+            }
+            if !moved {
+                break;
+            }
+        }
+        if !staged.is_empty() {
+            self.rr = (self.rr + 1) % pairs;
+        }
+        staged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forwards_along_configured_route() {
+        let mut r = Router::new();
+        r.set_route(Port::West, 3, &[Port::East]);
+        r.enqueue(Port::West, 3, Flit::f16(0x1234));
+        let staged = r.stage(|_, _, _| true);
+        assert_eq!(staged.len(), 1);
+        assert_eq!(staged[0].out, Port::East);
+        assert_eq!(staged[0].color, 3);
+        assert_eq!(staged[0].flit.bits, 0x1234);
+        assert_eq!(r.queued(), 0);
+    }
+
+    #[test]
+    fn fanout_duplicates_to_all_ports() {
+        let mut r = Router::new();
+        r.set_route(Port::Ramp, 1, &[Port::North, Port::South, Port::East, Port::West]);
+        r.enqueue(Port::Ramp, 1, Flit::f16(7));
+        let staged = r.stage(|_, _, _| true);
+        assert_eq!(staged.len(), 4, "one flit fans out to four ports");
+        assert_eq!(r.flits_routed, 1);
+    }
+
+    #[test]
+    fn port_bandwidth_limits_f16_to_two_per_cycle() {
+        let mut r = Router::new();
+        r.set_route(Port::West, 0, &[Port::East]);
+        for i in 0..5 {
+            r.enqueue(Port::West, 0, Flit::f16(i));
+        }
+        let staged = r.stage(|_, _, _| true);
+        assert_eq!(staged.len(), 2, "4 bytes/cycle = two fp16 flits");
+        assert_eq!(r.queued(), 3);
+        let staged = r.stage(|_, _, _| true);
+        assert_eq!(staged.len(), 2);
+    }
+
+    #[test]
+    fn f32_moves_one_per_cycle() {
+        let mut r = Router::new();
+        r.set_route(Port::North, 2, &[Port::South]);
+        r.enqueue(Port::North, 2, Flit::f32(1.0));
+        r.enqueue(Port::North, 2, Flit::f32(2.0));
+        assert_eq!(r.stage(|_, _, _| true).len(), 1);
+    }
+
+    #[test]
+    fn backpressure_holds_flit() {
+        let mut r = Router::new();
+        r.set_route(Port::West, 0, &[Port::East]);
+        r.enqueue(Port::West, 0, Flit::f16(1));
+        let staged = r.stage(|_, _, _| false);
+        assert!(staged.is_empty());
+        assert_eq!(r.queued(), 1, "flit must stay queued under backpressure");
+    }
+
+    #[test]
+    fn fanout_is_all_or_nothing() {
+        let mut r = Router::new();
+        r.set_route(Port::Ramp, 0, &[Port::North, Port::South]);
+        r.enqueue(Port::Ramp, 0, Flit::f16(1));
+        // South blocked: nothing moves, not even the North copy.
+        let staged = r.stage(|o, _, _| o != Port::South);
+        assert!(staged.is_empty());
+        assert_eq!(r.queued(), 1);
+    }
+
+    #[test]
+    fn distinct_colors_share_port_bandwidth() {
+        let mut r = Router::new();
+        r.set_route(Port::West, 0, &[Port::East]);
+        r.set_route(Port::West, 1, &[Port::East]);
+        r.enqueue(Port::West, 0, Flit::f16(1));
+        r.enqueue(Port::West, 1, Flit::f16(2));
+        r.enqueue(Port::West, 0, Flit::f16(3));
+        let staged = r.stage(|_, _, _| true);
+        assert_eq!(staged.len(), 2, "East port carries 4 bytes total");
+    }
+
+    #[test]
+    #[should_panic(expected = "back to itself")]
+    fn self_route_panics() {
+        let mut r = Router::new();
+        r.set_route(Port::East, 0, &[Port::East]);
+    }
+
+    #[test]
+    fn unrouted_flits_stay_queued() {
+        let mut r = Router::new();
+        r.enqueue(Port::North, 9, Flit::f16(1));
+        assert!(r.stage(|_, _, _| true).is_empty());
+        assert_eq!(r.queued(), 1);
+    }
+}

@@ -1,0 +1,200 @@
+//! Shared identifier and data types for the tile architecture.
+
+/// Element datatype of a tensor, fabric stream, or FIFO.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Dtype {
+    /// IEEE binary16 — 2 bytes on the fabric and in memory.
+    F16,
+    /// IEEE binary32 — 4 bytes.
+    F32,
+}
+
+impl Dtype {
+    /// Size in bytes.
+    #[inline]
+    pub fn bytes(self) -> u32 {
+        match self {
+            Dtype::F16 => 2,
+            Dtype::F32 => 4,
+        }
+    }
+}
+
+/// A virtual-channel identifier ("color"). The hardware routes each color
+/// independently; Fig. 5's tessellation uses five distinct colors per tile
+/// neighborhood.
+pub type Color = u8;
+
+/// Number of virtual channels modeled (the WSE provides 24).
+pub const NUM_COLORS: usize = 24;
+
+/// One word in flight on the fabric: raw bits plus the width it occupies.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Flit {
+    /// Raw bit pattern (low 16 bits significant for `F16`).
+    pub bits: u32,
+    /// Width of the payload.
+    pub dtype: Dtype,
+}
+
+impl Flit {
+    /// An fp16 flit.
+    #[inline]
+    pub fn f16(bits: u16) -> Flit {
+        Flit { bits: bits as u32, dtype: Dtype::F16 }
+    }
+
+    /// An fp32 flit.
+    #[inline]
+    pub fn f32(value: f32) -> Flit {
+        Flit { bits: value.to_bits(), dtype: Dtype::F32 }
+    }
+
+    /// Payload size in bytes.
+    #[inline]
+    pub fn bytes(self) -> u32 {
+        self.dtype.bytes()
+    }
+}
+
+/// One of the router's five bidirectional ports.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Port {
+    /// Toward `y - 1`.
+    North,
+    /// Toward `y + 1`.
+    South,
+    /// Toward `x + 1`.
+    East,
+    /// Toward `x - 1`.
+    West,
+    /// The tile's own core (the "ramp").
+    Ramp,
+}
+
+impl Port {
+    /// All five ports, in a fixed arbitration order.
+    pub const ALL: [Port; 5] = [Port::North, Port::South, Port::East, Port::West, Port::Ramp];
+
+    /// Index into per-port arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Port::North => 0,
+            Port::South => 1,
+            Port::East => 2,
+            Port::West => 3,
+            Port::Ramp => 4,
+        }
+    }
+
+    /// The port on the *neighboring* router that receives what this port
+    /// sends (None for the ramp).
+    pub fn opposite(self) -> Option<Port> {
+        match self {
+            Port::North => Some(Port::South),
+            Port::South => Some(Port::North),
+            Port::East => Some(Port::West),
+            Port::West => Some(Port::East),
+            Port::Ramp => None,
+        }
+    }
+
+    /// Grid displacement of the neighbor this port faces.
+    pub fn delta(self) -> (i32, i32) {
+        match self {
+            Port::North => (0, -1),
+            Port::South => (0, 1),
+            Port::East => (1, 0),
+            Port::West => (-1, 0),
+            Port::Ramp => (0, 0),
+        }
+    }
+}
+
+/// Identifies a task within a core's task table.
+pub type TaskId = usize;
+
+/// Identifies a data-structure register (tensor descriptor slot).
+pub type DsrId = usize;
+
+/// Identifies a hardware FIFO within a tile.
+pub type FifoId = usize;
+
+/// Identifies a scalar register (f32) in the core's register file.
+pub type Reg = usize;
+
+/// Number of scalar registers modeled per core.
+pub const NUM_REGS: usize = 32;
+
+/// Number of background thread slots per core ("the core supports nine
+/// concurrent threads of execution").
+pub const NUM_THREADS: usize = 9;
+
+/// Bytes each router port can move per cycle in each direction. 4 bytes
+/// matches the observations that a core "can receive only one [32-bit word]
+/// from the fabric" per cycle while fp16 streams flow at two elements per
+/// cycle.
+pub const PORT_BYTES_PER_CYCLE: u32 = 4;
+
+/// Capacity, in flits, of each (input-port, color) router queue.
+pub const QUEUE_CAPACITY: usize = 8;
+
+/// Capacity, in flits, of the core's injection (ramp-out) queue.
+pub const RAMP_OUT_CAPACITY: usize = 8;
+
+/// SIMD lanes for two-operand fp16 tensor instructions (8 fp16 flops per
+/// cycle peak = 4 FMAC lanes).
+pub const SIMD_F16: u32 = 4;
+
+/// Lanes for the mixed-precision (fp16 multiply / fp32 accumulate) dot
+/// instruction: "the throughput is two FMACs per core per cycle".
+pub const SIMD_MIXED: u32 = 2;
+
+/// Lanes for pure fp32 tensor instructions (one FMAC per cycle; two plain
+/// adds per cycle for the AllReduce accumulation).
+pub const SIMD_F32: u32 = 2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_opposites_are_involutive() {
+        for p in [Port::North, Port::South, Port::East, Port::West] {
+            assert_eq!(p.opposite().unwrap().opposite().unwrap(), p);
+        }
+        assert_eq!(Port::Ramp.opposite(), None);
+    }
+
+    #[test]
+    fn port_deltas_sum_to_zero_for_opposites() {
+        for p in [Port::North, Port::South, Port::East, Port::West] {
+            let (dx, dy) = p.delta();
+            let (ox, oy) = p.opposite().unwrap().delta();
+            assert_eq!((dx + ox, dy + oy), (0, 0));
+        }
+    }
+
+    #[test]
+    fn port_indices_are_distinct() {
+        let mut seen = [false; 5];
+        for p in Port::ALL {
+            assert!(!seen[p.index()]);
+            seen[p.index()] = true;
+        }
+    }
+
+    #[test]
+    fn flit_sizes() {
+        assert_eq!(Flit::f16(0x3C00).bytes(), 2);
+        assert_eq!(Flit::f32(1.0).bytes(), 4);
+        assert_eq!(Flit::f32(1.0).bits, 1.0f32.to_bits());
+    }
+
+    #[test]
+    fn two_f16_per_cycle_fit_one_port() {
+        assert_eq!(PORT_BYTES_PER_CYCLE / Dtype::F16.bytes(), 2);
+        assert_eq!(PORT_BYTES_PER_CYCLE / Dtype::F32.bytes(), 1);
+    }
+}

@@ -1,0 +1,151 @@
+//! Mixed-precision arithmetic: fp16 multiplies feeding fp32 accumulation.
+//!
+//! The paper: *"To control the growth of roundoff error, we use a hardware
+//! inner product instruction that employs mixed 16-bit multiply / 32-bit add
+//! precision, and we do the AllReduce at 32-bit precision."* The key property
+//! is that the product of two binary16 values is **exact** in binary32 (11+11
+//! significand bits ≤ 24), so the only rounding in the local dot product is
+//! the fp32 accumulation.
+
+use crate::f16::F16;
+
+/// Running fp32 accumulator fed by exact fp16×fp16 products — the software
+/// model of the CS-1 mixed-precision inner-product instruction.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct MixedAccumulator {
+    acc: f32,
+}
+
+impl MixedAccumulator {
+    /// A fresh accumulator holding 0.0f32.
+    #[inline]
+    pub fn new() -> MixedAccumulator {
+        MixedAccumulator { acc: 0.0 }
+    }
+
+    /// `acc += a * b` with the product formed exactly and the add rounded in
+    /// fp32.
+    #[inline]
+    pub fn fmac(&mut self, a: F16, b: F16) {
+        // The f32 product of two widened binary16 values is exact.
+        self.acc += a.to_f32() * b.to_f32();
+    }
+
+    /// Adds an already-fp32 term (used when combining lane partials).
+    #[inline]
+    pub fn add_f32(&mut self, term: f32) {
+        self.acc += term;
+    }
+
+    /// The accumulated fp32 value.
+    #[inline]
+    pub fn value(self) -> f32 {
+        self.acc
+    }
+}
+
+/// Mixed-precision dot product: fp16 multiplies (exact in fp32), fp32
+/// sequential accumulation — the per-core local dot product of the paper's
+/// BiCGStab.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn dot_mixed(x: &[F16], y: &[F16]) -> f32 {
+    assert_eq!(x.len(), y.len(), "dot operand length mismatch");
+    let mut acc = MixedAccumulator::new();
+    for (&a, &b) in x.iter().zip(y) {
+        acc.fmac(a, b);
+    }
+    acc.value()
+}
+
+/// Pure-fp16 dot product (ablation baseline): both multiply and accumulate
+/// round to binary16. This is what the paper's design deliberately avoids;
+/// the accuracy gap is quantified in the precision benches.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn dot_pure_f16(x: &[F16], y: &[F16]) -> F16 {
+    assert_eq!(x.len(), y.len(), "dot operand length mismatch");
+    let mut acc = F16::ZERO;
+    for (&a, &b) in x.iter().zip(y) {
+        acc = crate::fma16(a, b, acc);
+    }
+    acc
+}
+
+/// Reference dot product in f64 over fp16 storage (error-free for the
+/// lengths used here; baseline for accuracy measurements).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn dot_f64(x: &[F16], y: &[F16]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot operand length mismatch");
+    x.iter().zip(y).map(|(a, b)| a.to_f64() * b.to_f64()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(v: f64) -> F16 {
+        F16::from_f64(v)
+    }
+
+    #[test]
+    fn product_of_halfs_is_exact_in_f32() {
+        // Worst-case significands: (1 + (2^10-1)/2^10)^2 needs 22 bits.
+        let a = F16::from_bits(0x3BFF); // just below 1.0: 1 - 2^-11... actually 0.99951
+        let p32 = a.to_f32() * a.to_f32();
+        let p64 = a.to_f64() * a.to_f64();
+        assert_eq!(p32 as f64, p64, "f32 product must be exact");
+    }
+
+    #[test]
+    fn mixed_dot_simple_values() {
+        let x: Vec<F16> = (1..=8).map(|i| h(i as f64)).collect();
+        let y = vec![h(1.0); 8];
+        assert_eq!(dot_mixed(&x, &y), 36.0);
+        assert_eq!(dot_pure_f16(&x, &y).to_f64(), 36.0);
+        assert_eq!(dot_f64(&x, &y), 36.0);
+    }
+
+    #[test]
+    fn mixed_beats_pure_f16_on_long_sums() {
+        // Summing 4096 copies of 1.0: fp16 saturates at 2048 (adding 1 to
+        // 2048 in fp16 is a no-op since ulp(2048) = 2), fp32 is exact.
+        let n = 4096;
+        let x = vec![F16::ONE; n];
+        let mixed = dot_mixed(&x, &x);
+        let pure = dot_pure_f16(&x, &x).to_f64();
+        assert_eq!(mixed, n as f32);
+        assert_eq!(pure, 2048.0, "fp16 accumulation stagnates at 2048");
+    }
+
+    #[test]
+    fn mixed_dot_relative_error_bound() {
+        // Sequential fp32 summation error <= (n-1) * eps32 * sum |x_i y_i|.
+        let n = 10_000usize;
+        let x: Vec<F16> = (0..n).map(|i| h(((i * 37 + 11) % 200) as f64 / 64.0 - 1.5)).collect();
+        let y: Vec<F16> = (0..n).map(|i| h(((i * 53 + 3) % 128) as f64 / 64.0 - 1.0)).collect();
+        let exact = dot_f64(&x, &y);
+        let abs_sum: f64 = x.iter().zip(&y).map(|(a, b)| (a.to_f64() * b.to_f64()).abs()).sum();
+        let err = (dot_mixed(&x, &y) as f64 - exact).abs();
+        let bound = (n as f64) * (f32::EPSILON as f64) * abs_sum;
+        assert!(err <= bound, "err {err} > bound {bound}");
+    }
+
+    #[test]
+    fn accumulator_combines_f32_partials() {
+        let mut acc = MixedAccumulator::new();
+        acc.fmac(h(3.0), h(4.0));
+        acc.add_f32(8.0);
+        assert_eq!(acc.value(), 20.0);
+    }
+
+    #[test]
+    fn empty_dot_is_zero() {
+        assert_eq!(dot_mixed(&[], &[]), 0.0);
+        assert_eq!(dot_pure_f16(&[], &[]).to_f64(), 0.0);
+    }
+}

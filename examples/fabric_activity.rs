@@ -1,0 +1,56 @@
+//! Fabric activity timeline: watch the phase structure of a BiCGStab
+//! iteration through the activity sampler — SpMV bursts, dot products,
+//! reduction latency valleys, update bursts.
+//!
+//! ```text
+//! cargo run --release --example fabric_activity [-- <fabric-edge> <z>]
+//! ```
+
+use wafer_stencil::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let z: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(96);
+
+    let mesh = Mesh3D::new(n, n, z);
+    let problem = manufactured(mesh, (1.0, -0.5, 0.5), 7).preconditioned();
+    let a16: DiaMatrix<F16> = problem.matrix.convert();
+    let b16: Vec<F16> = problem.rhs.iter().map(|&v| F16::from_f64(v)).collect();
+
+    let mut fabric = Fabric::new(n, n);
+    let solver = WaferBicgstab::build(&mut fabric, &a16);
+    solver.load_rhs(&mut fabric, &b16);
+
+    // Sample every 8 cycles through one iteration.
+    fabric.enable_sampling(8);
+    let cycles = solver.iterate(&mut fabric);
+    let samples: Vec<_> = fabric.samples().to_vec();
+
+    println!(
+        "one BiCGStab iteration on a {n}x{n} fabric, z = {z}: {} cycles",
+        cycles.total()
+    );
+    println!(
+        "phases: spmv {} | dot {} | allreduce {} | update {} | scalar {}",
+        cycles.spmv, cycles.dot, cycles.allreduce, cycles.update, cycles.scalar
+    );
+    println!("\ncore utilization over time ({} samples of 8 cycles):", samples.len());
+    let width = 60usize;
+    for s in &samples {
+        let bar = (s.core_utilization * width as f64).round() as usize;
+        println!(
+            "  cyc {:>6} |{}{}| {:>5.1}%  ({} flops, {} flits)",
+            s.cycle,
+            "█".repeat(bar.min(width)),
+            " ".repeat(width.saturating_sub(bar)),
+            s.core_utilization * 100.0,
+            s.flops,
+            s.flits_routed
+        );
+    }
+    let mean: f64 =
+        samples.iter().map(|s| s.core_utilization).sum::<f64>() / samples.len().max(1) as f64;
+    println!("\nmean utilization {:.0}% — SpMV bursts saturate the datapath;", mean * 100.0);
+    println!("the valleys are the blocking AllReduce rounds the paper minimizes.");
+}

@@ -1,0 +1,52 @@
+//! The Fig. 9 precision study: one solver, four precision policies, on a
+//! momentum system from the lid-driven cavity.
+//!
+//! ```text
+//! cargo run --release --example precision_study [-- <scale> <iters>]
+//! ```
+//!
+//! `scale` divides the paper's 100×400×100 mesh (default 10 → 10×40×10);
+//! `--full` scale 1 reproduces the full-size system (4M unknowns — slow).
+
+use wafer_stencil::cfd_::cavity::fig9_momentum_system;
+use wafer_stencil::prelude::*;
+use wafer_stencil::solver_::study::run_policy;
+use wafer_stencil::stencil_::precond::jacobi_scale;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(10);
+    let iters: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(16);
+
+    println!("assembling momentum system (100x400x100 / {scale}, steady-state limit)…");
+    let sys = fig9_momentum_system(scale, 3);
+    let scaled = jacobi_scale(&sys.matrix, &sys.rhs);
+    println!("{} unknowns\n", scaled.matrix.nrows());
+
+    let opts = SolveOptions { max_iters: iters, rtol: 1e-14, record_true_residual: true };
+    let fp64 = run_policy::<Fp64>(&scaled.matrix, &scaled.rhs, &opts);
+    let fp32 = run_policy::<Fp32>(&scaled.matrix, &scaled.rhs, &opts);
+    let mixed = run_policy::<MixedF16>(&scaled.matrix, &scaled.rhs, &opts);
+    let pure16 = run_policy::<PureF16>(&scaled.matrix, &scaled.rhs, &opts);
+
+    println!("normwise relative residual per iteration (Fig. 9):");
+    println!("{:>5} {:>12} {:>12} {:>12} {:>12}", "iter", "fp64", "fp32", "mixed", "pure-fp16");
+    for i in 0..iters {
+        let cell = |c: &wafer_stencil::solver_::study::PrecisionCurve| {
+            c.residuals.get(i).map_or("-".to_string(), |v| format!("{v:.3e}"))
+        };
+        println!(
+            "{:>5} {:>12} {:>12} {:>12} {:>12}",
+            i + 1,
+            cell(&fp64),
+            cell(&fp32),
+            cell(&mixed),
+            cell(&pure16)
+        );
+    }
+    println!("\nattainable accuracy:");
+    println!("  fp64      best = {:.2e}  ({})", fp64.best(), fp64.outcome);
+    println!("  fp32      best = {:.2e}  ({})", fp32.best(), fp32.outcome);
+    println!("  mixed     best = {:.2e}  ({})  <- plateaus near fp16 precision (paper: ~1e-2)", mixed.best(), mixed.outcome);
+    println!("  pure fp16 best = {:.2e}  ({})  <- the ablation the mixed dot avoids", pure16.best(), pure16.outcome);
+}

@@ -1,0 +1,59 @@
+//! The cluster-vs-wafer scaling study (Figs. 7 and 8 plus the §VI.A MFIX
+//! projection), from the calibrated performance models.
+//!
+//! ```text
+//! cargo run --release --example scaling_study
+//! ```
+
+use wafer_stencil::perf::mfix::MfixProjection;
+use wafer_stencil::prelude::*;
+
+fn main() {
+    let joule = JouleModel::default();
+    let cs1 = Cs1Model::default();
+    let headline = cs1.predict_headline();
+
+    for (fig, n) in [("Fig. 7", 370usize), ("Fig. 8", 600)] {
+        println!("{fig}: BiCGStab time per iteration, {n}^3 mesh on the Joule cluster");
+        println!("{:>8} {:>12} {:>10} {:>12}", "cores", "ms/iter", "speedup", "block side");
+        let base = joule.time_per_iteration(n, 1024);
+        for p in JouleModel::paper_core_counts() {
+            let t = joule.time_per_iteration(n, p);
+            println!(
+                "{:>8} {:>12.2} {:>9.1}x {:>11.1}",
+                p,
+                t * 1e3,
+                base / t,
+                joule.block_side(n, p)
+            );
+        }
+        println!();
+    }
+
+    println!("CS-1 (modeled): {:.1} us per iteration on 600x595x1536", headline.time_us);
+    println!("              = {:.2} PFLOPS at {:.0}% of used-core peak", headline.pflops, headline.utilization * 100.0);
+    let ratio = joule.time_per_iteration(600, 16384) / (headline.time_us * 1e-6);
+    println!("16,384-core cluster / CS-1 time ratio: {ratio:.0}x (paper: about 214x)\n");
+
+    println!("mesh-shape sweep on the CS-1 (the model's predictive use):");
+    println!("{:>18} {:>12} {:>10} {:>12}", "mesh", "us/iter", "PFLOPS", "utilization");
+    for (x, y, z, p) in cs1.shape_sweep(&[
+        (100, 100, 100),
+        (200, 200, 800),
+        (600, 595, 256),
+        (600, 595, 1536),
+        (602, 595, 2447), // the largest Z that fits SRAM
+    ]) {
+        println!(
+            "{:>6}x{:<4}x{:<6} {:>12.1} {:>10.2} {:>11.0}%",
+            x, y, z, p.time_us, p.pflops, p.utilization * 100.0
+        );
+    }
+
+    println!("\n§VI.A MFIX projection (600^3, 15 SIMPLE iterations/step):");
+    let rate = MfixProjection::default().project();
+    println!(
+        "  {:.0} - {:.0} timesteps/s (paper: 80 - 125); {:.0}x a 16,384-core Joule run (paper: >200x)",
+        rate.steps_per_sec_low, rate.steps_per_sec_high, rate.speedup_vs_joule
+    );
+}

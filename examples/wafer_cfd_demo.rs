@@ -1,0 +1,47 @@
+//! The §VI vision running end-to-end: SIMPLE CFD with all four linear
+//! solves (u, v, w momentum + pressure correction) executing on the
+//! simulated wafer-scale engine, with simulated-cycle accounting.
+//!
+//! ```text
+//! cargo run --release --example wafer_cfd_demo [-- <cells> <iters>]
+//! ```
+
+use wafer_stencil::cfd_::simple::SimpleParams;
+use wafer_stencil::perf::cs1::Cs1Model;
+use wafer_stencil::wafer_cfd::WaferSimple;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let iters: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(6);
+
+    println!("SIMPLE on the wafer: {n}^3 cavity, {iters} iterations");
+    println!("(assembly host-side as Table II accounts it; every BiCGStab solve runs");
+    println!(" on the simulated fabric at the paper's fp16/fp32 precision)\n");
+
+    let mut ws = WaferSimple::new(n, SimpleParams::default());
+    for i in 0..iters {
+        let s = ws.iterate();
+        println!(
+            "iter {:>2}: mass residual {:.3e}  momentum residual {:.3e}  cycles: momentum {:>7}, continuity {:>7}",
+            i + 1,
+            s.mass_residual,
+            s.momentum_residual,
+            s.momentum_cycles,
+            s.continuity_cycles,
+        );
+    }
+
+    let total = ws.total_cycles();
+    let m = Cs1Model::default();
+    println!("\ntotal simulated solver cycles: {total}");
+    println!(
+        "at the {} GHz clock that is {:.1} us of solver time for {} SIMPLE iterations",
+        m.clock_ghz,
+        total as f64 / (m.clock_ghz * 1e3),
+        iters
+    );
+    println!("kinetic energy developed: {:.4e}", ws.field.kinetic_energy());
+    println!("\n(the paper's §VI.A projection extrapolates exactly this loop to 600^3:");
+    println!(" 80-125 timesteps/s — see `experiments mfix`)");
+}
