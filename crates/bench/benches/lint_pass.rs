@@ -1,0 +1,46 @@
+//! Benchmarks the static verifier itself: a lint pass must stay cheap
+//! enough to run inside every debug-mode program build.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stencil::dia::{DiaMatrix, Offset3};
+use stencil::mesh::Mesh3D;
+use wse_arch::Fabric;
+use wse_core::bicgstab::WaferBicgstab;
+use wse_core::spmv3d::WaferSpmv;
+use wse_float::F16;
+
+fn unit_diag_system(mesh: Mesh3D) -> DiaMatrix<F16> {
+    let mut a = DiaMatrix::<f64>::new(mesh, &Offset3::seven_point());
+    for (x, y, z) in mesh.iter() {
+        a.set(x, y, z, Offset3::CENTER, 1.0);
+        for off in &Offset3::seven_point()[1..] {
+            if mesh.neighbor(x, y, z, off.dx, off.dy, off.dz).is_some() {
+                a.set(x, y, z, *off, -0.125);
+            }
+        }
+    }
+    a.convert()
+}
+
+fn bench_lint_spmv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lint_spmv");
+    for side in [4usize, 8, 16] {
+        let a = unit_diag_system(Mesh3D::new(side, side, 64));
+        let mut fabric = Fabric::new(side, side);
+        let _ = WaferSpmv::build(&mut fabric, &a);
+        g.bench_with_input(BenchmarkId::new("fabric", side), &side, |b, _| {
+            b.iter(|| wse_lint::lint(&fabric))
+        });
+    }
+    g.finish();
+}
+
+fn bench_lint_bicgstab(c: &mut Criterion) {
+    let a = unit_diag_system(Mesh3D::new(4, 4, 32));
+    let mut fabric = Fabric::new(4, 4);
+    let _ = WaferBicgstab::build(&mut fabric, &a);
+    c.bench_function("lint_bicgstab_4x4", |b| b.iter(|| wse_lint::lint(&fabric)));
+}
+
+criterion_group!(benches, bench_lint_spmv, bench_lint_bicgstab);
+criterion_main!(benches);

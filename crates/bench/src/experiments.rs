@@ -1,9 +1,11 @@
 //! Implementations of every reproduced table and figure.
 
 use cfd::cavity::{fig9_momentum_system, Cavity};
-use perf_model::capacity::{campaign_hours_cluster, campaign_hours_cs1, capacity_table, paper_campaigns};
 use perf_model::allreduce::AllReduceModel;
 use perf_model::balance::{cs1_balance, cs1_bytes_per_flop, reference_machines};
+use perf_model::capacity::{
+    campaign_hours_cluster, campaign_hours_cs1, capacity_table, paper_campaigns,
+};
 use perf_model::cluster::JouleModel;
 use perf_model::cs1::Cs1Model;
 use perf_model::mfix::{paper_table2, CycleCosts, MfixProjection};
@@ -55,7 +57,10 @@ pub fn table1() -> Table1Result {
 pub fn print_table1() {
     let t = table1();
     println!("== Table I: operations per meshpoint per iteration ==");
-    println!("{:<12} {:>8} {:>8}   (paper: SP+ SPx | mixed HP+ HPx SP+)", "Operation", "mul", "add");
+    println!(
+        "{:<12} {:>8} {:>8}   (paper: SP+ SPx | mixed HP+ HPx SP+)",
+        "Operation", "mul", "add"
+    );
     println!("{:<12} {:>8.1} {:>8.1}   (12 12 | 12 12 0)", "Matvec (x2)", t.matvec.0, t.matvec.1);
     println!("{:<12} {:>8.1} {:>8.1}   ( 4  4 |  0  4 4)", "Dot (x4)", t.dot.0, t.dot.1);
     println!("{:<12} {:>8.1} {:>8.1}   ( 6  6 |  6  6 0)", "AXPY (x6)", t.axpy.0, t.axpy.1);
@@ -117,10 +122,16 @@ pub fn print_fig1() {
     println!("== Fig. 1: flops per word of memory / interconnect bandwidth ==");
     println!("{:<28} {:>6} {:>12} {:>12}", "Machine", "year", "mem", "network");
     for m in reference_machines() {
-        println!("{:<28} {:>6} {:>12.1} {:>12.0}", m.name, m.year, m.flops_per_mem_word, m.flops_per_net_word);
+        println!(
+            "{:<28} {:>6} {:>12.1} {:>12.0}",
+            m.name, m.year, m.flops_per_mem_word, m.flops_per_net_word
+        );
     }
     let c = cs1_balance();
-    println!("{:<28} {:>6} {:>12.2} {:>12.1}   <-- the bottom of the scale", c.name, c.year, c.flops_per_mem_word, c.flops_per_net_word);
+    println!(
+        "{:<28} {:>6} {:>12.2} {:>12.1}   <-- the bottom of the scale",
+        c.name, c.year, c.flops_per_mem_word, c.flops_per_net_word
+    );
     println!("CS-1 moves {:.0} bytes to/from memory per flop (paper: three)", cs1_bytes_per_flop());
 }
 
@@ -136,7 +147,8 @@ pub fn fig5() -> Result<(), String> {
 pub fn print_fig5() {
     println!("== Fig. 5: tessellation routing pattern ==");
     for y in 0..8 {
-        let row: Vec<String> = (0..8).map(|x| wse_core::routing::spmv_color(x, y).to_string()).collect();
+        let row: Vec<String> =
+            (0..8).map(|x| wse_core::routing::spmv_color(x, y).to_string()).collect();
         println!("  {}", row.join(" "));
     }
     match fig5() {
@@ -182,21 +194,25 @@ pub fn print_fig6() {
     let r = fig6();
     println!("== Fig. 6: AllReduce on the fabric ==");
     for (w, h, c) in &r.measured {
-        println!("  {w:>3} x {h:<3} fabric: {c:>5} cycles  ({:.2} cycles/hop-diameter)", *c as f64 / (w + h) as f64);
+        println!(
+            "  {w:>3} x {h:<3} fabric: {c:>5} cycles  ({:.2} cycles/hop-diameter)",
+            *c as f64 / (w + h) as f64
+        );
     }
     println!("fitted cycles/hop = {:.2} (paper: ~10% over the diameter)", r.hop_factor);
-    println!(
-        "extrapolated 602x595 machine: {:.2} us  (paper: under 1.5 us)",
-        r.full_machine_us
-    );
+    println!("extrapolated 602x595 machine: {:.2} us  (paper: under 1.5 us)", r.full_machine_us);
 }
+
+/// One calibration point of the headline experiment:
+/// `(w, h, z, spmv, dot, allreduce, update, total)` cycles.
+pub type CyclePoint = (usize, usize, usize, u64, u64, u64, u64, u64);
 
 /// Result of the headline experiment.
 #[derive(Debug)]
 pub struct HeadlineResult {
     /// Measured simulator cycle breakdown per iteration at the calibration
-    /// points `(w, h, z, spmv, dot, allreduce, update, total)`.
-    pub measured: Vec<(usize, usize, usize, u64, u64, u64, u64, u64)>,
+    /// points.
+    pub measured: Vec<CyclePoint>,
     /// Predicted full-scale iteration time (µs).
     pub time_us: f64,
     /// Predicted PFLOPS.
@@ -224,12 +240,7 @@ pub fn headline() -> HeadlineResult {
     let mut model = Cs1Model::default();
     model.calibrate_spmv(&spmv_samples);
     let p = model.predict_headline();
-    HeadlineResult {
-        measured,
-        time_us: p.time_us,
-        pflops: p.pflops,
-        utilization: p.utilization,
-    }
+    HeadlineResult { measured, time_us: p.time_us, pflops: p.pflops, utilization: p.utilization }
 }
 
 /// Prints the headline experiment.
@@ -237,14 +248,20 @@ pub fn print_headline() {
     let r = headline();
     println!("== §V headline: BiCGStab iteration on the wafer ==");
     println!("simulator calibration runs (cycles per iteration):");
-    println!("  {:>5} {:>5} {:>6} {:>8} {:>7} {:>10} {:>8} {:>8}", "w", "h", "z", "spmv", "dot", "allreduce", "update", "total");
+    println!(
+        "  {:>5} {:>5} {:>6} {:>8} {:>7} {:>10} {:>8} {:>8}",
+        "w", "h", "z", "spmv", "dot", "allreduce", "update", "total"
+    );
     for (w, h, z, s, d, a, u, t) in &r.measured {
         println!("  {w:>5} {h:>5} {z:>6} {s:>8} {d:>7} {a:>10} {u:>8} {t:>8}");
     }
     println!("prediction for 600 x 595 x 1536 on the 602x595 fabric:");
     println!("  time/iteration = {:.1} us      (paper measured: 28.1 us)", r.time_us);
     println!("  achieved       = {:.2} PFLOPS  (paper: 0.86 PFLOPS)", r.pflops);
-    println!("  utilization    = {:.0}%         (paper: about one third of peak)", r.utilization * 100.0);
+    println!(
+        "  utilization    = {:.0}%         (paper: about one third of peak)",
+        r.utilization * 100.0
+    );
 }
 
 /// E-F7/E-F8 — cluster strong scaling curves.
@@ -312,13 +329,23 @@ pub fn fig9(scale: usize, iters: usize) -> Fig9Result {
 pub fn print_fig9(scale: usize, iters: usize) {
     let r = fig9(scale, iters);
     println!("== Fig. 9: normwise relative residual (momentum system, 100x400x100 / {scale}) ==");
-    println!("  {:>4} {:>14} {:>14} {:>14} {:>14}", "iter", "fp64", "fp32", "mixed sp/hp", "pure fp16");
+    println!(
+        "  {:>4} {:>14} {:>14} {:>14} {:>14}",
+        "iter", "fp64", "fp32", "mixed sp/hp", "pure fp16"
+    );
     let n = r.fp32.residuals.len().max(r.mixed.residuals.len());
     for i in 0..n {
         let g = |c: &PrecisionCurve| -> String {
             c.residuals.get(i).map_or("-".into(), |v| format!("{v:.3e}"))
         };
-        println!("  {:>4} {:>14} {:>14} {:>14} {:>14}", i + 1, g(&r.fp64), g(&r.fp32), g(&r.mixed), g(&r.pure16));
+        println!(
+            "  {:>4} {:>14} {:>14} {:>14} {:>14}",
+            i + 1,
+            g(&r.fp64),
+            g(&r.fp32),
+            g(&r.mixed),
+            g(&r.pure16)
+        );
     }
     println!(
         "mixed plateaus at {:.1e} (paper: ~1e-2); fp32 reaches {:.1e}",
@@ -384,18 +411,12 @@ pub fn spmv2d_experiment() -> Spmv2dResult {
 pub fn print_spmv2d() {
     let r = spmv2d_experiment();
     println!("== §IV.2: 2D 9-point mapping ==");
-    println!(
-        "largest square block fitting 48 KB: {} (paper: up-to 38x38)",
-        r.max_block
-    );
+    println!("largest square block fitting 48 KB: {} (paper: up-to 38x38)", r.max_block);
     println!(
         "covered geometry on a 600x600 fabric: {}x{} (paper: 22800x22800)",
         r.covered.0, r.covered.1
     );
-    println!(
-        "halo overhead at 8x8 blocks: {:.1}% (paper: less than 20%)",
-        r.overhead_8x8 * 100.0
-    );
+    println!("halo overhead at 8x8 blocks: {:.1}% (paper: less than 20%)", r.overhead_8x8 * 100.0);
     println!("functional 8x8-block run on 3x3 fabric: {} cycles", r.cycles_3x3_8x8);
     // The paper: "The efficiency of this approach is approximately the same
     // as for the 3D mapping" — measure both solvers on 256-point problems.
@@ -461,10 +482,7 @@ pub fn print_mfix() {
         "us per Z meshpoint per SIMPLE iteration: {:.2} - {:.2} (paper: \"roughly two\")",
         rate.us_per_z_point.0, rate.us_per_z_point.1
     );
-    println!(
-        "speedup vs 16,384-core Joule: {:.0}x (paper: above 200x)",
-        rate.speedup_vs_joule
-    );
+    println!("speedup vs 16,384-core Joule: {:.0}x (paper: above 200x)", rate.speedup_vs_joule);
 }
 
 /// Extension E-IR — §VI.B's "correction scheme": iterative refinement with
@@ -560,8 +578,10 @@ pub fn print_capacity() {
     for (g, z, pts) in capacity_table(&m) {
         println!("{:<16} {:>6.0} GB {:>8} {:>16}", g.name, g.sram_gib, z, pts);
     }
-    println!("
-campaign use cases (CS-1 at the §VI.A rate vs 16,384-core cluster):");
+    println!(
+        "
+campaign use cases (CS-1 at the §VI.A rate vs 16,384-core cluster):"
+    );
     println!("{:<36} {:>12} {:>14}", "campaign", "wafer", "cluster");
     for c in paper_campaigns() {
         println!(
@@ -612,11 +632,7 @@ mod tests {
         let r = headline();
         // The simulator-calibrated prediction must land near the paper's
         // measured 28.1 µs / 0.86 PFLOPS (same order, right winner).
-        assert!(
-            (15.0..60.0).contains(&r.time_us),
-            "predicted {:.1} us vs paper 28.1",
-            r.time_us
-        );
+        assert!((15.0..60.0).contains(&r.time_us), "predicted {:.1} us vs paper 28.1", r.time_us);
         assert!((0.4..1.7).contains(&r.pflops), "predicted {:.2} PFLOPS", r.pflops);
     }
 

@@ -108,7 +108,7 @@ mod tests {
     #[test]
     fn fig9_full_scale_mesh_shape() {
         // Don't build it (4M unknowns); just check the shape arithmetic.
-        let (nx, ny, nz) = (100 / 1, 400 / 1, 100 / 1);
+        let (nx, ny, nz) = (100, 400, 100);
         assert_eq!((nx, ny, nz), (100, 400, 100));
     }
 }

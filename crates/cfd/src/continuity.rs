@@ -220,7 +220,8 @@ mod tests {
         let before = f.divergence_rms();
         // Solve the correction system accurately with the host solver.
         let scaled = stencil::precond::jacobi_scale(&ps.matrix, &ps.rhs);
-        let opts = solver::SolveOptions { max_iters: 400, rtol: 1e-10, record_true_residual: false };
+        let opts =
+            solver::SolveOptions { max_iters: 400, rtol: 1e-10, record_true_residual: false };
         let result = solver::bicgstab::<solver::Fp64>(&scaled.matrix, &scaled.rhs, &opts);
         apply_corrections(&mut f, &ps, &result.x, 1.0);
         let after = f.divergence_rms();

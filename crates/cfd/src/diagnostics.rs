@@ -26,6 +26,7 @@ pub fn centerline_w_profile(field: &FlowField) -> Vec<f64> {
 
 /// Cell-centered y-vorticity `ω_y = ∂u/∂z − ∂w/∂x` on the mid-y plane
 /// (the rotation plane of the primary vortex for an x-driven lid).
+#[allow(clippy::needless_range_loop)] // 2-D stencil index math reads better with i/k
 pub fn vorticity_y_midplane(field: &FlowField) -> Vec<Vec<f64>> {
     let g = field.grid;
     let um = g.face_mesh(Component::U);
@@ -65,6 +66,7 @@ pub fn vorticity_y_midplane(field: &FlowField) -> Vec<Vec<f64>> {
 
 /// Locates the primary vortex: the cell of extreme y-vorticity magnitude on
 /// the mid-y plane, returned as normalized `(x, z)` in `[0, 1]²`.
+#[allow(clippy::needless_range_loop)] // interior scan over (i, k) cells
 pub fn primary_vortex_center(field: &FlowField) -> (f64, f64) {
     let g = field.grid;
     let vort = vorticity_y_midplane(field);
@@ -78,21 +80,13 @@ pub fn primary_vortex_center(field: &FlowField) -> (f64, f64) {
             }
         }
     }
-    (
-        (best.0 as f64 + 0.5) / g.nx as f64,
-        (best.1 as f64 + 0.5) / g.nz as f64,
-    )
+    ((best.0 as f64 + 0.5) / g.nx as f64, (best.1 as f64 + 0.5) / g.nz as f64)
 }
 
 /// Total circulation on the mid-y plane: Σ ω_y h² (signed).
 pub fn circulation(field: &FlowField) -> f64 {
     let g = field.grid;
-    vorticity_y_midplane(field)
-        .iter()
-        .flatten()
-        .sum::<f64>()
-        * g.h
-        * g.h
+    vorticity_y_midplane(field).iter().flatten().sum::<f64>() * g.h * g.h
 }
 
 #[cfg(test)]

@@ -126,14 +126,9 @@ pub fn assemble_momentum(field: &FlowField, c: Component, props: &FluidProps) ->
             for (sign, plus) in [(1i32, true), (-1i32, false)] {
                 // Neighbor face in the component's own mesh.
                 let (dx, dy, dz) = AXES[axis];
-                let nb = [
-                    pos[0] + sign * dx,
-                    pos[1] + sign * dy,
-                    pos[2] + sign * dz,
-                ];
-                let nb_exists = mesh
-                    .neighbor(fx, fy, fz, sign * dx, sign * dy, sign * dz)
-                    .is_some();
+                let nb = [pos[0] + sign * dx, pos[1] + sign * dy, pos[2] + sign * dz];
+                let nb_exists =
+                    mesh.neighbor(fx, fy, fz, sign * dx, sign * dy, sign * dz).is_some();
 
                 // Convective flux through this CV face.
                 let f_flux = if axis == n_axis {
@@ -176,12 +171,8 @@ pub fn assemble_momentum(field: &FlowField, c: Component, props: &FluidProps) ->
                     let a_nb = d_cond + (-f_signed).max(0.0);
                     counts.merge += 1; // max()
                     counts.flop += 2; // add + sign fold
-                    let nb_is_wall = grid.is_normal_boundary(
-                        c,
-                        nb[0] as usize,
-                        nb[1] as usize,
-                        nb[2] as usize,
-                    );
+                    let nb_is_wall =
+                        grid.is_normal_boundary(c, nb[0] as usize, nb[1] as usize, nb[2] as usize);
                     if nb_is_wall {
                         // The neighbor is a Dirichlet wall face (value 0):
                         // fold it into the right-hand side so the interior
@@ -213,16 +204,10 @@ pub fn assemble_momentum(field: &FlowField, c: Component, props: &FluidProps) ->
 
         // Pressure gradient: (p_minus − p_plus) · area along the normal.
         let pmesh = grid.p_mesh();
-        let pm = field.p[pmesh.idx(
-            cell_minus[0] as usize,
-            cell_minus[1] as usize,
-            cell_minus[2] as usize,
-        )];
-        let pp = field.p[pmesh.idx(
-            cell_plus[0] as usize,
-            cell_plus[1] as usize,
-            cell_plus[2] as usize,
-        )];
+        let pm = field.p
+            [pmesh.idx(cell_minus[0] as usize, cell_minus[1] as usize, cell_minus[2] as usize)];
+        let pp =
+            field.p[pmesh.idx(cell_plus[0] as usize, cell_plus[1] as usize, cell_plus[2] as usize)];
         b += (pm - pp) * area;
         counts.transport += 2;
         counts.flop += 2;

@@ -99,11 +99,8 @@ impl ScalarTransport {
                 } else {
                     // Wall: half-cell conductance to the boundary value; no
                     // convective flux through walls (no-penetration).
-                    let tb = if off == Offset3::new(0, 0, 1) {
-                        self.lid_value
-                    } else {
-                        self.wall_value
-                    };
+                    let tb =
+                        if off == Offset3::new(0, 0, 1) { self.lid_value } else { self.wall_value };
                     ap += 2.0 * d_cond;
                     b += 2.0 * d_cond * tb;
                     self.counts.merge += 1;

@@ -141,10 +141,7 @@ impl SimpleSolver {
         let upd = apply_corrections(&mut self.field, &psys, &result.x, self.params.alpha_p);
         self.counts.field_update.add(upd);
 
-        let resid = SimpleResidual {
-            mass: self.field.divergence_rms(),
-            momentum: momentum_resid,
-        };
+        let resid = SimpleResidual { mass: self.field.divergence_rms(), momentum: momentum_resid };
         self.history.push(resid);
         resid
     }

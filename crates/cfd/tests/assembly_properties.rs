@@ -10,8 +10,8 @@ use stencil::stencil7::is_symmetric;
 
 /// A random (bounded) flow field on a random small grid.
 fn arb_field() -> impl Strategy<Value = FlowField> {
-    (3usize..6, 3usize..6, 3usize..6, prop::collection::vec(-100i32..100, 600))
-        .prop_map(|(nx, ny, nz, seeds)| {
+    (3usize..6, 3usize..6, 3usize..6, prop::collection::vec(-100i32..100, 600)).prop_map(
+        |(nx, ny, nz, seeds)| {
             let grid = StaggeredGrid::new(nx, ny, nz, 1.0 / nx as f64);
             let mut f = FlowField::zeros(grid);
             let mut k = 0usize;
@@ -33,7 +33,8 @@ fn arb_field() -> impl Strategy<Value = FlowField> {
                 *p = next(0.5);
             }
             f
-        })
+        },
+    )
 }
 
 proptest! {

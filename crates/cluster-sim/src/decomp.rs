@@ -56,7 +56,7 @@ pub fn decompose(n: usize, p: usize) -> BlockShape {
     let mut factor = 2usize;
     let mut factors = Vec::new();
     while rem > 1 {
-        while rem % factor == 0 {
+        while rem.is_multiple_of(factor) {
             factors.push(factor);
             rem /= factor;
         }
@@ -73,14 +73,7 @@ pub fn decompose(n: usize, p: usize) -> BlockShape {
     }
     dims.sort_unstable(); // px <= py <= pz
     let (px, py, pz) = (dims[0], dims[1], dims[2]);
-    BlockShape {
-        px,
-        py,
-        pz,
-        bx: n.div_ceil(px),
-        by: n.div_ceil(py),
-        bz: n.div_ceil(pz),
-    }
+    BlockShape { px, py, pz, bx: n.div_ceil(px), by: n.div_ceil(py), bz: n.div_ceil(pz) }
 }
 
 #[cfg(test)]

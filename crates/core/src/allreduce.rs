@@ -102,6 +102,7 @@ impl AllReduce {
                 );
                 body.extend(recv);
                 let id = fabric.tile_mut(x, y).core.add_task(Task::new("allreduce", body));
+                fabric.tile_mut(x, y).core.mark_entry(id);
                 tasks.push(id);
             }
         }
@@ -295,17 +296,20 @@ impl AllReduce {
                 b: None,
             }));
         } else {
-            // Row-center tile: accumulate own value + the half-row stream.
+            // Row-center tile: accumulate own value + the half-row stream
+            // (absent when this center column sits on the fabric edge).
             let (color, len) = if x == cx0 { (row_e, cx0) } else { (row_w, w - 1 - cx1) };
-            let d_rx = core.add_dsr(mk::rx32(color, len as u32));
             body.push(Stmt::RegArith { op: RegOp::Mov, dst: r_acc, a: r_in, b: r_in });
-            body.push(Stmt::InitDsr { dsr: d_rx, desc: mk::rx32(color, len as u32) });
-            body.push(Stmt::Exec(TensorInstr {
-                op: Op::SumReg { acc: r_acc },
-                dst: None,
-                a: Some(d_rx),
-                b: None,
-            }));
+            if len > 0 {
+                let d_rx = core.add_dsr(mk::rx32(color, len as u32));
+                body.push(Stmt::InitDsr { dsr: d_rx, desc: mk::rx32(color, len as u32) });
+                body.push(Stmt::Exec(TensorInstr {
+                    op: Op::SumReg { acc: r_acc },
+                    dst: None,
+                    a: Some(d_rx),
+                    b: None,
+                }));
+            }
 
             if y != cy0 && y != cy1 {
                 // Column contributor.
@@ -319,16 +323,19 @@ impl AllReduce {
                     b: None,
                 }));
             } else {
-                // One of the central four: fold in the half-column stream.
+                // One of the central four: fold in the half-column stream
+                // (absent when the center row sits on the fabric edge).
                 let (color, len) = if y == cy0 { (col_s, cy0) } else { (col_n, h - 1 - cy1) };
-                let d_rx = core.add_dsr(mk::rx32(color, len as u32));
-                body.push(Stmt::InitDsr { dsr: d_rx, desc: mk::rx32(color, len as u32) });
-                body.push(Stmt::Exec(TensorInstr {
-                    op: Op::SumReg { acc: r_acc },
-                    dst: None,
-                    a: Some(d_rx),
-                    b: None,
-                }));
+                if len > 0 {
+                    let d_rx = core.add_dsr(mk::rx32(color, len as u32));
+                    body.push(Stmt::InitDsr { dsr: d_rx, desc: mk::rx32(color, len as u32) });
+                    body.push(Stmt::Exec(TensorInstr {
+                        op: Op::SumReg { acc: r_acc },
+                        dst: None,
+                        a: Some(d_rx),
+                        b: None,
+                    }));
+                }
 
                 let is_root = x == cx0 && y == cy0;
                 if is_root {
@@ -400,14 +407,27 @@ impl AllReduce {
             fabric, x, y, w, h, cx0, cx1, cy0, cy1, self.r_in, self.r_out, self.r_acc, self.base,
         );
         let (w2, r2) = Self::tile_body_parts(
-            fabric, x, y, w, h, cx0, cx1, cy0, cy1, other.r_in, other.r_out, other.r_acc,
+            fabric,
+            x,
+            y,
+            w,
+            h,
+            cx0,
+            cx1,
+            cy0,
+            cy1,
+            other.r_in,
+            other.r_out,
+            other.r_acc,
             other.base,
         );
         let mut body = w1;
         body.extend(w2);
         body.extend(r1);
         body.extend(r2);
-        fabric.tile_mut(x, y).core.add_task(Task::new("allreduce-fused", body))
+        let id = fabric.tile_mut(x, y).core.add_task(Task::new("allreduce-fused", body));
+        fabric.tile_mut(x, y).core.mark_entry(id);
+        id
     }
 
     /// Host-driven execution: sets each tile's input register, activates
@@ -479,9 +499,9 @@ mod tests {
         let (w, h) = (4, 4);
         let mut fabric = Fabric::new(w, h);
         let ar = AllReduce::build(&mut fabric, w, h, R_IN, R_OUT, R_ACC);
-        let (out1, _) = ar.run(&mut fabric, &vec![2.0; 16]);
+        let (out1, _) = ar.run(&mut fabric, &[2.0; 16]);
         assert!(out1.iter().all(|&v| v == 32.0));
-        let (out2, _) = ar.run(&mut fabric, &vec![0.5; 16]);
+        let (out2, _) = ar.run(&mut fabric, &[0.5; 16]);
         assert!(out2.iter().all(|&v| v == 8.0), "{out2:?}");
     }
 

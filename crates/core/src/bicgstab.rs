@@ -14,8 +14,8 @@
 
 use crate::allreduce::AllReduce;
 use crate::kernels::{dot_stmts, xpay_stmts};
-use crate::spmv3d::{build_spmv_tile, load_coefficients, tile_coefficients, SpmvLayout, SpmvTasks};
 use crate::routing::configure_spmv_routes;
+use crate::spmv3d::{build_spmv_tile, load_coefficients, tile_coefficients, SpmvLayout, SpmvTasks};
 use stencil::decomp::Mapping3D;
 use stencil::dia::DiaMatrix;
 use stencil::precond::has_unit_diagonal;
@@ -205,8 +205,7 @@ impl WaferBicgstab {
         let z = mapping.z as u32;
 
         configure_spmv_routes(fabric, w, h);
-        let allreduce =
-            AllReduce::build(fabric, w, h, regs::AR_IN, regs::AR_OUT, regs::AR_ACC);
+        let allreduce = AllReduce::build(fabric, w, h, regs::AR_IN, regs::AR_OUT, regs::AR_ACC);
         let allreduce2 = fused.then(|| {
             AllReduce::build_with_base(
                 fabric,
@@ -289,54 +288,159 @@ impl WaferBicgstab {
                 let post_r0s = core.add_task(Task::new(
                     "post_r0s",
                     vec![
-                        Stmt::RegArith { op: RegOp::Mov, dst: regs::R0S, a: regs::AR_OUT, b: regs::AR_OUT },
-                        Stmt::RegArith { op: RegOp::Add, dst: regs::R0S, a: regs::R0S, b: regs::EPS },
-                        Stmt::RegArith { op: RegOp::Div, dst: regs::ALPHA, a: regs::RHO, b: regs::R0S },
-                        Stmt::RegArith { op: RegOp::Neg, dst: regs::NEG_ALPHA, a: regs::ALPHA, b: regs::ALPHA },
+                        Stmt::RegArith {
+                            op: RegOp::Mov,
+                            dst: regs::R0S,
+                            a: regs::AR_OUT,
+                            b: regs::AR_OUT,
+                        },
+                        Stmt::RegArith {
+                            op: RegOp::Add,
+                            dst: regs::R0S,
+                            a: regs::R0S,
+                            b: regs::EPS,
+                        },
+                        Stmt::RegArith {
+                            op: RegOp::Div,
+                            dst: regs::ALPHA,
+                            a: regs::RHO,
+                            b: regs::R0S,
+                        },
+                        Stmt::RegArith {
+                            op: RegOp::Neg,
+                            dst: regs::NEG_ALPHA,
+                            a: regs::ALPHA,
+                            b: regs::ALPHA,
+                        },
                     ],
                 ));
                 let post_qy = core.add_task(Task::new(
                     "post_qy",
-                    vec![Stmt::RegArith { op: RegOp::Mov, dst: regs::QY, a: regs::AR_OUT, b: regs::AR_OUT }],
+                    vec![Stmt::RegArith {
+                        op: RegOp::Mov,
+                        dst: regs::QY,
+                        a: regs::AR_OUT,
+                        b: regs::AR_OUT,
+                    }],
                 ));
                 let post_yy = core.add_task(Task::new(
                     "post_yy",
                     vec![
-                        Stmt::RegArith { op: RegOp::Mov, dst: regs::YY, a: regs::AR_OUT, b: regs::AR_OUT },
+                        Stmt::RegArith {
+                            op: RegOp::Mov,
+                            dst: regs::YY,
+                            a: regs::AR_OUT,
+                            b: regs::AR_OUT,
+                        },
                         Stmt::RegArith { op: RegOp::Add, dst: regs::YY, a: regs::YY, b: regs::EPS },
-                        Stmt::RegArith { op: RegOp::Div, dst: regs::OMEGA, a: regs::QY, b: regs::YY },
-                        Stmt::RegArith { op: RegOp::Neg, dst: regs::NEG_OMEGA, a: regs::OMEGA, b: regs::OMEGA },
+                        Stmt::RegArith {
+                            op: RegOp::Div,
+                            dst: regs::OMEGA,
+                            a: regs::QY,
+                            b: regs::YY,
+                        },
+                        Stmt::RegArith {
+                            op: RegOp::Neg,
+                            dst: regs::NEG_OMEGA,
+                            a: regs::OMEGA,
+                            b: regs::OMEGA,
+                        },
                     ],
                 ));
                 let post_rho = core.add_task(Task::new(
                     "post_rho",
                     vec![
-                        Stmt::RegArith { op: RegOp::Mov, dst: regs::RHO_NEXT, a: regs::AR_OUT, b: regs::AR_OUT },
-                        Stmt::RegArith { op: RegOp::Add, dst: regs::TMP, a: regs::OMEGA, b: regs::EPS },
-                        Stmt::RegArith { op: RegOp::Div, dst: regs::TMP, a: regs::ALPHA, b: regs::TMP },
-                        Stmt::RegArith { op: RegOp::Add, dst: regs::BETA, a: regs::RHO, b: regs::EPS },
-                        Stmt::RegArith { op: RegOp::Div, dst: regs::BETA, a: regs::RHO_NEXT, b: regs::BETA },
-                        Stmt::RegArith { op: RegOp::Mul, dst: regs::BETA, a: regs::TMP, b: regs::BETA },
-                        Stmt::RegArith { op: RegOp::Mov, dst: regs::RHO, a: regs::RHO_NEXT, b: regs::RHO_NEXT },
+                        Stmt::RegArith {
+                            op: RegOp::Mov,
+                            dst: regs::RHO_NEXT,
+                            a: regs::AR_OUT,
+                            b: regs::AR_OUT,
+                        },
+                        Stmt::RegArith {
+                            op: RegOp::Add,
+                            dst: regs::TMP,
+                            a: regs::OMEGA,
+                            b: regs::EPS,
+                        },
+                        Stmt::RegArith {
+                            op: RegOp::Div,
+                            dst: regs::TMP,
+                            a: regs::ALPHA,
+                            b: regs::TMP,
+                        },
+                        Stmt::RegArith {
+                            op: RegOp::Add,
+                            dst: regs::BETA,
+                            a: regs::RHO,
+                            b: regs::EPS,
+                        },
+                        Stmt::RegArith {
+                            op: RegOp::Div,
+                            dst: regs::BETA,
+                            a: regs::RHO_NEXT,
+                            b: regs::BETA,
+                        },
+                        Stmt::RegArith {
+                            op: RegOp::Mul,
+                            dst: regs::BETA,
+                            a: regs::TMP,
+                            b: regs::BETA,
+                        },
+                        Stmt::RegArith {
+                            op: RegOp::Mov,
+                            dst: regs::RHO,
+                            a: regs::RHO_NEXT,
+                            b: regs::RHO_NEXT,
+                        },
                     ],
                 ));
                 let post_omega_fused = core.add_task(Task::new(
                     "post_omega_fused",
                     vec![
-                        Stmt::RegArith { op: RegOp::Mov, dst: regs::QY, a: regs::AR_OUT, b: regs::AR_OUT },
-                        Stmt::RegArith { op: RegOp::Mov, dst: regs::YY, a: regs::AR_OUT2, b: regs::AR_OUT2 },
+                        Stmt::RegArith {
+                            op: RegOp::Mov,
+                            dst: regs::QY,
+                            a: regs::AR_OUT,
+                            b: regs::AR_OUT,
+                        },
+                        Stmt::RegArith {
+                            op: RegOp::Mov,
+                            dst: regs::YY,
+                            a: regs::AR_OUT2,
+                            b: regs::AR_OUT2,
+                        },
                         Stmt::RegArith { op: RegOp::Add, dst: regs::YY, a: regs::YY, b: regs::EPS },
-                        Stmt::RegArith { op: RegOp::Div, dst: regs::OMEGA, a: regs::QY, b: regs::YY },
-                        Stmt::RegArith { op: RegOp::Neg, dst: regs::NEG_OMEGA, a: regs::OMEGA, b: regs::OMEGA },
+                        Stmt::RegArith {
+                            op: RegOp::Div,
+                            dst: regs::OMEGA,
+                            a: regs::QY,
+                            b: regs::YY,
+                        },
+                        Stmt::RegArith {
+                            op: RegOp::Neg,
+                            dst: regs::NEG_OMEGA,
+                            a: regs::OMEGA,
+                            b: regs::OMEGA,
+                        },
                     ],
                 ));
                 let init_rho = core.add_task(Task::new(
                     "init_rho",
-                    vec![Stmt::RegArith { op: RegOp::Mov, dst: regs::RHO, a: regs::AR_OUT, b: regs::AR_OUT }],
+                    vec![Stmt::RegArith {
+                        op: RegOp::Mov,
+                        dst: regs::RHO,
+                        a: regs::AR_OUT,
+                        b: regs::AR_OUT,
+                    }],
                 ));
                 let post_rr = core.add_task(Task::new(
                     "post_rr",
-                    vec![Stmt::RegArith { op: RegOp::Mov, dst: regs::RR, a: regs::AR_OUT, b: regs::AR_OUT }],
+                    vec![Stmt::RegArith {
+                        op: RegOp::Mov,
+                        dst: regs::RR,
+                        a: regs::AR_OUT,
+                        b: regs::AR_OUT,
+                    }],
                 ));
 
                 // --- Vector update phases.
@@ -352,8 +456,18 @@ impl WaferBicgstab {
                     core.add_task(Task::new(
                         "upd_x",
                         vec![
-                            Stmt::Exec(TensorInstr { op: Op::Axpy { scalar: regs::ALPHA }, dst: Some(dx1), a: Some(dp), b: None }),
-                            Stmt::Exec(TensorInstr { op: Op::Axpy { scalar: regs::OMEGA }, dst: Some(dx2), a: Some(dq), b: None }),
+                            Stmt::Exec(TensorInstr {
+                                op: Op::Axpy { scalar: regs::ALPHA },
+                                dst: Some(dx1),
+                                a: Some(dp),
+                                b: None,
+                            }),
+                            Stmt::Exec(TensorInstr {
+                                op: Op::Axpy { scalar: regs::OMEGA },
+                                dst: Some(dx2),
+                                a: Some(dq),
+                                b: None,
+                            }),
                         ],
                     ))
                 };
@@ -370,34 +484,57 @@ impl WaferBicgstab {
                     core.add_task(Task::new("upd_p2", body))
                 };
 
-                tiles.push((
-                    vecs,
-                    TileTasks {
-                        spmv_ps,
-                        spmv_qy,
-                        dot_r0s,
-                        dot_qy,
-                        dot_yy,
-                        dot_qy_yy,
-                        post_omega_fused,
-                        dot_rho,
-                        dot_rr,
-                        post_r0s,
-                        post_qy,
-                        post_yy,
-                        post_rho,
-                        init_rho,
-                        post_rr,
-                        upd_q,
-                        upd_x,
-                        upd_r,
-                        upd_p1,
-                        upd_p2,
-                        fused_allreduce,
-                    },
-                ));
+                let tile_tasks = TileTasks {
+                    spmv_ps,
+                    spmv_qy,
+                    dot_r0s,
+                    dot_qy,
+                    dot_yy,
+                    dot_qy_yy,
+                    post_omega_fused,
+                    dot_rho,
+                    dot_rr,
+                    post_r0s,
+                    post_qy,
+                    post_yy,
+                    post_rho,
+                    init_rho,
+                    post_rr,
+                    upd_q,
+                    upd_x,
+                    upd_r,
+                    upd_p1,
+                    upd_p2,
+                    fused_allreduce,
+                };
+                // Every phase task is a host-activated entry point.
+                let core = &mut fabric.tile_mut(x, y).core;
+                for t in [
+                    dot_r0s,
+                    dot_qy,
+                    dot_yy,
+                    dot_qy_yy,
+                    post_omega_fused,
+                    dot_rho,
+                    dot_rr,
+                    post_r0s,
+                    post_qy,
+                    post_yy,
+                    post_rho,
+                    init_rho,
+                    post_rr,
+                    upd_q,
+                    upd_x,
+                    upd_r,
+                    upd_p1,
+                    upd_p2,
+                ] {
+                    core.mark_entry(t);
+                }
+                tiles.push((vecs, tile_tasks));
             }
         }
+        crate::debug_lint(fabric);
         WaferBicgstab { mapping, tiles, allreduce, allreduce2, fused }
     }
 
@@ -426,9 +563,7 @@ impl WaferBicgstab {
             }
         }
         let budget = 200 * m.z as u64 + 200 * (m.fabric_w + m.fabric_h) as u64 + 50_000;
-        fabric
-            .run_until_quiescent(budget)
-            .unwrap_or_else(|e| panic!("bicgstab phase stalled: {e}"))
+        fabric.run_until_quiescent(budget).unwrap_or_else(|e| panic!("bicgstab phase stalled: {e}"))
     }
 
     /// Loads the right-hand side and zeroes the iterate: `r = r̂₀ = p = b`,
@@ -607,11 +742,7 @@ mod tests {
         let last = *stats.residuals.last().unwrap();
         assert!(last < 0.05, "relative residual after 12 iters: {last}");
         // Solution should be close to the exact one at fp16 level.
-        let err = x
-            .iter()
-            .zip(&exact)
-            .map(|(a, b)| (a.to_f64() - b).abs())
-            .fold(0.0, f64::max);
+        let err = x.iter().zip(&exact).map(|(a, b)| (a.to_f64() - b).abs()).fold(0.0, f64::max);
         let scale = exact.iter().map(|v| v.abs()).fold(0.0, f64::max);
         assert!(err < 0.15 * scale.max(1.0), "max err {err} (scale {scale})");
     }
@@ -630,15 +761,15 @@ mod tests {
 
         let opts = SolveOptions { max_iters: iters, rtol: 0.0, record_true_residual: false };
         let host = host_bicgstab::<MixedF16>(&a, &b, &opts);
+        // Once either trajectory reaches the fp16 storage noise floor
+        // (2^-11 ≈ 4.9e-4 relative), recursive residuals are rounding noise
+        // and their ratio is instance-dependent; clamp the comparison there.
+        let floor = 5e-4;
         for (i, rec) in host.history.records.iter().enumerate() {
-            let wafer = stats.residuals[i];
-            let ratio = (wafer / rec.recursive_rel.max(1e-12)).max(rec.recursive_rel / wafer.max(1e-12));
-            assert!(
-                ratio < 5.0,
-                "iter {}: wafer {wafer:.3e} vs host {:.3e}",
-                i + 1,
-                rec.recursive_rel
-            );
+            let wafer = stats.residuals[i].max(floor);
+            let host_rel = rec.recursive_rel.max(floor);
+            let ratio = (wafer / host_rel).max(host_rel / wafer);
+            assert!(ratio < 5.0, "iter {}: wafer {wafer:.3e} vs host {host_rel:.3e}", i + 1,);
         }
     }
 
@@ -689,10 +820,7 @@ mod tests {
         // a single one.)
         let ar1: u64 = s1.iterations.iter().map(|c| c.allreduce).sum();
         let ar2: u64 = s2.iterations.iter().map(|c| c.allreduce).sum();
-        assert!(
-            (ar2 as f64) < 0.95 * ar1 as f64,
-            "fused must cut reduction time: {ar1} -> {ar2}"
-        );
+        assert!((ar2 as f64) < 0.95 * ar1 as f64, "fused must cut reduction time: {ar1} -> {ar2}");
         assert!(s2.mean_cycles() < s1.mean_cycles(), "fused iteration is faster overall");
     }
 

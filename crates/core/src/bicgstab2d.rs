@@ -124,10 +124,7 @@ impl WaferBicgstab2d {
     /// # Panics
     /// Panics on geometry mismatch, non-unit diagonal, or SRAM exhaustion.
     pub fn build(fabric: &mut Fabric, a: &DiaMatrix<F16>, block: Block2D) -> WaferBicgstab2d {
-        assert!(
-            stencil::precond::has_unit_diagonal(a),
-            "matrix must be diagonally preconditioned"
-        );
+        assert!(stencil::precond::has_unit_diagonal(a), "matrix must be diagonally preconditioned");
         let mesh3 = a.mesh();
         assert_eq!(mesh3.nz, 1, "2D mapping requires nz == 1");
         let (w, h) = (mesh3.nx / block.bx, mesh3.ny / block.by);
@@ -183,7 +180,8 @@ impl WaferBicgstab2d {
 
                 // --- Dots. ---
                 let dot_r0s = {
-                    let body = rowwise_dot(tile, bx, by, |i| (row(tv.r0, i), s_row(i)), regs::AR_IN);
+                    let body =
+                        rowwise_dot(tile, bx, by, |i| (row(tv.r0, i), s_row(i)), regs::AR_IN);
                     tile.core.add_task(Task::new("2d_dot_r0s", body))
                 };
                 let dot_qy = {
@@ -195,11 +193,13 @@ impl WaferBicgstab2d {
                     tile.core.add_task(Task::new("2d_dot_yy", body))
                 };
                 let dot_rho = {
-                    let body = rowwise_dot(tile, bx, by, |i| (row(tv.r0, i), row(tv.r, i)), regs::AR_IN);
+                    let body =
+                        rowwise_dot(tile, bx, by, |i| (row(tv.r0, i), row(tv.r, i)), regs::AR_IN);
                     tile.core.add_task(Task::new("2d_dot_rho", body))
                 };
                 let dot_rr = {
-                    let body = rowwise_dot(tile, bx, by, |i| (row(tv.r, i), row(tv.r, i)), regs::AR_IN);
+                    let body =
+                        rowwise_dot(tile, bx, by, |i| (row(tv.r, i), row(tv.r, i)), regs::AR_IN);
                     tile.core.add_task(Task::new("2d_dot_rr", body))
                 };
 
@@ -207,44 +207,129 @@ impl WaferBicgstab2d {
                 let post_r0s = tile.core.add_task(Task::new(
                     "2d_post_r0s",
                     vec![
-                        Stmt::RegArith { op: RegOp::Mov, dst: regs::R0S, a: regs::AR_OUT, b: regs::AR_OUT },
-                        Stmt::RegArith { op: RegOp::Add, dst: regs::R0S, a: regs::R0S, b: regs::EPS },
-                        Stmt::RegArith { op: RegOp::Div, dst: regs::ALPHA, a: regs::RHO, b: regs::R0S },
-                        Stmt::RegArith { op: RegOp::Neg, dst: regs::NEG_ALPHA, a: regs::ALPHA, b: regs::ALPHA },
+                        Stmt::RegArith {
+                            op: RegOp::Mov,
+                            dst: regs::R0S,
+                            a: regs::AR_OUT,
+                            b: regs::AR_OUT,
+                        },
+                        Stmt::RegArith {
+                            op: RegOp::Add,
+                            dst: regs::R0S,
+                            a: regs::R0S,
+                            b: regs::EPS,
+                        },
+                        Stmt::RegArith {
+                            op: RegOp::Div,
+                            dst: regs::ALPHA,
+                            a: regs::RHO,
+                            b: regs::R0S,
+                        },
+                        Stmt::RegArith {
+                            op: RegOp::Neg,
+                            dst: regs::NEG_ALPHA,
+                            a: regs::ALPHA,
+                            b: regs::ALPHA,
+                        },
                     ],
                 ));
                 let post_qy = tile.core.add_task(Task::new(
                     "2d_post_qy",
-                    vec![Stmt::RegArith { op: RegOp::Mov, dst: regs::QY, a: regs::AR_OUT, b: regs::AR_OUT }],
+                    vec![Stmt::RegArith {
+                        op: RegOp::Mov,
+                        dst: regs::QY,
+                        a: regs::AR_OUT,
+                        b: regs::AR_OUT,
+                    }],
                 ));
                 let post_yy = tile.core.add_task(Task::new(
                     "2d_post_yy",
                     vec![
-                        Stmt::RegArith { op: RegOp::Mov, dst: regs::YY, a: regs::AR_OUT, b: regs::AR_OUT },
+                        Stmt::RegArith {
+                            op: RegOp::Mov,
+                            dst: regs::YY,
+                            a: regs::AR_OUT,
+                            b: regs::AR_OUT,
+                        },
                         Stmt::RegArith { op: RegOp::Add, dst: regs::YY, a: regs::YY, b: regs::EPS },
-                        Stmt::RegArith { op: RegOp::Div, dst: regs::OMEGA, a: regs::QY, b: regs::YY },
-                        Stmt::RegArith { op: RegOp::Neg, dst: regs::NEG_OMEGA, a: regs::OMEGA, b: regs::OMEGA },
+                        Stmt::RegArith {
+                            op: RegOp::Div,
+                            dst: regs::OMEGA,
+                            a: regs::QY,
+                            b: regs::YY,
+                        },
+                        Stmt::RegArith {
+                            op: RegOp::Neg,
+                            dst: regs::NEG_OMEGA,
+                            a: regs::OMEGA,
+                            b: regs::OMEGA,
+                        },
                     ],
                 ));
                 let post_rho = tile.core.add_task(Task::new(
                     "2d_post_rho",
                     vec![
-                        Stmt::RegArith { op: RegOp::Mov, dst: regs::RHO_NEXT, a: regs::AR_OUT, b: regs::AR_OUT },
-                        Stmt::RegArith { op: RegOp::Add, dst: regs::TMP, a: regs::OMEGA, b: regs::EPS },
-                        Stmt::RegArith { op: RegOp::Div, dst: regs::TMP, a: regs::ALPHA, b: regs::TMP },
-                        Stmt::RegArith { op: RegOp::Add, dst: regs::BETA, a: regs::RHO, b: regs::EPS },
-                        Stmt::RegArith { op: RegOp::Div, dst: regs::BETA, a: regs::RHO_NEXT, b: regs::BETA },
-                        Stmt::RegArith { op: RegOp::Mul, dst: regs::BETA, a: regs::TMP, b: regs::BETA },
-                        Stmt::RegArith { op: RegOp::Mov, dst: regs::RHO, a: regs::RHO_NEXT, b: regs::RHO_NEXT },
+                        Stmt::RegArith {
+                            op: RegOp::Mov,
+                            dst: regs::RHO_NEXT,
+                            a: regs::AR_OUT,
+                            b: regs::AR_OUT,
+                        },
+                        Stmt::RegArith {
+                            op: RegOp::Add,
+                            dst: regs::TMP,
+                            a: regs::OMEGA,
+                            b: regs::EPS,
+                        },
+                        Stmt::RegArith {
+                            op: RegOp::Div,
+                            dst: regs::TMP,
+                            a: regs::ALPHA,
+                            b: regs::TMP,
+                        },
+                        Stmt::RegArith {
+                            op: RegOp::Add,
+                            dst: regs::BETA,
+                            a: regs::RHO,
+                            b: regs::EPS,
+                        },
+                        Stmt::RegArith {
+                            op: RegOp::Div,
+                            dst: regs::BETA,
+                            a: regs::RHO_NEXT,
+                            b: regs::BETA,
+                        },
+                        Stmt::RegArith {
+                            op: RegOp::Mul,
+                            dst: regs::BETA,
+                            a: regs::TMP,
+                            b: regs::BETA,
+                        },
+                        Stmt::RegArith {
+                            op: RegOp::Mov,
+                            dst: regs::RHO,
+                            a: regs::RHO_NEXT,
+                            b: regs::RHO_NEXT,
+                        },
                     ],
                 ));
                 let init_rho = tile.core.add_task(Task::new(
                     "2d_init_rho",
-                    vec![Stmt::RegArith { op: RegOp::Mov, dst: regs::RHO, a: regs::AR_OUT, b: regs::AR_OUT }],
+                    vec![Stmt::RegArith {
+                        op: RegOp::Mov,
+                        dst: regs::RHO,
+                        a: regs::AR_OUT,
+                        b: regs::AR_OUT,
+                    }],
                 ));
                 let post_rr = tile.core.add_task(Task::new(
                     "2d_post_rr",
-                    vec![Stmt::RegArith { op: RegOp::Mov, dst: regs::RR, a: regs::AR_OUT, b: regs::AR_OUT }],
+                    vec![Stmt::RegArith {
+                        op: RegOp::Mov,
+                        dst: regs::RR,
+                        a: regs::AR_OUT,
+                        b: regs::AR_OUT,
+                    }],
                 ));
 
                 // --- Vector updates (row-wise). ---
@@ -310,6 +395,13 @@ impl WaferBicgstab2d {
                 lay_p.push(lp);
                 lay_q.push(lq);
                 vecs.push(tv);
+                // Every phase task is a host-activated entry point.
+                for t in [
+                    spmv_ps, spmv_qy, dot_r0s, dot_qy, dot_yy, dot_rho, dot_rr, post_r0s, post_qy,
+                    post_yy, post_rho, init_rho, post_rr, upd_q, upd_x, upd_r, upd_p,
+                ] {
+                    tile.core.mark_entry(t);
+                }
                 tasks.push(Tile2dTasks {
                     spmv_ps,
                     spmv_qy,
@@ -331,6 +423,7 @@ impl WaferBicgstab2d {
                 });
             }
         }
+        crate::debug_lint(fabric);
         WaferBicgstab2d { fabric_w: w, fabric_h: h, block, lay_p, lay_q, vecs, tasks, allreduce }
     }
 

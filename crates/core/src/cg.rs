@@ -208,17 +208,42 @@ impl WaferCg {
                 let post_alpha_std = core.add_task(Task::new(
                     "cg_alpha",
                     vec![
-                        Stmt::RegArith { op: RegOp::Add, dst: regs::TMP, a: regs::AR_OUT, b: regs::EPS },
-                        Stmt::RegArith { op: RegOp::Div, dst: regs::ALPHA, a: regs::GAMMA, b: regs::TMP },
-                        Stmt::RegArith { op: RegOp::Neg, dst: regs::NEG_ALPHA, a: regs::ALPHA, b: regs::ALPHA },
+                        Stmt::RegArith {
+                            op: RegOp::Add,
+                            dst: regs::TMP,
+                            a: regs::AR_OUT,
+                            b: regs::EPS,
+                        },
+                        Stmt::RegArith {
+                            op: RegOp::Div,
+                            dst: regs::ALPHA,
+                            a: regs::GAMMA,
+                            b: regs::TMP,
+                        },
+                        Stmt::RegArith {
+                            op: RegOp::Neg,
+                            dst: regs::NEG_ALPHA,
+                            a: regs::ALPHA,
+                            b: regs::ALPHA,
+                        },
                     ],
                 ));
                 // Standard: β = γ' / γ; roll γ.
                 let post_beta_std = core.add_task(Task::new(
                     "cg_beta",
                     vec![
-                        Stmt::RegArith { op: RegOp::Div, dst: regs::BETA, a: regs::AR_OUT, b: regs::GAMMA },
-                        Stmt::RegArith { op: RegOp::Mov, dst: regs::GAMMA, a: regs::AR_OUT, b: regs::AR_OUT },
+                        Stmt::RegArith {
+                            op: RegOp::Div,
+                            dst: regs::BETA,
+                            a: regs::AR_OUT,
+                            b: regs::GAMMA,
+                        },
+                        Stmt::RegArith {
+                            op: RegOp::Mov,
+                            dst: regs::GAMMA,
+                            a: regs::AR_OUT,
+                            b: regs::AR_OUT,
+                        },
                     ],
                 ));
                 // Fused: γ = AR_OUT, δ = AR_OUT2;
@@ -229,32 +254,122 @@ impl WaferCg {
                 let post_fused = core.add_task(Task::new(
                     "cg_fused_coeffs",
                     vec![
-                        Stmt::RegArith { op: RegOp::Mov, dst: regs::GAMMA, a: regs::AR_OUT, b: regs::AR_OUT },
-                        Stmt::RegArith { op: RegOp::Mov, dst: regs::DELTA, a: regs::AR_OUT2, b: regs::AR_OUT2 },
-                        Stmt::RegArith { op: RegOp::Add, dst: regs::TMP, a: regs::GAMMA_PREV, b: regs::EPS },
-                        Stmt::RegArith { op: RegOp::Div, dst: regs::BETA, a: regs::GAMMA, b: regs::TMP },
+                        Stmt::RegArith {
+                            op: RegOp::Mov,
+                            dst: regs::GAMMA,
+                            a: regs::AR_OUT,
+                            b: regs::AR_OUT,
+                        },
+                        Stmt::RegArith {
+                            op: RegOp::Mov,
+                            dst: regs::DELTA,
+                            a: regs::AR_OUT2,
+                            b: regs::AR_OUT2,
+                        },
+                        Stmt::RegArith {
+                            op: RegOp::Add,
+                            dst: regs::TMP,
+                            a: regs::GAMMA_PREV,
+                            b: regs::EPS,
+                        },
+                        Stmt::RegArith {
+                            op: RegOp::Div,
+                            dst: regs::BETA,
+                            a: regs::GAMMA,
+                            b: regs::TMP,
+                        },
                         // TMP = β γ / α_prev
-                        Stmt::RegArith { op: RegOp::Mul, dst: regs::TMP, a: regs::BETA, b: regs::GAMMA },
-                        Stmt::RegArith { op: RegOp::Div, dst: regs::TMP, a: regs::TMP, b: regs::ALPHA_PREV },
-                        Stmt::RegArith { op: RegOp::Sub, dst: regs::TMP, a: regs::DELTA, b: regs::TMP },
-                        Stmt::RegArith { op: RegOp::Div, dst: regs::ALPHA, a: regs::GAMMA, b: regs::TMP },
-                        Stmt::RegArith { op: RegOp::Neg, dst: regs::NEG_ALPHA, a: regs::ALPHA, b: regs::ALPHA },
-                        Stmt::RegArith { op: RegOp::Mov, dst: regs::GAMMA_PREV, a: regs::GAMMA, b: regs::GAMMA },
-                        Stmt::RegArith { op: RegOp::Mov, dst: regs::ALPHA_PREV, a: regs::ALPHA, b: regs::ALPHA },
+                        Stmt::RegArith {
+                            op: RegOp::Mul,
+                            dst: regs::TMP,
+                            a: regs::BETA,
+                            b: regs::GAMMA,
+                        },
+                        Stmt::RegArith {
+                            op: RegOp::Div,
+                            dst: regs::TMP,
+                            a: regs::TMP,
+                            b: regs::ALPHA_PREV,
+                        },
+                        Stmt::RegArith {
+                            op: RegOp::Sub,
+                            dst: regs::TMP,
+                            a: regs::DELTA,
+                            b: regs::TMP,
+                        },
+                        Stmt::RegArith {
+                            op: RegOp::Div,
+                            dst: regs::ALPHA,
+                            a: regs::GAMMA,
+                            b: regs::TMP,
+                        },
+                        Stmt::RegArith {
+                            op: RegOp::Neg,
+                            dst: regs::NEG_ALPHA,
+                            a: regs::ALPHA,
+                            b: regs::ALPHA,
+                        },
+                        Stmt::RegArith {
+                            op: RegOp::Mov,
+                            dst: regs::GAMMA_PREV,
+                            a: regs::GAMMA,
+                            b: regs::GAMMA,
+                        },
+                        Stmt::RegArith {
+                            op: RegOp::Mov,
+                            dst: regs::ALPHA_PREV,
+                            a: regs::ALPHA,
+                            b: regs::ALPHA,
+                        },
                     ],
                 ));
                 // First fused iteration: β = 0, α = γ/δ.
                 let init_gamma = core.add_task(Task::new(
                     "cg_init",
                     vec![
-                        Stmt::RegArith { op: RegOp::Mov, dst: regs::GAMMA, a: regs::AR_OUT, b: regs::AR_OUT },
-                        Stmt::RegArith { op: RegOp::Mov, dst: regs::DELTA, a: regs::AR_OUT2, b: regs::AR_OUT2 },
+                        Stmt::RegArith {
+                            op: RegOp::Mov,
+                            dst: regs::GAMMA,
+                            a: regs::AR_OUT,
+                            b: regs::AR_OUT,
+                        },
+                        Stmt::RegArith {
+                            op: RegOp::Mov,
+                            dst: regs::DELTA,
+                            a: regs::AR_OUT2,
+                            b: regs::AR_OUT2,
+                        },
                         Stmt::SetReg { reg: regs::BETA, value: 0.0 },
-                        Stmt::RegArith { op: RegOp::Add, dst: regs::TMP, a: regs::DELTA, b: regs::EPS },
-                        Stmt::RegArith { op: RegOp::Div, dst: regs::ALPHA, a: regs::GAMMA, b: regs::TMP },
-                        Stmt::RegArith { op: RegOp::Neg, dst: regs::NEG_ALPHA, a: regs::ALPHA, b: regs::ALPHA },
-                        Stmt::RegArith { op: RegOp::Mov, dst: regs::GAMMA_PREV, a: regs::GAMMA, b: regs::GAMMA },
-                        Stmt::RegArith { op: RegOp::Mov, dst: regs::ALPHA_PREV, a: regs::ALPHA, b: regs::ALPHA },
+                        Stmt::RegArith {
+                            op: RegOp::Add,
+                            dst: regs::TMP,
+                            a: regs::DELTA,
+                            b: regs::EPS,
+                        },
+                        Stmt::RegArith {
+                            op: RegOp::Div,
+                            dst: regs::ALPHA,
+                            a: regs::GAMMA,
+                            b: regs::TMP,
+                        },
+                        Stmt::RegArith {
+                            op: RegOp::Neg,
+                            dst: regs::NEG_ALPHA,
+                            a: regs::ALPHA,
+                            b: regs::ALPHA,
+                        },
+                        Stmt::RegArith {
+                            op: RegOp::Mov,
+                            dst: regs::GAMMA_PREV,
+                            a: regs::GAMMA,
+                            b: regs::GAMMA,
+                        },
+                        Stmt::RegArith {
+                            op: RegOp::Mov,
+                            dst: regs::ALPHA_PREV,
+                            a: regs::ALPHA,
+                            b: regs::ALPHA,
+                        },
                     ],
                 ));
 
@@ -268,8 +383,18 @@ impl WaferCg {
                     core.add_task(Task::new(
                         "cg_upd_xr",
                         vec![
-                            Stmt::Exec(TensorInstr { op: Op::Axpy { scalar: regs::ALPHA }, dst: Some(dx), a: Some(dp), b: None }),
-                            Stmt::Exec(TensorInstr { op: Op::Axpy { scalar: regs::NEG_ALPHA }, dst: Some(dr), a: Some(dq), b: None }),
+                            Stmt::Exec(TensorInstr {
+                                op: Op::Axpy { scalar: regs::ALPHA },
+                                dst: Some(dx),
+                                a: Some(dp),
+                                b: None,
+                            }),
+                            Stmt::Exec(TensorInstr {
+                                op: Op::Axpy { scalar: regs::NEG_ALPHA },
+                                dst: Some(dr),
+                                a: Some(dq),
+                                b: None,
+                            }),
                         ],
                     ))
                 };
@@ -280,7 +405,12 @@ impl WaferCg {
                     let db = core.add_dsr(mk::tensor16(vecs.p, z));
                     core.add_task(Task::new(
                         "cg_upd_p",
-                        vec![Stmt::Exec(TensorInstr { op: Op::Xpay { scalar: regs::BETA }, dst: Some(dd), a: Some(da), b: Some(db) })],
+                        vec![Stmt::Exec(TensorInstr {
+                            op: Op::Xpay { scalar: regs::BETA },
+                            dst: Some(dd),
+                            a: Some(da),
+                            b: Some(db),
+                        })],
                     ))
                 };
                 // SingleReduction: p = r + β p; q = s + β q; x += α p;
@@ -299,33 +429,68 @@ impl WaferCg {
                     core.add_task(Task::new(
                         "cg2_upd",
                         vec![
-                            Stmt::Exec(TensorInstr { op: Op::Xpay { scalar: regs::BETA }, dst: Some(dp1), a: Some(dr1), b: Some(dp2) }),
-                            Stmt::Exec(TensorInstr { op: Op::Xpay { scalar: regs::BETA }, dst: Some(dq1), a: Some(ds1), b: Some(dq2) }),
-                            Stmt::Exec(TensorInstr { op: Op::Axpy { scalar: regs::ALPHA }, dst: Some(dx), a: Some(dp3), b: None }),
-                            Stmt::Exec(TensorInstr { op: Op::Axpy { scalar: regs::NEG_ALPHA }, dst: Some(dr2), a: Some(dq3), b: None }),
+                            Stmt::Exec(TensorInstr {
+                                op: Op::Xpay { scalar: regs::BETA },
+                                dst: Some(dp1),
+                                a: Some(dr1),
+                                b: Some(dp2),
+                            }),
+                            Stmt::Exec(TensorInstr {
+                                op: Op::Xpay { scalar: regs::BETA },
+                                dst: Some(dq1),
+                                a: Some(ds1),
+                                b: Some(dq2),
+                            }),
+                            Stmt::Exec(TensorInstr {
+                                op: Op::Axpy { scalar: regs::ALPHA },
+                                dst: Some(dx),
+                                a: Some(dp3),
+                                b: None,
+                            }),
+                            Stmt::Exec(TensorInstr {
+                                op: Op::Axpy { scalar: regs::NEG_ALPHA },
+                                dst: Some(dr2),
+                                a: Some(dq3),
+                                b: None,
+                            }),
                         ],
                     ))
                 };
 
-                tiles.push((
-                    vecs,
-                    CgTileTasks {
-                        spmv,
-                        dot_pq,
-                        dot_rr,
-                        dot_gamma_delta,
-                        post_alpha_std,
-                        post_beta_std,
-                        post_fused,
-                        init_gamma,
-                        upd_xr_std,
-                        upd_p_std,
-                        upd_all_cg2,
-                        fused_allreduce,
-                    },
-                ));
+                let tile_tasks = CgTileTasks {
+                    spmv,
+                    dot_pq,
+                    dot_rr,
+                    dot_gamma_delta,
+                    post_alpha_std,
+                    post_beta_std,
+                    post_fused,
+                    init_gamma,
+                    upd_xr_std,
+                    upd_p_std,
+                    upd_all_cg2,
+                    fused_allreduce,
+                };
+                // Every phase task is a host-activated entry point.
+                let core = &mut fabric.tile_mut(x, y).core;
+                for t in [
+                    dot_pq,
+                    dot_rr,
+                    dot_gamma_delta,
+                    post_alpha_std,
+                    post_beta_std,
+                    post_fused,
+                    init_gamma,
+                    upd_xr_std,
+                    upd_p_std,
+                    upd_all_cg2,
+                ] {
+                    core.mark_entry(t);
+                }
+                tiles.push((vecs, tile_tasks));
             }
         }
+        crate::debug_lint(fabric);
         WaferCg { mapping, variant, tiles, allreduce, allreduce2 }
     }
 
@@ -538,11 +703,7 @@ mod tests {
         let (x, _, residuals) = cg.solve(&mut fabric, &b, 20);
         let last = *residuals.last().unwrap();
         assert!(last < 0.02, "residual {last}");
-        let err = x
-            .iter()
-            .zip(&exact)
-            .map(|(a, b)| (a.to_f64() - b).abs())
-            .fold(0.0_f64, f64::max);
+        let err = x.iter().zip(&exact).map(|(a, b)| (a.to_f64() - b).abs()).fold(0.0_f64, f64::max);
         assert!(err < 0.05, "max err {err}");
     }
 

@@ -19,7 +19,12 @@ pub fn axpy_task(core: &mut Core, scalar: Reg, x: u32, y: u32, len: u32) -> Task
     let dy = core.add_dsr(mk::tensor16(y, len));
     core.add_task(Task::new(
         "axpy",
-        vec![Stmt::Exec(TensorInstr { op: Op::Axpy { scalar }, dst: Some(dy), a: Some(dx), b: None })],
+        vec![Stmt::Exec(TensorInstr {
+            op: Op::Axpy { scalar },
+            dst: Some(dy),
+            a: Some(dx),
+            b: None,
+        })],
     ))
 }
 
@@ -29,7 +34,12 @@ pub fn xpay_stmts(core: &mut Core, scalar: Reg, dst: u32, a: u32, b: u32, len: u
     let dd = core.add_dsr(mk::tensor16(dst, len));
     let da = core.add_dsr(mk::tensor16(a, len));
     let db = core.add_dsr(mk::tensor16(b, len));
-    vec![Stmt::Exec(TensorInstr { op: Op::Xpay { scalar }, dst: Some(dd), a: Some(da), b: Some(db) })]
+    vec![Stmt::Exec(TensorInstr {
+        op: Op::Xpay { scalar },
+        dst: Some(dd),
+        a: Some(da),
+        b: Some(db),
+    })]
 }
 
 /// Statements computing the local mixed-precision dot `acc = Σ a·b` (fp16

@@ -30,3 +30,16 @@ pub mod spmv3d;
 
 pub use bicgstab::WaferBicgstab;
 pub use spmv3d::WaferSpmv;
+
+/// Statically verifies a fully built wafer program in debug builds,
+/// panicking with the diagnostic report on any finding. Every kernel
+/// builder calls this after program construction, so a misconfigured
+/// program fails at build time instead of stalling the simulation a
+/// million cycles later. Release builds skip the check (it is a pure
+/// debugging aid and the shipped configurations are lint-clean).
+pub fn debug_lint(fabric: &wse_arch::Fabric) {
+    #[cfg(debug_assertions)]
+    wse_lint::assert_clean(fabric);
+    #[cfg(not(debug_assertions))]
+    let _ = fabric;
+}

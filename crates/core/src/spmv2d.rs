@@ -123,10 +123,12 @@ impl WaferSpmv2d {
                 let layout = Spmv2dLayout::alloc(tile, block);
                 Self::load_tile_coefficients(tile, &layout, a, tx, ty);
                 let task = Self::build_tile_task(tile, &layout, tx, ty, w, h);
+                tile.core.mark_entry(task);
                 layouts.push(layout);
                 tasks.push(task);
             }
         }
+        crate::debug_lint(fabric);
         WaferSpmv2d { fabric_w: w, fabric_h: h, block, layouts, tasks }
     }
 
@@ -230,7 +232,8 @@ impl WaferSpmv2d {
                     layout.u_addr((i as i64 + 1 + off.dx as i64) as usize, (1 + off.dy) as usize),
                     by as u32,
                 ));
-                let d_coef = core.add_dsr(mk::tensor16(layout.coef[o] + 2 * (i * by) as u32, by as u32));
+                let d_coef =
+                    core.add_dsr(mk::tensor16(layout.coef[o] + 2 * (i * by) as u32, by as u32));
                 let d_v = core.add_dsr(mk::tensor16(layout.v_addr(i, 0), by as u32));
                 body.push(Stmt::Exec(TensorInstr {
                     op: Op::FmaAssign,
@@ -470,9 +473,8 @@ impl WaferSpmv2d {
             }
         }
         let budget = 2_000 * (b.bx * b.by) as u64 + 100_000;
-        let cycles = fabric
-            .run_until_quiescent(budget)
-            .unwrap_or_else(|e| panic!("2D SpMV stalled: {e}"));
+        let cycles =
+            fabric.run_until_quiescent(budget).unwrap_or_else(|e| panic!("2D SpMV stalled: {e}"));
         // Gather interiors.
         let mut out = vec![F16::ZERO; mesh.len()];
         for ty in 0..self.fabric_h {

@@ -108,12 +108,7 @@ pub fn build_spmv_tile(
     let z = layout.z;
     let mine = spmv_color(x, y);
     let (cxp, cxm, cyp, cym) = incoming_colors(x, y);
-    let nb = Neighbors {
-        xp: x + 1 < region_w,
-        xm: x > 0,
-        yp: y + 1 < region_h,
-        ym: y > 0,
-    };
+    let nb = Neighbors { xp: x + 1 < region_w, xm: x > 0, yp: y + 1 < region_h, ym: y > 0 };
 
     let core = &mut tile.core;
 
@@ -187,11 +182,13 @@ pub fn build_spmv_tile(
 
     // --- FIFOs + sumtask. ---
     // sumtask is created first (empty) so FIFOs can reference it; its body
-    // is filled once FIFO DSR ids exist.
-    let sumtask = core.add_task(Task::new("sumtask", vec![]).priority(3));
+    // is filled once FIFO DSR ids exist. A tile with no neighbors (1x1
+    // fabric) has no FIFOs and therefore no sumtask at all.
+    let present = [nb.xp, nb.xm, nb.yp, nb.ym];
+    let sumtask =
+        present.iter().any(|&p| p).then(|| core.add_task(Task::new("sumtask", vec![]).priority(3)));
     let mut fifo_dsrs = Vec::new();
     let mut sum_body = Vec::new();
-    let present = [nb.xp, nb.xm, nb.yp, nb.ym];
     let accs = [d_xp_acc, d_xm_acc, d_yp_acc, d_ym_acc];
     for i in 0..4 {
         if !present[i] {
@@ -199,7 +196,7 @@ pub fn build_spmv_tile(
             continue;
         }
         let base = tile.mem.alloc_vec(FIFO_DEPTH, Dtype::F16).expect("SRAM for fifo");
-        let fid = core.add_fifo(Fifo::new(base, FIFO_DEPTH, Dtype::F16, Some(sumtask)));
+        let fid = core.add_fifo(Fifo::new(base, FIFO_DEPTH, Dtype::F16, sumtask));
         let dsr = core.add_dsr(mk::fifo(fid));
         fifo_dsrs.push(Some(dsr));
         sum_body.push(Stmt::Exec(TensorInstr {
@@ -209,7 +206,9 @@ pub fn build_spmv_tile(
             b: None,
         }));
     }
-    core.set_task_body(sumtask, sum_body);
+    if let Some(sumtask) = sumtask {
+        core.set_task_body(sumtask, sum_body);
+    }
 
     // --- The spmv entry task. ---
     let mut body = vec![
@@ -277,6 +276,7 @@ pub fn build_spmv_tile(
     });
 
     let start = core.add_task(Task::new("spmv", body));
+    core.mark_entry(start);
     SpmvTasks { start, last_barrier: *chain.last().unwrap() }
 }
 
@@ -320,21 +320,66 @@ pub fn build_spmv_tile_naive(
     let d_u_init = core.add_dsr(mk::tensor16(layout.u, z));
     let d_u_zp = core.add_dsr(mk::tensor16(layout.u, z));
 
+    // Completion chain over the background threads (send, loopback copy, one
+    // receive per present neighbor), same two-way-barrier idiom as the real
+    // kernel. The receives must all run CONCURRENTLY even in the naive
+    // variant: the broadcast fanout is all-or-nothing, so draining neighbor
+    // streams one at a time lets an undrained branch backpressure a sender
+    // that a third tile is blocked on — a circular wait once z outgrows the
+    // queue slack.
+    let threads = 2 + present.iter().filter(|&&p| p).count();
+    let nchain = threads - 1;
+    let mut chain: Vec<TaskId> = Vec::with_capacity(nchain);
+    for _ in 0..nchain {
+        chain.push(core.add_task(Task::new("naive-barrier", vec![]).blocked()));
+    }
+    // The multiplies wait for the whole chain: no receive/multiply overlap,
+    // which is the point of the ablation.
+    let fma = core.add_task(Task::new("spmv-naive-fma", vec![]));
+    for i in 0..nchain {
+        let mut cbody = vec![Stmt::TaskCtl { task: chain[i], action: TaskAction::Block }];
+        if i + 1 < nchain {
+            cbody.push(Stmt::TaskCtl { task: chain[i + 1], action: TaskAction::Activate });
+        } else {
+            cbody.push(Stmt::TaskCtl { task: fma, action: TaskAction::Activate });
+        }
+        core.set_task_body(chain[i], cbody);
+    }
+    let trigger = |k: usize| -> (TaskId, TaskAction) {
+        match k {
+            0 => (chain[0], TaskAction::Activate),
+            1 => (chain[0], TaskAction::Unblock),
+            k => (chain[k - 1], TaskAction::Unblock),
+        }
+    };
+
     let mut body = vec![
         Stmt::InitDsr { dsr: d_tx, desc: mk::tx16(mine, z) },
-        // The send must still be a background thread, or neighbors
-        // deadlock waiting for each other's data.
         Stmt::Launch {
             slot: 5,
             instr: TensorInstr { op: Op::Copy, dst: Some(d_tx), a: Some(d_send_src), b: None },
-            on_complete: None,
+            on_complete: Some(trigger(0)),
         },
-        // z terms while nothing else overlaps (same as the real kernel).
-        Stmt::Exec(TensorInstr { op: Op::Mul, dst: Some(d_u_init), a: Some(d_zm_a), b: Some(d_zm_b) }),
-        Stmt::Exec(TensorInstr { op: Op::FmaAssign, dst: Some(d_u_zp), a: Some(d_zp_a), b: Some(d_zp_b) }),
     ];
+    let mut thread_no = 1;
 
-    // Blocking receive of each neighbor stream, then a separate FMA pass.
+    // Each neighbor stream is received *fully* into scratch by a background
+    // thread; every multiply pass — including the purely local z terms —
+    // happens only after all streams landed. Zero receive/compute overlap.
+    let mut fma_body = vec![
+        Stmt::Exec(TensorInstr {
+            op: Op::Mul,
+            dst: Some(d_u_init),
+            a: Some(d_zm_a),
+            b: Some(d_zm_b),
+        }),
+        Stmt::Exec(TensorInstr {
+            op: Op::FmaAssign,
+            dst: Some(d_u_zp),
+            a: Some(d_zp_a),
+            b: Some(d_zp_b),
+        }),
+    ];
     for i in 0..4 {
         if !present[i] {
             continue;
@@ -342,23 +387,45 @@ pub fn build_spmv_tile_naive(
         let d_rx = core.add_dsr(mk::rx16(colors[i], z));
         let d_buf_w = core.add_dsr(mk::tensor16(bufs[i], z));
         body.push(Stmt::InitDsr { dsr: d_rx, desc: mk::rx16(colors[i], z) });
-        body.push(Stmt::Exec(TensorInstr { op: Op::Copy, dst: Some(d_buf_w), a: Some(d_rx), b: None }));
+        body.push(Stmt::Launch {
+            slot: i as u8,
+            instr: TensorInstr { op: Op::Copy, dst: Some(d_buf_w), a: Some(d_rx), b: None },
+            on_complete: Some(trigger(thread_no)),
+        });
+        thread_no += 1;
         let d_buf_r = core.add_dsr(mk::tensor16(bufs[i], z));
         let d_a = core.add_dsr(mk::tensor16(layout.diag[i], z));
         let d_u = core.add_dsr(mk::tensor16(layout.u, z));
-        body.push(Stmt::Exec(TensorInstr { op: Op::FmaAssign, dst: Some(d_u), a: Some(d_a), b: Some(d_buf_r) }));
+        fma_body.push(Stmt::Exec(TensorInstr {
+            op: Op::FmaAssign,
+            dst: Some(d_u),
+            a: Some(d_a),
+            b: Some(d_buf_r),
+        }));
     }
-    // Loopback diagonal, equally blocking.
+    // Loopback diagonal, equally buffered through scratch.
     let d_c_rx = core.add_dsr(mk::rx16(mine, z));
     let d_cbuf_w = core.add_dsr(mk::tensor16(cbuf, z));
     body.push(Stmt::InitDsr { dsr: d_c_rx, desc: mk::rx16(mine, z) });
-    body.push(Stmt::Exec(TensorInstr { op: Op::Copy, dst: Some(d_cbuf_w), a: Some(d_c_rx), b: None }));
+    body.push(Stmt::Launch {
+        slot: 6,
+        instr: TensorInstr { op: Op::Copy, dst: Some(d_cbuf_w), a: Some(d_c_rx), b: None },
+        on_complete: Some(trigger(thread_no)),
+    });
+
     let d_cbuf_r = core.add_dsr(mk::tensor16(cbuf, z));
     let d_u_c = core.add_dsr(mk::tensor16(layout.u, z));
-    body.push(Stmt::Exec(TensorInstr { op: Op::AddAssign, dst: Some(d_u_c), a: Some(d_cbuf_r), b: None }));
+    fma_body.push(Stmt::Exec(TensorInstr {
+        op: Op::AddAssign,
+        dst: Some(d_u_c),
+        a: Some(d_cbuf_r),
+        b: None,
+    }));
+    core.set_task_body(fma, fma_body);
 
     let start = core.add_task(Task::new("spmv-naive", body));
-    SpmvTasks { start, last_barrier: start }
+    core.mark_entry(start);
+    SpmvTasks { start, last_barrier: *chain.last().unwrap() }
 }
 
 /// Extracts tile `(x, y)`'s six off-diagonal coefficient vectors from a
@@ -428,19 +495,13 @@ impl WaferSpmv {
                 let layout = SpmvLayout::alloc(tile, mapping.z as u32);
                 let coeffs = tile_coefficients(a, x, y);
                 load_coefficients(tile, &layout, &coeffs);
-                let t = build_spmv_tile(
-                    tile,
-                    x,
-                    y,
-                    mapping.fabric_w,
-                    mapping.fabric_h,
-                    layout,
-                    None,
-                );
+                let t =
+                    build_spmv_tile(tile, x, y, mapping.fabric_w, mapping.fabric_h, layout, None);
                 layouts.push(layout);
                 tasks.push(t);
             }
         }
+        crate::debug_lint(fabric);
         WaferSpmv { mapping, layouts, tasks }
     }
 
@@ -513,9 +574,8 @@ mod tests {
             }
         }
         let _ = sys;
-        let v: Vec<F16> = (0..mesh.len())
-            .map(|i| F16::from_f64(((i % 8) as f64 - 4.0) * 0.25))
-            .collect();
+        let v: Vec<F16> =
+            (0..mesh.len()).map(|i| F16::from_f64(((i % 8) as f64 - 4.0) * 0.25)).collect();
         (a.convert(), v)
     }
 
@@ -546,9 +606,8 @@ mod tests {
         let a64 = convection_diffusion(mesh, (1.0, -0.5, 0.25), 1.0);
         let sys = jacobi_scale(&a64, &vec![0.0; mesh.len()]);
         let a: DiaMatrix<F16> = sys.matrix.convert();
-        let v: Vec<F16> = (0..mesh.len())
-            .map(|i| F16::from_f64(((i * 37 % 97) as f64 / 97.0) - 0.5))
-            .collect();
+        let v: Vec<F16> =
+            (0..mesh.len()).map(|i| F16::from_f64(((i * 37 % 97) as f64 / 97.0) - 0.5)).collect();
         let mut fabric = Fabric::new(4, 3);
         let spmv = WaferSpmv::build(&mut fabric, &a);
         let (wafer, _) = spmv.run(&mut fabric, &v);
@@ -559,7 +618,11 @@ mod tests {
         for i in 0..mesh.len() {
             let err = (wafer[i].to_f64() - reference[i]).abs();
             // 7 terms, each O(1): a handful of fp16 ulps.
-            assert!(err < 8.0 * 0.001, "element {i}: wafer {} vs {reference:.5?}", wafer[i].to_f64());
+            assert!(
+                err < 8.0 * 0.001,
+                "element {i}: wafer {} vs {reference:.5?}",
+                wafer[i].to_f64()
+            );
         }
     }
 

@@ -21,7 +21,12 @@ fn probe() {
         let sf = WaferBicgstab::build_fused(&mut f2, &a);
         sf.load_rhs(&mut f2, &b);
         let c2 = sf.iterate(&mut f2);
-        println!("{n}x{n}: standard allreduce {} total {} | fused allreduce {} total {}",
-            c1.allreduce, c1.total(), c2.allreduce, c2.total());
+        println!(
+            "{n}x{n}: standard allreduce {} total {} | fused allreduce {} total {}",
+            c1.allreduce,
+            c1.total(),
+            c2.allreduce,
+            c2.total()
+        );
     }
 }

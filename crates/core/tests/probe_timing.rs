@@ -14,7 +14,8 @@ fn system(mesh: Mesh3D) -> (DiaMatrix<F16>, Vec<F16>) {
             }
         }
     }
-    let v: Vec<F16> = (0..mesh.len()).map(|i| F16::from_f64(((i % 8) as f64 - 4.0) * 0.25)).collect();
+    let v: Vec<F16> =
+        (0..mesh.len()).map(|i| F16::from_f64(((i % 8) as f64 - 4.0) * 0.25)).collect();
     (a.convert(), v)
 }
 

@@ -25,11 +25,36 @@ pub struct BalancePoint {
 /// from McCalpin's SC16 analysis; the trend, not the digits, is the point).
 pub fn reference_machines() -> Vec<BalancePoint> {
     vec![
-        BalancePoint { name: "Cray YMP (vector)", year: 1990, flops_per_mem_word: 1.0, flops_per_net_word: 8.0 },
-        BalancePoint { name: "Commodity cluster", year: 2003, flops_per_mem_word: 16.0, flops_per_net_word: 120.0 },
-        BalancePoint { name: "Xeon node (HSW)", year: 2014, flops_per_mem_word: 60.0, flops_per_net_word: 1200.0 },
-        BalancePoint { name: "Xeon 6148 cluster (Joule)", year: 2017, flops_per_mem_word: 100.0, flops_per_net_word: 2000.0 },
-        BalancePoint { name: "GPU (HBM) node", year: 2019, flops_per_mem_word: 75.0, flops_per_net_word: 4000.0 },
+        BalancePoint {
+            name: "Cray YMP (vector)",
+            year: 1990,
+            flops_per_mem_word: 1.0,
+            flops_per_net_word: 8.0,
+        },
+        BalancePoint {
+            name: "Commodity cluster",
+            year: 2003,
+            flops_per_mem_word: 16.0,
+            flops_per_net_word: 120.0,
+        },
+        BalancePoint {
+            name: "Xeon node (HSW)",
+            year: 2014,
+            flops_per_mem_word: 60.0,
+            flops_per_net_word: 1200.0,
+        },
+        BalancePoint {
+            name: "Xeon 6148 cluster (Joule)",
+            year: 2017,
+            flops_per_mem_word: 100.0,
+            flops_per_net_word: 2000.0,
+        },
+        BalancePoint {
+            name: "GPU (HBM) node",
+            year: 2019,
+            flops_per_mem_word: 75.0,
+            flops_per_net_word: 4000.0,
+        },
     ]
 }
 

@@ -76,11 +76,29 @@ pub fn paper_campaigns() -> [Campaign; 3] {
     [
         // Madsen et al.: 14–50 M cells, hundreds-to-thousands of sequential
         // simulations for shape optimization.
-        Campaign { name: "wind-turbine shape optimization", runs: 500, cells: 14_000_000, steps_per_run: 20_000, sequential: true },
+        Campaign {
+            name: "wind-turbine shape optimization",
+            runs: 500,
+            cells: 14_000_000,
+            steps_per_run: 20_000,
+            sequential: true,
+        },
         // Xu et al.: 1,505 simulations, each ~600 s of simulated time.
-        Campaign { name: "carbon-capture UQ (1505 runs)", runs: 1505, cells: 1_000_000, steps_per_run: 60_000, sequential: false },
+        Campaign {
+            name: "carbon-capture UQ (1505 runs)",
+            runs: 1505,
+            cells: 1_000_000,
+            steps_per_run: 60_000,
+            sequential: false,
+        },
         // Jasak et al.: 11.7 M cells, 83 h on an engineering cluster.
-        Campaign { name: "ship self-propulsion CFD", runs: 1, cells: 11_700_000, steps_per_run: 100_000, sequential: true },
+        Campaign {
+            name: "ship self-propulsion CFD",
+            runs: 1,
+            cells: 11_700_000,
+            steps_per_run: 100_000,
+            sequential: true,
+        },
     ]
 }
 
@@ -91,7 +109,8 @@ pub fn campaign_hours_cs1(c: &Campaign) -> f64 {
     let proj = MfixProjection::default().project();
     // steps/s at 600³ = 2.16e8 cells; scale inversely with cells.
     let base_cells = 600f64.powi(3);
-    let steps_per_sec = 0.5 * (proj.steps_per_sec_low + proj.steps_per_sec_high)
+    let steps_per_sec = 0.5
+        * (proj.steps_per_sec_low + proj.steps_per_sec_high)
         * (base_cells / c.cells as f64).min(50.0);
     (c.runs as f64 * c.steps_per_run as f64 / steps_per_sec) / 3600.0
 }

@@ -112,10 +112,7 @@ mod tests {
         let m = JouleModel::default();
         let t16k = m.time_per_iteration(600, 16384);
         let ratio = t16k / 28.1e-6;
-        assert!(
-            (170.0..260.0).contains(&ratio),
-            "paper: about 214×; model gives {ratio:.0}×"
-        );
+        assert!((170.0..260.0).contains(&ratio), "paper: about 214×; model gives {ratio:.0}×");
     }
 
     #[test]
@@ -125,10 +122,7 @@ mod tests {
         let t16k = m.time_per_iteration(370, 16384);
         // "The failure to scale beyond 8K cores on the smaller mesh":
         // doubling cores buys (essentially) nothing.
-        assert!(
-            t16k > t8k * 0.9,
-            "370³ must not speed up meaningfully past 8K: {t8k} -> {t16k}"
-        );
+        assert!(t16k > t8k * 0.9, "370³ must not speed up meaningfully past 8K: {t8k} -> {t16k}");
         // While the larger mesh still gains.
         let b8k = m.time_per_iteration(600, 8192);
         let b16k = m.time_per_iteration(600, 16384);

@@ -153,7 +153,12 @@ impl Cs1Model {
     /// BiCGStab): reductions overlap the SpMVs and only surface when longer
     /// than the compute they hide — at the paper's Z the SpMV is far longer
     /// than a reduction, so the AllReduce term vanishes entirely.
-    pub fn predict_iteration_pipelined(&self, mx: usize, my: usize, z: usize) -> IterationPrediction {
+    pub fn predict_iteration_pipelined(
+        &self,
+        mx: usize,
+        my: usize,
+        z: usize,
+    ) -> IterationPrediction {
         let mut p = self.predict_iteration(mx, my, z);
         let hidden = p.allreduce_cycles.min(p.spmv_cycles);
         p.allreduce_cycles -= hidden;
@@ -172,11 +177,11 @@ impl Cs1Model {
 
     /// Predicted time per iteration for alternative mesh shapes (the
     /// paper's "effect of changing mesh size and shape").
-    pub fn shape_sweep(&self, shapes: &[(usize, usize, usize)]) -> Vec<(usize, usize, usize, IterationPrediction)> {
-        shapes
-            .iter()
-            .map(|&(x, y, z)| (x, y, z, self.predict_iteration(x, y, z)))
-            .collect()
+    pub fn shape_sweep(
+        &self,
+        shapes: &[(usize, usize, usize)],
+    ) -> Vec<(usize, usize, usize, IterationPrediction)> {
+        shapes.iter().map(|&(x, y, z)| (x, y, z, self.predict_iteration(x, y, z))).collect()
     }
 
     /// Calibrates the per-element slopes from simulator measurements:
@@ -209,11 +214,7 @@ mod tests {
             "time {:.1} µs vs paper 28.1 µs",
             p.time_us
         );
-        assert!(
-            (p.pflops - 0.86).abs() / 0.86 < 0.15,
-            "rate {:.3} PFLOPS vs paper 0.86",
-            p.pflops
-        );
+        assert!((p.pflops - 0.86).abs() / 0.86 < 0.15, "rate {:.3} PFLOPS vs paper 0.86", p.pflops);
         assert!(
             (0.25..0.45).contains(&p.utilization),
             "utilization {:.2} should be about one third",
@@ -243,8 +244,7 @@ mod tests {
         let big = m.predict_iteration(600, 595, 1536);
         let small = m.predict_iteration(600, 595, 64);
         assert!(
-            small.allreduce_cycles / small.total_cycles
-                > big.allreduce_cycles / big.total_cycles
+            small.allreduce_cycles / small.total_cycles > big.allreduce_cycles / big.total_cycles
         );
         assert!(small.utilization < big.utilization, "small problems waste the machine");
     }

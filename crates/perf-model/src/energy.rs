@@ -109,10 +109,7 @@ mod tests {
         // Time ratio ≈ 214-240×; power ratio ≈ 13×; mesh ratio 2.5×. Net
         // energy-per-point advantage should land in the hundreds-to-thousands.
         let adv = energy_advantage();
-        assert!(
-            (100.0..20_000.0).contains(&adv),
-            "energy advantage {adv}"
-        );
+        assert!((100.0..20_000.0).contains(&adv), "energy advantage {adv}");
         assert!(adv > 100.0, "the paper's 'beyond what has been reported' claim");
     }
 

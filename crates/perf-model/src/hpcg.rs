@@ -53,11 +53,7 @@ mod tests {
         for m in reference_machines() {
             if m.year >= 2014 {
                 let e = roofline_efficiency(&m, intensity);
-                assert!(
-                    (0.005..0.08).contains(&e),
-                    "{}: roofline efficiency {e}",
-                    m.name
-                );
+                assert!((0.005..0.08).contains(&e), "{}: roofline efficiency {e}", m.name);
             }
         }
     }

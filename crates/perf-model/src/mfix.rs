@@ -101,7 +101,11 @@ impl Default for CycleCosts {
 impl CycleCosts {
     /// Cycles per point for a set of per-point class counts.
     pub fn cycles(&self, merge: f64, flop: f64, sqrt: f64, div: f64, transport: f64) -> f64 {
-        merge * self.merge + flop * self.flop + sqrt * self.sqrt + div * self.div + transport * self.transport
+        merge * self.merge
+            + flop * self.flop
+            + sqrt * self.sqrt
+            + div * self.div
+            + transport * self.transport
     }
 }
 
@@ -167,9 +171,8 @@ impl MfixProjection {
 
         let hz = self.machine.clock_ghz * 1e9;
         let z = self.n as f64;
-        let step_time = |cyc_per_point: f64| -> f64 {
-            self.simple_iters as f64 * z * cyc_per_point / hz
-        };
+        let step_time =
+            |cyc_per_point: f64| -> f64 { self.simple_iters as f64 * z * cyc_per_point / hz };
         let t_low = step_time(per_point_per_simple_low); // faster
         let t_high = step_time(per_point_per_simple_high);
 
@@ -202,10 +205,8 @@ mod tests {
     #[test]
     fn table2_totals_are_consistent() {
         for row in paper_table2() {
-            let low =
-                row.merge.0 + row.flop.0 + row.sqrt.0 + row.div.0 + row.transport.0;
-            let high =
-                row.merge.1 + row.flop.1 + row.sqrt.1 + row.div.1 + row.transport.1;
+            let low = row.merge.0 + row.flop.0 + row.sqrt.0 + row.div.0 + row.transport.0;
+            let high = row.merge.1 + row.flop.1 + row.sqrt.1 + row.div.1 + row.transport.1;
             // The published Momentum low total (79) exceeds its column sum
             // (77) by 2 — reproduce the table as printed, tolerate the gap.
             assert!(

@@ -25,12 +25,7 @@ pub struct MultiWafer {
 
 impl Default for MultiWafer {
     fn default() -> MultiWafer {
-        MultiWafer {
-            wafer: Cs1Model::default(),
-            k: 2,
-            link_gb_s: 1000.0,
-            link_latency_us: 0.2,
-        }
+        MultiWafer { wafer: Cs1Model::default(), k: 2, link_gb_s: 1000.0, link_latency_us: 0.2 }
     }
 }
 

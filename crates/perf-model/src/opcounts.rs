@@ -20,7 +20,14 @@ pub struct Table1Row {
 /// The paper's Table I, verbatim.
 pub fn paper_table1() -> [Table1Row; 3] {
     [
-        Table1Row { op: "Matvec (x2)", sp_add: 12, sp_mul: 12, hp_add: 12, hp_mul: 12, mixed_sp_add: 0 },
+        Table1Row {
+            op: "Matvec (x2)",
+            sp_add: 12,
+            sp_mul: 12,
+            hp_add: 12,
+            hp_mul: 12,
+            mixed_sp_add: 0,
+        },
         Table1Row { op: "Dot (x4)", sp_add: 4, sp_mul: 4, hp_add: 0, hp_mul: 4, mixed_sp_add: 4 },
         Table1Row { op: "AXPY (x6)", sp_add: 6, sp_mul: 6, hp_add: 6, hp_mul: 6, mixed_sp_add: 0 },
     ]

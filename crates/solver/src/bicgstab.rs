@@ -188,6 +188,29 @@ pub fn bicgstab<P: Precision>(
         }
         // 5: q := r − α s
         xpay_into(&mut ops, &mut q, &r, alpha_s.neg(), &s);
+        // Early exit on the half-step residual: if q already meets the
+        // tolerance, take the α half-step and stop. Without this, exact
+        // convergence (e.g. A = I) reaches ω = (q,y)/(y,y) = 0/0 and is
+        // misreported as a breakdown.
+        if opts.rtol > 0.0 {
+            let q_rel = {
+                let qf: Vec<f64> = q.iter().map(|v| v.to_f64()).collect();
+                norm2_f64(&qf) / norm_b
+            };
+            if q_rel < opts.rtol {
+                axpy(&mut ops, alpha_s, &p, &mut x);
+                r.clone_from_slice(&q);
+                iters = i + 1;
+                let true_rel = if opts.record_true_residual {
+                    true_relative_residual(a, &x, b)
+                } else {
+                    f64::NAN
+                };
+                history.push(IterationRecord { iter: iters, recursive_rel: q_rel, true_rel });
+                outcome = BiCgStabOutcome::Converged;
+                break;
+            }
+        }
         // 6: y := A q
         spmv(&mut ops, a, &q, &mut y);
         // 7: ω := (q, y) / (y, y)
@@ -240,11 +263,8 @@ pub fn bicgstab<P: Precision>(
             let rf: Vec<f64> = r.iter().map(|v| v.to_f64()).collect();
             norm2_f64(&rf) / norm_b
         };
-        let true_rel = if opts.record_true_residual {
-            true_relative_residual(a, &x, b)
-        } else {
-            f64::NAN
-        };
+        let true_rel =
+            if opts.record_true_residual { true_relative_residual(a, &x, b) } else { f64::NAN };
         history.push(IterationRecord { iter: iters, recursive_rel, true_rel });
 
         if x.iter().any(|v| v.is_non_finite()) {
@@ -278,12 +298,7 @@ mod tests {
     fn converges_on_symmetric_problem() {
         let (res, exact) = solve_f64(Mesh3D::new(6, 6, 6), (0.0, 0.0, 0.0));
         assert_eq!(res.outcome, BiCgStabOutcome::Converged);
-        let err: f64 = res
-            .x
-            .iter()
-            .zip(&exact)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max);
+        let err: f64 = res.x.iter().zip(&exact).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
         assert!(err < 1e-6, "max err {err}");
     }
 
@@ -291,12 +306,7 @@ mod tests {
     fn converges_on_nonsymmetric_problem() {
         let (res, exact) = solve_f64(Mesh3D::new(6, 5, 7), (2.0, -1.0, 0.5));
         assert_eq!(res.outcome, BiCgStabOutcome::Converged);
-        let err: f64 = res
-            .x
-            .iter()
-            .zip(&exact)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max);
+        let err: f64 = res.x.iter().zip(&exact).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
         assert!(err < 1e-6, "max err {err}");
     }
 

@@ -96,11 +96,8 @@ pub fn cg<P: Precision>(
 
         iters = i + 1;
         let recursive_rel = rr.to_f64().abs().sqrt() / norm_b;
-        let true_rel = if opts.record_true_residual {
-            true_relative_residual(a, &x, b)
-        } else {
-            f64::NAN
-        };
+        let true_rel =
+            if opts.record_true_residual { true_relative_residual(a, &x, b) } else { f64::NAN };
         history.push(IterationRecord { iter: iters, recursive_rel, true_rel });
         if recursive_rel < opts.rtol {
             outcome = BiCgStabOutcome::Converged;

@@ -47,10 +47,8 @@ impl History {
         let n = self.records.len();
         for i in 0..n.saturating_sub(1) {
             let here = self.records[i].true_rel;
-            let future_best = self.records[i + 1..]
-                .iter()
-                .map(|r| r.true_rel)
-                .fold(f64::INFINITY, f64::min);
+            let future_best =
+                self.records[i + 1..].iter().map(|r| r.true_rel).fold(f64::INFINITY, f64::min);
             if future_best > here * factor {
                 return Some(self.records[i].iter);
             }

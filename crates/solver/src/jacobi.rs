@@ -66,11 +66,8 @@ pub fn jacobi<P: Precision>(
 
         iters = i + 1;
         let recursive_rel = rr.sqrt() / norm_b;
-        let true_rel = if opts.record_true_residual {
-            true_relative_residual(a, &x, b)
-        } else {
-            f64::NAN
-        };
+        let true_rel =
+            if opts.record_true_residual { true_relative_residual(a, &x, b) } else { f64::NAN };
         history.push(IterationRecord { iter: iters, recursive_rel, true_rel });
         if x.iter().any(|v| v.is_non_finite()) {
             outcome = BiCgStabOutcome::NonFinite;

@@ -132,11 +132,8 @@ pub fn cg_single_reduction<P: Precision>(
 
         iters = i + 1;
         let recursive_rel = gamma.to_f64().abs().sqrt() / norm_b;
-        let true_rel = if opts.record_true_residual {
-            true_relative_residual(a, &x, b)
-        } else {
-            f64::NAN
-        };
+        let true_rel =
+            if opts.record_true_residual { true_relative_residual(a, &x, b) } else { f64::NAN };
         history.push(IterationRecord { iter: iters, recursive_rel, true_rel });
 
         gamma_prev = gamma;
@@ -216,11 +213,8 @@ mod tests {
     #[test]
     fn zero_rhs_short_circuits() {
         let (a, _, _) = spd_problem();
-        let (res, rounds) = cg_single_reduction::<Fp64>(
-            &a,
-            &vec![0.0; a.nrows()],
-            &SolveOptions::default(),
-        );
+        let (res, rounds) =
+            cg_single_reduction::<Fp64>(&a, &vec![0.0; a.nrows()], &SolveOptions::default());
         assert_eq!(res.iters, 0);
         assert_eq!(rounds.total, 0);
     }

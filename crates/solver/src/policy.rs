@@ -112,7 +112,12 @@ pub struct OpCounts {
 impl OpCounts {
     /// Total floating-point operations.
     pub fn total(&self) -> u64 {
-        self.matvec_mul + self.matvec_add + self.dot_mul + self.dot_add + self.axpy_mul + self.axpy_add
+        self.matvec_mul
+            + self.matvec_add
+            + self.dot_mul
+            + self.dot_add
+            + self.axpy_mul
+            + self.axpy_add
     }
 
     /// Operations that execute in storage (half, under mixed) precision.
@@ -159,7 +164,12 @@ pub struct PerPointOps {
 impl PerPointOps {
     /// Grand total per point per iteration (paper: 44).
     pub fn total(&self) -> f64 {
-        self.matvec_mul + self.matvec_add + self.dot_mul + self.dot_add + self.axpy_mul + self.axpy_add
+        self.matvec_mul
+            + self.matvec_add
+            + self.dot_mul
+            + self.dot_add
+            + self.axpy_mul
+            + self.axpy_add
     }
 }
 

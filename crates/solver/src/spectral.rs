@@ -116,10 +116,7 @@ mod tests {
         let raw = estimate_condition(&a, 250).kappa;
         let scaled = jacobi_scale(&a, &vec![0.0; mesh.len()]);
         let pre = estimate_condition(&scaled.matrix, 250).kappa;
-        assert!(
-            pre < raw,
-            "diagonal preconditioning must reduce κ here: {raw:.1} -> {pre:.1}"
-        );
+        assert!(pre < raw, "diagonal preconditioning must reduce κ here: {raw:.1} -> {pre:.1}");
     }
 
     #[test]

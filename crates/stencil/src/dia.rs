@@ -141,9 +141,8 @@ impl<S: Scalar> DiaMatrix<S> {
     /// Panics if `offset` is not one of the matrix diagonals or the neighbor
     /// is outside the mesh.
     pub fn set(&mut self, x: usize, y: usize, z: usize, offset: Offset3, value: S) {
-        let band = self
-            .band_index(offset)
-            .unwrap_or_else(|| panic!("offset {offset:?} not in stencil"));
+        let band =
+            self.band_index(offset).unwrap_or_else(|| panic!("offset {offset:?} not in stencil"));
         assert!(
             self.mesh.neighbor(x, y, z, offset.dx, offset.dy, offset.dz).is_some(),
             "coefficient at ({x},{y},{z}) offset {offset:?} reaches outside the mesh"
@@ -373,10 +372,10 @@ mod tests {
         let x: Vec<f64> = (0..27).map(|i| (i as f64) * 0.5 - 3.0).collect();
         let mut y = vec![0.0; 27];
         a.matvec(&x, &mut y);
-        for row in 0..27 {
+        for (row, yr) in y.iter().enumerate() {
             let expect: f64 = a.row_entries(row).iter().map(|&(c, v)| v * x[c]).sum();
             // The main diagonal contributes too; row_entries includes it.
-            assert!((y[row] - expect).abs() < 1e-12, "row {row}: {} vs {expect}", y[row]);
+            assert!((yr - expect).abs() < 1e-12, "row {row}: {yr} vs {expect}");
         }
     }
 
@@ -409,7 +408,7 @@ mod tests {
             let v = a16.coeff(cx, cy, cz, *off);
             if m.neighbor(cx, cy, cz, off.dx, off.dy, off.dz).is_some() {
                 let t = v * x[0];
-                acc = acc + t;
+                acc += t;
             }
         }
         assert_eq!(y[m.idx(cx, cy, cz)].to_bits(), acc.to_bits());
@@ -475,9 +474,9 @@ mod tests {
         a.matvec_transpose_f64(&x, &mut y);
         // Reference: accumulate row entries transposed.
         let mut expect = vec![0.0; 27];
-        for row in 0..27 {
+        for (row, &xr) in x.iter().enumerate() {
             for (col, v) in a.row_entries(row) {
-                expect[col] += v * x[row];
+                expect[col] += v * xr;
             }
         }
         for i in 0..27 {

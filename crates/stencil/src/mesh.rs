@@ -61,7 +61,15 @@ impl Mesh3D {
 
     /// Index of the neighbor at signed offset, or `None` at the boundary.
     #[inline]
-    pub fn neighbor(&self, x: usize, y: usize, z: usize, dx: i32, dy: i32, dz: i32) -> Option<usize> {
+    pub fn neighbor(
+        &self,
+        x: usize,
+        y: usize,
+        z: usize,
+        dx: i32,
+        dy: i32,
+        dz: i32,
+    ) -> Option<usize> {
         let nx = x as i64 + dx as i64;
         let ny_ = y as i64 + dy as i64;
         let nz_ = z as i64 + dz as i64;

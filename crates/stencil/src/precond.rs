@@ -28,9 +28,7 @@ pub struct ScaledSystem {
 /// zero, or `rhs` length mismatches.
 pub fn jacobi_scale(a: &DiaMatrix<f64>, rhs: &[f64]) -> ScaledSystem {
     assert_eq!(rhs.len(), a.nrows(), "rhs length mismatch");
-    let center = a
-        .band_index(Offset3::CENTER)
-        .expect("matrix must have a main diagonal band");
+    let center = a.band_index(Offset3::CENTER).expect("matrix must have a main diagonal band");
     let diag: Vec<f64> = a.band(center).to_vec();
     for (i, &d) in diag.iter().enumerate() {
         assert!(d != 0.0, "zero diagonal at row {i}");
@@ -84,8 +82,8 @@ mod tests {
         let sys = jacobi_scale(&a, &b);
         let mut ax = vec![0.0; mesh.len()];
         sys.matrix.matvec_f64(&x, &mut ax);
-        for i in 0..mesh.len() {
-            assert!((ax[i] - sys.rhs[i]).abs() < 1e-12);
+        for (axi, ri) in ax.iter().zip(&sys.rhs) {
+            assert!((axi - ri).abs() < 1e-12);
         }
     }
 

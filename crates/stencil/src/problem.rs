@@ -39,12 +39,10 @@ pub fn manufactured(mesh: Mesh3D, velocity: (f64, f64, f64), seed: u64) -> Probl
     let exact: Vec<f64> = mesh
         .iter()
         .map(|(x, y, z)| {
-            let (fx, fy, fz) = (
-                x as f64 / mesh.nx as f64,
-                y as f64 / mesh.ny as f64,
-                z as f64 / mesh.nz as f64,
-            );
-            (6.283 * fx).sin() * (3.141 * fy).cos() * (1.0 - fz) + 0.01 * rng.gen_range(-1.0..1.0)
+            let (fx, fy, fz) =
+                (x as f64 / mesh.nx as f64, y as f64 / mesh.ny as f64, z as f64 / mesh.nz as f64);
+            (std::f64::consts::TAU * fx).sin() * (std::f64::consts::PI * fy).cos() * (1.0 - fz)
+                + 0.01 * rng.gen_range(-1.0..1.0)
         })
         .collect();
     let mut rhs = vec![0.0; mesh.len()];

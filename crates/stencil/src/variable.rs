@@ -38,10 +38,7 @@ impl DiffusivityField {
     /// material interface).
     pub fn layered(mesh: Mesh3D, lo: f64, hi: f64) -> DiffusivityField {
         assert!(lo > 0.0 && hi > 0.0);
-        let kappa = mesh
-            .iter()
-            .map(|(_, _, z)| if z < mesh.nz / 2 { lo } else { hi })
-            .collect();
+        let kappa = mesh.iter().map(|(_, _, z)| if z < mesh.nz / 2 { lo } else { hi }).collect();
         DiffusivityField { mesh, kappa }
     }
 
@@ -153,8 +150,7 @@ mod tests {
         let mut b = vec![0.0; mesh.len()];
         a.matvec_f64(&exact, &mut b);
         let sys = jacobi_scale(&a, &b);
-        let opts =
-            solver_opts();
+        let opts = solver_opts();
         let res = crate::variable::tests_support::solve_f64(&sys.matrix, &sys.rhs, &opts);
         assert!(res < 1e-7, "relative residual {res}");
     }

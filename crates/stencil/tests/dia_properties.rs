@@ -2,7 +2,7 @@
 //! conversion monotonicity, and preconditioning invariants.
 
 use proptest::prelude::*;
-use stencil::dia::{DiaMatrix, Offset3};
+use stencil::dia::DiaMatrix;
 use stencil::mesh::Mesh3D;
 use stencil::precond::jacobi_scale;
 use stencil::problem::random_dominant;

@@ -23,8 +23,8 @@ use crate::fifo::Fifo;
 use crate::instr::{ColorBinding, Op, RegOp, Stmt, Task, TaskAction, TensorInstr};
 use crate::memory::Memory;
 use crate::types::{
-    Color, Dtype, DsrId, FifoId, Flit, TaskId, NUM_COLORS, NUM_REGS, NUM_THREADS,
-    RAMP_OUT_CAPACITY, QUEUE_CAPACITY, SIMD_F16, SIMD_F32, SIMD_MIXED,
+    Color, DsrId, Dtype, FifoId, Flit, TaskId, NUM_COLORS, NUM_REGS, NUM_THREADS, QUEUE_CAPACITY,
+    RAMP_OUT_CAPACITY, SIMD_F16, SIMD_F32, SIMD_MIXED,
 };
 use std::collections::VecDeque;
 use wse_float::F16;
@@ -81,6 +81,10 @@ pub struct Core {
     main: Option<RunningTask>,
     threads: [Option<ActiveInstr>; NUM_THREADS],
     rr_cursor: usize,
+    /// Tasks the host is expected to activate externally (entry points).
+    /// Purely declarative — recorded by kernel builders so static analysis
+    /// knows where control can enter; the simulator never reads it.
+    entries: Vec<TaskId>,
     /// Words received from the router, one queue per color.
     ramp_in: Vec<VecDeque<Flit>>,
     /// Words awaiting injection into the router.
@@ -107,6 +111,7 @@ impl Core {
             main: None,
             threads: Default::default(),
             rr_cursor: 0,
+            entries: Vec::new(),
             ramp_in: (0..NUM_COLORS).map(|_| VecDeque::new()).collect(),
             ramp_out: VecDeque::new(),
             perf: CorePerf::default(),
@@ -137,11 +142,7 @@ impl Core {
 
     /// Registers a task, returning its id.
     pub fn add_task(&mut self, task: Task) -> TaskId {
-        let st = TaskState {
-            activated: task.start_activated,
-            blocked: task.start_blocked,
-            task,
-        };
+        let st = TaskState { activated: task.start_activated, blocked: task.start_blocked, task };
         self.tasks.push(st);
         self.tasks.len() - 1
     }
@@ -154,7 +155,7 @@ impl Core {
     /// Panics if the task is currently running.
     pub fn set_task_body(&mut self, task: TaskId, body: Vec<Stmt>) {
         assert!(
-            self.main.as_ref().map_or(true, |r| r.id != task),
+            self.main.as_ref().is_none_or(|r| r.id != task),
             "cannot rewrite the body of a running task"
         );
         self.tasks[task].task.body = body;
@@ -168,6 +169,72 @@ impl Core {
     /// Externally activates a task (the host-side "go" signal).
     pub fn activate(&mut self, task: TaskId) {
         self.tasks[task].activated = true;
+    }
+
+    /// Declares `task` an entry point the host will activate externally.
+    /// Kernel builders call this for every task they hand back to host-side
+    /// drivers, so the static verifier can seed its reachability analysis.
+    pub fn mark_entry(&mut self, task: TaskId) {
+        if !self.entries.contains(&task) {
+            self.entries.push(task);
+        }
+    }
+
+    /// Tasks declared as host-activated entry points (see
+    /// [`Core::mark_entry`]).
+    pub fn entry_tasks(&self) -> &[TaskId] {
+        &self.entries
+    }
+
+    /// Number of registered tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Read-only view of a task's program (body, priority, name).
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id].task
+    }
+
+    /// Iterates every registered task with its id.
+    pub fn tasks(&self) -> impl Iterator<Item = (TaskId, &Task)> {
+        self.tasks.iter().enumerate().map(|(id, st)| (id, &st.task))
+    }
+
+    /// Current blocked flag of a task (equals `start_blocked` before the
+    /// first cycle, which is when the linter looks).
+    pub fn task_blocked(&self, id: TaskId) -> bool {
+        self.tasks[id].blocked
+    }
+
+    /// Current activation flag of a task.
+    pub fn task_activated(&self, id: TaskId) -> bool {
+        self.tasks[id].activated
+    }
+
+    /// The color → task data-trigger bindings.
+    pub fn bindings(&self) -> &[ColorBinding] {
+        &self.bindings
+    }
+
+    /// Number of registered DSRs.
+    pub fn num_dsrs(&self) -> usize {
+        self.dsrs.len()
+    }
+
+    /// Iterates every DSR with its id.
+    pub fn dsrs(&self) -> impl Iterator<Item = (DsrId, &Dsr)> {
+        self.dsrs.iter().enumerate()
+    }
+
+    /// Number of registered FIFOs.
+    pub fn num_fifos(&self) -> usize {
+        self.fifos.len()
+    }
+
+    /// Iterates every FIFO with its id.
+    pub fn fifos(&self) -> impl Iterator<Item = (FifoId, &Fifo)> {
+        self.fifos.iter().enumerate()
     }
 
     /// Applies a scheduling action to a task.
@@ -184,10 +251,7 @@ impl Core {
         self.main.is_none()
             && self.threads.iter().all(|t| t.is_none())
             && self.ramp_out.is_empty()
-            && self
-                .tasks
-                .iter()
-                .all(|t| !t.activated || t.blocked)
+            && self.tasks.iter().all(|t| !t.activated || t.blocked)
     }
 
     /// Space left in the ramp-in queue for `color` (router-side check).
@@ -248,7 +312,11 @@ impl Core {
             let _ = writeln!(
                 out,
                 "fifo {i}: base {} cap {} {:?} onpush {:?} (len {})",
-                f.base, f.capacity, f.dtype, f.onpush, f.len()
+                f.base,
+                f.capacity,
+                f.dtype,
+                f.onpush,
+                f.len()
             );
         }
         for (i, t) in self.tasks.iter().enumerate() {
@@ -263,7 +331,10 @@ impl Core {
             );
             for stmt in &t.task.body {
                 let line = match stmt {
-                    Stmt::Exec(instr) => format!("exec {:?} dst={:?} a={:?} b={:?}", instr.op, instr.dst, instr.a, instr.b),
+                    Stmt::Exec(instr) => format!(
+                        "exec {:?} dst={:?} a={:?} b={:?}",
+                        instr.op, instr.dst, instr.a, instr.b
+                    ),
                     Stmt::Launch { slot, instr, on_complete } => format!(
                         "launch@{slot} {:?} dst={:?} a={:?} b={:?} then {:?}",
                         instr.op, instr.dst, instr.a, instr.b, on_complete
@@ -309,7 +380,7 @@ impl Core {
         for (id, t) in self.tasks.iter().enumerate() {
             if t.activated && !t.blocked {
                 let key = (t.task.priority, usize::MAX - id);
-                if best.map_or(true, |b| key > b) {
+                if best.is_none_or(|b| key > b) {
                     best = Some(key);
                 }
             }
@@ -394,7 +465,7 @@ impl Core {
         for k in 0..total {
             let slot = (self.rr_cursor + k) % total;
             let has = if slot == MAIN_SLOT {
-                self.main.as_ref().map_or(false, |r| r.exec.is_some())
+                self.main.as_ref().is_some_and(|r| r.exec.is_some())
             } else {
                 self.threads[slot].is_some()
             };
@@ -512,10 +583,7 @@ impl Core {
     }
 
     fn any_operand_exhausted(&self, instr: &TensorInstr) -> bool {
-        [instr.dst, instr.a, instr.b]
-            .into_iter()
-            .flatten()
-            .any(|id| self.dsrs[id].remaining() == 0)
+        [instr.dst, instr.a, instr.b].into_iter().flatten().any(|id| self.dsrs[id].remaining() == 0)
     }
 
     fn fifo_source_empty(&self, instr: &TensorInstr) -> bool {
@@ -569,9 +637,7 @@ impl Core {
                 (mem.read_bits(addr, dtype), dtype)
             }
             Descriptor::FabricIn { color, dtype, .. } => {
-                let flit = self.ramp_in[color as usize]
-                    .pop_front()
-                    .expect("sources_ready checked");
+                let flit = self.ramp_in[color as usize].pop_front().expect("sources_ready checked");
                 debug_assert_eq!(flit.dtype, dtype, "flit dtype mismatch on color {color}");
                 self.dsrs[id].advance(1);
                 self.perf.flits_received += 1;
@@ -591,7 +657,13 @@ impl Core {
 
     /// Writes one element to the destination DSR, advancing it. Returns a
     /// task to activate (FIFO onpush), if any.
-    fn write_dst(&mut self, mem: &mut Memory, id: DsrId, bits: u32, dtype: Dtype) -> Option<TaskId> {
+    fn write_dst(
+        &mut self,
+        mem: &mut Memory,
+        id: DsrId,
+        bits: u32,
+        dtype: Dtype,
+    ) -> Option<TaskId> {
         let dsr = self.dsrs[id];
         match dsr.desc {
             Descriptor::Mem { dtype: d, .. } => {
@@ -707,7 +779,11 @@ impl Core {
                 let bits = match dta {
                     Dtype::F16 => {
                         let s = F16::from_f32(self.regs[scalar]);
-                        let r = wse_float::fma16(s, F16::from_bits(bb as u16), F16::from_bits(ab as u16));
+                        let r = wse_float::fma16(
+                            s,
+                            F16::from_bits(bb as u16),
+                            F16::from_bits(ab as u16),
+                        );
                         self.perf.flops_f16 += 2;
                         r.to_bits() as u32
                     }
@@ -726,7 +802,11 @@ impl Core {
                 let bits = match dt {
                     Dtype::F16 => {
                         let s = F16::from_f32(self.regs[scalar]);
-                        let r = wse_float::fma16(s, F16::from_bits(ab as u16), F16::from_bits(cur as u16));
+                        let r = wse_float::fma16(
+                            s,
+                            F16::from_bits(ab as u16),
+                            F16::from_bits(cur as u16),
+                        );
                         self.perf.flops_f16 += 2;
                         r.to_bits() as u32
                     }
@@ -867,7 +947,12 @@ mod tests {
             "axpy",
             vec![
                 Stmt::SetReg { reg: 0, value: 0.5 },
-                Stmt::Exec(TensorInstr { op: Op::Axpy { scalar: 0 }, dst: Some(dy), a: Some(dx), b: None }),
+                Stmt::Exec(TensorInstr {
+                    op: Op::Axpy { scalar: 0 },
+                    dst: Some(dy),
+                    a: Some(dx),
+                    b: None,
+                }),
             ],
         ));
         core.activate(t);
@@ -886,7 +971,12 @@ mod tests {
         let db = core.add_dsr(mk::tensor16(ab, 4));
         let t = core.add_task(Task::new(
             "dot",
-            vec![Stmt::Exec(TensorInstr { op: Op::MacReg { acc: 3 }, dst: None, a: Some(da), b: Some(db) })],
+            vec![Stmt::Exec(TensorInstr {
+                op: Op::MacReg { acc: 3 },
+                dst: None,
+                a: Some(da),
+                b: Some(db),
+            })],
         ));
         core.activate(t);
         run(&mut core, &mut mem, 10);
@@ -958,7 +1048,12 @@ mod tests {
         ));
         let recv = core.add_task(Task::new(
             "recv",
-            vec![Stmt::Exec(TensorInstr { op: Op::SumReg { acc: 1 }, dst: None, a: Some(drx), b: None })],
+            vec![Stmt::Exec(TensorInstr {
+                op: Op::SumReg { acc: 1 },
+                dst: None,
+                a: Some(drx),
+                b: None,
+            })],
         ));
         core.activate(send);
         core.activate(recv);
@@ -988,9 +1083,8 @@ mod tests {
         let do1 = core.add_dsr(mk::tensor16(o1, 8));
         let do2 = core.add_dsr(mk::tensor16(o2, 8));
 
-        let done = core.add_task(
-            Task::new("done", vec![Stmt::SetReg { reg: 7, value: 42.0 }]).blocked(),
-        );
+        let done =
+            core.add_task(Task::new("done", vec![Stmt::SetReg { reg: 7, value: 42.0 }]).blocked());
         let start = core.add_task(Task::new(
             "start",
             vec![
@@ -1016,9 +1110,11 @@ mod tests {
     fn priority_wins_scheduling() {
         let (mut core, mut mem, _, _) = setup(&[0.0], &[0.0]);
         let lo = core.add_task(Task::new("lo", vec![Stmt::SetReg { reg: 0, value: 1.0 }]));
-        let hi =
-            Task::new("hi", vec![Stmt::SetReg { reg: 1, value: 1.0 }, Stmt::SetReg { reg: 2, value: 1.0 }])
-                .priority(5);
+        let hi = Task::new(
+            "hi",
+            vec![Stmt::SetReg { reg: 1, value: 1.0 }, Stmt::SetReg { reg: 2, value: 1.0 }],
+        )
+        .priority(5);
         let hi = core.add_task(hi);
         core.activate(lo);
         core.activate(hi);
@@ -1036,7 +1132,12 @@ mod tests {
         let drx = core.add_dsr(mk::rx16(4, 1));
         let t = core.add_task(Task::new(
             "on_data",
-            vec![Stmt::Exec(TensorInstr { op: Op::LoadReg { reg: 9 }, dst: None, a: Some(drx), b: None })],
+            vec![Stmt::Exec(TensorInstr {
+                op: Op::LoadReg { reg: 9 },
+                dst: None,
+                a: Some(drx),
+                b: None,
+            })],
         ));
         core.bind_color(4, t);
         run(&mut core, &mut mem, 3);
@@ -1126,5 +1227,38 @@ mod tests {
         got.extend(core.drain_ramp_out(4));
         assert!(core.is_quiescent());
         assert_eq!(got.len(), n);
+    }
+
+    #[test]
+    fn read_only_views_expose_program_structure() {
+        let mut core = Core::new();
+        let d = core.add_dsr(mk::tensor16(0, 8));
+        let f = core.add_fifo(Fifo::new(64, 20, Dtype::F16, None));
+        let a = core.add_task(Task::new("entry", vec![]));
+        let b = core.add_task(Task::new("helper", vec![]).blocked().priority(3));
+        core.bind_color(5, b);
+        core.mark_entry(a);
+        core.mark_entry(a); // idempotent
+
+        assert_eq!(core.num_tasks(), 2);
+        assert_eq!(core.task(b).name, "helper");
+        assert_eq!(core.task(b).priority, 3);
+        let names: Vec<_> = core.tasks().map(|(id, t)| (id, t.name)).collect();
+        assert_eq!(names, vec![(a, "entry"), (b, "helper")]);
+        assert!(core.task_blocked(b));
+        assert!(!core.task_blocked(a));
+        assert!(!core.task_activated(a));
+        core.activate(a);
+        assert!(core.task_activated(a));
+
+        assert_eq!(core.bindings(), &[ColorBinding { color: 5, task: b }]);
+        assert_eq!(core.entry_tasks(), &[a]);
+
+        assert_eq!(core.num_dsrs(), 1);
+        assert_eq!(core.dsrs().next().unwrap().0, d);
+        assert_eq!(core.num_fifos(), 1);
+        let (fid, fifo) = core.fifos().next().unwrap();
+        assert_eq!(fid, f);
+        assert_eq!(fifo.capacity, 20);
     }
 }

@@ -212,7 +212,10 @@ mod tests {
 
     #[test]
     fn strided_addressing() {
-        let d = Dsr { desc: Descriptor::Mem { addr: 0, len: 4, stride: 3, dtype: Dtype::F32, rewind: true }, pos: 2 };
+        let d = Dsr {
+            desc: Descriptor::Mem { addr: 0, len: 4, stride: 3, dtype: Dtype::F32, rewind: true },
+            pos: 2,
+        };
         // element 2 at byte 2 * 3 * 4 = 24
         assert_eq!(d.current_addr(), Some(24));
     }

@@ -174,8 +174,7 @@ impl Fabric {
             // Respect the ramp queue's *minimum* color space conservatively:
             // drain one flit at a time, checking the target queue.
             let mut budget = PORT_BYTES_PER_CYCLE;
-            loop {
-                let Some(&(color, flit)) = t.core_peek_ramp_out() else { break };
+            while let Some(&(color, flit)) = t.core_peek_ramp_out() {
                 if flit.bytes() > budget || t.router.space(Port::Ramp, color) == 0 {
                     break;
                 }
@@ -197,8 +196,8 @@ impl Fabric {
                 .map(|t| {
                     let mut s = [[0usize; crate::types::NUM_COLORS]; 5];
                     for p in Port::ALL {
-                        for c in 0..crate::types::NUM_COLORS {
-                            s[p.index()][c] = t.router.space(p, c as Color);
+                        for (c, slot) in s[p.index()].iter_mut().enumerate() {
+                            *slot = t.router.space(p, c as Color);
                         }
                     }
                     s
@@ -209,8 +208,8 @@ impl Fabric {
                 .iter()
                 .map(|t| {
                     let mut s = [0usize; crate::types::NUM_COLORS];
-                    for c in 0..crate::types::NUM_COLORS {
-                        s[c] = t.core.ramp_in_space(c as Color);
+                    for (c, slot) in s.iter_mut().enumerate() {
+                        *slot = t.core.ramp_in_space(c as Color);
                     }
                     s
                 })
@@ -235,8 +234,7 @@ impl Fabric {
                                 }
                                 let ni = ny as usize * w + nx as usize;
                                 let in_port = out.opposite().unwrap();
-                                already
-                                    < router_space[ni][in_port.index()][color as usize]
+                                already < router_space[ni][in_port.index()][color as usize]
                             }
                         }
                     });
@@ -266,7 +264,7 @@ impl Fabric {
         }
 
         self.cycle += 1;
-        if self.sample_interval > 0 && self.cycle % self.sample_interval == 0 {
+        if self.sample_interval > 0 && self.cycle.is_multiple_of(self.sample_interval) {
             let now = self.perf();
             let window_busy = now.busy_cycles - self.last_sample_perf.busy_cycles;
             let window_cycles = self.sample_interval * self.tiles.len() as u64;
@@ -382,7 +380,12 @@ mod tests {
             let dtx = t.core.add_dsr(mk::tx16(1, 3));
             let task = t.core.add_task(Task::new(
                 "send",
-                vec![Stmt::Exec(TensorInstr { op: Op::Copy, dst: Some(dtx), a: Some(dsrc), b: None })],
+                vec![Stmt::Exec(TensorInstr {
+                    op: Op::Copy,
+                    dst: Some(dtx),
+                    a: Some(dsrc),
+                    b: None,
+                })],
             ));
             t.core.activate(task);
         }
@@ -395,7 +398,12 @@ mod tests {
             let ddst = t.core.add_dsr(mk::tensor16(raddr, 3));
             let task = t.core.add_task(Task::new(
                 "recv",
-                vec![Stmt::Exec(TensorInstr { op: Op::Copy, dst: Some(ddst), a: Some(drx), b: None })],
+                vec![Stmt::Exec(TensorInstr {
+                    op: Op::Copy,
+                    dst: Some(ddst),
+                    a: Some(drx),
+                    b: None,
+                })],
             ));
             t.core.activate(task);
         }
@@ -427,7 +435,12 @@ mod tests {
             let dtx = t.core.add_dsr(mk::tx16(0, 1));
             let task = t.core.add_task(Task::new(
                 "send",
-                vec![Stmt::Exec(TensorInstr { op: Op::Copy, dst: Some(dtx), a: Some(dsrc), b: None })],
+                vec![Stmt::Exec(TensorInstr {
+                    op: Op::Copy,
+                    dst: Some(dtx),
+                    a: Some(dsrc),
+                    b: None,
+                })],
             ));
             t.core.activate(task);
         }
@@ -436,7 +449,12 @@ mod tests {
             let drx = t.core.add_dsr(mk::rx16(0, 1));
             let task = t.core.add_task(Task::new(
                 "recv",
-                vec![Stmt::Exec(TensorInstr { op: Op::LoadReg { reg: 0 }, dst: None, a: Some(drx), b: None })],
+                vec![Stmt::Exec(TensorInstr {
+                    op: Op::LoadReg { reg: 0 },
+                    dst: None,
+                    a: Some(drx),
+                    b: None,
+                })],
             ));
             t.core.activate(task);
         }
@@ -466,7 +484,12 @@ mod tests {
             let drx = t.core.add_dsr(mk::rx16(2, 1));
             let task = t.core.add_task(Task::new(
                 "recv",
-                vec![Stmt::Exec(TensorInstr { op: Op::LoadReg { reg: 5 }, dst: None, a: Some(drx), b: None })],
+                vec![Stmt::Exec(TensorInstr {
+                    op: Op::LoadReg { reg: 5 },
+                    dst: None,
+                    a: Some(drx),
+                    b: None,
+                })],
             ));
             t.core.activate(task);
         }
@@ -478,7 +501,12 @@ mod tests {
             let dtx = t.core.add_dsr(mk::tx16(2, 1));
             let task = t.core.add_task(Task::new(
                 "send",
-                vec![Stmt::Exec(TensorInstr { op: Op::Copy, dst: Some(dtx), a: Some(dsrc), b: None })],
+                vec![Stmt::Exec(TensorInstr {
+                    op: Op::Copy,
+                    dst: Some(dtx),
+                    a: Some(dsrc),
+                    b: None,
+                })],
             ));
             t.core.activate(task);
         }
@@ -496,7 +524,12 @@ mod tests {
         let drx = t.core.add_dsr(mk::rx16(0, 1));
         let task = t.core.add_task(Task::new(
             "recv",
-            vec![Stmt::Exec(TensorInstr { op: Op::LoadReg { reg: 0 }, dst: None, a: Some(drx), b: None })],
+            vec![Stmt::Exec(TensorInstr {
+                op: Op::LoadReg { reg: 0 },
+                dst: None,
+                a: Some(drx),
+                b: None,
+            })],
         ));
         t.core.activate(task);
         let err = f.run_until_quiescent(50).unwrap_err();
@@ -518,7 +551,12 @@ mod tests {
             let dtx = t.core.add_dsr(mk::tx16(1, 32));
             let task = t.core.add_task(Task::new(
                 "send",
-                vec![Stmt::Exec(TensorInstr { op: Op::Copy, dst: Some(dtx), a: Some(dsrc), b: None })],
+                vec![Stmt::Exec(TensorInstr {
+                    op: Op::Copy,
+                    dst: Some(dtx),
+                    a: Some(dsrc),
+                    b: None,
+                })],
             ));
             t.core.activate(task);
         }
@@ -529,7 +567,12 @@ mod tests {
             let ddst = t.core.add_dsr(mk::tensor16(addr, 32));
             let task = t.core.add_task(Task::new(
                 "recv",
-                vec![Stmt::Exec(TensorInstr { op: Op::Copy, dst: Some(ddst), a: Some(drx), b: None })],
+                vec![Stmt::Exec(TensorInstr {
+                    op: Op::Copy,
+                    dst: Some(ddst),
+                    a: Some(drx),
+                    b: None,
+                })],
             ));
             t.core.activate(task);
         }

@@ -36,16 +36,7 @@ impl Fifo {
     /// Panics if capacity is zero.
     pub fn new(base: u32, capacity: u32, dtype: Dtype, onpush: Option<TaskId>) -> Fifo {
         assert!(capacity > 0, "fifo capacity must be nonzero");
-        Fifo {
-            base,
-            capacity,
-            dtype,
-            onpush,
-            head: 0,
-            len: 0,
-            total_pushed: 0,
-            peak_occupancy: 0,
-        }
+        Fifo { base, capacity, dtype, onpush, head: 0, len: 0, total_pushed: 0, peak_occupancy: 0 }
     }
 
     /// Current occupancy in elements.

@@ -79,7 +79,12 @@ impl Op {
     /// Number of source operands expected (besides the destination).
     pub fn num_srcs(self) -> usize {
         match self {
-            Op::Copy | Op::AddAssign | Op::Scale { .. } | Op::Axpy { .. } | Op::SumReg { .. } | Op::LoadReg { .. } => 1,
+            Op::Copy
+            | Op::AddAssign
+            | Op::Scale { .. }
+            | Op::Axpy { .. }
+            | Op::SumReg { .. }
+            | Op::LoadReg { .. } => 1,
             Op::Add | Op::Mul | Op::MacReg { .. } | Op::FmaAssign | Op::Xpay { .. } => 2,
             Op::StoreReg { .. } => 0,
         }

@@ -19,6 +19,31 @@ pub struct Memory {
     bytes: Vec<u8>,
     next: u32,
     peak: u32,
+    allocs: Vec<Allocation>,
+}
+
+/// One recorded allocation: a contiguous byte extent handed out by
+/// [`Memory::alloc`]. The linter audits descriptor extents against these.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Allocation {
+    /// First byte of the extent.
+    pub base: u32,
+    /// Length in bytes (after 2-byte alignment rounding).
+    pub len: u32,
+}
+
+impl Allocation {
+    /// One past the last byte of the extent.
+    #[inline]
+    pub fn end(self) -> u32 {
+        self.base + self.len
+    }
+
+    /// `true` if `[base, base + len)` lies entirely inside this extent.
+    #[inline]
+    pub fn contains(self, base: u32, len: u32) -> bool {
+        base >= self.base && base + len <= self.end()
+    }
 }
 
 /// Error returned when an allocation exceeds SRAM capacity.
@@ -47,7 +72,7 @@ impl Default for Memory {
 impl Memory {
     /// A fresh, zeroed 48 KB SRAM.
     pub fn new() -> Memory {
-        Memory { bytes: vec![0; TILE_SRAM_BYTES as usize], next: 0, peak: 0 }
+        Memory { bytes: vec![0; TILE_SRAM_BYTES as usize], next: 0, peak: 0, allocs: Vec::new() }
     }
 
     /// Allocates `nbytes` (2-byte aligned), returning the base address.
@@ -60,6 +85,7 @@ impl Memory {
         let base = self.next;
         self.next += aligned;
         self.peak = self.peak.max(self.next);
+        self.allocs.push(Allocation { base, len: aligned });
         Ok(base)
     }
 
@@ -73,15 +99,27 @@ impl Memory {
         self.next
     }
 
+    /// Bytes still available to the allocator.
+    pub fn bytes_free(&self) -> u32 {
+        TILE_SRAM_BYTES - self.next
+    }
+
     /// High-water mark of the allocator.
     pub fn peak(&self) -> u32 {
         self.peak
+    }
+
+    /// Every live allocation, in allocation order (the allocation map the
+    /// linter audits descriptors against).
+    pub fn allocations(&self) -> &[Allocation] {
+        &self.allocs
     }
 
     /// Resets the allocator (contents retained; used between solver phases
     /// that rebuild their layout from scratch).
     pub fn reset_allocator(&mut self) {
         self.next = 0;
+        self.allocs.clear();
     }
 
     /// Reads an fp16 element at byte address `addr`.
@@ -206,5 +244,36 @@ mod tests {
         assert_eq!(m.used(), 0);
         assert_eq!(m.peak(), 40_000);
         assert!(m.alloc(40_000).is_ok());
+    }
+
+    #[test]
+    fn bytes_free_tracks_allocations() {
+        let mut m = Memory::new();
+        assert_eq!(m.bytes_free(), TILE_SRAM_BYTES);
+        m.alloc(100).unwrap();
+        assert_eq!(m.bytes_free(), TILE_SRAM_BYTES - 100);
+        m.alloc(3).unwrap(); // rounds to 4
+        assert_eq!(m.bytes_free(), TILE_SRAM_BYTES - 104);
+        assert_eq!(m.bytes_free(), TILE_SRAM_BYTES - m.used());
+        m.reset_allocator();
+        assert_eq!(m.bytes_free(), TILE_SRAM_BYTES);
+    }
+
+    #[test]
+    fn allocation_map_records_extents() {
+        let mut m = Memory::new();
+        let a = m.alloc(100).unwrap();
+        let b = m.alloc_vec(8, Dtype::F32).unwrap();
+        let map = m.allocations();
+        assert_eq!(map.len(), 2);
+        assert_eq!(map[0], Allocation { base: a, len: 100 });
+        assert_eq!(map[1], Allocation { base: b, len: 32 });
+        assert_eq!(map[1].end(), b + 32);
+        assert!(map[0].contains(a, 100));
+        assert!(map[0].contains(a + 10, 50));
+        assert!(!map[0].contains(a + 10, 100), "extends past the extent");
+        assert!(!map[1].contains(a, 4), "wrong extent");
+        m.reset_allocator();
+        assert!(m.allocations().is_empty());
     }
 }

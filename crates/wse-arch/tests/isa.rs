@@ -236,7 +236,12 @@ fn load_reg_takes_last_element() {
     let da = core.add_dsr(mk::tensor16(a, 3));
     let t = core.add_task(Task::new(
         "ld",
-        vec![Stmt::Exec(TensorInstr { op: Op::LoadReg { reg: 4 }, dst: None, a: Some(da), b: None })],
+        vec![Stmt::Exec(TensorInstr {
+            op: Op::LoadReg { reg: 4 },
+            dst: None,
+            a: Some(da),
+            b: None,
+        })],
     ));
     core.activate(t);
     for _ in 0..50 {
@@ -254,7 +259,12 @@ fn store_reg_broadcasts_into_memory() {
     let dd = core.add_dsr(mk::tensor16(out, 6));
     let t = core.add_task(Task::new(
         "st",
-        vec![Stmt::Exec(TensorInstr { op: Op::StoreReg { reg: 2 }, dst: Some(dd), a: None, b: None })],
+        vec![Stmt::Exec(TensorInstr {
+            op: Op::StoreReg { reg: 2 },
+            dst: Some(dd),
+            a: None,
+            b: None,
+        })],
     ));
     core.activate(t);
     for _ in 0..50 {

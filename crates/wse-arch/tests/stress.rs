@@ -87,8 +87,9 @@ fn random_point_to_point_streams_deliver_in_order() {
                 dst = ((src.0 + 1) % w, src.1);
             }
             let n = rng.gen_range(1..40);
-            let data: Vec<F16> =
-                (0..n).map(|i| F16::from_f64(((i * 7 + color as usize) % 32) as f64 * 0.25)).collect();
+            let data: Vec<F16> = (0..n)
+                .map(|i| F16::from_f64(((i * 7 + color as usize) % 32) as f64 * 0.25))
+                .collect();
             route_xy(&mut f, src, dst, color);
             let out = install_stream(&mut f, src, dst, color, &data);
             streams.push((dst, out, data));
@@ -272,7 +273,12 @@ fn fp32_and_fp16_traffic_coexist() {
         let task = t.core.add_task(Task::new(
             "send",
             vec![
-                Stmt::Exec(TensorInstr { op: Op::StoreReg { reg: 0 }, dst: Some(dtx32), a: None, b: None }),
+                Stmt::Exec(TensorInstr {
+                    op: Op::StoreReg { reg: 0 },
+                    dst: Some(dtx32),
+                    a: None,
+                    b: None,
+                }),
                 Stmt::Exec(TensorInstr { op: Op::Copy, dst: Some(dtx16), a: Some(dsrc), b: None }),
             ],
         ));
@@ -288,7 +294,12 @@ fn fp32_and_fp16_traffic_coexist() {
         let task = t.core.add_task(Task::new(
             "recv",
             vec![
-                Stmt::Exec(TensorInstr { op: Op::LoadReg { reg: 5 }, dst: None, a: Some(drx32), b: None }),
+                Stmt::Exec(TensorInstr {
+                    op: Op::LoadReg { reg: 5 },
+                    dst: None,
+                    a: Some(drx32),
+                    b: None,
+                }),
                 Stmt::Exec(TensorInstr { op: Op::Copy, dst: Some(ddst), a: Some(drx16), b: None }),
             ],
         ));

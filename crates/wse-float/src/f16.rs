@@ -236,7 +236,7 @@ fn f16_bits_to_f32(bits: u16) -> f32 {
             let exp = 113 - shift;
             sign | (exp << 23) | (man << 13)
         }
-        (0x1F, 0) => sign | 0x7F80_0000, // infinity
+        (0x1F, 0) => sign | 0x7F80_0000,               // infinity
         (0x1F, _) => sign | 0x7F80_0000 | (man << 13), // NaN, keep payload
         _ => sign | ((exp + 127 - 15) << 23) | (man << 13),
     };

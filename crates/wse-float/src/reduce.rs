@@ -85,7 +85,7 @@ mod tests {
         // Sum many small values onto a large head: sequential f32 loses the
         // tail, pairwise keeps most of it.
         let mut v = vec![1.0e8f32];
-        v.extend(std::iter::repeat(1.0f32).take(1 << 16));
+        v.extend(std::iter::repeat_n(1.0f32, 1 << 16));
         let exact = 1.0e8f64 + (1 << 16) as f64;
         let seq_err = (sum_sequential_f32(&v) as f64 - exact).abs();
         let pair_err = (sum_pairwise_f32(&v) as f64 - exact).abs();

@@ -38,31 +38,13 @@ impl F16x4 {
         self.0
     }
 
-    /// Lane-wise addition.
-    #[inline]
-    pub fn add(self, rhs: F16x4) -> F16x4 {
-        self.zip(rhs, |a, b| a + b)
-    }
-
-    /// Lane-wise subtraction.
-    #[inline]
-    pub fn sub(self, rhs: F16x4) -> F16x4 {
-        self.zip(rhs, |a, b| a - b)
-    }
-
-    /// Lane-wise multiplication.
-    #[inline]
-    pub fn mul(self, rhs: F16x4) -> F16x4 {
-        self.zip(rhs, |a, b| a * b)
-    }
-
     /// Lane-wise fused multiply-accumulate: `self * rhs + acc`, one rounding
     /// per lane.
     #[inline]
     pub fn fmac(self, rhs: F16x4, acc: F16x4) -> F16x4 {
         let mut out = [F16::ZERO; 4];
-        for i in 0..4 {
-            out[i] = fma16(self.0[i], rhs.0[i], acc.0[i]);
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = fma16(self.0[i], rhs.0[i], acc.0[i]);
         }
         F16x4(out)
     }
@@ -71,17 +53,43 @@ impl F16x4 {
     /// dot-product instruction's final combine).
     #[inline]
     pub fn hsum_f32(self) -> f32 {
-        (self.0[0].to_f32() + self.0[1].to_f32())
-            + (self.0[2].to_f32() + self.0[3].to_f32())
+        (self.0[0].to_f32() + self.0[1].to_f32()) + (self.0[2].to_f32() + self.0[3].to_f32())
     }
 
     #[inline]
     fn zip(self, rhs: F16x4, f: impl Fn(F16, F16) -> F16) -> F16x4 {
         let mut out = [F16::ZERO; 4];
-        for i in 0..4 {
-            out[i] = f(self.0[i], rhs.0[i]);
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = f(self.0[i], rhs.0[i]);
         }
         F16x4(out)
+    }
+}
+
+/// Lane-wise addition.
+impl std::ops::Add for F16x4 {
+    type Output = F16x4;
+    #[inline]
+    fn add(self, rhs: F16x4) -> F16x4 {
+        self.zip(rhs, |a, b| a + b)
+    }
+}
+
+/// Lane-wise subtraction.
+impl std::ops::Sub for F16x4 {
+    type Output = F16x4;
+    #[inline]
+    fn sub(self, rhs: F16x4) -> F16x4 {
+        self.zip(rhs, |a, b| a - b)
+    }
+}
+
+/// Lane-wise multiplication.
+impl std::ops::Mul for F16x4 {
+    type Output = F16x4;
+    #[inline]
+    fn mul(self, rhs: F16x4) -> F16x4 {
+        self.zip(rhs, |a, b| a * b)
     }
 }
 
@@ -116,7 +124,7 @@ pub fn mul_f16(a: &[F16], b: &[F16], out: &mut [F16]) {
 pub fn add_assign_f16(acc: &mut [F16], t: &[F16]) {
     assert_eq!(acc.len(), t.len(), "add operand length mismatch");
     for (a, &b) in acc.iter_mut().zip(t) {
-        *a = *a + b;
+        *a += b;
     }
 }
 
@@ -149,9 +157,9 @@ mod tests {
     fn lanewise_ops_match_scalar() {
         let a = F16x4::from_array([h(1.0), h(2.0), h(3.0), h(4.0)]);
         let b = F16x4::from_array([h(0.5), h(0.25), h(-1.0), h(2.0)]);
-        assert_eq!(a.add(b).to_array(), [h(1.5), h(2.25), h(2.0), h(6.0)]);
-        assert_eq!(a.sub(b).to_array(), [h(0.5), h(1.75), h(4.0), h(2.0)]);
-        assert_eq!(a.mul(b).to_array(), [h(0.5), h(0.5), h(-3.0), h(8.0)]);
+        assert_eq!((a + b).to_array(), [h(1.5), h(2.25), h(2.0), h(6.0)]);
+        assert_eq!((a - b).to_array(), [h(0.5), h(1.75), h(4.0), h(2.0)]);
+        assert_eq!((a * b).to_array(), [h(0.5), h(0.5), h(-3.0), h(8.0)]);
     }
 
     #[test]
@@ -191,8 +199,8 @@ mod tests {
         mul_f16(&a, &b, &mut out);
         let mut acc = vec![h(1.0); 9];
         add_assign_f16(&mut acc, &out);
-        for i in 0..9 {
-            assert_eq!(acc[i].to_f64(), 1.0 + 2.0 * i as f64);
+        for (i, a) in acc.iter().enumerate() {
+            assert_eq!(a.to_f64(), 1.0 + 2.0 * i as f64);
         }
     }
 

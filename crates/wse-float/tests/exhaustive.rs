@@ -75,11 +75,8 @@ fn next_up_walks_the_lattice() {
 /// from a coarse exhaustive grid (full pairwise would be 4×10⁹).
 #[test]
 fn min_max_grid() {
-    let samples: Vec<F16> = (0..=u16::MAX)
-        .step_by(257)
-        .map(F16::from_bits)
-        .filter(|h| !h.is_nan())
-        .collect();
+    let samples: Vec<F16> =
+        (0..=u16::MAX).step_by(257).map(F16::from_bits).filter(|h| !h.is_nan()).collect();
     for &a in &samples {
         for &b in &samples {
             let mn = a.min(b).to_f64();

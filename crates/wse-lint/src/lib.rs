@@ -1,0 +1,183 @@
+//! Static verifier for wafer programs.
+//!
+//! A wafer program is routing tables, task bodies, DSR descriptors, FIFOs,
+//! and color bindings spread across tens of thousands of tiles. Most
+//! configuration mistakes — a route into a port nobody drains, two streams
+//! sharing a color inside one task, a descriptor reaching past its buffer —
+//! surface at runtime as a silent stall hundreds of thousands of cycles in,
+//! with nothing but full queues to look at. On hardware that is a hung
+//! wafer; in the simulator it is a `Stalled` error after the cycle budget.
+//!
+//! `wse-lint` takes a fully configured [`Fabric`] **before any cycle is
+//! stepped** and checks the static invariants the paper's programs rely on:
+//!
+//! * **Route graph** ([`rules::routes`]) — per-color forwarding graphs:
+//!   cycles (credit-backpressure deadlock risk), fanout into off-fabric
+//!   edges or into neighbor ports with no forwarding rule, ramp deliveries
+//!   no task ever consumes, receive configurations no route can feed, and
+//!   sends with no route out of the ramp.
+//! * **Color discipline** ([`rules::colors`]) — the pairwise-distinct-
+//!   channels invariant `spmv_color` promises, checked generically: no two
+//!   concurrent receive streams within one task may share a color. Colors
+//!   must also be inside the hardware's 24.
+//! * **Memory budget** ([`rules::memory`]) — descriptor and FIFO extents
+//!   against the 48 KB SRAM and the allocation map, plus partial-overlap
+//!   (aliasing) checks between instruction operands.
+//! * **Task activation** ([`rules::tasks`]) — reachability from declared
+//!   entry points, data triggers, and completion chains: tasks that can
+//!   never activate, tasks blocked forever, FIFO pushes with no bound task
+//!   or reader.
+//!
+//! The entry point is [`lint`]; [`assert_clean`] is the panic-on-findings
+//! wrapper kernel builders call in debug builds.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use wse_arch::fabric::Fabric;
+
+pub mod program;
+pub mod rules;
+
+/// How bad a finding is.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but conceivably intended; the program may still run.
+    Warning,
+    /// The program will stall, lose data, or compute garbage.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Which check produced a finding.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// A route forwards off the edge of the fabric.
+    RouteOffFabric,
+    /// A route forwards into a neighbor port with no forwarding rule: flits
+    /// pile up in that queue and backpressure the sender forever.
+    RouteDangling,
+    /// The per-color forwarding graph has a cycle; with credit-based
+    /// backpressure a filled cycle can never drain (deadlock risk).
+    RouteCycle,
+    /// A route delivers a color to the ramp of a core with no receive
+    /// descriptor for it; the ramp-in queue fills and stalls the router.
+    DeadDelivery,
+    /// A task consumes a color no route ever delivers to this tile — the
+    /// receive can never complete.
+    UnreachableReceive,
+    /// A task sends on a color with no route out of the ramp — the send
+    /// queue fills and the thread never finishes.
+    MissingRampRoute,
+    /// Two concurrent receive streams in one task share a color; flit
+    /// attribution between them is nondeterministic.
+    ColorConflict,
+    /// A color identifier is outside the hardware's range.
+    ColorOutOfRange,
+    /// A descriptor or FIFO extent reaches past the 48 KB tile SRAM.
+    SramOverBudget,
+    /// A descriptor or FIFO extent is not contained in any allocation.
+    UnallocatedExtent,
+    /// An instruction's destination partially overlaps a source extent;
+    /// streamed element order makes the result order-dependent.
+    DsrOverlap,
+    /// A task can never activate: no entry declaration, data trigger,
+    /// completion trigger, or reachable activation names it.
+    UnreachableTask,
+    /// A task starts blocked and nothing reachable ever unblocks it.
+    BlockedForever,
+    /// A FIFO is written but has no `onpush` task and no reachable reader —
+    /// pushed data is never drained.
+    FifoNeverDrained,
+}
+
+impl Rule {
+    /// Stable kebab-case name (CLI output, test assertions).
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::RouteOffFabric => "route-off-fabric",
+            Rule::RouteDangling => "route-dangling",
+            Rule::RouteCycle => "route-cycle",
+            Rule::DeadDelivery => "dead-delivery",
+            Rule::UnreachableReceive => "unreachable-receive",
+            Rule::MissingRampRoute => "missing-ramp-route",
+            Rule::ColorConflict => "color-conflict",
+            Rule::ColorOutOfRange => "color-out-of-range",
+            Rule::SramOverBudget => "sram-over-budget",
+            Rule::UnallocatedExtent => "unallocated-extent",
+            Rule::DsrOverlap => "dsr-overlap",
+            Rule::UnreachableTask => "unreachable-task",
+            Rule::BlockedForever => "blocked-forever",
+            Rule::FifoNeverDrained => "fifo-never-drained",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Tile coordinates `(x, y)`.
+    pub tile: (usize, usize),
+    /// How bad it is.
+    pub severity: Severity,
+    /// Which check fired.
+    pub rule: Rule,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: [{}] tile ({}, {}): {}",
+            self.severity, self.rule, self.tile.0, self.tile.1, self.message
+        )
+    }
+}
+
+/// Runs every rule over a configured fabric. No cycle is stepped; the
+/// fabric is read-only. Findings are ordered by tile, then rule.
+pub fn lint(fabric: &Fabric) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    rules::routes::check(fabric, &mut diags);
+    rules::colors::check(fabric, &mut diags);
+    rules::memory::check(fabric, &mut diags);
+    rules::tasks::check(fabric, &mut diags);
+    diags.sort_by(|a, b| {
+        (a.tile.1, a.tile.0, a.rule, &a.message).cmp(&(b.tile.1, b.tile.0, b.rule, &b.message))
+    });
+    diags
+}
+
+/// Lints and panics with a formatted report if any diagnostic is found.
+/// Kernel builders call this at the end of program construction in debug
+/// builds, so a misconfigured program fails at build time, not as a stall a
+/// million cycles later.
+///
+/// # Panics
+/// Panics if [`lint`] returns any diagnostics.
+pub fn assert_clean(fabric: &Fabric) {
+    let diags = lint(fabric);
+    if !diags.is_empty() {
+        let mut report = format!("wse-lint: {} diagnostic(s):\n", diags.len());
+        for d in &diags {
+            report.push_str(&format!("  {d}\n"));
+        }
+        panic!("{report}");
+    }
+}

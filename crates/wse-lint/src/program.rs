@@ -1,0 +1,134 @@
+//! A read-only model of one core's program, shared by the rules.
+//!
+//! The rules reason about *instruction sites*: every `Exec` or `Launch`
+//! statement in every task body, with each DSR operand resolved to the
+//! descriptor it will hold when the statement runs. Resolution tracks
+//! `InitDsr` statements linearly through each body (the re-arm idiom at the
+//! top of Listing 1's `spmv` task); a DSR not re-armed in the body keeps
+//! the descriptor it was registered with.
+
+use std::collections::BTreeSet;
+use wse_arch::core::Core;
+use wse_arch::dsr::Descriptor;
+use wse_arch::instr::{Stmt, TaskAction, TensorInstr};
+use wse_arch::types::{Color, DsrId, TaskId};
+
+/// One DSR operand of an instruction site, resolved to its descriptor.
+#[derive(Copy, Clone, Debug)]
+pub struct ResolvedOperand {
+    /// The DSR the instruction names.
+    pub dsr: DsrId,
+    /// The descriptor that DSR holds when the statement runs.
+    pub desc: Descriptor,
+}
+
+/// An `Exec` or `Launch` statement with resolved operands.
+#[derive(Clone, Debug)]
+pub struct InstrSite {
+    /// The task whose body contains the statement.
+    pub task: TaskId,
+    /// The task's debug name.
+    pub task_name: &'static str,
+    /// Statement index within the body.
+    pub stmt: usize,
+    /// `true` for `Launch` (background thread), `false` for `Exec`.
+    pub background: bool,
+    /// The instruction itself.
+    pub instr: TensorInstr,
+    /// Resolved destination operand.
+    pub dst: Option<ResolvedOperand>,
+    /// Resolved first source operand.
+    pub a: Option<ResolvedOperand>,
+    /// Resolved second source operand.
+    pub b: Option<ResolvedOperand>,
+    /// Completion trigger, for `Launch` sites.
+    pub on_complete: Option<(TaskId, TaskAction)>,
+}
+
+impl InstrSite {
+    /// The resolved operands present on this site, destination first.
+    pub fn operands(&self) -> impl Iterator<Item = &ResolvedOperand> {
+        [self.dst.as_ref(), self.a.as_ref(), self.b.as_ref()].into_iter().flatten()
+    }
+
+    /// Source operands only.
+    pub fn sources(&self) -> impl Iterator<Item = &ResolvedOperand> {
+        [self.a.as_ref(), self.b.as_ref()].into_iter().flatten()
+    }
+}
+
+/// Every instruction site of every task on `core`, in task order then
+/// statement order.
+pub fn instruction_sites(core: &Core) -> Vec<InstrSite> {
+    let mut sites = Vec::new();
+    for (task_id, task) in core.tasks() {
+        // Effective descriptor per DSR, updated by InitDsr as we walk.
+        let mut effective: Vec<Descriptor> = core.dsrs().map(|(_, d)| d.desc).collect();
+        let resolve = |eff: &[Descriptor], id: Option<DsrId>| {
+            id.map(|dsr| ResolvedOperand { dsr, desc: eff[dsr] })
+        };
+        for (stmt_idx, stmt) in task.body.iter().enumerate() {
+            match stmt {
+                Stmt::InitDsr { dsr, desc } => effective[*dsr] = *desc,
+                Stmt::Exec(instr) => sites.push(InstrSite {
+                    task: task_id,
+                    task_name: task.name,
+                    stmt: stmt_idx,
+                    background: false,
+                    instr: *instr,
+                    dst: resolve(&effective, instr.dst),
+                    a: resolve(&effective, instr.a),
+                    b: resolve(&effective, instr.b),
+                    on_complete: None,
+                }),
+                Stmt::Launch { instr, on_complete, .. } => sites.push(InstrSite {
+                    task: task_id,
+                    task_name: task.name,
+                    stmt: stmt_idx,
+                    background: true,
+                    instr: *instr,
+                    dst: resolve(&effective, instr.dst),
+                    a: resolve(&effective, instr.a),
+                    b: resolve(&effective, instr.b),
+                    on_complete: *on_complete,
+                }),
+                Stmt::TaskCtl { .. } | Stmt::RegArith { .. } | Stmt::SetReg { .. } => {}
+            }
+        }
+    }
+    sites
+}
+
+/// Colors the core can consume from the fabric: every `FabricIn` color an
+/// instruction site actually reads through. Zero-length receives complete
+/// without consuming a flit and so do not count.
+pub fn consumed_colors(core: &Core) -> BTreeSet<Color> {
+    all_descriptors(core)
+        .into_iter()
+        .filter_map(|d| match d {
+            Descriptor::FabricIn { color, len, .. } if len > 0 => Some(color),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Colors the core injects into the fabric (`FabricOut` descriptors some
+/// instruction site writes through).
+pub fn produced_colors(core: &Core) -> BTreeSet<Color> {
+    all_descriptors(core)
+        .into_iter()
+        .filter_map(|d| match d {
+            Descriptor::FabricOut { color, .. } => Some(color),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Every descriptor some instruction can actually use: the resolved
+/// operands of every instruction site. A DSR that is registered (or
+/// re-armed) but never named by an `Exec`/`Launch` operand is inert —
+/// builders commonly pre-register descriptors for neighbors that turn out
+/// to be absent — so it contributes nothing here.
+pub fn all_descriptors(core: &Core) -> Vec<Descriptor> {
+    instruction_sites(core).iter().flat_map(|s| s.operands().map(|o| o.desc)).collect()
+}

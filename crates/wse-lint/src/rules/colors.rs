@@ -1,0 +1,118 @@
+//! Color-discipline checks.
+//!
+//! The tessellation function `spmv_color` exists to guarantee that the five
+//! streams a tile receives concurrently (its own loopback plus four
+//! neighbor broadcasts) arrive on pairwise-distinct colors. This module
+//! checks that invariant *generically*: within one task, no two receive
+//! streams that can be in flight at the same time may share a color — the
+//! router merges same-color flits into one ramp-in queue, so attribution
+//! between the two streams would depend on arrival interleaving.
+//!
+//! Concurrency is approximated statically: a `Launch`ed receive is live for
+//! the rest of the task, so two `Launch` sites on one color conflict, as
+//! does a `Launch` plus a synchronous `Exec` receive. Two `Exec` receives
+//! are serialized by the main thread and are fine (phase-separated reuse,
+//! as in BiCGStab, never trips this rule because scopes are per-task).
+//!
+//! Also here: [`crate::Rule::ColorOutOfRange`] for identifiers outside the
+//! hardware's [`NUM_COLORS`] virtual channels.
+
+use crate::program::{all_descriptors, instruction_sites};
+use crate::{Diagnostic, Rule, Severity};
+use std::collections::BTreeMap;
+use wse_arch::dsr::Descriptor;
+use wse_arch::fabric::Fabric;
+use wse_arch::types::{Color, NUM_COLORS};
+
+/// Runs the color rules on every tile.
+pub fn check(fabric: &Fabric, diags: &mut Vec<Diagnostic>) {
+    for y in 0..fabric.height() {
+        for x in 0..fabric.width() {
+            check_tile(fabric, x, y, diags);
+        }
+    }
+}
+
+fn check_tile(fabric: &Fabric, x: usize, y: usize, diags: &mut Vec<Diagnostic>) {
+    let core = &fabric.tile(x, y).core;
+
+    // Out-of-range identifiers anywhere a color can appear.
+    for desc in all_descriptors(core) {
+        let (color, dir) = match desc {
+            Descriptor::FabricIn { color, .. } => (color, "receives"),
+            Descriptor::FabricOut { color, .. } => (color, "sends"),
+            _ => continue,
+        };
+        if color as usize >= NUM_COLORS {
+            diags.push(Diagnostic {
+                tile: (x, y),
+                severity: Severity::Error,
+                rule: Rule::ColorOutOfRange,
+                message: format!(
+                    "a descriptor {dir} on color {color}, but the hardware has only \
+                     {NUM_COLORS} colors"
+                ),
+            });
+        }
+    }
+    for b in core.bindings() {
+        if b.color as usize >= NUM_COLORS {
+            diags.push(Diagnostic {
+                tile: (x, y),
+                severity: Severity::Error,
+                rule: Rule::ColorOutOfRange,
+                message: format!(
+                    "task {} (\"{}\") is bound to color {}, but the hardware has only \
+                     {NUM_COLORS} colors",
+                    b.task,
+                    core.task(b.task).name,
+                    b.color
+                ),
+            });
+        }
+    }
+
+    // Per-task concurrent-receive conflicts. For each task, every receive
+    // site per color: (statement index, background?).
+    let sites = instruction_sites(core);
+    let mut per_task: BTreeMap<usize, BTreeMap<Color, Vec<(usize, bool)>>> = BTreeMap::new();
+    for site in &sites {
+        for op in site.operands() {
+            if let Descriptor::FabricIn { color, .. } = op.desc {
+                per_task
+                    .entry(site.task)
+                    .or_default()
+                    .entry(color)
+                    .or_default()
+                    .push((site.stmt, site.background));
+            }
+        }
+    }
+    for (task, colors) in per_task {
+        let name = core.task(task).name;
+        for (color, uses) in colors {
+            let launches = uses.iter().filter(|(_, bg)| *bg).count();
+            // Conflict when two receives can be live at once: two launched
+            // threads, or a launched thread alongside a synchronous one.
+            // Multiple synchronous receives are serialized and fine.
+            if launches >= 2 || (launches >= 1 && uses.len() > launches) {
+                let stmts: Vec<String> = uses
+                    .iter()
+                    .map(|(s, bg)| format!("stmt {s} ({})", if *bg { "thread" } else { "sync" }))
+                    .collect();
+                diags.push(Diagnostic {
+                    tile: (x, y),
+                    severity: Severity::Error,
+                    rule: Rule::ColorConflict,
+                    message: format!(
+                        "task {task} (\"{name}\") receives color {color} from {} \
+                         concurrent streams [{}]; same-color flits share one queue, so \
+                         attribution between the streams depends on arrival order",
+                        uses.len(),
+                        stmts.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Memory-budget and aliasing audit.
+//!
+//! Tile SRAM is 48 KB with no protection: a descriptor whose stride walks
+//! past its buffer silently reads a neighbor allocation, and an instruction
+//! whose destination partially overlaps a source produces order-dependent
+//! garbage as elements stream through the datapath. This module audits,
+//! per tile:
+//!
+//! * every memory descriptor and FIFO extent against [`TILE_SRAM_BYTES`]
+//!   ([`crate::Rule::SramOverBudget`]);
+//! * every extent against the allocator's map — data must live inside a
+//!   recorded allocation ([`crate::Rule::UnallocatedExtent`]);
+//! * every instruction's destination extent against its source extents —
+//!   partial overlap is an error; *identical* extents (the in-place
+//!   `y = x + βy`-style updates) are the deliberate idiom and are allowed
+//!   ([`crate::Rule::DsrOverlap`]).
+
+use crate::program::{all_descriptors, instruction_sites, InstrSite, ResolvedOperand};
+use crate::{Diagnostic, Rule, Severity};
+use wse_arch::core::Core;
+use wse_arch::dsr::Descriptor;
+use wse_arch::fabric::Fabric;
+use wse_arch::memory::{Memory, TILE_SRAM_BYTES};
+
+/// Runs the memory rules on every tile.
+pub fn check(fabric: &Fabric, diags: &mut Vec<Diagnostic>) {
+    for y in 0..fabric.height() {
+        for x in 0..fabric.width() {
+            check_tile(fabric, x, y, diags);
+        }
+    }
+}
+
+/// A byte extent `[start, end)` in tile SRAM.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+struct Extent {
+    start: u32,
+    end: u32,
+}
+
+impl Extent {
+    fn overlaps(self, other: Extent) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+/// The bytes a memory descriptor touches (`None` for empty or non-memory
+/// descriptors).
+fn mem_extent(desc: &Descriptor) -> Option<Extent> {
+    match *desc {
+        Descriptor::Mem { addr, len, stride, dtype, .. } if len > 0 => {
+            Some(Extent { start: addr, end: addr + ((len - 1) * stride + 1) * dtype.bytes() })
+        }
+        _ => None,
+    }
+}
+
+/// The backing region an operand touches in SRAM: a memory descriptor's
+/// extent, or the circular buffer behind a FIFO descriptor.
+fn operand_extent(core: &Core, op: &ResolvedOperand) -> Option<Extent> {
+    match op.desc {
+        Descriptor::Fifo { fifo } => {
+            let f = core.fifo(fifo);
+            Some(Extent { start: f.base, end: f.base + f.capacity * f.dtype.bytes() })
+        }
+        _ => mem_extent(&op.desc),
+    }
+}
+
+fn inside_allocation(mem: &Memory, e: Extent) -> bool {
+    mem.allocations().iter().any(|a| a.contains(e.start, e.end - e.start))
+}
+
+fn check_tile(fabric: &Fabric, x: usize, y: usize, diags: &mut Vec<Diagnostic>) {
+    let tile = fabric.tile(x, y);
+    let core = &tile.core;
+
+    // Budget + allocation audit for every descriptor the program can hold.
+    let mut seen: Vec<(Extent, &'static str)> = Vec::new();
+    for desc in all_descriptors(core) {
+        if let Some(e) = mem_extent(&desc) {
+            seen.push((e, "descriptor"));
+        }
+    }
+    for (id, fifo) in core.fifos() {
+        let e = Extent { start: fifo.base, end: fifo.base + fifo.capacity * fifo.dtype.bytes() };
+        seen.push((e, "fifo"));
+        let _ = id;
+    }
+    seen.sort_by_key(|(e, _)| (e.start, e.end));
+    seen.dedup();
+    for (e, what) in seen {
+        if e.end > TILE_SRAM_BYTES {
+            diags.push(Diagnostic {
+                tile: (x, y),
+                severity: Severity::Error,
+                rule: Rule::SramOverBudget,
+                message: format!(
+                    "{what} extent [{}, {}) reaches past the {TILE_SRAM_BYTES}-byte tile SRAM",
+                    e.start, e.end
+                ),
+            });
+        } else if !inside_allocation(&tile.mem, e) {
+            diags.push(Diagnostic {
+                tile: (x, y),
+                severity: Severity::Error,
+                rule: Rule::UnallocatedExtent,
+                message: format!(
+                    "{what} extent [{}, {}) is not contained in any allocation; it \
+                     aliases whatever the allocator hands out next",
+                    e.start, e.end
+                ),
+            });
+        }
+    }
+
+    // Destination/source aliasing per instruction site.
+    for site in instruction_sites(core) {
+        check_site_overlap(core, x, y, &site, diags);
+    }
+}
+
+fn check_site_overlap(
+    core: &Core,
+    x: usize,
+    y: usize,
+    site: &InstrSite,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let Some(dst) = site.dst.as_ref() else { return };
+    let Some(dst_e) = operand_extent(core, dst) else { return };
+    for src in site.sources() {
+        let Some(src_e) = operand_extent(core, src) else { continue };
+        if !dst_e.overlaps(src_e) {
+            continue;
+        }
+        // The in-place idiom: destination and source are the *same* view
+        // (same address, length, stride, type). Element i is read before
+        // element i is written, so streaming semantics are well defined.
+        if matches!((dst.desc, src.desc), (Descriptor::Mem { .. }, Descriptor::Mem { .. }))
+            && dst.desc == src.desc
+        {
+            continue;
+        }
+        diags.push(Diagnostic {
+            tile: (x, y),
+            severity: Severity::Error,
+            rule: Rule::DsrOverlap,
+            message: format!(
+                "task {} (\"{}\") stmt {}: {:?} destination extent [{}, {}) partially \
+                 overlaps a source extent [{}, {}); streamed writes will clobber \
+                 unread source elements",
+                site.task,
+                site.task_name,
+                site.stmt,
+                site.instr.op,
+                dst_e.start,
+                dst_e.end,
+                src_e.start,
+                src_e.end
+            ),
+        });
+    }
+}

@@ -1,0 +1,7 @@
+//! The rule families. Each submodule exposes
+//! `check(fabric, &mut Vec<Diagnostic>)`.
+
+pub mod colors;
+pub mod memory;
+pub mod routes;
+pub mod tasks;

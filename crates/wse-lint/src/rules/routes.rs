@@ -1,0 +1,216 @@
+//! Route-graph analysis.
+//!
+//! Routing is configured offline and never changes at runtime, so the
+//! forwarding behavior of the whole wafer is a static per-color directed
+//! graph whose nodes are `(tile, input port)` pairs. This module walks that
+//! graph looking for the ways a route configuration can wedge the fabric:
+//!
+//! * fanout off the edge of the fabric ([`crate::Rule::RouteOffFabric`]);
+//! * fanout into a neighbor queue nothing ever drains
+//!   ([`crate::Rule::RouteDangling`]);
+//! * delivery to a core that never consumes the color
+//!   ([`crate::Rule::DeadDelivery`]);
+//! * receive descriptors no route can feed
+//!   ([`crate::Rule::UnreachableReceive`]);
+//! * sends with no route out of the ramp
+//!   ([`crate::Rule::MissingRampRoute`]);
+//! * directed cycles — with credit-based backpressure and all-or-nothing
+//!   fanout, a cycle that fills can never drain
+//!   ([`crate::Rule::RouteCycle`]).
+
+use crate::program::{consumed_colors, produced_colors};
+use crate::{Diagnostic, Rule, Severity};
+use wse_arch::fabric::Fabric;
+use wse_arch::types::{Color, Port, NUM_COLORS};
+
+/// Runs every route rule.
+pub fn check(fabric: &Fabric, diags: &mut Vec<Diagnostic>) {
+    let (w, h) = (fabric.width(), fabric.height());
+    for y in 0..h {
+        for x in 0..w {
+            check_tile(fabric, x, y, diags);
+        }
+    }
+    for color in 0..NUM_COLORS as Color {
+        check_cycles(fabric, color, diags);
+    }
+}
+
+fn neighbor(fabric: &Fabric, x: usize, y: usize, out: Port) -> Option<(usize, usize)> {
+    let (dx, dy) = out.delta();
+    let nx = x as i64 + dx as i64;
+    let ny = y as i64 + dy as i64;
+    if nx < 0 || ny < 0 || nx >= fabric.width() as i64 || ny >= fabric.height() as i64 {
+        None
+    } else {
+        Some((nx as usize, ny as usize))
+    }
+}
+
+fn check_tile(fabric: &Fabric, x: usize, y: usize, diags: &mut Vec<Diagnostic>) {
+    let tile = fabric.tile(x, y);
+    let consumed = consumed_colors(&tile.core);
+    let produced = produced_colors(&tile.core);
+
+    for (in_port, color, fanout) in tile.router.routes() {
+        for &out in fanout {
+            if out == Port::Ramp {
+                // Delivery: the core must have a receive descriptor for it.
+                if !consumed.contains(&color) {
+                    diags.push(Diagnostic {
+                        tile: (x, y),
+                        severity: Severity::Error,
+                        rule: Rule::DeadDelivery,
+                        message: format!(
+                            "route ({in_port:?}, color {color}) delivers to the ramp but no \
+                             task on this tile receives color {color}; the ramp-in queue \
+                             will fill and stall the router"
+                        ),
+                    });
+                }
+                continue;
+            }
+            // Forwarding: the neighbor must exist and must do something
+            // with what arrives.
+            let Some((nx, ny)) = neighbor(fabric, x, y, out) else {
+                diags.push(Diagnostic {
+                    tile: (x, y),
+                    severity: Severity::Error,
+                    rule: Rule::RouteOffFabric,
+                    message: format!(
+                        "route ({in_port:?}, color {color}) forwards {out:?} off the \
+                         {}x{} fabric edge",
+                        fabric.width(),
+                        fabric.height()
+                    ),
+                });
+                continue;
+            };
+            let arrives_at = out.opposite().expect("cardinal port");
+            if fabric.tile(nx, ny).router.route(arrives_at, color).is_none() {
+                diags.push(Diagnostic {
+                    tile: (x, y),
+                    severity: Severity::Error,
+                    rule: Rule::RouteDangling,
+                    message: format!(
+                        "route ({in_port:?}, color {color}) forwards {out:?} to tile \
+                         ({nx}, {ny}) but that router has no rule for ({arrives_at:?}, \
+                         color {color}); flits will pile up and backpressure the sender"
+                    ),
+                });
+            }
+        }
+    }
+
+    // A receive nothing feeds: some route on this tile must deliver the
+    // color to the ramp.
+    for &color in &consumed {
+        let fed =
+            tile.router.routes().any(|(_, c, fanout)| c == color && fanout.contains(&Port::Ramp));
+        if !fed {
+            diags.push(Diagnostic {
+                tile: (x, y),
+                severity: Severity::Error,
+                rule: Rule::UnreachableReceive,
+                message: format!(
+                    "a task receives color {color} but no route on this tile delivers \
+                     color {color} to the ramp; the receive can never complete"
+                ),
+            });
+        }
+    }
+
+    // A send with nowhere to go: injected flits enter the router at the
+    // ramp input port.
+    for &color in &produced {
+        if tile.router.route(Port::Ramp, color).is_none() {
+            diags.push(Diagnostic {
+                tile: (x, y),
+                severity: Severity::Error,
+                rule: Rule::MissingRampRoute,
+                message: format!(
+                    "a task sends on color {color} but the router has no rule for \
+                     (Ramp, color {color}); the injection queue will fill and the \
+                     send thread never finishes"
+                ),
+            });
+        }
+    }
+}
+
+/// Depth-first search for a directed cycle in one color's forwarding graph.
+/// Nodes are `(tile index, input port)`; an edge exists where a configured
+/// route forwards out of a cardinal port into the neighbor's opposite port.
+fn check_cycles(fabric: &Fabric, color: Color, diags: &mut Vec<Diagnostic>) {
+    let (w, h) = (fabric.width(), fabric.height());
+    let node = |x: usize, y: usize, p: Port| (y * w + x) * 5 + p.index();
+    let n_nodes = w * h * 5;
+    // 0 = unvisited, 1 = on the current path, 2 = done.
+    let mut state = vec![0u8; n_nodes];
+
+    let successors = |x: usize, y: usize, p: Port| -> Vec<(usize, usize, Port)> {
+        let Some(fanout) = fabric.tile(x, y).router.route(p, color) else {
+            return Vec::new();
+        };
+        fanout
+            .iter()
+            .filter(|&&o| o != Port::Ramp)
+            .filter_map(|&o| {
+                neighbor(fabric, x, y, o)
+                    .map(|(nx, ny)| (nx, ny, o.opposite().expect("cardinal port")))
+            })
+            .collect()
+    };
+
+    for sy in 0..h {
+        for sx in 0..w {
+            for sp in Port::ALL {
+                if state[node(sx, sy, sp)] != 0 {
+                    continue;
+                }
+                // Iterative DFS with an explicit stack of (node, children,
+                // next-child index).
+                let mut stack = vec![((sx, sy, sp), successors(sx, sy, sp), 0usize)];
+                state[node(sx, sy, sp)] = 1;
+                while !stack.is_empty() {
+                    let last = stack.len() - 1;
+                    let (cx, cy, cp) = stack[last].0;
+                    if stack[last].2 >= stack[last].1.len() {
+                        state[node(cx, cy, cp)] = 2;
+                        stack.pop();
+                        continue;
+                    }
+                    let (nx, ny, np) = stack[last].1[stack[last].2];
+                    stack[last].2 += 1;
+                    match state[node(nx, ny, np)] {
+                        0 => {
+                            state[node(nx, ny, np)] = 1;
+                            stack.push(((nx, ny, np), successors(nx, ny, np), 0));
+                        }
+                        1 => {
+                            // Back edge: reconstruct the cycle from the stack.
+                            let start = stack.iter().position(|e| e.0 == (nx, ny, np)).unwrap_or(0);
+                            let path: Vec<String> = stack[start..]
+                                .iter()
+                                .map(|e| format!("({},{}):{:?}", e.0 .0, e.0 .1, e.0 .2))
+                                .collect();
+                            diags.push(Diagnostic {
+                                tile: (nx, ny),
+                                severity: Severity::Error,
+                                rule: Rule::RouteCycle,
+                                message: format!(
+                                    "color {color} forwarding graph has a cycle [{}]; with \
+                                     credit backpressure a filled cycle can never drain",
+                                    path.join(" -> ")
+                                ),
+                            });
+                            // One report per cycle entry point is enough.
+                            state[node(nx, ny, np)] = 2;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Task-activation reachability.
+//!
+//! Tasks only run when something activates them: the host (declared via
+//! [`Core::mark_entry`]), a data trigger (color binding), another task's
+//! `TaskCtl`, a thread-completion trigger, or a FIFO push with an `onpush`
+//! target. This module computes the fixpoint of "can ever activate" from
+//! those sources and reports:
+//!
+//! * tasks outside the fixpoint ([`crate::Rule::UnreachableTask`]) — dead
+//!   code, or a missing `mark_entry`/trigger edge;
+//! * tasks that start blocked with no reachable unblock
+//!   ([`crate::Rule::BlockedForever`]) — activation without an unblock
+//!   never runs, the silent variant of a dropped barrier edge;
+//! * FIFOs that are written but have neither an `onpush` task nor any
+//!   reachable reader ([`crate::Rule::FifoNeverDrained`]).
+
+use crate::program::instruction_sites;
+use crate::{Diagnostic, Rule, Severity};
+use std::collections::BTreeSet;
+use wse_arch::core::Core;
+use wse_arch::dsr::Descriptor;
+use wse_arch::fabric::Fabric;
+use wse_arch::instr::TaskAction;
+use wse_arch::types::Port;
+
+/// Runs the task rules on every tile.
+pub fn check(fabric: &Fabric, diags: &mut Vec<Diagnostic>) {
+    for y in 0..fabric.height() {
+        for x in 0..fabric.width() {
+            check_tile(fabric, x, y, diags);
+        }
+    }
+}
+
+fn check_tile(fabric: &Fabric, x: usize, y: usize, diags: &mut Vec<Diagnostic>) {
+    let tile = fabric.tile(x, y);
+    let core = &tile.core;
+    let sites = instruction_sites(core);
+
+    // Activation roots: already-activated tasks, declared entries, and data
+    // triggers whose color some route actually delivers to this ramp.
+    let mut reachable: BTreeSet<usize> = BTreeSet::new();
+    for (id, task) in core.tasks() {
+        if task.start_activated || core.task_activated(id) {
+            reachable.insert(id);
+        }
+    }
+    reachable.extend(core.entry_tasks().iter().copied());
+    for b in core.bindings() {
+        let delivered =
+            tile.router.routes().any(|(_, c, fanout)| c == b.color && fanout.contains(&Port::Ramp));
+        if delivered {
+            reachable.insert(b.task);
+        }
+    }
+
+    // Fixpoint: activations reachable tasks can perform.
+    loop {
+        let mut grew = false;
+        let add = |set: &mut BTreeSet<usize>, id: usize, grew: &mut bool| {
+            if set.insert(id) {
+                *grew = true;
+            }
+        };
+        for (id, task) in core.tasks() {
+            if !reachable.contains(&id) {
+                continue;
+            }
+            for stmt in &task.body {
+                if let wse_arch::instr::Stmt::TaskCtl { task: t, action: TaskAction::Activate } =
+                    stmt
+                {
+                    add(&mut reachable, *t, &mut grew);
+                }
+            }
+        }
+        for site in &sites {
+            if !reachable.contains(&site.task) {
+                continue;
+            }
+            if let Some((t, TaskAction::Activate)) = site.on_complete {
+                add(&mut reachable, t, &mut grew);
+            }
+            // A push into a FIFO activates its onpush task.
+            if let Some(dst) = &site.dst {
+                if let Descriptor::Fifo { fifo } = dst.desc {
+                    if let Some(t) = core.fifo(fifo).onpush {
+                        add(&mut reachable, t, &mut grew);
+                    }
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    // Unblock edges available from reachable code.
+    let mut unblockable: BTreeSet<usize> = BTreeSet::new();
+    for (id, task) in core.tasks() {
+        if !reachable.contains(&id) {
+            continue;
+        }
+        for stmt in &task.body {
+            if let wse_arch::instr::Stmt::TaskCtl { task: t, action: TaskAction::Unblock } = stmt {
+                unblockable.insert(*t);
+            }
+        }
+    }
+    for site in &sites {
+        if reachable.contains(&site.task) {
+            if let Some((t, TaskAction::Unblock)) = site.on_complete {
+                unblockable.insert(t);
+            }
+        }
+    }
+
+    for (id, task) in core.tasks() {
+        if !reachable.contains(&id) {
+            diags.push(Diagnostic {
+                tile: (x, y),
+                severity: Severity::Error,
+                rule: Rule::UnreachableTask,
+                message: format!(
+                    "task {id} (\"{}\") can never activate: it is not an entry point, \
+                     has no deliverable data trigger, and no reachable task or thread \
+                     completion activates it",
+                    task.name
+                ),
+            });
+        } else if core.task_blocked(id) && !unblockable.contains(&id) {
+            diags.push(Diagnostic {
+                tile: (x, y),
+                severity: Severity::Error,
+                rule: Rule::BlockedForever,
+                message: format!(
+                    "task {id} (\"{}\") starts blocked and nothing reachable ever \
+                     unblocks it; activations will queue forever",
+                    task.name
+                ),
+            });
+        }
+    }
+
+    check_fifos(core, x, y, &sites, &reachable, diags);
+}
+
+fn check_fifos(
+    core: &Core,
+    x: usize,
+    y: usize,
+    sites: &[crate::program::InstrSite],
+    reachable: &BTreeSet<usize>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for (fid, fifo) in core.fifos() {
+        let written = sites.iter().any(|s| {
+            reachable.contains(&s.task)
+                && s.dst
+                    .as_ref()
+                    .is_some_and(|d| matches!(d.desc, Descriptor::Fifo { fifo } if fifo == fid))
+        });
+        if !written {
+            continue;
+        }
+        let read = sites.iter().any(|s| {
+            reachable.contains(&s.task)
+                && s.sources().any(|op| matches!(op.desc, Descriptor::Fifo { fifo } if fifo == fid))
+        });
+        if fifo.onpush.is_none() && !read {
+            diags.push(Diagnostic {
+                tile: (x, y),
+                severity: Severity::Error,
+                rule: Rule::FifoNeverDrained,
+                message: format!(
+                    "fifo {fid} is written by a reachable task but has no onpush \
+                     target and no reachable reader; pushes fill it and stall the \
+                     writer"
+                ),
+            });
+        }
+    }
+}

@@ -27,10 +27,7 @@ fn main() {
     let cycles = solver.iterate(&mut fabric);
     let samples: Vec<_> = fabric.samples().to_vec();
 
-    println!(
-        "one BiCGStab iteration on a {n}x{n} fabric, z = {z}: {} cycles",
-        cycles.total()
-    );
+    println!("one BiCGStab iteration on a {n}x{n} fabric, z = {z}: {} cycles", cycles.total());
     println!(
         "phases: spmv {} | dot {} | allreduce {} | update {} | scalar {}",
         cycles.spmv, cycles.dot, cycles.allreduce, cycles.update, cycles.scalar

@@ -15,14 +15,14 @@ use wafer_stencil::stencil_::precond::jacobi_scale;
 use wafer_stencil::stencil_::variable::{variable_diffusion, DiffusivityField};
 
 fn main() {
-    let contrast_exp: i32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(3);
+    let contrast_exp: i32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(3);
     let contrast = 10f64.powi(contrast_exp);
 
     let mesh = Mesh3D::new(5, 5, 8);
-    println!("random log-uniform diffusivity, contrast 1:{contrast:.0}, mesh {}x{}x{}", mesh.nx, mesh.ny, mesh.nz);
+    println!(
+        "random log-uniform diffusivity, contrast 1:{contrast:.0}, mesh {}x{}x{}",
+        mesh.nx, mesh.ny, mesh.nz
+    );
     let field = DiffusivityField::random(mesh, 1.0 / contrast, 1.0, 2024);
     let a = variable_diffusion(&field);
     let exact: Vec<f64> = (0..mesh.len()).map(|i| ((i * 7) % 13) as f64 * 0.1 - 0.6).collect();
@@ -50,7 +50,10 @@ fn main() {
     let wafer = WaferBicgstab::build(&mut fabric, &a16);
     let (_, stats) = wafer.solve(&mut fabric, &b16, 25);
     let wafer_best = stats.residuals.iter().copied().fold(f64::INFINITY, f64::min);
-    println!("on-wafer BiCGStab best residual: {wafer_best:.2e} ({} iterations run)", stats.residuals.len());
+    println!(
+        "on-wafer BiCGStab best residual: {wafer_best:.2e} ({} iterations run)",
+        stats.residuals.len()
+    );
 
     // Refinement: fp16 inner solves, fp64 answer.
     let refined = iterative_refinement::<MixedF16>(

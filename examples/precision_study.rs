@@ -47,6 +47,14 @@ fn main() {
     println!("\nattainable accuracy:");
     println!("  fp64      best = {:.2e}  ({})", fp64.best(), fp64.outcome);
     println!("  fp32      best = {:.2e}  ({})", fp32.best(), fp32.outcome);
-    println!("  mixed     best = {:.2e}  ({})  <- plateaus near fp16 precision (paper: ~1e-2)", mixed.best(), mixed.outcome);
-    println!("  pure fp16 best = {:.2e}  ({})  <- the ablation the mixed dot avoids", pure16.best(), pure16.outcome);
+    println!(
+        "  mixed     best = {:.2e}  ({})  <- plateaus near fp16 precision (paper: ~1e-2)",
+        mixed.best(),
+        mixed.outcome
+    );
+    println!(
+        "  pure fp16 best = {:.2e}  ({})  <- the ablation the mixed dot avoids",
+        pure16.best(),
+        pure16.outcome
+    );
 }

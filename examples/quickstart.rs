@@ -54,10 +54,7 @@ fn main() {
     // 5. Compare against the known exact solution.
     let exact = problem.exact.as_ref().unwrap();
     let err = |x: &[F16]| -> f64 {
-        x.iter()
-            .zip(exact)
-            .map(|(a, b)| (a.to_f64() - b).abs())
-            .fold(0.0_f64, f64::max)
+        x.iter().zip(exact).map(|(a, b)| (a.to_f64() - b).abs()).fold(0.0_f64, f64::max)
     };
     println!("\nmax error vs exact solution:");
     println!("  wafer: {:.4}", err(&x_wafer));

@@ -31,7 +31,11 @@ fn main() {
     }
 
     println!("CS-1 (modeled): {:.1} us per iteration on 600x595x1536", headline.time_us);
-    println!("              = {:.2} PFLOPS at {:.0}% of used-core peak", headline.pflops, headline.utilization * 100.0);
+    println!(
+        "              = {:.2} PFLOPS at {:.0}% of used-core peak",
+        headline.pflops,
+        headline.utilization * 100.0
+    );
     let ratio = joule.time_per_iteration(600, 16384) / (headline.time_us * 1e-6);
     println!("16,384-core cluster / CS-1 time ratio: {ratio:.0}x (paper: about 214x)\n");
 
@@ -46,7 +50,12 @@ fn main() {
     ]) {
         println!(
             "{:>6}x{:<4}x{:<6} {:>12.1} {:>10.2} {:>11.0}%",
-            x, y, z, p.time_us, p.pflops, p.utilization * 100.0
+            x,
+            y,
+            z,
+            p.time_us,
+            p.pflops,
+            p.utilization * 100.0
         );
     }
 

@@ -32,9 +32,8 @@ fn main() {
             }
         }
         let a16: DiaMatrix<F16> = a.convert();
-        let v: Vec<F16> = (0..mesh.len())
-            .map(|i| F16::from_f64(((i % 8) as f64 - 4.0) * 0.25))
-            .collect();
+        let v: Vec<F16> =
+            (0..mesh.len()).map(|i| F16::from_f64(((i % 8) as f64 - 4.0) * 0.25)).collect();
 
         let mut fabric = Fabric::new(w, h);
         let spmv = WaferSpmv::build(&mut fabric, &a16);
@@ -44,10 +43,7 @@ fn main() {
         // data, so summation order cannot matter).
         let mut u_host = vec![F16::ZERO; mesh.len()];
         a16.matvec(&v, &mut u_host);
-        let exact = u_wafer
-            .iter()
-            .zip(&u_host)
-            .all(|(a, b)| a.to_bits() == b.to_bits());
+        let exact = u_wafer.iter().zip(&u_host).all(|(a, b)| a.to_bits() == b.to_bits());
 
         let perf = fabric.perf();
         println!(

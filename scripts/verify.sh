@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, test, static checks.
+#
+# The first two steps are the repo's historical tier-1 gate (ROADMAP.md);
+# the clippy/fmt steps extend it so style and lint regressions fail CI the
+# same way broken tests do. The final step runs the wse-lint static
+# verifier over every shipped kernel configuration.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q --workspace =="
+cargo test -q --workspace
+
+echo "== cargo clippy --all-targets -- -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== wse-lint (shipped kernel configurations) =="
+cargo run -q --release --bin wse-lint
+
+echo "verify: OK"

@@ -1,0 +1,148 @@
+//! Lints the standard shipped kernel configurations and prints every
+//! diagnostic the static verifier produces.
+//!
+//! Usage:
+//!
+//! ```text
+//! wse-lint [CONFIG ...]
+//! ```
+//!
+//! With no arguments every standard configuration is checked. Exits with
+//! status 1 if any configuration produces an error-severity diagnostic.
+//! Available configurations: `spmv3d`, `spmv2d`, `allreduce`, `bicgstab`,
+//! `bicgstab-fused`, `cg`, `cg-single`, `bicgstab2d`.
+
+use stencil::decomp::Block2D;
+use stencil::dia::DiaMatrix;
+use stencil::mesh::Mesh3D;
+use stencil::precond::jacobi_scale;
+use stencil::problem::manufactured;
+use stencil::stencil9::convection_diffusion9;
+use wse_arch::Fabric;
+use wse_core::allreduce::AllReduce;
+use wse_core::bicgstab2d::WaferBicgstab2d;
+use wse_core::cg::{CgVariant, WaferCg};
+use wse_core::spmv2d::WaferSpmv2d;
+use wse_core::{WaferBicgstab, WaferSpmv};
+use wse_float::F16;
+use wse_lint::{lint, Severity};
+
+const ALL: &[&str] = &[
+    "spmv3d",
+    "spmv2d",
+    "allreduce",
+    "bicgstab",
+    "bicgstab-fused",
+    "cg",
+    "cg-single",
+    "bicgstab2d",
+];
+
+fn system3d(w: usize, h: usize, z: usize) -> DiaMatrix<F16> {
+    let mesh = Mesh3D::new(w, h, z);
+    manufactured(mesh, (1.0, -0.5, 0.5), 11).preconditioned().matrix.convert()
+}
+
+fn system2d(w: usize, h: usize, block: Block2D) -> DiaMatrix<F16> {
+    let mesh = block.covered_mesh(w, h);
+    let a = convection_diffusion9(mesh, (1.5, -0.5));
+    let x: Vec<f64> = (0..mesh.len()).map(|i| ((i % 9) as f64) * 0.125 - 0.5).collect();
+    let mut b = vec![0.0; mesh.len()];
+    a.matvec_f64(&x, &mut b);
+    jacobi_scale(&a, &b).matrix.convert()
+}
+
+/// Builds the named configuration on a fresh fabric and returns it.
+fn build(config: &str) -> Fabric {
+    match config {
+        "spmv3d" => {
+            let a = system3d(3, 3, 8);
+            let mut fabric = Fabric::new(3, 3);
+            let _ = WaferSpmv::build(&mut fabric, &a);
+            fabric
+        }
+        "spmv2d" => {
+            let block = Block2D::new(4, 4);
+            let a = system2d(3, 3, block);
+            let mut fabric = Fabric::new(3, 3);
+            let _ = WaferSpmv2d::build(&mut fabric, &a, block);
+            fabric
+        }
+        "allreduce" => {
+            let mut fabric = Fabric::new(4, 4);
+            let _ = AllReduce::build(&mut fabric, 4, 4, 24, 25, 26);
+            fabric
+        }
+        "bicgstab" => {
+            let a = system3d(3, 3, 6);
+            let mut fabric = Fabric::new(3, 3);
+            let _ = WaferBicgstab::build(&mut fabric, &a);
+            fabric
+        }
+        "bicgstab-fused" => {
+            let a = system3d(3, 3, 6);
+            let mut fabric = Fabric::new(3, 3);
+            let _ = WaferBicgstab::build_fused(&mut fabric, &a);
+            fabric
+        }
+        "cg" => {
+            let a = system3d(3, 3, 6);
+            let mut fabric = Fabric::new(3, 3);
+            let _ = WaferCg::build(&mut fabric, &a, CgVariant::Standard);
+            fabric
+        }
+        "cg-single" => {
+            let a = system3d(3, 3, 6);
+            let mut fabric = Fabric::new(3, 3);
+            let _ = WaferCg::build(&mut fabric, &a, CgVariant::SingleReduction);
+            fabric
+        }
+        "bicgstab2d" => {
+            let block = Block2D::new(3, 3);
+            let a = system2d(3, 3, block);
+            let mut fabric = Fabric::new(3, 3);
+            let _ = WaferBicgstab2d::build(&mut fabric, &a, block);
+            fabric
+        }
+        other => {
+            eprintln!("unknown configuration `{other}`; available: {}", ALL.join(", "));
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: wse-lint [CONFIG ...]\nconfigurations: {}", ALL.join(", "));
+        return;
+    }
+    let configs: Vec<&str> =
+        if args.is_empty() { ALL.to_vec() } else { args.iter().map(|s| s.as_str()).collect() };
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for config in configs {
+        let fabric = build(config);
+        let diags = lint(&fabric);
+        if diags.is_empty() {
+            println!("{config}: clean ({}x{} fabric)", fabric.width(), fabric.height());
+            continue;
+        }
+        println!("{config}: {} diagnostic(s)", diags.len());
+        for d in &diags {
+            println!("  {d}");
+            match d.severity {
+                Severity::Error => errors += 1,
+                Severity::Warning => warnings += 1,
+            }
+        }
+    }
+    if errors > 0 {
+        eprintln!("wse-lint: {errors} error(s), {warnings} warning(s)");
+        std::process::exit(1);
+    }
+    if warnings > 0 {
+        println!("wse-lint: {warnings} warning(s)");
+    }
+}

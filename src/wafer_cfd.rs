@@ -82,13 +82,8 @@ impl WaferSimple {
             let scaled = jacobi_scale(&sys.matrix, &sys.rhs);
             let mut ax = vec![0.0; x.len()];
             scaled.matrix.matvec_f64(&x, &mut ax);
-            let num: f64 = scaled
-                .rhs
-                .iter()
-                .zip(&ax)
-                .map(|(b, a)| (b - a) * (b - a))
-                .sum::<f64>()
-                .sqrt();
+            let num: f64 =
+                scaled.rhs.iter().zip(&ax).map(|(b, a)| (b - a) * (b - a)).sum::<f64>().sqrt();
             let den: f64 = scaled.rhs.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-300);
             stats.momentum_residual = stats.momentum_residual.max(num / den);
             *self.field.component_mut(comp) = x;
@@ -148,10 +143,8 @@ mod tests {
         let params = SimpleParams::default();
         let mut ws = WaferSimple::new(n, params);
         ws.run(6);
-        let mut host = cfd::simple::SimpleSolver::new(
-            StaggeredGrid::new(n, n, n, 1.0 / n as f64),
-            params,
-        );
+        let mut host =
+            cfd::simple::SimpleSolver::new(StaggeredGrid::new(n, n, n, 1.0 / n as f64), params);
         host.run(6);
         // Compare the u-fields: correlated within fp16-solve tolerance.
         let (a, b) = (&ws.field.u, &host.field.u);

@@ -31,11 +31,8 @@ fn cfd_momentum_system_solves_on_the_wafer() {
     // Cross-check against the host solver at the same precision.
     let opts = SolveOptions { max_iters: 10, rtol: 0.0, record_true_residual: false };
     let host = bicgstab::<MixedF16>(&a16, &b16, &opts);
-    let max_dev = x
-        .iter()
-        .zip(&host.x)
-        .map(|(a, b)| (a.to_f64() - b.to_f64()).abs())
-        .fold(0.0_f64, f64::max);
+    let max_dev =
+        x.iter().zip(&host.x).map(|(a, b)| (a.to_f64() - b.to_f64()).abs()).fold(0.0_f64, f64::max);
     let scale = host.x.iter().map(|v| v.to_f64().abs()).fold(0.0_f64, f64::max);
     assert!(
         max_dev < 0.1 * scale.max(0.1),
@@ -85,17 +82,11 @@ fn precision_not_algorithm_separates_wafer_from_fp64() {
     let mut fabric = Fabric::new(4, 4);
     let wafer = WaferBicgstab::build(&mut fabric, &a16);
     let (x, _) = wafer.solve(&mut fabric, &b16, 15);
-    let wafer_err = x
-        .iter()
-        .zip(&exact)
-        .map(|(a, b)| (a.to_f64() - b).abs())
-        .fold(0.0_f64, f64::max);
+    let wafer_err =
+        x.iter().zip(&exact).map(|(a, b)| (a.to_f64() - b).abs()).fold(0.0_f64, f64::max);
     let scale = exact.iter().map(|v| v.abs()).fold(0.0_f64, f64::max);
     // fp16 has ~1e-3 relative precision; conditioning costs a bit more.
-    assert!(
-        wafer_err < 0.05 * scale.max(1.0),
-        "wafer err {wafer_err} vs scale {scale}"
-    );
+    assert!(wafer_err < 0.05 * scale.max(1.0), "wafer err {wafer_err} vs scale {scale}");
     assert!(wafer_err > host_err, "fp16 cannot beat fp64");
 }
 
@@ -113,8 +104,5 @@ fn iteration_cycles_are_stable() {
     let mean = totals.iter().sum::<f64>() / totals.len() as f64;
     let var = totals.iter().map(|t| (t - mean).powi(2)).sum::<f64>() / totals.len() as f64;
     let rel_std = var.sqrt() / mean;
-    assert!(
-        rel_std < 0.05,
-        "cycle count should be nearly deterministic: rel std {rel_std}"
-    );
+    assert!(rel_std < 0.05, "cycle count should be nearly deterministic: rel std {rel_std}");
 }

@@ -13,11 +13,7 @@ use wafer_stencil::stencil_::dia::Offset3;
 /// every partial sum of the seven terms has numerator well under 2¹¹ —
 /// no rounding anywhere, making summation order irrelevant and bit-exact
 /// comparison against the host valid.
-fn exact_system(
-    mesh: Mesh3D,
-    coef_seed: Vec<i8>,
-    v_seed: Vec<i8>,
-) -> (DiaMatrix<F16>, Vec<F16>) {
+fn exact_system(mesh: Mesh3D, coef_seed: Vec<i8>, v_seed: Vec<i8>) -> (DiaMatrix<F16>, Vec<F16>) {
     let mut a = DiaMatrix::<f64>::new(mesh, &Offset3::seven_point());
     let mut ci = 0usize;
     let coef = |s: &Vec<i8>, i: &mut usize| -> f64 {
@@ -34,9 +30,7 @@ fn exact_system(
         }
     }
     let mut vi = 0usize;
-    let v: Vec<F16> = (0..mesh.len())
-        .map(|_| F16::from_f64(coef(&v_seed, &mut vi)))
-        .collect();
+    let v: Vec<F16> = (0..mesh.len()).map(|_| F16::from_f64(coef(&v_seed, &mut vi))).collect();
     (a.convert(), v)
 }
 

@@ -1,0 +1,154 @@
+//! Value-generation strategies: ranges, tuples, `Just`, `any`, and the
+//! `prop_map`/`prop_filter` combinators.
+
+use crate::test_runner::TestRng;
+use core::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of type [`Strategy::Value`].
+///
+/// `try_sample` returns `None` when the draw was rejected (e.g. by
+/// [`Strategy::prop_filter`]); the runner retries with a fresh case.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Draws one value, or `None` if the draw was rejected.
+    fn try_sample(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Transforms generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects generated values for which `f` returns `false`. The `_whence`
+    /// label matches upstream's diagnostic argument and is not used here.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        _whence: &'static str,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, f }
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn try_sample(&self, rng: &mut TestRng) -> Option<U> {
+        self.inner.try_sample(rng).map(&self.f)
+    }
+}
+
+/// Result of [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn try_sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.inner.try_sample(rng).filter(|v| (self.f)(v))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn try_sample(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// Strategy behind [`crate::any`].
+pub struct Any<T>(pub(crate) core::marker::PhantomData<T>);
+
+impl<T: crate::Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn try_sample(&self, rng: &mut TestRng) -> Option<T> {
+        Some(T::arbitrary(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn try_sample(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                Some((self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn try_sample(&self, rng: &mut TestRng) -> Option<$t> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                Some((lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn try_sample(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                let v = self.start as f64 + (self.end as f64 - self.start as f64) * u;
+                Some(if v >= self.end as f64 { self.start } else { v as $t })
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn try_sample(&self, rng: &mut TestRng) -> Option<$t> {
+                let (lo, hi) = (*self.start() as f64, *self.end() as f64);
+                assert!(lo <= hi, "cannot sample empty range");
+                let u = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+                Some((lo + (hi - lo) * u) as $t)
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn try_sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                Some(($($name.try_sample(rng)?,)+))
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);

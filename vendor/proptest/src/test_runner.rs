@@ -1,0 +1,136 @@
+//! Case runner: configuration, the per-test RNG, and the pass/reject/fail
+//! protocol the `proptest!` macro expands to.
+
+/// Runner configuration (the `cases` knob is the only one honored).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of passing cases required for the property to succeed.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; a leaner default keeps full-workspace
+        // test runs fast while still exploring the space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was discarded (`prop_assume!` or a filtered strategy draw).
+    Reject,
+    /// A `prop_assert*!` failed with this message.
+    Fail(String),
+}
+
+/// Deterministic per-test random source (SplitMix64). Seeded from the test
+/// name so failures reproduce run-to-run without a persistence file.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    fn from_name(name: &str) -> Self {
+        // FNV-1a over the test name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Drives `case` until `config.cases` cases pass, panicking on the first
+/// failure. Rejections (assumptions/filters) are retried, with a cap to catch
+/// assumption sets that can never be satisfied.
+pub fn run_cases(
+    config: &ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let mut rng = TestRng::from_name(name);
+    let mut passed = 0u32;
+    let mut rejected = 0u64;
+    let reject_cap = config.cases as u64 * 16 + 1024;
+    while passed < config.cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= reject_cap,
+                    "proptest '{name}': gave up after {rejected} rejected cases \
+                     ({passed}/{} passed)",
+                    config.cases
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest '{name}' failed after {passed} passing case(s): {msg}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = super::TestRng::from_name("x");
+        let mut b = super::TestRng::from_name("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn ranges_and_vecs(
+            n in 1usize..10,
+            v in prop::collection::vec(-5i8..5, 3..7),
+            flag in any::<bool>(),
+            fixed in Just(13u8),
+        ) {
+            prop_assert!((1..10).contains(&n));
+            prop_assert!(v.len() >= 3 && v.len() < 7, "len {}", v.len());
+            prop_assert!(v.iter().all(|&x| (-5..5).contains(&x)));
+            prop_assert_eq!(fixed, 13u8);
+            prop_assert_ne!(flag as u8, 2);
+        }
+
+        #[test]
+        fn assume_and_map_work(x in (0u32..100).prop_map(|v| v * 2)) {
+            prop_assume!(x != 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gave up")]
+    fn impossible_assumption_gives_up() {
+        super::run_cases(&ProptestConfig::with_cases(4), "impossible", |_| {
+            Err(super::TestCaseError::Reject)
+        });
+    }
+}

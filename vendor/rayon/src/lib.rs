@@ -1,0 +1,165 @@
+//! Offline drop-in shim for the subset of the `rayon` API used by this
+//! workspace: `slice.par_iter_mut()` followed by `.for_each(..)` or
+//! `.enumerate().map(..).collect()`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! minimal API-compatible stand-ins for its external dependencies. Unlike a
+//! toy sequential fallback, this shim does run work in parallel: slices are
+//! split into one contiguous chunk per available hardware thread and executed
+//! under [`std::thread::scope`]. For the fabric-stepping hot loops (thousands
+//! of independent tiles per phase) that recovers most of rayon's benefit
+//! without the work-stealing machinery.
+
+#![warn(missing_docs)]
+
+/// Number of worker threads to use for `len` items.
+fn threads_for(len: usize) -> usize {
+    if len < 2 {
+        return 1;
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(len)
+}
+
+/// Splits `slice` into per-thread chunks and maps `f` over `(index, item)`
+/// pairs, preserving input order in the result.
+fn map_indexed<T, R, F>(slice: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let n = slice.len();
+    let threads = threads_for(n);
+    if threads <= 1 {
+        return slice.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut results: Vec<Vec<R>> = Vec::with_capacity(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = slice
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(ci, ch)| {
+                let f = &f;
+                s.spawn(move || {
+                    ch.iter_mut().enumerate().map(|(i, t)| f(ci * chunk + i, t)).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(v) => results.push(v),
+                Err(e) => std::panic::resume_unwind(e),
+            }
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// Parallel iterator over `&mut` slice elements.
+pub struct ParIterMut<'a, T>(&'a mut [T]);
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Runs `f` on every element, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        map_indexed(self.0, |_, t| f(t));
+    }
+
+    /// Pairs each element with its index.
+    pub fn enumerate(self) -> ParEnumerate<'a, T> {
+        ParEnumerate(self.0)
+    }
+}
+
+/// Index-carrying parallel iterator (result of [`ParIterMut::enumerate`]).
+pub struct ParEnumerate<'a, T>(&'a mut [T]);
+
+impl<'a, T: Send> ParEnumerate<'a, T> {
+    /// Maps `(index, &mut item)` pairs through `f`, in parallel.
+    pub fn map<R, F>(self, f: F) -> ParEnumMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn((usize, &mut T)) -> R + Sync,
+    {
+        ParEnumMap { slice: self.0, f }
+    }
+}
+
+/// Mapped parallel iterator awaiting collection.
+pub struct ParEnumMap<'a, T, F> {
+    slice: &'a mut [T],
+    f: F,
+}
+
+impl<'a, T: Send, F> ParEnumMap<'a, T, F> {
+    /// Executes the map in parallel and collects results in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn((usize, &mut T)) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        map_indexed(self.slice, |i, t| (self.f)((i, t))).into_iter().collect()
+    }
+}
+
+/// Extension trait adding `par_iter_mut` to slices (and, via deref, `Vec`).
+pub trait ParallelSliceMut<T: Send> {
+    /// Returns a parallel iterator over mutable references.
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut(self)
+    }
+}
+
+/// The customary glob-import module mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::ParallelSliceMut;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn for_each_touches_every_element() {
+        let mut v: Vec<u64> = (0..1000).collect();
+        v.par_iter_mut().for_each(|x| *x *= 2);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == 2 * i as u64));
+    }
+
+    #[test]
+    fn enumerate_map_collect_preserves_order() {
+        let mut v: Vec<u32> = vec![5; 257];
+        let out: Vec<(usize, u32)> =
+            v.par_iter_mut().enumerate().map(|(i, t)| (i, *t + i as u32)).collect();
+        for (i, &(j, x)) in out.iter().enumerate() {
+            assert_eq!(i, j);
+            assert_eq!(x, 5 + i as u32);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_slices_work() {
+        let mut e: Vec<u8> = Vec::new();
+        e.par_iter_mut().for_each(|_| unreachable!());
+        let mut one = [7u8];
+        one.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(one[0], 8);
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            let mut v = [0u8; 64];
+            v.par_iter_mut().for_each(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+}
