@@ -14,12 +14,14 @@
 
 use crate::allreduce::AllReduce;
 use crate::kernels::{dot_stmts, xpay_stmts};
+use crate::recovery::{self, run_with_recovery, RecoveryLog, RecoveryPolicy, ResidualTripwire};
 use crate::routing::configure_spmv_routes;
 use crate::spmv3d::{build_spmv_tile, load_coefficients, tile_coefficients, SpmvLayout, SpmvTasks};
 use stencil::decomp::Mapping3D;
 use stencil::dia::DiaMatrix;
 use stencil::precond::has_unit_diagonal;
 use wse_arch::dsr::mk;
+use wse_arch::fabric::StallReport;
 use wse_arch::instr::{Op, RegOp, Stmt, Task, TensorInstr};
 use wse_arch::types::{Dtype, TaskId};
 use wse_arch::Fabric;
@@ -552,9 +554,15 @@ impl WaferBicgstab {
         y * self.mapping.fabric_w + x
     }
 
-    /// Activates one phase task on every tile and runs to quiescence,
-    /// returning the cycles it took.
-    fn phase(&self, fabric: &mut Fabric, pick: impl Fn(&TileTasks) -> TaskId) -> u64 {
+    /// Activates one phase task on every tile, runs to quiescence under the
+    /// fabric stall watchdog, and returns the cycles it took — or the
+    /// watchdog's [`StallReport`] instead of panicking, so the recovery
+    /// layer can roll back.
+    fn try_phase(
+        &self,
+        fabric: &mut Fabric,
+        pick: impl Fn(&TileTasks) -> TaskId,
+    ) -> Result<u64, Box<StallReport>> {
         let m = self.mapping;
         for y in 0..m.fabric_h {
             for x in 0..m.fabric_w {
@@ -563,12 +571,17 @@ impl WaferBicgstab {
             }
         }
         let budget = 200 * m.z as u64 + 200 * (m.fabric_w + m.fabric_h) as u64 + 50_000;
-        fabric.run_until_quiescent(budget).unwrap_or_else(|e| panic!("bicgstab phase stalled: {e}"))
+        fabric.run_watched(budget, recovery::STALL_WINDOW)
     }
 
     /// Loads the right-hand side and zeroes the iterate: `r = r̂₀ = p = b`,
     /// `x = 0`, then computes ρ₀ = (r̂₀, r) on the wafer.
     pub fn load_rhs(&self, fabric: &mut Fabric, b: &[F16]) {
+        self.try_load_rhs(fabric, b).unwrap_or_else(|e| panic!("bicgstab load stalled: {e}"))
+    }
+
+    /// Fallible [`WaferBicgstab::load_rhs`] (see [`WaferBicgstab::try_phase`]).
+    pub fn try_load_rhs(&self, fabric: &mut Fabric, b: &[F16]) -> Result<(), Box<StallReport>> {
         let m = self.mapping;
         assert_eq!(b.len(), m.cores() * m.z, "rhs length mismatch");
         for y in 0..m.fabric_h {
@@ -587,27 +600,26 @@ impl WaferBicgstab {
             }
         }
         // ρ₀ = (r̂₀, r).
-        self.phase(fabric, |t| t.dot_rho);
-        self.allreduce_phase(fabric);
-        self.phase(fabric, |t| t.init_rho);
+        self.try_phase(fabric, |t| t.dot_rho)?;
+        self.try_allreduce_phase(fabric)?;
+        self.try_phase(fabric, |t| t.init_rho)?;
+        Ok(())
     }
 
-    fn allreduce_phase(&self, fabric: &mut Fabric) -> u64 {
+    fn try_allreduce_phase(&self, fabric: &mut Fabric) -> Result<u64, Box<StallReport>> {
         let m = self.mapping;
         for y in 0..m.fabric_h {
             for x in 0..m.fabric_w {
                 fabric.tile_mut(x, y).core.activate(self.allreduce.task(x, y));
             }
         }
-        fabric
-            .run_until_quiescent(100 * (m.fabric_w + m.fabric_h) as u64 + 50_000)
-            .unwrap_or_else(|e| panic!("allreduce stalled: {e}"))
+        fabric.run_watched(100 * (m.fabric_w + m.fabric_h) as u64 + 50_000, recovery::STALL_WINDOW)
     }
 
     /// Fused mode: one combined task per tile drives both reduction
     /// networks concurrently (all upstream work before either blocking
     /// broadcast receive).
-    fn allreduce_phase_both(&self, fabric: &mut Fabric) -> u64 {
+    fn try_allreduce_phase_both(&self, fabric: &mut Fabric) -> Result<u64, Box<StallReport>> {
         let m = self.mapping;
         for y in 0..m.fabric_h {
             for x in 0..m.fabric_w {
@@ -615,58 +627,67 @@ impl WaferBicgstab {
                 fabric.tile_mut(x, y).core.activate(t);
             }
         }
-        fabric
-            .run_until_quiescent(100 * (m.fabric_w + m.fabric_h) as u64 + 50_000)
-            .unwrap_or_else(|e| panic!("fused allreduce stalled: {e}"))
+        fabric.run_watched(100 * (m.fabric_w + m.fabric_h) as u64 + 50_000, recovery::STALL_WINDOW)
     }
 
     /// Runs one BiCGStab iteration, returning its cycle breakdown.
     pub fn iterate(&self, fabric: &mut Fabric) -> IterCycles {
+        self.try_iterate(fabric).unwrap_or_else(|e| panic!("bicgstab iteration stalled: {e}"))
+    }
+
+    /// Fallible [`WaferBicgstab::iterate`] (see [`WaferBicgstab::try_phase`]).
+    pub fn try_iterate(&self, fabric: &mut Fabric) -> Result<IterCycles, Box<StallReport>> {
         let mut c = IterCycles::default();
         // s := A p
-        c.spmv += self.phase(fabric, |t| t.spmv_ps.start);
+        c.spmv += self.try_phase(fabric, |t| t.spmv_ps.start)?;
         // α := ρ / (r̂₀, s)
-        c.dot += self.phase(fabric, |t| t.dot_r0s);
-        c.allreduce += self.allreduce_phase(fabric);
-        c.scalar += self.phase(fabric, |t| t.post_r0s);
+        c.dot += self.try_phase(fabric, |t| t.dot_r0s)?;
+        c.allreduce += self.try_allreduce_phase(fabric)?;
+        c.scalar += self.try_phase(fabric, |t| t.post_r0s)?;
         // q := r − α s
-        c.update += self.phase(fabric, |t| t.upd_q);
+        c.update += self.try_phase(fabric, |t| t.upd_q)?;
         // y := A q
-        c.spmv += self.phase(fabric, |t| t.spmv_qy.start);
+        c.spmv += self.try_phase(fabric, |t| t.spmv_qy.start)?;
         // ω := (q,y) / (y,y)
         if self.fused {
-            c.dot += self.phase(fabric, |t| t.dot_qy_yy);
-            c.allreduce += self.allreduce_phase_both(fabric);
-            c.scalar += self.phase(fabric, |t| t.post_omega_fused);
+            c.dot += self.try_phase(fabric, |t| t.dot_qy_yy)?;
+            c.allreduce += self.try_allreduce_phase_both(fabric)?;
+            c.scalar += self.try_phase(fabric, |t| t.post_omega_fused)?;
         } else {
-            c.dot += self.phase(fabric, |t| t.dot_qy);
-            c.allreduce += self.allreduce_phase(fabric);
-            c.scalar += self.phase(fabric, |t| t.post_qy);
-            c.dot += self.phase(fabric, |t| t.dot_yy);
-            c.allreduce += self.allreduce_phase(fabric);
-            c.scalar += self.phase(fabric, |t| t.post_yy);
+            c.dot += self.try_phase(fabric, |t| t.dot_qy)?;
+            c.allreduce += self.try_allreduce_phase(fabric)?;
+            c.scalar += self.try_phase(fabric, |t| t.post_qy)?;
+            c.dot += self.try_phase(fabric, |t| t.dot_yy)?;
+            c.allreduce += self.try_allreduce_phase(fabric)?;
+            c.scalar += self.try_phase(fabric, |t| t.post_yy)?;
         }
         // x := x + α p + ω q
-        c.update += self.phase(fabric, |t| t.upd_x);
+        c.update += self.try_phase(fabric, |t| t.upd_x)?;
         // r := q − ω y
-        c.update += self.phase(fabric, |t| t.upd_r);
+        c.update += self.try_phase(fabric, |t| t.upd_r)?;
         // β and ρ roll-over
-        c.dot += self.phase(fabric, |t| t.dot_rho);
-        c.allreduce += self.allreduce_phase(fabric);
-        c.scalar += self.phase(fabric, |t| t.post_rho);
+        c.dot += self.try_phase(fabric, |t| t.dot_rho)?;
+        c.allreduce += self.try_allreduce_phase(fabric)?;
+        c.scalar += self.try_phase(fabric, |t| t.post_rho)?;
         // p := r + β (p − ω s)
-        c.update += self.phase(fabric, |t| t.upd_p1);
-        c.update += self.phase(fabric, |t| t.upd_p2);
-        c
+        c.update += self.try_phase(fabric, |t| t.upd_p1)?;
+        c.update += self.try_phase(fabric, |t| t.upd_p2)?;
+        Ok(c)
     }
 
     /// Computes ‖r‖ on the wafer (observability; not part of Table I's
     /// per-iteration operation budget).
     pub fn residual_norm(&self, fabric: &mut Fabric) -> f32 {
-        self.phase(fabric, |t| t.dot_rr);
-        self.allreduce_phase(fabric);
-        self.phase(fabric, |t| t.post_rr);
-        fabric.tile(0, 0).core.regs[regs::RR].max(0.0).sqrt()
+        self.try_residual_norm(fabric)
+            .unwrap_or_else(|e| panic!("bicgstab residual phase stalled: {e}"))
+    }
+
+    /// Fallible [`WaferBicgstab::residual_norm`].
+    pub fn try_residual_norm(&self, fabric: &mut Fabric) -> Result<f32, Box<StallReport>> {
+        self.try_phase(fabric, |t| t.dot_rr)?;
+        self.try_allreduce_phase(fabric)?;
+        self.try_phase(fabric, |t| t.post_rr)?;
+        Ok(fabric.tile(0, 0).core.regs[regs::RR].max(0.0).sqrt())
     }
 
     /// Reads the iterate back from tile memories (global mesh order).
@@ -700,6 +721,7 @@ impl WaferBicgstab {
         }
         self.load_rhs(fabric, b);
         let mut stats = SolveStats::default();
+        let tripwire = ResidualTripwire::default();
         for _ in 0..iters {
             let c = self.iterate(fabric);
             let rn = self.residual_norm(fabric) as f64;
@@ -707,13 +729,68 @@ impl WaferBicgstab {
             let rel = rn / norm_b;
             stats.residuals.push(rel);
             // Host-side convergence monitor (the host also chooses the
-            // iteration budget): stop on convergence to the fp16 floor or
-            // on divergence (ε-regularized breakdowns show up as growth).
-            if rel < 1e-7 || !rel.is_finite() || rel > 1e6 {
+            // iteration budget); thresholds documented on ResidualTripwire.
+            if tripwire.check(rel).stops() {
                 break;
             }
         }
         (self.read_x(fabric), stats)
+    }
+
+    /// SRAM address of tile `(x, y)`'s slice of the iterate `x` (fault
+    /// targeting and inspection).
+    pub fn x_addr(&self, x: usize, y: usize) -> u32 {
+        self.tiles[self.idx(x, y)].0.x
+    }
+
+    /// Like [`WaferBicgstab::solve`], but runs under the checkpoint/rollback
+    /// recovery engine so the solve survives injected faults: fabric stalls
+    /// are caught by the watchdog, residual anomalies by the tripwire, and
+    /// `Converged` claims are verified against `a`'s f64 true residual
+    /// before being believed (a corrupted iterate is invisible to the
+    /// recursive residual). Returns the iterate, the committed-iteration
+    /// statistics, and the full [`RecoveryLog`].
+    pub fn solve_with_recovery(
+        &self,
+        fabric: &mut Fabric,
+        a: &DiaMatrix<F16>,
+        b: &[F16],
+        iters: usize,
+        policy: &RecoveryPolicy,
+    ) -> (Vec<F16>, SolveStats, RecoveryLog) {
+        let norm_b = {
+            let s: f64 = b.iter().map(|v| v.to_f64() * v.to_f64()).sum();
+            s.sqrt()
+        };
+        let mut stats = SolveStats::default();
+        if norm_b == 0.0 {
+            let log = RecoveryLog {
+                outcome: crate::recovery::RecoveryOutcome::Converged,
+                ..RecoveryLog::default()
+            };
+            return (vec![F16::ZERO; b.len()], stats, log);
+        }
+        let log = run_with_recovery(
+            fabric,
+            iters,
+            policy,
+            |f| self.try_load_rhs(f, b),
+            |f, i| {
+                // Re-entered with a rolled-back index after recovery: drop
+                // the records of the discarded iterations.
+                stats.iterations.truncate(i);
+                stats.residuals.truncate(i);
+                let c = self.try_iterate(f)?;
+                let rel = self.try_residual_norm(f)? as f64 / norm_b;
+                stats.iterations.push(c);
+                stats.residuals.push(rel);
+                Ok(rel)
+            },
+            |f| recovery::true_rel_residual(a, &self.read_x(f), b),
+        );
+        stats.iterations.truncate(log.iterations);
+        stats.residuals.truncate(log.iterations);
+        (self.read_x(fabric), stats, log)
     }
 }
 

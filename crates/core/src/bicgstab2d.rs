@@ -14,11 +14,15 @@
 //! rows directly (each interior row `(i+1, 1..=by)` is a contiguous slice).
 
 use crate::allreduce::AllReduce;
+use crate::recovery::{
+    self, run_with_recovery, RecoveryLog, RecoveryOutcome, RecoveryPolicy, ResidualTripwire,
+};
 use crate::spmv2d::{Spmv2dLayout, WaferSpmv2d};
 use stencil::decomp::Block2D;
 use stencil::dia::DiaMatrix;
 use stencil::mesh::Mesh2D;
 use wse_arch::dsr::mk;
+use wse_arch::fabric::StallReport;
 use wse_arch::instr::{Op, RegOp, Stmt, Task, TensorInstr};
 use wse_arch::types::{Dtype, TaskId};
 use wse_arch::{Fabric, Tile};
@@ -431,31 +435,43 @@ impl WaferBicgstab2d {
         y * self.fabric_w + x
     }
 
-    fn phase(&self, fabric: &mut Fabric, pick: impl Fn(&Tile2dTasks) -> TaskId) -> u64 {
+    /// Phase runner under the stall watchdog; a wedged fabric surfaces as a
+    /// [`StallReport`] the recovery layer can act on.
+    fn try_phase(
+        &self,
+        fabric: &mut Fabric,
+        pick: impl Fn(&Tile2dTasks) -> TaskId,
+    ) -> Result<u64, Box<StallReport>> {
         for y in 0..self.fabric_h {
             for x in 0..self.fabric_w {
                 let t = pick(&self.tasks[self.idx(x, y)]);
                 fabric.tile_mut(x, y).core.activate(t);
             }
         }
-        fabric
-            .run_until_quiescent(2_000 * (self.block.points() as u64) + 100_000)
-            .unwrap_or_else(|e| panic!("2D bicgstab phase stalled: {e}"))
+        let budget = 2_000 * (self.block.points() as u64) + 100_000;
+        fabric.run_watched(budget, recovery::STALL_WINDOW)
     }
 
-    fn reduce(&self, fabric: &mut Fabric) -> u64 {
+    fn try_reduce(&self, fabric: &mut Fabric) -> Result<u64, Box<StallReport>> {
         for y in 0..self.fabric_h {
             for x in 0..self.fabric_w {
                 fabric.tile_mut(x, y).core.activate(self.allreduce.task(x, y));
             }
         }
-        fabric
-            .run_until_quiescent(100 * (self.fabric_w + self.fabric_h) as u64 + 50_000)
-            .unwrap_or_else(|e| panic!("2D allreduce stalled: {e}"))
+        fabric.run_watched(
+            100 * (self.fabric_w + self.fabric_h) as u64 + 50_000,
+            recovery::STALL_WINDOW,
+        )
     }
 
     /// Scatters `b` (global 2D mesh order), zeroes `x`, seeds ρ and ε.
     pub fn load_rhs(&self, fabric: &mut Fabric, b: &[F16]) {
+        self.try_load_rhs(fabric, b).unwrap_or_else(|e| panic!("2D bicgstab load stalled: {e}"))
+    }
+
+    /// Fallible [`WaferBicgstab2d::load_rhs`] (see
+    /// [`WaferBicgstab2d::try_iterate`]).
+    pub fn try_load_rhs(&self, fabric: &mut Fabric, b: &[F16]) -> Result<(), Box<StallReport>> {
         let (bx, by) = (self.block.bx, self.block.by);
         let mesh = Mesh2D::new(self.fabric_w * bx, self.fabric_h * by);
         assert_eq!(b.len(), mesh.len(), "rhs length mismatch");
@@ -478,41 +494,54 @@ impl WaferBicgstab2d {
                 tile.core.regs[regs::EPS] = 1e-30;
             }
         }
-        self.phase(fabric, |t| t.dot_rho);
-        self.reduce(fabric);
-        self.phase(fabric, |t| t.init_rho);
+        self.try_phase(fabric, |t| t.dot_rho)?;
+        self.try_reduce(fabric)?;
+        self.try_phase(fabric, |t| t.init_rho)?;
+        Ok(())
     }
 
     /// Runs one iteration; returns total cycles.
     pub fn iterate(&self, fabric: &mut Fabric) -> u64 {
+        self.try_iterate(fabric).unwrap_or_else(|e| panic!("2D bicgstab iteration stalled: {e}"))
+    }
+
+    /// Fallible [`WaferBicgstab2d::iterate`]: runs under the fabric stall
+    /// watchdog and returns the [`StallReport`] instead of panicking.
+    pub fn try_iterate(&self, fabric: &mut Fabric) -> Result<u64, Box<StallReport>> {
         let mut total = 0;
-        total += self.phase(fabric, |t| t.spmv_ps);
-        total += self.phase(fabric, |t| t.dot_r0s);
-        total += self.reduce(fabric);
-        total += self.phase(fabric, |t| t.post_r0s);
-        total += self.phase(fabric, |t| t.upd_q);
-        total += self.phase(fabric, |t| t.spmv_qy);
-        total += self.phase(fabric, |t| t.dot_qy);
-        total += self.reduce(fabric);
-        total += self.phase(fabric, |t| t.post_qy);
-        total += self.phase(fabric, |t| t.dot_yy);
-        total += self.reduce(fabric);
-        total += self.phase(fabric, |t| t.post_yy);
-        total += self.phase(fabric, |t| t.upd_x);
-        total += self.phase(fabric, |t| t.upd_r);
-        total += self.phase(fabric, |t| t.dot_rho);
-        total += self.reduce(fabric);
-        total += self.phase(fabric, |t| t.post_rho);
-        total += self.phase(fabric, |t| t.upd_p);
-        total
+        total += self.try_phase(fabric, |t| t.spmv_ps)?;
+        total += self.try_phase(fabric, |t| t.dot_r0s)?;
+        total += self.try_reduce(fabric)?;
+        total += self.try_phase(fabric, |t| t.post_r0s)?;
+        total += self.try_phase(fabric, |t| t.upd_q)?;
+        total += self.try_phase(fabric, |t| t.spmv_qy)?;
+        total += self.try_phase(fabric, |t| t.dot_qy)?;
+        total += self.try_reduce(fabric)?;
+        total += self.try_phase(fabric, |t| t.post_qy)?;
+        total += self.try_phase(fabric, |t| t.dot_yy)?;
+        total += self.try_reduce(fabric)?;
+        total += self.try_phase(fabric, |t| t.post_yy)?;
+        total += self.try_phase(fabric, |t| t.upd_x)?;
+        total += self.try_phase(fabric, |t| t.upd_r)?;
+        total += self.try_phase(fabric, |t| t.dot_rho)?;
+        total += self.try_reduce(fabric)?;
+        total += self.try_phase(fabric, |t| t.post_rho)?;
+        total += self.try_phase(fabric, |t| t.upd_p)?;
+        Ok(total)
     }
 
     /// Relative on-wafer residual norm.
     pub fn residual_norm(&self, fabric: &mut Fabric) -> f32 {
-        self.phase(fabric, |t| t.dot_rr);
-        self.reduce(fabric);
-        self.phase(fabric, |t| t.post_rr);
-        fabric.tile(0, 0).core.regs[regs::RR].max(0.0).sqrt()
+        self.try_residual_norm(fabric)
+            .unwrap_or_else(|e| panic!("2D bicgstab residual phase stalled: {e}"))
+    }
+
+    /// Fallible [`WaferBicgstab2d::residual_norm`].
+    pub fn try_residual_norm(&self, fabric: &mut Fabric) -> Result<f32, Box<StallReport>> {
+        self.try_phase(fabric, |t| t.dot_rr)?;
+        self.try_reduce(fabric)?;
+        self.try_phase(fabric, |t| t.post_rr)?;
+        Ok(fabric.tile(0, 0).core.regs[regs::RR].max(0.0).sqrt())
     }
 
     /// Gathers the iterate (global 2D mesh order).
@@ -548,15 +577,53 @@ impl WaferBicgstab2d {
         self.load_rhs(fabric, b);
         let mut cycles = Vec::new();
         let mut residuals = Vec::new();
+        let tripwire = ResidualTripwire::default();
         for _ in 0..iters {
             cycles.push(self.iterate(fabric));
             let rel = self.residual_norm(fabric) as f64 / norm_b;
             residuals.push(rel);
-            if rel < 1e-7 || !rel.is_finite() || rel > 1e6 {
-                break;
+            if tripwire.check(rel).stops() {
+                break; // see ResidualTripwire for the thresholds
             }
         }
         (self.read_x(fabric), cycles, residuals)
+    }
+
+    /// Like [`WaferBicgstab2d::solve`], but under the checkpoint/rollback
+    /// recovery engine (see [`crate::recovery`]): stalls are caught by the
+    /// watchdog, residual anomalies by the tripwire, and convergence claims
+    /// are verified against `a`'s f64 true residual. `a` must be the
+    /// matrix on the same global 2D mesh order as `b` and `read_x`.
+    pub fn solve_with_recovery(
+        &self,
+        fabric: &mut Fabric,
+        a: &DiaMatrix<F16>,
+        b: &[F16],
+        iters: usize,
+        policy: &RecoveryPolicy,
+    ) -> (Vec<F16>, Vec<f64>, RecoveryLog) {
+        let norm_b: f64 = b.iter().map(|v| v.to_f64() * v.to_f64()).sum::<f64>().sqrt();
+        let mut residuals = Vec::new();
+        if norm_b == 0.0 {
+            let log = RecoveryLog { outcome: RecoveryOutcome::Converged, ..RecoveryLog::default() };
+            return (vec![F16::ZERO; b.len()], residuals, log);
+        }
+        let log = run_with_recovery(
+            fabric,
+            iters,
+            policy,
+            |f| self.try_load_rhs(f, b),
+            |f, i| {
+                residuals.truncate(i);
+                self.try_iterate(f)?;
+                let rel = self.try_residual_norm(f)? as f64 / norm_b;
+                residuals.push(rel);
+                Ok(rel)
+            },
+            |f| recovery::true_rel_residual(a, &self.read_x(f), b),
+        );
+        residuals.truncate(log.iterations);
+        (self.read_x(fabric), residuals, log)
     }
 }
 

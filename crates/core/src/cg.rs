@@ -12,12 +12,16 @@
 
 use crate::allreduce::{colors as ar_colors, AllReduce};
 use crate::kernels::dot_stmts;
+use crate::recovery::{
+    self, run_with_recovery, RecoveryLog, RecoveryOutcome, RecoveryPolicy, ResidualTripwire,
+};
 use crate::routing::configure_spmv_routes;
 use crate::spmv3d::{build_spmv_tile, load_coefficients, tile_coefficients, SpmvLayout, SpmvTasks};
 use stencil::decomp::Mapping3D;
 use stencil::dia::DiaMatrix;
 use stencil::precond::has_unit_diagonal;
 use wse_arch::dsr::mk;
+use wse_arch::fabric::StallReport;
 use wse_arch::instr::{Op, RegOp, Stmt, Task, TensorInstr};
 use wse_arch::types::{Dtype, TaskId};
 use wse_arch::Fabric;
@@ -503,7 +507,13 @@ impl WaferCg {
         y * self.mapping.fabric_w + x
     }
 
-    fn phase(&self, fabric: &mut Fabric, pick: impl Fn(&CgTileTasks) -> TaskId) -> u64 {
+    /// Phase runner under the stall watchdog; a wedged fabric surfaces as a
+    /// [`StallReport`] the recovery layer can act on.
+    fn try_phase(
+        &self,
+        fabric: &mut Fabric,
+        pick: impl Fn(&CgTileTasks) -> TaskId,
+    ) -> Result<u64, Box<StallReport>> {
         let m = self.mapping;
         for y in 0..m.fabric_h {
             for x in 0..m.fabric_w {
@@ -511,24 +521,21 @@ impl WaferCg {
                 fabric.tile_mut(x, y).core.activate(t);
             }
         }
-        fabric
-            .run_until_quiescent(200 * m.z as u64 + 200 * (m.fabric_w + m.fabric_h) as u64 + 50_000)
-            .unwrap_or_else(|e| panic!("CG phase stalled: {e}"))
+        let budget = 200 * m.z as u64 + 200 * (m.fabric_w + m.fabric_h) as u64 + 50_000;
+        fabric.run_watched(budget, recovery::STALL_WINDOW)
     }
 
-    fn reduce(&self, fabric: &mut Fabric) -> u64 {
+    fn try_reduce(&self, fabric: &mut Fabric) -> Result<u64, Box<StallReport>> {
         let m = self.mapping;
         for y in 0..m.fabric_h {
             for x in 0..m.fabric_w {
                 fabric.tile_mut(x, y).core.activate(self.allreduce.task(x, y));
             }
         }
-        fabric
-            .run_until_quiescent(100 * (m.fabric_w + m.fabric_h) as u64 + 50_000)
-            .unwrap_or_else(|e| panic!("CG allreduce stalled: {e}"))
+        fabric.run_watched(100 * (m.fabric_w + m.fabric_h) as u64 + 50_000, recovery::STALL_WINDOW)
     }
 
-    fn reduce_fused(&self, fabric: &mut Fabric) -> u64 {
+    fn try_reduce_fused(&self, fabric: &mut Fabric) -> Result<u64, Box<StallReport>> {
         let m = self.mapping;
         for y in 0..m.fabric_h {
             for x in 0..m.fabric_w {
@@ -536,13 +543,16 @@ impl WaferCg {
                 fabric.tile_mut(x, y).core.activate(t);
             }
         }
-        fabric
-            .run_until_quiescent(100 * (m.fabric_w + m.fabric_h) as u64 + 50_000)
-            .unwrap_or_else(|e| panic!("CG fused allreduce stalled: {e}"))
+        fabric.run_watched(100 * (m.fabric_w + m.fabric_h) as u64 + 50_000, recovery::STALL_WINDOW)
     }
 
     /// Loads `b` (x = 0, r = p = b) and seeds the scalar state.
     pub fn load_rhs(&self, fabric: &mut Fabric, b: &[F16]) {
+        self.try_load_rhs(fabric, b).unwrap_or_else(|e| panic!("CG load stalled: {e}"))
+    }
+
+    /// Fallible [`WaferCg::load_rhs`] (see [`WaferCg::try_iterate`]).
+    pub fn try_load_rhs(&self, fabric: &mut Fabric, b: &[F16]) -> Result<(), Box<StallReport>> {
         let m = self.mapping;
         assert_eq!(b.len(), m.cores() * m.z, "rhs length mismatch");
         for y in 0..m.fabric_h {
@@ -563,8 +573,8 @@ impl WaferCg {
         match self.variant {
             CgVariant::Standard => {
                 // Seed γ = (r, r).
-                self.phase(fabric, |t| t.dot_rr);
-                self.reduce(fabric);
+                self.try_phase(fabric, |t| t.dot_rr)?;
+                self.try_reduce(fabric)?;
                 let m = self.mapping;
                 for y in 0..m.fabric_h {
                     for x in 0..m.fabric_w {
@@ -577,46 +587,57 @@ impl WaferCg {
                 // First iteration runs with init_gamma; nothing to seed.
             }
         }
+        Ok(())
     }
 
     /// Runs one iteration. `first` must be `true` for the first iteration
     /// of a [`CgVariant::SingleReduction`] solve (it selects the β = 0
     /// coefficient path).
     pub fn iterate(&self, fabric: &mut Fabric, first: bool) -> CgIterCycles {
+        self.try_iterate(fabric, first).unwrap_or_else(|e| panic!("CG iteration stalled: {e}"))
+    }
+
+    /// Fallible [`WaferCg::iterate`]: runs under the fabric stall watchdog
+    /// and returns the [`StallReport`] instead of panicking.
+    pub fn try_iterate(
+        &self,
+        fabric: &mut Fabric,
+        first: bool,
+    ) -> Result<CgIterCycles, Box<StallReport>> {
         let mut c = CgIterCycles::default();
         match self.variant {
             CgVariant::Standard => {
                 // q = A p  (p is the padded SpMV source).
-                c.spmv += self.phase(fabric, |t| t.spmv.start);
+                c.spmv += self.try_phase(fabric, |t| t.spmv.start)?;
                 // (p, q) → α.
-                c.dot += self.phase(fabric, |t| t.dot_pq);
-                c.allreduce += self.reduce(fabric);
-                c.scalar += self.phase(fabric, |t| t.post_alpha_std);
+                c.dot += self.try_phase(fabric, |t| t.dot_pq)?;
+                c.allreduce += self.try_reduce(fabric)?;
+                c.scalar += self.try_phase(fabric, |t| t.post_alpha_std)?;
                 // x += α p; r −= α q.
-                c.update += self.phase(fabric, |t| t.upd_xr_std);
+                c.update += self.try_phase(fabric, |t| t.upd_xr_std)?;
                 // (r, r) → β, roll γ.
-                c.dot += self.phase(fabric, |t| t.dot_rr);
-                c.allreduce += self.reduce(fabric);
-                c.scalar += self.phase(fabric, |t| t.post_beta_std);
+                c.dot += self.try_phase(fabric, |t| t.dot_rr)?;
+                c.allreduce += self.try_reduce(fabric)?;
+                c.scalar += self.try_phase(fabric, |t| t.post_beta_std)?;
                 // p = r + β p.
-                c.update += self.phase(fabric, |t| t.upd_p_std);
+                c.update += self.try_phase(fabric, |t| t.upd_p_std)?;
             }
             CgVariant::SingleReduction => {
                 // s = A r  (r is the padded SpMV source).
-                c.spmv += self.phase(fabric, |t| t.spmv.start);
+                c.spmv += self.try_phase(fabric, |t| t.spmv.start)?;
                 // γ = (r, r), δ = (r, s) — one dual-network round.
-                c.dot += self.phase(fabric, |t| t.dot_gamma_delta);
-                c.allreduce += self.reduce_fused(fabric);
+                c.dot += self.try_phase(fabric, |t| t.dot_gamma_delta)?;
+                c.allreduce += self.try_reduce_fused(fabric)?;
                 c.scalar += if first {
-                    self.phase(fabric, |t| t.init_gamma)
+                    self.try_phase(fabric, |t| t.init_gamma)?
                 } else {
-                    self.phase(fabric, |t| t.post_fused)
+                    self.try_phase(fabric, |t| t.post_fused)?
                 };
                 // p, q, x, r recurrences.
-                c.update += self.phase(fabric, |t| t.upd_all_cg2);
+                c.update += self.try_phase(fabric, |t| t.upd_all_cg2)?;
             }
         }
-        c
+        Ok(c)
     }
 
     /// Residual norm ‖r‖ read back from tile memories (host-side check).
@@ -664,15 +685,52 @@ impl WaferCg {
         self.load_rhs(fabric, b);
         let mut cycles = Vec::with_capacity(iters);
         let mut residuals = Vec::with_capacity(iters);
+        let tripwire = ResidualTripwire::default();
         for i in 0..iters {
             cycles.push(self.iterate(fabric, i == 0));
             let rel = self.residual_norm(fabric) / norm_b;
             residuals.push(rel);
-            if rel < 1e-7 || !rel.is_finite() || rel > 1e6 {
-                break; // see WaferBicgstab::solve
+            if tripwire.check(rel).stops() {
+                break; // see ResidualTripwire for the thresholds
             }
         }
         (self.read_x(fabric), cycles, residuals)
+    }
+
+    /// Like [`WaferCg::solve`], but under the checkpoint/rollback recovery
+    /// engine (see [`crate::recovery`]): stalls are caught by the watchdog,
+    /// residual anomalies by the tripwire, and convergence claims are
+    /// verified against `a`'s f64 true residual.
+    pub fn solve_with_recovery(
+        &self,
+        fabric: &mut Fabric,
+        a: &DiaMatrix<F16>,
+        b: &[F16],
+        iters: usize,
+        policy: &RecoveryPolicy,
+    ) -> (Vec<F16>, Vec<f64>, RecoveryLog) {
+        let norm_b: f64 = b.iter().map(|v| v.to_f64() * v.to_f64()).sum::<f64>().sqrt();
+        let mut residuals = Vec::new();
+        if norm_b == 0.0 {
+            let log = RecoveryLog { outcome: RecoveryOutcome::Converged, ..RecoveryLog::default() };
+            return (vec![F16::ZERO; b.len()], residuals, log);
+        }
+        let log = run_with_recovery(
+            fabric,
+            iters,
+            policy,
+            |f| self.try_load_rhs(f, b),
+            |f, i| {
+                residuals.truncate(i);
+                self.try_iterate(f, i == 0)?;
+                let rel = self.residual_norm(f) / norm_b;
+                residuals.push(rel);
+                Ok(rel)
+            },
+            |f| recovery::true_rel_residual(a, &self.read_x(f), b),
+        );
+        residuals.truncate(log.iterations);
+        (self.read_x(fabric), residuals, log)
     }
 }
 

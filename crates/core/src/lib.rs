@@ -15,7 +15,9 @@
 //! * [`bicgstab`] — the complete BiCGStab iteration on the fabric (with a
 //!   communication-fused variant),
 //! * [`cg`] — conjugate gradients on the fabric, in standard and
-//!   Chronopoulos–Gear single-reduction forms.
+//!   Chronopoulos–Gear single-reduction forms,
+//! * [`recovery`] — shared residual tripwire plus checkpoint/rollback
+//!   recovery so solves survive injected faults (see `wse-arch::fault`).
 
 #![warn(missing_docs)]
 
@@ -24,11 +26,16 @@ pub mod bicgstab;
 pub mod bicgstab2d;
 pub mod cg;
 pub mod kernels;
+pub mod recovery;
 pub mod routing;
 pub mod spmv2d;
 pub mod spmv3d;
 
 pub use bicgstab::WaferBicgstab;
+pub use recovery::{
+    FabricCheckpoint, RecoveryLog, RecoveryOutcome, RecoveryPolicy, ResidualTripwire,
+    TripwireVerdict,
+};
 pub use spmv3d::WaferSpmv;
 
 /// Statically verifies a fully built wafer program in debug builds,

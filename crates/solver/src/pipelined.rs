@@ -211,6 +211,34 @@ mod tests {
     }
 
     #[test]
+    fn narrowing_overflow_reports_non_finite() {
+        // A ≈ εI with ε at the fp16 subnormal floor. γ = (r, r) ≈ n while
+        // δ = (r, A r) ≈ εn, so α = γ/δ ≈ 1/ε ≈ 1.7e5 — finite in the f32
+        // global precision but past fp16's 65504 max, so narrowing α to
+        // storage precision rounds to +∞ and the solver must stop with the
+        // NonFinite outcome rather than poisoning x and r silently.
+        use crate::policy::MixedF16;
+        use stencil::dia::Offset3;
+        use wse_float::F16;
+
+        let mesh = Mesh3D::new(2, 2, 2);
+        let mut a: DiaMatrix<F16> = DiaMatrix::new(mesh, &[Offset3::CENTER]);
+        let eps = F16::from_f64(6e-6);
+        assert!(eps.to_f64() > 0.0, "ε must stay representable");
+        a.band_mut(0).fill(eps);
+        let b = vec![F16::from_f64(1.0); mesh.len()];
+
+        let opts = SolveOptions { max_iters: 10, rtol: 1e-12, record_true_residual: false };
+        let (res, rounds) = cg_single_reduction::<MixedF16>(&a, &b, &opts);
+        assert_eq!(res.outcome, BiCgStabOutcome::NonFinite);
+        // The breakdown is detected before the update phase of the first
+        // iteration commits: no iterate was produced.
+        assert_eq!(res.iters, 0);
+        assert_eq!(rounds.total, 1);
+        assert!(res.x.iter().all(|v| !v.is_non_finite()), "x must not be poisoned");
+    }
+
+    #[test]
     fn zero_rhs_short_circuits() {
         let (a, _, _) = spd_problem();
         let (res, rounds) =

@@ -48,6 +48,14 @@ pub struct CorePerf {
     pub ctrl_stmts: u64,
 }
 
+/// Snapshot of a core's persistent scheduler state at a quiescent point
+/// (see [`Core::sched_state`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SchedSnapshot {
+    dsr_pos: Vec<u32>,
+    task_flags: Vec<(bool, bool)>,
+}
+
 #[derive(Clone, Debug)]
 struct TaskState {
     task: Task,
@@ -297,6 +305,75 @@ impl Core {
     /// well-formed program quiesces).
     pub fn ramp_in_residue(&self) -> usize {
         self.ramp_in.iter().map(|q| q.len()).sum()
+    }
+
+    /// Name of the task currently occupying the main thread, if any
+    /// (stall diagnostics).
+    pub fn current_task_name(&self) -> Option<&'static str> {
+        self.main.as_ref().map(|r| self.tasks[r.id].task.name)
+    }
+
+    /// Number of occupied background-thread slots (stall diagnostics).
+    pub fn active_threads(&self) -> usize {
+        self.threads.iter().filter(|t| t.is_some()).count()
+    }
+
+    /// Clears all transient execution state — running task, background
+    /// threads, ramp queues, FIFO contents — and rewinds every task's
+    /// scheduling flags to its declared start state and every DSR cursor to
+    /// zero. Programs, routes-side bindings, registers, and perf counters
+    /// are retained.
+    ///
+    /// This is the core half of checkpoint restore: after a fault wedges
+    /// the fabric mid-phase, the recovery layer calls this and then
+    /// [`Core::restore_sched_state`] with a snapshot taken at a quiescent
+    /// iteration boundary.
+    pub fn reset_transient(&mut self) {
+        self.main = None;
+        self.threads = Default::default();
+        self.rr_cursor = 0;
+        for q in &mut self.ramp_in {
+            q.clear();
+        }
+        self.ramp_out.clear();
+        for t in &mut self.tasks {
+            t.activated = t.task.start_activated;
+            t.blocked = t.task.start_blocked;
+        }
+        for d in &mut self.dsrs {
+            d.reset();
+        }
+        for f in &mut self.fifos {
+            f.clear();
+        }
+    }
+
+    /// Snapshots the scheduler-visible state that persists across quiescent
+    /// points: DSR cursors (accumulator descriptors deliberately keep their
+    /// position between instructions) and per-task activation/blocked
+    /// flags (protocols park tasks in specific block states between
+    /// phases).
+    pub fn sched_state(&self) -> SchedSnapshot {
+        SchedSnapshot {
+            dsr_pos: self.dsrs.iter().map(|d| d.pos).collect(),
+            task_flags: self.tasks.iter().map(|t| (t.activated, t.blocked)).collect(),
+        }
+    }
+
+    /// Restores a snapshot taken by [`Core::sched_state`].
+    ///
+    /// # Panics
+    /// Panics if the snapshot shape does not match this core's program.
+    pub fn restore_sched_state(&mut self, snap: &SchedSnapshot) {
+        assert_eq!(snap.dsr_pos.len(), self.dsrs.len(), "snapshot from a different program");
+        assert_eq!(snap.task_flags.len(), self.tasks.len(), "snapshot from a different program");
+        for (d, &pos) in self.dsrs.iter_mut().zip(&snap.dsr_pos) {
+            d.pos = pos;
+        }
+        for (t, &(activated, blocked)) in self.tasks.iter_mut().zip(&snap.task_flags) {
+            t.activated = activated;
+            t.blocked = blocked;
+        }
     }
 
     /// Renders the core's program (tasks, bodies, DSRs, FIFOs) as
@@ -1227,6 +1304,62 @@ mod tests {
         got.extend(core.drain_ramp_out(4));
         assert!(core.is_quiescent());
         assert_eq!(got.len(), n);
+    }
+
+    #[test]
+    fn reset_transient_rewinds_to_start_state() {
+        // Wedge a core mid-send (ramp_out backpressure, never drained),
+        // then reset and confirm it can run the same program again.
+        let vals: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let (mut core, mut mem, aa, _) = setup(&vals, &[0.0]);
+        let dsrc = core.add_dsr(mk::tensor16(aa, 16));
+        let dtx = core.add_dsr(mk::tx16(1, 16));
+        let t = core.add_task(Task::new(
+            "send",
+            vec![Stmt::Exec(TensorInstr { op: Op::Copy, dst: Some(dtx), a: Some(dsrc), b: None })],
+        ));
+        core.activate(t);
+        run(&mut core, &mut mem, 30);
+        assert!(!core.is_quiescent(), "must be wedged on backpressure");
+        assert_eq!(core.current_task_name(), Some("send"));
+
+        core.reset_transient();
+        assert!(core.is_quiescent());
+        assert_eq!(core.current_task_name(), None);
+        assert_eq!(core.active_threads(), 0);
+        assert_eq!(core.ramp_out_len(), 0);
+        assert_eq!(core.dsr(dsrc).pos, 0, "DSR cursors rewound");
+
+        // The program is intact: re-activating and draining completes it.
+        core.activate(t);
+        let mut got = 0;
+        for _ in 0..80 {
+            core.step(&mut mem);
+            got += core.drain_ramp_out(4).len();
+        }
+        assert!(core.is_quiescent());
+        assert_eq!(got, 16);
+    }
+
+    #[test]
+    fn sched_state_roundtrip() {
+        let (mut core, _, aa, _) = setup(&[0.0; 8], &[0.0]);
+        let d = core.add_dsr(mk::acc16(aa, 8));
+        let a = core.add_task(Task::new("a", vec![]));
+        let b = core.add_task(Task::new("b", vec![]).blocked());
+        core.dsrs[d].advance(5);
+        core.activate(a);
+        let snap = core.sched_state();
+
+        core.reset_transient();
+        assert_eq!(core.dsr(d).pos, 0);
+        assert!(!core.task_activated(a));
+
+        core.restore_sched_state(&snap);
+        assert_eq!(core.dsr(d).pos, 5);
+        assert!(core.task_activated(a));
+        assert!(core.task_blocked(b));
+        assert_eq!(core.sched_state(), snap);
     }
 
     #[test]

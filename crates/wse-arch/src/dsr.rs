@@ -116,6 +116,11 @@ impl Dsr {
         }
     }
 
+    /// Rewinds the cursor to the start (checkpoint restore).
+    pub fn reset(&mut self) {
+        self.pos = 0;
+    }
+
     /// Advances the cursor by `n` elements.
     pub fn advance(&mut self, n: u32) {
         self.pos += n;

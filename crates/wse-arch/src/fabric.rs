@@ -7,7 +7,8 @@
 //! ~1 cycle/hop).
 
 use crate::core::Core;
-use crate::memory::Memory;
+use crate::fault::{FaultEvent, FaultKind, FaultLog, FaultPlan, FaultRecord};
+use crate::memory::{Memory, TILE_SRAM_BYTES};
 use crate::router::{Router, StagedFlit};
 use crate::types::{Color, Flit, Port, PORT_BYTES_PER_CYCLE};
 use rayon::prelude::*;
@@ -40,6 +41,110 @@ impl std::fmt::Display for Stalled {
 
 impl std::error::Error for Stalled {}
 
+/// One wedged tile in a [`StallReport`].
+#[derive(Clone, Debug)]
+pub struct StalledTile {
+    /// Tile x coordinate.
+    pub x: usize,
+    /// Tile y coordinate.
+    pub y: usize,
+    /// Name of the task on the main thread, if one is running.
+    pub task: Option<&'static str>,
+    /// Flits wedged in the router's input queues.
+    pub router_queued: usize,
+    /// Undelivered words in the core's ramp-in queues.
+    pub ramp_in: usize,
+    /// Words stuck awaiting injection.
+    pub ramp_out: usize,
+    /// Occupied background-thread slots.
+    pub active_threads: usize,
+}
+
+impl std::fmt::Display for StalledTile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "tile({},{}) task={} threads={} router_queued={} ramp_in={} ramp_out={}",
+            self.x,
+            self.y,
+            self.task.unwrap_or("-"),
+            self.active_threads,
+            self.router_queued,
+            self.ramp_in,
+            self.ramp_out
+        )
+    }
+}
+
+/// Structured stall diagnosis from [`Fabric::run_watched`]: the watchdog
+/// observed `window` consecutive cycles with zero progress (no flits moved,
+/// no datapath issue, no control statements retired) while work remained.
+///
+/// The simulator is deterministic and closed — nothing external can wake a
+/// tile — so a zero-progress window of any length is a *permanent* deadlock,
+/// not a transient lull; the watchdog window only bounds detection latency.
+#[derive(Clone, Debug)]
+pub struct StallReport {
+    /// Cycle at which the watchdog fired.
+    pub cycle: u64,
+    /// Length of the observed no-progress window.
+    pub window: u64,
+    /// `true` when the overall cycle deadline expired before a full
+    /// no-progress window was seen (slow progress rather than proven
+    /// deadlock).
+    pub deadline_exceeded: bool,
+    /// The wedged tiles (capped at [`StallReport::MAX_TILES`]).
+    pub stalled: Vec<StalledTile>,
+    /// Total number of wedged tiles (may exceed `stalled.len()`).
+    pub total_stalled: usize,
+}
+
+impl StallReport {
+    /// Cap on the per-tile detail recorded in `stalled`.
+    pub const MAX_TILES: usize = 16;
+}
+
+impl std::fmt::Display for StallReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.deadline_exceeded {
+            write!(f, "fabric exceeded its cycle deadline at cycle {}", self.cycle)?;
+        } else {
+            write!(
+                f,
+                "fabric stalled at cycle {}: no progress for {} cycles",
+                self.cycle, self.window
+            )?;
+        }
+        write!(f, "; {} tile(s) wedged", self.total_stalled)?;
+        for t in self.stalled.iter().take(8) {
+            write!(f, "; {t}")?;
+        }
+        if self.total_stalled > 8 {
+            write!(f, "; ...")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for StallReport {}
+
+/// Armed fault-injection state (present only when a plan is armed, so the
+/// healthy-path cost is one pointer test per phase).
+#[derive(Clone, Debug)]
+struct FaultState {
+    /// Scheduled events, sorted by cycle.
+    events: Vec<FaultEvent>,
+    /// Index of the next unapplied event.
+    next: usize,
+    /// Per-tile kill flags.
+    dead: Vec<bool>,
+    /// Armed one-shot link faults: (tile index, out port, `Some(bit)` to
+    /// corrupt / `None` to drop).
+    pending_links: Vec<(usize, Port, Option<u8>)>,
+    /// Audit trail.
+    log: FaultLog,
+}
+
 /// Aggregate performance counters across the fabric.
 #[derive(Copy, Clone, Debug, Default)]
 pub struct FabricPerf {
@@ -53,6 +158,8 @@ pub struct FabricPerf {
     pub idle_cycles: u64,
     /// Total flits forwarded by routers.
     pub flits_routed: u64,
+    /// Total control statements retired by cores.
+    pub ctrl_stmts: u64,
 }
 
 /// One sample of fabric activity (see [`Fabric::enable_sampling`]).
@@ -77,6 +184,9 @@ pub struct Fabric {
     sample_interval: u64,
     samples: Vec<ActivitySample>,
     last_sample_perf: FabricPerf,
+    /// Armed fault injection; `None` (the default) keeps [`Fabric::step`]
+    /// on a no-op fast path.
+    faults: Option<Box<FaultState>>,
 }
 
 impl Fabric {
@@ -94,7 +204,62 @@ impl Fabric {
             sample_interval: 0,
             samples: Vec::new(),
             last_sample_perf: FabricPerf::default(),
+            faults: None,
         }
+    }
+
+    /// Arms a fault-injection plan. Events are validated against the fabric
+    /// shape and applied in cycle order as [`Fabric::step`] reaches them
+    /// (events scheduled in the past fire on the next step). Re-arming
+    /// replaces any previous plan and clears its log; kill/stuck state
+    /// already applied to tiles is *not* undone.
+    ///
+    /// # Panics
+    /// Panics if an event names a tile, port, address, or bit outside the
+    /// fabric.
+    pub fn arm_faults(&mut self, plan: &FaultPlan) {
+        let events = plan.events();
+        for ev in &events {
+            let (x, y) = match ev.kind {
+                FaultKind::SramBitFlip { x, y, addr, bit } => {
+                    assert!(addr + 2 <= TILE_SRAM_BYTES, "bit flip at {addr} outside SRAM");
+                    assert!(bit < 16, "bit index {bit} out of range");
+                    (x, y)
+                }
+                FaultKind::TileKill { x, y }
+                | FaultKind::StuckPort { x, y, .. }
+                | FaultKind::LinkDrop { x, y, .. } => (x, y),
+                FaultKind::LinkCorrupt { x, y, bit, .. } => {
+                    assert!(bit < 32, "payload bit {bit} out of range");
+                    (x, y)
+                }
+            };
+            assert!(x < self.w && y < self.h, "fault targets tile ({x},{y}) outside fabric");
+        }
+        self.faults = Some(Box::new(FaultState {
+            events,
+            next: 0,
+            dead: vec![false; self.w * self.h],
+            pending_links: Vec::new(),
+            log: FaultLog::default(),
+        }));
+    }
+
+    /// `true` when a fault plan is armed.
+    pub fn faults_armed(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// The audit trail of applied faults, if a plan is armed.
+    pub fn fault_log(&self) -> Option<&FaultLog> {
+        self.faults.as_ref().map(|f| &f.log)
+    }
+
+    /// `true` if tile `(x, y)` has been killed by an applied
+    /// [`FaultKind::TileKill`].
+    pub fn tile_dead(&self, x: usize, y: usize) -> bool {
+        let i = self.index(x, y);
+        self.faults.as_ref().is_some_and(|f| f.dead[i])
     }
 
     /// Enables periodic activity sampling: every `interval` cycles a
@@ -160,17 +325,62 @@ impl Fabric {
         self.tile_mut(x, y).router.set_route(in_port, color, outs);
     }
 
+    /// Applies every armed fault whose cycle has arrived.
+    fn apply_due_faults(&mut self) {
+        let w = self.w;
+        let cycle = self.cycle;
+        let (tiles, faults) = (&mut self.tiles, &mut self.faults);
+        let Some(fs) = faults.as_deref_mut() else { return };
+        while fs.next < fs.events.len() && fs.events[fs.next].at_cycle <= cycle {
+            let ev = fs.events[fs.next];
+            fs.next += 1;
+            match ev.kind {
+                FaultKind::SramBitFlip { x, y, addr, bit } => {
+                    tiles[y * w + x].mem.flip_bit(addr, bit);
+                }
+                FaultKind::TileKill { x, y } => fs.dead[y * w + x] = true,
+                FaultKind::StuckPort { x, y, port } => tiles[y * w + x].router.stick_port(port),
+                FaultKind::LinkCorrupt { x, y, port, bit } => {
+                    fs.pending_links.push((y * w + x, port, Some(bit)));
+                }
+                FaultKind::LinkDrop { x, y, port } => {
+                    fs.pending_links.push((y * w + x, port, None));
+                }
+            }
+            fs.log.applied.push(FaultRecord { cycle, kind: ev.kind });
+        }
+    }
+
     /// Advances the fabric one cycle.
     pub fn step(&mut self) {
-        // Phase 1: cores execute (independent per tile — parallel).
-        self.tiles.par_iter_mut().for_each(|t| {
-            let Tile { mem, core, .. } = t;
-            core.step(mem);
-        });
+        // Phase 0: fault injection (no-op unless a plan is armed).
+        if self.faults.is_some() {
+            self.apply_due_faults();
+        }
+        let dead: Option<&[bool]> = self.faults.as_deref().map(|f| f.dead.as_slice());
+
+        // Phase 1: cores execute (independent per tile — parallel). Killed
+        // tiles freeze: their cores stop stepping entirely.
+        match dead {
+            None => self.tiles.par_iter_mut().for_each(|t| {
+                let Tile { mem, core, .. } = t;
+                core.step(mem);
+            }),
+            Some(dead) => self.tiles.par_iter_mut().enumerate().for_each(|(i, t)| {
+                if dead[i] {
+                    return;
+                }
+                let Tile { mem, core, .. } = t;
+                core.step(mem);
+            }),
+        }
 
         // Phase 2: core injection moves into the router's ramp-input queues
         // (bounded by port bandwidth and queue space).
-        for t in &mut self.tiles {
+        for (i, t) in self.tiles.iter_mut().enumerate() {
+            if dead.is_some_and(|d| d[i]) {
+                continue;
+            }
             // Respect the ramp queue's *minimum* color space conservatively:
             // drain one flit at a time, checking the target queue.
             let mut budget = PORT_BYTES_PER_CYCLE;
@@ -222,6 +432,11 @@ impl Fabric {
                 .par_iter_mut()
                 .enumerate()
                 .map(|(i, t)| {
+                    // A killed tile's router forwards nothing; arrivals pile
+                    // up in its queues until backpressure stalls upstream.
+                    if dead.is_some_and(|d| d[i]) {
+                        return (i, Vec::new());
+                    }
                     let (x, y) = (i % w, i / w);
                     let staged = t.router.stage(|out, color, already| {
                         match out {
@@ -243,21 +458,46 @@ impl Fabric {
                 .collect();
         }
 
-        // Phase 4: deliveries.
+        // Phase 4: deliveries. Armed one-shot link faults intercept flits
+        // in flight here: the first flit leaving the chosen (tile, port)
+        // after the fault's cycle is corrupted or lost.
+        let w = self.w;
+        let (tiles, faults) = (&mut self.tiles, &mut self.faults);
+        let mut fs = faults.as_deref_mut();
         for (i, staged) in all_staged {
-            let (x, y) = (i % self.w, i / self.w);
+            let (x, y) = (i % w, i / w);
             for s in staged {
+                let mut flit = s.flit;
+                if let Some(fs) = fs.as_deref_mut() {
+                    if !fs.pending_links.is_empty() {
+                        if let Some(k) =
+                            fs.pending_links.iter().position(|&(ti, p, _)| ti == i && p == s.out)
+                        {
+                            let (_, _, corrupt) = fs.pending_links.swap_remove(k);
+                            match corrupt {
+                                Some(bit) => {
+                                    flit.bits ^= 1 << bit;
+                                    fs.log.corrupted_flits += 1;
+                                }
+                                None => {
+                                    fs.log.dropped_flits += 1;
+                                    continue; // the flit vanishes on the wire
+                                }
+                            }
+                        }
+                    }
+                }
                 match s.out {
                     Port::Ramp => {
-                        self.tiles[i].core.deliver(s.color, s.flit);
+                        tiles[i].core.deliver(s.color, flit);
                     }
                     out => {
                         let (dx, dy) = out.delta();
                         let nx = (x as i64 + dx as i64) as usize;
                         let ny = (y as i64 + dy as i64) as usize;
-                        let ni = self.index(nx, ny);
+                        let ni = ny * w + nx;
                         let in_port = out.opposite().unwrap();
-                        self.tiles[ni].router.enqueue(in_port, s.color, s.flit);
+                        tiles[ni].router.enqueue(in_port, s.color, flit);
                     }
                 }
             }
@@ -301,6 +541,104 @@ impl Fabric {
         Ok(self.cycle - start)
     }
 
+    /// Monotone progress counter: anything a cycle can accomplish — a
+    /// datapath issue, a retired control statement, a forwarded flit —
+    /// advances it. Used by the stall watchdog.
+    fn progress_counter(&self) -> u64 {
+        let p = self.perf();
+        p.busy_cycles + p.ctrl_stmts + p.flits_routed
+    }
+
+    /// Steps until quiescent under a stall watchdog.
+    ///
+    /// Unlike [`Fabric::run_until_quiescent`] — which spins until its full
+    /// cycle budget expires — this detects deadlock early: if
+    /// `stall_window` consecutive cycles pass with zero progress (no
+    /// datapath issue, no control statement retired, no flit forwarded
+    /// anywhere) while work remains, it stops and names the wedged tiles.
+    /// The simulator is deterministic and closed, so a zero-progress window
+    /// is a proven permanent deadlock; `stall_window` only bounds how long
+    /// detection takes, and anything comfortably above the deepest
+    /// backpressure chain (a few hundred cycles) is safe.
+    ///
+    /// # Errors
+    /// Returns a [`StallReport`] on a zero-progress window, or with
+    /// `deadline_exceeded` set if `max_cycles` elapse first.
+    ///
+    /// # Panics
+    /// Panics if `stall_window` is zero.
+    pub fn run_watched(
+        &mut self,
+        max_cycles: u64,
+        stall_window: u64,
+    ) -> Result<u64, Box<StallReport>> {
+        assert!(stall_window > 0, "stall window must be nonzero");
+        let start = self.cycle;
+        let mut last = self.progress_counter();
+        let mut window_start = self.cycle;
+        while !self.is_quiescent() {
+            if self.cycle - start >= max_cycles {
+                return Err(Box::new(self.stall_report(self.cycle - window_start, true)));
+            }
+            self.step();
+            let now = self.progress_counter();
+            if now != last {
+                last = now;
+                window_start = self.cycle;
+            } else if self.cycle - window_start >= stall_window {
+                return Err(Box::new(self.stall_report(self.cycle - window_start, false)));
+            }
+        }
+        Ok(self.cycle - start)
+    }
+
+    /// Builds the structured stall diagnosis for [`Fabric::run_watched`].
+    fn stall_report(&self, window: u64, deadline_exceeded: bool) -> StallReport {
+        let mut stalled = Vec::new();
+        let mut total = 0;
+        for y in 0..self.h {
+            for x in 0..self.w {
+                let t = self.tile(x, y);
+                if t.core.is_quiescent() && t.router.queued() == 0 {
+                    continue;
+                }
+                total += 1;
+                if stalled.len() < StallReport::MAX_TILES {
+                    stalled.push(StalledTile {
+                        x,
+                        y,
+                        task: t.core.current_task_name(),
+                        router_queued: t.router.queued(),
+                        ramp_in: t.core.ramp_in_residue(),
+                        ramp_out: t.core.ramp_out_len(),
+                        active_threads: t.core.active_threads(),
+                    });
+                }
+            }
+        }
+        StallReport { cycle: self.cycle, window, deadline_exceeded, stalled, total_stalled: total }
+    }
+
+    /// Clears all transient execution state fabric-wide — running tasks,
+    /// background threads, ramp and router queues, FIFO contents — and
+    /// rewinds task scheduling flags and DSR cursors to their declared
+    /// start states (see [`Core::reset_transient`]). Loaded programs,
+    /// routes, memory contents, registers, perf counters, the cycle
+    /// counter, and armed fault state are retained.
+    ///
+    /// This is the fabric half of checkpoint rollback: it discards
+    /// whatever a fault left in flight so a restored Krylov state replays
+    /// from a clean, quiescent machine.
+    pub fn reset_transient(&mut self) {
+        for t in &mut self.tiles {
+            t.core.reset_transient();
+            t.router.clear_queues();
+        }
+        if let Some(fs) = self.faults.as_deref_mut() {
+            fs.pending_links.clear();
+        }
+    }
+
     /// Describes which tiles are still busy (deadlock debugging).
     pub fn diagnose(&self) -> String {
         let mut out = String::new();
@@ -341,6 +679,7 @@ impl Fabric {
             p.busy_cycles += t.core.perf.busy_cycles;
             p.idle_cycles += t.core.perf.idle_cycles;
             p.flits_routed += t.router.flits_routed;
+            p.ctrl_stmts += t.core.perf.ctrl_stmts;
         }
         p
     }
@@ -603,5 +942,207 @@ mod tests {
     fn edge_route_panics() {
         let mut f = Fabric::new(2, 2);
         f.set_route(0, 0, Port::Ramp, 0, &[Port::West]);
+    }
+
+    /// Builds the standard 2-tile sender/receiver pair used by the fault
+    /// tests: (0,0) streams `n` fp16 values east on color 1 into a vector
+    /// at the returned address on (1,0).
+    fn sender_receiver(n: u32) -> (Fabric, u32) {
+        let mut f = Fabric::new(2, 1);
+        f.set_route(0, 0, Port::Ramp, 1, &[Port::East]);
+        f.set_route(1, 0, Port::West, 1, &[Port::Ramp]);
+        {
+            let t = f.tile_mut(0, 0);
+            let data: Vec<F16> = (1..=n).map(|i| F16::from_f64(i as f64)).collect();
+            let addr = t.mem.alloc_vec(n, Dtype::F16).unwrap();
+            t.mem.store_f16_slice(addr, &data);
+            let dsrc = t.core.add_dsr(mk::tensor16(addr, n));
+            let dtx = t.core.add_dsr(mk::tx16(1, n));
+            let task = t.core.add_task(Task::new(
+                "send",
+                vec![Stmt::Exec(TensorInstr {
+                    op: Op::Copy,
+                    dst: Some(dtx),
+                    a: Some(dsrc),
+                    b: None,
+                })],
+            ));
+            t.core.activate(task);
+        }
+        let raddr;
+        {
+            let t = f.tile_mut(1, 0);
+            raddr = t.mem.alloc_vec(n, Dtype::F16).unwrap();
+            let drx = t.core.add_dsr(mk::rx16(1, n));
+            let ddst = t.core.add_dsr(mk::tensor16(raddr, n));
+            let task = t.core.add_task(Task::new(
+                "recv",
+                vec![Stmt::Exec(TensorInstr {
+                    op: Op::Copy,
+                    dst: Some(ddst),
+                    a: Some(drx),
+                    b: None,
+                })],
+            ));
+            t.core.activate(task);
+        }
+        (f, raddr)
+    }
+
+    #[test]
+    fn sram_bit_flip_applies_at_scheduled_cycle() {
+        let mut f = Fabric::new(1, 1);
+        let addr = f.tile_mut(0, 0).mem.alloc_vec(4, Dtype::F16).unwrap();
+        f.tile_mut(0, 0).mem.store_f16_slice(addr, &[F16::from_f64(1.0); 4]);
+        let before = f.tile(0, 0).mem.read_f16(addr + 2).to_bits();
+        f.arm_faults(
+            &FaultPlan::new()
+                .with(5, FaultKind::SramBitFlip { x: 0, y: 0, addr: addr + 2, bit: 9 }),
+        );
+        for _ in 0..5 {
+            f.step();
+        }
+        assert!(f.fault_log().unwrap().applied.is_empty(), "not yet due");
+        f.step(); // cycle 5 begins: the flip lands
+        let after = f.tile(0, 0).mem.read_f16(addr + 2).to_bits();
+        assert_eq!(after, before ^ (1 << 9));
+        assert_eq!(f.fault_log().unwrap().applied.len(), 1);
+        // Untouched neighbors are unchanged.
+        assert_eq!(f.tile(0, 0).mem.read_f16(addr).to_bits(), before);
+    }
+
+    #[test]
+    fn link_drop_loses_exactly_one_flit() {
+        let (mut f, raddr) = sender_receiver(3);
+        f.arm_faults(
+            &FaultPlan::new().with(0, FaultKind::LinkDrop { x: 0, y: 0, port: Port::East }),
+        );
+        // The receiver waits forever for its third word: watchdog fires.
+        let err = f.run_watched(10_000, 64).unwrap_err();
+        assert!(!err.deadline_exceeded);
+        assert_eq!(f.fault_log().unwrap().dropped_flits, 1);
+        assert_eq!(err.total_stalled, 1, "only the receiver is wedged: {err}");
+        assert_eq!(err.stalled[0].x, 1);
+        // The two delivered words made it.
+        let got = f.tile(1, 0).mem.load_f16_slice(raddr, 2);
+        assert_eq!(got[0].to_f64(), 2.0, "first word was the dropped one");
+        assert_eq!(got[1].to_f64(), 3.0);
+    }
+
+    #[test]
+    fn link_corrupt_flips_one_payload_bit() {
+        let (mut f, raddr) = sender_receiver(3);
+        f.arm_faults(
+            &FaultPlan::new()
+                .with(0, FaultKind::LinkCorrupt { x: 0, y: 0, port: Port::East, bit: 3 }),
+        );
+        f.run_watched(10_000, 64).expect("corruption does not stall the fabric");
+        assert_eq!(f.fault_log().unwrap().corrupted_flits, 1);
+        let got = f.tile(1, 0).mem.load_f16_slice(raddr, 3);
+        assert_eq!(got[0].to_bits(), F16::from_f64(1.0).to_bits() ^ (1 << 3));
+        assert_eq!(got[1].to_f64(), 2.0);
+        assert_eq!(got[2].to_f64(), 3.0);
+    }
+
+    #[test]
+    fn tile_kill_stalls_with_report_naming_the_dead_neighborhood() {
+        let (mut f, _) = sender_receiver(64);
+        f.arm_faults(&FaultPlan::new().with(20, FaultKind::TileKill { x: 1, y: 0 }));
+        let err = f.run_watched(100_000, 128).unwrap_err();
+        assert!(!err.deadline_exceeded, "must be a detected deadlock, not a timeout");
+        assert!(f.tile_dead(1, 0));
+        assert!(err.total_stalled >= 1);
+        assert!(
+            err.stalled.iter().any(|t| (t.x, t.y) == (1, 0) && t.router_queued > 0),
+            "dead tile holds undrained queues: {err}"
+        );
+    }
+
+    #[test]
+    fn stuck_port_wedges_the_route() {
+        let (mut f, _) = sender_receiver(8);
+        f.arm_faults(
+            &FaultPlan::new().with(0, FaultKind::StuckPort { x: 0, y: 0, port: Port::East }),
+        );
+        let err = f.run_watched(50_000, 128).unwrap_err();
+        assert!(!err.deadline_exceeded);
+        assert!(err
+            .stalled
+            .iter()
+            .any(|t| (t.x, t.y) == (0, 0) && (t.router_queued > 0 || t.ramp_out > 0)));
+    }
+
+    #[test]
+    fn run_watched_matches_unwatched_on_healthy_fabric() {
+        let (mut f, raddr) = sender_receiver(8);
+        let cycles = f.run_watched(10_000, 256).expect("healthy run must complete");
+        assert!(cycles > 0 && cycles < 100);
+        let got = f.tile(1, 0).mem.load_f16_slice(raddr, 8);
+        assert_eq!(got[7].to_f64(), 8.0);
+        assert!(!f.faults_armed());
+        assert!(f.fault_log().is_none());
+    }
+
+    #[test]
+    fn reset_transient_recovers_a_wedged_fabric() {
+        // Drop a flit so the receiver wedges, then reset and re-run the
+        // same program successfully (the driver re-activates tasks).
+        let (mut f, _) = sender_receiver(4);
+        f.arm_faults(
+            &FaultPlan::new().with(0, FaultKind::LinkDrop { x: 0, y: 0, port: Port::East }),
+        );
+        f.run_watched(10_000, 64).unwrap_err();
+        f.reset_transient();
+        assert!(f.is_quiescent(), "reset must leave the fabric quiescent");
+        // Replay: same tiles, fresh activation; the one-shot drop is spent.
+        let sdata: Vec<F16> = (1..=4).map(|i| F16::from_f64(i as f64)).collect();
+        let (saddr, raddr2);
+        {
+            let t = f.tile_mut(0, 0);
+            saddr = t.mem.alloc_vec(4, Dtype::F16).unwrap();
+            t.mem.store_f16_slice(saddr, &sdata);
+            let dsrc = t.core.add_dsr(mk::tensor16(saddr, 4));
+            let dtx = t.core.add_dsr(mk::tx16(1, 4));
+            let task = t.core.add_task(Task::new(
+                "send2",
+                vec![Stmt::Exec(TensorInstr {
+                    op: Op::Copy,
+                    dst: Some(dtx),
+                    a: Some(dsrc),
+                    b: None,
+                })],
+            ));
+            t.core.activate(task);
+        }
+        {
+            let t = f.tile_mut(1, 0);
+            raddr2 = t.mem.alloc_vec(4, Dtype::F16).unwrap();
+            let drx = t.core.add_dsr(mk::rx16(1, 4));
+            let ddst = t.core.add_dsr(mk::tensor16(raddr2, 4));
+            let task = t.core.add_task(Task::new(
+                "recv2",
+                vec![Stmt::Exec(TensorInstr {
+                    op: Op::Copy,
+                    dst: Some(ddst),
+                    a: Some(drx),
+                    b: None,
+                })],
+            ));
+            t.core.activate(task);
+        }
+        f.run_watched(10_000, 64).expect("replay must complete");
+        assert_eq!(f.tile(1, 0).mem.load_f16_slice(raddr2, 4), sdata);
+    }
+
+    #[test]
+    fn fault_free_plan_changes_nothing() {
+        // Arming an empty plan must not perturb a healthy run's results.
+        let (mut f, raddr) = sender_receiver(8);
+        f.arm_faults(&FaultPlan::new());
+        f.run_watched(10_000, 256).unwrap();
+        let got = f.tile(1, 0).mem.load_f16_slice(raddr, 8);
+        let want: Vec<F16> = (1..=8).map(|i| F16::from_f64(i as f64)).collect();
+        assert_eq!(got, want);
+        assert!(f.fault_log().unwrap().applied.is_empty());
     }
 }

@@ -1,0 +1,352 @@
+//! Deterministic fault injection for the fabric.
+//!
+//! The paper's wafer mapping assumes a flawless fabric; this module lets the
+//! simulator model the unhappy paths: a [`FaultPlan`] schedules faults at
+//! exact cycles, the fabric applies them during [`Fabric::step`], and a
+//! [`FaultLog`] records exactly what was injected so runs are auditable and
+//! bit-for-bit reproducible. The plan is either built explicitly or drawn
+//! from a seeded generator ([`FaultPlan::random`]) — no global RNG state, so
+//! the same seed always yields the same fault schedule.
+//!
+//! Fault taxonomy (mirrors the failure modes of a real wafer):
+//!
+//! * **SRAM bit flip** — a single-event upset in a tile's 48 KB memory.
+//!   Transient data corruption; the fabric keeps running.
+//! * **Tile kill** — the core and router of one tile freeze permanently
+//!   (e.g. a dead PE). Incoming flits pile up in the dead router's queues
+//!   until credit-based backpressure stalls the neighborhood.
+//! * **Stuck router port** — one output port stops forwarding. Because
+//!   fanout is all-or-nothing, any route through that port blocks.
+//! * **Link corrupt / link drop** — a one-shot transmission error: the next
+//!   flit leaving the chosen port is bit-flipped or silently lost.
+//!
+//! [`Fabric::step`]: crate::fabric::Fabric::step
+//! [`Fabric`]: crate::fabric::Fabric
+
+use crate::types::Port;
+
+/// One kind of injectable fault.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Flip bit `bit` (0–15) of the 16-bit SRAM word at byte `addr` of tile
+    /// `(x, y)`. Transient: a later write repairs it.
+    SramBitFlip {
+        /// Tile x coordinate.
+        x: usize,
+        /// Tile y coordinate.
+        y: usize,
+        /// Byte address of the (2-byte aligned) word.
+        addr: u32,
+        /// Bit index within the word, `0..16`.
+        bit: u8,
+    },
+    /// Permanently freeze tile `(x, y)`: its core stops executing and its
+    /// router stops forwarding. Queues into the dead tile fill and
+    /// backpressure propagates outward.
+    TileKill {
+        /// Tile x coordinate.
+        x: usize,
+        /// Tile y coordinate.
+        y: usize,
+    },
+    /// Permanently stick output port `port` of tile `(x, y)`'s router: no
+    /// flit is ever staged through it again.
+    StuckPort {
+        /// Tile x coordinate.
+        x: usize,
+        /// Tile y coordinate.
+        y: usize,
+        /// The output port that sticks.
+        port: Port,
+    },
+    /// Corrupt the next flit leaving tile `(x, y)` through `port` by XORing
+    /// one payload bit. One-shot.
+    LinkCorrupt {
+        /// Tile x coordinate.
+        x: usize,
+        /// Tile y coordinate.
+        y: usize,
+        /// The output port whose next flit is corrupted.
+        port: Port,
+        /// Payload bit to flip, `0..32`.
+        bit: u8,
+    },
+    /// Silently drop the next flit leaving tile `(x, y)` through `port`.
+    /// One-shot.
+    LinkDrop {
+        /// Tile x coordinate.
+        x: usize,
+        /// Tile y coordinate.
+        y: usize,
+        /// The output port whose next flit is lost.
+        port: Port,
+    },
+}
+
+impl FaultKind {
+    /// Short stable label for reports and sweep tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::SramBitFlip { .. } => "sram_bit_flip",
+            FaultKind::TileKill { .. } => "tile_kill",
+            FaultKind::StuckPort { .. } => "stuck_port",
+            FaultKind::LinkCorrupt { .. } => "link_corrupt",
+            FaultKind::LinkDrop { .. } => "link_drop",
+        }
+    }
+
+    /// `true` for faults that permanently disable hardware (no rollback can
+    /// mask them; the solve is expected to exhaust its retry budget).
+    pub fn is_permanent(&self) -> bool {
+        matches!(self, FaultKind::TileKill { .. } | FaultKind::StuckPort { .. })
+    }
+}
+
+/// A fault scheduled for a specific cycle.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Fabric cycle at (or after) which the fault applies.
+    pub at_cycle: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of fault events.
+///
+/// Events are applied in cycle order by the fabric once the plan is armed
+/// via [`Fabric::arm_faults`]; link faults arm at their cycle and fire on
+/// the next flit that crosses the chosen link.
+///
+/// [`Fabric::arm_faults`]: crate::fabric::Fabric::arm_faults
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Schedules `kind` at `at_cycle` (builder style).
+    pub fn with(mut self, at_cycle: u64, kind: FaultKind) -> FaultPlan {
+        self.push(at_cycle, kind);
+        self
+    }
+
+    /// Schedules `kind` at `at_cycle`.
+    pub fn push(&mut self, at_cycle: u64, kind: FaultKind) {
+        self.events.push(FaultEvent { at_cycle, kind });
+    }
+
+    /// The scheduled events, sorted by cycle (stable for equal cycles).
+    pub fn events(&self) -> Vec<FaultEvent> {
+        let mut evs = self.events.clone();
+        evs.sort_by_key(|e| e.at_cycle);
+        evs
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Draws `n` faults of `kind_pool` kinds uniformly over `0..horizon`
+    /// cycles on a `w × h` fabric, deterministically from `seed`.
+    ///
+    /// `sram_words` bounds the byte addresses bit flips may target (pass the
+    /// portion of SRAM actually holding data so flips land where they
+    /// matter). The same arguments always produce the same plan.
+    pub fn random(
+        seed: u64,
+        n: usize,
+        horizon: u64,
+        w: usize,
+        h: usize,
+        sram_words: u32,
+        kind_pool: &[FaultKindClass],
+    ) -> FaultPlan {
+        assert!(!kind_pool.is_empty(), "empty fault kind pool");
+        assert!(sram_words > 0, "sram_words must be nonzero");
+        let mut rng = SplitMix64::new(seed);
+        let mut plan = FaultPlan::new();
+        for _ in 0..n {
+            let at_cycle = rng.below(horizon.max(1));
+            let x = rng.below(w as u64) as usize;
+            let y = rng.below(h as u64) as usize;
+            let class = kind_pool[rng.below(kind_pool.len() as u64) as usize];
+            let port = Port::ALL[rng.below(4) as usize]; // cardinal ports only
+            let kind = match class {
+                FaultKindClass::SramBitFlip => FaultKind::SramBitFlip {
+                    x,
+                    y,
+                    addr: 2 * rng.below(sram_words as u64) as u32,
+                    bit: rng.below(16) as u8,
+                },
+                FaultKindClass::TileKill => FaultKind::TileKill { x, y },
+                FaultKindClass::StuckPort => FaultKind::StuckPort { x, y, port },
+                FaultKindClass::LinkCorrupt => {
+                    FaultKind::LinkCorrupt { x, y, port, bit: rng.below(16) as u8 }
+                }
+                FaultKindClass::LinkDrop => FaultKind::LinkDrop { x, y, port },
+            };
+            plan.push(at_cycle, kind);
+        }
+        plan
+    }
+}
+
+/// Parameter-free fault classes, used to name kinds when drawing random
+/// plans (the concrete coordinates are drawn from the seed).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FaultKindClass {
+    /// See [`FaultKind::SramBitFlip`].
+    SramBitFlip,
+    /// See [`FaultKind::TileKill`].
+    TileKill,
+    /// See [`FaultKind::StuckPort`].
+    StuckPort,
+    /// See [`FaultKind::LinkCorrupt`].
+    LinkCorrupt,
+    /// See [`FaultKind::LinkDrop`].
+    LinkDrop,
+}
+
+impl FaultKindClass {
+    /// All classes, in a stable order (sweep axes iterate this).
+    pub const ALL: [FaultKindClass; 5] = [
+        FaultKindClass::SramBitFlip,
+        FaultKindClass::TileKill,
+        FaultKindClass::StuckPort,
+        FaultKindClass::LinkCorrupt,
+        FaultKindClass::LinkDrop,
+    ];
+
+    /// Short stable label (matches [`FaultKind::label`]).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKindClass::SramBitFlip => "sram_bit_flip",
+            FaultKindClass::TileKill => "tile_kill",
+            FaultKindClass::StuckPort => "stuck_port",
+            FaultKindClass::LinkCorrupt => "link_corrupt",
+            FaultKindClass::LinkDrop => "link_drop",
+        }
+    }
+}
+
+/// One fault as actually applied by the fabric.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// Cycle the fault took effect.
+    pub cycle: u64,
+    /// What was applied.
+    pub kind: FaultKind,
+}
+
+/// Audit trail of injected faults (see [`Fabric::fault_log`]).
+///
+/// [`Fabric::fault_log`]: crate::fabric::Fabric::fault_log
+#[derive(Clone, Debug, Default)]
+pub struct FaultLog {
+    /// Faults applied so far, in application order.
+    pub applied: Vec<FaultRecord>,
+    /// Flits silently dropped by [`FaultKind::LinkDrop`] faults.
+    pub dropped_flits: u64,
+    /// Flits corrupted by [`FaultKind::LinkCorrupt`] faults.
+    pub corrupted_flits: u64,
+}
+
+/// SplitMix64: a tiny, high-quality, seedable PRNG. Kept private to this
+/// crate so fault plans never depend on an external RNG's version-dependent
+/// stream (determinism is a hard requirement for reproducing failures).
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Multiply-shift; bias is negligible for the small ranges used here.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_events_sorted_by_cycle() {
+        let plan = FaultPlan::new()
+            .with(90, FaultKind::TileKill { x: 1, y: 1 })
+            .with(10, FaultKind::LinkDrop { x: 0, y: 0, port: Port::East })
+            .with(50, FaultKind::SramBitFlip { x: 0, y: 0, addr: 4, bit: 3 });
+        let evs = plan.events();
+        assert_eq!(evs.len(), 3);
+        assert!(evs.windows(2).all(|w| w[0].at_cycle <= w[1].at_cycle));
+        assert_eq!(plan.len(), 3);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn random_plan_is_reproducible() {
+        let a = FaultPlan::random(42, 16, 10_000, 4, 4, 256, &FaultKindClass::ALL);
+        let b = FaultPlan::random(42, 16, 10_000, 4, 4, 256, &FaultKindClass::ALL);
+        assert_eq!(a.events(), b.events());
+        let c = FaultPlan::random(43, 16, 10_000, 4, 4, 256, &FaultKindClass::ALL);
+        assert_ne!(a.events(), c.events(), "different seed, different plan");
+    }
+
+    #[test]
+    fn random_plan_respects_bounds() {
+        let plan = FaultPlan::random(7, 64, 1000, 3, 2, 128, &FaultKindClass::ALL);
+        for ev in plan.events() {
+            assert!(ev.at_cycle < 1000);
+            match ev.kind {
+                FaultKind::SramBitFlip { x, y, addr, bit } => {
+                    assert!(x < 3 && y < 2);
+                    assert!(addr < 256 && addr % 2 == 0);
+                    assert!(bit < 16);
+                }
+                FaultKind::TileKill { x, y } => assert!(x < 3 && y < 2),
+                FaultKind::StuckPort { x, y, port }
+                | FaultKind::LinkCorrupt { x, y, port, .. }
+                | FaultKind::LinkDrop { x, y, port } => {
+                    assert!(x < 3 && y < 2);
+                    assert_ne!(port, Port::Ramp, "random link faults target cardinal ports");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(FaultKind::TileKill { x: 0, y: 0 }.label(), "tile_kill");
+        assert_eq!(FaultKindClass::TileKill.label(), "tile_kill");
+        assert!(FaultKind::TileKill { x: 0, y: 0 }.is_permanent());
+        assert!(FaultKind::StuckPort { x: 0, y: 0, port: Port::East }.is_permanent());
+        assert!(!FaultKind::SramBitFlip { x: 0, y: 0, addr: 0, bit: 0 }.is_permanent());
+    }
+}

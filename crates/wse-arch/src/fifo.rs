@@ -79,6 +79,15 @@ impl Fifo {
         self.onpush
     }
 
+    /// Discards all queued elements and rewinds the head (checkpoint
+    /// restore; an empty FIFO behaves identically at any head position, so
+    /// rewinding keeps replays bit-for-bit deterministic). Cumulative
+    /// diagnostics (`total_pushed`, `peak_occupancy`) are retained.
+    pub fn clear(&mut self) {
+        self.head = 0;
+        self.len = 0;
+    }
+
     /// Byte address of the element at the head, if any.
     pub fn pop_addr(&self) -> Option<u32> {
         if self.is_empty() {

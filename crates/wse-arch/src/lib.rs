@@ -69,13 +69,15 @@
 pub mod core;
 pub mod dsr;
 pub mod fabric;
+pub mod fault;
 pub mod fifo;
 pub mod instr;
 pub mod memory;
 pub mod router;
 pub mod types;
 
-pub use crate::core::{Core, CorePerf};
-pub use crate::fabric::{Fabric, FabricPerf, Stalled, Tile};
+pub use crate::core::{Core, CorePerf, SchedSnapshot};
+pub use crate::fabric::{Fabric, FabricPerf, StallReport, Stalled, StalledTile, Tile};
+pub use crate::fault::{FaultKind, FaultKindClass, FaultLog, FaultPlan, FaultRecord, SplitMix64};
 pub use crate::memory::{Memory, OutOfSram, TILE_SRAM_BYTES};
 pub use crate::types::{Color, Dtype, Flit, Port};

@@ -168,6 +168,18 @@ impl Memory {
         }
     }
 
+    /// Flips bit `bit` (0–15) of the 16-bit word at byte address `addr` —
+    /// the fault injector's model of an SRAM single-event upset.
+    ///
+    /// # Panics
+    /// Panics if `bit >= 16` or the word lies outside SRAM.
+    pub fn flip_bit(&mut self, addr: u32, bit: u8) {
+        assert!(bit < 16, "bit index {bit} out of range for a 16-bit word");
+        let a = addr as usize;
+        let word = u16::from_le_bytes([self.bytes[a], self.bytes[a + 1]]) ^ (1u16 << bit);
+        self.bytes[a..a + 2].copy_from_slice(&word.to_le_bytes());
+    }
+
     /// Copies an fp16 slice into memory starting at `addr` (host-side data
     /// loading, standing in for the CS-1's host interface).
     pub fn store_f16_slice(&mut self, addr: u32, data: &[F16]) {

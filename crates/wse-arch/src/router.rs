@@ -28,6 +28,10 @@ pub struct Router {
     in_queues: [[VecDeque<Flit>; NUM_COLORS]; 5],
     /// Round-robin arbitration cursor over (in_port, color) pairs.
     rr: usize,
+    /// Bitmask of permanently stuck *output* ports (fault injection); a
+    /// flit whose fanout touches a stuck port never forwards. Zero on a
+    /// healthy router, so the check is a single AND on the hot path.
+    stuck: u8,
     /// Flits forwarded (perf counter).
     pub flits_routed: u64,
 }
@@ -100,6 +104,27 @@ impl Router {
         self.in_queues.iter().flatten().map(|q| q.len()).sum()
     }
 
+    /// Permanently disables output port `out` (fault injection: a stuck
+    /// port). Flits routed through it are held forever by backpressure.
+    pub fn stick_port(&mut self, out: Port) {
+        self.stuck |= 1 << out.index();
+    }
+
+    /// `true` if `out` has been stuck by [`Router::stick_port`].
+    pub fn port_stuck(&self, out: Port) -> bool {
+        self.stuck & (1 << out.index()) != 0
+    }
+
+    /// Discards every queued flit and rewinds the arbitration cursor
+    /// (checkpoint restore). Routes, stuck-port state, and the forwarded
+    /// counter are retained.
+    pub fn clear_queues(&mut self) {
+        for q in self.in_queues.iter_mut().flatten() {
+            q.clear();
+        }
+        self.rr = 0;
+    }
+
     /// Selects flits to forward this cycle.
     ///
     /// `can_accept(out, color, already_staged_to_that_destination)` tells the
@@ -121,10 +146,11 @@ impl Router {
                 let (pi, color) = (slot / NUM_COLORS, slot % NUM_COLORS);
                 let Some(&flit) = self.in_queues[pi][color].front() else { continue };
                 let Some(fanout) = self.routes[pi][color].clone() else { continue };
-                let fits = fanout.iter().all(|o| budget[o.index()] >= flit.bytes())
-                    && fanout
-                        .iter()
-                        .all(|&o| can_accept(o, color as Color, counts[o.index()][color]));
+                let fits = fanout.iter().all(|o| {
+                    self.stuck & (1 << o.index()) == 0 && budget[o.index()] >= flit.bytes()
+                }) && fanout
+                    .iter()
+                    .all(|&o| can_accept(o, color as Color, counts[o.index()][color]));
                 if !fits {
                     continue;
                 }
@@ -292,6 +318,39 @@ mod tests {
         north_used += 1;
         assert_eq!(north_used, 1);
         assert_eq!(r.queued(), 3);
+    }
+
+    #[test]
+    fn stuck_port_holds_flits_forever() {
+        let mut r = Router::new();
+        r.set_route(Port::West, 0, &[Port::East]);
+        r.set_route(Port::North, 1, &[Port::South]);
+        r.stick_port(Port::East);
+        assert!(r.port_stuck(Port::East));
+        assert!(!r.port_stuck(Port::South));
+        r.enqueue(Port::West, 0, Flit::f16(1));
+        r.enqueue(Port::North, 1, Flit::f16(2));
+        let staged = r.stage(|_, _, _| true);
+        // Only the South-bound flit moves; the East-bound one is wedged.
+        assert_eq!(staged.len(), 1);
+        assert_eq!(staged[0].out, Port::South);
+        assert_eq!(r.queued(), 1);
+        for _ in 0..5 {
+            assert!(r.stage(|_, _, _| true).is_empty());
+        }
+    }
+
+    #[test]
+    fn clear_queues_discards_flits_but_keeps_routes() {
+        let mut r = Router::new();
+        r.set_route(Port::West, 0, &[Port::East]);
+        r.enqueue(Port::West, 0, Flit::f16(1));
+        r.enqueue(Port::West, 0, Flit::f16(2));
+        r.clear_queues();
+        assert_eq!(r.queued(), 0);
+        assert!(r.route(Port::West, 0).is_some(), "routes survive a clear");
+        r.enqueue(Port::West, 0, Flit::f16(3));
+        assert_eq!(r.stage(|_, _, _| true).len(), 1, "router still forwards");
     }
 
     #[test]

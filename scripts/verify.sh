@@ -23,4 +23,16 @@ cargo fmt --check
 echo "== wse-lint (shipped kernel configurations) =="
 cargo run -q --release --bin wse-lint
 
+echo "== fault-injection smoke (one seeded fault of each kind, twice, diffed) =="
+# The smoke sweep solves a small wafer BiCGStab under one seeded fault per
+# kind with checkpoint/rollback recovery enabled. Running it twice and
+# diffing asserts the whole fault→watchdog→recovery pipeline is seeded and
+# bit-for-bit reproducible.
+smoke_a="$(mktemp)"; smoke_b="$(mktemp)"
+trap 'rm -f "$smoke_a" "$smoke_b"' EXIT
+cargo run -q --release -p wse-bench --bin fault_sweep -- --smoke > "$smoke_a"
+cargo run -q --release -p wse-bench --bin fault_sweep -- --smoke > "$smoke_b"
+diff -u "$smoke_a" "$smoke_b"
+grep -q "baseline (fault-free): Converged" "$smoke_a"
+
 echo "verify: OK"

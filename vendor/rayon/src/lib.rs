@@ -86,6 +86,14 @@ impl<'a, T: Send> ParEnumerate<'a, T> {
     {
         ParEnumMap { slice: self.0, f }
     }
+
+    /// Runs `f` on every `(index, &mut item)` pair, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut T)) + Sync,
+    {
+        map_indexed(self.0, |i, t| f((i, t)));
+    }
 }
 
 /// Mapped parallel iterator awaiting collection.
