@@ -12,17 +12,19 @@
 //!
 //! Usage:
 //! ```text
-//! fault_sweep [--smoke] [--seed N] [--trials N]
+//! fault_sweep [--smoke] [--seed N] [--trials N] [--json]
 //! ```
 //!
 //! `--smoke` runs one seeded fault of each kind on a small problem
 //! (sub-second; the CI smoke stage). The default sweep uses the test-scale
-//! 4×4 wafer and several counts and trials.
+//! 4×4 wafer and several counts and trials. `--json` replaces the table
+//! with a single machine-readable JSON document (same data, same
+//! determinism).
 
 use stencil::mesh::Mesh3D;
 use stencil::problem::manufactured;
 use wse_arch::{Fabric, FaultKindClass, FaultPlan, SplitMix64};
-use wse_core::recovery::{RecoveryOutcome, RecoveryPolicy, ResidualTripwire};
+use wse_core::recovery::{RecoveryLog, RecoveryOutcome, RecoveryPolicy, ResidualTripwire};
 use wse_core::WaferBicgstab;
 use wse_float::F16;
 
@@ -33,6 +35,7 @@ struct SweepConfig {
     counts: Vec<usize>,
     trials: usize,
     seed: u64,
+    json: bool,
 }
 
 /// Per-(kind, count) aggregate over trials.
@@ -45,6 +48,7 @@ struct Cell {
     iterations_lost: usize,
     stalls: usize,
     trips: usize,
+    false_conv: usize,
 }
 
 fn policy() -> RecoveryPolicy {
@@ -62,6 +66,7 @@ fn policy() -> RecoveryPolicy {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let json = args.iter().any(|a| a == "--json");
     let flag = |name: &str| {
         args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(|v| {
             v.parse::<u64>().unwrap_or_else(|_| panic!("{name} expects an integer, got '{v}'"))
@@ -76,6 +81,7 @@ fn main() {
             counts: vec![1],
             trials: flag("--trials").unwrap_or(1) as usize,
             seed,
+            json,
         }
     } else {
         SweepConfig {
@@ -85,6 +91,7 @@ fn main() {
             counts: vec![1, 2, 4],
             trials: flag("--trials").unwrap_or(3) as usize,
             seed,
+            json,
         }
     };
     run_sweep(&cfg);
@@ -104,20 +111,6 @@ fn run_sweep(cfg: &SweepConfig) {
     let live_words = fabric.tile(0, 0).mem.used() / 2;
     let (_, stats, log) = solver.solve_with_recovery(&mut fabric, &a16, &b16, cfg.iters, &pol);
     let horizon = fabric.cycle().max(1);
-    println!(
-        "fault_sweep: BiCGStab on {w}x{h} wafer, mesh {}x{}x{}, \
-         {} trials/cell, seed {}",
-        cfg.mesh.nx, cfg.mesh.ny, cfg.mesh.nz, cfg.trials, cfg.seed
-    );
-    println!(
-        "policy: checkpoint every {} iters, {} retries, converge rel < {:.1e} \
-         (verified true rel < {:.1e})",
-        pol.checkpoint_every, pol.max_retries, pol.tripwire.converged, pol.verify_rel
-    );
-    println!(
-        "baseline (fault-free): {:?} in {} iterations, rel {:.3e}, {} cycles",
-        log.outcome, log.iterations, log.final_rel_residual, horizon
-    );
     assert_eq!(
         log.outcome,
         RecoveryOutcome::Converged,
@@ -126,21 +119,8 @@ fn run_sweep(cfg: &SweepConfig) {
         log.final_rel_residual,
         stats.residuals
     );
-    let baseline_iters = log.iterations;
 
-    println!();
-    println!(
-        "{:<14} {:>6} {:>7} {:>8} {:>9} {:>10} {:>9} {:>7} {:>6}",
-        "kind",
-        "faults",
-        "trials",
-        "success",
-        "avg_iter",
-        "avg_rollbk",
-        "avg_lost",
-        "stalls",
-        "trips"
-    );
+    let mut rows: Vec<(FaultKindClass, usize, Cell)> = Vec::new();
     for kind in FaultKindClass::ALL {
         for &count in &cfg.counts {
             let mut cell = Cell::default();
@@ -153,26 +133,122 @@ fn run_sweep(cfg: &SweepConfig) {
                 let plan_seed = mix.next_u64();
                 run_trial(cfg, &a16, &b16, plan_seed, count, kind, live_words, horizon, &mut cell);
             }
-            let t = cfg.trials as f64;
-            println!(
-                "{:<14} {:>6} {:>7} {:>8.2} {:>9.2} {:>10.2} {:>9.2} {:>7.2} {:>6.2}",
-                kind.label(),
-                count,
-                cfg.trials,
-                cell.converged as f64 / t,
-                cell.committed_iters as f64 / t,
-                cell.rollbacks as f64 / t,
-                cell.iterations_lost as f64 / t,
-                cell.stalls as f64 / t,
-                cell.trips as f64 / t,
-            );
+            rows.push((kind, count, cell));
         }
+    }
+
+    if cfg.json {
+        print_json(cfg, &log, horizon, &rows);
+    } else {
+        print_table(cfg, &pol, &log, horizon, &rows);
+    }
+}
+
+fn print_table(
+    cfg: &SweepConfig,
+    pol: &RecoveryPolicy,
+    baseline: &RecoveryLog,
+    horizon: u64,
+    rows: &[(FaultKindClass, usize, Cell)],
+) {
+    let (w, h) = cfg.fabric;
+    println!(
+        "fault_sweep: BiCGStab on {w}x{h} wafer, mesh {}x{}x{}, \
+         {} trials/cell, seed {}",
+        cfg.mesh.nx, cfg.mesh.ny, cfg.mesh.nz, cfg.trials, cfg.seed
+    );
+    println!(
+        "policy: checkpoint every {} iters, {} retries, converge rel < {:.1e} \
+         (verified true rel < {:.1e})",
+        pol.checkpoint_every, pol.max_retries, pol.tripwire.converged, pol.verify_rel
+    );
+    println!(
+        "baseline (fault-free): {:?} in {} iterations, rel {:.3e}, {} cycles",
+        baseline.outcome, baseline.iterations, baseline.final_rel_residual, horizon
+    );
+    println!();
+    println!(
+        "{:<14} {:>6} {:>7} {:>8} {:>9} {:>9} {:>10} {:>9} {:>7} {:>6} {:>8}",
+        "kind",
+        "faults",
+        "trials",
+        "success",
+        "avg_appl",
+        "avg_iter",
+        "avg_rollbk",
+        "avg_lost",
+        "stalls",
+        "trips",
+        "false_cv"
+    );
+    let t = cfg.trials as f64;
+    for (kind, count, cell) in rows {
+        println!(
+            "{:<14} {:>6} {:>7} {:>8.2} {:>9.2} {:>9.2} {:>10.2} {:>9.2} {:>7.2} {:>6.2} {:>8.2}",
+            kind.label(),
+            count,
+            cfg.trials,
+            cell.converged as f64 / t,
+            cell.applied as f64 / t,
+            cell.committed_iters as f64 / t,
+            cell.rollbacks as f64 / t,
+            cell.iterations_lost as f64 / t,
+            cell.stalls as f64 / t,
+            cell.trips as f64 / t,
+            cell.false_conv as f64 / t,
+        );
     }
     println!();
     println!(
-        "iteration overhead = avg_iter - {baseline_iters} (baseline); \
-         avg_lost counts rolled-back work"
+        "iteration overhead = avg_iter - {} (baseline); avg_appl counts faults \
+         that actually fired; avg_lost counts rolled-back work",
+        baseline.iterations
     );
+}
+
+/// Hand-serialized (the build is offline; no serde) machine-readable dump of
+/// the same data the table shows. Keys and ordering are fixed, so identical
+/// arguments still produce bit-identical output.
+fn print_json(
+    cfg: &SweepConfig,
+    baseline: &RecoveryLog,
+    horizon: u64,
+    rows: &[(FaultKindClass, usize, Cell)],
+) {
+    let (w, h) = cfg.fabric;
+    println!("{{");
+    println!(
+        "  \"config\": {{\"fabric\": [{w}, {h}], \"mesh\": [{}, {}, {}], \
+         \"iters\": {}, \"trials\": {}, \"seed\": {}}},",
+        cfg.mesh.nx, cfg.mesh.ny, cfg.mesh.nz, cfg.iters, cfg.trials, cfg.seed
+    );
+    println!(
+        "  \"baseline\": {{\"outcome\": \"{:?}\", \"iterations\": {}, \
+         \"rel_residual\": {:.6e}, \"cycles\": {horizon}}},",
+        baseline.outcome, baseline.iterations, baseline.final_rel_residual
+    );
+    println!("  \"cells\": [");
+    for (i, (kind, count, cell)) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        println!(
+            "    {{\"kind\": \"{}\", \"faults\": {count}, \"trials\": {}, \
+             \"converged\": {}, \"applied\": {}, \"committed_iters\": {}, \
+             \"rollbacks\": {}, \"iterations_lost\": {}, \"stalls\": {}, \
+             \"tripwire_trips\": {}, \"false_convergences\": {}}}{comma}",
+            kind.label(),
+            cfg.trials,
+            cell.converged,
+            cell.applied,
+            cell.committed_iters,
+            cell.rollbacks,
+            cell.iterations_lost,
+            cell.stalls,
+            cell.trips,
+            cell.false_conv,
+        );
+    }
+    println!("  ]");
+    println!("}}");
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -204,5 +280,6 @@ fn run_trial(
     cell.rollbacks += log.rollbacks;
     cell.iterations_lost += log.iterations_lost;
     cell.stalls += log.stalls;
-    cell.trips += log.tripwire_trips + log.false_convergences;
+    cell.trips += log.tripwire_trips;
+    cell.false_conv += log.false_convergences;
 }

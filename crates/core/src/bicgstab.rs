@@ -557,10 +557,12 @@ impl WaferBicgstab {
     /// Activates one phase task on every tile, runs to quiescence under the
     /// fabric stall watchdog, and returns the cycles it took — or the
     /// watchdog's [`StallReport`] instead of panicking, so the recovery
-    /// layer can roll back.
+    /// layer can roll back. The run is bracketed as trace phase `name`
+    /// (inert unless the fabric's tracing is armed).
     fn try_phase(
         &self,
         fabric: &mut Fabric,
+        name: &'static str,
         pick: impl Fn(&TileTasks) -> TaskId,
     ) -> Result<u64, Box<StallReport>> {
         let m = self.mapping;
@@ -571,7 +573,10 @@ impl WaferBicgstab {
             }
         }
         let budget = 200 * m.z as u64 + 200 * (m.fabric_w + m.fabric_h) as u64 + 50_000;
-        fabric.run_watched(budget, recovery::STALL_WINDOW)
+        fabric.phase_begin(name);
+        let r = fabric.run_watched(budget, recovery::STALL_WINDOW);
+        fabric.phase_end();
+        r
     }
 
     /// Loads the right-hand side and zeroes the iterate: `r = r̂₀ = p = b`,
@@ -600,9 +605,9 @@ impl WaferBicgstab {
             }
         }
         // ρ₀ = (r̂₀, r).
-        self.try_phase(fabric, |t| t.dot_rho)?;
+        self.try_phase(fabric, "dot", |t| t.dot_rho)?;
         self.try_allreduce_phase(fabric)?;
-        self.try_phase(fabric, |t| t.init_rho)?;
+        self.try_phase(fabric, "scalar", |t| t.init_rho)?;
         Ok(())
     }
 
@@ -613,7 +618,11 @@ impl WaferBicgstab {
                 fabric.tile_mut(x, y).core.activate(self.allreduce.task(x, y));
             }
         }
-        fabric.run_watched(100 * (m.fabric_w + m.fabric_h) as u64 + 50_000, recovery::STALL_WINDOW)
+        fabric.phase_begin("allreduce");
+        let r = fabric
+            .run_watched(100 * (m.fabric_w + m.fabric_h) as u64 + 50_000, recovery::STALL_WINDOW);
+        fabric.phase_end();
+        r
     }
 
     /// Fused mode: one combined task per tile drives both reduction
@@ -627,7 +636,11 @@ impl WaferBicgstab {
                 fabric.tile_mut(x, y).core.activate(t);
             }
         }
-        fabric.run_watched(100 * (m.fabric_w + m.fabric_h) as u64 + 50_000, recovery::STALL_WINDOW)
+        fabric.phase_begin("allreduce");
+        let r = fabric
+            .run_watched(100 * (m.fabric_w + m.fabric_h) as u64 + 50_000, recovery::STALL_WINDOW);
+        fabric.phase_end();
+        r
     }
 
     /// Runs one BiCGStab iteration, returning its cycle breakdown.
@@ -639,39 +652,39 @@ impl WaferBicgstab {
     pub fn try_iterate(&self, fabric: &mut Fabric) -> Result<IterCycles, Box<StallReport>> {
         let mut c = IterCycles::default();
         // s := A p
-        c.spmv += self.try_phase(fabric, |t| t.spmv_ps.start)?;
+        c.spmv += self.try_phase(fabric, "spmv", |t| t.spmv_ps.start)?;
         // α := ρ / (r̂₀, s)
-        c.dot += self.try_phase(fabric, |t| t.dot_r0s)?;
+        c.dot += self.try_phase(fabric, "dot", |t| t.dot_r0s)?;
         c.allreduce += self.try_allreduce_phase(fabric)?;
-        c.scalar += self.try_phase(fabric, |t| t.post_r0s)?;
+        c.scalar += self.try_phase(fabric, "scalar", |t| t.post_r0s)?;
         // q := r − α s
-        c.update += self.try_phase(fabric, |t| t.upd_q)?;
+        c.update += self.try_phase(fabric, "update", |t| t.upd_q)?;
         // y := A q
-        c.spmv += self.try_phase(fabric, |t| t.spmv_qy.start)?;
+        c.spmv += self.try_phase(fabric, "spmv", |t| t.spmv_qy.start)?;
         // ω := (q,y) / (y,y)
         if self.fused {
-            c.dot += self.try_phase(fabric, |t| t.dot_qy_yy)?;
+            c.dot += self.try_phase(fabric, "dot", |t| t.dot_qy_yy)?;
             c.allreduce += self.try_allreduce_phase_both(fabric)?;
-            c.scalar += self.try_phase(fabric, |t| t.post_omega_fused)?;
+            c.scalar += self.try_phase(fabric, "scalar", |t| t.post_omega_fused)?;
         } else {
-            c.dot += self.try_phase(fabric, |t| t.dot_qy)?;
+            c.dot += self.try_phase(fabric, "dot", |t| t.dot_qy)?;
             c.allreduce += self.try_allreduce_phase(fabric)?;
-            c.scalar += self.try_phase(fabric, |t| t.post_qy)?;
-            c.dot += self.try_phase(fabric, |t| t.dot_yy)?;
+            c.scalar += self.try_phase(fabric, "scalar", |t| t.post_qy)?;
+            c.dot += self.try_phase(fabric, "dot", |t| t.dot_yy)?;
             c.allreduce += self.try_allreduce_phase(fabric)?;
-            c.scalar += self.try_phase(fabric, |t| t.post_yy)?;
+            c.scalar += self.try_phase(fabric, "scalar", |t| t.post_yy)?;
         }
         // x := x + α p + ω q
-        c.update += self.try_phase(fabric, |t| t.upd_x)?;
+        c.update += self.try_phase(fabric, "update", |t| t.upd_x)?;
         // r := q − ω y
-        c.update += self.try_phase(fabric, |t| t.upd_r)?;
+        c.update += self.try_phase(fabric, "update", |t| t.upd_r)?;
         // β and ρ roll-over
-        c.dot += self.try_phase(fabric, |t| t.dot_rho)?;
+        c.dot += self.try_phase(fabric, "dot", |t| t.dot_rho)?;
         c.allreduce += self.try_allreduce_phase(fabric)?;
-        c.scalar += self.try_phase(fabric, |t| t.post_rho)?;
+        c.scalar += self.try_phase(fabric, "scalar", |t| t.post_rho)?;
         // p := r + β (p − ω s)
-        c.update += self.try_phase(fabric, |t| t.upd_p1)?;
-        c.update += self.try_phase(fabric, |t| t.upd_p2)?;
+        c.update += self.try_phase(fabric, "update", |t| t.upd_p1)?;
+        c.update += self.try_phase(fabric, "update", |t| t.upd_p2)?;
         Ok(c)
     }
 
@@ -684,9 +697,9 @@ impl WaferBicgstab {
 
     /// Fallible [`WaferBicgstab::residual_norm`].
     pub fn try_residual_norm(&self, fabric: &mut Fabric) -> Result<f32, Box<StallReport>> {
-        self.try_phase(fabric, |t| t.dot_rr)?;
+        self.try_phase(fabric, "dot", |t| t.dot_rr)?;
         self.try_allreduce_phase(fabric)?;
-        self.try_phase(fabric, |t| t.post_rr)?;
+        self.try_phase(fabric, "scalar", |t| t.post_rr)?;
         Ok(fabric.tile(0, 0).core.regs[regs::RR].max(0.0).sqrt())
     }
 

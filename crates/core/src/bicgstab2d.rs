@@ -436,10 +436,14 @@ impl WaferBicgstab2d {
     }
 
     /// Phase runner under the stall watchdog; a wedged fabric surfaces as a
-    /// [`StallReport`] the recovery layer can act on.
+    /// [`StallReport`] the recovery layer can act on. The run is bracketed
+    /// as trace phase `name` (inert unless tracing is armed). The 2D SpMV's
+    /// halo exchange happens inside its task chain, so it is attributed to
+    /// the "spmv" phase, matching how the paper accounts the broadcast.
     fn try_phase(
         &self,
         fabric: &mut Fabric,
+        name: &'static str,
         pick: impl Fn(&Tile2dTasks) -> TaskId,
     ) -> Result<u64, Box<StallReport>> {
         for y in 0..self.fabric_h {
@@ -449,7 +453,10 @@ impl WaferBicgstab2d {
             }
         }
         let budget = 2_000 * (self.block.points() as u64) + 100_000;
-        fabric.run_watched(budget, recovery::STALL_WINDOW)
+        fabric.phase_begin(name);
+        let r = fabric.run_watched(budget, recovery::STALL_WINDOW);
+        fabric.phase_end();
+        r
     }
 
     fn try_reduce(&self, fabric: &mut Fabric) -> Result<u64, Box<StallReport>> {
@@ -458,10 +465,13 @@ impl WaferBicgstab2d {
                 fabric.tile_mut(x, y).core.activate(self.allreduce.task(x, y));
             }
         }
-        fabric.run_watched(
+        fabric.phase_begin("allreduce");
+        let r = fabric.run_watched(
             100 * (self.fabric_w + self.fabric_h) as u64 + 50_000,
             recovery::STALL_WINDOW,
-        )
+        );
+        fabric.phase_end();
+        r
     }
 
     /// Scatters `b` (global 2D mesh order), zeroes `x`, seeds ρ and ε.
@@ -494,9 +504,9 @@ impl WaferBicgstab2d {
                 tile.core.regs[regs::EPS] = 1e-30;
             }
         }
-        self.try_phase(fabric, |t| t.dot_rho)?;
+        self.try_phase(fabric, "dot", |t| t.dot_rho)?;
         self.try_reduce(fabric)?;
-        self.try_phase(fabric, |t| t.init_rho)?;
+        self.try_phase(fabric, "scalar", |t| t.init_rho)?;
         Ok(())
     }
 
@@ -509,24 +519,24 @@ impl WaferBicgstab2d {
     /// watchdog and returns the [`StallReport`] instead of panicking.
     pub fn try_iterate(&self, fabric: &mut Fabric) -> Result<u64, Box<StallReport>> {
         let mut total = 0;
-        total += self.try_phase(fabric, |t| t.spmv_ps)?;
-        total += self.try_phase(fabric, |t| t.dot_r0s)?;
+        total += self.try_phase(fabric, "spmv", |t| t.spmv_ps)?;
+        total += self.try_phase(fabric, "dot", |t| t.dot_r0s)?;
         total += self.try_reduce(fabric)?;
-        total += self.try_phase(fabric, |t| t.post_r0s)?;
-        total += self.try_phase(fabric, |t| t.upd_q)?;
-        total += self.try_phase(fabric, |t| t.spmv_qy)?;
-        total += self.try_phase(fabric, |t| t.dot_qy)?;
+        total += self.try_phase(fabric, "scalar", |t| t.post_r0s)?;
+        total += self.try_phase(fabric, "update", |t| t.upd_q)?;
+        total += self.try_phase(fabric, "spmv", |t| t.spmv_qy)?;
+        total += self.try_phase(fabric, "dot", |t| t.dot_qy)?;
         total += self.try_reduce(fabric)?;
-        total += self.try_phase(fabric, |t| t.post_qy)?;
-        total += self.try_phase(fabric, |t| t.dot_yy)?;
+        total += self.try_phase(fabric, "scalar", |t| t.post_qy)?;
+        total += self.try_phase(fabric, "dot", |t| t.dot_yy)?;
         total += self.try_reduce(fabric)?;
-        total += self.try_phase(fabric, |t| t.post_yy)?;
-        total += self.try_phase(fabric, |t| t.upd_x)?;
-        total += self.try_phase(fabric, |t| t.upd_r)?;
-        total += self.try_phase(fabric, |t| t.dot_rho)?;
+        total += self.try_phase(fabric, "scalar", |t| t.post_yy)?;
+        total += self.try_phase(fabric, "update", |t| t.upd_x)?;
+        total += self.try_phase(fabric, "update", |t| t.upd_r)?;
+        total += self.try_phase(fabric, "dot", |t| t.dot_rho)?;
         total += self.try_reduce(fabric)?;
-        total += self.try_phase(fabric, |t| t.post_rho)?;
-        total += self.try_phase(fabric, |t| t.upd_p)?;
+        total += self.try_phase(fabric, "scalar", |t| t.post_rho)?;
+        total += self.try_phase(fabric, "update", |t| t.upd_p)?;
         Ok(total)
     }
 
@@ -538,9 +548,9 @@ impl WaferBicgstab2d {
 
     /// Fallible [`WaferBicgstab2d::residual_norm`].
     pub fn try_residual_norm(&self, fabric: &mut Fabric) -> Result<f32, Box<StallReport>> {
-        self.try_phase(fabric, |t| t.dot_rr)?;
+        self.try_phase(fabric, "dot", |t| t.dot_rr)?;
         self.try_reduce(fabric)?;
-        self.try_phase(fabric, |t| t.post_rr)?;
+        self.try_phase(fabric, "scalar", |t| t.post_rr)?;
         Ok(fabric.tile(0, 0).core.regs[regs::RR].max(0.0).sqrt())
     }
 

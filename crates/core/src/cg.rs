@@ -508,10 +508,12 @@ impl WaferCg {
     }
 
     /// Phase runner under the stall watchdog; a wedged fabric surfaces as a
-    /// [`StallReport`] the recovery layer can act on.
+    /// [`StallReport`] the recovery layer can act on. The run is bracketed
+    /// as trace phase `name` (inert unless tracing is armed).
     fn try_phase(
         &self,
         fabric: &mut Fabric,
+        name: &'static str,
         pick: impl Fn(&CgTileTasks) -> TaskId,
     ) -> Result<u64, Box<StallReport>> {
         let m = self.mapping;
@@ -522,7 +524,10 @@ impl WaferCg {
             }
         }
         let budget = 200 * m.z as u64 + 200 * (m.fabric_w + m.fabric_h) as u64 + 50_000;
-        fabric.run_watched(budget, recovery::STALL_WINDOW)
+        fabric.phase_begin(name);
+        let r = fabric.run_watched(budget, recovery::STALL_WINDOW);
+        fabric.phase_end();
+        r
     }
 
     fn try_reduce(&self, fabric: &mut Fabric) -> Result<u64, Box<StallReport>> {
@@ -532,7 +537,11 @@ impl WaferCg {
                 fabric.tile_mut(x, y).core.activate(self.allreduce.task(x, y));
             }
         }
-        fabric.run_watched(100 * (m.fabric_w + m.fabric_h) as u64 + 50_000, recovery::STALL_WINDOW)
+        fabric.phase_begin("allreduce");
+        let r = fabric
+            .run_watched(100 * (m.fabric_w + m.fabric_h) as u64 + 50_000, recovery::STALL_WINDOW);
+        fabric.phase_end();
+        r
     }
 
     fn try_reduce_fused(&self, fabric: &mut Fabric) -> Result<u64, Box<StallReport>> {
@@ -543,7 +552,11 @@ impl WaferCg {
                 fabric.tile_mut(x, y).core.activate(t);
             }
         }
-        fabric.run_watched(100 * (m.fabric_w + m.fabric_h) as u64 + 50_000, recovery::STALL_WINDOW)
+        fabric.phase_begin("allreduce");
+        let r = fabric
+            .run_watched(100 * (m.fabric_w + m.fabric_h) as u64 + 50_000, recovery::STALL_WINDOW);
+        fabric.phase_end();
+        r
     }
 
     /// Loads `b` (x = 0, r = p = b) and seeds the scalar state.
@@ -573,7 +586,7 @@ impl WaferCg {
         match self.variant {
             CgVariant::Standard => {
                 // Seed γ = (r, r).
-                self.try_phase(fabric, |t| t.dot_rr)?;
+                self.try_phase(fabric, "dot", |t| t.dot_rr)?;
                 self.try_reduce(fabric)?;
                 let m = self.mapping;
                 for y in 0..m.fabric_h {
@@ -608,33 +621,33 @@ impl WaferCg {
         match self.variant {
             CgVariant::Standard => {
                 // q = A p  (p is the padded SpMV source).
-                c.spmv += self.try_phase(fabric, |t| t.spmv.start)?;
+                c.spmv += self.try_phase(fabric, "spmv", |t| t.spmv.start)?;
                 // (p, q) → α.
-                c.dot += self.try_phase(fabric, |t| t.dot_pq)?;
+                c.dot += self.try_phase(fabric, "dot", |t| t.dot_pq)?;
                 c.allreduce += self.try_reduce(fabric)?;
-                c.scalar += self.try_phase(fabric, |t| t.post_alpha_std)?;
+                c.scalar += self.try_phase(fabric, "scalar", |t| t.post_alpha_std)?;
                 // x += α p; r −= α q.
-                c.update += self.try_phase(fabric, |t| t.upd_xr_std)?;
+                c.update += self.try_phase(fabric, "update", |t| t.upd_xr_std)?;
                 // (r, r) → β, roll γ.
-                c.dot += self.try_phase(fabric, |t| t.dot_rr)?;
+                c.dot += self.try_phase(fabric, "dot", |t| t.dot_rr)?;
                 c.allreduce += self.try_reduce(fabric)?;
-                c.scalar += self.try_phase(fabric, |t| t.post_beta_std)?;
+                c.scalar += self.try_phase(fabric, "scalar", |t| t.post_beta_std)?;
                 // p = r + β p.
-                c.update += self.try_phase(fabric, |t| t.upd_p_std)?;
+                c.update += self.try_phase(fabric, "update", |t| t.upd_p_std)?;
             }
             CgVariant::SingleReduction => {
                 // s = A r  (r is the padded SpMV source).
-                c.spmv += self.try_phase(fabric, |t| t.spmv.start)?;
+                c.spmv += self.try_phase(fabric, "spmv", |t| t.spmv.start)?;
                 // γ = (r, r), δ = (r, s) — one dual-network round.
-                c.dot += self.try_phase(fabric, |t| t.dot_gamma_delta)?;
+                c.dot += self.try_phase(fabric, "dot", |t| t.dot_gamma_delta)?;
                 c.allreduce += self.try_reduce_fused(fabric)?;
                 c.scalar += if first {
-                    self.try_phase(fabric, |t| t.init_gamma)?
+                    self.try_phase(fabric, "scalar", |t| t.init_gamma)?
                 } else {
-                    self.try_phase(fabric, |t| t.post_fused)?
+                    self.try_phase(fabric, "scalar", |t| t.post_fused)?
                 };
                 // p, q, x, r recurrences.
-                c.update += self.try_phase(fabric, |t| t.upd_all_cg2)?;
+                c.update += self.try_phase(fabric, "update", |t| t.upd_all_cg2)?;
             }
         }
         Ok(c)

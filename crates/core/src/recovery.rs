@@ -336,6 +336,7 @@ pub fn run_with_recovery(
     let mut ckpt = FabricCheckpoint::capture(fabric);
     let mut ckpt_iter = 0usize;
     log.checkpoints_taken = 1;
+    fabric.phase_marker("checkpoint");
 
     // Committed-iteration cursor; rolled back on every recovery action.
     let mut it = 0usize;
@@ -382,6 +383,7 @@ pub fn run_with_recovery(
                     ckpt = FabricCheckpoint::capture(fabric);
                     ckpt_iter = it;
                     log.checkpoints_taken += 1;
+                    fabric.phase_marker("checkpoint");
                 }
             }
             Next::Rollback(why) => {
@@ -395,6 +397,7 @@ pub fn run_with_recovery(
                 log.iterations_lost += it - ckpt_iter;
                 it = ckpt_iter;
                 ckpt.restore(fabric);
+                fabric.phase_marker("rollback");
             }
         }
     }

@@ -22,6 +22,7 @@ use crate::dsr::{Descriptor, Dsr};
 use crate::fifo::Fifo;
 use crate::instr::{ColorBinding, Op, RegOp, Stmt, Task, TaskAction, TensorInstr};
 use crate::memory::Memory;
+use crate::trace::{CoreTrace, StallCause};
 use crate::types::{
     Color, DsrId, Dtype, FifoId, Flit, TaskId, NUM_COLORS, NUM_REGS, NUM_THREADS, QUEUE_CAPACITY,
     RAMP_OUT_CAPACITY, SIMD_F16, SIMD_F32, SIMD_MIXED,
@@ -99,6 +100,9 @@ pub struct Core {
     ramp_out: VecDeque<(Color, Flit)>,
     /// Performance counters.
     pub perf: CorePerf,
+    /// Armed trace collection; `None` (the default) keeps every hook on a
+    /// one-pointer-test fast path (the same idiom as fault arming).
+    trace: Option<Box<CoreTrace>>,
 }
 
 impl Default for Core {
@@ -123,7 +127,29 @@ impl Core {
             ramp_in: (0..NUM_COLORS).map(|_| VecDeque::new()).collect(),
             ramp_out: VecDeque::new(),
             perf: CorePerf::default(),
+            trace: None,
         }
+    }
+
+    /// Arms per-core trace collection, stamping events from `now` (the
+    /// fabric clock at arm time). Re-arming replaces prior state.
+    pub fn arm_trace(&mut self, now: u64, ring_capacity: usize) {
+        self.trace = Some(Box::new(CoreTrace::new(now, ring_capacity)));
+    }
+
+    /// `true` while trace collection is armed.
+    pub fn trace_armed(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// The armed trace state, if any (diagnostic access).
+    pub fn trace(&self) -> Option<&CoreTrace> {
+        self.trace.as_deref()
+    }
+
+    /// Disarms tracing and returns the collected state, if armed.
+    pub fn take_trace(&mut self) -> Option<Box<CoreTrace>> {
+        self.trace.take()
     }
 
     /// Registers a DSR, returning its id.
@@ -321,8 +347,8 @@ impl Core {
     /// Clears all transient execution state — running task, background
     /// threads, ramp queues, FIFO contents — and rewinds every task's
     /// scheduling flags to its declared start state and every DSR cursor to
-    /// zero. Programs, routes-side bindings, registers, and perf counters
-    /// are retained.
+    /// zero. Programs, routes-side bindings, registers, perf counters, and
+    /// armed trace state (including its monotone cycle stamp) are retained.
     ///
     /// This is the core half of checkpoint restore: after a fault wedges
     /// the fabric mid-phase, the recovery layer calls this and then
@@ -437,6 +463,18 @@ impl Core {
         self.schedule();
         self.control_step();
         self.datapath_step(mem);
+        // The per-core cycle stamp tracks the fabric clock (one core step
+        // per fabric cycle) and is never rewound — see [`CoreTrace`].
+        if let Some(tr) = self.trace.as_deref_mut() {
+            tr.now += 1;
+        }
+    }
+
+    /// Records a main-thread task retiring (trace hook; no-op disarmed).
+    fn trace_task_end(&mut self, task: TaskId) {
+        if let Some(tr) = self.trace.as_deref_mut() {
+            tr.record_task_end(task);
+        }
     }
 
     /// Activates tasks bound to colors with pending data.
@@ -466,6 +504,9 @@ impl Core {
             let id = usize::MAX - inv_id;
             self.tasks[id].activated = false; // activation is consumed
             self.main = Some(RunningTask { id, pc: 0, exec: None });
+            if let Some(tr) = self.trace.as_deref_mut() {
+                tr.record_task_start(id, self.tasks[id].task.name);
+            }
         }
     }
 
@@ -480,6 +521,7 @@ impl Core {
         let body_len = self.tasks[task_id].task.body.len();
         if pc >= body_len {
             self.main = None;
+            self.trace_task_end(task_id);
             return;
         }
         let stmt = self.tasks[task_id].task.body[pc].clone();
@@ -530,6 +572,7 @@ impl Core {
         let r = self.main.as_ref().unwrap();
         if r.exec.is_none() && r.pc >= self.tasks[task_id].task.body.len() {
             self.main = None;
+            self.trace_task_end(task_id);
         }
     }
 
@@ -557,6 +600,9 @@ impl Core {
             let (progress, complete) = self.process(mem, &active.instr);
             if complete {
                 self.finish_operands(&active.instr);
+                if let Some(tr) = self.trace.as_deref_mut() {
+                    tr.retired[active.instr.op.class().index()] += 1;
+                }
                 if let Some((task, action)) = active.on_complete {
                     self.apply_action(task, action);
                 }
@@ -564,8 +610,10 @@ impl Core {
                     let r = self.main.as_mut().unwrap();
                     r.exec = None;
                     // Retire the task if the body is done.
-                    if r.pc >= self.tasks[r.id].task.body.len() {
+                    let id = r.id;
+                    if r.pc >= self.tasks[id].task.body.len() {
                         self.main = None;
+                        self.trace_task_end(id);
                     }
                 } else {
                     self.threads[slot] = None;
@@ -581,6 +629,43 @@ impl Core {
             self.perf.busy_cycles += 1;
         } else {
             self.perf.idle_cycles += 1;
+            // Stall attribution (armed only): why did the datapath sit
+            // this cycle out?
+            if self.trace.is_some() {
+                let cause = self.classify_stall();
+                self.trace.as_deref_mut().unwrap().stall[cause.index()] += 1;
+            }
+        }
+    }
+
+    /// Classifies a non-issuing datapath cycle: starved sources win over
+    /// blocked destinations; no active instruction at all is `Idle`. Bank
+    /// conflicts are deliberately unmodeled (see [`StallCause`]), so that
+    /// bucket never fires.
+    fn classify_stall(&self) -> StallCause {
+        let mut any = false;
+        let mut backpressured = false;
+        let actives = self
+            .threads
+            .iter()
+            .filter_map(|t| t.as_ref())
+            .chain(self.main.as_ref().and_then(|r| r.exec.as_ref()));
+        for a in actives {
+            any = true;
+            if !self.sources_ready(&a.instr) {
+                return StallCause::FifoWait;
+            }
+            if !self.dst_ready(&a.instr) {
+                backpressured = true;
+            }
+        }
+        if backpressured {
+            StallCause::Backpressure
+        } else {
+            // `any && !backpressured` can only follow a zero-progress
+            // completion this cycle; fold it into Idle.
+            let _ = any;
+            StallCause::Idle
         }
     }
 

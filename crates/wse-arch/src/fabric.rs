@@ -10,6 +10,7 @@ use crate::core::Core;
 use crate::fault::{FaultEvent, FaultKind, FaultLog, FaultPlan, FaultRecord};
 use crate::memory::{Memory, TILE_SRAM_BYTES};
 use crate::router::{Router, StagedFlit};
+use crate::trace::{FabricTrace, PerfWindow, PhaseSpan, TileTrace, TraceConfig};
 use crate::types::{Color, Flit, Port, PORT_BYTES_PER_CYCLE};
 use rayon::prelude::*;
 
@@ -160,6 +161,17 @@ pub struct FabricPerf {
     pub flits_routed: u64,
     /// Total control statements retired by cores.
     pub ctrl_stmts: u64,
+    /// Router backpressure totals per output port (cycles a routed head
+    /// flit was held because that downstream queue was full), indexed by
+    /// [`Port::index`] and summed over all tiles.
+    pub backpressure: [u64; 5],
+}
+
+impl FabricPerf {
+    /// Total backpressure flit-hold cycles across all ports and tiles.
+    pub fn backpressure_total(&self) -> u64 {
+        self.backpressure.iter().sum()
+    }
 }
 
 /// One sample of fabric activity (see [`Fabric::enable_sampling`]).
@@ -175,6 +187,19 @@ pub struct ActivitySample {
     pub flops: u64,
 }
 
+/// Armed trace state (present only while tracing, mirroring `FaultState`).
+struct TraceState {
+    /// Fabric cycle at arm time.
+    start_cycle: u64,
+    /// Driver-marked phase spans, in open order.
+    phases: Vec<PhaseSpan>,
+    /// Index into `phases` of the currently open span, if any.
+    open: Option<usize>,
+    /// Per-tile counter baselines at arm time, so the exported trace
+    /// carries window deltas: `(busy, idle, flits_routed, backpressure)`.
+    base: Vec<(u64, u64, u64, [u64; 5])>,
+}
+
 /// The wafer: a grid of tiles with a global clock.
 pub struct Fabric {
     w: usize,
@@ -183,10 +208,13 @@ pub struct Fabric {
     cycle: u64,
     sample_interval: u64,
     samples: Vec<ActivitySample>,
-    last_sample_perf: FabricPerf,
+    sample_window: PerfWindow,
     /// Armed fault injection; `None` (the default) keeps [`Fabric::step`]
     /// on a no-op fast path.
     faults: Option<Box<FaultState>>,
+    /// Armed tracing; `None` (the default) keeps every hook on a no-op
+    /// fast path.
+    trace: Option<Box<TraceState>>,
 }
 
 impl Fabric {
@@ -203,8 +231,9 @@ impl Fabric {
             cycle: 0,
             sample_interval: 0,
             samples: Vec::new(),
-            last_sample_perf: FabricPerf::default(),
+            sample_window: PerfWindow::default(),
             faults: None,
+            trace: None,
         }
     }
 
@@ -262,13 +291,134 @@ impl Fabric {
         self.faults.as_ref().is_some_and(|f| f.dead[i])
     }
 
+    /// Arms fabric-wide tracing: every core begins collecting task events,
+    /// stall attribution, and retire counts (bounded per-tile rings), and
+    /// driver phase markers ([`Fabric::phase_begin`]) are recorded. The
+    /// disarmed hooks cost one pointer test each, mirroring fault arming.
+    /// Re-arming replaces any previous trace state.
+    pub fn arm_trace(&mut self, config: TraceConfig) {
+        for t in &mut self.tiles {
+            t.core.arm_trace(self.cycle, config.ring_capacity);
+        }
+        let base = self
+            .tiles
+            .iter()
+            .map(|t| {
+                (
+                    t.core.perf.busy_cycles,
+                    t.core.perf.idle_cycles,
+                    t.router.flits_routed,
+                    t.router.backpressure,
+                )
+            })
+            .collect();
+        self.trace = Some(Box::new(TraceState {
+            start_cycle: self.cycle,
+            phases: Vec::new(),
+            open: None,
+            base,
+        }));
+    }
+
+    /// `true` while tracing is armed.
+    pub fn trace_armed(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Opens a phase span named `name` at the current cycle, closing any
+    /// span still open (phases are flat, not nested). No-op when tracing
+    /// is disarmed — drivers call this unconditionally.
+    pub fn phase_begin(&mut self, name: &'static str) {
+        let cycle = self.cycle;
+        let Some(ts) = self.trace.as_deref_mut() else { return };
+        if let Some(i) = ts.open.take() {
+            ts.phases[i].end = cycle;
+        }
+        ts.open = Some(ts.phases.len());
+        ts.phases.push(PhaseSpan { name, start: cycle, end: cycle });
+    }
+
+    /// Closes the open phase span at the current cycle, if any. No-op when
+    /// tracing is disarmed.
+    pub fn phase_end(&mut self) {
+        let cycle = self.cycle;
+        let Some(ts) = self.trace.as_deref_mut() else { return };
+        if let Some(i) = ts.open.take() {
+            ts.phases[i].end = cycle;
+        }
+    }
+
+    /// Records an instant marker (a zero-length [`PhaseSpan`]) at the
+    /// current cycle — checkpoint/rollback stamps. Does not disturb an
+    /// open phase span. No-op when tracing is disarmed.
+    pub fn phase_marker(&mut self, name: &'static str) {
+        let cycle = self.cycle;
+        let Some(ts) = self.trace.as_deref_mut() else { return };
+        ts.phases.push(PhaseSpan { name, start: cycle, end: cycle });
+    }
+
+    /// Disarms tracing and returns the collected [`FabricTrace`] (`None`
+    /// if tracing was not armed). Any open phase span is closed at the
+    /// current cycle.
+    pub fn take_trace(&mut self) -> Option<FabricTrace> {
+        let perf = self.perf();
+        let cycle = self.cycle;
+        let mut ts = self.trace.take()?;
+        if let Some(i) = ts.open.take() {
+            ts.phases[i].end = cycle;
+        }
+        let w = self.w;
+        let tiles = self
+            .tiles
+            .iter_mut()
+            .enumerate()
+            .map(|(i, t)| {
+                let (busy0, idle0, flits0, bp0) = ts.base[i];
+                let core = t
+                    .core
+                    .take_trace()
+                    .expect("every core is armed for the lifetime of the fabric trace");
+                let mut backpressure = t.router.backpressure;
+                for (b, b0) in backpressure.iter_mut().zip(bp0) {
+                    *b -= b0;
+                }
+                let mut events: Vec<_> = core.events().copied().collect();
+                // Per-tile stamps are monotone by construction; killed
+                // tiles freeze rather than rewind, so sorting is a no-op
+                // kept as a cheap invariant.
+                events.sort_by_key(|e| e.cycle);
+                TileTrace {
+                    x: i % w,
+                    y: i / w,
+                    events,
+                    dropped_events: core.dropped_events(),
+                    stall: core.stall,
+                    retired: core.retired,
+                    busy_cycles: t.core.perf.busy_cycles - busy0,
+                    idle_cycles: t.core.perf.idle_cycles - idle0,
+                    flits_routed: t.router.flits_routed - flits0,
+                    backpressure,
+                }
+            })
+            .collect();
+        Some(FabricTrace {
+            w: self.w,
+            h: self.h,
+            start_cycle: ts.start_cycle,
+            end_cycle: cycle,
+            phases: ts.phases,
+            tiles,
+            perf,
+        })
+    }
+
     /// Enables periodic activity sampling: every `interval` cycles a
     /// [`ActivitySample`] is appended (utilization timeline for phase
     /// analysis and the examples' activity plots). `interval = 0` disables.
     pub fn enable_sampling(&mut self, interval: u64) {
         self.sample_interval = interval;
         self.samples.clear();
-        self.last_sample_perf = self.perf();
+        self.sample_window = PerfWindow::new(self.perf());
     }
 
     /// The collected activity timeline.
@@ -505,17 +655,14 @@ impl Fabric {
 
         self.cycle += 1;
         if self.sample_interval > 0 && self.cycle.is_multiple_of(self.sample_interval) {
-            let now = self.perf();
-            let window_busy = now.busy_cycles - self.last_sample_perf.busy_cycles;
+            let d = self.sample_window.advance(self.perf());
             let window_cycles = self.sample_interval * self.tiles.len() as u64;
             self.samples.push(ActivitySample {
                 cycle: self.cycle,
-                core_utilization: window_busy as f64 / window_cycles as f64,
-                flits_routed: now.flits_routed - self.last_sample_perf.flits_routed,
-                flops: (now.flops_f16 + now.flops_f32)
-                    - (self.last_sample_perf.flops_f16 + self.last_sample_perf.flops_f32),
+                core_utilization: d.busy_cycles as f64 / window_cycles as f64,
+                flits_routed: d.flits_routed,
+                flops: d.flops,
             });
-            self.last_sample_perf = now;
         }
     }
 
@@ -539,14 +686,6 @@ impl Fabric {
             self.step();
         }
         Ok(self.cycle - start)
-    }
-
-    /// Monotone progress counter: anything a cycle can accomplish — a
-    /// datapath issue, a retired control statement, a forwarded flit —
-    /// advances it. Used by the stall watchdog.
-    fn progress_counter(&self) -> u64 {
-        let p = self.perf();
-        p.busy_cycles + p.ctrl_stmts + p.flits_routed
     }
 
     /// Steps until quiescent under a stall watchdog.
@@ -574,16 +713,18 @@ impl Fabric {
     ) -> Result<u64, Box<StallReport>> {
         assert!(stall_window > 0, "stall window must be nonzero");
         let start = self.cycle;
-        let mut last = self.progress_counter();
+        // The watchdog is a 1-cycle PerfWindow: anything a cycle can
+        // accomplish — a datapath issue, a retired control statement, a
+        // forwarded flit — makes the window's progress() nonzero. This is
+        // the same sampling path the activity timeline uses.
+        let mut watch = PerfWindow::new(self.perf());
         let mut window_start = self.cycle;
         while !self.is_quiescent() {
             if self.cycle - start >= max_cycles {
                 return Err(Box::new(self.stall_report(self.cycle - window_start, true)));
             }
             self.step();
-            let now = self.progress_counter();
-            if now != last {
-                last = now;
+            if watch.advance(self.perf()).progress() > 0 {
                 window_start = self.cycle;
             } else if self.cycle - window_start >= stall_window {
                 return Err(Box::new(self.stall_report(self.cycle - window_start, false)));
@@ -624,7 +765,8 @@ impl Fabric {
     /// rewinds task scheduling flags and DSR cursors to their declared
     /// start states (see [`Core::reset_transient`]). Loaded programs,
     /// routes, memory contents, registers, perf counters, the cycle
-    /// counter, and armed fault state are retained.
+    /// counter, and armed fault and trace state are retained — in
+    /// particular, trace timestamps stay monotone across a rollback.
     ///
     /// This is the fabric half of checkpoint rollback: it discards
     /// whatever a fault left in flight so a restored Krylov state replays
@@ -680,6 +822,9 @@ impl Fabric {
             p.idle_cycles += t.core.perf.idle_cycles;
             p.flits_routed += t.router.flits_routed;
             p.ctrl_stmts += t.core.perf.ctrl_stmts;
+            for (slot, bp) in p.backpressure.iter_mut().zip(t.router.backpressure) {
+                *slot += bp;
+            }
         }
         p
     }
@@ -925,6 +1070,101 @@ mod tests {
         // Cycles are strictly increasing multiples of the interval.
         for w in samples.windows(2) {
             assert_eq!(w[1].cycle - w[0].cycle, 4);
+        }
+    }
+
+    #[test]
+    fn trace_collects_events_phases_and_stalls() {
+        use crate::instr::OpClass;
+        use crate::trace::{StallCause, TraceConfig, TraceEventKind};
+        let (mut f, _) = sender_receiver(8);
+        f.arm_trace(TraceConfig::default());
+        assert!(f.trace_armed());
+        f.phase_begin("stream");
+        f.run_until_quiescent(1_000).unwrap();
+        f.phase_end();
+        f.phase_marker("checkpoint");
+        let tr = f.take_trace().expect("trace was armed");
+        assert!(!f.trace_armed(), "take_trace disarms");
+        assert_eq!((tr.w, tr.h), (2, 1));
+        assert_eq!(tr.start_cycle, 0);
+        assert_eq!(tr.end_cycle, f.cycle());
+        // Phases: one closed span plus the marker.
+        assert_eq!(tr.phases.len(), 2);
+        assert_eq!(tr.phases[0].name, "stream");
+        assert!(tr.phases[0].cycles() > 0);
+        assert!(tr.phases[1].is_marker());
+        // Both tiles saw exactly one task start/end pair, with monotone
+        // in-window stamps.
+        for tile in &tr.tiles {
+            let evs = &tile.events;
+            assert_eq!(evs.len(), 2, "start+end on tile ({},{})", tile.x, tile.y);
+            assert!(matches!(evs[0].kind, TraceEventKind::TaskStart { .. }));
+            assert!(matches!(evs[1].kind, TraceEventKind::TaskEnd { .. }));
+            assert!(evs[0].cycle <= evs[1].cycle);
+            assert!(evs[1].cycle <= tr.end_cycle);
+            assert_eq!(tile.dropped_events, 0);
+        }
+        // The copy streams retire as Move-class instructions.
+        assert_eq!(tr.retire_totals()[OpClass::Move.index()], 2);
+        // The receiver waited on fabric data at least once while the first
+        // flits crossed the link.
+        let recv = tr.tile(1, 0);
+        assert!(recv.stall[StallCause::FifoWait.index()] > 0, "stalls: {:?}", recv.stall);
+        // Stall attribution covers every idle cycle on every tile.
+        for tile in &tr.tiles {
+            assert_eq!(
+                tile.stall.iter().sum::<u64>(),
+                tile.idle_cycles,
+                "tile ({},{})",
+                tile.x,
+                tile.y
+            );
+        }
+        // Bank conflicts are unmodeled: always zero.
+        assert_eq!(tr.stall_totals()[StallCause::BankConflict.index()], 0);
+    }
+
+    #[test]
+    fn disarmed_trace_hooks_are_inert_and_deterministic() {
+        // Phase calls are no-ops when disarmed, and an armed run must not
+        // perturb simulated timing: cycle-for-cycle identical to disarmed.
+        let (mut a, _) = sender_receiver(16);
+        a.phase_begin("ignored");
+        a.phase_end();
+        let cycles_a = a.run_until_quiescent(1_000).unwrap();
+        assert!(a.take_trace().is_none());
+
+        let (mut b, _) = sender_receiver(16);
+        b.arm_trace(TraceConfig { ring_capacity: 64 });
+        let cycles_b = b.run_until_quiescent(1_000).unwrap();
+        assert_eq!(cycles_a, cycles_b, "tracing must not change simulated time");
+        let pa = a.perf();
+        let pb = b.perf();
+        assert_eq!(pa.busy_cycles, pb.busy_cycles);
+        assert_eq!(pa.flits_routed, pb.flits_routed);
+    }
+
+    #[test]
+    fn trace_window_baselines_exclude_pre_arm_work() {
+        // Run one stream untraced, then arm and run a second: the trace
+        // window must only account the second stream's work.
+        let (mut f, _) = sender_receiver(8);
+        f.run_until_quiescent(1_000).unwrap();
+        let busy_before: u64 = f.perf().busy_cycles;
+        assert!(busy_before > 0);
+        f.arm_trace(TraceConfig::default());
+        let armed_at = f.cycle();
+        for _ in 0..10 {
+            f.step(); // idle cycles only: nothing active
+        }
+        let tr = f.take_trace().unwrap();
+        assert_eq!(tr.start_cycle, armed_at);
+        assert_eq!(tr.window_cycles(), 10);
+        for tile in &tr.tiles {
+            assert_eq!(tile.busy_cycles, 0, "pre-arm work leaked into the window");
+            assert_eq!(tile.idle_cycles, 10);
+            assert_eq!(tile.events.len(), 0);
         }
     }
 

@@ -70,7 +70,65 @@ pub enum Op {
     },
 }
 
+/// Coarse instruction classes for trace retire accounting: which kind of
+/// datapath work an instruction represents, independent of its operands.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum OpClass {
+    /// Pure data movement: `Copy`, `StoreReg`, `LoadReg`.
+    Move,
+    /// Unfused elementwise arithmetic: `Add`, `AddAssign`, `Mul`, `Scale`.
+    Elementwise,
+    /// Fused multiply-add forms: `FmaAssign`, `Xpay`, `Axpy`.
+    Fma,
+    /// The mixed-precision inner-product instruction: `MacReg`.
+    Mac,
+    /// Register reductions: `SumReg`.
+    Reduce,
+}
+
+impl OpClass {
+    /// Number of classes (array sizing).
+    pub const COUNT: usize = 5;
+
+    /// Every class, in index order.
+    pub const ALL: [OpClass; OpClass::COUNT] =
+        [OpClass::Move, OpClass::Elementwise, OpClass::Fma, OpClass::Mac, OpClass::Reduce];
+
+    /// Dense index for counter arrays.
+    pub fn index(self) -> usize {
+        match self {
+            OpClass::Move => 0,
+            OpClass::Elementwise => 1,
+            OpClass::Fma => 2,
+            OpClass::Mac => 3,
+            OpClass::Reduce => 4,
+        }
+    }
+
+    /// Short stable label (reports, CSV columns).
+    pub fn label(self) -> &'static str {
+        match self {
+            OpClass::Move => "move",
+            OpClass::Elementwise => "elementwise",
+            OpClass::Fma => "fma",
+            OpClass::Mac => "mac",
+            OpClass::Reduce => "reduce",
+        }
+    }
+}
+
 impl Op {
+    /// The instruction class used for trace retire accounting.
+    pub fn class(self) -> OpClass {
+        match self {
+            Op::Copy | Op::StoreReg { .. } | Op::LoadReg { .. } => OpClass::Move,
+            Op::Add | Op::AddAssign | Op::Mul | Op::Scale { .. } => OpClass::Elementwise,
+            Op::FmaAssign | Op::Xpay { .. } | Op::Axpy { .. } => OpClass::Fma,
+            Op::MacReg { .. } => OpClass::Mac,
+            Op::SumReg { .. } => OpClass::Reduce,
+        }
+    }
+
     /// `true` if the op reads the destination before writing it.
     pub fn reads_dst(self) -> bool {
         matches!(self, Op::AddAssign | Op::Axpy { .. } | Op::FmaAssign)
@@ -250,6 +308,20 @@ mod tests {
         assert_eq!(Op::Copy.num_srcs(), 1);
         assert_eq!(Op::StoreReg { reg: 0 }.num_srcs(), 0);
         assert_eq!(Op::MacReg { acc: 1 }.num_srcs(), 2);
+    }
+
+    #[test]
+    fn op_classes_are_dense_and_total() {
+        for (i, c) in OpClass::ALL.into_iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert!(!c.label().is_empty());
+        }
+        assert_eq!(Op::Copy.class(), OpClass::Move);
+        assert_eq!(Op::StoreReg { reg: 0 }.class(), OpClass::Move);
+        assert_eq!(Op::AddAssign.class(), OpClass::Elementwise);
+        assert_eq!(Op::Xpay { scalar: 0 }.class(), OpClass::Fma);
+        assert_eq!(Op::MacReg { acc: 0 }.class(), OpClass::Mac);
+        assert_eq!(Op::SumReg { acc: 0 }.class(), OpClass::Reduce);
     }
 
     #[test]

@@ -74,10 +74,16 @@ pub mod fifo;
 pub mod instr;
 pub mod memory;
 pub mod router;
+pub mod trace;
 pub mod types;
 
 pub use crate::core::{Core, CorePerf, SchedSnapshot};
 pub use crate::fabric::{Fabric, FabricPerf, StallReport, Stalled, StalledTile, Tile};
 pub use crate::fault::{FaultKind, FaultKindClass, FaultLog, FaultPlan, FaultRecord, SplitMix64};
+pub use crate::instr::OpClass;
 pub use crate::memory::{Memory, OutOfSram, TILE_SRAM_BYTES};
+pub use crate::trace::{
+    CoreTrace, FabricTrace, PerfDelta, PerfWindow, PhaseSpan, StallCause, TileTrace, TraceConfig,
+    TraceEvent, TraceEventKind,
+};
 pub use crate::types::{Color, Dtype, Flit, Port};

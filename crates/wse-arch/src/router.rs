@@ -34,6 +34,11 @@ pub struct Router {
     stuck: u8,
     /// Flits forwarded (perf counter).
     pub flits_routed: u64,
+    /// Per-output-port backpressure counter: cycles a head flit with a
+    /// configured route was held because that downstream port's queue was
+    /// full, indexed by [`Port::index`]. Bandwidth exhaustion and stuck
+    /// ports are *not* counted — only downstream occupancy.
+    pub backpressure: [u64; 5],
 }
 
 /// A flit staged for delivery at the end of the cycle.
@@ -117,7 +122,7 @@ impl Router {
 
     /// Discards every queued flit and rewinds the arbitration cursor
     /// (checkpoint restore). Routes, stuck-port state, and the forwarded
-    /// counter are retained.
+    /// and backpressure counters are retained.
     pub fn clear_queues(&mut self) {
         for q in self.in_queues.iter_mut().flatten() {
             q.clear();
@@ -139,6 +144,10 @@ impl Router {
         // counts[(out, color)] of flits already staged this cycle.
         let mut counts = [[0usize; NUM_COLORS]; 5];
         let pairs = 5 * NUM_COLORS;
+        // Backpressure is counted on the first arbitration sweep only, so a
+        // held flit charges each full downstream port exactly once per cycle
+        // even though the sweep loop may revisit it.
+        let mut first_sweep = true;
         loop {
             let mut moved = false;
             for k in 0..pairs {
@@ -146,11 +155,19 @@ impl Router {
                 let (pi, color) = (slot / NUM_COLORS, slot % NUM_COLORS);
                 let Some(&flit) = self.in_queues[pi][color].front() else { continue };
                 let Some(fanout) = self.routes[pi][color].clone() else { continue };
-                let fits = fanout.iter().all(|o| {
-                    self.stuck & (1 << o.index()) == 0 && budget[o.index()] >= flit.bytes()
-                }) && fanout
-                    .iter()
-                    .all(|&o| can_accept(o, color as Color, counts[o.index()][color]));
+                let mut fits = true;
+                for &o in &fanout {
+                    if self.stuck & (1 << o.index()) != 0 || budget[o.index()] < flit.bytes() {
+                        fits = false;
+                        continue;
+                    }
+                    if !can_accept(o, color as Color, counts[o.index()][color]) {
+                        fits = false;
+                        if first_sweep {
+                            self.backpressure[o.index()] += 1;
+                        }
+                    }
+                }
                 if !fits {
                     continue;
                 }
@@ -163,6 +180,7 @@ impl Router {
                 self.flits_routed += 1;
                 moved = true;
             }
+            first_sweep = false;
             if !moved {
                 break;
             }
@@ -338,6 +356,32 @@ mod tests {
         for _ in 0..5 {
             assert!(r.stage(|_, _, _| true).is_empty());
         }
+    }
+
+    #[test]
+    fn backpressure_counter_charges_full_downstream_once_per_cycle() {
+        let mut r = Router::new();
+        r.set_route(Port::Ramp, 0, &[Port::North, Port::South]);
+        r.enqueue(Port::Ramp, 0, Flit::f16(1));
+        // South full, North open: one charge to South per stage() cycle,
+        // none to North (it could accept; the hold is all-or-nothing).
+        for cycle in 1..=3u64 {
+            assert!(r.stage(|o, _, _| o != Port::South).is_empty());
+            assert_eq!(r.backpressure[Port::South.index()], cycle);
+            assert_eq!(r.backpressure[Port::North.index()], 0);
+        }
+        // Unblocked: the flit moves, counters stop advancing.
+        assert_eq!(r.stage(|_, _, _| true).len(), 2);
+        assert_eq!(r.backpressure[Port::South.index()], 3);
+        // Bandwidth exhaustion is not backpressure: five queued f16 flits
+        // behind a 2-flit/cycle port charge nothing.
+        let mut r2 = Router::new();
+        r2.set_route(Port::West, 0, &[Port::East]);
+        for i in 0..5 {
+            r2.enqueue(Port::West, 0, Flit::f16(i));
+        }
+        assert_eq!(r2.stage(|_, _, _| true).len(), 2);
+        assert_eq!(r2.backpressure, [0; 5]);
     }
 
     #[test]

@@ -1,0 +1,35 @@
+//! Exporters and analysis for wafer-simulator traces.
+//!
+//! The `wse-arch` simulator collects per-tile events, stall-cause cycle
+//! attribution, retire counts, and driver-marked phases into a
+//! [`wse_arch::FabricTrace`] snapshot (see `Fabric::arm_trace` /
+//! `Fabric::take_trace`). This crate turns that snapshot into artifacts:
+//!
+//! * [`perfetto`] — Chrome/Perfetto `trace.json` export plus a validator
+//!   built on the self-contained [`json`] parser (the build is offline, so
+//!   no serde),
+//! * [`heatmap`] — per-tile utilization as CSV and ASCII, and the
+//!   fabric-wide stall breakdown,
+//! * [`report`] — cycles-per-phase aggregation convertible to µs at the
+//!   paper's 0.9 GHz clock,
+//! * [`validate`] — cross-validation of traced phase timings against the
+//!   analytic `perf-model` CS-1 prediction and the paper's 28.1 µs
+//!   iteration / <1.5 µs AllReduce figures.
+//!
+//! Collection itself stays in `wse-arch` so the hooks can live next to the
+//! machine model; this crate only consumes the immutable snapshot.
+
+#![warn(missing_docs)]
+
+pub mod heatmap;
+pub mod json;
+pub mod perfetto;
+pub mod report;
+pub mod validate;
+
+pub use heatmap::{stall_breakdown, utilization_ascii, utilization_csv};
+pub use perfetto::{export_trace_json, validate_trace_json, TraceJsonStats};
+pub use report::{PhaseReport, PhaseRow};
+pub use validate::{
+    cross_validate, CrossValidation, PhaseCheck, PAPER_ALLREDUCE_US, PAPER_ITERATION_US,
+};

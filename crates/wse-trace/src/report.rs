@@ -1,0 +1,186 @@
+//! Phase-level profiling: aggregate driver-marked [`PhaseSpan`]s into a
+//! cycles-per-phase table convertible to microseconds at a given clock.
+
+use std::fmt::Write as _;
+use wse_arch::{FabricTrace, PhaseSpan};
+
+/// One aggregated phase (or marker) row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseRow {
+    /// Phase name as marked by the driver.
+    pub name: &'static str,
+    /// Number of spans (for markers: number of stamps).
+    pub spans: u64,
+    /// Total cycles across all spans (always 0 for markers).
+    pub cycles: u64,
+}
+
+/// Cycles-per-phase aggregation of a [`FabricTrace`].
+#[derive(Clone, Debug, Default)]
+pub struct PhaseReport {
+    /// Rows in first-seen order.
+    pub rows: Vec<PhaseRow>,
+    /// Cycles covered by the traced window.
+    pub window_cycles: u64,
+}
+
+impl PhaseReport {
+    /// Aggregates `trace.phases` by name, keeping first-seen order. Instant
+    /// markers (checkpoint/rollback stamps) become zero-cycle rows whose
+    /// `spans` field counts occurrences.
+    pub fn from_trace(trace: &FabricTrace) -> PhaseReport {
+        let mut report = PhaseReport { rows: Vec::new(), window_cycles: trace.window_cycles() };
+        for span in &trace.phases {
+            report.add(span);
+        }
+        report
+    }
+
+    fn add(&mut self, span: &PhaseSpan) {
+        match self.rows.iter_mut().find(|r| r.name == span.name) {
+            Some(row) => {
+                row.spans += 1;
+                row.cycles += span.cycles();
+            }
+            None => self.rows.push(PhaseRow { name: span.name, spans: 1, cycles: span.cycles() }),
+        }
+    }
+
+    /// Total cycles attributed to phase `name` (0 if absent).
+    pub fn cycles(&self, name: &str) -> u64 {
+        self.rows.iter().find(|r| r.name == name).map_or(0, |r| r.cycles)
+    }
+
+    /// Number of spans recorded for phase `name` (0 if absent).
+    pub fn spans(&self, name: &str) -> u64 {
+        self.rows.iter().find(|r| r.name == name).map_or(0, |r| r.spans)
+    }
+
+    /// Cycles of phase `name` converted to microseconds at `clock_ghz`.
+    pub fn us(&self, name: &str, clock_ghz: f64) -> f64 {
+        self.cycles(name) as f64 / (clock_ghz * 1e3)
+    }
+
+    /// Window cycles not covered by any marked phase (drivers mark phases
+    /// back-to-back, so this is normally setup/teardown overhead).
+    pub fn unattributed_cycles(&self) -> u64 {
+        let marked: u64 = self.rows.iter().map(|r| r.cycles).sum();
+        self.window_cycles.saturating_sub(marked)
+    }
+
+    /// Renders a fixed-width table. Deterministic for identical traces: all
+    /// numbers use fixed-precision formatting.
+    pub fn render(&self, clock_ghz: f64) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<12} {:>7} {:>12} {:>10} {:>7}",
+            "phase", "spans", "cycles", "us", "window"
+        );
+        for row in &self.rows {
+            let us = row.cycles as f64 / (clock_ghz * 1e3);
+            let pct = if self.window_cycles == 0 {
+                0.0
+            } else {
+                100.0 * row.cycles as f64 / self.window_cycles as f64
+            };
+            let _ = writeln!(
+                out,
+                "{:<12} {:>7} {:>12} {:>10.3} {:>6.1}%",
+                row.name, row.spans, row.cycles, us, pct
+            );
+        }
+        let un = self.unattributed_cycles();
+        let pct = if self.window_cycles == 0 {
+            0.0
+        } else {
+            100.0 * un as f64 / self.window_cycles as f64
+        };
+        let _ = writeln!(
+            out,
+            "{:<12} {:>7} {:>12} {:>10.3} {:>6.1}%",
+            "(other)",
+            "-",
+            un,
+            un as f64 / (clock_ghz * 1e3),
+            pct
+        );
+        let _ = writeln!(
+            out,
+            "{:<12} {:>7} {:>12} {:>10.3} {:>6.1}%",
+            "window",
+            "-",
+            self.window_cycles,
+            self.window_cycles as f64 / (clock_ghz * 1e3),
+            100.0
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wse_arch::FabricPerf;
+
+    fn trace_with_phases(phases: Vec<PhaseSpan>, window: u64) -> FabricTrace {
+        FabricTrace {
+            w: 1,
+            h: 1,
+            start_cycle: 0,
+            end_cycle: window,
+            phases,
+            tiles: Vec::new(),
+            perf: FabricPerf::default(),
+        }
+    }
+
+    #[test]
+    fn aggregates_by_name_in_first_seen_order() {
+        let t = trace_with_phases(
+            vec![
+                PhaseSpan { name: "spmv", start: 0, end: 40 },
+                PhaseSpan { name: "dot", start: 40, end: 60 },
+                PhaseSpan { name: "checkpoint", start: 60, end: 60 },
+                PhaseSpan { name: "spmv", start: 60, end: 110 },
+            ],
+            120,
+        );
+        let r = PhaseReport::from_trace(&t);
+        assert_eq!(
+            r.rows.iter().map(|x| x.name).collect::<Vec<_>>(),
+            ["spmv", "dot", "checkpoint"]
+        );
+        assert_eq!(r.cycles("spmv"), 90);
+        assert_eq!(r.spans("spmv"), 2);
+        assert_eq!(r.cycles("checkpoint"), 0);
+        assert_eq!(r.spans("checkpoint"), 1);
+        assert_eq!(r.cycles("missing"), 0);
+        assert_eq!(r.unattributed_cycles(), 120 - 110);
+    }
+
+    #[test]
+    fn converts_cycles_to_paper_microseconds() {
+        let t = trace_with_phases(vec![PhaseSpan { name: "spmv", start: 0, end: 900 }], 900);
+        let r = PhaseReport::from_trace(&t);
+        // 900 cycles at 0.9 GHz is exactly 1 µs.
+        assert!((r.us("spmv", 0.9) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_is_deterministic_and_mentions_every_phase() {
+        let t = trace_with_phases(
+            vec![
+                PhaseSpan { name: "spmv", start: 0, end: 40 },
+                PhaseSpan { name: "allreduce", start: 40, end: 50 },
+            ],
+            50,
+        );
+        let r = PhaseReport::from_trace(&t);
+        let a = r.render(0.9);
+        assert_eq!(a, r.render(0.9));
+        assert!(a.contains("spmv"));
+        assert!(a.contains("allreduce"));
+        assert!(a.contains("window"));
+    }
+}

@@ -1,0 +1,238 @@
+//! Cross-validation of traced phase timings against the analytic CS-1 model
+//! and the paper's headline figures.
+//!
+//! The paper reports 28.1 µs per BiCGStab iteration on the full 600×595
+//! wafer at 1.5 kW, with each fabric-spanning AllReduce under 1.5 µs. The
+//! simulator runs much smaller fabrics, so the comparison is done in two
+//! parts: per-phase measured-vs-predicted cycle counts at the *simulated*
+//! dimensions (the model's per-z slopes are dimension-independent), and the
+//! model's own extrapolation to the paper scale as context.
+
+use crate::report::PhaseReport;
+use perf_model::cs1::{Cs1Model, IterationPrediction};
+use std::fmt::Write as _;
+
+/// The paper's reported time per BiCGStab iteration at the headline
+/// configuration (600×595×1536), in microseconds.
+pub const PAPER_ITERATION_US: f64 = 28.1;
+
+/// The paper's bound on one fabric-spanning AllReduce, in microseconds.
+pub const PAPER_ALLREDUCE_US: f64 = 1.5;
+
+/// One phase's measured-vs-predicted comparison.
+#[derive(Copy, Clone, Debug)]
+pub struct PhaseCheck {
+    /// Phase name ("spmv", "dot", "update", "allreduce").
+    pub phase: &'static str,
+    /// Traced cycles per iteration.
+    pub measured_cycles: f64,
+    /// Analytic model's cycles per iteration.
+    pub predicted_cycles: f64,
+}
+
+impl PhaseCheck {
+    /// Relative error |measured − predicted| / predicted.
+    pub fn rel_err(&self) -> f64 {
+        if self.predicted_cycles == 0.0 {
+            if self.measured_cycles == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.measured_cycles - self.predicted_cycles).abs() / self.predicted_cycles
+        }
+    }
+
+    /// `true` if the relative error is within `tol` (e.g. `0.15` for 15%).
+    pub fn within(&self, tol: f64) -> bool {
+        self.rel_err() <= tol
+    }
+}
+
+/// The full cross-validation result produced by [`cross_validate`].
+#[derive(Clone, Debug)]
+pub struct CrossValidation {
+    /// Per-phase checks, in model order.
+    pub checks: Vec<PhaseCheck>,
+    /// Traced cycles per iteration summed over the checked phases.
+    pub measured_iter_cycles: f64,
+    /// Traced "scalar" bookkeeping cycles per iteration (the host-side
+    /// recurrence; not part of the analytic model).
+    pub scalar_cycles: f64,
+    /// The analytic prediction at the simulated dimensions.
+    pub prediction: IterationPrediction,
+    /// The analytic prediction at the paper's headline configuration.
+    pub headline: IterationPrediction,
+    /// One fabric-spanning AllReduce at the paper scale, in µs.
+    pub headline_allreduce_us: f64,
+}
+
+impl CrossValidation {
+    /// `true` if every per-phase check is within `tol` relative error.
+    pub fn all_within(&self, tol: f64) -> bool {
+        self.checks.iter().all(|c| c.within(tol))
+    }
+
+    /// Renders the comparison table plus the paper-scale context lines.
+    /// Deterministic: fixed-precision formatting throughout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<12} {:>14} {:>14} {:>9}",
+            "phase", "measured", "predicted", "rel err"
+        );
+        for c in &self.checks {
+            let _ = writeln!(
+                out,
+                "{:<12} {:>14.1} {:>14.1} {:>8.1}%",
+                c.phase,
+                c.measured_cycles,
+                c.predicted_cycles,
+                100.0 * c.rel_err()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<12} {:>14.1} {:>14.1}",
+            "total", self.measured_iter_cycles, self.prediction.total_cycles
+        );
+        let _ = writeln!(out, "{:<12} {:>14.1}", "scalar", self.scalar_cycles);
+        let _ = writeln!(
+            out,
+            "paper scale: model {:.1} us/iter vs paper {PAPER_ITERATION_US} us; \
+             allreduce {:.2} us vs paper bound {PAPER_ALLREDUCE_US} us",
+            self.headline.time_us, self.headline_allreduce_us
+        );
+        out
+    }
+}
+
+/// Compares `report`'s traced phase breakdown over `iters` iterations
+/// against `model.predict_iteration(mx, my, z)`.
+///
+/// `model` should carry the *simulated* fabric dimensions (construct it as
+/// `Cs1Model { fabric_w, fabric_h, ..Cs1Model::default() }`), because the
+/// AllReduce term spans the whole fabric. The headline context always uses
+/// the paper-scale default model.
+///
+/// # Panics
+///
+/// Panics if `iters` is zero.
+pub fn cross_validate(
+    report: &PhaseReport,
+    iters: u64,
+    model: &Cs1Model,
+    mx: usize,
+    my: usize,
+    z: usize,
+) -> CrossValidation {
+    assert!(iters > 0, "cross-validation needs at least one iteration");
+    let prediction = model.predict_iteration(mx, my, z);
+    let per_iter = |name: &str| report.cycles(name) as f64 / iters as f64;
+    let checks = vec![
+        PhaseCheck {
+            phase: "spmv",
+            measured_cycles: per_iter("spmv"),
+            predicted_cycles: prediction.spmv_cycles,
+        },
+        PhaseCheck {
+            phase: "dot",
+            measured_cycles: per_iter("dot"),
+            predicted_cycles: prediction.dot_cycles,
+        },
+        PhaseCheck {
+            phase: "update",
+            measured_cycles: per_iter("update"),
+            predicted_cycles: prediction.update_cycles,
+        },
+        PhaseCheck {
+            phase: "allreduce",
+            measured_cycles: per_iter("allreduce"),
+            predicted_cycles: prediction.allreduce_cycles,
+        },
+    ];
+    let paper = Cs1Model::default();
+    let headline = paper.predict_headline();
+    let headline_allreduce_us =
+        paper.allreduce.time_us(paper.fabric_w, paper.fabric_h, paper.clock_ghz);
+    CrossValidation {
+        measured_iter_cycles: checks.iter().map(|c| c.measured_cycles).sum(),
+        scalar_cycles: per_iter("scalar"),
+        checks,
+        prediction,
+        headline,
+        headline_allreduce_us,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::PhaseRow;
+
+    fn report_from(rows: &[(&'static str, u64)], window: u64) -> PhaseReport {
+        PhaseReport {
+            rows: rows.iter().map(|&(name, cycles)| PhaseRow { name, spans: 1, cycles }).collect(),
+            window_cycles: window,
+        }
+    }
+
+    #[test]
+    fn perfect_agreement_validates_at_any_tolerance() {
+        let model = Cs1Model { fabric_w: 8, fabric_h: 8, ..Cs1Model::default() };
+        let p = model.predict_iteration(8, 8, 64);
+        let report = report_from(
+            &[
+                ("spmv", p.spmv_cycles.round() as u64),
+                ("dot", p.dot_cycles.round() as u64),
+                ("update", p.update_cycles.round() as u64),
+                ("allreduce", p.allreduce_cycles.round() as u64),
+            ],
+            p.total_cycles.round() as u64,
+        );
+        let cv = cross_validate(&report, 1, &model, 8, 8, 64);
+        assert!(cv.all_within(0.01), "{}", cv.render());
+    }
+
+    #[test]
+    fn detects_disagreement_per_phase() {
+        let model = Cs1Model { fabric_w: 8, fabric_h: 8, ..Cs1Model::default() };
+        let p = model.predict_iteration(8, 8, 64);
+        let report = report_from(
+            &[
+                ("spmv", (3.0 * p.spmv_cycles) as u64), // 200% off
+                ("dot", p.dot_cycles.round() as u64),
+                ("update", p.update_cycles.round() as u64),
+                ("allreduce", p.allreduce_cycles.round() as u64),
+            ],
+            (3.0 * p.total_cycles) as u64,
+        );
+        let cv = cross_validate(&report, 1, &model, 8, 8, 64);
+        assert!(!cv.all_within(0.15));
+        let spmv = cv.checks.iter().find(|c| c.phase == "spmv").unwrap();
+        assert!(spmv.rel_err() > 1.5);
+        let dot = cv.checks.iter().find(|c| c.phase == "dot").unwrap();
+        assert!(dot.within(0.01));
+    }
+
+    #[test]
+    fn headline_context_tracks_the_paper_figures() {
+        let report = report_from(&[("spmv", 100)], 100);
+        let cv = cross_validate(&report, 1, &Cs1Model::default(), 8, 8, 64);
+        // The default model was calibrated to land near the paper numbers.
+        assert!((cv.headline.time_us - PAPER_ITERATION_US).abs() / PAPER_ITERATION_US < 0.15);
+        assert!(cv.headline_allreduce_us < PAPER_ALLREDUCE_US);
+    }
+
+    #[test]
+    fn iterations_normalize_measured_cycles() {
+        let model = Cs1Model { fabric_w: 8, fabric_h: 8, ..Cs1Model::default() };
+        let p = model.predict_iteration(8, 8, 64);
+        let report = report_from(&[("spmv", 10 * p.spmv_cycles.round() as u64)], 0);
+        let cv = cross_validate(&report, 10, &model, 8, 8, 64);
+        let spmv = cv.checks.iter().find(|c| c.phase == "spmv").unwrap();
+        assert!(spmv.within(0.01));
+    }
+}

@@ -35,4 +35,18 @@ cargo run -q --release -p wse-bench --bin fault_sweep -- --smoke > "$smoke_b"
 diff -u "$smoke_a" "$smoke_b"
 grep -q "baseline (fault-free): Converged" "$smoke_a"
 
+echo "== trace smoke (traced iteration profile, twice, diffed) =="
+# iter_profile calibrates the analytic model from untraced runs, runs a
+# traced BiCGStab iteration, exports a Perfetto trace, and cross-validates
+# the phase split against the model. Wall timings go to stderr; stdout
+# (including the FNV-1a hash of the full Perfetto JSON) must be
+# bit-for-bit reproducible across runs.
+trace_a="$(mktemp)"; trace_b="$(mktemp)"
+trap 'rm -f "$smoke_a" "$smoke_b" "$trace_a" "$trace_b"' EXIT
+cargo run -q --release -p wse-bench --bin iter_profile -- --smoke > "$trace_a"
+cargo run -q --release -p wse-bench --bin iter_profile -- --smoke > "$trace_b"
+diff -u "$trace_a" "$trace_b"
+grep -q "all phases within 15% of the analytic prediction" "$trace_a"
+grep -q "cycle identity:" "$trace_a"
+
 echo "verify: OK"

@@ -186,6 +186,56 @@ fn seeded_runs_are_bit_for_bit_reproducible() {
     assert_eq!(first.3, second.3, "fault logs differ");
 }
 
+/// Checkpoint restore must not rewind the global clock, the cumulative perf
+/// counters, or trace timestamps: rollback discards *solver* state, not
+/// *observability* state. Exported traces spanning a rollback must still
+/// validate (per-track monotone timestamps).
+#[test]
+fn checkpoint_restore_preserves_monotone_perf_and_trace_counters() {
+    use wafer_stencil::arch::TraceConfig;
+    use wafer_stencil::kernels::recovery::FabricCheckpoint;
+
+    let mesh = Mesh3D::new(2, 2, 4);
+    let (a, b) = fp16_problem(mesh);
+    let mut fabric = Fabric::new(2, 2);
+    let solver = WaferBicgstab::build(&mut fabric, &a);
+    solver.load_rhs(&mut fabric, &b);
+    fabric.arm_trace(TraceConfig::default());
+
+    solver.iterate(&mut fabric);
+    let ckpt = FabricCheckpoint::capture(&fabric);
+
+    solver.iterate(&mut fabric);
+    let cycle_before = fabric.cycle();
+    let perf_before = fabric.perf();
+
+    ckpt.restore(&mut fabric);
+    assert_eq!(fabric.cycle(), cycle_before, "restore must not rewind the clock");
+    let perf_after = fabric.perf();
+    assert!(perf_after.busy_cycles >= perf_before.busy_cycles, "busy cycles rewound");
+    assert!(perf_after.idle_cycles >= perf_before.idle_cycles, "idle cycles rewound");
+    assert!(perf_after.flits_routed >= perf_before.flits_routed, "flit count rewound");
+    assert!(perf_after.ctrl_stmts >= perf_before.ctrl_stmts, "ctrl count rewound");
+    assert!(
+        perf_after.backpressure_total() >= perf_before.backpressure_total(),
+        "backpressure counters rewound"
+    );
+
+    // Replay the rolled-back iteration: the clock and counters keep rising.
+    solver.iterate(&mut fabric);
+    assert!(fabric.cycle() > cycle_before, "replay must advance the clock");
+    assert!(fabric.perf().busy_cycles > perf_after.busy_cycles);
+
+    let trace = fabric.take_trace().expect("tracing was armed");
+    for pair in trace.phases.windows(2) {
+        assert!(pair[1].start >= pair[0].start, "phase spans out of order: {pair:?}");
+    }
+    let json = wse_trace::export_trace_json(&trace);
+    let stats = wse_trace::validate_trace_json(&json)
+        .expect("trace spanning a rollback must still export a valid Perfetto document");
+    assert!(stats.slices > 0, "expected task slices from three iterations");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
