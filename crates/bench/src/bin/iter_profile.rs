@@ -191,10 +191,24 @@ fn run(cfg: &Config, out: Option<&str>) {
          {armed_cycles} armed"
     );
     println!("cycle identity: {disarmed_cycles} cycles armed and disarmed");
+
+    // Reference-stepper run: the activity-driven optimized stepper must be
+    // cycle-for-cycle identical to the retained full-scan reference.
+    let (mut fabric, solver) = setup(vw, vh, vz);
+    fabric.use_reference_stepper(true);
+    let (reference_cycles, reference_wall) = run_iters(&mut fabric, &solver, cfg.iters);
+    assert_eq!(
+        disarmed_cycles, reference_cycles,
+        "optimized stepper diverged from the reference: {disarmed_cycles} cycles optimized vs \
+         {reference_cycles} reference"
+    );
+    println!("cycle identity: {reference_cycles} cycles reference and optimized steppers");
     eprintln!(
         "wall: disarmed {disarmed_wall:.3}s, armed {armed_wall:.3}s \
-         (x{:.2} while collecting)",
-        armed_wall / disarmed_wall.max(1e-9)
+         (x{:.2} while collecting), reference {reference_wall:.3}s \
+         (x{:.2} vs optimized)",
+        armed_wall / disarmed_wall.max(1e-9),
+        reference_wall / disarmed_wall.max(1e-9)
     );
     if !cfg.smoke {
         // The disarmed hooks are one pointer test per cycle; a disarmed run

@@ -1,0 +1,296 @@
+//! Simulator stepping-throughput benchmark: the activity-driven stepper vs
+//! the retained full-scan reference, across fabric sizes and activity
+//! densities.
+//!
+//! Every workload is run twice — once with the optimized `Fabric::step()`
+//! and once with `use_reference_stepper(true)` — and the two runs must land
+//! on the **same** simulated cycle count (the equivalence contract) before
+//! any throughput number is reported. Metrics:
+//!
+//! - **cycles/sec** — simulated fabric cycles per wall-clock second;
+//! - **tile·cycles/sec** — the same, scaled by fabric size (the full-scan
+//!   stepper's natural unit: a 64×64 fabric does 4096 tile-visits/cycle).
+//!
+//! Workloads:
+//!
+//! - `sparse_column` — a single stream down column 0 of an otherwise idle
+//!   square fabric (the AllReduce-like regime from the paper where one
+//!   column of 380k tiles is active). Wall-clock here is the activity
+//!   set's headline win: the reference visits every tile every cycle.
+//! - `dense_bicgstab` — full BiCGStab iterations on an 8×8 wafer, every
+//!   tile busy (the 28.1 µs/iteration regime). The win here comes from
+//!   zero-allocation stepping and dead-color snapshot masking, not
+//!   skipping.
+//!
+//! Wall-clock timings go to **stderr**; stdout is bit-for-bit deterministic
+//! (cycle counts and PASS/FAIL verdicts only), which `scripts/verify.sh`
+//! checks by diffing two `--smoke` runs. `--smoke` also asserts the minimum
+//! sparse speedup; the full run additionally writes
+//! `BENCH_sim_throughput.json`.
+//!
+//! Usage:
+//! ```text
+//! sim_throughput [--smoke] [--out BENCH_sim_throughput.json]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use stencil::mesh::Mesh3D;
+use stencil::problem::manufactured;
+use stencil::DiaMatrix;
+use wse_arch::dsr::mk;
+use wse_arch::instr::{Op, Stmt, Task, TensorInstr};
+use wse_arch::types::{Dtype, Port};
+use wse_arch::Fabric;
+use wse_core::WaferBicgstab;
+use wse_float::F16;
+
+/// Minimum sparse-workload speedup asserted by `--smoke` (the acceptance
+/// gate; measured speedups are an order of magnitude above this).
+const MIN_SPARSE_SPEEDUP: f64 = 3.0;
+
+/// One workload's measured result pair.
+struct Measurement {
+    workload: String,
+    w: usize,
+    h: usize,
+    cycles: u64,
+    opt_wall: f64,
+    ref_wall: f64,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.ref_wall / self.opt_wall.max(1e-12)
+    }
+    fn opt_cps(&self) -> f64 {
+        self.cycles as f64 / self.opt_wall.max(1e-12)
+    }
+    fn ref_cps(&self) -> f64 {
+        self.cycles as f64 / self.ref_wall.max(1e-12)
+    }
+}
+
+/// Installs a single stream of `n` fp16 words from `(0, 0)` down column 0
+/// to `(0, h-1)`: the only active tiles are that column.
+fn build_sparse_column(w: usize, h: usize, n: u32) -> Fabric {
+    let mut f = Fabric::new(w, h);
+    let color = 1u8;
+    f.set_route(0, 0, Port::Ramp, color, &[Port::South]);
+    for y in 1..h - 1 {
+        f.set_route(0, y, Port::North, color, &[Port::South]);
+    }
+    f.set_route(0, h - 1, Port::North, color, &[Port::Ramp]);
+    {
+        let t = f.tile_mut(0, 0);
+        let addr = t.mem.alloc_vec(n, Dtype::F16).unwrap();
+        let data: Vec<F16> = (0..n).map(|i| F16::from_f64((i % 13) as f64 * 0.5)).collect();
+        t.mem.store_f16_slice(addr, &data);
+        let dsrc = t.core.add_dsr(mk::tensor16(addr, n));
+        let dtx = t.core.add_dsr(mk::tx16(color, n));
+        let task = t.core.add_task(Task::new(
+            "send",
+            vec![Stmt::Exec(TensorInstr { op: Op::Copy, dst: Some(dtx), a: Some(dsrc), b: None })],
+        ));
+        t.core.activate(task);
+    }
+    {
+        let t = f.tile_mut(0, h - 1);
+        let out = t.mem.alloc_vec(n, Dtype::F16).unwrap();
+        let drx = t.core.add_dsr(mk::rx16(color, n));
+        let ddst = t.core.add_dsr(mk::tensor16(out, n));
+        let task = t.core.add_task(Task::new(
+            "recv",
+            vec![Stmt::Exec(TensorInstr { op: Op::Copy, dst: Some(ddst), a: Some(drx), b: None })],
+        ));
+        t.core.activate(task);
+    }
+    f
+}
+
+/// Runs the sparse-column workload on a `side × side` fabric under both
+/// steppers, asserting identical cycle counts.
+fn measure_sparse(side: usize, n: u32, deadline: u64) -> Measurement {
+    let run = |reference: bool| {
+        let mut f = build_sparse_column(side, side, n);
+        f.use_reference_stepper(reference);
+        let wall = Instant::now();
+        let cycles = f.run_until_quiescent(deadline).expect("sparse stream must finish");
+        (cycles, wall.elapsed().as_secs_f64())
+    };
+    let (opt_cycles, opt_wall) = run(false);
+    let (ref_cycles, ref_wall) = run(true);
+    assert_eq!(
+        opt_cycles, ref_cycles,
+        "steppers diverged on sparse {side}x{side}: {opt_cycles} optimized vs {ref_cycles} \
+         reference"
+    );
+    Measurement {
+        workload: "sparse_column".into(),
+        w: side,
+        h: side,
+        cycles: opt_cycles,
+        opt_wall,
+        ref_wall,
+    }
+}
+
+/// Runs `iters` BiCGStab iterations on a `w×h×z` manufactured problem under
+/// both steppers, asserting identical cycle counts.
+fn measure_dense(w: usize, h: usize, z: usize, iters: usize) -> Measurement {
+    let run = |reference: bool| {
+        let p = manufactured(Mesh3D::new(w, h, z), (1.0, -0.5, 0.5), 3).preconditioned();
+        let a16: DiaMatrix<F16> = p.matrix.convert();
+        let b16: Vec<F16> = p.rhs.iter().map(|&v| F16::from_f64(v)).collect();
+        let mut fabric = Fabric::new(w, h);
+        let solver = WaferBicgstab::build(&mut fabric, &a16);
+        solver.load_rhs(&mut fabric, &b16);
+        fabric.use_reference_stepper(reference);
+        let start = fabric.cycle();
+        let wall = Instant::now();
+        for _ in 0..iters {
+            solver.iterate(&mut fabric);
+        }
+        (fabric.cycle() - start, wall.elapsed().as_secs_f64())
+    };
+    let (opt_cycles, opt_wall) = run(false);
+    let (ref_cycles, ref_wall) = run(true);
+    assert_eq!(
+        opt_cycles, ref_cycles,
+        "steppers diverged on dense {w}x{h} BiCGStab: {opt_cycles} optimized vs {ref_cycles} \
+         reference"
+    );
+    Measurement { workload: "dense_bicgstab".into(), w, h, cycles: opt_cycles, opt_wall, ref_wall }
+}
+
+/// Renders the measurement set as the checked-in benchmark JSON.
+fn render_json(results: &[Measurement]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"bench\": \"sim_throughput\",\n");
+    s.push_str("  \"units\": {\"cycles_per_sec\": \"simulated cycles / wall second\", ");
+    s.push_str("\"tile_cycles_per_sec\": \"cycles_per_sec * tiles\"},\n");
+    s.push_str(&format!("  \"min_sparse_speedup_gate\": {MIN_SPARSE_SPEEDUP:.1},\n"));
+    s.push_str("  \"results\": [\n");
+    for (k, m) in results.iter().enumerate() {
+        let tiles = (m.w * m.h) as f64;
+        let _ = writeln!(
+            s,
+            "    {{\"workload\": \"{}\", \"w\": {}, \"h\": {}, \"cycles\": {}, \
+             \"optimized_cycles_per_sec\": {:.0}, \"reference_cycles_per_sec\": {:.0}, \
+             \"optimized_tile_cycles_per_sec\": {:.0}, \"reference_tile_cycles_per_sec\": {:.0}, \
+             \"speedup\": {:.2}}}{}",
+            m.workload,
+            m.w,
+            m.h,
+            m.cycles,
+            m.opt_cps(),
+            m.ref_cps(),
+            m.opt_cps() * tiles,
+            m.ref_cps() * tiles,
+            m.speedup(),
+            if k + 1 == results.len() { "" } else { "," },
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sim_throughput.json".to_string());
+
+    println!("sim_throughput: activity-driven stepper vs full-scan reference");
+
+    let mut results = Vec::new();
+
+    // The acceptance workload: a single active column on a 64×64 fabric.
+    let sparse_n: u32 = if smoke { 512 } else { 4096 };
+    let gate = measure_sparse(64, sparse_n, 1_000_000);
+    println!(
+        "sparse_column 64x64: both steppers quiesced in {} cycles ({} flits)",
+        gate.cycles, sparse_n
+    );
+    eprintln!(
+        "  wall: optimized {:.4}s ({:.0} cycles/s), reference {:.4}s ({:.0} cycles/s), \
+         speedup x{:.1}",
+        gate.opt_wall,
+        gate.opt_cps(),
+        gate.ref_wall,
+        gate.ref_cps(),
+        gate.speedup()
+    );
+    let gate_ok = gate.speedup() >= MIN_SPARSE_SPEEDUP;
+    println!(
+        "smoke gate: sparse speedup >= {MIN_SPARSE_SPEEDUP:.0}x: {}",
+        if gate_ok { "PASS" } else { "FAIL" }
+    );
+    assert!(
+        gate_ok,
+        "sparse-activity speedup gate failed: x{:.2} < x{MIN_SPARSE_SPEEDUP:.1} \
+         (optimized {:.4}s vs reference {:.4}s)",
+        gate.speedup(),
+        gate.opt_wall,
+        gate.ref_wall
+    );
+    results.push(gate);
+
+    if !smoke {
+        for side in [16usize, 32] {
+            let m = measure_sparse(side, 4096, 1_000_000);
+            println!("sparse_column {side}x{side}: both steppers quiesced in {} cycles", m.cycles);
+            eprintln!(
+                "  wall: optimized {:.4}s, reference {:.4}s, speedup x{:.1}",
+                m.opt_wall,
+                m.ref_wall,
+                m.speedup()
+            );
+            results.push(m);
+        }
+    }
+
+    // Dense workload: a full BiCGStab iteration, every tile busy.
+    let (dw, dh, dz, iters) = if smoke { (4, 4, 16, 1) } else { (8, 8, 64, 2) };
+    let dense = measure_dense(dw, dh, dz, iters);
+    println!(
+        "dense_bicgstab {dw}x{dh} z={dz}: both steppers took {} cycles for {iters} iteration(s)",
+        dense.cycles
+    );
+    eprintln!(
+        "  wall: optimized {:.4}s ({:.0} cycles/s), reference {:.4}s ({:.0} cycles/s), \
+         speedup x{:.2}",
+        dense.opt_wall,
+        dense.opt_cps(),
+        dense.ref_wall,
+        dense.ref_cps(),
+        dense.speedup()
+    );
+    if !smoke {
+        // The dense margin is modest (nothing can be skipped), so the
+        // verdict is only printed — and asserted — outside --smoke, where
+        // stdout need not be deterministic and the workload is large
+        // enough for a stable reading.
+        let dense_ok = dense.speedup() > 1.0;
+        println!(
+            "dense win: optimized faster than reference on the dense workload: {}",
+            if dense_ok { "PASS" } else { "FAIL" }
+        );
+        assert!(
+            dense_ok,
+            "dense BiCGStab shows no win: optimized {:.4}s vs reference {:.4}s",
+            dense.opt_wall, dense.ref_wall
+        );
+    }
+    results.push(dense);
+
+    if !smoke {
+        let json = render_json(&results);
+        std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+        eprintln!("wrote {out} ({} bytes)", json.len());
+    }
+}

@@ -288,6 +288,31 @@ impl Core {
             && self.tasks.iter().all(|t| !t.activated || t.blocked)
     }
 
+    /// `true` when undelivered ramp-in data sits on a color with a task
+    /// binding — the one condition under which a quiescent core can wake
+    /// itself on a future step (via the data trigger). The fabric's
+    /// activity set must keep such a tile live even though
+    /// [`Core::is_quiescent`] holds.
+    pub fn has_pending_bound_data(&self) -> bool {
+        self.bindings.iter().any(|b| !self.ramp_in[b.color as usize].is_empty())
+    }
+
+    /// Accounts `n` cycles the fabric *skipped* stepping this core because
+    /// it was provably quiescent. A quiescent core's step is pure idle —
+    /// no trigger fires, nothing schedules, the datapath records one idle
+    /// cycle (stall cause `Idle` when traced) and the trace clock advances
+    /// — so batching the bookkeeping is bit-identical to stepping.
+    pub(crate) fn account_idle(&mut self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.perf.idle_cycles += n;
+        if let Some(tr) = self.trace.as_deref_mut() {
+            tr.stall[StallCause::Idle.index()] += n;
+            tr.now += n;
+        }
+    }
+
     /// Space left in the ramp-in queue for `color` (router-side check).
     pub fn ramp_in_space(&self, color: Color) -> usize {
         QUEUE_CAPACITY - self.ramp_in[color as usize].len()
@@ -314,6 +339,12 @@ impl Core {
             out.push(self.ramp_out.pop_front().unwrap());
         }
         out
+    }
+
+    /// Pops the head injection flit without allocating (router-side; pair
+    /// with [`Core::peek_ramp_out`] after bandwidth and space checks).
+    pub fn pop_ramp_out(&mut self) -> Option<(Color, Flit)> {
+        self.ramp_out.pop_front()
     }
 
     /// Pending injection queue length (diagnostics).

@@ -5,14 +5,31 @@
 //! flit staged on an output port this cycle is available in the neighbor's
 //! input queue next cycle ("nanosecond per hop message latencies" at
 //! ~1 cycle/hop).
+//!
+//! The stepper is *activity-driven*: each cycle touches only tiles that can
+//! possibly change state (busy cores, non-empty routers, delivery targets)
+//! plus their snapshot neighborhood, and all per-cycle buffers live in
+//! reusable scratch storage owned by the fabric, so the steady-state cost of
+//! a cycle is O(active tiles) with zero heap allocations. The skipped-tile
+//! bookkeeping (deferred idle accounting) is bit-identical to stepping every
+//! tile; [`Fabric::step_reference`] retains the naive full-scan stepper and
+//! the equivalence tests drive both in lockstep.
 
 use crate::core::Core;
 use crate::fault::{FaultEvent, FaultKind, FaultLog, FaultPlan, FaultRecord};
 use crate::memory::{Memory, TILE_SRAM_BYTES};
 use crate::router::{Router, StagedFlit};
 use crate::trace::{FabricTrace, PerfWindow, PhaseSpan, TileTrace, TraceConfig};
-use crate::types::{Color, Flit, Port, PORT_BYTES_PER_CYCLE};
+use crate::types::{Color, Flit, Port, NUM_COLORS, PORT_BYTES_PER_CYCLE};
 use rayon::prelude::*;
+
+/// The four cardinal ports, in [`Port::ALL`] order (no ramp).
+const CARDINAL: [Port; 4] = [Port::North, Port::South, Port::East, Port::West];
+
+/// Active-tile count above which the per-phase loops switch from the serial
+/// sparse path to rayon parallelism. Below this, fork/join overhead
+/// dominates; above it, phases 1–4 scale across cores.
+const PAR_TILE_THRESHOLD: usize = 512;
 
 /// One tile: processor core, private SRAM, and router.
 #[derive(Clone, Debug, Default)]
@@ -200,6 +217,120 @@ struct TraceState {
     base: Vec<(u64, u64, u64, [u64; 5])>,
 }
 
+/// Reusable per-cycle scratch storage owned by the fabric. Every buffer is
+/// sized once at construction and reused each cycle, so the steady-state
+/// stepper performs no heap allocations (staged-flit vectors keep their
+/// high-water capacity).
+struct StepScratch {
+    /// Occupancy snapshot of router input queues, laid out flat as
+    /// `[(tile * 5 + in_port) * NUM_COLORS + color]`. Only entries named by
+    /// the per-tile in-masks are (re)filled each cycle; staging is proven
+    /// never to consult an unfilled entry.
+    router_space: Vec<u8>,
+    /// Occupancy snapshot of core ramp-in queues: `[tile * NUM_COLORS + c]`.
+    ramp_space: Vec<u8>,
+    /// Dedup flag per tile: snapshot rows already filled this cycle.
+    snap_flag: Vec<bool>,
+    /// Tiles whose `snap_flag` is set (cleared at end of phase 3).
+    snap_list: Vec<usize>,
+    /// Per-tile staged-flit buffers (cleared after delivery each cycle).
+    staged: Vec<Vec<StagedFlit>>,
+    /// Tiles with non-empty routers this cycle (the staging worklist).
+    stagers: Vec<usize>,
+    /// Dedup flag per tile: already recorded as a delivery destination.
+    dest_flag: Vec<bool>,
+    /// Delivery destinations this cycle (drained into the active set).
+    dest_list: Vec<usize>,
+}
+
+impl StepScratch {
+    fn new(n: usize) -> StepScratch {
+        StepScratch {
+            router_space: vec![0; n * 5 * NUM_COLORS],
+            ramp_space: vec![0; n * NUM_COLORS],
+            snap_flag: vec![false; n],
+            snap_list: Vec::new(),
+            staged: vec![Vec::new(); n],
+            stagers: Vec::new(),
+            dest_flag: vec![false; n],
+            dest_list: Vec::new(),
+        }
+    }
+}
+
+/// Index of the neighbor of tile `i` through cardinal port `p`, or `None`
+/// at the wafer edge.
+#[inline]
+fn neighbor_of(w: usize, h: usize, i: usize, p: Port) -> Option<usize> {
+    let (dx, dy) = p.delta();
+    let nx = (i % w) as i64 + dx as i64;
+    let ny = (i / w) as i64 + dy as i64;
+    if nx < 0 || ny < 0 || nx >= w as i64 || ny >= h as i64 {
+        None
+    } else {
+        Some(ny as usize * w + nx as usize)
+    }
+}
+
+/// Fused phases 1+2 for one tile: settle deferred idle, step the core, then
+/// drain its injection queue into the router's ramp input (bounded by port
+/// bandwidth and queue space). Returns this tile's progress delta
+/// (busy cycles + retired control statements).
+///
+/// Phases 1 and 2 touch only the tile's own core/router, so fusing them
+/// per-tile is order-equivalent to the reference's two full passes.
+fn step_and_drain(t: &mut Tile, accounted: &mut u64, cycle: u64) -> u64 {
+    let Tile { mem, core, router } = t;
+    core.account_idle(cycle - *accounted);
+    *accounted = cycle + 1;
+    let before = core.perf.busy_cycles + core.perf.ctrl_stmts;
+    core.step(mem);
+    // Respect the ramp queue's *minimum* color space conservatively:
+    // drain one flit at a time, checking the target queue.
+    let mut budget = PORT_BYTES_PER_CYCLE;
+    while let Some(&(color, flit)) = core.peek_ramp_out() {
+        if flit.bytes() > budget || router.space(Port::Ramp, color) == 0 {
+            break;
+        }
+        core.pop_ramp_out();
+        router.enqueue(Port::Ramp, color, flit);
+        budget -= flit.bytes();
+    }
+    core.perf.busy_cycles + core.perf.ctrl_stmts - before
+}
+
+/// The staging admission check against the start-of-cycle occupancy
+/// snapshots (shared by the sparse and parallel staging paths).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn accept(
+    router_space: &[u8],
+    ramp_space: &[u8],
+    w: usize,
+    h: usize,
+    i: usize,
+    x: usize,
+    y: usize,
+    out: Port,
+    color: Color,
+    already: usize,
+) -> bool {
+    match out {
+        Port::Ramp => already < ramp_space[i * NUM_COLORS + color as usize] as usize,
+        _ => {
+            let (dx, dy) = out.delta();
+            let (nx, ny) = (x as i64 + dx as i64, y as i64 + dy as i64);
+            if nx < 0 || ny < 0 || nx >= w as i64 || ny >= h as i64 {
+                return false; // edge of the wafer: hold
+            }
+            let ni = ny as usize * w + nx as usize;
+            let in_port = out.opposite().unwrap();
+            already
+                < router_space[(ni * 5 + in_port.index()) * NUM_COLORS + color as usize] as usize
+        }
+    }
+}
+
 /// The wafer: a grid of tiles with a global clock.
 pub struct Fabric {
     w: usize,
@@ -215,6 +346,41 @@ pub struct Fabric {
     /// Armed tracing; `None` (the default) keeps every hook on a no-op
     /// fast path.
     trace: Option<Box<TraceState>>,
+    /// Per-tile "observably busy" flag: core not quiescent or router
+    /// non-empty — exactly the reference per-tile quiescence predicate.
+    busy: Vec<bool>,
+    /// Number of set `busy` flags: `is_quiescent()` is an O(1) read.
+    busy_count: usize,
+    /// Per-tile membership flag for `active_list`.
+    active: Vec<bool>,
+    /// Tiles the stepper must touch next cycle: every busy tile, plus
+    /// quiescent tiles holding bound ramp-in data (they can self-wake).
+    active_list: Vec<usize>,
+    /// Per-tile membership flag for `dirty_list`.
+    dirty: Vec<bool>,
+    /// Tiles handed out via [`Fabric::tile_mut`] since the last step:
+    /// their routes/masks/busy state are re-derived before stepping.
+    dirty_list: Vec<usize>,
+    /// Per-tile cycle up to which idle time has been accounted: skipped
+    /// quiescent tiles accrue an idle *debt* (`cycle - accounted[i]`) that
+    /// is settled lazily, keeping counters bit-identical to full stepping.
+    accounted: Vec<u64>,
+    /// Per-tile color mask: colors that can *arrive* on a cardinal port
+    /// (some neighbor routes them toward this tile). Phase-3 snapshots
+    /// fill only these rows.
+    in_mask: Vec<u32>,
+    /// Per-tile color mask: colors this tile's router can deliver to its
+    /// own core (a configured fanout contains the ramp).
+    ramp_mask: Vec<u32>,
+    /// Monotone progress counter (busy cycles, retired control statements,
+    /// and forwarded flits), maintained incrementally — the stall
+    /// watchdog's O(1) replacement for a full perf rescan.
+    progress: u64,
+    /// When set, [`Fabric::step`] delegates to the retained full-scan
+    /// [`Fabric::step_reference`] (equivalence testing / benchmarking).
+    force_reference: bool,
+    /// Reusable per-cycle buffers.
+    scratch: StepScratch,
 }
 
 impl Fabric {
@@ -224,16 +390,29 @@ impl Fabric {
     /// Panics if either dimension is zero.
     pub fn new(w: usize, h: usize) -> Fabric {
         assert!(w > 0 && h > 0, "fabric dimensions must be nonzero");
+        let n = w * h;
         Fabric {
             w,
             h,
-            tiles: (0..w * h).map(|_| Tile::default()).collect(),
+            tiles: (0..n).map(|_| Tile::default()).collect(),
             cycle: 0,
             sample_interval: 0,
             samples: Vec::new(),
             sample_window: PerfWindow::default(),
             faults: None,
             trace: None,
+            busy: vec![false; n],
+            busy_count: 0,
+            active: vec![false; n],
+            active_list: Vec::new(),
+            dirty: vec![false; n],
+            dirty_list: Vec::new(),
+            accounted: vec![0; n],
+            in_mask: vec![0; n],
+            ramp_mask: vec![0; n],
+            progress: 0,
+            force_reference: false,
+            scratch: StepScratch::new(n),
         }
     }
 
@@ -241,7 +420,9 @@ impl Fabric {
     /// shape and applied in cycle order as [`Fabric::step`] reaches them
     /// (events scheduled in the past fire on the next step). Re-arming
     /// replaces any previous plan and clears its log; kill/stuck state
-    /// already applied to tiles is *not* undone.
+    /// already applied to tiles is *not* undone, except that tiles killed
+    /// by the *previous* plan resume stepping (their kill flags lived in
+    /// the replaced plan).
     ///
     /// # Panics
     /// Panics if an event names a tile, port, address, or bit outside the
@@ -264,6 +445,19 @@ impl Fabric {
                 }
             };
             assert!(x < self.w && y < self.h, "fault targets tile ({x},{y}) outside fabric");
+        }
+        // Tiles killed under the old plan come back to life (the kill flag
+        // dies with its FaultState). They were frozen, not idle: restart
+        // their idle accounting *now* so the dead gap is never billed, and
+        // wake them so the stepper sees them again.
+        if let Some(old) = self.faults.take() {
+            for (i, &was_dead) in old.dead.iter().enumerate() {
+                if was_dead {
+                    self.accounted[i] = self.cycle;
+                    self.refresh_busy(i);
+                    self.mark_active(i);
+                }
+            }
         }
         self.faults = Some(Box::new(FaultState {
             events,
@@ -297,6 +491,9 @@ impl Fabric {
     /// disarmed hooks cost one pointer test each, mirroring fault arming.
     /// Re-arming replaces any previous trace state.
     pub fn arm_trace(&mut self, config: TraceConfig) {
+        // Settle all deferred idle debt first: the per-tile baselines below
+        // must include every pre-arm cycle so the trace window starts clean.
+        self.settle_all();
         for t in &mut self.tiles {
             t.core.arm_trace(self.cycle, config.ring_capacity);
         }
@@ -318,6 +515,11 @@ impl Fabric {
             open: None,
             base,
         }));
+        // Conservatively wake every tile: arming must never be masked by
+        // activity skipping (idle tiles fall back out after one sweep).
+        for i in 0..self.tiles.len() {
+            self.mark_active(i);
+        }
     }
 
     /// `true` while tracing is armed.
@@ -361,6 +563,11 @@ impl Fabric {
     /// if tracing was not armed). Any open phase span is closed at the
     /// current cycle.
     pub fn take_trace(&mut self) -> Option<FabricTrace> {
+        if self.trace.is_some() {
+            // Settle deferred idle debt so the window totals below (read
+            // straight from the per-tile counters) are complete.
+            self.settle_all();
+        }
         let perf = self.perf();
         let cycle = self.cycle;
         let mut ts = self.trace.take()?;
@@ -412,7 +619,7 @@ impl Fabric {
         })
     }
 
-    /// Enables periodic activity sampling: every `interval` cycles a
+    /// Enables periodic activity sampling: every `interval` cycles an
     /// [`ActivitySample`] is appended (utilization timeline for phase
     /// analysis and the examples' activity plots). `interval = 0` disables.
     pub fn enable_sampling(&mut self, interval: u64) {
@@ -452,9 +659,15 @@ impl Fabric {
         &self.tiles[self.index(x, y)]
     }
 
-    /// Mutable tile access (program loading).
+    /// Mutable tile access (program loading). Marks the tile dirty: its
+    /// routing masks and activity state are re-derived before the next
+    /// step, so external mutation can never be skipped.
     pub fn tile_mut(&mut self, x: usize, y: usize) -> &mut Tile {
         let i = self.index(x, y);
+        if !self.dirty[i] {
+            self.dirty[i] = true;
+            self.dirty_list.push(i);
+        }
         &mut self.tiles[i]
     }
 
@@ -475,26 +688,156 @@ impl Fabric {
         self.tile_mut(x, y).router.set_route(in_port, color, outs);
     }
 
-    /// Applies every armed fault whose cycle has arrived.
+    /// Adds `i` to the active set (idempotent).
+    fn mark_active(&mut self, i: usize) {
+        if !self.active[i] {
+            self.active[i] = true;
+            self.active_list.push(i);
+        }
+    }
+
+    /// Recomputes the busy flag for tile `i` from live state.
+    fn refresh_busy(&mut self, i: usize) {
+        let t = &self.tiles[i];
+        let now = !t.core.is_quiescent() || t.router.queued() > 0;
+        if now != self.busy[i] {
+            self.busy[i] = now;
+            if now {
+                self.busy_count += 1;
+            } else {
+                self.busy_count -= 1;
+            }
+        }
+    }
+
+    /// Recomputes the arrival/ramp color masks for tile `i`.
+    fn refresh_masks(&mut self, i: usize) {
+        let mut ramp = 0u32;
+        for (_, c, fanout) in self.tiles[i].router.routes() {
+            if fanout.contains(&Port::Ramp) {
+                ramp |= 1 << c;
+            }
+        }
+        self.ramp_mask[i] = ramp;
+        let mut arriving = 0u32;
+        for q in CARDINAL {
+            let Some(ni) = neighbor_of(self.w, self.h, i, q) else { continue };
+            let toward = q.opposite().unwrap();
+            for (_, c, fanout) in self.tiles[ni].router.routes() {
+                if fanout.contains(&toward) {
+                    arriving |= 1 << c;
+                }
+            }
+        }
+        self.in_mask[i] = arriving;
+    }
+
+    /// Refreshes masks for tile `i` and its neighbors (a route change on
+    /// `i` alters what its neighbors can receive).
+    fn refresh_masks_around(&mut self, i: usize) {
+        self.refresh_masks(i);
+        for q in CARDINAL {
+            if let Some(ni) = neighbor_of(self.w, self.h, i, q) {
+                self.refresh_masks(ni);
+            }
+        }
+    }
+
+    /// Re-derives masks, busy flags, and activity for every tile mutated
+    /// through [`Fabric::tile_mut`] since the last step.
+    fn flush_dirty(&mut self) {
+        while let Some(i) = self.dirty_list.pop() {
+            self.dirty[i] = false;
+            self.refresh_masks_around(i);
+            self.refresh_busy(i);
+            self.mark_active(i);
+        }
+    }
+
+    /// Settles every live tile's deferred idle debt up to the current
+    /// cycle (killed tiles are frozen and accrue nothing).
+    fn settle_all(&mut self) {
+        let cycle = self.cycle;
+        let Fabric { tiles, faults, accounted, .. } = self;
+        let dead = faults.as_deref().map(|f| f.dead.as_slice());
+        for (i, t) in tiles.iter_mut().enumerate() {
+            if dead.is_some_and(|d| d[i]) {
+                continue;
+            }
+            t.core.account_idle(cycle - accounted[i]);
+            accounted[i] = cycle;
+        }
+    }
+
+    /// Rebuilds the busy flags and active list from a full scan (reference
+    /// stepping and transient resets — paths where incremental maintenance
+    /// was bypassed).
+    fn rebuild_activity(&mut self) {
+        self.flush_dirty();
+        let Fabric { tiles, faults, busy, busy_count, active, active_list, .. } = self;
+        let dead = faults.as_deref().map(|f| f.dead.as_slice());
+        active_list.clear();
+        *busy_count = 0;
+        for (i, t) in tiles.iter().enumerate() {
+            let b = !t.core.is_quiescent() || t.router.queued() > 0;
+            busy[i] = b;
+            if b {
+                *busy_count += 1;
+            }
+            let keep = (b || t.core.has_pending_bound_data()) && !dead.is_some_and(|d| d[i]);
+            active[i] = keep;
+            if keep {
+                active_list.push(i);
+            }
+        }
+    }
+
+    /// Applies every armed fault whose cycle has arrived. Affected tiles
+    /// are conservatively re-activated so a fault landing on an idle tile
+    /// is never silently skipped by the activity-driven stepper.
     fn apply_due_faults(&mut self) {
         let w = self.w;
         let cycle = self.cycle;
-        let (tiles, faults) = (&mut self.tiles, &mut self.faults);
+        let Fabric { tiles, faults, accounted, active, active_list, .. } = self;
         let Some(fs) = faults.as_deref_mut() else { return };
+        let mut mark = |i: usize| {
+            if !active[i] {
+                active[i] = true;
+                active_list.push(i);
+            }
+        };
         while fs.next < fs.events.len() && fs.events[fs.next].at_cycle <= cycle {
             let ev = fs.events[fs.next];
             fs.next += 1;
             match ev.kind {
                 FaultKind::SramBitFlip { x, y, addr, bit } => {
-                    tiles[y * w + x].mem.flip_bit(addr, bit);
+                    let i = y * w + x;
+                    tiles[i].mem.flip_bit(addr, bit);
+                    mark(i);
                 }
-                FaultKind::TileKill { x, y } => fs.dead[y * w + x] = true,
-                FaultKind::StuckPort { x, y, port } => tiles[y * w + x].router.stick_port(port),
+                FaultKind::TileKill { x, y } => {
+                    let i = y * w + x;
+                    if !fs.dead[i] {
+                        // The tile idled up to now and freezes from here:
+                        // settle its debt once, at the moment of death.
+                        tiles[i].core.account_idle(cycle - accounted[i]);
+                        accounted[i] = cycle;
+                        fs.dead[i] = true;
+                    }
+                    mark(i);
+                }
+                FaultKind::StuckPort { x, y, port } => {
+                    let i = y * w + x;
+                    tiles[i].router.stick_port(port);
+                    mark(i);
+                }
                 FaultKind::LinkCorrupt { x, y, port, bit } => {
                     fs.pending_links.push((y * w + x, port, Some(bit)));
+                    mark(y * w + x);
                 }
                 FaultKind::LinkDrop { x, y, port } => {
                     fs.pending_links.push((y * w + x, port, None));
+                    mark(y * w + x);
                 }
             }
             fs.log.applied.push(FaultRecord { cycle, kind: ev.kind });
@@ -502,11 +845,352 @@ impl Fabric {
     }
 
     /// Advances the fabric one cycle.
+    ///
+    /// Semantically identical to [`Fabric::step_reference`] (the equivalence
+    /// is enforced by tests), but iterates only the active set and reuses
+    /// the fabric-owned scratch buffers.
     pub fn step(&mut self) {
+        if self.force_reference {
+            self.step_reference();
+            return;
+        }
+        self.flush_dirty();
         // Phase 0: fault injection (no-op unless a plan is armed).
         if self.faults.is_some() {
             self.apply_due_faults();
         }
+        let (w, h) = (self.w, self.h);
+        let cycle = self.cycle;
+
+        // Phases 1+2: active cores execute and inject (independent per
+        // tile; parallel when the active set is large). Killed tiles
+        // freeze: their cores stop stepping entirely. Skipped tiles are
+        // provably quiescent; their idle accrues as deferred debt.
+        let stepped: u64 = {
+            let Fabric { tiles, accounted, active, active_list, faults, .. } = &mut *self;
+            let dead: Option<&[bool]> = faults.as_deref().map(|f| f.dead.as_slice());
+            if active_list.len() < PAR_TILE_THRESHOLD {
+                let mut delta = 0u64;
+                for &i in active_list.iter() {
+                    if dead.is_some_and(|d| d[i]) {
+                        continue;
+                    }
+                    delta += step_and_drain(&mut tiles[i], &mut accounted[i], cycle);
+                }
+                delta
+            } else {
+                let active: &[bool] = active;
+                tiles
+                    .par_iter_mut()
+                    .zip(accounted.par_iter_mut())
+                    .enumerate()
+                    .map(|(i, (t, acc))| {
+                        if !active[i] || dead.is_some_and(|d| d[i]) {
+                            return 0;
+                        }
+                        step_and_drain(t, acc, cycle)
+                    })
+                    .sum()
+            }
+        };
+
+        // Phase 3: routers with queued flits stage against a start-of-phase
+        // snapshot of destination occupancy. Only rows the staging loop can
+        // consult (per the in/ramp color masks) are snapshotted.
+        let forwarded: u64 = {
+            let Fabric { tiles, active_list, faults, scratch, in_mask, ramp_mask, .. } = &mut *self;
+            let dead: Option<&[bool]> = faults.as_deref().map(|f| f.dead.as_slice());
+            let StepScratch {
+                router_space, ramp_space, snap_flag, snap_list, staged, stagers, ..
+            } = scratch;
+            stagers.clear();
+            for &i in active_list.iter() {
+                // A killed tile's router forwards nothing; arrivals pile
+                // up in its queues until backpressure stalls upstream.
+                if dead.is_some_and(|d| d[i]) {
+                    continue;
+                }
+                if tiles[i].router.queued() > 0 {
+                    stagers.push(i);
+                }
+            }
+            if stagers.len() < PAR_TILE_THRESHOLD {
+                // Sparse: snapshot each stager's own ramp row and its
+                // neighbors' arrival rows (deduped), then stage serially.
+                for &si in stagers.iter() {
+                    let mut m = ramp_mask[si];
+                    while m != 0 {
+                        let c = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        ramp_space[si * NUM_COLORS + c] =
+                            tiles[si].core.ramp_in_space(c as Color) as u8;
+                    }
+                    for q in CARDINAL {
+                        let Some(ni) = neighbor_of(w, h, si, q) else { continue };
+                        if snap_flag[ni] {
+                            continue;
+                        }
+                        snap_flag[ni] = true;
+                        snap_list.push(ni);
+                        let mut m = in_mask[ni];
+                        while m != 0 {
+                            let c = m.trailing_zeros() as usize;
+                            m &= m - 1;
+                            for p in CARDINAL {
+                                router_space[(ni * 5 + p.index()) * NUM_COLORS + c] =
+                                    tiles[ni].router.space(p, c as Color) as u8;
+                            }
+                        }
+                    }
+                }
+                while let Some(ni) = snap_list.pop() {
+                    snap_flag[ni] = false;
+                }
+                let (rs, ps): (&[u8], &[u8]) = (router_space, ramp_space);
+                let mut fwd = 0u64;
+                for &si in stagers.iter() {
+                    let (x, y) = (si % w, si / w);
+                    fwd += tiles[si].router.stage_into(
+                        |out, color, already| accept(rs, ps, w, h, si, x, y, out, color, already),
+                        &mut staged[si],
+                    ) as u64;
+                }
+                fwd
+            } else {
+                // Dense: fill every tile's masked rows in parallel, then
+                // stage every non-empty router in parallel.
+                let (im, rm): (&[u32], &[u32]) = (in_mask, ramp_mask);
+                {
+                    let tiles_ref: &[Tile] = tiles;
+                    router_space
+                        .par_chunks_mut(5 * NUM_COLORS)
+                        .zip(ramp_space.par_chunks_mut(NUM_COLORS))
+                        .enumerate()
+                        .for_each(|(i, (rrow, prow))| {
+                            let t = &tiles_ref[i];
+                            let mut m = im[i];
+                            while m != 0 {
+                                let c = m.trailing_zeros() as usize;
+                                m &= m - 1;
+                                for p in CARDINAL {
+                                    rrow[p.index() * NUM_COLORS + c] =
+                                        t.router.space(p, c as Color) as u8;
+                                }
+                            }
+                            let mut m = rm[i];
+                            while m != 0 {
+                                let c = m.trailing_zeros() as usize;
+                                m &= m - 1;
+                                prow[c] = t.core.ramp_in_space(c as Color) as u8;
+                            }
+                        });
+                }
+                let (rs, ps): (&[u8], &[u8]) = (router_space, ramp_space);
+                tiles
+                    .par_iter_mut()
+                    .zip(staged.par_iter_mut())
+                    .enumerate()
+                    .map(|(i, (t, buf))| {
+                        if dead.is_some_and(|d| d[i]) || t.router.queued() == 0 {
+                            return 0u64;
+                        }
+                        let (x, y) = (i % w, i / w);
+                        t.router.stage_into(
+                            |out, color, already| {
+                                accept(rs, ps, w, h, i, x, y, out, color, already)
+                            },
+                            buf,
+                        ) as u64
+                    })
+                    .sum()
+            }
+        };
+        self.progress += stepped + forwarded;
+
+        // Phase 4: deliveries land (1 cycle/hop).
+        {
+            let Fabric { tiles, faults, scratch, .. } = &mut *self;
+            let StepScratch { staged, stagers, dest_flag, dest_list, .. } = scratch;
+            // Armed one-shot link faults intercept flits in flight: the
+            // first flit leaving the chosen (tile, port) is corrupted or
+            // dropped. Scan in ascending tile order — the order the
+            // reference delivery loop encounters flits.
+            if let Some(fs) = faults.as_deref_mut() {
+                if !fs.pending_links.is_empty() {
+                    for (i, buf) in staged.iter_mut().enumerate() {
+                        if buf.is_empty() {
+                            continue;
+                        }
+                        let mut k = 0;
+                        while k < buf.len() {
+                            let hit = fs
+                                .pending_links
+                                .iter()
+                                .position(|&(ti, p, _)| ti == i && p == buf[k].out);
+                            match hit {
+                                Some(j) => match fs.pending_links.swap_remove(j).2 {
+                                    Some(bit) => {
+                                        buf[k].flit.bits ^= 1 << bit;
+                                        fs.log.corrupted_flits += 1;
+                                        k += 1;
+                                    }
+                                    None => {
+                                        fs.log.dropped_flits += 1;
+                                        buf.remove(k); // the flit vanishes on the wire
+                                    }
+                                },
+                                None => k += 1,
+                            }
+                        }
+                        if fs.pending_links.is_empty() {
+                            break;
+                        }
+                    }
+                }
+            }
+            if stagers.len() < PAR_TILE_THRESHOLD {
+                // Sparse: push each stager's flits to their destinations.
+                // Each (dest, in-port, color) queue has exactly one source
+                // tile, so cross-tile delivery order is immaterial.
+                for &si in stagers.iter() {
+                    let mut k = 0;
+                    while k < staged[si].len() {
+                        let s = staged[si][k];
+                        k += 1;
+                        let di = match s.out {
+                            Port::Ramp => {
+                                tiles[si].core.deliver(s.color, s.flit);
+                                si
+                            }
+                            out => {
+                                let ni = neighbor_of(w, h, si, out)
+                                    .expect("staged flits never cross the wafer edge");
+                                tiles[ni].router.enqueue(out.opposite().unwrap(), s.color, s.flit);
+                                ni
+                            }
+                        };
+                        if !dest_flag[di] {
+                            dest_flag[di] = true;
+                            dest_list.push(di);
+                        }
+                    }
+                    staged[si].clear();
+                }
+            } else {
+                // Dense: every destination pulls from its neighbors'
+                // staged buffers in parallel. No two threads touch the
+                // same destination router, and each (in-port, color)
+                // queue is filled from a single source buffer in staged
+                // order — bit-identical to the serial push.
+                for &si in stagers.iter() {
+                    for s in staged[si].iter() {
+                        let di = match s.out {
+                            Port::Ramp => si,
+                            out => neighbor_of(w, h, si, out)
+                                .expect("staged flits never cross the wafer edge"),
+                        };
+                        if !dest_flag[di] {
+                            dest_flag[di] = true;
+                            dest_list.push(di);
+                        }
+                    }
+                }
+                let staged_ref: &[Vec<StagedFlit>] = staged;
+                tiles.par_iter_mut().enumerate().for_each(|(di, t)| {
+                    for q in CARDINAL {
+                        let Some(ni) = neighbor_of(w, h, di, q) else { continue };
+                        let from = &staged_ref[ni];
+                        if from.is_empty() {
+                            continue;
+                        }
+                        let back = q.opposite().unwrap();
+                        for s in from {
+                            if s.out == back {
+                                t.router.enqueue(q, s.color, s.flit);
+                            }
+                        }
+                    }
+                    for s in &staged_ref[di] {
+                        if s.out == Port::Ramp {
+                            t.core.deliver(s.color, s.flit);
+                        }
+                    }
+                });
+                for &si in stagers.iter() {
+                    staged[si].clear();
+                }
+            }
+        }
+        // Every delivery destination has queued work next cycle: wake it.
+        while let Some(di) = self.scratch.dest_list.pop() {
+            self.scratch.dest_flag[di] = false;
+            self.mark_active(di);
+        }
+
+        self.cycle += 1;
+
+        // End-of-step sweep: refresh busy flags for the tiles we touched
+        // and retire the ones that can no longer change state on their own
+        // (quiescent, empty router, no bound ramp-in data, or killed).
+        let mut k = 0;
+        while k < self.active_list.len() {
+            let i = self.active_list[k];
+            let (busy_now, keep) = {
+                let t = &self.tiles[i];
+                let b = !t.core.is_quiescent() || t.router.queued() > 0;
+                (b, b || t.core.has_pending_bound_data())
+            };
+            if busy_now != self.busy[i] {
+                self.busy[i] = busy_now;
+                if busy_now {
+                    self.busy_count += 1;
+                } else {
+                    self.busy_count -= 1;
+                }
+            }
+            let dead = self.faults.as_deref().is_some_and(|f| f.dead[i]);
+            if keep && !dead {
+                k += 1;
+            } else {
+                self.active[i] = false;
+                self.active_list.swap_remove(k);
+            }
+        }
+
+        if self.sample_interval > 0 && self.cycle.is_multiple_of(self.sample_interval) {
+            let d = self.sample_window.advance(self.perf());
+            let window_cycles = self.sample_interval * self.tiles.len() as u64;
+            self.samples.push(ActivitySample {
+                cycle: self.cycle,
+                core_utilization: d.busy_cycles as f64 / window_cycles as f64,
+                flits_routed: d.flits_routed,
+                flops: d.flops,
+            });
+        }
+    }
+
+    /// Routes all subsequent [`Fabric::step`] calls through the retained
+    /// full-scan reference stepper (`true`) or the activity-driven stepper
+    /// (`false`, the default). The two are cycle-for-cycle bit-identical;
+    /// the switch exists for equivalence testing and benchmarking.
+    pub fn use_reference_stepper(&mut self, on: bool) {
+        self.force_reference = on;
+    }
+
+    /// Advances the fabric one cycle with the naive full-scan stepper: every
+    /// tile is visited in every phase and the per-cycle buffers are freshly
+    /// allocated. Retained as the executable specification the optimized
+    /// [`Fabric::step`] is tested against.
+    pub fn step_reference(&mut self) {
+        self.flush_dirty();
+        // Phase 0: fault injection (no-op unless a plan is armed).
+        if self.faults.is_some() {
+            self.apply_due_faults();
+        }
+        // The reference steps every core, so all deferred idle debt must be
+        // settled first (it then stays settled, cycle by cycle).
+        self.settle_all();
+        let p0 = self.perf();
         let dead: Option<&[bool]> = self.faults.as_deref().map(|f| f.dead.as_slice());
 
         // Phase 1: cores execute (independent per tile — parallel). Killed
@@ -550,11 +1234,11 @@ impl Fabric {
         let all_staged: Vec<(usize, Vec<StagedFlit>)>;
         {
             // Occupancy snapshots (immutable borrows end before staging).
-            let router_space: Vec<[[usize; crate::types::NUM_COLORS]; 5]> = self
+            let router_space: Vec<[[usize; NUM_COLORS]; 5]> = self
                 .tiles
                 .iter()
                 .map(|t| {
-                    let mut s = [[0usize; crate::types::NUM_COLORS]; 5];
+                    let mut s = [[0usize; NUM_COLORS]; 5];
                     for p in Port::ALL {
                         for (c, slot) in s[p.index()].iter_mut().enumerate() {
                             *slot = t.router.space(p, c as Color);
@@ -563,11 +1247,11 @@ impl Fabric {
                     s
                 })
                 .collect();
-            let ramp_space: Vec<[usize; crate::types::NUM_COLORS]> = self
+            let ramp_space: Vec<[usize; NUM_COLORS]> = self
                 .tiles
                 .iter()
                 .map(|t| {
-                    let mut s = [0usize; crate::types::NUM_COLORS];
+                    let mut s = [0usize; NUM_COLORS];
                     for (c, slot) in s.iter_mut().enumerate() {
                         *slot = t.core.ramp_in_space(c as Color);
                     }
@@ -654,6 +1338,23 @@ impl Fabric {
         }
 
         self.cycle += 1;
+        // Every live core was just stepped through the previous cycle.
+        {
+            let cycle = self.cycle;
+            let Fabric { accounted, faults, .. } = &mut *self;
+            let dead = faults.as_deref().map(|f| f.dead.as_slice());
+            for (i, a) in accounted.iter_mut().enumerate() {
+                if !dead.is_some_and(|d| d[i]) {
+                    *a = cycle;
+                }
+            }
+        }
+        self.rebuild_activity();
+        let p1 = self.perf();
+        self.progress += (p1.busy_cycles - p0.busy_cycles)
+            + (p1.ctrl_stmts - p0.ctrl_stmts)
+            + (p1.flits_routed - p0.flits_routed);
+
         if self.sample_interval > 0 && self.cycle.is_multiple_of(self.sample_interval) {
             let d = self.sample_window.advance(self.perf());
             let window_cycles = self.sample_interval * self.tiles.len() as u64;
@@ -666,9 +1367,27 @@ impl Fabric {
         }
     }
 
-    /// `true` when every core is quiescent and every queue is empty.
+    /// `true` when every core is quiescent and every queue is empty. An
+    /// O(1) counter read (adjusted for externally mutated tiles awaiting
+    /// their pre-step refresh) instead of a full-fabric scan.
     pub fn is_quiescent(&self) -> bool {
-        self.tiles.iter().all(|t| t.core.is_quiescent() && t.router.queued() == 0)
+        let mut busy = self.busy_count;
+        for &i in &self.dirty_list {
+            let t = &self.tiles[i];
+            if !t.core.is_quiescent() || t.router.queued() > 0 {
+                return false;
+            }
+            if self.busy[i] {
+                busy -= 1;
+            }
+        }
+        let quiet = busy == 0;
+        #[cfg(debug_assertions)]
+        {
+            let full = self.tiles.iter().all(|t| t.core.is_quiescent() && t.router.queued() == 0);
+            debug_assert_eq!(quiet, full, "activity-set quiescence diverged from a full scan");
+        }
+        quiet
     }
 
     /// Steps until quiescent, returning the number of cycles elapsed since
@@ -713,18 +1432,19 @@ impl Fabric {
     ) -> Result<u64, Box<StallReport>> {
         assert!(stall_window > 0, "stall window must be nonzero");
         let start = self.cycle;
-        // The watchdog is a 1-cycle PerfWindow: anything a cycle can
-        // accomplish — a datapath issue, a retired control statement, a
-        // forwarded flit — makes the window's progress() nonzero. This is
-        // the same sampling path the activity timeline uses.
-        let mut watch = PerfWindow::new(self.perf());
+        // The watchdog reads the incrementally maintained progress counter:
+        // anything a cycle can accomplish — a datapath issue, a retired
+        // control statement, a forwarded flit — advances it. This replaces
+        // the old full-perf-rescan PerfWindow with an O(1) comparison.
+        let mut last_progress = self.progress;
         let mut window_start = self.cycle;
         while !self.is_quiescent() {
             if self.cycle - start >= max_cycles {
                 return Err(Box::new(self.stall_report(self.cycle - window_start, true)));
             }
             self.step();
-            if watch.advance(self.perf()).progress() > 0 {
+            if self.progress != last_progress {
+                last_progress = self.progress;
                 window_start = self.cycle;
             } else if self.cycle - window_start >= stall_window {
                 return Err(Box::new(self.stall_report(self.cycle - window_start, false)));
@@ -772,6 +1492,8 @@ impl Fabric {
     /// whatever a fault left in flight so a restored Krylov state replays
     /// from a clean, quiescent machine.
     pub fn reset_transient(&mut self) {
+        // Settle idle debt before wiping: the skipped cycles happened.
+        self.settle_all();
         for t in &mut self.tiles {
             t.core.reset_transient();
             t.router.clear_queues();
@@ -779,6 +1501,7 @@ impl Fabric {
         if let Some(fs) = self.faults.as_deref_mut() {
             fs.pending_links.clear();
         }
+        self.rebuild_activity();
     }
 
     /// Describes which tiles are still busy (deadlock debugging).
@@ -812,16 +1535,22 @@ impl Fabric {
         out
     }
 
-    /// Aggregates performance counters over all tiles.
+    /// Aggregates performance counters over all tiles. Idle time deferred
+    /// for skipped quiescent tiles is added back virtually, so the totals
+    /// are always identical to full-scan stepping.
     pub fn perf(&self) -> FabricPerf {
         let mut p = FabricPerf::default();
-        for t in &self.tiles {
+        let dead = self.faults.as_deref().map(|f| f.dead.as_slice());
+        for (i, t) in self.tiles.iter().enumerate() {
             p.flops_f16 += t.core.perf.flops_f16;
             p.flops_f32 += t.core.perf.flops_f32;
             p.busy_cycles += t.core.perf.busy_cycles;
             p.idle_cycles += t.core.perf.idle_cycles;
             p.flits_routed += t.router.flits_routed;
             p.ctrl_stmts += t.core.perf.ctrl_stmts;
+            if !dead.is_some_and(|d| d[i]) {
+                p.idle_cycles += self.cycle - self.accounted[i];
+            }
             for (slot, bp) in p.backpressure.iter_mut().zip(t.router.backpressure) {
                 *slot += bp;
             }
@@ -1384,5 +2113,65 @@ mod tests {
         let want: Vec<F16> = (1..=8).map(|i| F16::from_f64(i as f64)).collect();
         assert_eq!(got, want);
         assert!(f.fault_log().unwrap().applied.is_empty());
+    }
+
+    #[test]
+    fn faults_on_sleeping_tiles_apply_and_settle_idle_accounting() {
+        // A fully idle fabric: the activity-driven stepper skips every
+        // tile, yet scheduled faults must still land on time and the
+        // killed tile's idle counter must reflect exactly its live cycles.
+        let mut f = Fabric::new(3, 1);
+        let addr = f.tile_mut(2, 0).mem.alloc_vec(1, Dtype::F16).unwrap();
+        f.tile_mut(2, 0).mem.store_f16_slice(addr, &[F16::from_f64(1.0)]);
+        let before = f.tile(2, 0).mem.read_f16(addr).to_bits();
+        f.arm_faults(
+            &FaultPlan::new()
+                .with(5, FaultKind::SramBitFlip { x: 2, y: 0, addr, bit: 3 })
+                .with(8, FaultKind::TileKill { x: 2, y: 0 }),
+        );
+        for _ in 0..20 {
+            f.step();
+        }
+        assert_eq!(f.tile(2, 0).mem.read_f16(addr).to_bits(), before ^ (1 << 3));
+        assert!(f.tile_dead(2, 0));
+        // Killed at cycle 8 after idling through cycles 0..8.
+        assert_eq!(f.tile(2, 0).core.perf.idle_cycles, 8);
+        // The two surviving tiles idle through all 20 cycles.
+        assert_eq!(f.perf().idle_cycles, 8 + 2 * 20);
+    }
+
+    #[test]
+    fn rearming_faults_revives_killed_tiles_without_back_idle() {
+        let mut f = Fabric::new(1, 1);
+        f.arm_faults(&FaultPlan::new().with(3, FaultKind::TileKill { x: 0, y: 0 }));
+        for _ in 0..10 {
+            f.step();
+        }
+        assert!(f.tile_dead(0, 0));
+        assert_eq!(f.perf().idle_cycles, 3, "idle froze at the kill");
+        // Re-arming drops the old plan's kill flags: the tile resumes
+        // stepping, and the 7 frozen cycles are never billed as idle.
+        f.arm_faults(&FaultPlan::new());
+        assert!(!f.tile_dead(0, 0));
+        for _ in 0..4 {
+            f.step();
+        }
+        assert_eq!(f.perf().idle_cycles, 7);
+    }
+
+    #[test]
+    fn skipped_idle_tiles_accrue_identical_idle_counters() {
+        let (mut a, ra) = sender_receiver(8);
+        let ca = a.run_until_quiescent(1_000).unwrap();
+        let (mut b, rb) = sender_receiver(8);
+        b.use_reference_stepper(true);
+        let cb = b.run_until_quiescent(1_000).unwrap();
+        assert_eq!(ca, cb, "cycle-for-cycle identical");
+        let (pa, pb) = (a.perf(), b.perf());
+        assert_eq!(pa.idle_cycles, pb.idle_cycles);
+        assert_eq!(pa.busy_cycles, pb.busy_cycles);
+        assert_eq!(pa.flits_routed, pb.flits_routed);
+        assert_eq!(pa.ctrl_stmts, pb.ctrl_stmts);
+        assert_eq!(a.tile(1, 0).mem.load_f16_slice(ra, 8), b.tile(1, 0).mem.load_f16_slice(rb, 8));
     }
 }

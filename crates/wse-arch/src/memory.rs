@@ -109,6 +109,12 @@ impl Memory {
         self.peak
     }
 
+    /// The full SRAM contents as raw bytes (equivalence testing and
+    /// checkpoint tooling).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
     /// Every live allocation, in allocation order (the allocation map the
     /// linter audits descriptors against).
     pub fn allocations(&self) -> &[Allocation] {

@@ -19,6 +19,9 @@ use std::collections::VecDeque;
 /// Routing table entry: the set of output ports for one (input, color).
 type Fanout = Vec<Port>;
 
+/// Number of (in_port, color) arbitration pairs.
+const PAIRS: usize = 5 * NUM_COLORS;
+
 /// The router of one tile.
 #[derive(Clone, Debug, Default)]
 pub struct Router {
@@ -32,6 +35,15 @@ pub struct Router {
     /// flit whose fanout touches a stuck port never forwards. Zero on a
     /// healthy router, so the check is a single AND on the hot path.
     stuck: u8,
+    /// Bit `in_port * NUM_COLORS + color` set when that pair has a
+    /// configured route. Lets [`Router::stage_into`] visit only pairs
+    /// that can possibly forward instead of all 120.
+    routed_mask: u128,
+    /// Bit `in_port * NUM_COLORS + color` set when that input queue is
+    /// non-empty. Maintained by enqueue/stage/clear.
+    occupied_mask: u128,
+    /// Total queued flits across all pairs (O(1) [`Router::queued`]).
+    queued_count: usize,
     /// Flits forwarded (perf counter).
     pub flits_routed: u64,
     /// Per-output-port backpressure counter: cycles a head flit with a
@@ -73,6 +85,7 @@ impl Router {
             "route reflects {in_port:?} back to itself on color {color}"
         );
         self.routes[in_port.index()][color as usize] = Some(outs.to_vec());
+        self.routed_mask |= 1u128 << (in_port.index() * NUM_COLORS + color as usize);
     }
 
     /// The configured fanout, if any.
@@ -102,11 +115,13 @@ impl Router {
     pub fn enqueue(&mut self, in_port: Port, color: Color, flit: Flit) {
         assert!(self.space(in_port, color) > 0, "router queue overflow at {in_port:?}/{color}");
         self.in_queues[in_port.index()][color as usize].push_back(flit);
+        self.occupied_mask |= 1u128 << (in_port.index() * NUM_COLORS + color as usize);
+        self.queued_count += 1;
     }
 
-    /// Total queued flits (diagnostics / quiescence).
+    /// Total queued flits (diagnostics / quiescence). O(1).
     pub fn queued(&self) -> usize {
-        self.in_queues.iter().flatten().map(|q| q.len()).sum()
+        self.queued_count
     }
 
     /// Permanently disables output port `out` (fault injection: a stuck
@@ -127,6 +142,8 @@ impl Router {
         for q in self.in_queues.iter_mut().flatten() {
             q.clear();
         }
+        self.occupied_mask = 0;
+        self.queued_count = 0;
         self.rr = 0;
     }
 
@@ -135,60 +152,99 @@ impl Router {
     /// `can_accept(out, color, already_staged_to_that_destination)` tells the
     /// router whether the *next hop* (neighbor queue or core ramp) can take
     /// one more flit; the fabric provides it from a start-of-cycle snapshot.
-    pub fn stage(
+    pub fn stage(&mut self, can_accept: impl FnMut(Port, Color, usize) -> bool) -> Vec<StagedFlit> {
+        let mut staged = Vec::new();
+        self.stage_into(can_accept, &mut staged);
+        staged
+    }
+
+    /// Allocation-free form of [`Router::stage`]: appends staged flits to a
+    /// caller-owned buffer and returns the number of flits *forwarded* (one
+    /// per queue pop, regardless of fanout width).
+    ///
+    /// Arbitration is bit-identical to the naive full scan: only the live
+    /// pairs — routed *and* occupied, per the incrementally maintained
+    /// bitmasks — are visited, in exactly the `(rr + k) % 120` order the
+    /// full scan would have reached them. Pairs outside the live set are
+    /// no-ops in the full scan (no flit, or no route ⇒ no state change, no
+    /// backpressure charge), so skipping them changes nothing.
+    pub fn stage_into(
         &mut self,
         mut can_accept: impl FnMut(Port, Color, usize) -> bool,
-    ) -> Vec<StagedFlit> {
+        staged: &mut Vec<StagedFlit>,
+    ) -> usize {
+        let Router {
+            routes,
+            in_queues,
+            rr,
+            stuck,
+            routed_mask,
+            occupied_mask,
+            queued_count,
+            flits_routed,
+            backpressure,
+        } = self;
         let mut budget = [PORT_BYTES_PER_CYCLE; 5];
-        let mut staged: Vec<StagedFlit> = Vec::new();
         // counts[(out, color)] of flits already staged this cycle.
         let mut counts = [[0usize; NUM_COLORS]; 5];
-        let pairs = 5 * NUM_COLORS;
+        let mut forwarded = 0usize;
         // Backpressure is counted on the first arbitration sweep only, so a
         // held flit charges each full downstream port exactly once per cycle
         // even though the sweep loop may revisit it.
         let mut first_sweep = true;
         loop {
             let mut moved = false;
-            for k in 0..pairs {
-                let slot = (self.rr + k) % pairs;
-                let (pi, color) = (slot / NUM_COLORS, slot % NUM_COLORS);
-                let Some(&flit) = self.in_queues[pi][color].front() else { continue };
-                let Some(fanout) = self.routes[pi][color].clone() else { continue };
-                let mut fits = true;
-                for &o in &fanout {
-                    if self.stuck & (1 << o.index()) != 0 || budget[o.index()] < flit.bytes() {
-                        fits = false;
-                        continue;
-                    }
-                    if !can_accept(o, color as Color, counts[o.index()][color]) {
-                        fits = false;
-                        if first_sweep {
-                            self.backpressure[o.index()] += 1;
+            let live = *routed_mask & *occupied_mask;
+            // Two segments walk the live bits in (rr + k) % PAIRS order:
+            // slots rr..PAIRS ascending, then 0..rr ascending.
+            let segments = [live & (!0u128 << *rr), live & ((1u128 << *rr) - 1)];
+            for mut seg in segments {
+                while seg != 0 {
+                    let slot = seg.trailing_zeros() as usize;
+                    seg &= seg - 1;
+                    let (pi, color) = (slot / NUM_COLORS, slot % NUM_COLORS);
+                    let Some(&flit) = in_queues[pi][color].front() else { continue };
+                    let Some(fanout) = routes[pi][color].as_deref() else { continue };
+                    let mut fits = true;
+                    for &o in fanout {
+                        if *stuck & (1 << o.index()) != 0 || budget[o.index()] < flit.bytes() {
+                            fits = false;
+                            continue;
+                        }
+                        if !can_accept(o, color as Color, counts[o.index()][color]) {
+                            fits = false;
+                            if first_sweep {
+                                backpressure[o.index()] += 1;
+                            }
                         }
                     }
+                    if !fits {
+                        continue;
+                    }
+                    in_queues[pi][color].pop_front();
+                    if in_queues[pi][color].is_empty() {
+                        *occupied_mask &= !(1u128 << slot);
+                    }
+                    *queued_count -= 1;
+                    for &o in fanout {
+                        budget[o.index()] -= flit.bytes();
+                        counts[o.index()][color] += 1;
+                        staged.push(StagedFlit { out: o, color: color as Color, flit });
+                    }
+                    *flits_routed += 1;
+                    forwarded += 1;
+                    moved = true;
                 }
-                if !fits {
-                    continue;
-                }
-                self.in_queues[pi][color].pop_front();
-                for &o in &fanout {
-                    budget[o.index()] -= flit.bytes();
-                    counts[o.index()][color] += 1;
-                    staged.push(StagedFlit { out: o, color: color as Color, flit });
-                }
-                self.flits_routed += 1;
-                moved = true;
             }
             first_sweep = false;
             if !moved {
                 break;
             }
         }
-        if !staged.is_empty() {
-            self.rr = (self.rr + 1) % pairs;
+        if forwarded > 0 {
+            *rr = (*rr + 1) % PAIRS;
         }
-        staged
+        forwarded
     }
 }
 

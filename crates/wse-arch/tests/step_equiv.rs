@@ -1,0 +1,400 @@
+//! Reference-vs-optimized stepper equivalence.
+//!
+//! The activity-driven `Fabric::step()` must be cycle-for-cycle
+//! bit-identical to the retained full-scan `Fabric::step_reference()`.
+//! These tests build the *same* program twice (no cloning — construction is
+//! deterministic), pin one fabric to the reference stepper, drive both in
+//! lockstep, and assert identical quiescence, perf counters, and final
+//! machine state: SRAM bytes, registers, router queues, and ramp residues.
+//!
+//! Coverage: randomized multi-stream wafer programs (proptest), the
+//! lint-fixture-style *broken* programs that wedge or idle forever (the
+//! activity set must not "optimize away" their stuck state), fault
+//! injection, and armed tracing.
+
+use proptest::prelude::*;
+use wse_arch::dsr::mk;
+use wse_arch::fault::{FaultKind, FaultPlan};
+use wse_arch::instr::{Op, Stmt, Task, TaskAction, TensorInstr};
+use wse_arch::trace::TraceConfig;
+use wse_arch::types::{Dtype, Port};
+use wse_arch::Fabric;
+use wse_float::F16;
+
+/// Configures a Manhattan (x-then-y) route from `src` to `dst` on `color`.
+fn route_xy(f: &mut Fabric, src: (usize, usize), dst: (usize, usize), color: u8) {
+    let (mut x, mut y) = src;
+    let mut in_port: Option<Port> = None; // None = comes from the ramp
+    loop {
+        let out = if x < dst.0 {
+            Port::East
+        } else if x > dst.0 {
+            Port::West
+        } else if y < dst.1 {
+            Port::South
+        } else if y > dst.1 {
+            Port::North
+        } else {
+            Port::Ramp
+        };
+        let from = in_port.unwrap_or(Port::Ramp);
+        f.set_route(x, y, from, color, &[out]);
+        if out == Port::Ramp {
+            break;
+        }
+        let (dx, dy) = out.delta();
+        x = (x as i64 + dx as i64) as usize;
+        y = (y as i64 + dy as i64) as usize;
+        in_port = Some(out.opposite().unwrap());
+    }
+}
+
+/// Installs a sender streaming `data` on `color` from `src` and a receiver
+/// storing into a fresh buffer at `dst`.
+fn install_stream(
+    f: &mut Fabric,
+    src: (usize, usize),
+    dst: (usize, usize),
+    color: u8,
+    data: &[F16],
+) {
+    let n = data.len() as u32;
+    {
+        let t = f.tile_mut(src.0, src.1);
+        let addr = t.mem.alloc_vec(n, Dtype::F16).unwrap();
+        t.mem.store_f16_slice(addr, data);
+        let dsrc = t.core.add_dsr(mk::tensor16(addr, n));
+        let dtx = t.core.add_dsr(mk::tx16(color, n));
+        let task = t.core.add_task(Task::new(
+            "send",
+            vec![Stmt::Exec(TensorInstr { op: Op::Copy, dst: Some(dtx), a: Some(dsrc), b: None })],
+        ));
+        t.core.activate(task);
+    }
+    let t = f.tile_mut(dst.0, dst.1);
+    let out = t.mem.alloc_vec(n, Dtype::F16).unwrap();
+    let drx = t.core.add_dsr(mk::rx16(color, n));
+    let ddst = t.core.add_dsr(mk::tensor16(out, n));
+    let task = t.core.add_task(Task::new(
+        "recv",
+        vec![Stmt::Exec(TensorInstr { op: Op::Copy, dst: Some(ddst), a: Some(drx), b: None })],
+    ));
+    t.core.activate(task);
+}
+
+/// Asserts that two fabrics are in bit-identical machine states.
+fn assert_same_state(a: &Fabric, b: &Fabric, ctx: &str) {
+    assert_eq!(a.cycle(), b.cycle(), "{ctx}: cycle");
+    let (pa, pb) = (a.perf(), b.perf());
+    assert_eq!(pa.flops_f16, pb.flops_f16, "{ctx}: flops_f16");
+    assert_eq!(pa.flops_f32, pb.flops_f32, "{ctx}: flops_f32");
+    assert_eq!(pa.busy_cycles, pb.busy_cycles, "{ctx}: busy_cycles");
+    assert_eq!(pa.idle_cycles, pb.idle_cycles, "{ctx}: idle_cycles");
+    assert_eq!(pa.flits_routed, pb.flits_routed, "{ctx}: flits_routed");
+    assert_eq!(pa.ctrl_stmts, pb.ctrl_stmts, "{ctx}: ctrl_stmts");
+    assert_eq!(pa.backpressure, pb.backpressure, "{ctx}: backpressure");
+    for y in 0..a.height() {
+        for x in 0..a.width() {
+            let (ta, tb) = (a.tile(x, y), b.tile(x, y));
+            assert_eq!(ta.mem.as_bytes(), tb.mem.as_bytes(), "{ctx}: SRAM of tile ({x},{y})");
+            assert_eq!(ta.core.regs, tb.core.regs, "{ctx}: regs of tile ({x},{y})");
+            assert_eq!(
+                ta.router.queued(),
+                tb.router.queued(),
+                "{ctx}: router queue of tile ({x},{y})"
+            );
+            assert_eq!(
+                ta.core.ramp_in_residue(),
+                tb.core.ramp_in_residue(),
+                "{ctx}: ramp-in residue of tile ({x},{y})"
+            );
+            assert_eq!(
+                ta.core.ramp_out_len(),
+                tb.core.ramp_out_len(),
+                "{ctx}: ramp-out of tile ({x},{y})"
+            );
+            assert_eq!(
+                ta.core.is_quiescent(),
+                tb.core.is_quiescent(),
+                "{ctx}: core quiescence of tile ({x},{y})"
+            );
+        }
+    }
+}
+
+/// Builds the program twice, pins one copy to the reference stepper, and
+/// drives both for exactly `cycles` cycles, checking equivalence at every
+/// cycle boundary. Returns the pair for any test-specific postconditions.
+fn lockstep(build: impl Fn() -> Fabric, cycles: u64) -> (Fabric, Fabric) {
+    let mut opt = build();
+    let mut reference = build();
+    reference.use_reference_stepper(true);
+    for c in 0..cycles {
+        assert_eq!(
+            opt.is_quiescent(),
+            reference.is_quiescent(),
+            "quiescence diverged at cycle {c}"
+        );
+        opt.step();
+        reference.step();
+    }
+    assert_same_state(&opt, &reference, "after lockstep");
+    assert_eq!(opt.is_quiescent(), reference.is_quiescent(), "final quiescence");
+    (opt, reference)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random multi-stream programs on small fabrics: every stream takes a
+    /// Manhattan route, streams share links and colors sparsely, some
+    /// programs finish and idle, longer ones are still in flight at the
+    /// horizon. The two steppers must agree at every cycle.
+    #[test]
+    fn random_stream_programs_step_identically(
+        w in 2usize..5,
+        h in 2usize..5,
+        endpoints in prop::collection::vec((0usize..16, 0usize..16, 1usize..24), 1..6),
+        horizon in 50u64..400,
+    ) {
+        let build = || {
+            let mut f = Fabric::new(w, h);
+            for (k, &(s, d, n)) in endpoints.iter().enumerate() {
+                let src = (s % w, s / w % h);
+                let mut dst = (d % w, d / w % h);
+                if dst == src {
+                    dst = ((src.0 + 1) % w, src.1);
+                }
+                let color = k as u8; // disjoint colors: routes never collide
+                let data: Vec<F16> =
+                    (0..n).map(|i| F16::from_f64(((i * 5 + k) % 17) as f64 * 0.5)).collect();
+                route_xy(&mut f, src, dst, color);
+                install_stream(&mut f, src, dst, color, &data);
+            }
+            f
+        };
+        let (opt, reference) = lockstep(build, horizon);
+        // Quiescent runs must also agree on *when* they quiesced.
+        prop_assert_eq!(opt.cycle(), reference.cycle());
+    }
+
+    /// Fault plans (kills, SRAM flips, link faults, stuck ports) applied to
+    /// a running stream: the activity-driven stepper must apply every fault
+    /// at the same cycle with the same effect, including faults landing on
+    /// tiles the optimizer would otherwise skip.
+    #[test]
+    fn fault_injection_steps_identically(
+        kill_at in 5u64..60,
+        flip_at in 1u64..80,
+        drop_at in 1u64..40,
+        bit in 0u8..16,
+        horizon in 100u64..250,
+    ) {
+        let build = || {
+            let mut f = Fabric::new(4, 2);
+            let data: Vec<F16> = (0..24).map(|i| F16::from_f64((i % 9) as f64)).collect();
+            route_xy(&mut f, (0, 0), (3, 0), 1);
+            install_stream(&mut f, (0, 0), (3, 0), 1, &data);
+            route_xy(&mut f, (0, 1), (3, 1), 2);
+            install_stream(&mut f, (0, 1), (3, 1), 2, &data);
+            // The victim address exists on every tile (fresh allocator).
+            let addr = f.tile_mut(2, 1).mem.alloc_vec(4, Dtype::F16).unwrap();
+            f.arm_faults(
+                &FaultPlan::new()
+                    .with(flip_at, FaultKind::SramBitFlip { x: 2, y: 1, addr, bit })
+                    .with(drop_at, FaultKind::LinkDrop { x: 1, y: 0, port: Port::East })
+                    .with(kill_at, FaultKind::TileKill { x: 2, y: 0 }),
+            );
+            f
+        };
+        let (opt, reference) = lockstep(build, horizon);
+        let (la, lb) = (opt.fault_log().unwrap(), reference.fault_log().unwrap());
+        prop_assert_eq!(la.applied.len(), lb.applied.len());
+        prop_assert_eq!(la.dropped_flits, lb.dropped_flits);
+        prop_assert_eq!(la.corrupted_flits, lb.corrupted_flits);
+    }
+}
+
+/// The lint fixtures' *broken* programs still execute (that is the point of
+/// the dynamic simulator); their wedged end states must be identical under
+/// both steppers.
+#[test]
+fn broken_dangling_route_steps_identically() {
+    // (0,0) streams east; (1,0) has no route for (West, color): flits pile
+    // up in (1,0)'s input queue until backpressure wedges the sender.
+    let data: Vec<F16> = (0..32).map(|i| F16::from_f64(i as f64 * 0.25)).collect();
+    let build = || {
+        let mut f = Fabric::new(2, 1);
+        f.set_route(0, 0, Port::Ramp, 3, &[Port::East]);
+        let t = f.tile_mut(0, 0);
+        let addr = t.mem.alloc_vec(32, Dtype::F16).unwrap();
+        t.mem.store_f16_slice(addr, &data);
+        let dsrc = t.core.add_dsr(mk::tensor16(addr, 32));
+        let dtx = t.core.add_dsr(mk::tx16(3, 32));
+        let task = t.core.add_task(Task::new(
+            "send",
+            vec![Stmt::Exec(TensorInstr { op: Op::Copy, dst: Some(dtx), a: Some(dsrc), b: None })],
+        ));
+        t.core.activate(task);
+        f
+    };
+    let (opt, _) = lockstep(build, 300);
+    assert!(!opt.is_quiescent(), "the dangling route must wedge, not finish");
+}
+
+#[test]
+fn broken_unreachable_receive_steps_identically() {
+    // A receiver blocks forever on a color nothing sends: the optimized
+    // stepper may *skip* the idle-blocked tile but must report identical
+    // idle accounting and non-quiescence.
+    let build = || {
+        let mut f = Fabric::new(2, 2);
+        let t = f.tile_mut(1, 1);
+        let buf = t.mem.alloc_vec(4, Dtype::F16).unwrap();
+        let d_rx = t.core.add_dsr(mk::rx16(4, 4));
+        let d_buf = t.core.add_dsr(mk::tensor16(buf, 4));
+        let task = t.core.add_task(Task::new(
+            "rx",
+            vec![Stmt::Exec(TensorInstr {
+                op: Op::Copy,
+                dst: Some(d_buf),
+                a: Some(d_rx),
+                b: None,
+            })],
+        ));
+        t.core.activate(task);
+        f
+    };
+    let (opt, _) = lockstep(build, 200);
+    assert!(!opt.is_quiescent(), "the receive can never complete");
+}
+
+#[test]
+fn broken_blocked_forever_task_steps_identically() {
+    // An entry task activates a permanently blocked task. A blocked task
+    // *reads* as quiescent (which is exactly why BlockedForever needs the
+    // static lint) — the steppers must agree on that reading cycle by
+    // cycle, including the early cycles where the entry task runs.
+    let build = || {
+        let mut f = Fabric::new(1, 1);
+        let t = f.tile_mut(0, 0);
+        let stuck = t.core.add_task(Task::new("stuck", vec![]).blocked());
+        let entry = t.core.add_task(Task::new(
+            "entry",
+            vec![Stmt::TaskCtl { task: stuck, action: TaskAction::Activate }],
+        ));
+        t.core.activate(entry);
+        f
+    };
+    let (opt, _) = lockstep(build, 150);
+    assert!(opt.is_quiescent(), "a blocked task reads as quiescent (the lint's job to flag)");
+}
+
+#[test]
+fn broken_route_cycle_with_injected_traffic_steps_identically() {
+    // The lint fixture's 2x2 routing ring, but with a tile injecting into
+    // it: flits orbit forever. Forwarding activity never ceases, so the
+    // active set can never shrink to empty.
+    let build = || {
+        let mut f = Fabric::new(2, 2);
+        f.set_route(0, 0, Port::South, 7, &[Port::East]);
+        f.set_route(0, 0, Port::Ramp, 7, &[Port::East]); // injection point
+        f.set_route(1, 0, Port::West, 7, &[Port::South]);
+        f.set_route(1, 1, Port::North, 7, &[Port::West]);
+        f.set_route(0, 1, Port::East, 7, &[Port::North]);
+        let t = f.tile_mut(0, 0);
+        let addr = t.mem.alloc_vec(4, Dtype::F16).unwrap();
+        t.mem.store_f16_slice(addr, &[F16::from_f64(1.0); 4]);
+        let dsrc = t.core.add_dsr(mk::tensor16(addr, 4));
+        let dtx = t.core.add_dsr(mk::tx16(7, 4));
+        let task = t.core.add_task(Task::new(
+            "inject",
+            vec![Stmt::Exec(TensorInstr { op: Op::Copy, dst: Some(dtx), a: Some(dsrc), b: None })],
+        ));
+        t.core.activate(task);
+        f
+    };
+    let (opt, reference) = lockstep(build, 400);
+    assert!(!opt.is_quiescent(), "orbiting flits never drain");
+    assert!(opt.perf().flits_routed > 100, "the ring must actually be orbiting");
+    assert_eq!(opt.perf().flits_routed, reference.perf().flits_routed);
+}
+
+#[test]
+fn trace_armed_runs_step_identically() {
+    // Arming a trace conservatively wakes every tile; counters, window
+    // baselines, and per-tile trace totals must match the reference.
+    let data: Vec<F16> = (0..16).map(|i| F16::from_f64((i % 7) as f64)).collect();
+    let build = |trace: bool| {
+        let mut f = Fabric::new(3, 3);
+        route_xy(&mut f, (0, 0), (2, 2), 5);
+        install_stream(&mut f, (0, 0), (2, 2), 5, &data);
+        if trace {
+            f.arm_trace(TraceConfig::default());
+        }
+        f
+    };
+    let (mut opt, mut reference) = lockstep(|| build(true), 120);
+    let (ta, tb) = (opt.take_trace().unwrap(), reference.take_trace().unwrap());
+    assert_eq!(ta.start_cycle, tb.start_cycle);
+    assert_eq!(ta.end_cycle, tb.end_cycle);
+    for (a, b) in ta.tiles.iter().zip(tb.tiles.iter()) {
+        assert_eq!(a.busy_cycles, b.busy_cycles, "tile ({},{})", a.x, a.y);
+        assert_eq!(a.idle_cycles, b.idle_cycles, "tile ({},{})", a.x, a.y);
+        assert_eq!(a.flits_routed, b.flits_routed, "tile ({},{})", a.x, a.y);
+    }
+    // Armed and disarmed runs take identical cycle counts.
+    let mut plain = build(false);
+    let c = plain.run_until_quiescent(10_000).unwrap();
+    let mut traced = build(true);
+    let ct = traced.run_until_quiescent(10_000).unwrap();
+    assert_eq!(c, ct, "tracing must not perturb timing");
+}
+
+#[test]
+fn mid_run_mutation_reactivates_tiles() {
+    // Mutating a quiescent fabric through tile_mut (program loading after
+    // a run) must wake the touched tiles under the optimized stepper.
+    let data: Vec<F16> = (0..8).map(|i| F16::from_f64(i as f64)).collect();
+    let build = || {
+        let mut f = Fabric::new(3, 1);
+        route_xy(&mut f, (0, 0), (2, 0), 1);
+        install_stream(&mut f, (0, 0), (2, 0), 1, &data);
+        f
+    };
+    let mut opt = build();
+    let mut reference = build();
+    reference.use_reference_stepper(true);
+    let ca = opt.run_until_quiescent(10_000).unwrap();
+    let cb = reference.run_until_quiescent(10_000).unwrap();
+    assert_eq!(ca, cb);
+    // Load a second program into both (identical construction order).
+    for f in [&mut opt, &mut reference] {
+        let t = f.tile_mut(1, 0);
+        let addr = t.mem.alloc_vec(4, Dtype::F16).unwrap();
+        t.mem.store_f16_slice(addr, &data[..4]);
+        let dsrc = t.core.add_dsr(mk::tensor16(addr, 4));
+        let dtx = t.core.add_dsr(mk::tx16(9, 4));
+        let task = t.core.add_task(Task::new(
+            "late",
+            vec![Stmt::Exec(TensorInstr { op: Op::Copy, dst: Some(dtx), a: Some(dsrc), b: None })],
+        ));
+        t.core.activate(task);
+        f.set_route(1, 0, Port::Ramp, 9, &[Port::East]);
+        f.set_route(2, 0, Port::West, 9, &[Port::Ramp]);
+        let t = f.tile_mut(2, 0);
+        let out = t.mem.alloc_vec(4, Dtype::F16).unwrap();
+        let drx = t.core.add_dsr(mk::rx16(9, 4));
+        let ddst = t.core.add_dsr(mk::tensor16(out, 4));
+        let task = t.core.add_task(Task::new(
+            "late-recv",
+            vec![Stmt::Exec(TensorInstr { op: Op::Copy, dst: Some(ddst), a: Some(drx), b: None })],
+        ));
+        t.core.activate(task);
+    }
+    assert!(!opt.is_quiescent(), "the late program must be visible immediately");
+    let ca = opt.run_until_quiescent(10_000).unwrap();
+    let cb = reference.run_until_quiescent(10_000).unwrap();
+    assert_eq!(ca, cb, "the late program must run identically");
+    assert_same_state(&opt, &reference, "after late program");
+}

@@ -49,4 +49,17 @@ diff -u "$trace_a" "$trace_b"
 grep -q "all phases within 15% of the analytic prediction" "$trace_a"
 grep -q "cycle identity:" "$trace_a"
 
+echo "== stepper throughput smoke (activity-driven vs reference, twice, diffed) =="
+# sim_throughput runs the same workloads under the optimized activity-driven
+# stepper and the retained full-scan reference, asserts identical simulated
+# cycle counts, and gates a minimum wall-clock speedup on the
+# sparse-activity workload (single active column on 64x64). Wall timings go
+# to stderr; stdout is deterministic and diffed across two runs.
+thr_a="$(mktemp)"; thr_b="$(mktemp)"
+trap 'rm -f "$smoke_a" "$smoke_b" "$trace_a" "$trace_b" "$thr_a" "$thr_b"' EXIT
+cargo run -q --release -p wse-bench --bin sim_throughput -- --smoke > "$thr_a"
+cargo run -q --release -p wse-bench --bin sim_throughput -- --smoke > "$thr_b"
+diff -u "$thr_a" "$thr_b"
+grep -q "smoke gate: sparse speedup >= 3x: PASS" "$thr_a"
+
 echo "verify: OK"

@@ -56,6 +56,49 @@ where
     results.into_iter().flatten().collect()
 }
 
+/// Splits two equal-length slices into per-thread chunk pairs and maps `f`
+/// over `(index, a_item, b_item)` triples, preserving input order.
+fn map_zip_indexed<T, U, R, F>(a: &mut [T], b: &mut [U], f: F) -> Vec<R>
+where
+    T: Send,
+    U: Send,
+    R: Send,
+    F: Fn(usize, &mut T, &mut U) -> R + Sync,
+{
+    let n = a.len();
+    assert_eq!(n, b.len(), "zipped parallel iterators must have equal length");
+    let threads = threads_for(n);
+    if threads <= 1 {
+        return a.iter_mut().zip(b.iter_mut()).enumerate().map(|(i, (x, y))| f(i, x, y)).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut results: Vec<Vec<R>> = Vec::with_capacity(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = a
+            .chunks_mut(chunk)
+            .zip(b.chunks_mut(chunk))
+            .enumerate()
+            .map(|(ci, (ca, cb))| {
+                let f = &f;
+                s.spawn(move || {
+                    ca.iter_mut()
+                        .zip(cb.iter_mut())
+                        .enumerate()
+                        .map(|(i, (x, y))| f(ci * chunk + i, x, y))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(v) => results.push(v),
+                Err(e) => std::panic::resume_unwind(e),
+            }
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
 /// Parallel iterator over `&mut` slice elements.
 pub struct ParIterMut<'a, T>(&'a mut [T]);
 
@@ -71,6 +114,108 @@ impl<'a, T: Send> ParIterMut<'a, T> {
     /// Pairs each element with its index.
     pub fn enumerate(self) -> ParEnumerate<'a, T> {
         ParEnumerate(self.0)
+    }
+
+    /// Pairs elements positionally with a second parallel iterator.
+    pub fn zip<U: Send>(self, other: ParIterMut<'a, U>) -> ParZip<'a, T, U> {
+        ParZip(self.0, other.0)
+    }
+}
+
+/// Lock-step pair iterator (result of [`ParIterMut::zip`]).
+pub struct ParZip<'a, T, U>(&'a mut [T], &'a mut [U]);
+
+impl<'a, T: Send, U: Send> ParZip<'a, T, U> {
+    /// Pairs each element pair with its index.
+    pub fn enumerate(self) -> ParZipEnumerate<'a, T, U> {
+        ParZipEnumerate(self.0, self.1)
+    }
+}
+
+/// Index-carrying zipped iterator (result of [`ParZip::enumerate`]).
+pub struct ParZipEnumerate<'a, T, U>(&'a mut [T], &'a mut [U]);
+
+impl<'a, T: Send, U: Send> ParZipEnumerate<'a, T, U> {
+    /// Maps `(index, (&mut a, &mut b))` triples through `f`, in parallel.
+    pub fn map<R, F>(self, f: F) -> ParZipEnumMap<'a, T, U, F>
+    where
+        R: Send,
+        F: Fn((usize, (&mut T, &mut U))) -> R + Sync,
+    {
+        ParZipEnumMap { a: self.0, b: self.1, f }
+    }
+
+    /// Runs `f` on every `(index, (&mut a, &mut b))` triple, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, (&mut T, &mut U))) + Sync,
+    {
+        map_zip_indexed(self.0, self.1, |i, x, y| f((i, (x, y))));
+    }
+}
+
+/// Mapped zipped iterator awaiting reduction.
+pub struct ParZipEnumMap<'a, T, U, F> {
+    a: &'a mut [T],
+    b: &'a mut [U],
+    f: F,
+}
+
+impl<'a, T: Send, U: Send, F> ParZipEnumMap<'a, T, U, F> {
+    /// Executes the map in parallel and sums the results.
+    pub fn sum<R>(self) -> R
+    where
+        R: Send + std::iter::Sum<R>,
+        F: Fn((usize, (&mut T, &mut U))) -> R + Sync,
+    {
+        let f = self.f;
+        map_zip_indexed(self.a, self.b, |i, x, y| f((i, (x, y)))).into_iter().sum()
+    }
+
+    /// Executes the map in parallel and collects results in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn((usize, (&mut T, &mut U))) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        let f = self.f;
+        map_zip_indexed(self.a, self.b, |i, x, y| f((i, (x, y)))).into_iter().collect()
+    }
+}
+
+/// Parallel iterator over non-overlapping mutable chunks (result of
+/// [`ParallelSliceMut::par_chunks_mut`]).
+pub struct ParChunksMut<'a, T>(Vec<&'a mut [T]>);
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs chunks positionally with a second chunk iterator (the chunk
+    /// *counts* must match; sizes may differ).
+    pub fn zip<U: Send>(self, other: ParChunksMut<'a, U>) -> ParChunksZip<'a, T, U> {
+        ParChunksZip(self.0, other.0)
+    }
+}
+
+/// Lock-step chunk-pair iterator (result of [`ParChunksMut::zip`]).
+pub struct ParChunksZip<'a, T, U>(Vec<&'a mut [T]>, Vec<&'a mut [U]>);
+
+impl<'a, T: Send, U: Send> ParChunksZip<'a, T, U> {
+    /// Pairs each chunk pair with its index.
+    pub fn enumerate(self) -> ParChunksZipEnumerate<'a, T, U> {
+        ParChunksZipEnumerate(self.0, self.1)
+    }
+}
+
+/// Index-carrying chunk-pair iterator.
+pub struct ParChunksZipEnumerate<'a, T, U>(Vec<&'a mut [T]>, Vec<&'a mut [U]>);
+
+impl<'a, T: Send, U: Send> ParChunksZipEnumerate<'a, T, U> {
+    /// Runs `f` on every `(index, (a_chunk, b_chunk))` pair, in parallel.
+    pub fn for_each<F>(mut self, f: F)
+    where
+        F: Fn((usize, (&mut [T], &mut [U]))) + Sync,
+    {
+        map_zip_indexed(&mut self.0, &mut self.1, |i, ca, cb| f((i, (&mut **ca, &mut **cb))));
     }
 }
 
@@ -118,11 +263,19 @@ impl<'a, T: Send, F> ParEnumMap<'a, T, F> {
 pub trait ParallelSliceMut<T: Send> {
     /// Returns a parallel iterator over mutable references.
     fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+
+    /// Returns a parallel iterator over non-overlapping mutable chunks of
+    /// `size` elements (the final chunk may be shorter).
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
 }
 
 impl<T: Send> ParallelSliceMut<T> for [T] {
     fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
         ParIterMut(self)
+    }
+
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        ParChunksMut(self.chunks_mut(size).collect())
     }
 }
 
