@@ -1,0 +1,228 @@
+//! Multi-wafer weak-scaling benchmark: the distributed BiCGStab driver
+//! (`wse_core::WaferBicgstabMulti`) on simulated ensembles of k ∈ {1, 2, 4}
+//! wafers, each holding a fixed per-wafer slab, with the paper-default
+//! host interconnect (1 TB/s per seam, 0.2 µs one-way).
+//!
+//! For every k the ensemble runs real iterations and reports the cycle
+//! breakdown — on-wafer compute phases, seam halo exchanges, and the
+//! host-level AllReduce hops — plus µs/iteration at the inferred 0.9 GHz
+//! clock, next to the analytic `perf_model::multiwafer` prediction for
+//! the same shape. Weak-scaling efficiency is `t(k=1) / t(k)`.
+//!
+//! Wall-clock timings go to **stderr**; stdout is bit-for-bit
+//! deterministic (cycle counts, residuals, and the efficiency verdict),
+//! which `scripts/verify.sh` checks by diffing two `--smoke` runs. The
+//! full run additionally writes `BENCH_multiwafer.json`.
+//!
+//! Usage:
+//! ```text
+//! multiwafer_scaling [--smoke] [--out BENCH_multiwafer.json]
+//! ```
+
+use perf_model::cs1::Cs1Model;
+use perf_model::multiwafer::MultiWafer;
+use std::fmt::Write as _;
+use std::time::Instant;
+use stencil::mesh::Mesh3D;
+use stencil::problem::manufactured;
+use stencil::DiaMatrix;
+use wse_core::{MultiIterCycles, WaferBicgstabMulti};
+use wse_float::F16;
+use wse_multi::{HostLink, MultiFabric};
+
+/// Fixed per-wafer slab width (tiles along X) — weak scaling grows the
+/// global mesh as `k` grows.
+const SLAB_W: usize = 4;
+/// Fabric height (tiles along Y).
+const FAB_H: usize = 4;
+
+/// One ensemble's measured result.
+struct Measurement {
+    k: usize,
+    mesh: (usize, usize, usize),
+    iters: usize,
+    /// Summed per-phase cycles over all iterations.
+    cycles: MultiIterCycles,
+    final_residual: f64,
+    model_time_us: f64,
+    wall: f64,
+}
+
+impl Measurement {
+    fn cycles_per_iter(&self) -> f64 {
+        self.cycles.total() as f64 / self.iters as f64
+    }
+    fn us_per_iter(&self, clock_ghz: f64) -> f64 {
+        self.cycles_per_iter() / (clock_ghz * 1e3)
+    }
+}
+
+/// Builds a k-wafer ensemble over a weak-scaled manufactured problem and
+/// runs `iters` distributed iterations.
+fn measure(k: usize, z: usize, iters: usize, clock_ghz: f64) -> Measurement {
+    let mesh = Mesh3D::new(SLAB_W * k, FAB_H, z);
+    let p = manufactured(mesh, (1.0, -0.5, 0.5), 3).preconditioned();
+    let a16: DiaMatrix<F16> = p.matrix.convert();
+    let b16: Vec<F16> = p.rhs.iter().map(|&v| F16::from_f64(v)).collect();
+
+    let mut multi = MultiFabric::new(SLAB_W * k, FAB_H, k, HostLink::new(1000.0, 0.2, clock_ghz));
+    let solver = WaferBicgstabMulti::build(&mut multi, &a16);
+    let wall = Instant::now();
+    solver.load_rhs(&mut multi, &b16);
+    let mut cycles = MultiIterCycles::default();
+    for _ in 0..iters {
+        let c = solver.iterate(&mut multi);
+        cycles.compute.spmv += c.compute.spmv;
+        cycles.compute.dot += c.compute.dot;
+        cycles.compute.allreduce += c.compute.allreduce;
+        cycles.compute.update += c.compute.update;
+        cycles.compute.scalar += c.compute.scalar;
+        cycles.halo += c.halo;
+        cycles.host_allreduce += c.host_allreduce;
+    }
+    let norm_b: f64 = b16.iter().map(|v| v.to_f64() * v.to_f64()).sum::<f64>().sqrt();
+    let final_residual = solver.residual_norm(&mut multi) as f64 / norm_b;
+    let wall = wall.elapsed().as_secs_f64();
+
+    let model = MultiWafer { k, link_gb_s: 1000.0, link_latency_us: 0.2, ..Default::default() };
+    let model_time_us = model.predict_mesh(SLAB_W, FAB_H, z).time_us;
+    Measurement {
+        k,
+        mesh: (mesh.nx, mesh.ny, mesh.nz),
+        iters,
+        cycles,
+        final_residual,
+        model_time_us,
+        wall,
+    }
+}
+
+/// Renders the measurement set as the checked-in benchmark JSON.
+fn render_json(results: &[Measurement], clock_ghz: f64) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"bench\": \"multiwafer_scaling\",\n");
+    s.push_str(&format!(
+        "  \"link\": {{\"gb_per_s\": 1000.0, \"latency_us\": 0.2}},\n  \"clock_ghz\": {clock_ghz},\n"
+    ));
+    s.push_str(
+        "  \"note\": \"weak scaling: fixed per-wafer slab, k wafers along X; \
+                cycles are simulated ensemble cycles, model is perf_model::multiwafer\",\n",
+    );
+    s.push_str("  \"results\": [\n");
+    let t1 = results[0].us_per_iter(clock_ghz);
+    for (i, m) in results.iter().enumerate() {
+        let us = m.us_per_iter(clock_ghz);
+        let _ = writeln!(
+            s,
+            "    {{\"k\": {}, \"mesh\": [{}, {}, {}], \"iters\": {}, \
+             \"cycles_per_iter\": {:.1}, \"us_per_iter\": {:.3}, \
+             \"phase_cycles\": {{\"spmv\": {}, \"dot\": {}, \"allreduce\": {}, \"update\": {}, \
+             \"scalar\": {}, \"halo\": {}, \"host_allreduce\": {}}}, \
+             \"model_us_per_iter\": {:.3}, \"weak_efficiency\": {:.3}, \
+             \"final_rel_residual\": {:.3e}}}{}",
+            m.k,
+            m.mesh.0,
+            m.mesh.1,
+            m.mesh.2,
+            m.iters,
+            m.cycles_per_iter(),
+            us,
+            m.cycles.compute.spmv,
+            m.cycles.compute.dot,
+            m.cycles.compute.allreduce,
+            m.cycles.compute.update,
+            m.cycles.compute.scalar,
+            m.cycles.halo,
+            m.cycles.host_allreduce,
+            m.model_time_us,
+            t1 / us,
+            m.final_residual,
+            if i + 1 == results.len() { "" } else { "," },
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_multiwafer.json".to_string());
+
+    let clock_ghz = Cs1Model::default().clock_ghz;
+    let (z, iters) = if smoke { (16, 2) } else { (64, 4) };
+    println!(
+        "multiwafer_scaling: k wafers x ({SLAB_W}x{FAB_H}x{z}) slab, 1000 GB/s / 0.2 us links"
+    );
+
+    let mut results = Vec::new();
+    for k in [1usize, 2, 4] {
+        let m = measure(k, z, iters, clock_ghz);
+        println!(
+            "k={}: mesh {}x{}x{}, {} iters, {:.0} cycles/iter \
+             (halo {} + host_allreduce {} of {} total), rel residual {:.3e}",
+            m.k,
+            m.mesh.0,
+            m.mesh.1,
+            m.mesh.2,
+            m.iters,
+            m.cycles_per_iter(),
+            m.cycles.halo,
+            m.cycles.host_allreduce,
+            m.cycles.total(),
+            m.final_residual
+        );
+        eprintln!(
+            "  wall {:.3}s; simulated {:.3} us/iter at {:.1} GHz (model {:.3} us/iter)",
+            m.wall,
+            m.us_per_iter(clock_ghz),
+            clock_ghz,
+            m.model_time_us
+        );
+        results.push(m);
+    }
+
+    // Model-fidelity gate: the cycles the ensemble actually spends on the
+    // interconnect (halo + host AllReduce hops) must bracket the analytic
+    // wire-time floor — at least the modeled time, at most 2x of it. (At
+    // this toy scale link latency dominates the tiny compute, so raw weak
+    // efficiency is not meaningful; at paper scale the same additive term
+    // is small against 28 us/iteration.)
+    for m in &results[1..] {
+        let model =
+            MultiWafer { k: m.k, link_gb_s: 1000.0, link_latency_us: 0.2, ..Default::default() };
+        let (halo_us, reduce_us) = model.interconnect_us(FAB_H, z);
+        let model_cycles = ((halo_us + reduce_us) * clock_ghz * 1e3) as u64;
+        let sim = (m.cycles.halo + m.cycles.host_allreduce) / m.iters as u64;
+        let ok = sim >= model_cycles && sim <= 2 * model_cycles;
+        println!(
+            "model-fidelity gate k={}: interconnect {} cycles/iter vs modeled {} \
+             (must be within [1x, 2x]): {}",
+            m.k,
+            sim,
+            model_cycles,
+            if ok { "PASS" } else { "FAIL" }
+        );
+        assert!(ok, "k={} interconnect {sim} cycles/iter vs model {model_cycles}", m.k);
+    }
+    // All ensembles converge on their (weak-scaled) problems.
+    for m in &results {
+        assert!(
+            m.final_residual < 0.9,
+            "k={} failed to reduce the residual: {:.3e}",
+            m.k,
+            m.final_residual
+        );
+    }
+
+    if !smoke {
+        let json = render_json(&results, clock_ghz);
+        std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+        eprintln!("wrote {out} ({} bytes)", json.len());
+    }
+}

@@ -97,9 +97,10 @@ impl AllReduce {
         let mut tasks = Vec::with_capacity(w * h);
         for y in 0..h {
             for x in 0..w {
-                let (mut body, recv) = Self::tile_body_parts(
+                let (mut body, root_tail, recv) = Self::tile_body_parts(
                     fabric, x, y, w, h, cx0, cx1, cy0, cy1, r_in, r_out, r_acc, base,
                 );
+                body.extend(root_tail);
                 body.extend(recv);
                 let id = fabric.tile_mut(x, y).core.add_task(Task::new("allreduce", body));
                 fabric.tile_mut(x, y).core.mark_entry(id);
@@ -250,11 +251,13 @@ impl AllReduce {
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
-    /// Builds one tile's statements, split into the *upstream work* (sends,
-    /// partial sums, broadcast transmit) and the *broadcast receive*. The
-    /// split lets two instances interleave: both do their upstream work
-    /// before either blocks waiting for its result.
+    /// Builds one tile's statements, split into three parts: the *upstream
+    /// reduction work* (sends and partial sums, ending with the wafer-local
+    /// total in the root's `r_acc`), the *root's broadcast transmit*, and
+    /// the *broadcast receive*. Fusing lets two instances interleave (both
+    /// upstream parts before either blocking receive); the hierarchical
+    /// multi-wafer AllReduce instead cuts between the reduction and the
+    /// broadcast so the host can combine the per-wafer partial sums.
     #[allow(clippy::too_many_arguments)]
     fn tile_body_parts(
         fabric: &mut Fabric,
@@ -270,7 +273,7 @@ impl AllReduce {
         r_out: Reg,
         r_acc: Reg,
         base: u8,
-    ) -> (Vec<Stmt>, Vec<Stmt>) {
+    ) -> (Vec<Stmt>, Vec<Stmt>, Vec<Stmt>) {
         let (row_e, row_w, col_s, col_n, fin, bc) = (
             base + colors::ROW_E,
             base + colors::ROW_W,
@@ -348,15 +351,17 @@ impl AllReduce {
                         b: None,
                     }));
                     let d_tx = core.add_dsr(mk::tx32(bc, 1));
-                    body.push(Stmt::InitDsr { dsr: d_tx, desc: mk::tx32(bc, 1) });
-                    body.push(Stmt::Exec(TensorInstr {
-                        op: Op::StoreReg { reg: r_acc },
-                        dst: Some(d_tx),
-                        a: None,
-                        b: None,
-                    }));
-                    body.push(Stmt::RegArith { op: RegOp::Mov, dst: r_out, a: r_acc, b: r_acc });
-                    return (body, Vec::new()); // the root keeps its own copy
+                    let root_tail = vec![
+                        Stmt::InitDsr { dsr: d_tx, desc: mk::tx32(bc, 1) },
+                        Stmt::Exec(TensorInstr {
+                            op: Op::StoreReg { reg: r_acc },
+                            dst: Some(d_tx),
+                            a: None,
+                            b: None,
+                        }),
+                        Stmt::RegArith { op: RegOp::Mov, dst: r_out, a: r_acc, b: r_acc },
+                    ];
+                    return (body, root_tail, Vec::new()); // the root keeps its own copy
                 }
                 let d_tx = core.add_dsr(mk::tx32(fin, 1));
                 body.push(Stmt::InitDsr { dsr: d_tx, desc: mk::tx32(fin, 1) });
@@ -381,7 +386,7 @@ impl AllReduce {
                 b: None,
             }),
         ];
-        (body, recv)
+        (body, Vec::new(), recv)
     }
 
     /// Builds a per-tile task that runs `self` and `other` **concurrently**:
@@ -403,10 +408,10 @@ impl AllReduce {
         let cx1 = cx0 + 1;
         let cy0 = (h - 1) / 2;
         let cy1 = cy0 + 1;
-        let (w1, r1) = Self::tile_body_parts(
+        let (w1, t1, r1) = Self::tile_body_parts(
             fabric, x, y, w, h, cx0, cx1, cy0, cy1, self.r_in, self.r_out, self.r_acc, self.base,
         );
-        let (w2, r2) = Self::tile_body_parts(
+        let (w2, t2, r2) = Self::tile_body_parts(
             fabric,
             x,
             y,
@@ -422,7 +427,9 @@ impl AllReduce {
             other.base,
         );
         let mut body = w1;
+        body.extend(t1);
         body.extend(w2);
+        body.extend(t2);
         body.extend(r1);
         body.extend(r2);
         let id = fabric.tile_mut(x, y).core.add_task(Task::new("allreduce-fused", body));
@@ -455,6 +462,112 @@ impl AllReduce {
             }
         }
         (out, cycles)
+    }
+}
+
+/// The hierarchical split of the AllReduce: the on-wafer fp32 reduction
+/// tree and the broadcast are **separate tasks**, so a host-level combine
+/// can run between them. After the reduce phase quiesces, the wafer-local
+/// sum sits in the root tile's `r_acc`; the multi-wafer driver reads every
+/// wafer's partial sum over the host interconnect, combines them in fp32,
+/// writes the global sum back into each root's `r_acc`, and runs the
+/// broadcast phase (root transmits `r_acc`, every other tile receives into
+/// `r_out`). On a single wafer, reduce followed immediately by broadcast
+/// is arithmetically identical to [`AllReduce`].
+pub struct AllReduceSplit {
+    w: usize,
+    h: usize,
+    root: (usize, usize),
+    /// Input register (each core's contribution).
+    pub r_in: Reg,
+    /// Output register (the global sum, on every core).
+    pub r_out: Reg,
+    /// Scratch accumulator; holds the wafer-local sum on the root between
+    /// the two phases.
+    pub r_acc: Reg,
+    reduce: Vec<TaskId>,
+    bcast: Vec<TaskId>,
+}
+
+impl AllReduceSplit {
+    /// Builds the routing and the per-tile reduce/broadcast task pairs on
+    /// the default virtual-channel base. Requires `w ≥ 2` and `h ≥ 2`.
+    ///
+    /// # Panics
+    /// Panics if the region is smaller than 2×2 or exceeds the fabric.
+    pub fn build(
+        fabric: &mut Fabric,
+        w: usize,
+        h: usize,
+        r_in: Reg,
+        r_out: Reg,
+        r_acc: Reg,
+    ) -> AllReduceSplit {
+        Self::build_with_base(fabric, w, h, r_in, r_out, r_acc, colors::DEFAULT_BASE)
+    }
+
+    /// Like [`AllReduceSplit::build`], on a custom virtual-channel base.
+    ///
+    /// # Panics
+    /// Panics if the region is smaller than 2×2 or exceeds the fabric.
+    pub fn build_with_base(
+        fabric: &mut Fabric,
+        w: usize,
+        h: usize,
+        r_in: Reg,
+        r_out: Reg,
+        r_acc: Reg,
+        base: u8,
+    ) -> AllReduceSplit {
+        assert!(w >= 2 && h >= 2, "AllReduce needs at least a 2x2 region");
+        assert!(w <= fabric.width() && h <= fabric.height(), "region exceeds fabric");
+        let cx0 = (w - 1) / 2;
+        let cx1 = cx0 + 1;
+        let cy0 = (h - 1) / 2;
+        let cy1 = cy0 + 1;
+
+        AllReduce::configure_routes(fabric, w, h, cx0, cx1, cy0, cy1, base);
+
+        let mut reduce = Vec::with_capacity(w * h);
+        let mut bcast = Vec::with_capacity(w * h);
+        for y in 0..h {
+            for x in 0..w {
+                let (up, root_tail, recv) = AllReduce::tile_body_parts(
+                    fabric, x, y, w, h, cx0, cx1, cy0, cy1, r_in, r_out, r_acc, base,
+                );
+                let core = &mut fabric.tile_mut(x, y).core;
+                let red = core.add_task(Task::new("allreduce-reduce", up));
+                core.mark_entry(red);
+                reduce.push(red);
+                let mut bc_body = root_tail;
+                bc_body.extend(recv);
+                let bc = core.add_task(Task::new("allreduce-bcast", bc_body));
+                core.mark_entry(bc);
+                bcast.push(bc);
+            }
+        }
+        AllReduceSplit { w, h, root: (cx0, cy0), r_in, r_out, r_acc, reduce, bcast }
+    }
+
+    /// The reduce-phase task to activate on tile `(x, y)`.
+    pub fn reduce_task(&self, x: usize, y: usize) -> TaskId {
+        self.reduce[y * self.w + x]
+    }
+
+    /// The broadcast-phase task to activate on tile `(x, y)`.
+    pub fn bcast_task(&self, x: usize, y: usize) -> TaskId {
+        self.bcast[y * self.w + x]
+    }
+
+    /// The root tile holding the wafer-local sum in `r_acc` after the
+    /// reduce phase.
+    pub fn root(&self) -> (usize, usize) {
+        self.root
+    }
+
+    /// The region this instance was built over.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.w, self.h)
     }
 }
 
@@ -522,6 +635,42 @@ mod tests {
             (c32 as f64) < 3.0 * diameter + 60.0,
             "allreduce latency {c32} too far above diameter {diameter}"
         );
+    }
+
+    #[test]
+    fn split_reduce_then_bcast_matches_fused() {
+        // Reduce to the root, meddle with nothing, broadcast: every tile
+        // must end with the same sum the one-task AllReduce produces, and
+        // the root's r_acc must already hold it after the reduce phase
+        // alone (the host-combine interposition point).
+        let (w, h) = (5, 4);
+        let values: Vec<f32> = (0..w * h).map(|i| (i as f32) * 0.5 - 3.0).collect();
+        let expect: f32 = values.iter().sum();
+        let mut fabric = Fabric::new(w, h);
+        let ar = AllReduceSplit::build(&mut fabric, w, h, R_IN, R_OUT, R_ACC);
+        for y in 0..h {
+            for x in 0..w {
+                let core = &mut fabric.tile_mut(x, y).core;
+                core.regs[R_IN] = values[y * w + x];
+                core.activate(ar.reduce_task(x, y));
+            }
+        }
+        fabric.run_until_quiescent(100_000).unwrap();
+        let (rx, ry) = ar.root();
+        let partial = fabric.tile(rx, ry).core.regs[R_ACC];
+        assert!((partial - expect).abs() <= 1e-3, "root partial {partial} vs {expect}");
+        for y in 0..h {
+            for x in 0..w {
+                fabric.tile_mut(x, y).core.activate(ar.bcast_task(x, y));
+            }
+        }
+        fabric.run_until_quiescent(100_000).unwrap();
+        for y in 0..h {
+            for x in 0..w {
+                let got = fabric.tile(x, y).core.regs[R_OUT];
+                assert!((got - expect).abs() <= 1e-3, "tile ({x},{y}) got {got}");
+            }
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! cycle counts *worse* than the hardware's, never better.)
 
 use crate::allreduce::AllReduce;
+use crate::exec::WaferExec;
 use crate::kernels::{dot_stmts, xpay_stmts};
 use crate::recovery::{self, run_with_recovery, RecoveryLog, RecoveryPolicy, ResidualTripwire};
 use crate::routing::configure_spmv_routes;
@@ -20,11 +21,12 @@ use crate::spmv3d::{build_spmv_tile, load_coefficients, tile_coefficients, SpmvL
 use stencil::decomp::Mapping3D;
 use stencil::dia::DiaMatrix;
 use stencil::precond::has_unit_diagonal;
+use wse_arch::core::Core;
 use wse_arch::dsr::mk;
 use wse_arch::fabric::StallReport;
 use wse_arch::instr::{Op, RegOp, Stmt, Task, TensorInstr};
 use wse_arch::types::{Dtype, TaskId};
-use wse_arch::Fabric;
+use wse_arch::{Fabric, Tile};
 use wse_float::F16;
 
 /// Register allocation for the solver (per core).
@@ -74,23 +76,53 @@ pub mod regs {
     pub const EPS: Reg = 31;
 }
 
-/// Per-tile memory layout of the solver vectors (byte addresses).
+/// Per-tile memory layout of the solver vectors (byte addresses). Shared
+/// with the multi-wafer driver ([`crate::multi`]), which lays its tiles
+/// out identically.
 #[derive(Copy, Clone, Debug)]
-struct TileVecs {
+pub(crate) struct TileVecs {
     /// Padded p (SpMV source), `z + 2` words; live at `+2` bytes.
-    p_pad: u32,
+    pub(crate) p_pad: u32,
     /// Padded q (SpMV source), `z + 2` words.
-    q_pad: u32,
+    pub(crate) q_pad: u32,
     /// s = A p.
-    s: u32,
+    pub(crate) s: u32,
     /// y = A q.
-    y: u32,
+    pub(crate) y: u32,
     /// Residual r.
-    r: u32,
+    pub(crate) r: u32,
     /// Shadow residual r̂₀.
-    r0: u32,
+    pub(crate) r0: u32,
     /// Iterate x.
-    x: u32,
+    pub(crate) x: u32,
+}
+
+/// Per-tile task ids for the non-SpMV, non-AllReduce phases (dots, scalar
+/// coefficient arithmetic, vector updates). These are purely core-local,
+/// so the single-wafer and multi-wafer drivers build them identically via
+/// [`build_scalar_tasks`].
+#[derive(Clone, Debug)]
+pub(crate) struct ScalarTasks {
+    pub(crate) dot_r0s: TaskId,
+    pub(crate) dot_qy: TaskId,
+    pub(crate) dot_yy: TaskId,
+    /// Fused variant: both ω-step dots in one task (qy → AR_IN, yy → AR_IN2).
+    pub(crate) dot_qy_yy: TaskId,
+    /// Fused variant: ω from the two concurrent reduction outputs.
+    pub(crate) post_omega_fused: TaskId,
+    pub(crate) dot_rho: TaskId,
+    pub(crate) dot_rr: TaskId,
+    pub(crate) post_r0s: TaskId,
+    pub(crate) post_qy: TaskId,
+    pub(crate) post_yy: TaskId,
+    pub(crate) post_rho: TaskId,
+    pub(crate) init_rho: TaskId,
+    pub(crate) post_rr: TaskId,
+    pub(crate) upd_q: TaskId,
+    pub(crate) upd_x: TaskId,
+    pub(crate) upd_r: TaskId,
+    pub(crate) upd_p1: TaskId,
+    pub(crate) upd_p2: TaskId,
 }
 
 /// Per-tile task ids for every phase.
@@ -98,28 +130,31 @@ struct TileVecs {
 struct TileTasks {
     spmv_ps: SpmvTasks,
     spmv_qy: SpmvTasks,
-    dot_r0s: TaskId,
-    dot_qy: TaskId,
-    dot_yy: TaskId,
-    /// Fused variant: both ω-step dots in one task (qy → AR_IN, yy → AR_IN2).
-    dot_qy_yy: TaskId,
-    /// Fused variant: ω from the two concurrent reduction outputs.
-    post_omega_fused: TaskId,
+    scalar: ScalarTasks,
     /// Fused variant: the combined two-network reduction task.
     fused_allreduce: Option<TaskId>,
-    dot_rho: TaskId,
-    dot_rr: TaskId,
-    post_r0s: TaskId,
-    post_qy: TaskId,
-    post_yy: TaskId,
-    post_rho: TaskId,
-    init_rho: TaskId,
-    post_rr: TaskId,
-    upd_q: TaskId,
-    upd_x: TaskId,
-    upd_r: TaskId,
-    upd_p1: TaskId,
-    upd_p2: TaskId,
+}
+
+/// Allocates one solver tile's SRAM: six coefficient diagonals followed by
+/// the seven iteration vectors, in the fixed order both drivers share.
+///
+/// # Panics
+/// Panics if the tile runs out of SRAM.
+pub(crate) fn alloc_solver_vecs(tile: &mut Tile, z: u32) -> ([u32; 6], TileVecs) {
+    let mut diag = [0u32; 6];
+    for d in &mut diag {
+        *d = tile.mem.alloc_vec(z, Dtype::F16).expect("SRAM: diagonals");
+    }
+    let vecs = TileVecs {
+        p_pad: tile.mem.alloc_vec(z + 2, Dtype::F16).expect("SRAM: p"),
+        q_pad: tile.mem.alloc_vec(z + 2, Dtype::F16).expect("SRAM: q"),
+        s: tile.mem.alloc_vec(z, Dtype::F16).expect("SRAM: s"),
+        y: tile.mem.alloc_vec(z, Dtype::F16).expect("SRAM: y"),
+        r: tile.mem.alloc_vec(z, Dtype::F16).expect("SRAM: r"),
+        r0: tile.mem.alloc_vec(z, Dtype::F16).expect("SRAM: r0"),
+        x: tile.mem.alloc_vec(z, Dtype::F16).expect("SRAM: x"),
+    };
+    (diag, vecs)
 }
 
 /// Cycle counts of one iteration, by phase kind.
@@ -229,19 +264,7 @@ impl WaferBicgstab {
                 let tile = fabric.tile_mut(x, y);
 
                 // Shared coefficient storage for both SpMVs.
-                let mut diag = [0u32; 6];
-                for d in &mut diag {
-                    *d = tile.mem.alloc_vec(z, Dtype::F16).expect("SRAM: diagonals");
-                }
-                let vecs = TileVecs {
-                    p_pad: tile.mem.alloc_vec(z + 2, Dtype::F16).expect("SRAM: p"),
-                    q_pad: tile.mem.alloc_vec(z + 2, Dtype::F16).expect("SRAM: q"),
-                    s: tile.mem.alloc_vec(z, Dtype::F16).expect("SRAM: s"),
-                    y: tile.mem.alloc_vec(z, Dtype::F16).expect("SRAM: y"),
-                    r: tile.mem.alloc_vec(z, Dtype::F16).expect("SRAM: r"),
-                    r0: tile.mem.alloc_vec(z, Dtype::F16).expect("SRAM: r0"),
-                    x: tile.mem.alloc_vec(z, Dtype::F16).expect("SRAM: x"),
-                };
+                let (diag, vecs) = alloc_solver_vecs(tile, z);
                 let coeffs = tile_coefficients(a, x, y);
                 let lay_ps = SpmvLayout { z, diag, vpad: vecs.p_pad, u: vecs.s };
                 let lay_qy = SpmvLayout { z, diag, vpad: vecs.q_pad, u: vecs.y };
@@ -254,292 +277,244 @@ impl WaferBicgstab {
 
                 let spmv_ps = build_spmv_tile(tile, x, y, w, h, lay_ps, None);
                 let spmv_qy = build_spmv_tile(tile, x, y, w, h, lay_qy, None);
-
-                let core = &mut tile.core;
-                let p_live = vecs.p_pad + 2;
-                let q_live = vecs.q_pad + 2;
-
-                // --- Dot phases (local MAC + move to the AllReduce input).
-                let dot_r0s = {
-                    let body = dot_stmts(core, regs::DOT_ACC, regs::AR_IN, vecs.r0, vecs.s, z);
-                    core.add_task(Task::new("dot_r0s", body))
-                };
-                let dot_qy = {
-                    let body = dot_stmts(core, regs::DOT_ACC, regs::AR_IN, q_live, vecs.y, z);
-                    core.add_task(Task::new("dot_qy", body))
-                };
-                let dot_yy = {
-                    let body = dot_stmts(core, regs::DOT_ACC, regs::AR_IN, vecs.y, vecs.y, z);
-                    core.add_task(Task::new("dot_yy", body))
-                };
-                let dot_qy_yy = {
-                    let mut body = dot_stmts(core, regs::DOT_ACC, regs::AR_IN, q_live, vecs.y, z);
-                    body.extend(dot_stmts(core, regs::DOT_ACC, regs::AR_IN2, vecs.y, vecs.y, z));
-                    core.add_task(Task::new("dot_qy_yy", body))
-                };
-                let dot_rho = {
-                    let body = dot_stmts(core, regs::DOT_ACC, regs::AR_IN, vecs.r0, vecs.r, z);
-                    core.add_task(Task::new("dot_rho", body))
-                };
-                let dot_rr = {
-                    let body = dot_stmts(core, regs::DOT_ACC, regs::AR_IN, vecs.r, vecs.r, z);
-                    core.add_task(Task::new("dot_rr", body))
-                };
-
-                // --- Scalar coefficient phases.
-                let post_r0s = core.add_task(Task::new(
-                    "post_r0s",
-                    vec![
-                        Stmt::RegArith {
-                            op: RegOp::Mov,
-                            dst: regs::R0S,
-                            a: regs::AR_OUT,
-                            b: regs::AR_OUT,
-                        },
-                        Stmt::RegArith {
-                            op: RegOp::Add,
-                            dst: regs::R0S,
-                            a: regs::R0S,
-                            b: regs::EPS,
-                        },
-                        Stmt::RegArith {
-                            op: RegOp::Div,
-                            dst: regs::ALPHA,
-                            a: regs::RHO,
-                            b: regs::R0S,
-                        },
-                        Stmt::RegArith {
-                            op: RegOp::Neg,
-                            dst: regs::NEG_ALPHA,
-                            a: regs::ALPHA,
-                            b: regs::ALPHA,
-                        },
-                    ],
-                ));
-                let post_qy = core.add_task(Task::new(
-                    "post_qy",
-                    vec![Stmt::RegArith {
-                        op: RegOp::Mov,
-                        dst: regs::QY,
-                        a: regs::AR_OUT,
-                        b: regs::AR_OUT,
-                    }],
-                ));
-                let post_yy = core.add_task(Task::new(
-                    "post_yy",
-                    vec![
-                        Stmt::RegArith {
-                            op: RegOp::Mov,
-                            dst: regs::YY,
-                            a: regs::AR_OUT,
-                            b: regs::AR_OUT,
-                        },
-                        Stmt::RegArith { op: RegOp::Add, dst: regs::YY, a: regs::YY, b: regs::EPS },
-                        Stmt::RegArith {
-                            op: RegOp::Div,
-                            dst: regs::OMEGA,
-                            a: regs::QY,
-                            b: regs::YY,
-                        },
-                        Stmt::RegArith {
-                            op: RegOp::Neg,
-                            dst: regs::NEG_OMEGA,
-                            a: regs::OMEGA,
-                            b: regs::OMEGA,
-                        },
-                    ],
-                ));
-                let post_rho = core.add_task(Task::new(
-                    "post_rho",
-                    vec![
-                        Stmt::RegArith {
-                            op: RegOp::Mov,
-                            dst: regs::RHO_NEXT,
-                            a: regs::AR_OUT,
-                            b: regs::AR_OUT,
-                        },
-                        Stmt::RegArith {
-                            op: RegOp::Add,
-                            dst: regs::TMP,
-                            a: regs::OMEGA,
-                            b: regs::EPS,
-                        },
-                        Stmt::RegArith {
-                            op: RegOp::Div,
-                            dst: regs::TMP,
-                            a: regs::ALPHA,
-                            b: regs::TMP,
-                        },
-                        Stmt::RegArith {
-                            op: RegOp::Add,
-                            dst: regs::BETA,
-                            a: regs::RHO,
-                            b: regs::EPS,
-                        },
-                        Stmt::RegArith {
-                            op: RegOp::Div,
-                            dst: regs::BETA,
-                            a: regs::RHO_NEXT,
-                            b: regs::BETA,
-                        },
-                        Stmt::RegArith {
-                            op: RegOp::Mul,
-                            dst: regs::BETA,
-                            a: regs::TMP,
-                            b: regs::BETA,
-                        },
-                        Stmt::RegArith {
-                            op: RegOp::Mov,
-                            dst: regs::RHO,
-                            a: regs::RHO_NEXT,
-                            b: regs::RHO_NEXT,
-                        },
-                    ],
-                ));
-                let post_omega_fused = core.add_task(Task::new(
-                    "post_omega_fused",
-                    vec![
-                        Stmt::RegArith {
-                            op: RegOp::Mov,
-                            dst: regs::QY,
-                            a: regs::AR_OUT,
-                            b: regs::AR_OUT,
-                        },
-                        Stmt::RegArith {
-                            op: RegOp::Mov,
-                            dst: regs::YY,
-                            a: regs::AR_OUT2,
-                            b: regs::AR_OUT2,
-                        },
-                        Stmt::RegArith { op: RegOp::Add, dst: regs::YY, a: regs::YY, b: regs::EPS },
-                        Stmt::RegArith {
-                            op: RegOp::Div,
-                            dst: regs::OMEGA,
-                            a: regs::QY,
-                            b: regs::YY,
-                        },
-                        Stmt::RegArith {
-                            op: RegOp::Neg,
-                            dst: regs::NEG_OMEGA,
-                            a: regs::OMEGA,
-                            b: regs::OMEGA,
-                        },
-                    ],
-                ));
-                let init_rho = core.add_task(Task::new(
-                    "init_rho",
-                    vec![Stmt::RegArith {
-                        op: RegOp::Mov,
-                        dst: regs::RHO,
-                        a: regs::AR_OUT,
-                        b: regs::AR_OUT,
-                    }],
-                ));
-                let post_rr = core.add_task(Task::new(
-                    "post_rr",
-                    vec![Stmt::RegArith {
-                        op: RegOp::Mov,
-                        dst: regs::RR,
-                        a: regs::AR_OUT,
-                        b: regs::AR_OUT,
-                    }],
-                ));
-
-                // --- Vector update phases.
-                let upd_q = {
-                    let body = xpay_stmts(core, regs::NEG_ALPHA, q_live, vecs.r, vecs.s, z);
-                    core.add_task(Task::new("upd_q", body))
-                };
-                let upd_x = {
-                    let dp = core.add_dsr(mk::tensor16(p_live, z));
-                    let dq = core.add_dsr(mk::tensor16(q_live, z));
-                    let dx1 = core.add_dsr(mk::tensor16(vecs.x, z));
-                    let dx2 = core.add_dsr(mk::tensor16(vecs.x, z));
-                    core.add_task(Task::new(
-                        "upd_x",
-                        vec![
-                            Stmt::Exec(TensorInstr {
-                                op: Op::Axpy { scalar: regs::ALPHA },
-                                dst: Some(dx1),
-                                a: Some(dp),
-                                b: None,
-                            }),
-                            Stmt::Exec(TensorInstr {
-                                op: Op::Axpy { scalar: regs::OMEGA },
-                                dst: Some(dx2),
-                                a: Some(dq),
-                                b: None,
-                            }),
-                        ],
-                    ))
-                };
-                let upd_r = {
-                    let body = xpay_stmts(core, regs::NEG_OMEGA, vecs.r, q_live, vecs.y, z);
-                    core.add_task(Task::new("upd_r", body))
-                };
-                let upd_p1 = {
-                    let body = xpay_stmts(core, regs::NEG_OMEGA, p_live, p_live, vecs.s, z);
-                    core.add_task(Task::new("upd_p1", body))
-                };
-                let upd_p2 = {
-                    let body = xpay_stmts(core, regs::BETA, p_live, vecs.r, p_live, z);
-                    core.add_task(Task::new("upd_p2", body))
-                };
-
-                let tile_tasks = TileTasks {
-                    spmv_ps,
-                    spmv_qy,
-                    dot_r0s,
-                    dot_qy,
-                    dot_yy,
-                    dot_qy_yy,
-                    post_omega_fused,
-                    dot_rho,
-                    dot_rr,
-                    post_r0s,
-                    post_qy,
-                    post_yy,
-                    post_rho,
-                    init_rho,
-                    post_rr,
-                    upd_q,
-                    upd_x,
-                    upd_r,
-                    upd_p1,
-                    upd_p2,
-                    fused_allreduce,
-                };
-                // Every phase task is a host-activated entry point.
-                let core = &mut fabric.tile_mut(x, y).core;
-                for t in [
-                    dot_r0s,
-                    dot_qy,
-                    dot_yy,
-                    dot_qy_yy,
-                    post_omega_fused,
-                    dot_rho,
-                    dot_rr,
-                    post_r0s,
-                    post_qy,
-                    post_yy,
-                    post_rho,
-                    init_rho,
-                    post_rr,
-                    upd_q,
-                    upd_x,
-                    upd_r,
-                    upd_p1,
-                    upd_p2,
-                ] {
-                    core.mark_entry(t);
-                }
-                tiles.push((vecs, tile_tasks));
+                let scalar = build_scalar_tasks(&mut tile.core, &vecs, z);
+                tiles.push((vecs, TileTasks { spmv_ps, spmv_qy, scalar, fused_allreduce }));
             }
         }
         crate::debug_lint(fabric);
         WaferBicgstab { mapping, tiles, allreduce, allreduce2, fused }
     }
+}
 
+/// Builds every core-local phase task on one tile — the four dots, the
+/// scalar coefficient arithmetic, and the six vector updates — and marks
+/// each as a host-activated entry point. Shared verbatim by the
+/// single-wafer and multi-wafer drivers (the phases touch no fabric, so
+/// sharding cannot change them).
+pub(crate) fn build_scalar_tasks(core: &mut Core, vecs: &TileVecs, z: u32) -> ScalarTasks {
+    let p_live = vecs.p_pad + 2;
+    let q_live = vecs.q_pad + 2;
+    {
+        // --- Dot phases (local MAC + move to the AllReduce input).
+        let dot_r0s = {
+            let body = dot_stmts(core, regs::DOT_ACC, regs::AR_IN, vecs.r0, vecs.s, z);
+            core.add_task(Task::new("dot_r0s", body))
+        };
+        let dot_qy = {
+            let body = dot_stmts(core, regs::DOT_ACC, regs::AR_IN, q_live, vecs.y, z);
+            core.add_task(Task::new("dot_qy", body))
+        };
+        let dot_yy = {
+            let body = dot_stmts(core, regs::DOT_ACC, regs::AR_IN, vecs.y, vecs.y, z);
+            core.add_task(Task::new("dot_yy", body))
+        };
+        let dot_qy_yy = {
+            let mut body = dot_stmts(core, regs::DOT_ACC, regs::AR_IN, q_live, vecs.y, z);
+            body.extend(dot_stmts(core, regs::DOT_ACC, regs::AR_IN2, vecs.y, vecs.y, z));
+            core.add_task(Task::new("dot_qy_yy", body))
+        };
+        let dot_rho = {
+            let body = dot_stmts(core, regs::DOT_ACC, regs::AR_IN, vecs.r0, vecs.r, z);
+            core.add_task(Task::new("dot_rho", body))
+        };
+        let dot_rr = {
+            let body = dot_stmts(core, regs::DOT_ACC, regs::AR_IN, vecs.r, vecs.r, z);
+            core.add_task(Task::new("dot_rr", body))
+        };
+
+        // --- Scalar coefficient phases.
+        let post_r0s = core.add_task(Task::new(
+            "post_r0s",
+            vec![
+                Stmt::RegArith { op: RegOp::Mov, dst: regs::R0S, a: regs::AR_OUT, b: regs::AR_OUT },
+                Stmt::RegArith { op: RegOp::Add, dst: regs::R0S, a: regs::R0S, b: regs::EPS },
+                Stmt::RegArith { op: RegOp::Div, dst: regs::ALPHA, a: regs::RHO, b: regs::R0S },
+                Stmt::RegArith {
+                    op: RegOp::Neg,
+                    dst: regs::NEG_ALPHA,
+                    a: regs::ALPHA,
+                    b: regs::ALPHA,
+                },
+            ],
+        ));
+        let post_qy = core.add_task(Task::new(
+            "post_qy",
+            vec![Stmt::RegArith {
+                op: RegOp::Mov,
+                dst: regs::QY,
+                a: regs::AR_OUT,
+                b: regs::AR_OUT,
+            }],
+        ));
+        let post_yy = core.add_task(Task::new(
+            "post_yy",
+            vec![
+                Stmt::RegArith { op: RegOp::Mov, dst: regs::YY, a: regs::AR_OUT, b: regs::AR_OUT },
+                Stmt::RegArith { op: RegOp::Add, dst: regs::YY, a: regs::YY, b: regs::EPS },
+                Stmt::RegArith { op: RegOp::Div, dst: regs::OMEGA, a: regs::QY, b: regs::YY },
+                Stmt::RegArith {
+                    op: RegOp::Neg,
+                    dst: regs::NEG_OMEGA,
+                    a: regs::OMEGA,
+                    b: regs::OMEGA,
+                },
+            ],
+        ));
+        let post_rho = core.add_task(Task::new(
+            "post_rho",
+            vec![
+                Stmt::RegArith {
+                    op: RegOp::Mov,
+                    dst: regs::RHO_NEXT,
+                    a: regs::AR_OUT,
+                    b: regs::AR_OUT,
+                },
+                Stmt::RegArith { op: RegOp::Add, dst: regs::TMP, a: regs::OMEGA, b: regs::EPS },
+                Stmt::RegArith { op: RegOp::Div, dst: regs::TMP, a: regs::ALPHA, b: regs::TMP },
+                Stmt::RegArith { op: RegOp::Add, dst: regs::BETA, a: regs::RHO, b: regs::EPS },
+                Stmt::RegArith {
+                    op: RegOp::Div,
+                    dst: regs::BETA,
+                    a: regs::RHO_NEXT,
+                    b: regs::BETA,
+                },
+                Stmt::RegArith { op: RegOp::Mul, dst: regs::BETA, a: regs::TMP, b: regs::BETA },
+                Stmt::RegArith {
+                    op: RegOp::Mov,
+                    dst: regs::RHO,
+                    a: regs::RHO_NEXT,
+                    b: regs::RHO_NEXT,
+                },
+            ],
+        ));
+        let post_omega_fused = core.add_task(Task::new(
+            "post_omega_fused",
+            vec![
+                Stmt::RegArith { op: RegOp::Mov, dst: regs::QY, a: regs::AR_OUT, b: regs::AR_OUT },
+                Stmt::RegArith {
+                    op: RegOp::Mov,
+                    dst: regs::YY,
+                    a: regs::AR_OUT2,
+                    b: regs::AR_OUT2,
+                },
+                Stmt::RegArith { op: RegOp::Add, dst: regs::YY, a: regs::YY, b: regs::EPS },
+                Stmt::RegArith { op: RegOp::Div, dst: regs::OMEGA, a: regs::QY, b: regs::YY },
+                Stmt::RegArith {
+                    op: RegOp::Neg,
+                    dst: regs::NEG_OMEGA,
+                    a: regs::OMEGA,
+                    b: regs::OMEGA,
+                },
+            ],
+        ));
+        let init_rho = core.add_task(Task::new(
+            "init_rho",
+            vec![Stmt::RegArith {
+                op: RegOp::Mov,
+                dst: regs::RHO,
+                a: regs::AR_OUT,
+                b: regs::AR_OUT,
+            }],
+        ));
+        let post_rr = core.add_task(Task::new(
+            "post_rr",
+            vec![Stmt::RegArith {
+                op: RegOp::Mov,
+                dst: regs::RR,
+                a: regs::AR_OUT,
+                b: regs::AR_OUT,
+            }],
+        ));
+
+        // --- Vector update phases.
+        let upd_q = {
+            let body = xpay_stmts(core, regs::NEG_ALPHA, q_live, vecs.r, vecs.s, z);
+            core.add_task(Task::new("upd_q", body))
+        };
+        let upd_x = {
+            let dp = core.add_dsr(mk::tensor16(p_live, z));
+            let dq = core.add_dsr(mk::tensor16(q_live, z));
+            let dx1 = core.add_dsr(mk::tensor16(vecs.x, z));
+            let dx2 = core.add_dsr(mk::tensor16(vecs.x, z));
+            core.add_task(Task::new(
+                "upd_x",
+                vec![
+                    Stmt::Exec(TensorInstr {
+                        op: Op::Axpy { scalar: regs::ALPHA },
+                        dst: Some(dx1),
+                        a: Some(dp),
+                        b: None,
+                    }),
+                    Stmt::Exec(TensorInstr {
+                        op: Op::Axpy { scalar: regs::OMEGA },
+                        dst: Some(dx2),
+                        a: Some(dq),
+                        b: None,
+                    }),
+                ],
+            ))
+        };
+        let upd_r = {
+            let body = xpay_stmts(core, regs::NEG_OMEGA, vecs.r, q_live, vecs.y, z);
+            core.add_task(Task::new("upd_r", body))
+        };
+        let upd_p1 = {
+            let body = xpay_stmts(core, regs::NEG_OMEGA, p_live, p_live, vecs.s, z);
+            core.add_task(Task::new("upd_p1", body))
+        };
+        let upd_p2 = {
+            let body = xpay_stmts(core, regs::BETA, p_live, vecs.r, p_live, z);
+            core.add_task(Task::new("upd_p2", body))
+        };
+
+        let tasks = ScalarTasks {
+            dot_r0s,
+            dot_qy,
+            dot_yy,
+            dot_qy_yy,
+            post_omega_fused,
+            dot_rho,
+            dot_rr,
+            post_r0s,
+            post_qy,
+            post_yy,
+            post_rho,
+            init_rho,
+            post_rr,
+            upd_q,
+            upd_x,
+            upd_r,
+            upd_p1,
+            upd_p2,
+        };
+        // Every phase task is a host-activated entry point.
+        for t in [
+            dot_r0s,
+            dot_qy,
+            dot_yy,
+            dot_qy_yy,
+            post_omega_fused,
+            dot_rho,
+            dot_rr,
+            post_r0s,
+            post_qy,
+            post_yy,
+            post_rho,
+            init_rho,
+            post_rr,
+            upd_q,
+            upd_x,
+            upd_r,
+            upd_p1,
+            upd_p2,
+        ] {
+            core.mark_entry(t);
+        }
+        tasks
+    }
+}
+
+impl WaferBicgstab {
     /// `true` if this instance fuses the ω-step reductions.
     pub fn is_fused(&self) -> bool {
         self.fused
@@ -561,7 +536,7 @@ impl WaferBicgstab {
     /// (inert unless the fabric's tracing is armed).
     fn try_phase(
         &self,
-        fabric: &mut Fabric,
+        exec: &mut impl WaferExec,
         name: &'static str,
         pick: impl Fn(&TileTasks) -> TaskId,
     ) -> Result<u64, Box<StallReport>> {
@@ -569,24 +544,25 @@ impl WaferBicgstab {
         for y in 0..m.fabric_h {
             for x in 0..m.fabric_w {
                 let t = pick(&self.tiles[self.idx(x, y)].1);
-                fabric.tile_mut(x, y).core.activate(t);
+                exec.activate(x, y, t);
             }
         }
         let budget = 200 * m.z as u64 + 200 * (m.fabric_w + m.fabric_h) as u64 + 50_000;
-        fabric.phase_begin(name);
-        let r = fabric.run_watched(budget, recovery::STALL_WINDOW);
-        fabric.phase_end();
-        r
+        exec.run_phase(name, budget, recovery::STALL_WINDOW)
     }
 
     /// Loads the right-hand side and zeroes the iterate: `r = r̂₀ = p = b`,
     /// `x = 0`, then computes ρ₀ = (r̂₀, r) on the wafer.
-    pub fn load_rhs(&self, fabric: &mut Fabric, b: &[F16]) {
+    pub fn load_rhs(&self, fabric: &mut impl WaferExec, b: &[F16]) {
         self.try_load_rhs(fabric, b).unwrap_or_else(|e| panic!("bicgstab load stalled: {e}"))
     }
 
     /// Fallible [`WaferBicgstab::load_rhs`] (see [`WaferBicgstab::try_phase`]).
-    pub fn try_load_rhs(&self, fabric: &mut Fabric, b: &[F16]) -> Result<(), Box<StallReport>> {
+    pub fn try_load_rhs(
+        &self,
+        fabric: &mut impl WaferExec,
+        b: &[F16],
+    ) -> Result<(), Box<StallReport>> {
         let m = self.mapping;
         assert_eq!(b.len(), m.cores() * m.z, "rhs length mismatch");
         for y in 0..m.fabric_h {
@@ -594,124 +570,126 @@ impl WaferBicgstab {
                 let (vecs, _) = &self.tiles[self.idx(x, y)];
                 let rows = m.core_rows(x, y);
                 let local = &b[rows];
-                let tile = fabric.tile_mut(x, y);
-                tile.mem.store_f16_slice(vecs.r, local);
-                tile.mem.store_f16_slice(vecs.r0, local);
-                tile.mem.store_f16_slice(vecs.p_pad + 2, local);
-                tile.mem.store_f16_slice(vecs.x, &vec![F16::ZERO; m.z]);
-                tile.core.regs[regs::EPS] = 1e-30;
+                fabric.store_f16(x, y, vecs.r, local);
+                fabric.store_f16(x, y, vecs.r0, local);
+                fabric.store_f16(x, y, vecs.p_pad + 2, local);
+                fabric.store_f16(x, y, vecs.x, &vec![F16::ZERO; m.z]);
+                fabric.set_reg(x, y, regs::EPS, 1e-30);
                 // q's live part gets overwritten before first use; pads are
                 // already zero.
             }
         }
         // ρ₀ = (r̂₀, r).
-        self.try_phase(fabric, "dot", |t| t.dot_rho)?;
+        self.try_phase(fabric, "dot", |t| t.scalar.dot_rho)?;
         self.try_allreduce_phase(fabric)?;
-        self.try_phase(fabric, "scalar", |t| t.init_rho)?;
+        self.try_phase(fabric, "scalar", |t| t.scalar.init_rho)?;
         Ok(())
     }
 
-    fn try_allreduce_phase(&self, fabric: &mut Fabric) -> Result<u64, Box<StallReport>> {
+    fn try_allreduce_phase(&self, fabric: &mut impl WaferExec) -> Result<u64, Box<StallReport>> {
         let m = self.mapping;
         for y in 0..m.fabric_h {
             for x in 0..m.fabric_w {
-                fabric.tile_mut(x, y).core.activate(self.allreduce.task(x, y));
+                fabric.activate(x, y, self.allreduce.task(x, y));
             }
         }
-        fabric.phase_begin("allreduce");
-        let r = fabric
-            .run_watched(100 * (m.fabric_w + m.fabric_h) as u64 + 50_000, recovery::STALL_WINDOW);
-        fabric.phase_end();
-        r
+        fabric.run_phase(
+            "allreduce",
+            100 * (m.fabric_w + m.fabric_h) as u64 + 50_000,
+            recovery::STALL_WINDOW,
+        )
     }
 
     /// Fused mode: one combined task per tile drives both reduction
     /// networks concurrently (all upstream work before either blocking
     /// broadcast receive).
-    fn try_allreduce_phase_both(&self, fabric: &mut Fabric) -> Result<u64, Box<StallReport>> {
+    fn try_allreduce_phase_both(
+        &self,
+        fabric: &mut impl WaferExec,
+    ) -> Result<u64, Box<StallReport>> {
         let m = self.mapping;
         for y in 0..m.fabric_h {
             for x in 0..m.fabric_w {
                 let t = self.tiles[self.idx(x, y)].1.fused_allreduce.expect("fused mode");
-                fabric.tile_mut(x, y).core.activate(t);
+                fabric.activate(x, y, t);
             }
         }
-        fabric.phase_begin("allreduce");
-        let r = fabric
-            .run_watched(100 * (m.fabric_w + m.fabric_h) as u64 + 50_000, recovery::STALL_WINDOW);
-        fabric.phase_end();
-        r
+        fabric.run_phase(
+            "allreduce",
+            100 * (m.fabric_w + m.fabric_h) as u64 + 50_000,
+            recovery::STALL_WINDOW,
+        )
     }
 
     /// Runs one BiCGStab iteration, returning its cycle breakdown.
-    pub fn iterate(&self, fabric: &mut Fabric) -> IterCycles {
+    pub fn iterate(&self, fabric: &mut impl WaferExec) -> IterCycles {
         self.try_iterate(fabric).unwrap_or_else(|e| panic!("bicgstab iteration stalled: {e}"))
     }
 
     /// Fallible [`WaferBicgstab::iterate`] (see [`WaferBicgstab::try_phase`]).
-    pub fn try_iterate(&self, fabric: &mut Fabric) -> Result<IterCycles, Box<StallReport>> {
+    pub fn try_iterate(&self, fabric: &mut impl WaferExec) -> Result<IterCycles, Box<StallReport>> {
         let mut c = IterCycles::default();
         // s := A p
         c.spmv += self.try_phase(fabric, "spmv", |t| t.spmv_ps.start)?;
         // α := ρ / (r̂₀, s)
-        c.dot += self.try_phase(fabric, "dot", |t| t.dot_r0s)?;
+        c.dot += self.try_phase(fabric, "dot", |t| t.scalar.dot_r0s)?;
         c.allreduce += self.try_allreduce_phase(fabric)?;
-        c.scalar += self.try_phase(fabric, "scalar", |t| t.post_r0s)?;
+        c.scalar += self.try_phase(fabric, "scalar", |t| t.scalar.post_r0s)?;
         // q := r − α s
-        c.update += self.try_phase(fabric, "update", |t| t.upd_q)?;
+        c.update += self.try_phase(fabric, "update", |t| t.scalar.upd_q)?;
         // y := A q
         c.spmv += self.try_phase(fabric, "spmv", |t| t.spmv_qy.start)?;
         // ω := (q,y) / (y,y)
         if self.fused {
-            c.dot += self.try_phase(fabric, "dot", |t| t.dot_qy_yy)?;
+            c.dot += self.try_phase(fabric, "dot", |t| t.scalar.dot_qy_yy)?;
             c.allreduce += self.try_allreduce_phase_both(fabric)?;
-            c.scalar += self.try_phase(fabric, "scalar", |t| t.post_omega_fused)?;
+            c.scalar += self.try_phase(fabric, "scalar", |t| t.scalar.post_omega_fused)?;
         } else {
-            c.dot += self.try_phase(fabric, "dot", |t| t.dot_qy)?;
+            c.dot += self.try_phase(fabric, "dot", |t| t.scalar.dot_qy)?;
             c.allreduce += self.try_allreduce_phase(fabric)?;
-            c.scalar += self.try_phase(fabric, "scalar", |t| t.post_qy)?;
-            c.dot += self.try_phase(fabric, "dot", |t| t.dot_yy)?;
+            c.scalar += self.try_phase(fabric, "scalar", |t| t.scalar.post_qy)?;
+            c.dot += self.try_phase(fabric, "dot", |t| t.scalar.dot_yy)?;
             c.allreduce += self.try_allreduce_phase(fabric)?;
-            c.scalar += self.try_phase(fabric, "scalar", |t| t.post_yy)?;
+            c.scalar += self.try_phase(fabric, "scalar", |t| t.scalar.post_yy)?;
         }
         // x := x + α p + ω q
-        c.update += self.try_phase(fabric, "update", |t| t.upd_x)?;
+        c.update += self.try_phase(fabric, "update", |t| t.scalar.upd_x)?;
         // r := q − ω y
-        c.update += self.try_phase(fabric, "update", |t| t.upd_r)?;
+        c.update += self.try_phase(fabric, "update", |t| t.scalar.upd_r)?;
         // β and ρ roll-over
-        c.dot += self.try_phase(fabric, "dot", |t| t.dot_rho)?;
+        c.dot += self.try_phase(fabric, "dot", |t| t.scalar.dot_rho)?;
         c.allreduce += self.try_allreduce_phase(fabric)?;
-        c.scalar += self.try_phase(fabric, "scalar", |t| t.post_rho)?;
+        c.scalar += self.try_phase(fabric, "scalar", |t| t.scalar.post_rho)?;
         // p := r + β (p − ω s)
-        c.update += self.try_phase(fabric, "update", |t| t.upd_p1)?;
-        c.update += self.try_phase(fabric, "update", |t| t.upd_p2)?;
+        c.update += self.try_phase(fabric, "update", |t| t.scalar.upd_p1)?;
+        c.update += self.try_phase(fabric, "update", |t| t.scalar.upd_p2)?;
         Ok(c)
     }
 
     /// Computes ‖r‖ on the wafer (observability; not part of Table I's
     /// per-iteration operation budget).
-    pub fn residual_norm(&self, fabric: &mut Fabric) -> f32 {
+    pub fn residual_norm(&self, fabric: &mut impl WaferExec) -> f32 {
         self.try_residual_norm(fabric)
             .unwrap_or_else(|e| panic!("bicgstab residual phase stalled: {e}"))
     }
 
     /// Fallible [`WaferBicgstab::residual_norm`].
-    pub fn try_residual_norm(&self, fabric: &mut Fabric) -> Result<f32, Box<StallReport>> {
-        self.try_phase(fabric, "dot", |t| t.dot_rr)?;
+    pub fn try_residual_norm(&self, fabric: &mut impl WaferExec) -> Result<f32, Box<StallReport>> {
+        self.try_phase(fabric, "dot", |t| t.scalar.dot_rr)?;
         self.try_allreduce_phase(fabric)?;
-        self.try_phase(fabric, "scalar", |t| t.post_rr)?;
-        Ok(fabric.tile(0, 0).core.regs[regs::RR].max(0.0).sqrt())
+        self.try_phase(fabric, "scalar", |t| t.scalar.post_rr)?;
+        Ok(fabric.reg(0, 0, regs::RR).max(0.0).sqrt())
     }
 
     /// Reads the iterate back from tile memories (global mesh order).
-    pub fn read_x(&self, fabric: &Fabric) -> Vec<F16> {
+    pub fn read_x(&self, fabric: &impl WaferExec) -> Vec<F16> {
         let m = self.mapping;
         let mut out = vec![F16::ZERO; m.cores() * m.z];
         for y in 0..m.fabric_h {
             for x in 0..m.fabric_w {
                 let (vecs, _) = &self.tiles[self.idx(x, y)];
                 let rows = m.core_rows(x, y);
-                let local = fabric.tile(x, y).mem.load_f16_slice(vecs.x, m.z);
+                let local = fabric.load_f16(x, y, vecs.x, m.z);
                 out[rows].copy_from_slice(&local);
             }
         }
@@ -720,7 +698,12 @@ impl WaferBicgstab {
 
     /// Loads `b`, runs `iters` iterations, and returns the final iterate
     /// plus per-iteration statistics (cycles and on-wafer residuals).
-    pub fn solve(&self, fabric: &mut Fabric, b: &[F16], iters: usize) -> (Vec<F16>, SolveStats) {
+    pub fn solve(
+        &self,
+        fabric: &mut impl WaferExec,
+        b: &[F16],
+        iters: usize,
+    ) -> (Vec<F16>, SolveStats) {
         let norm_b = {
             let s: f64 = b.iter().map(|v| v.to_f64() * v.to_f64()).sum();
             s.sqrt()

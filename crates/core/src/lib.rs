@@ -25,13 +25,17 @@ pub mod allreduce;
 pub mod bicgstab;
 pub mod bicgstab2d;
 pub mod cg;
+pub mod exec;
 pub mod kernels;
+pub mod multi;
 pub mod recovery;
 pub mod routing;
 pub mod spmv2d;
 pub mod spmv3d;
 
 pub use bicgstab::WaferBicgstab;
+pub use exec::WaferExec;
+pub use multi::{build_transparent, MultiIterCycles, MultiSolveStats, WaferBicgstabMulti};
 pub use recovery::{
     FabricCheckpoint, RecoveryLog, RecoveryOutcome, RecoveryPolicy, ResidualTripwire,
     TripwireVerdict,

@@ -1,0 +1,693 @@
+//! Distributed BiCGStab across a multi-wafer ensemble (§VIII.B).
+//!
+//! The global `nx × ny × nz` mesh is sharded along X into `k` slabs, one
+//! per wafer ([`wse_multi::MultiFabric`]). Each wafer runs the same
+//! per-tile programs as the single-wafer solver ([`crate::bicgstab`])
+//! over its slab, with two additions at the wafer seams:
+//!
+//! * **Halo exchange** — a seam tile's ±x mesh neighbor lives on another
+//!   wafer, so no broadcast stream arrives for it. Before each SpMV the
+//!   driver runs an explicit halo phase: every seam tile streams its
+//!   iterate column across the seam on a dedicated pair of virtual
+//!   channels, through the declared edge ports and the host interconnect
+//!   ([`wse_multi::HostLink`]), into a halo buffer the SpMV folds in with
+//!   one extra fused multiply-add ([`crate::spmv3d::HaloBuffers`]). Two
+//!   halo phases per iteration (one per SpMV source vector), each moving
+//!   one fp16 plane per seam per direction — exactly the traffic
+//!   `perf-model::multiwafer` prices.
+//! * **Hierarchical AllReduce** — each wafer reduces its scalar on the
+//!   on-wafer fp32 tree ([`crate::allreduce::AllReduceSplit`]); the host
+//!   reads the `k` partial sums, combines them in fp32 (deterministic
+//!   wafer order), charges `2·⌈log₂ k⌉` link latencies for the host-level
+//!   tree, writes the global sum back, and triggers the on-wafer
+//!   broadcast.
+//!
+//! Compute phases run **concurrently, one thread per wafer**
+//! ([`MultiFabric::run_each`]); the ensemble synchronizes only at the
+//! halo and AllReduce boundaries ([`MultiFabric::run_linked`] /
+//! host combine), mirroring how a real host runtime would drive k
+//! machines. The halo and host-combine windows are bracketed as trace
+//! phases `"halo"` and `"host_allreduce"` for `wse-trace`.
+//!
+//! This hierarchical mode is numerically equivalent — but not bit-equal —
+//! to the single-wafer solve (reduction and halo summation orders
+//! differ). The bit-exact cross-validation path is *transparent* mode:
+//! build the ordinary [`WaferBicgstab`] on one fused fabric, split it
+//! with [`MultiFabric::split_x`], and drive it through the
+//! [`crate::exec::WaferExec`] impl for `MultiFabric` — under
+//! [`wse_multi::HostLink::ideal`] that reproduces the single-wafer
+//! residual trajectory bit for bit.
+
+use crate::allreduce::AllReduceSplit;
+use crate::bicgstab::{
+    alloc_solver_vecs, build_scalar_tasks, regs, IterCycles, ScalarTasks, TileVecs,
+};
+use crate::exec::WaferExec;
+use crate::recovery::{self, ResidualTripwire};
+use crate::routing::configure_spmv_routes;
+use crate::spmv3d::{
+    build_spmv_tile_halo, load_coefficients, tile_coefficients, HaloBuffers, SpmvLayout, SpmvTasks,
+};
+use crate::WaferBicgstab;
+use stencil::decomp::Mapping3D;
+use stencil::dia::DiaMatrix;
+use stencil::precond::has_unit_diagonal;
+use wse_arch::dsr::mk;
+use wse_arch::fabric::StallReport;
+use wse_arch::instr::{Op, Stmt, Task, TensorInstr};
+use wse_arch::types::{Color, Dtype, Port, TaskId};
+use wse_float::F16;
+use wse_multi::MultiFabric;
+
+/// Virtual channel carrying halo planes eastward across wafer seams.
+/// Clear of the SpMV tessellation (0..5) and both AllReduce instances
+/// (10..22).
+pub const HALO_EAST: Color = 22;
+/// Virtual channel carrying halo planes westward across wafer seams.
+pub const HALO_WEST: Color = 23;
+
+/// Per-tile halo-exchange tasks (seam tiles only): one per SpMV source
+/// vector.
+#[derive(Copy, Clone, Debug)]
+struct HaloTasks {
+    /// Exchanges the live part of `p` (before `s := A p`).
+    p: TaskId,
+    /// Exchanges the live part of `q` (before `y := A q`).
+    q: TaskId,
+}
+
+/// One tile's full program in the distributed solver.
+struct TileProgram {
+    vecs: TileVecs,
+    spmv_ps: SpmvTasks,
+    spmv_qy: SpmvTasks,
+    scalar: ScalarTasks,
+    halo: Option<HaloTasks>,
+}
+
+/// Cycle counts of one distributed iteration.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct MultiIterCycles {
+    /// The wafer-local phases (SpMVs, dots, on-wafer reduce+broadcast,
+    /// updates, scalar arithmetic).
+    pub compute: IterCycles,
+    /// The two seam halo exchanges.
+    pub halo: u64,
+    /// The host-level AllReduce hops (combine latency + broadcast).
+    pub host_allreduce: u64,
+}
+
+impl MultiIterCycles {
+    /// Total ensemble cycles of the iteration.
+    pub fn total(&self) -> u64 {
+        self.compute.total() + self.halo + self.host_allreduce
+    }
+}
+
+/// Statistics of a distributed solve.
+#[derive(Clone, Debug, Default)]
+pub struct MultiSolveStats {
+    /// Per-iteration cycle breakdowns.
+    pub iterations: Vec<MultiIterCycles>,
+    /// Relative residual ‖r‖/‖b‖ per iteration (from the on-wafer dot).
+    pub residuals: Vec<f64>,
+}
+
+impl MultiSolveStats {
+    /// Mean cycles per iteration.
+    pub fn mean_cycles(&self) -> f64 {
+        if self.iterations.is_empty() {
+            return 0.0;
+        }
+        self.iterations.iter().map(|i| i.total() as f64).sum::<f64>() / self.iterations.len() as f64
+    }
+}
+
+/// The distributed BiCGStab driver: per-wafer subdomain programs plus the
+/// host-side orchestration of halo exchanges and the hierarchical
+/// AllReduce.
+pub struct WaferBicgstabMulti {
+    mapping: Mapping3D,
+    tiles: Vec<TileProgram>,
+    /// Per-wafer split reduction (local coordinates).
+    reductions: Vec<AllReduceSplit>,
+    /// Modeled cycles of the host-level combine tree: `2·⌈log₂ k⌉` one-way
+    /// link latencies (up and down).
+    host_hop_cycles: u64,
+}
+
+impl WaferBicgstabMulti {
+    /// Distributes the system matrix across the ensemble's slabs and
+    /// builds every wafer's subdomain program. `multi` must be freshly
+    /// created by [`MultiFabric::new`] (this builder declares the seam
+    /// channels and pairs them).
+    ///
+    /// # Panics
+    /// Panics if the matrix is not a unit-diagonal 7-point operator, the
+    /// mesh does not exactly fill the ensemble grid, any slab is narrower
+    /// than 2 tiles (the on-wafer AllReduce needs a 2×2 region), or a
+    /// tile runs out of SRAM.
+    pub fn build(multi: &mut MultiFabric, a: &DiaMatrix<F16>) -> WaferBicgstabMulti {
+        assert!(has_unit_diagonal(a), "matrix must be diagonally preconditioned");
+        assert_eq!(a.offsets().len(), 7, "7-point stencil required");
+        let mesh = a.mesh();
+        let mapping = Mapping3D::new(mesh, multi.global_width(), multi.height());
+        assert_eq!(
+            (mapping.fabric_w, mapping.fabric_h),
+            (multi.global_width(), multi.height()),
+            "mesh X×Y must exactly fill the ensemble grid (slab bookkeeping)"
+        );
+        let (gw, h) = (mapping.fabric_w, mapping.fabric_h);
+        let z = mapping.z as u32;
+        let k = multi.k();
+
+        // Per-wafer fabric programs: tessellation routes + split AllReduce.
+        let mut reductions = Vec::with_capacity(k);
+        for m in 0..k {
+            let lw = multi.slab(m).len();
+            assert!(lw >= 2 && h >= 2, "each wafer slab needs at least 2×2 tiles, got {lw}×{h}");
+            let shard = multi.shard_mut(m);
+            configure_spmv_routes(shard, lw, h);
+            reductions.push(AllReduceSplit::build(
+                shard,
+                lw,
+                h,
+                regs::AR_IN,
+                regs::AR_OUT,
+                regs::AR_ACC,
+            ));
+            // Seam halo routes and edge declarations.
+            if m + 1 < k {
+                for y in 0..h {
+                    shard.open_edge(lw - 1, y, Port::East, HALO_EAST);
+                    shard.open_edge(lw - 1, y, Port::East, HALO_WEST);
+                    shard.set_route(lw - 1, y, Port::Ramp, HALO_EAST, &[Port::East]);
+                    shard.set_route(lw - 1, y, Port::East, HALO_WEST, &[Port::Ramp]);
+                }
+            }
+            if m > 0 {
+                for y in 0..h {
+                    shard.open_edge(0, y, Port::West, HALO_WEST);
+                    shard.open_edge(0, y, Port::West, HALO_EAST);
+                    shard.set_route(0, y, Port::Ramp, HALO_WEST, &[Port::West]);
+                    shard.set_route(0, y, Port::West, HALO_EAST, &[Port::Ramp]);
+                }
+            }
+        }
+
+        // Per-tile programs, addressed by global coordinates.
+        let mut tiles = Vec::with_capacity(gw * h);
+        for y in 0..h {
+            for gx in 0..gw {
+                let (m, lx) = multi.to_local(gx);
+                let lw = multi.slab(m).len();
+                let east_seam = lx == lw - 1 && gx + 1 < gw;
+                let west_seam = lx == 0 && gx > 0;
+                let tile = multi.shard_mut(m).tile_mut(lx, y);
+
+                let (diag, vecs) = alloc_solver_vecs(tile, z);
+                let coeffs = tile_coefficients(a, gx, y);
+                let lay_ps = SpmvLayout { z, diag, vpad: vecs.p_pad, u: vecs.s };
+                let lay_qy = SpmvLayout { z, diag, vpad: vecs.q_pad, u: vecs.y };
+                load_coefficients(tile, &lay_ps, &coeffs);
+                tile.mem.write_f16(vecs.p_pad, F16::ZERO);
+                tile.mem.write_f16(vecs.p_pad + 2 * (z + 1), F16::ZERO);
+                tile.mem.write_f16(vecs.q_pad, F16::ZERO);
+                tile.mem.write_f16(vecs.q_pad + 2 * (z + 1), F16::ZERO);
+
+                let halo_bufs = HaloBuffers {
+                    xp: east_seam
+                        .then(|| tile.mem.alloc_vec(z, Dtype::F16).expect("SRAM: halo xp")),
+                    xm: west_seam
+                        .then(|| tile.mem.alloc_vec(z, Dtype::F16).expect("SRAM: halo xm")),
+                };
+                let spmv_ps = build_spmv_tile_halo(tile, lx, y, lw, h, lay_ps, halo_bufs, None);
+                let spmv_qy = build_spmv_tile_halo(tile, lx, y, lw, h, lay_qy, halo_bufs, None);
+                let scalar = build_scalar_tasks(&mut tile.core, &vecs, z);
+
+                let halo = if east_seam || west_seam {
+                    // A slab is ≥ 2 wide, so a tile sits on at most one seam.
+                    let (send, recv_color, buf) = if east_seam {
+                        (HALO_EAST, HALO_WEST, halo_bufs.xp.unwrap())
+                    } else {
+                        (HALO_WEST, HALO_EAST, halo_bufs.xm.unwrap())
+                    };
+                    let p =
+                        build_halo_task(tile, "halo-p", vecs.p_pad + 2, buf, send, recv_color, z);
+                    let q =
+                        build_halo_task(tile, "halo-q", vecs.q_pad + 2, buf, send, recv_color, z);
+                    Some(HaloTasks { p, q })
+                } else {
+                    None
+                };
+                tiles.push(TileProgram { vecs, spmv_ps, spmv_qy, scalar, halo });
+            }
+        }
+        multi.pair_seams();
+        for m in 0..k {
+            crate::debug_lint(multi.shard(m));
+        }
+
+        let levels = (k as f64).log2().ceil() as u64;
+        let host_hop_cycles = 2 * levels * multi.link().latency_cycles;
+        WaferBicgstabMulti { mapping, tiles, reductions, host_hop_cycles }
+    }
+
+    /// The global mesh→grid mapping.
+    pub fn mapping(&self) -> Mapping3D {
+        self.mapping
+    }
+
+    fn idx(&self, x: usize, y: usize) -> usize {
+        y * self.mapping.fabric_w + x
+    }
+
+    /// Activates one wafer-local phase task on every tile and runs all
+    /// wafers **independently to quiescence**, one thread per wafer (no
+    /// seam traffic exists in these phases). Returns max per-wafer cycles.
+    fn try_compute_phase(
+        &self,
+        multi: &mut MultiFabric,
+        name: &'static str,
+        pick: impl Fn(&TileProgram) -> TaskId,
+    ) -> Result<u64, Box<StallReport>> {
+        let m = self.mapping;
+        for y in 0..m.fabric_h {
+            for x in 0..m.fabric_w {
+                multi.activate(x, y, pick(&self.tiles[self.idx(x, y)]));
+            }
+        }
+        let budget = 200 * m.z as u64 + 200 * (m.fabric_w + m.fabric_h) as u64 + 50_000;
+        multi.phase_begin(name);
+        let r = multi.run_each(budget, recovery::STALL_WINDOW);
+        multi.phase_end();
+        r
+    }
+
+    /// One seam halo exchange: every seam tile streams its column across
+    /// the host link while blocking on the opposite stream into its halo
+    /// buffer. Runs the ensemble in linked lockstep (traffic crosses
+    /// seams), bracketed as trace phase `"halo"`.
+    fn try_halo_phase(
+        &self,
+        multi: &mut MultiFabric,
+        pick: impl Fn(&HaloTasks) -> TaskId,
+    ) -> Result<u64, Box<StallReport>> {
+        let m = self.mapping;
+        let mut any = false;
+        for y in 0..m.fabric_h {
+            for x in 0..m.fabric_w {
+                if let Some(halo) = &self.tiles[self.idx(x, y)].halo {
+                    multi.activate(x, y, pick(halo));
+                    any = true;
+                }
+            }
+        }
+        if !any {
+            return Ok(0); // k = 1: no seams, no phase
+        }
+        let budget =
+            16 * m.z as u64 + 2 * multi.link().latency_cycles + 200 * m.fabric_h as u64 + 50_000;
+        multi.phase_begin("halo");
+        let r = multi.run_linked(budget, recovery::STALL_WINDOW);
+        multi.phase_end();
+        r
+    }
+
+    /// The hierarchical AllReduce: on-wafer reduce trees (concurrent, per
+    /// wafer), host-level fp32 combine of the `k` root partial sums (in
+    /// wafer order, charged `2⌈log₂ k⌉` link latencies), then the on-wafer
+    /// broadcasts. Returns `(on_wafer_cycles, host_cycles)`.
+    fn try_allreduce(&self, multi: &mut MultiFabric) -> Result<(u64, u64), Box<StallReport>> {
+        let budget = 100 * (self.mapping.fabric_w + self.mapping.fabric_h) as u64 + 50_000;
+        for (m, red) in self.reductions.iter().enumerate() {
+            let (lw, h) = red.dims();
+            let shard = multi.shard_mut(m);
+            for y in 0..h {
+                for x in 0..lw {
+                    shard.tile_mut(x, y).core.activate(red.reduce_task(x, y));
+                }
+            }
+        }
+        multi.phase_begin("allreduce");
+        let on_wafer = multi.run_each(budget, recovery::STALL_WINDOW);
+        multi.phase_end();
+        let on_wafer = on_wafer?;
+
+        multi.phase_begin("host_allreduce");
+        // Host-side fp32 combine, deterministic wafer order.
+        let mut sum = 0.0f32;
+        for (m, red) in self.reductions.iter().enumerate() {
+            let (rx, ry) = red.root();
+            sum += multi.shard(m).tile(rx, ry).core.regs[red.r_acc];
+        }
+        for (m, red) in self.reductions.iter().enumerate() {
+            let (rx, ry) = red.root();
+            multi.shard_mut(m).tile_mut(rx, ry).core.regs[red.r_acc] = sum;
+        }
+        if self.host_hop_cycles > 0 {
+            multi.advance_idle(self.host_hop_cycles);
+        }
+        for (m, red) in self.reductions.iter().enumerate() {
+            let (lw, h) = red.dims();
+            let shard = multi.shard_mut(m);
+            for y in 0..h {
+                for x in 0..lw {
+                    shard.tile_mut(x, y).core.activate(red.bcast_task(x, y));
+                }
+            }
+        }
+        let bcast = multi.run_each(budget, recovery::STALL_WINDOW);
+        multi.phase_end();
+        // The broadcast half runs on-wafer; only the hop latency is host time.
+        Ok((on_wafer + bcast?, self.host_hop_cycles))
+    }
+
+    /// Loads the right-hand side and zeroes the iterate (`r = r̂₀ = p = b`,
+    /// `x = 0`), then computes ρ₀ = (r̂₀, r) hierarchically.
+    ///
+    /// # Panics
+    /// Panics on a fabric stall.
+    pub fn load_rhs(&self, multi: &mut MultiFabric, b: &[F16]) {
+        self.try_load_rhs(multi, b).unwrap_or_else(|e| panic!("bicgstab load stalled: {e}"))
+    }
+
+    /// Fallible [`WaferBicgstabMulti::load_rhs`].
+    ///
+    /// # Errors
+    /// Returns the watchdog's [`StallReport`] on a stall.
+    pub fn try_load_rhs(&self, multi: &mut MultiFabric, b: &[F16]) -> Result<(), Box<StallReport>> {
+        let m = self.mapping;
+        assert_eq!(b.len(), m.cores() * m.z, "rhs length mismatch");
+        for y in 0..m.fabric_h {
+            for x in 0..m.fabric_w {
+                let vecs = &self.tiles[self.idx(x, y)].vecs;
+                let rows = m.core_rows(x, y);
+                let local = &b[rows];
+                multi.store_f16(x, y, vecs.r, local);
+                multi.store_f16(x, y, vecs.r0, local);
+                multi.store_f16(x, y, vecs.p_pad + 2, local);
+                multi.store_f16(x, y, vecs.x, &vec![F16::ZERO; m.z]);
+                multi.set_reg(x, y, regs::EPS, 1e-30);
+            }
+        }
+        self.try_compute_phase(multi, "dot", |t| t.scalar.dot_rho)?;
+        self.try_allreduce(multi)?;
+        self.try_compute_phase(multi, "scalar", |t| t.scalar.init_rho)?;
+        Ok(())
+    }
+
+    /// Runs one distributed BiCGStab iteration.
+    ///
+    /// # Panics
+    /// Panics on a fabric stall.
+    pub fn iterate(&self, multi: &mut MultiFabric) -> MultiIterCycles {
+        self.try_iterate(multi).unwrap_or_else(|e| panic!("bicgstab iteration stalled: {e}"))
+    }
+
+    /// Fallible [`WaferBicgstabMulti::iterate`]. The sequence is the
+    /// single-wafer iteration with a halo exchange before each SpMV and
+    /// every AllReduce replaced by the hierarchical form.
+    ///
+    /// # Errors
+    /// Returns the watchdog's [`StallReport`] on a stall.
+    pub fn try_iterate(
+        &self,
+        multi: &mut MultiFabric,
+    ) -> Result<MultiIterCycles, Box<StallReport>> {
+        let mut c = MultiIterCycles::default();
+        let ar = |c: &mut MultiIterCycles, multi: &mut MultiFabric| {
+            self.try_allreduce(multi).map(|(on_wafer, host)| {
+                c.compute.allreduce += on_wafer;
+                c.host_allreduce += host;
+            })
+        };
+        // s := A p (seam halo of p first)
+        c.halo += self.try_halo_phase(multi, |h| h.p)?;
+        c.compute.spmv += self.try_compute_phase(multi, "spmv", |t| t.spmv_ps.start)?;
+        // α := ρ / (r̂₀, s)
+        c.compute.dot += self.try_compute_phase(multi, "dot", |t| t.scalar.dot_r0s)?;
+        ar(&mut c, multi)?;
+        c.compute.scalar += self.try_compute_phase(multi, "scalar", |t| t.scalar.post_r0s)?;
+        // q := r − α s
+        c.compute.update += self.try_compute_phase(multi, "update", |t| t.scalar.upd_q)?;
+        // y := A q (seam halo of q first)
+        c.halo += self.try_halo_phase(multi, |h| h.q)?;
+        c.compute.spmv += self.try_compute_phase(multi, "spmv", |t| t.spmv_qy.start)?;
+        // ω := (q,y) / (y,y)
+        c.compute.dot += self.try_compute_phase(multi, "dot", |t| t.scalar.dot_qy)?;
+        ar(&mut c, multi)?;
+        c.compute.scalar += self.try_compute_phase(multi, "scalar", |t| t.scalar.post_qy)?;
+        c.compute.dot += self.try_compute_phase(multi, "dot", |t| t.scalar.dot_yy)?;
+        ar(&mut c, multi)?;
+        c.compute.scalar += self.try_compute_phase(multi, "scalar", |t| t.scalar.post_yy)?;
+        // x := x + α p + ω q
+        c.compute.update += self.try_compute_phase(multi, "update", |t| t.scalar.upd_x)?;
+        // r := q − ω y
+        c.compute.update += self.try_compute_phase(multi, "update", |t| t.scalar.upd_r)?;
+        // β and ρ roll-over
+        c.compute.dot += self.try_compute_phase(multi, "dot", |t| t.scalar.dot_rho)?;
+        ar(&mut c, multi)?;
+        c.compute.scalar += self.try_compute_phase(multi, "scalar", |t| t.scalar.post_rho)?;
+        // p := r + β (p − ω s)
+        c.compute.update += self.try_compute_phase(multi, "update", |t| t.scalar.upd_p1)?;
+        c.compute.update += self.try_compute_phase(multi, "update", |t| t.scalar.upd_p2)?;
+        Ok(c)
+    }
+
+    /// Computes ‖r‖ on the ensemble (hierarchical reduction).
+    ///
+    /// # Panics
+    /// Panics on a fabric stall.
+    pub fn residual_norm(&self, multi: &mut MultiFabric) -> f32 {
+        self.try_residual_norm(multi)
+            .unwrap_or_else(|e| panic!("bicgstab residual phase stalled: {e}"))
+    }
+
+    /// Fallible [`WaferBicgstabMulti::residual_norm`].
+    ///
+    /// # Errors
+    /// Returns the watchdog's [`StallReport`] on a stall.
+    pub fn try_residual_norm(&self, multi: &mut MultiFabric) -> Result<f32, Box<StallReport>> {
+        self.try_compute_phase(multi, "dot", |t| t.scalar.dot_rr)?;
+        self.try_allreduce(multi)?;
+        self.try_compute_phase(multi, "scalar", |t| t.scalar.post_rr)?;
+        Ok(multi.reg(0, 0, regs::RR).max(0.0).sqrt())
+    }
+
+    /// Reads the iterate back from tile memories (global mesh order).
+    pub fn read_x(&self, multi: &MultiFabric) -> Vec<F16> {
+        let m = self.mapping;
+        let mut out = vec![F16::ZERO; m.cores() * m.z];
+        for y in 0..m.fabric_h {
+            for x in 0..m.fabric_w {
+                let vecs = &self.tiles[self.idx(x, y)].vecs;
+                let rows = m.core_rows(x, y);
+                out[rows].copy_from_slice(&multi.load_f16(x, y, vecs.x, m.z));
+            }
+        }
+        out
+    }
+
+    /// Loads `b`, runs up to `iters` iterations (with the same host-side
+    /// convergence tripwire as the single-wafer solver), and returns the
+    /// final iterate plus per-iteration statistics.
+    ///
+    /// # Panics
+    /// Panics on a fabric stall.
+    pub fn solve(
+        &self,
+        multi: &mut MultiFabric,
+        b: &[F16],
+        iters: usize,
+    ) -> (Vec<F16>, MultiSolveStats) {
+        let norm_b = {
+            let s: f64 = b.iter().map(|v| v.to_f64() * v.to_f64()).sum();
+            s.sqrt()
+        };
+        if norm_b == 0.0 {
+            return (vec![F16::ZERO; b.len()], MultiSolveStats::default());
+        }
+        self.load_rhs(multi, b);
+        let mut stats = MultiSolveStats::default();
+        let tripwire = ResidualTripwire::default();
+        for _ in 0..iters {
+            let c = self.iterate(multi);
+            let rn = self.residual_norm(multi) as f64;
+            stats.iterations.push(c);
+            let rel = rn / norm_b;
+            stats.residuals.push(rel);
+            if tripwire.check(rel).stops() {
+                break;
+            }
+        }
+        (self.read_x(multi), stats)
+    }
+}
+
+/// Builds one seam tile's halo-exchange task: launch the outbound column
+/// on a background thread (stream `z` fp16 words from `src` onto the
+/// `send` channel toward the seam), then block the main thread receiving
+/// the inbound column from the `recv` channel into the halo buffer. Send
+/// and receive overlap, so the two sides of a seam cannot deadlock on
+/// each other's backpressure.
+fn build_halo_task(
+    tile: &mut wse_arch::Tile,
+    name: &'static str,
+    src: u32,
+    buf: u32,
+    send: Color,
+    recv: Color,
+    z: u32,
+) -> TaskId {
+    let core = &mut tile.core;
+    let d_src = core.add_dsr(mk::tensor16(src, z));
+    let d_buf = core.add_dsr(mk::tensor16(buf, z));
+    let d_tx = core.add_dsr(mk::tx16(send, z));
+    let d_rx = core.add_dsr(mk::rx16(recv, z));
+    let body = vec![
+        Stmt::InitDsr { dsr: d_tx, desc: mk::tx16(send, z) },
+        Stmt::InitDsr { dsr: d_rx, desc: mk::rx16(recv, z) },
+        Stmt::Launch {
+            slot: 5,
+            instr: TensorInstr { op: Op::Copy, dst: Some(d_tx), a: Some(d_src), b: None },
+            on_complete: None,
+        },
+        Stmt::Exec(TensorInstr { op: Op::Copy, dst: Some(d_buf), a: Some(d_rx), b: None }),
+    ];
+    let id = core.add_task(Task::new(name, body));
+    core.mark_entry(id);
+    id
+}
+
+/// Convenience for the bit-exact **transparent** mode: builds the
+/// single-wafer [`WaferBicgstab`] program on a fused fabric sized for the
+/// matrix, splits it into `k` X-slab wafers, and returns the solver with
+/// the linked ensemble. Under [`wse_multi::HostLink::ideal`] every phase
+/// of the returned pair steps bit-for-bit like the unsplit fabric, so the
+/// residual trajectory is *exactly* the single-wafer one.
+pub fn build_transparent(
+    a: &DiaMatrix<F16>,
+    k: usize,
+    link: wse_multi::HostLink,
+) -> (WaferBicgstab, MultiFabric) {
+    let mesh = a.mesh();
+    let mut fabric = wse_arch::Fabric::new(mesh.nx, mesh.ny);
+    let solver = WaferBicgstab::build(&mut fabric, a);
+    let multi = MultiFabric::split_x(&fabric, k, link);
+    (solver, multi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil::mesh::Mesh3D;
+    use stencil::precond::jacobi_scale;
+    use stencil::stencil7::poisson;
+    use wse_arch::Fabric;
+    use wse_multi::HostLink;
+
+    /// A diagonally preconditioned Poisson system with a deterministic
+    /// non-trivial right-hand side.
+    fn test_system(nx: usize, ny: usize, nz: usize) -> (DiaMatrix<F16>, Vec<F16>) {
+        let mesh = Mesh3D::new(nx, ny, nz);
+        let a64 = poisson(mesh);
+        let b64: Vec<f64> =
+            (0..mesh.len()).map(|i| ((i * 29 % 101) as f64 / 101.0) - 0.4).collect();
+        let sys = jacobi_scale(&a64, &b64);
+        let a: DiaMatrix<F16> = sys.matrix.convert();
+        let b: Vec<F16> = sys.rhs.iter().map(|&v| F16::from_f64(v)).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn transparent_split_matches_single_wafer_bit_for_bit() {
+        let (a, b) = test_system(6, 4, 8);
+        let iters = 4;
+
+        // Reference: the ordinary single-wafer solve.
+        let mut fabric = Fabric::new(6, 4);
+        let solver = WaferBicgstab::build(&mut fabric, &a);
+        let (x_ref, stats_ref) = solver.solve(&mut fabric, &b, iters);
+
+        // Transparent mode: same program, split across 2 wafers, ideal link.
+        let (solver2, mut multi) = build_transparent(&a, 2, HostLink::ideal());
+        let (x_split, stats_split) = solver2.solve(&mut multi, &b, iters);
+
+        assert_eq!(stats_ref.residuals, stats_split.residuals, "residual trajectory diverged");
+        assert_eq!(
+            x_ref.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            x_split.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "iterate bits diverged"
+        );
+    }
+
+    #[test]
+    fn hierarchical_two_wafer_solve_tracks_single_wafer_trajectory() {
+        let (a, b) = test_system(6, 4, 8);
+        let iters = 5;
+
+        let mut fabric = Fabric::new(6, 4);
+        let solver = WaferBicgstab::build(&mut fabric, &a);
+        let (_, stats_ref) = solver.solve(&mut fabric, &b, iters);
+
+        let mut multi = MultiFabric::new(6, 4, 2, HostLink::paper_default());
+        let dist = WaferBicgstabMulti::build(&mut multi, &a);
+        let (_, stats) = dist.solve(&mut multi, &b, iters);
+
+        assert_eq!(stats.residuals.len(), stats_ref.residuals.len());
+        for (i, (got, want)) in stats.residuals.iter().zip(&stats_ref.residuals).enumerate() {
+            // Same algorithm, different fp16/fp32 summation orders: the
+            // trajectories agree to a modest ratio with an absolute floor.
+            let close = (got - want).abs() < 5e-4 || got / want < 5.0 && want / got < 5.0;
+            assert!(close, "iteration {i}: distributed {got} vs single {want}");
+        }
+        // Halo and host-AllReduce time was actually accounted.
+        let c = &stats.iterations[0];
+        assert!(c.halo > 0, "two wafers must exchange halos");
+        assert!(c.host_allreduce > 0, "host combine must cost time");
+        assert!(c.compute.spmv > 0 && c.compute.allreduce > 0);
+    }
+
+    #[test]
+    fn hierarchical_matches_host_solution() {
+        // The distributed iterate must approximately solve the system.
+        let (a, b) = test_system(4, 4, 6);
+        let mut multi = MultiFabric::new(4, 4, 2, HostLink::paper_default());
+        let dist = WaferBicgstabMulti::build(&mut multi, &a);
+        let (x, stats) = dist.solve(&mut multi, &b, 12);
+        let rel = recovery::true_rel_residual(&a, &x, &b);
+        assert!(rel < 0.15, "true relative residual {rel} (residuals {:?})", stats.residuals);
+        assert!(stats.residuals.last().unwrap() < &0.2);
+    }
+
+    #[test]
+    fn k1_runs_through_the_multi_driver() {
+        // One wafer: no seams, no halo phases, host combine degenerates to
+        // a copy — the driver must still work (uniform bench code path).
+        let (a, b) = test_system(4, 3, 6);
+        let mut multi = MultiFabric::new(4, 3, 1, HostLink::paper_default());
+        let dist = WaferBicgstabMulti::build(&mut multi, &a);
+        let (_, stats) = dist.solve(&mut multi, &b, 3);
+        assert_eq!(stats.iterations.len(), 3);
+        assert_eq!(stats.iterations[0].halo, 0, "k=1 has no seams");
+        assert!(stats.residuals[2] < stats.residuals[0]);
+    }
+
+    #[test]
+    fn traced_run_records_halo_and_host_allreduce_phases() {
+        use wse_arch::trace::TraceConfig;
+        use wse_trace::PhaseReport;
+        let (a, b) = test_system(6, 4, 6);
+        let mut multi = MultiFabric::new(6, 4, 2, HostLink::paper_default());
+        let dist = WaferBicgstabMulti::build(&mut multi, &a);
+        dist.load_rhs(&mut multi, &b);
+        multi.shard_mut(0).arm_trace(TraceConfig::default());
+        dist.iterate(&mut multi);
+        let trace = multi.shard_mut(0).take_trace().expect("trace was armed");
+        let report = PhaseReport::from_trace(&trace);
+        assert!(report.spans("halo") > 0, "halo phase must be traced");
+        assert!(report.spans("host_allreduce") > 0, "host_allreduce phase must be traced");
+        assert!(report.cycles("spmv") > 0);
+    }
+}

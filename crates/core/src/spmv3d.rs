@@ -90,6 +90,20 @@ struct Neighbors {
     ym: bool,
 }
 
+/// SRAM halo buffers holding a **neighbor wafer's** boundary column of the
+/// iterate (`z` fp16 words each). On a wafer-seam tile the ±x mesh
+/// neighbor lives on another wafer: no broadcast stream arrives for it, so
+/// an explicit halo-exchange phase fills these buffers over the host
+/// interconnect before the SpMV runs, and the kernel folds each present
+/// side in with one extra fused multiply-add from memory.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct HaloBuffers {
+    /// The +x neighbor's column (east seam), if this tile sits on one.
+    pub xp: Option<u32>,
+    /// The −x neighbor's column (west seam), if this tile sits on one.
+    pub xm: Option<u32>,
+}
+
 /// Builds one tile's SpMV program. `continuation` (task, action) fires when
 /// the SpMV completes.
 ///
@@ -103,6 +117,33 @@ pub fn build_spmv_tile(
     region_w: usize,
     region_h: usize,
     layout: SpmvLayout,
+    continuation: Option<(TaskId, TaskAction)>,
+) -> SpmvTasks {
+    build_spmv_tile_halo(
+        tile,
+        x,
+        y,
+        region_w,
+        region_h,
+        layout,
+        HaloBuffers::default(),
+        continuation,
+    )
+}
+
+/// [`build_spmv_tile`] with wafer-seam halo terms: for each `Some` halo
+/// buffer, the kernel adds `u += a_x± · halo` as a synchronous fused
+/// multiply-add right after the in-memory z terms. With both halos `None`
+/// the built program is identical to [`build_spmv_tile`]'s.
+#[allow(clippy::too_many_arguments)]
+pub fn build_spmv_tile_halo(
+    tile: &mut Tile,
+    x: usize,
+    y: usize,
+    region_w: usize,
+    region_h: usize,
+    layout: SpmvLayout,
+    halo: HaloBuffers,
     continuation: Option<(TaskId, TaskAction)>,
 ) -> SpmvTasks {
     let z = layout.z;
@@ -248,6 +289,23 @@ pub fn build_spmv_tile(
         a: Some(d_zp_a),
         b: Some(d_zp_b),
     }));
+
+    // Wafer-seam halo terms: the ±x neighbor's column arrived by host
+    // interconnect into SRAM before this phase, so it is folded in from
+    // memory like the z terms (no fabric stream exists for it).
+    for (buf, coeff) in [(halo.xp, layout.diag[0]), (halo.xm, layout.diag[1])] {
+        if let Some(base) = buf {
+            let d_a = core.add_dsr(mk::tensor16(coeff, z));
+            let d_b = core.add_dsr(mk::tensor16(base, z));
+            let d_u = core.add_dsr(mk::tensor16(layout.u, z));
+            body.push(Stmt::Exec(TensorInstr {
+                op: Op::FmaAssign,
+                dst: Some(d_u),
+                a: Some(d_a),
+                b: Some(d_b),
+            }));
+        }
+    }
 
     // Neighbor product threads into FIFOs.
     let diags = [d_xp_a, d_xm_a, d_yp_a, d_ym_a];

@@ -46,30 +46,46 @@ pub struct MultiWaferPrediction {
 
 impl MultiWafer {
     /// Predicts one BiCGStab iteration for a `(k·600) × 595 × z` mesh split
-    /// across the `k` wafers (weak scaling in X).
+    /// across the `k` wafers (weak scaling in X) — the paper-scale shape.
     pub fn predict(&self, z: usize) -> MultiWaferPrediction {
-        let base = self.wafer.predict_iteration(600, 595, z);
-        // Inter-wafer halo: a 595×z fp16 plane each way per SpMV, 2 SpMVs.
-        let plane_bytes = 595.0 * z as f64 * 2.0;
-        let halo_us = if self.k > 1 {
-            2.0 * (self.link_latency_us + plane_bytes / (self.link_gb_s * 1e3))
-        } else {
-            0.0
-        };
-        // The reduction tree crosses ⌈log₂k⌉ seam levels twice (reduce +
-        // broadcast), 4 rounds per iteration.
-        let levels = (self.k as f64).log2().ceil();
-        let reduce_extra_us = 4.0 * 2.0 * levels * self.link_latency_us;
+        self.predict_mesh(600, 595, z)
+    }
+
+    /// Predicts one BiCGStab iteration for a general `(k·mx) × my × z`
+    /// mesh (per-wafer slab `mx × my × z`, weak scaling in X). This is the
+    /// shape the `wse-multi` simulation cross-validates against.
+    pub fn predict_mesh(&self, mx: usize, my: usize, z: usize) -> MultiWaferPrediction {
+        let base = self.wafer.predict_iteration(mx, my, z);
+        let (halo_us, reduce_extra_us) = self.interconnect_us(my, z);
         let time_us = base.time_us + halo_us + reduce_extra_us;
-        let points = (self.k * 600 * 595 * z) as f64;
+        let points = (self.k * mx * my * z) as f64;
         let pflops = 44.0 * points / (time_us * 1e-6) / 1e15;
         MultiWaferPrediction {
             k: self.k,
-            mesh: (self.k * 600, 595, z),
+            mesh: (self.k * mx, my, z),
             time_us,
             pflops,
             efficiency: base.time_us / time_us,
         }
+    }
+
+    /// The per-iteration interconnect terms `(halo_us, reduce_extra_us)`
+    /// for a `my × z` seam plane: what the host link adds on top of the
+    /// single-wafer iteration. Exposed so the simulator's measured halo
+    /// and host-AllReduce cycles can be checked against the model's terms
+    /// in isolation.
+    pub fn interconnect_us(&self, my: usize, z: usize) -> (f64, f64) {
+        if self.k <= 1 {
+            return (0.0, 0.0);
+        }
+        // Inter-wafer halo: a my×z fp16 plane each way per SpMV, 2 SpMVs.
+        let plane_bytes = my as f64 * z as f64 * 2.0;
+        let halo_us = 2.0 * (self.link_latency_us + plane_bytes / (self.link_gb_s * 1e3));
+        // The reduction tree crosses ⌈log₂k⌉ seam levels twice (reduce +
+        // broadcast), 4 rounds per iteration.
+        let levels = (self.k as f64).log2().ceil();
+        let reduce_extra_us = 4.0 * 2.0 * levels * self.link_latency_us;
+        (halo_us, reduce_extra_us)
     }
 
     /// The minimum link bandwidth (GB/s) keeping weak-scaling efficiency

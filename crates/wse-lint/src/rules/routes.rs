@@ -71,19 +71,23 @@ fn check_tile(fabric: &Fabric, x: usize, y: usize, diags: &mut Vec<Diagnostic>) 
                 continue;
             }
             // Forwarding: the neighbor must exist and must do something
-            // with what arrives.
+            // with what arrives. A boundary fanout is legal only through a
+            // declared edge channel (`Fabric::open_edge`) — the host drains
+            // it, so nothing on-wafer needs to.
             let Some((nx, ny)) = neighbor(fabric, x, y, out) else {
-                diags.push(Diagnostic {
-                    tile: (x, y),
-                    severity: Severity::Error,
-                    rule: Rule::RouteOffFabric,
-                    message: format!(
-                        "route ({in_port:?}, color {color}) forwards {out:?} off the \
-                         {}x{} fabric edge",
-                        fabric.width(),
-                        fabric.height()
-                    ),
-                });
+                if !fabric.edge_port_declared(x, y, out, color) {
+                    diags.push(Diagnostic {
+                        tile: (x, y),
+                        severity: Severity::Error,
+                        rule: Rule::RouteOffFabric,
+                        message: format!(
+                            "route ({in_port:?}, color {color}) forwards {out:?} off the \
+                             {}x{} fabric edge with no declared edge port",
+                            fabric.width(),
+                            fabric.height()
+                        ),
+                    });
+                }
                 continue;
             };
             let arrives_at = out.opposite().expect("cardinal port");

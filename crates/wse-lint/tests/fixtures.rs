@@ -96,6 +96,37 @@ fn route_off_fabric_is_detected() {
 }
 
 #[test]
+fn declared_edge_port_egress_lints_clean() {
+    // A boundary fanout through a declared edge channel is host-drained
+    // I/O, not a mistake: a complete edge-egress program must lint zero.
+    let mut f = Fabric::new(1, 1);
+    f.open_edge(0, 0, Port::East, 2);
+    f.set_route(0, 0, Port::Ramp, 2, &[Port::East]);
+    let t = f.tile_mut(0, 0);
+    let buf = t.mem.alloc_vec(4, Dtype::F16).unwrap();
+    let d_src = t.core.add_dsr(mk::tensor16(buf, 4));
+    let d_tx = t.core.add_dsr(mk::tx16(2, 4));
+    let task = t.core.add_task(Task::new("tx", vec![copy(d_tx, d_src)]));
+    t.core.mark_entry(task);
+    let diags = lint(&f);
+    assert!(diags.is_empty(), "declared edge egress must lint clean: {diags:#?}");
+}
+
+#[test]
+fn undeclared_edge_fanout_still_fires_beside_a_declared_one() {
+    // Declaration is per (tile, port, color): the declared channel is
+    // exempt, the undeclared fanout right next to it stays an error.
+    let mut f = Fabric::new(1, 1);
+    f.open_edge(0, 0, Port::East, 2);
+    f.tile_mut(0, 0).router.set_route(Port::Ramp, 2, &[Port::East]);
+    f.tile_mut(0, 0).router.set_route(Port::Ramp, 3, &[Port::East]); // not declared
+    let diags = lint(&f);
+    let off: Vec<_> = diags.iter().filter(|d| d.rule == Rule::RouteOffFabric).collect();
+    assert_eq!(off.len(), 1, "exactly the undeclared fanout fires: {diags:#?}");
+    assert!(off[0].message.contains("color 3"), "{:#?}", off[0]);
+}
+
+#[test]
 fn dead_delivery_is_detected() {
     // Color 1 is delivered to the ramp but nothing on the tile receives it.
     let mut f = Fabric::new(1, 1);

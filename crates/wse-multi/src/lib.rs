@@ -1,0 +1,672 @@
+//! Multi-wafer ensemble runtime.
+//!
+//! The paper closes by asking whether clustering several wafer-scale
+//! systems, with sufficient interconnect bandwidth, can scale the stencil
+//! solver beyond one wafer (§VIII.B). `perf-model::multiwafer` answers
+//! that analytically; this crate answers it executably: a [`MultiFabric`]
+//! holds `k` independent [`Fabric`] instances, each simulating one wafer's
+//! X-slab of the global mesh, stitched together along their east/west
+//! boundaries by a [`HostLink`] interconnect model. Flits cross between
+//! wafers through the declared edge channels added to `wse-arch`
+//! ([`Fabric::open_edge`]): seam egress queues are drained by the host,
+//! carried across the link, and injected into the neighbor wafer.
+//!
+//! Two stepping regimes:
+//!
+//! - **Lockstep / ideal link** ([`HostLink::ideal`]): every wafer steps on
+//!   the same global clock, seam credits mirror the remote input queue's
+//!   start-of-cycle space, and drained flits are injected before the next
+//!   cycle. This reproduces the fused single-fabric simulation *bit for
+//!   bit* — a router's cardinal input-queue occupancy at the start of
+//!   phase 3 of cycle `t` equals its occupancy at the end of cycle `t-1`
+//!   (phases 1–2 only touch ramp queues), so a host-granted credit read
+//!   between steps is exactly the snapshot the fused stepper would take.
+//!   The distributed solver's transparent mode runs on this and must match
+//!   the single-wafer residual trajectory exactly.
+//! - **Modeled link** ([`HostLink::new`]): finite bandwidth and latency.
+//!   Drained flits serialize onto a full-duplex per-seam channel at
+//!   `bytes_per_cycle` and arrive `latency_cycles` later, modeling the
+//!   host interconnect that carries fp16 halo planes between neighbor
+//!   wafers and the top level of the hierarchical AllReduce.
+
+#![warn(missing_docs)]
+
+use rayon::prelude::*;
+use std::collections::VecDeque;
+use stencil::decomp::split_even;
+use wse_arch::fabric::{Fabric, StallReport};
+use wse_arch::types::{Color, Flit, Port};
+
+/// Host interconnect model between neighboring wafers, in units of the
+/// wafer clock (the simulator's cycle).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct HostLink {
+    /// Link bandwidth per direction, in bytes per wafer-clock cycle
+    /// (`f64::INFINITY` for the ideal link).
+    pub bytes_per_cycle: f64,
+    /// One-way link latency in wafer-clock cycles.
+    pub latency_cycles: u64,
+}
+
+impl HostLink {
+    /// A link with the given bandwidth (GB/s), one-way latency (µs), and
+    /// wafer clock (GHz), converted to per-cycle units.
+    pub fn new(gb_per_s: f64, latency_us: f64, clock_ghz: f64) -> HostLink {
+        assert!(gb_per_s > 0.0 && clock_ghz > 0.0 && latency_us >= 0.0);
+        HostLink {
+            bytes_per_cycle: gb_per_s / clock_ghz,
+            latency_cycles: (latency_us * clock_ghz * 1000.0).round() as u64,
+        }
+    }
+
+    /// The paper-configuration default, matching `perf-model`'s
+    /// `MultiWafer`: 1000 GB/s per direction, 0.2 µs one-way, at the
+    /// 0.9 GHz paper clock (180 cycles latency, ~1111 bytes/cycle).
+    pub fn paper_default() -> HostLink {
+        HostLink::new(1000.0, 0.2, 0.9)
+    }
+
+    /// An infinitely fast link: unlimited bandwidth, zero latency. Under
+    /// this link [`MultiFabric::run_linked`] is bit-for-bit identical to
+    /// simulating the unsplit fabric.
+    pub fn ideal() -> HostLink {
+        HostLink { bytes_per_cycle: f64::INFINITY, latency_cycles: 0 }
+    }
+
+    /// `true` for [`HostLink::ideal`].
+    pub fn is_ideal(&self) -> bool {
+        self.bytes_per_cycle.is_infinite() && self.latency_cycles == 0
+    }
+}
+
+/// One seam channel: a declared edge egress on the `src` wafer paired
+/// with the matching edge ingress on the `dst` wafer.
+#[derive(Copy, Clone, Debug)]
+struct Channel {
+    /// Egress wafer index.
+    src: usize,
+    /// Egress tile (shard-local) and boundary port.
+    sx: usize,
+    sy: usize,
+    sport: Port,
+    /// Ingress wafer index (always `src ± 1`).
+    dst: usize,
+    /// Ingress tile (shard-local) and boundary port.
+    dx: usize,
+    dy: usize,
+    dport: Port,
+    /// The fabric color carried by the channel.
+    color: Color,
+}
+
+impl Channel {
+    /// Seam index (between wafer `min(src,dst)` and `+1`) and direction
+    /// (0 = eastward, 1 = westward) — the serialization unit: each seam
+    /// is one full-duplex physical link.
+    fn seam_dir(&self) -> (usize, usize) {
+        if self.dst > self.src {
+            (self.src, 0)
+        } else {
+            (self.dst, 1)
+        }
+    }
+}
+
+/// `k` wafers simulating X-slabs of a `global_w × h` tile grid, linked by
+/// a [`HostLink`].
+pub struct MultiFabric {
+    shards: Vec<Fabric>,
+    /// Global x of each shard's first tile column.
+    offsets: Vec<usize>,
+    global_w: usize,
+    h: usize,
+    link: HostLink,
+    channels: Vec<Channel>,
+    /// Per-channel in-flight flits: `(arrival cycle, flit)` in FIFO order.
+    in_flight: Vec<VecDeque<(u64, Flit)>>,
+    /// Per-seam, per-direction serialization cursor: the cycle (fractional)
+    /// at which the link finishes the last byte accepted so far.
+    link_ready: Vec<[f64; 2]>,
+    /// Flits injected into ingress queues so far — counted as ensemble
+    /// progress so a long-latency link never trips the stall watchdog.
+    injected: u64,
+}
+
+impl MultiFabric {
+    /// `k` fresh (empty) wafers covering a `global_w × h` grid with
+    /// [`split_even`] X-slab widths. The caller loads per-wafer programs
+    /// (through [`MultiFabric::shard_mut`]), declares seam edge channels
+    /// on boundary tiles, then calls [`MultiFabric::pair_seams`].
+    ///
+    /// # Panics
+    /// Panics if `k` is zero or exceeds `global_w`.
+    pub fn new(global_w: usize, h: usize, k: usize, link: HostLink) -> MultiFabric {
+        assert!(k > 0 && k <= global_w, "need 1..=width wafers, got {k} for width {global_w}");
+        let slabs = split_even(global_w, k);
+        let shards: Vec<Fabric> = slabs.iter().map(|s| Fabric::new(s.len(), h)).collect();
+        MultiFabric {
+            shards,
+            offsets: slabs.iter().map(|s| s.start).collect(),
+            global_w,
+            h,
+            link,
+            channels: Vec::new(),
+            in_flight: Vec::new(),
+            link_ready: vec![[0.0; 2]; k.saturating_sub(1)],
+            injected: 0,
+        }
+    }
+
+    /// Splits a fully configured single fabric into `k` X-slab wafers:
+    /// tiles (programs, memory, routes, registers) are cloned column
+    /// ranges; every route fanout that crossed a cut becomes a paired
+    /// seam edge channel. Under [`HostLink::ideal`] the resulting
+    /// ensemble steps bit-for-bit like the original. All tile state —
+    /// programs, activated tasks, memory, queued flits — carries over;
+    /// the ensemble clock restarts at zero.
+    ///
+    /// # Panics
+    /// Panics if `k` is out of range.
+    pub fn split_x(fabric: &Fabric, k: usize, link: HostLink) -> MultiFabric {
+        let (w, h) = (fabric.width(), fabric.height());
+        let mut multi = MultiFabric::new(w, h, k, link);
+        for m in 0..k {
+            let x0 = multi.offsets[m];
+            let lw = multi.shards[m].width();
+            for ly in 0..h {
+                for lx in 0..lw {
+                    *multi.shards[m].tile_mut(lx, ly) = fabric.tile(x0 + lx, ly).clone();
+                }
+            }
+        }
+        // Every fanout crossing a cut becomes a seam channel. One edge
+        // channel per (tile, port, color) — multiple in-ports fanning the
+        // same color through the same boundary port share it.
+        for m in 0..k - 1 {
+            let cut = multi.offsets[m + 1];
+            let (lw, rw) = (multi.shards[m].width(), multi.shards[m + 1].width());
+            debug_assert_eq!(cut, multi.offsets[m] + lw);
+            let _ = rw;
+            for y in 0..h {
+                let mut eastward: Vec<Color> = fabric
+                    .tile(cut - 1, y)
+                    .router
+                    .routes()
+                    .filter(|(_, _, fanout)| fanout.contains(&Port::East))
+                    .map(|(_, c, _)| c)
+                    .collect();
+                eastward.sort_unstable();
+                eastward.dedup();
+                for c in eastward {
+                    multi.open_seam_channel(m, lw - 1, y, Port::East, m + 1, 0, y, Port::West, c);
+                }
+                let mut westward: Vec<Color> = fabric
+                    .tile(cut, y)
+                    .router
+                    .routes()
+                    .filter(|(_, _, fanout)| fanout.contains(&Port::West))
+                    .map(|(_, c, _)| c)
+                    .collect();
+                westward.sort_unstable();
+                westward.dedup();
+                for c in westward {
+                    multi.open_seam_channel(m + 1, 0, y, Port::West, m, lw - 1, y, Port::East, c);
+                }
+            }
+        }
+        multi
+    }
+
+    /// Declares both ends of one seam channel and records it.
+    #[allow(clippy::too_many_arguments)]
+    fn open_seam_channel(
+        &mut self,
+        src: usize,
+        sx: usize,
+        sy: usize,
+        sport: Port,
+        dst: usize,
+        dx: usize,
+        dy: usize,
+        dport: Port,
+        color: Color,
+    ) {
+        self.shards[src].open_edge(sx, sy, sport, color);
+        self.shards[dst].open_edge(dx, dy, dport, color);
+        self.channels.push(Channel { src, sx, sy, sport, dst, dx, dy, dport, color });
+        self.in_flight.push(VecDeque::new());
+    }
+
+    /// Pairs seam channels from the edge declarations the per-wafer
+    /// program builders made: an east-edge declaration on wafer `m` pairs
+    /// with the matching west-edge declaration at the same `(y, color)`
+    /// on wafer `m + 1` (and symmetrically westward). Call once, after
+    /// all programs are built. Channels where only one side routes
+    /// egress simply never carry flits in that direction.
+    ///
+    /// # Panics
+    /// Panics if an east/west boundary declaration has no matching
+    /// declaration on the neighboring wafer.
+    pub fn pair_seams(&mut self) {
+        assert!(self.channels.is_empty(), "seams already paired");
+        let k = self.shards.len();
+        let mut pairs: Vec<Channel> = Vec::new();
+        for m in 0..k {
+            let lw = self.shards[m].width();
+            for (x, y, port, color) in self.shards[m].edge_ports() {
+                match port {
+                    Port::East if m + 1 < k => {
+                        assert_eq!(x, lw - 1);
+                        assert!(
+                            self.shards[m + 1].edge_port_declared(0, y, Port::West, color),
+                            "east edge ({x},{y}) color {color} on wafer {m} has no west peer"
+                        );
+                        pairs.push(Channel {
+                            src: m,
+                            sx: x,
+                            sy: y,
+                            sport: Port::East,
+                            dst: m + 1,
+                            dx: 0,
+                            dy: y,
+                            dport: Port::West,
+                            color,
+                        });
+                    }
+                    Port::West if m > 0 => {
+                        assert_eq!(x, 0);
+                        let nw = self.shards[m - 1].width();
+                        assert!(
+                            self.shards[m - 1].edge_port_declared(nw - 1, y, Port::East, color),
+                            "west edge ({x},{y}) color {color} on wafer {m} has no east peer"
+                        );
+                        pairs.push(Channel {
+                            src: m,
+                            sx: x,
+                            sy: y,
+                            sport: Port::West,
+                            dst: m - 1,
+                            dx: nw - 1,
+                            dy: y,
+                            dport: Port::East,
+                            color,
+                        });
+                    }
+                    _ => panic!(
+                        "edge port ({x},{y}) {port:?} color {color} on wafer {m} faces no \
+                         neighboring wafer"
+                    ),
+                }
+            }
+        }
+        for ch in pairs {
+            self.channels.push(ch);
+            self.in_flight.push(VecDeque::new());
+        }
+    }
+
+    /// Number of wafers.
+    pub fn k(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Global grid width in tiles.
+    pub fn global_width(&self) -> usize {
+        self.global_w
+    }
+
+    /// Grid height in tiles.
+    pub fn height(&self) -> usize {
+        self.h
+    }
+
+    /// The global x-range wafer `m` owns.
+    pub fn slab(&self, m: usize) -> std::ops::Range<usize> {
+        self.offsets[m]..self.offsets[m] + self.shards[m].width()
+    }
+
+    /// Maps a global tile column to `(wafer, local column)`.
+    pub fn to_local(&self, gx: usize) -> (usize, usize) {
+        assert!(gx < self.global_w, "column {gx} outside global width {}", self.global_w);
+        let m = self.offsets.partition_point(|&o| o <= gx) - 1;
+        (m, gx - self.offsets[m])
+    }
+
+    /// Immutable access to wafer `m`.
+    pub fn shard(&self, m: usize) -> &Fabric {
+        &self.shards[m]
+    }
+
+    /// Mutable access to wafer `m` (program loading).
+    pub fn shard_mut(&mut self, m: usize) -> &mut Fabric {
+        &mut self.shards[m]
+    }
+
+    /// The link model in use.
+    pub fn link(&self) -> HostLink {
+        self.link
+    }
+
+    /// The ensemble clock: wafer 0's cycle (all wafers agree outside the
+    /// interior of [`MultiFabric::run_each`]).
+    pub fn cycle(&self) -> u64 {
+        self.shards[0].cycle()
+    }
+
+    /// Sum of per-wafer progress counters plus cross-link deliveries —
+    /// the ensemble stall watchdog's progress measure.
+    pub fn total_progress(&self) -> u64 {
+        self.shards.iter().map(Fabric::progress).sum::<u64>() + self.injected
+    }
+
+    /// `true` when every wafer is quiescent and nothing is queued on or
+    /// in flight across any seam.
+    pub fn is_quiescent(&self) -> bool {
+        self.shards.iter().all(Fabric::is_quiescent)
+            && self.in_flight.iter().all(VecDeque::is_empty)
+            && self
+                .channels
+                .iter()
+                .all(|c| self.shards[c.src].edge_out_len(c.sx, c.sy, c.sport, c.color) == 0)
+    }
+
+    /// Opens a named trace phase on every wafer (no-op for untraced ones).
+    pub fn phase_begin(&mut self, name: &'static str) {
+        for f in &mut self.shards {
+            f.phase_begin(name);
+        }
+    }
+
+    /// Closes the open trace phase on every wafer.
+    pub fn phase_end(&mut self) {
+        for f in &mut self.shards {
+            f.phase_end();
+        }
+    }
+
+    /// Advances every wafer's clock by `cycles` without stepping
+    /// (host-side dead time, e.g. the top level of the hierarchical
+    /// AllReduce). Requires ensemble quiescence.
+    pub fn advance_idle(&mut self, cycles: u64) {
+        for f in &mut self.shards {
+            f.advance_idle(cycles);
+        }
+    }
+
+    /// One linked ensemble cycle: grant seam credits, step every wafer
+    /// (in parallel), drain seam egress onto the link, deliver arrivals.
+    ///
+    /// Under [`HostLink::ideal`], credits mirror the remote input queue's
+    /// start-of-cycle space and drained flits are injected immediately —
+    /// the constructively bit-exact lockstep of the fused fabric. Under a
+    /// modeled link, egress admission is capped only by the channel
+    /// buffer, and arrival times follow bandwidth serialization plus
+    /// latency.
+    pub fn step_linked(&mut self) {
+        let ideal = self.link.is_ideal();
+        // Seam credits for the coming cycle.
+        for ci in 0..self.channels.len() {
+            let c = self.channels[ci];
+            let credits = if ideal {
+                self.shards[c.dst].edge_in_space(c.dx, c.dy, c.dport, c.color)
+            } else {
+                // The host drains egress every cycle; a small standing
+                // budget keeps the fabric streaming without modeling an
+                // unbounded host buffer.
+                8
+            };
+            self.shards[c.src].set_edge_credits(c.sx, c.sy, c.sport, c.color, credits);
+        }
+
+        self.shards.par_iter_mut().for_each(Fabric::step);
+        let now = self.shards[0].cycle();
+        debug_assert!(
+            self.shards.iter().all(|f| f.cycle() == now),
+            "linked wafers must share a clock"
+        );
+
+        // Drain egress onto the link in fixed channel order (the
+        // deterministic host service order).
+        for ci in 0..self.channels.len() {
+            let c = self.channels[ci];
+            let flits = self.shards[c.src].drain_edge_out(c.sx, c.sy, c.sport, c.color);
+            if flits.is_empty() {
+                continue;
+            }
+            let (seam, dir) = c.seam_dir();
+            for flit in flits {
+                let due = if ideal {
+                    now
+                } else {
+                    let ready = &mut self.link_ready[seam][dir];
+                    *ready =
+                        ready.max(now as f64) + f64::from(flit.bytes()) / self.link.bytes_per_cycle;
+                    ready.ceil() as u64 + self.link.latency_cycles
+                };
+                self.in_flight[ci].push_back((due, flit));
+            }
+        }
+
+        // Deliver due arrivals, per channel in FIFO order; a full ingress
+        // queue holds the head (host-side backpressure).
+        for ci in 0..self.channels.len() {
+            let c = self.channels[ci];
+            while let Some(&(due, flit)) = self.in_flight[ci].front() {
+                if due > now {
+                    break;
+                }
+                if !self.shards[c.dst].inject_edge(c.dx, c.dy, c.dport, c.color, flit) {
+                    debug_assert!(!ideal, "ideal-link credits guarantee ingress space");
+                    break;
+                }
+                self.in_flight[ci].pop_front();
+                self.injected += 1;
+            }
+        }
+    }
+
+    /// Steps the linked ensemble until quiescence under a stall watchdog
+    /// (the ensemble analogue of [`Fabric::run_watched`]). Returns cycles
+    /// elapsed.
+    ///
+    /// # Errors
+    /// Returns a merged [`StallReport`] (tile coordinates globalized) on
+    /// a zero-progress window or an exceeded deadline.
+    pub fn run_linked(
+        &mut self,
+        max_cycles: u64,
+        stall_window: u64,
+    ) -> Result<u64, Box<StallReport>> {
+        assert!(stall_window > 0, "stall window must be nonzero");
+        let start = self.cycle();
+        let mut last_progress = self.total_progress();
+        let mut window_start = start;
+        while !self.is_quiescent() {
+            if self.cycle() - start >= max_cycles {
+                return Err(self.ensemble_stall(self.cycle() - window_start, true));
+            }
+            self.step_linked();
+            let p = self.total_progress();
+            if p != last_progress {
+                last_progress = p;
+                window_start = self.cycle();
+            } else if self.cycle() - window_start >= stall_window {
+                return Err(self.ensemble_stall(self.cycle() - window_start, false));
+            }
+        }
+        Ok(self.cycle() - start)
+    }
+
+    /// Runs every wafer *independently* to quiescence, one thread per
+    /// wafer — the compute phases of the hierarchical driver, where
+    /// wafers only talk at halo/AllReduce boundaries. Clocks are then
+    /// equalized to the slowest wafer (ensemble time is the max), and the
+    /// maximum per-wafer elapsed cycle count is returned.
+    ///
+    /// # Errors
+    /// Returns the first failing wafer's [`StallReport`], globalized.
+    pub fn run_each(
+        &mut self,
+        max_cycles: u64,
+        stall_window: u64,
+    ) -> Result<u64, Box<StallReport>> {
+        let results: Vec<Result<u64, Box<StallReport>>> = self
+            .shards
+            .par_iter_mut()
+            .enumerate()
+            .map(|(_, f)| f.run_watched(max_cycles, stall_window))
+            .collect();
+        let mut max_elapsed = 0;
+        for (m, r) in results.into_iter().enumerate() {
+            match r {
+                Ok(c) => max_elapsed = max_elapsed.max(c),
+                Err(mut report) => {
+                    for t in &mut report.stalled {
+                        t.x += self.offsets[m];
+                    }
+                    return Err(report);
+                }
+            }
+        }
+        let target = self.shards.iter().map(Fabric::cycle).max().unwrap();
+        for f in &mut self.shards {
+            let lag = target - f.cycle();
+            if lag > 0 {
+                f.advance_idle(lag);
+            }
+        }
+        Ok(max_elapsed)
+    }
+
+    /// Merges per-wafer stall diagnoses into one globalized report.
+    fn ensemble_stall(&self, window: u64, deadline_exceeded: bool) -> Box<StallReport> {
+        let mut merged = StallReport {
+            cycle: self.cycle(),
+            window,
+            deadline_exceeded,
+            stalled: Vec::new(),
+            total_stalled: 0,
+        };
+        for (m, f) in self.shards.iter().enumerate() {
+            let r = f.stall_report(window, deadline_exceeded);
+            merged.total_stalled += r.total_stalled;
+            for mut t in r.stalled {
+                t.x += self.offsets[m];
+                if merged.stalled.len() < StallReport::MAX_TILES {
+                    merged.stalled.push(t);
+                }
+            }
+        }
+        Box::new(merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wse_arch::dsr::mk;
+    use wse_arch::instr::{Op, Stmt, Task, TensorInstr};
+    use wse_arch::types::Dtype;
+    use wse_float::F16;
+
+    /// A 1×w fabric streaming `n` words from (0,0) to (w-1,0) on color 1.
+    fn stream_fabric(w: usize, n: u32) -> (Fabric, u32) {
+        let mut f = Fabric::new(w, 1);
+        f.set_route(0, 0, Port::Ramp, 1, &[Port::East]);
+        for x in 1..w - 1 {
+            f.set_route(x, 0, Port::West, 1, &[Port::East]);
+        }
+        f.set_route(w - 1, 0, Port::West, 1, &[Port::Ramp]);
+        {
+            let t = f.tile_mut(0, 0);
+            let data: Vec<F16> = (1..=n).map(|i| F16::from_f64(i as f64)).collect();
+            let addr = t.mem.alloc_vec(n, Dtype::F16).unwrap();
+            t.mem.store_f16_slice(addr, &data);
+            let dsrc = t.core.add_dsr(mk::tensor16(addr, n));
+            let dtx = t.core.add_dsr(mk::tx16(1, n));
+            let task = t.core.add_task(Task::new(
+                "send",
+                vec![Stmt::Exec(TensorInstr {
+                    op: Op::Copy,
+                    dst: Some(dtx),
+                    a: Some(dsrc),
+                    b: None,
+                })],
+            ));
+            t.core.activate(task);
+        }
+        let raddr;
+        {
+            let t = f.tile_mut(w - 1, 0);
+            raddr = t.mem.alloc_vec(n, Dtype::F16).unwrap();
+            let drx = t.core.add_dsr(mk::rx16(1, n));
+            let ddst = t.core.add_dsr(mk::tensor16(raddr, n));
+            let task = t.core.add_task(Task::new(
+                "recv",
+                vec![Stmt::Exec(TensorInstr {
+                    op: Op::Copy,
+                    dst: Some(ddst),
+                    a: Some(drx),
+                    b: None,
+                })],
+            ));
+            t.core.activate(task);
+        }
+        (f, raddr)
+    }
+
+    #[test]
+    fn ideal_split_is_bit_identical_to_fused() {
+        let n = 24u32;
+        let (mut fused, raddr) = stream_fabric(6, n);
+        let (template, _) = stream_fabric(6, n);
+        for k in [2usize, 3] {
+            let mut multi = MultiFabric::split_x(&template, k, HostLink::ideal());
+            let fused_cycles = fused.run_until_quiescent(100_000).unwrap();
+            let split_cycles = multi.run_linked(100_000, 2_048).unwrap();
+            assert_eq!(fused_cycles, split_cycles, "k={k} diverged from the fused fabric");
+            let (m, lx) = multi.to_local(5);
+            let got = multi.shard(m).tile(lx, 0).mem.load_f16_slice(raddr, n as usize);
+            let want = fused.tile(5, 0).mem.load_f16_slice(raddr, n as usize);
+            assert_eq!(
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            );
+            // Re-run the fused fabric fresh for the next k.
+            let (f2, _) = stream_fabric(6, n);
+            fused = f2;
+        }
+    }
+
+    #[test]
+    fn modeled_link_adds_latency_and_serialization() {
+        let n = 16u32;
+        let (template, raddr) = stream_fabric(4, n);
+        let mut ideal = MultiFabric::split_x(&template, 2, HostLink::ideal());
+        let ideal_cycles = ideal.run_linked(100_000, 2_048).unwrap();
+
+        let mut slow = MultiFabric::split_x(&template, 2, HostLink::new(1000.0, 0.2, 0.9));
+        assert_eq!(slow.link().latency_cycles, 180);
+        let slow_cycles = slow.run_linked(100_000, 2_048).unwrap();
+        assert!(
+            slow_cycles >= ideal_cycles + 180,
+            "modeled link must pay its latency: {slow_cycles} vs ideal {ideal_cycles}"
+        );
+        // Payload integrity across the modeled link.
+        let (m, lx) = slow.to_local(3);
+        let got = slow.shard(m).tile(lx, 0).mem.load_f16_slice(raddr, n as usize);
+        for (i, v) in got.iter().enumerate() {
+            assert_eq!(v.to_f64(), (i + 1) as f64);
+        }
+    }
+
+    #[test]
+    fn to_local_round_trips() {
+        let multi = MultiFabric::new(10, 2, 3, HostLink::ideal());
+        for gx in 0..10 {
+            let (m, lx) = multi.to_local(gx);
+            assert_eq!(multi.slab(m).start + lx, gx);
+        }
+        assert_eq!(multi.slab(0).len() + multi.slab(1).len() + multi.slab(2).len(), 10);
+    }
+}

@@ -62,4 +62,18 @@ cargo run -q --release -p wse-bench --bin sim_throughput -- --smoke > "$thr_b"
 diff -u "$thr_a" "$thr_b"
 grep -q "smoke gate: sparse speedup >= 3x: PASS" "$thr_a"
 
+echo "== multi-wafer smoke (k in {1,2,4} distributed BiCGStab, twice, diffed) =="
+# multiwafer_scaling runs the distributed solver on simulated 1-, 2-, and
+# 4-wafer ensembles with paper-default host links and gates the measured
+# interconnect cycles (halo + host AllReduce hops) against the analytic
+# perf_model::multiwafer wire-time floor. Wall timings go to stderr;
+# stdout (cycle counts, residuals, gate verdicts) is deterministic and
+# diffed across two runs.
+mw_a="$(mktemp)"; mw_b="$(mktemp)"
+trap 'rm -f "$smoke_a" "$smoke_b" "$trace_a" "$trace_b" "$thr_a" "$thr_b" "$mw_a" "$mw_b"' EXIT
+cargo run -q --release -p wse-bench --bin multiwafer_scaling -- --smoke > "$mw_a"
+cargo run -q --release -p wse-bench --bin multiwafer_scaling -- --smoke > "$mw_b"
+diff -u "$mw_a" "$mw_b"
+grep -q "model-fidelity gate k=4: .* PASS" "$mw_a"
+
 echo "verify: OK"
