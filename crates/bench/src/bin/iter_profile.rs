@@ -203,12 +203,32 @@ fn run(cfg: &Config, out: Option<&str>) {
          {reference_cycles} reference"
     );
     println!("cycle identity: {reference_cycles} cycles reference and optimized steppers");
+
+    // Sanitizer run: the runtime race/wait shadow state must observe the
+    // simulation (same cycle count) and find the shipped solver clean.
+    let (mut fabric, solver) = setup(vw, vh, vz);
+    fabric.arm_sanitizer();
+    let (sanitized_cycles, sanitized_wall) = run_iters(&mut fabric, &solver, cfg.iters);
+    let sanitizer = fabric.take_sanitizer().expect("sanitizer was armed");
+    assert_eq!(
+        disarmed_cycles, sanitized_cycles,
+        "sanitizer perturbed the simulation: {disarmed_cycles} cycles disarmed vs \
+         {sanitized_cycles} sanitized"
+    );
+    assert!(sanitizer.is_clean(), "runtime sanitizer tripped on the shipped solver:\n{sanitizer}");
+    println!(
+        "cycle identity: {sanitized_cycles} cycles with runtime sanitizer armed \
+         ({} race trips)",
+        sanitizer.total_trips()
+    );
     eprintln!(
         "wall: disarmed {disarmed_wall:.3}s, armed {armed_wall:.3}s \
          (x{:.2} while collecting), reference {reference_wall:.3}s \
-         (x{:.2} vs optimized)",
+         (x{:.2} vs optimized), sanitized {sanitized_wall:.3}s \
+         (x{:.2} while shadowing)",
         armed_wall / disarmed_wall.max(1e-9),
-        reference_wall / disarmed_wall.max(1e-9)
+        reference_wall / disarmed_wall.max(1e-9),
+        sanitized_wall / disarmed_wall.max(1e-9)
     );
     if !cfg.smoke {
         // The disarmed hooks are one pointer test per cycle; a disarmed run
@@ -217,6 +237,13 @@ fn run(cfg: &Config, out: Option<&str>) {
             disarmed_wall <= armed_wall * 1.25 + 0.05,
             "disarmed tracing shows measurable slowdown: {disarmed_wall:.3}s disarmed \
              vs {armed_wall:.3}s armed"
+        );
+        // Same bound against the armed sanitizer: its disarmed cost is the
+        // identical one-pointer test, so any disarmed slowdown is noise.
+        assert!(
+            disarmed_wall <= sanitized_wall * 1.25 + 0.05,
+            "disarmed sanitizer shows measurable slowdown: {disarmed_wall:.3}s disarmed \
+             vs {sanitized_wall:.3}s sanitized"
         );
     }
 

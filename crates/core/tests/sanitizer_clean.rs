@@ -1,0 +1,141 @@
+//! Every shipped kernel must run with the runtime sanitizer armed and
+//! produce **zero race trips** — the dynamic face of the static `wse-lint`
+//! race pass. `lint_clean.rs` proves the static passes are silent on real
+//! programs; this file proves the runtime shadow state agrees, and that
+//! arming the sanitizer never perturbs simulated timing (observation-only).
+
+use stencil::decomp::Block2D;
+use stencil::dia::DiaMatrix;
+use stencil::mesh::Mesh3D;
+use stencil::precond::jacobi_scale;
+use stencil::problem::manufactured;
+use stencil::stencil9::convection_diffusion9;
+use wse_arch::Fabric;
+use wse_core::allreduce::AllReduce;
+use wse_core::bicgstab2d::WaferBicgstab2d;
+use wse_core::cg::{CgVariant, WaferCg};
+use wse_core::spmv2d::WaferSpmv2d;
+use wse_core::{WaferBicgstab, WaferSpmv};
+use wse_float::F16;
+
+fn assert_no_trips(fabric: &mut Fabric, what: &str) {
+    let rep = fabric.take_sanitizer().expect("sanitizer was armed");
+    assert!(
+        rep.is_clean(),
+        "{what}: expected zero sanitizer trips, got {}:\n{rep}",
+        rep.total_trips()
+    );
+}
+
+fn system3d(w: usize, h: usize, z: usize) -> DiaMatrix<F16> {
+    let mesh = Mesh3D::new(w, h, z);
+    manufactured(mesh, (1.0, -0.5, 0.5), 11).preconditioned().matrix.convert()
+}
+
+fn system2d(w: usize, h: usize, block: Block2D) -> DiaMatrix<F16> {
+    let mesh = block.covered_mesh(w, h);
+    let a = convection_diffusion9(mesh, (1.5, -0.5));
+    let exact: Vec<f64> = (0..mesh.len()).map(|i| ((i % 9) as f64) * 0.125 - 0.5).collect();
+    let mut b = vec![0.0; mesh.len()];
+    a.matvec_f64(&exact, &mut b);
+    jacobi_scale(&a, &b).matrix.convert()
+}
+
+#[test]
+fn spmv3d_runs_clean_and_cycle_identical_under_sanitizer() {
+    let a = system3d(3, 3, 8);
+    let n = a.mesh().len();
+    let v: Vec<F16> = (0..n).map(|i| F16::from_f64(((i % 7) as f64) * 0.25 - 0.75)).collect();
+
+    // Disarmed baseline.
+    let mut plain = Fabric::new(3, 3);
+    let kp = WaferSpmv::build(&mut plain, &a);
+    let (up, cycles_plain) = kp.run(&mut plain, &v);
+
+    // Armed run: identical cycles, identical result, zero trips.
+    let mut fabric = Fabric::new(3, 3);
+    let k = WaferSpmv::build(&mut fabric, &a);
+    fabric.arm_sanitizer();
+    let (u, cycles) = k.run(&mut fabric, &v);
+    assert_eq!(cycles, cycles_plain, "sanitizer changed simulated time");
+    assert_eq!(u, up, "sanitizer changed the computation");
+    assert_no_trips(&mut fabric, "spmv3d 3x3");
+}
+
+#[test]
+fn spmv2d_runs_clean_under_sanitizer() {
+    let block = Block2D::new(4, 4);
+    let a = system2d(3, 3, block);
+    let n = a.mesh().len();
+    let v: Vec<F16> = (0..n).map(|i| F16::from_f64(((i % 5) as f64) * 0.5 - 1.0)).collect();
+    let mut fabric = Fabric::new(3, 3);
+    let k = WaferSpmv2d::build(&mut fabric, &a, block);
+    fabric.arm_sanitizer();
+    let _ = k.run(&mut fabric, &v);
+    assert_no_trips(&mut fabric, "spmv2d 3x3");
+}
+
+#[test]
+fn allreduce_runs_clean_under_sanitizer() {
+    let mut fabric = Fabric::new(4, 4);
+    let k = AllReduce::build(&mut fabric, 4, 4, 24, 25, 26);
+    fabric.arm_sanitizer();
+    let values: Vec<f32> = (0..16).map(|i| i as f32 * 0.5 - 3.0).collect();
+    let (sums, _) = k.run(&mut fabric, &values);
+    let expect: f32 = values.iter().sum();
+    assert!(sums.iter().all(|&s| (s - expect).abs() < 1e-3));
+    assert_no_trips(&mut fabric, "allreduce 4x4");
+}
+
+#[test]
+fn bicgstab_iterates_clean_under_sanitizer() {
+    let a = system3d(3, 3, 6);
+    let n = a.mesh().len();
+    let b: Vec<F16> = (0..n).map(|i| F16::from_f64(((i % 3) as f64) * 0.25)).collect();
+    for fused in [false, true] {
+        let mut fabric = Fabric::new(3, 3);
+        let k = if fused {
+            WaferBicgstab::build_fused(&mut fabric, &a)
+        } else {
+            WaferBicgstab::build(&mut fabric, &a)
+        };
+        fabric.arm_sanitizer();
+        k.load_rhs(&mut fabric, &b);
+        for _ in 0..2 {
+            let _ = k.iterate(&mut fabric);
+        }
+        assert_no_trips(&mut fabric, if fused { "bicgstab fused" } else { "bicgstab" });
+    }
+}
+
+#[test]
+fn cg_iterates_clean_under_sanitizer() {
+    let a = system3d(3, 3, 6);
+    let n = a.mesh().len();
+    let b: Vec<F16> = (0..n).map(|i| F16::from_f64(((i % 4) as f64) * 0.125)).collect();
+    for variant in [CgVariant::Standard, CgVariant::SingleReduction] {
+        let mut fabric = Fabric::new(3, 3);
+        let k = WaferCg::build(&mut fabric, &a, variant);
+        fabric.arm_sanitizer();
+        k.load_rhs(&mut fabric, &b);
+        let _ = k.iterate(&mut fabric, true);
+        let _ = k.iterate(&mut fabric, false);
+        assert_no_trips(&mut fabric, &format!("cg {variant:?}"));
+    }
+}
+
+#[test]
+fn bicgstab2d_iterates_clean_under_sanitizer() {
+    let block = Block2D::new(3, 3);
+    let a = system2d(3, 3, block);
+    let n = a.mesh().len();
+    let b: Vec<F16> = (0..n).map(|i| F16::from_f64(((i % 3) as f64) * 0.25)).collect();
+    let mut fabric = Fabric::new(3, 3);
+    let k = WaferBicgstab2d::build(&mut fabric, &a, block);
+    fabric.arm_sanitizer();
+    k.load_rhs(&mut fabric, &b);
+    for _ in 0..2 {
+        let _ = k.iterate(&mut fabric);
+    }
+    assert_no_trips(&mut fabric, "bicgstab2d 3x3");
+}

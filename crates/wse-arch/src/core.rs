@@ -21,7 +21,8 @@
 use crate::dsr::{Descriptor, Dsr};
 use crate::fifo::Fifo;
 use crate::instr::{ColorBinding, Op, RegOp, Stmt, Task, TaskAction, TensorInstr};
-use crate::memory::Memory;
+use crate::memory::{Memory, TILE_SRAM_BYTES};
+use crate::sanitize::CoreSanitizer;
 use crate::trace::{CoreTrace, StallCause};
 use crate::types::{
     Color, DsrId, Dtype, FifoId, Flit, TaskId, NUM_COLORS, NUM_REGS, NUM_THREADS, QUEUE_CAPACITY,
@@ -103,6 +104,9 @@ pub struct Core {
     /// Armed trace collection; `None` (the default) keeps every hook on a
     /// one-pointer-test fast path (the same idiom as fault arming).
     trace: Option<Box<CoreTrace>>,
+    /// Armed runtime sanitizer (shadow SRAM access marks and channel-wait
+    /// streaks); same arming idiom as `trace`.
+    sanitize: Option<Box<CoreSanitizer>>,
 }
 
 impl Default for Core {
@@ -128,6 +132,7 @@ impl Core {
             ramp_out: VecDeque::new(),
             perf: CorePerf::default(),
             trace: None,
+            sanitize: None,
         }
     }
 
@@ -150,6 +155,27 @@ impl Core {
     /// Disarms tracing and returns the collected state, if armed.
     pub fn take_trace(&mut self) -> Option<Box<CoreTrace>> {
         self.trace.take()
+    }
+
+    /// Arms the runtime sanitizer, stamping from `now` (the fabric clock at
+    /// arm time). Re-arming replaces prior shadow state.
+    pub fn arm_sanitizer(&mut self, now: u64) {
+        self.sanitize = Some(Box::new(CoreSanitizer::new(now, TILE_SRAM_BYTES as usize)));
+    }
+
+    /// `true` while the sanitizer is armed.
+    pub fn sanitizer_armed(&self) -> bool {
+        self.sanitize.is_some()
+    }
+
+    /// The armed sanitizer state, if any (diagnostic access).
+    pub fn sanitizer(&self) -> Option<&CoreSanitizer> {
+        self.sanitize.as_deref()
+    }
+
+    /// Disarms the sanitizer and returns the collected state, if armed.
+    pub fn take_sanitizer(&mut self) -> Option<Box<CoreSanitizer>> {
+        self.sanitize.take()
     }
 
     /// Registers a DSR, returning its id.
@@ -310,6 +336,9 @@ impl Core {
         if let Some(tr) = self.trace.as_deref_mut() {
             tr.stall[StallCause::Idle.index()] += n;
             tr.now += n;
+        }
+        if let Some(san) = self.sanitize.as_deref_mut() {
+            san.now += n;
         }
     }
 
@@ -499,6 +528,9 @@ impl Core {
         if let Some(tr) = self.trace.as_deref_mut() {
             tr.now += 1;
         }
+        if let Some(san) = self.sanitize.as_deref_mut() {
+            san.now += 1;
+        }
     }
 
     /// Records a main-thread task retiring (trace hook; no-op disarmed).
@@ -571,6 +603,9 @@ impl Core {
                     return;
                 }
                 self.threads[slot] = Some(ActiveInstr { instr, on_complete });
+                if let Some(san) = self.sanitize.as_deref_mut() {
+                    san.on_launch(slot);
+                }
                 self.main.as_mut().unwrap().pc += 1;
             }
             Stmt::InitDsr { dsr, desc } => {
@@ -628,7 +663,21 @@ impl Core {
             } else {
                 self.threads[slot].clone().unwrap()
             };
+            if self.sanitize.is_some() {
+                // Snapshot slot occupancy *before* issuing: launches happen
+                // in control_step and completions after process() returns,
+                // so the snapshot is exact for the duration of the call.
+                let mut live = [false; NUM_THREADS];
+                for (s, t) in self.threads.iter().enumerate() {
+                    live[s] = t.is_some();
+                }
+                let accum = active.instr.op.reads_dst();
+                self.sanitize.as_deref_mut().unwrap().begin(slot as u8, accum, live);
+            }
             let (progress, complete) = self.process(mem, &active.instr);
+            if let Some(san) = self.sanitize.as_deref_mut() {
+                san.end();
+            }
             if complete {
                 self.finish_operands(&active.instr);
                 if let Some(tr) = self.trace.as_deref_mut() {
@@ -665,6 +714,26 @@ impl Core {
             if self.trace.is_some() {
                 let cause = self.classify_stall();
                 self.trace.as_deref_mut().unwrap().stall[cause.index()] += 1;
+            }
+            // Channel-wait shadow tracking (armed only): which colors is
+            // some active receive starved on this cycle?
+            if self.sanitize.is_some() {
+                let mut waiting = [false; NUM_COLORS];
+                let actives = self
+                    .threads
+                    .iter()
+                    .filter_map(|t| t.as_ref())
+                    .chain(self.main.as_ref().and_then(|r| r.exec.as_ref()));
+                for a in actives {
+                    for id in [a.instr.a, a.instr.b].into_iter().flatten() {
+                        if let Descriptor::FabricIn { color, .. } = self.dsrs[id].desc {
+                            if self.ramp_in[color as usize].is_empty() {
+                                waiting[color as usize] = true;
+                            }
+                        }
+                    }
+                }
+                self.sanitize.as_deref_mut().unwrap().on_stall(&waiting);
             }
         }
     }
@@ -827,6 +896,9 @@ impl Core {
             Descriptor::Mem { dtype, .. } => {
                 let addr = dsr.current_addr().unwrap();
                 self.dsrs[id].advance(1);
+                if let Some(san) = self.sanitize.as_deref_mut() {
+                    san.on_read(addr, dtype.bytes());
+                }
                 (mem.read_bits(addr, dtype), dtype)
             }
             Descriptor::FabricIn { color, dtype, .. } => {
@@ -864,6 +936,9 @@ impl Core {
                 let addr = dsr.current_addr().unwrap();
                 mem.write_bits(addr, d, bits);
                 self.dsrs[id].advance(1);
+                if let Some(san) = self.sanitize.as_deref_mut() {
+                    san.on_write(addr, d.bytes());
+                }
                 None
             }
             Descriptor::FabricOut { color, dtype: d, .. } => {

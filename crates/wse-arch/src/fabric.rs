@@ -19,6 +19,7 @@ use crate::core::Core;
 use crate::fault::{FaultEvent, FaultKind, FaultLog, FaultPlan, FaultRecord};
 use crate::memory::{Memory, TILE_SRAM_BYTES};
 use crate::router::{Router, StagedFlit};
+use crate::sanitize::{SanitizerReport, TileSanitizer};
 use crate::trace::{FabricTrace, PerfWindow, PhaseSpan, TileTrace, TraceConfig};
 use crate::types::{Color, Flit, Port, NUM_COLORS, PORT_BYTES_PER_CYCLE};
 use rayon::prelude::*;
@@ -380,6 +381,9 @@ pub struct Fabric {
     /// Armed tracing; `None` (the default) keeps every hook on a no-op
     /// fast path.
     trace: Option<Box<TraceState>>,
+    /// Cycle at which the runtime sanitizer was armed (`None` = disarmed;
+    /// the per-core shadow state lives in each [`Core`]).
+    sanitize_start: Option<u64>,
     /// Per-tile "observably busy" flag: core not quiescent or router
     /// non-empty — exactly the reference per-tile quiescence predicate.
     busy: Vec<bool>,
@@ -439,6 +443,7 @@ impl Fabric {
             sample_window: PerfWindow::default(),
             faults: None,
             trace: None,
+            sanitize_start: None,
             busy: vec![false; n],
             busy_count: 0,
             active: vec![false; n],
@@ -565,6 +570,60 @@ impl Fabric {
     /// `true` while tracing is armed.
     pub fn trace_armed(&self) -> bool {
         self.trace.is_some()
+    }
+
+    /// Arms the runtime sanitizer on every core: shadow SRAM access marks
+    /// (race detection with launch-epoch happens-before) and channel-wait
+    /// streaks. The disarmed hooks cost one pointer test each, mirroring
+    /// fault and trace arming; the sanitizer is observation-only, so an
+    /// armed run is cycle-identical to a disarmed one. Re-arming replaces
+    /// any previous shadow state.
+    pub fn arm_sanitizer(&mut self) {
+        // Settle deferred idle debt first so every core's `now` stamp
+        // starts aligned with the fabric clock.
+        self.settle_all();
+        for t in &mut self.tiles {
+            t.core.arm_sanitizer(self.cycle);
+        }
+        self.sanitize_start = Some(self.cycle);
+        // Conservatively wake every tile, as with trace arming.
+        for i in 0..self.tiles.len() {
+            self.mark_active(i);
+        }
+    }
+
+    /// `true` while the sanitizer is armed.
+    pub fn sanitizer_armed(&self) -> bool {
+        self.sanitize_start.is_some()
+    }
+
+    /// Disarms the sanitizer and returns everything it observed (`None` if
+    /// it was not armed).
+    pub fn take_sanitizer(&mut self) -> Option<SanitizerReport> {
+        let start = self.sanitize_start.take()?;
+        // Settle idle debt so shadow clocks are complete before draining.
+        self.settle_all();
+        let w = self.w;
+        let tiles = self
+            .tiles
+            .iter_mut()
+            .enumerate()
+            .map(|(i, t)| {
+                let san = t
+                    .core
+                    .take_sanitizer()
+                    .expect("every core is armed for the lifetime of the fabric sanitizer");
+                TileSanitizer {
+                    x: i % w,
+                    y: i / w,
+                    trips: san.trips,
+                    total_trips: san.total_trips,
+                    chan_wait: san.chan_wait,
+                    longest_wait: san.longest_wait,
+                }
+            })
+            .collect();
+        Some(SanitizerReport { w: self.w, h: self.h, cycles: self.cycle - start, tiles })
     }
 
     /// Opens a phase span named `name` at the current cycle, closing any
@@ -2135,6 +2194,88 @@ mod tests {
         let pb = b.perf();
         assert_eq!(pa.busy_cycles, pb.busy_cycles);
         assert_eq!(pa.flits_routed, pb.flits_routed);
+    }
+
+    #[test]
+    fn sanitizer_is_inert_and_clean_on_ordered_program() {
+        // An armed sanitizer must not perturb simulated timing, and a
+        // properly synchronized stream must produce zero race trips while
+        // still observing the receiver's channel waits.
+        let (mut a, _) = sender_receiver(16);
+        let cycles_a = a.run_until_quiescent(1_000).unwrap();
+        assert!(a.take_sanitizer().is_none(), "disarmed take returns None");
+
+        let (mut b, _) = sender_receiver(16);
+        b.arm_sanitizer();
+        assert!(b.sanitizer_armed());
+        let cycles_b = b.run_until_quiescent(1_000).unwrap();
+        assert_eq!(cycles_a, cycles_b, "sanitizing must not change simulated time");
+        let pa = a.perf();
+        let pb = b.perf();
+        assert_eq!(pa.busy_cycles, pb.busy_cycles);
+        assert_eq!(pa.flits_routed, pb.flits_routed);
+        let rep = b.take_sanitizer().expect("sanitizer was armed");
+        assert!(!b.sanitizer_armed(), "take_sanitizer disarms");
+        assert!(rep.is_clean(), "ordered stream tripped: {rep}");
+        assert_eq!(rep.cycles, cycles_b);
+        // The receiver stalled on color 1 at least once while the first
+        // flits crossed the link; the shadow channel-wait saw it.
+        let recv = &rep.tiles[1];
+        assert!(recv.chan_wait[1] > 0, "receiver never waited on color 1");
+        assert!(rep.longest_channel_wait().is_some());
+    }
+
+    #[test]
+    fn sanitizer_trips_on_unordered_overlapping_writes() {
+        // Main launches a background copy into `buf` and immediately
+        // overwrites the same buffer synchronously, with no completion
+        // ordering between them — the defining data race.
+        use crate::dsr::mk;
+        use crate::instr::{Op, Stmt, Task, TensorInstr};
+        let mut f = Fabric::new(1, 1);
+        {
+            let t = f.tile_mut(0, 0);
+            let buf = t.mem.alloc_vec(16, Dtype::F16).unwrap();
+            let src_a = t.mem.alloc_vec(16, Dtype::F16).unwrap();
+            let src_b = t.mem.alloc_vec(16, Dtype::F16).unwrap();
+            let d_buf1 = t.core.add_dsr(mk::tensor16(buf, 16));
+            let d_buf2 = t.core.add_dsr(mk::tensor16(buf, 16));
+            let d_a = t.core.add_dsr(mk::tensor16(src_a, 16));
+            let d_b = t.core.add_dsr(mk::tensor16(src_b, 16));
+            let task = t.core.add_task(Task::new(
+                "racy",
+                vec![
+                    Stmt::Launch {
+                        slot: 0,
+                        instr: TensorInstr {
+                            op: Op::Copy,
+                            dst: Some(d_buf1),
+                            a: Some(d_a),
+                            b: None,
+                        },
+                        on_complete: None,
+                    },
+                    Stmt::Exec(TensorInstr {
+                        op: Op::Copy,
+                        dst: Some(d_buf2),
+                        a: Some(d_b),
+                        b: None,
+                    }),
+                ],
+            ));
+            t.core.activate(task);
+        }
+        f.arm_sanitizer();
+        f.run_until_quiescent(1_000).unwrap();
+        let rep = f.take_sanitizer().unwrap();
+        assert!(!rep.is_clean(), "unordered overlapping writes must trip");
+        let tile = &rep.tiles[0];
+        assert!(tile.total_trips > 0);
+        assert!(!tile.trips.is_empty());
+        // Both contexts wrote the same bytes; whichever access came second
+        // names the other as prior.
+        let trip = tile.trips[0];
+        assert!(trip.ctx != trip.prior_ctx);
     }
 
     #[test]

@@ -74,6 +74,7 @@ pub mod fifo;
 pub mod instr;
 pub mod memory;
 pub mod router;
+pub mod sanitize;
 pub mod trace;
 pub mod types;
 
@@ -82,6 +83,7 @@ pub use crate::fabric::{Fabric, FabricPerf, StallReport, Stalled, StalledTile, T
 pub use crate::fault::{FaultKind, FaultKindClass, FaultLog, FaultPlan, FaultRecord, SplitMix64};
 pub use crate::instr::OpClass;
 pub use crate::memory::{Memory, OutOfSram, TILE_SRAM_BYTES};
+pub use crate::sanitize::{CoreSanitizer, RaceTrip, SanitizerReport, TileSanitizer, TripKind};
 pub use crate::trace::{
     CoreTrace, FabricTrace, PerfDelta, PerfWindow, PhaseSpan, StallCause, TileTrace, TraceConfig,
     TraceEvent, TraceEventKind,

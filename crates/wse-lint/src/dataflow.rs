@@ -1,0 +1,383 @@
+//! Whole-fabric dataflow model shared by the global verification passes.
+//!
+//! [`crate::rules::routes`] reasons per tile and per color; the passes
+//! built on this module ([`crate::rules::deadlock`],
+//! [`crate::rules::races`], [`crate::rules::progress`]) reason about the
+//! *whole* program: which producer can feed which consumer (following
+//! routes across seam channels in a multi-wafer ensemble), in what order
+//! each task's synchronous waits retire, and how much queue buffering a
+//! transfer can hide in before its sender blocks.
+//!
+//! The model is built once per lint run from read-only fabric state and
+//! shared by the three passes. Everything here is deterministic: tiles are
+//! visited row-major, sites in task-then-statement order, and breadth-first
+//! searches expand in fixed port order.
+
+use crate::program::instruction_sites;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use wse_arch::dsr::Descriptor;
+use wse_arch::fabric::{Fabric, Tile};
+use wse_arch::instr::{Stmt, TaskAction};
+use wse_arch::types::{Color, Port, TaskId, QUEUE_CAPACITY, RAMP_OUT_CAPACITY};
+
+/// One paired seam channel between two shards of a multi-wafer ensemble:
+/// flits leaving `src_shard` through the declared edge port
+/// `(sx, sy, sport)` arrive at `dst_shard`'s router input port
+/// `(dx, dy, dport)` on the same color.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SeamEdge {
+    /// Egress shard index.
+    pub src_shard: usize,
+    /// Egress tile x (shard-local).
+    pub sx: usize,
+    /// Egress tile y.
+    pub sy: usize,
+    /// Egress boundary port.
+    pub sport: Port,
+    /// Ingress shard index.
+    pub dst_shard: usize,
+    /// Ingress tile x (shard-local).
+    pub dx: usize,
+    /// Ingress tile y.
+    pub dy: usize,
+    /// Ingress boundary port.
+    pub dport: Port,
+    /// The fabric color the channel carries.
+    pub color: Color,
+}
+
+/// The unit the global passes analyze: a single fabric, or `k` shards plus
+/// the seam channels that stitch them into one logical mesh.
+pub struct Ensemble<'a> {
+    /// The shards (exactly one for a single fabric).
+    pub shards: Vec<&'a Fabric>,
+    /// Global x offset of each shard's first tile column (diagnostic
+    /// coordinates; all zero is fine when shards don't tile a global mesh).
+    pub offsets: Vec<usize>,
+    /// Paired seam channels between shards.
+    pub seams: Vec<SeamEdge>,
+}
+
+impl<'a> Ensemble<'a> {
+    /// Wraps one fabric as a trivial ensemble.
+    pub fn single(fabric: &'a Fabric) -> Ensemble<'a> {
+        Ensemble { shards: vec![fabric], offsets: vec![0], seams: Vec::new() }
+    }
+
+    /// Globalized diagnostic coordinates for a shard-local tile.
+    pub fn global_tile(&self, shard: usize, x: usize, y: usize) -> (usize, usize) {
+        (self.offsets[shard] + x, y)
+    }
+
+    /// Human-readable tile label: `"tile (x, y)"`, prefixed with the wafer
+    /// index when the ensemble has more than one shard.
+    pub fn label(&self, shard: usize, x: usize, y: usize) -> String {
+        if self.shards.len() > 1 {
+            format!("wafer {shard} tile ({x}, {y})")
+        } else {
+            format!("tile ({x}, {y})")
+        }
+    }
+}
+
+/// A statement that can block the main thread (or gate later statements):
+/// a fabric receive or send, resolved from the instruction sites of a
+/// reachable task.
+#[derive(Clone, Debug)]
+pub struct WaitSite {
+    /// Shard index.
+    pub shard: usize,
+    /// Tile x (shard-local).
+    pub x: usize,
+    /// Tile y.
+    pub y: usize,
+    /// The task whose body contains the site.
+    pub task: TaskId,
+    /// The task's debug name.
+    pub task_name: &'static str,
+    /// Statement index within the body.
+    pub stmt: usize,
+    /// `true` for `Launch` sites (background thread; does not block the
+    /// main thread, but is only *issued* once earlier synchronous waits
+    /// complete).
+    pub background: bool,
+    /// `(color, len)` of a `FabricIn` source, if the site receives.
+    pub recv: Option<(Color, u32)>,
+    /// `(color, len)` of a `FabricOut` destination, if the site sends.
+    pub send: Option<(Color, u32)>,
+}
+
+impl WaitSite {
+    /// Witness fragment: what this site does and where.
+    pub fn describe(&self, ens: &Ensemble<'_>) -> String {
+        let what = match (self.recv, self.send) {
+            (Some((rc, rl)), Some((sc, sl))) => {
+                format!("recv color {rc} (len {rl}) -> send color {sc} (len {sl})")
+            }
+            (Some((rc, rl)), None) => format!("recv color {rc} (len {rl})"),
+            (None, Some((sc, sl))) => format!("send color {sc} (len {sl})"),
+            (None, None) => "wait".to_string(),
+        };
+        format!(
+            "{} task {} (\"{}\") stmt {}{}: {what}",
+            ens.label(self.shard, self.x, self.y),
+            self.task,
+            self.task_name,
+            self.stmt,
+            if self.background { " (thread)" } else { "" },
+        )
+    }
+}
+
+/// Where a color's flits are delivered when injected at an origin router
+/// node, with the buffering available along the way.
+#[derive(Clone, Debug, Default)]
+pub struct Flow {
+    /// Delivered ramps: `(shard, x, y)` → `(router nodes on the shortest
+    /// path, crossed a seam)`. Host-buffered seam crossings make the
+    /// effective buffering unbounded for backpressure purposes.
+    pub delivered: BTreeMap<(usize, usize, usize), (usize, bool)>,
+    /// Seam indices whose egress port the flow reaches.
+    pub seams_reached: BTreeSet<usize>,
+}
+
+/// Conservative flit capacity between a sender and a receiver `dist`
+/// router nodes away: the sender's ramp-out queue, one router queue per
+/// node on the path, and the receiver's ramp-in queue. A synchronous send
+/// longer than this cannot complete until the receiver drains.
+pub fn path_capacity(dist: usize) -> u32 {
+    (RAMP_OUT_CAPACITY + (dist + 1) * QUEUE_CAPACITY) as u32
+}
+
+/// The whole-ensemble model: reachable tasks per tile, wait sites of
+/// reachable tasks, and route-flow queries.
+pub struct Model<'a> {
+    /// The ensemble under analysis.
+    pub ens: &'a Ensemble<'a>,
+    /// Per shard, per tile (row-major): the activation-reachable task set.
+    pub reachable: Vec<Vec<BTreeSet<TaskId>>>,
+    /// Wait sites of reachable tasks, in shard/tile/task/statement order.
+    pub waits: Vec<WaitSite>,
+}
+
+impl<'a> Model<'a> {
+    /// Builds the model. Read-only; no cycle is stepped.
+    pub fn build(ens: &'a Ensemble<'a>) -> Model<'a> {
+        let mut reachable = Vec::with_capacity(ens.shards.len());
+        let mut waits = Vec::new();
+        for (s, fabric) in ens.shards.iter().enumerate() {
+            let mut shard_reach = Vec::with_capacity(fabric.width() * fabric.height());
+            for y in 0..fabric.height() {
+                for x in 0..fabric.width() {
+                    let tile = fabric.tile(x, y);
+                    let reach = reachable_tasks(tile);
+                    collect_waits(s, x, y, tile, &reach, &mut waits);
+                    shard_reach.push(reach);
+                }
+            }
+            reachable.push(shard_reach);
+        }
+        Model { ens, reachable, waits }
+    }
+
+    /// The reachable task set of a tile.
+    pub fn reachable(&self, shard: usize, x: usize, y: usize) -> &BTreeSet<TaskId> {
+        &self.reachable[shard][y * self.ens.shards[shard].width() + x]
+    }
+
+    /// Flow of `color` injected at the ramp of `(shard, x, y)`: every ramp
+    /// it is delivered to, following routes and crossing paired seams.
+    pub fn flow_from_ramp(&self, shard: usize, x: usize, y: usize, color: Color) -> Flow {
+        self.flow(color, &[(shard, x, y, Port::Ramp)])
+    }
+
+    /// Flow of `color` from a set of origin router nodes
+    /// `(shard, x, y, in_port)`. Breadth-first over the per-color
+    /// forwarding graph; seam egress ports continue at the paired ingress.
+    pub fn flow(&self, color: Color, origins: &[(usize, usize, usize, Port)]) -> Flow {
+        let mut flow = Flow::default();
+        let mut seen: BTreeSet<(usize, usize, usize, usize)> = BTreeSet::new();
+        let mut queue: VecDeque<(usize, usize, usize, Port, usize, bool)> = VecDeque::new();
+        for &(s, x, y, p) in origins {
+            if seen.insert((s, x, y, p.index())) {
+                queue.push_back((s, x, y, p, 1, false));
+            }
+        }
+        while let Some((s, x, y, p, dist, seamed)) = queue.pop_front() {
+            let fabric = self.ens.shards[s];
+            let Some(fanout) = fabric.tile(x, y).router.route(p, color) else { continue };
+            for &out in fanout {
+                if out == Port::Ramp {
+                    let e = flow.delivered.entry((s, x, y)).or_insert((dist, seamed));
+                    // Keep the shortest path; a seam on *any* delivering
+                    // path means host buffering can absorb the transfer.
+                    e.1 |= seamed;
+                    continue;
+                }
+                if let Some((nx, ny)) = neighbor(fabric, x, y, out) {
+                    let np = out.opposite().expect("cardinal port");
+                    if seen.insert((s, nx, ny, np.index())) {
+                        queue.push_back((s, nx, ny, np, dist + 1, seamed));
+                    }
+                } else {
+                    // Off the shard edge: continue through a paired seam.
+                    for (i, seam) in self.ens.seams.iter().enumerate() {
+                        if seam.src_shard == s
+                            && seam.sx == x
+                            && seam.sy == y
+                            && seam.sport == out
+                            && seam.color == color
+                        {
+                            flow.seams_reached.insert(i);
+                            let (ds, dx, dy, dp) = (seam.dst_shard, seam.dx, seam.dy, seam.dport);
+                            if seen.insert((ds, dx, dy, dp.index())) {
+                                queue.push_back((ds, dx, dy, dp, dist + 1, true));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        flow
+    }
+
+    /// All origin router nodes that can introduce `color` flits into the
+    /// ensemble: the ramp of every tile whose reachable program sends on
+    /// it, plus declared edge ports that are *not* seam-internal (external
+    /// host injection points).
+    pub fn sources(&self, color: Color) -> Vec<(usize, usize, usize, Port)> {
+        let mut origins = Vec::new();
+        for w in &self.waits {
+            if matches!(w.send, Some((c, _)) if c == color) {
+                let node = (w.shard, w.x, w.y, Port::Ramp);
+                if !origins.contains(&node) {
+                    origins.push(node);
+                }
+            }
+        }
+        for (s, fabric) in self.ens.shards.iter().enumerate() {
+            for (x, y, port, c) in fabric.edge_ports() {
+                if c != color {
+                    continue;
+                }
+                let seam_internal = self.ens.seams.iter().any(|e| {
+                    (e.src_shard == s && e.sx == x && e.sy == y && e.sport == port)
+                        || (e.dst_shard == s && e.dx == x && e.dy == y && e.dport == port)
+                });
+                if !seam_internal {
+                    origins.push((s, x, y, port));
+                }
+            }
+        }
+        origins
+    }
+}
+
+fn neighbor(fabric: &Fabric, x: usize, y: usize, out: Port) -> Option<(usize, usize)> {
+    let (dx, dy) = out.delta();
+    let nx = x as i64 + dx as i64;
+    let ny = y as i64 + dy as i64;
+    if nx < 0 || ny < 0 || nx >= fabric.width() as i64 || ny >= fabric.height() as i64 {
+        None
+    } else {
+        Some((nx as usize, ny as usize))
+    }
+}
+
+/// Extracts the wait sites of `tile`'s reachable tasks.
+fn collect_waits(
+    shard: usize,
+    x: usize,
+    y: usize,
+    tile: &Tile,
+    reachable: &BTreeSet<TaskId>,
+    waits: &mut Vec<WaitSite>,
+) {
+    for site in instruction_sites(&tile.core) {
+        if !reachable.contains(&site.task) {
+            continue;
+        }
+        let recv = site.sources().find_map(|op| match op.desc {
+            Descriptor::FabricIn { color, len, .. } if len > 0 => Some((color, len)),
+            _ => None,
+        });
+        let send = site.dst.as_ref().and_then(|op| match op.desc {
+            Descriptor::FabricOut { color, len, .. } if len > 0 => Some((color, len)),
+            _ => None,
+        });
+        if recv.is_none() && send.is_none() {
+            continue;
+        }
+        waits.push(WaitSite {
+            shard,
+            x,
+            y,
+            task: site.task,
+            task_name: site.task_name,
+            stmt: site.stmt,
+            background: site.background,
+            recv,
+            send,
+        });
+    }
+}
+
+/// The activation-reachability fixpoint for one tile: tasks that can ever
+/// run, seeded from already-activated tasks, declared entry points, and
+/// data triggers whose color some local route actually delivers to the
+/// ramp; grown through `TaskCtl` activations, thread-completion triggers,
+/// and FIFO `onpush` targets of reachable code.
+pub fn reachable_tasks(tile: &Tile) -> BTreeSet<TaskId> {
+    let core = &tile.core;
+    let sites = instruction_sites(core);
+    let mut reachable: BTreeSet<TaskId> = BTreeSet::new();
+    for (id, task) in core.tasks() {
+        if task.start_activated || core.task_activated(id) {
+            reachable.insert(id);
+        }
+    }
+    reachable.extend(core.entry_tasks().iter().copied());
+    for b in core.bindings() {
+        let delivered =
+            tile.router.routes().any(|(_, c, fanout)| c == b.color && fanout.contains(&Port::Ramp));
+        if delivered {
+            reachable.insert(b.task);
+        }
+    }
+    loop {
+        let mut grew = false;
+        let add = |set: &mut BTreeSet<TaskId>, id: TaskId, grew: &mut bool| {
+            if set.insert(id) {
+                *grew = true;
+            }
+        };
+        for (id, task) in core.tasks() {
+            if !reachable.contains(&id) {
+                continue;
+            }
+            for stmt in &task.body {
+                if let Stmt::TaskCtl { task: t, action: TaskAction::Activate } = stmt {
+                    add(&mut reachable, *t, &mut grew);
+                }
+            }
+        }
+        for site in &sites {
+            if !reachable.contains(&site.task) {
+                continue;
+            }
+            if let Some((t, TaskAction::Activate)) = site.on_complete {
+                add(&mut reachable, t, &mut grew);
+            }
+            if let Some(dst) = &site.dst {
+                if let Descriptor::Fifo { fifo } = dst.desc {
+                    if let Some(t) = core.fifo(fifo).onpush {
+                        add(&mut reachable, t, &mut grew);
+                    }
+                }
+            }
+        }
+        if !grew {
+            return reachable;
+        }
+    }
+}

@@ -27,8 +27,19 @@
 //!   entry points, data triggers, and completion chains: tasks that can
 //!   never activate, tasks blocked forever, FIFO pushes with no bound task
 //!   or reader.
+//! * **Deadlock** ([`rules::deadlock`]) — the whole-fabric waits-for graph
+//!   over synchronous sends, receives, and queue backpressure, across seam
+//!   channels in an ensemble; every cycle is reported with its full
+//!   witness.
+//! * **Data races** ([`rules::races`]) — per-task SRAM read/write sets
+//!   from resolved instruction sites; overlapping accesses between a
+//!   launched background thread and code not ordered against it.
+//! * **Progress** ([`rules::progress`]) — every armed consumer is fed by
+//!   some producer's route flow, and every seam channel that carries
+//!   traffic can drain at its ingress.
 //!
-//! The entry point is [`lint`]; [`assert_clean`] is the panic-on-findings
+//! The entry point is [`lint`] for a single fabric and [`lint_ensemble`]
+//! for a multi-wafer ensemble; [`assert_clean`] is the panic-on-findings
 //! wrapper kernel builders call in debug builds.
 
 #![warn(missing_docs)]
@@ -36,6 +47,8 @@
 use std::fmt;
 use wse_arch::fabric::Fabric;
 
+pub mod dataflow;
+pub mod fixtures;
 pub mod program;
 pub mod rules;
 
@@ -97,6 +110,19 @@ pub enum Rule {
     /// A FIFO is written but has no `onpush` task and no reachable reader —
     /// pushed data is never drained.
     FifoNeverDrained,
+    /// A cycle in the whole-fabric waits-for graph: a set of synchronous
+    /// sends and receives (and the queues between them) that can never all
+    /// retire once the bounded slack fills.
+    DeadlockCycle,
+    /// A launched background thread's SRAM accesses overlap an access by
+    /// code not ordered against it; element interleaving decides the result.
+    DataRace,
+    /// A consumer routes a color to its ramp but no producer flow in the
+    /// whole ensemble reaches it — the consumer arms and waits forever.
+    ColorStarved,
+    /// Traffic reaches a seam channel whose ingress router cannot forward
+    /// it; the queue fills, credits stop returning, the sender wedges.
+    CreditStarvation,
 }
 
 impl Rule {
@@ -117,6 +143,10 @@ impl Rule {
             Rule::UnreachableTask => "unreachable-task",
             Rule::BlockedForever => "blocked-forever",
             Rule::FifoNeverDrained => "fifo-never-drained",
+            Rule::DeadlockCycle => "deadlock-cycle",
+            Rule::DataRace => "data-race",
+            Rule::ColorStarved => "color-starved",
+            Rule::CreditStarvation => "credit-starvation",
         }
     }
 }
@@ -153,11 +183,30 @@ impl fmt::Display for Diagnostic {
 /// Runs every rule over a configured fabric. No cycle is stepped; the
 /// fabric is read-only. Findings are ordered by tile, then rule.
 pub fn lint(fabric: &Fabric) -> Vec<Diagnostic> {
+    lint_ensemble(&dataflow::Ensemble::single(fabric))
+}
+
+/// Runs every rule over a multi-wafer ensemble: the per-shard rules on each
+/// shard (diagnostic x coordinates globalized by the shard's offset), then
+/// the whole-ensemble passes — deadlock, data races, progress — over the
+/// shared dataflow model with seam channels included. No cycle is stepped.
+pub fn lint_ensemble(ens: &dataflow::Ensemble<'_>) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
-    rules::routes::check(fabric, &mut diags);
-    rules::colors::check(fabric, &mut diags);
-    rules::memory::check(fabric, &mut diags);
-    rules::tasks::check(fabric, &mut diags);
+    for (s, fabric) in ens.shards.iter().enumerate() {
+        let mut local = Vec::new();
+        rules::routes::check(fabric, &mut local);
+        rules::colors::check(fabric, &mut local);
+        rules::memory::check(fabric, &mut local);
+        rules::tasks::check(fabric, &mut local);
+        for mut d in local {
+            d.tile.0 += ens.offsets[s];
+            diags.push(d);
+        }
+    }
+    let model = dataflow::Model::build(ens);
+    rules::deadlock::check(&model, &mut diags);
+    rules::races::check(&model, &mut diags);
+    rules::progress::check(&model, &mut diags);
     diags.sort_by(|a, b| {
         (a.tile.1, a.tile.0, a.rule, &a.message).cmp(&(b.tile.1, b.tile.0, b.rule, &b.message))
     });

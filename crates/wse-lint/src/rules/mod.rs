@@ -1,7 +1,13 @@
-//! The rule families. Each submodule exposes
-//! `check(fabric, &mut Vec<Diagnostic>)`.
+//! The rule families. The local families expose
+//! `check(fabric, &mut Vec<Diagnostic>)` and reason one tile (or one
+//! shard) at a time; the global families expose
+//! `check(&dataflow::Model, &mut Vec<Diagnostic>)` and reason over the
+//! whole ensemble, seam channels included.
 
 pub mod colors;
+pub mod deadlock;
 pub mod memory;
+pub mod progress;
+pub mod races;
 pub mod routes;
 pub mod tasks;

@@ -1,0 +1,142 @@
+//! Progress / termination analysis: every armed consumer must be able to
+//! quiesce.
+//!
+//! [`crate::rules::routes`] already rejects a receive no *local* route can
+//! feed. This pass closes the global half of that argument over the
+//! whole-fabric [`crate::dataflow::Model`]:
+//!
+//! * **Starved colors** ([`crate::Rule::ColorStarved`]) — a tile consumes a
+//!   color and its router would deliver it to the ramp, but no producer
+//!   anywhere in the ensemble (no sending task's ramp, no external edge
+//!   injection point) has a route flow reaching this tile. The consumer
+//!   arms, waits, and never fires; a watchdog reports the stall only after
+//!   its whole cycle budget burns.
+//! * **Credit starvation** ([`crate::Rule::CreditStarvation`]) — traffic
+//!   reaches a seam channel whose ingress tile has no forwarding rule for
+//!   the arriving `(port, color)`. The host link delivers the first flits,
+//!   the ingress router queue fills, seam credits stop returning, and the
+//!   egress wafer wedges. Ensemble-only: a single fabric has no seams.
+//!
+//! Both diagnostics carry the witness the operator needs: the consumer or
+//! seam endpoint, the producers that were considered, and why the flow
+//! never arrives.
+
+use crate::dataflow::{Flow, Model};
+use crate::{Diagnostic, Rule, Severity};
+use std::collections::{BTreeMap, BTreeSet};
+use wse_arch::types::{Color, Port};
+
+/// Runs the progress pass over the whole ensemble.
+pub fn check(model: &Model<'_>, diags: &mut Vec<Diagnostic>) {
+    check_starved_colors(model, diags);
+    if !model.ens.seams.is_empty() {
+        check_seam_credits(model, diags);
+    }
+}
+
+/// Consumers of each color, per tile: data-trigger bindings and synchronous
+/// receive sites of reachable tasks — but only where a local route actually
+/// delivers the color to the ramp (otherwise
+/// [`crate::Rule::UnreachableReceive`] already reported the tile).
+fn check_starved_colors(model: &Model<'_>, diags: &mut Vec<Diagnostic>) {
+    let mut consumers: BTreeSet<(usize, usize, usize, Color)> = BTreeSet::new();
+    for (s, fabric) in model.ens.shards.iter().enumerate() {
+        for y in 0..fabric.height() {
+            for x in 0..fabric.width() {
+                let tile = fabric.tile(x, y);
+                let reach = model.reachable(s, x, y);
+                let mut wanted: BTreeSet<Color> = BTreeSet::new();
+                for b in tile.core.bindings() {
+                    if reach.contains(&b.task) {
+                        wanted.insert(b.color);
+                    }
+                }
+                for w in &model.waits {
+                    if w.shard == s && w.x == x && w.y == y {
+                        if let Some((c, _)) = w.recv {
+                            wanted.insert(c);
+                        }
+                    }
+                }
+                for color in wanted {
+                    let delivered = tile
+                        .router
+                        .routes()
+                        .any(|(_, c, fanout)| c == color && fanout.contains(&Port::Ramp));
+                    if delivered {
+                        consumers.insert((s, x, y, color));
+                    }
+                }
+            }
+        }
+    }
+
+    let mut flows: BTreeMap<Color, (Flow, usize)> = BTreeMap::new();
+    for (s, x, y, color) in consumers {
+        let (flow, n_sources) = flows.entry(color).or_insert_with(|| {
+            let sources = model.sources(color);
+            (model.flow(color, &sources), sources.len())
+        });
+        if flow.delivered.contains_key(&(s, x, y)) {
+            continue;
+        }
+        let why = if *n_sources == 0 {
+            "nothing in the ensemble produces it (no sending task, no external \
+             edge injection point)"
+                .to_string()
+        } else {
+            format!(
+                "none of the {n_sources} producer injection point(s) has a route \
+                 flow reaching this tile"
+            )
+        };
+        diags.push(Diagnostic {
+            tile: model.ens.global_tile(s, x, y),
+            severity: Severity::Error,
+            rule: Rule::ColorStarved,
+            message: format!(
+                "{} consumes color {color} and routes it to the ramp, but {why}; \
+                 the consumer arms and waits forever",
+                model.ens.label(s, x, y),
+            ),
+        });
+    }
+}
+
+/// Every seam channel that traffic can reach must have a forwarding rule at
+/// its ingress `(tile, port, color)` — otherwise the ingress queue fills,
+/// credits stop returning across the seam, and the egress wafer wedges.
+fn check_seam_credits(model: &Model<'_>, diags: &mut Vec<Diagnostic>) {
+    let mut reached: BTreeSet<usize> = BTreeSet::new();
+    let mut flows: BTreeMap<Color, Flow> = BTreeMap::new();
+    let colors: BTreeSet<Color> = model.ens.seams.iter().map(|e| e.color).collect();
+    for color in colors {
+        let flow = flows.entry(color).or_insert_with(|| model.flow(color, &model.sources(color)));
+        reached.extend(flow.seams_reached.iter().copied());
+    }
+    for &i in &reached {
+        let seam = &model.ens.seams[i];
+        let dst = model.ens.shards[seam.dst_shard].tile(seam.dx, seam.dy);
+        if dst.router.route(seam.dport, seam.color).is_some() {
+            continue;
+        }
+        diags.push(Diagnostic {
+            tile: model.ens.global_tile(seam.src_shard, seam.sx, seam.sy),
+            severity: Severity::Error,
+            rule: Rule::CreditStarvation,
+            message: format!(
+                "seam channel color {} from {} ({:?}) to {} ({:?}) carries traffic, \
+                 but the ingress router has no rule for ({:?}, color {}); the ingress \
+                 queue fills, seam credits stop returning, and the sending wafer \
+                 wedges",
+                seam.color,
+                model.ens.label(seam.src_shard, seam.sx, seam.sy),
+                seam.sport,
+                model.ens.label(seam.dst_shard, seam.dx, seam.dy),
+                seam.dport,
+                seam.dport,
+                seam.color,
+            ),
+        });
+    }
+}

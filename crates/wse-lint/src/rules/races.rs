@@ -1,0 +1,433 @@
+//! Data-race / determinism checking over per-task SRAM access sets.
+//!
+//! A tile's main thread serializes task bodies, so two synchronous
+//! statements can never race. Concurrency enters through `Launch`: a
+//! background thread is live from its launch until its operands exhaust,
+//! overlapping every statement the main thread executes in the meantime.
+//! For each background site this pass computes the SRAM bytes it reads
+//! and writes (from the resolved instruction sites, the same model
+//! [`crate::rules::memory`] audits) and compares them against every site
+//! that can run while the thread is live:
+//!
+//! * later statements of the launching task (any kind);
+//! * statements of every task reachable *from the launch onward* through
+//!   the activation graph — `TaskCtl` activations, other sites' completion
+//!   triggers, FIFO `onpush` targets, and local data triggers fed by
+//!   colors the dispatch itself produces.
+//!
+//! Ordered code is exempt: tasks whose every activation path begins at
+//! this launch's own completion trigger run strictly after the thread
+//! finishes. Distinct host entry points are assumed host-sequenced (the
+//! run model activates one dispatch and drains it), and FIFO traffic is
+//! exempt — push/pop through the hardware FIFO is the sanctioned
+//! synchronization. So is the pipelined in-place loopback idiom: one site
+//! reads a buffer and streams it into the fabric, the other receives the
+//! same color and writes the same buffer back — the channel delivers
+//! element `i` only after it was read, so with identical descriptors the
+//! write of `i` always happens after the read of `i`. And so are pairs of
+//! read-modify-write *accumulations* (`u += ...`): the datapath issues one
+//! context per cycle, making each element update atomic, and the adds
+//! commute — the paper's FIFO-drain `sumtask` accumulating next to the
+//! loopback add relies on exactly this. Other overlapping writes, or a
+//! write overlapping a concurrent read, are [`crate::Rule::DataRace`]
+//! errors: element interleaving between threads is scheduler-dependent, so
+//! the result is nondeterministic.
+
+use crate::dataflow::Model;
+use crate::program::{instruction_sites, InstrSite};
+use crate::{Diagnostic, Rule, Severity};
+use std::collections::BTreeSet;
+use wse_arch::core::Core;
+use wse_arch::dsr::Descriptor;
+use wse_arch::instr::{Stmt, TaskAction};
+use wse_arch::types::{Port, TaskId};
+
+/// Runs the race pass on every tile of every shard.
+pub fn check(model: &Model<'_>, diags: &mut Vec<Diagnostic>) {
+    for (s, fabric) in model.ens.shards.iter().enumerate() {
+        for y in 0..fabric.height() {
+            for x in 0..fabric.width() {
+                check_tile(model, s, x, y, diags);
+            }
+        }
+    }
+}
+
+/// One strided SRAM access: `len` elements of `elem` bytes, `period`
+/// bytes apart, starting at `start`. `end` is the exclusive byte bound.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+struct Access {
+    start: u32,
+    end: u32,
+    period: u32,
+    elem: u32,
+    /// The access is the destination of a read-modify-write accumulation
+    /// (`AddAssign`, `Axpy`, `FmaAssign` — all `u += ...`). The datapath
+    /// issues one context per cycle, so each element update is atomic, and
+    /// addition commutes: two concurrent accumulations into the same
+    /// elements produce the sum in some order, not a torn value.
+    accum: bool,
+}
+
+impl Access {
+    /// Whether any byte of `self` can coincide with a byte of `other`.
+    /// Dense accesses overlap iff their extents do; equal-stride strided
+    /// accesses additionally need congruent residues — two interleaved
+    /// strips (`addr` differing by less than the stride) share an extent
+    /// but never a byte. Unequal strides fall back to the extent test.
+    fn overlaps(self, other: Access) -> bool {
+        if self.start >= other.end || other.start >= self.end {
+            return false;
+        }
+        if self.period != other.period {
+            return true;
+        }
+        let p = self.period;
+        let ra = self.start % p;
+        let rb = other.start % p;
+        (rb + p - ra) % p < self.elem || (ra + p - rb) % p < other.elem
+    }
+}
+
+/// SRAM bytes a resolved operand touches. FIFO and fabric descriptors
+/// return `None`: fabric traffic never touches SRAM, and FIFO push/pop is
+/// hardware-serialized (the sanctioned cross-thread handoff).
+fn sram_extent(desc: &Descriptor) -> Option<Access> {
+    match *desc {
+        Descriptor::Mem { addr, len, stride, dtype, .. } if len > 0 => Some(Access {
+            start: addr,
+            end: addr + ((len - 1) * stride + 1) * dtype.bytes(),
+            period: stride.max(1) * dtype.bytes(),
+            elem: dtype.bytes(),
+            accum: false,
+        }),
+        _ => None,
+    }
+}
+
+/// The read and write extents of one instruction site. A read-modify-write
+/// destination (`AddAssign`, `FmaAssign`, ...) contributes to both sets.
+fn access_sets(site: &InstrSite) -> (Vec<Access>, Vec<Access>) {
+    let mut reads = Vec::new();
+    let mut writes = Vec::new();
+    for src in site.sources() {
+        if let Some(e) = sram_extent(&src.desc) {
+            reads.push(e);
+        }
+    }
+    if let Some(dst) = &site.dst {
+        if let Some(mut e) = sram_extent(&dst.desc) {
+            e.accum = site.instr.op.reads_dst();
+            writes.push(e);
+            if e.accum {
+                reads.push(e);
+            }
+        }
+    }
+    (reads, writes)
+}
+
+fn check_tile(model: &Model<'_>, shard: usize, x: usize, y: usize, diags: &mut Vec<Diagnostic>) {
+    let fabric = model.ens.shards[shard];
+    let tile = fabric.tile(x, y);
+    let core = &tile.core;
+    let reachable = model.reachable(shard, x, y);
+    let sites: Vec<InstrSite> =
+        instruction_sites(core).into_iter().filter(|s| reachable.contains(&s.task)).collect();
+
+    for (li, launch) in sites.iter().enumerate() {
+        if !launch.background {
+            continue;
+        }
+        let after = ordered_after(core, launch, reachable);
+        let concurrent = concurrent_tasks(tile, core, launch, reachable);
+        let (l_reads, l_writes) = access_sets(launch);
+        for (si, other) in sites.iter().enumerate() {
+            if si == li {
+                continue;
+            }
+            let live_overlap = if other.task == launch.task {
+                // Earlier same-task *background* pairs are reported once,
+                // from the earlier launch's iteration.
+                other.stmt > launch.stmt
+            } else {
+                concurrent.contains(&other.task) && !after.contains(&other.task)
+            };
+            if !live_overlap {
+                continue;
+            }
+            let (o_reads, o_writes) = access_sets(other);
+            // Channel-ordered in-place loopback pairs are deterministic.
+            let exempt_lw = flow_through(model, shard, x, y, other, launch);
+            let exempt_lr = flow_through(model, shard, x, y, launch, other);
+            report_overlaps(
+                model, shard, x, y, launch, other, &l_writes, &o_writes, "write", "write", None,
+                diags,
+            );
+            report_overlaps(
+                model, shard, x, y, launch, other, &l_writes, &o_reads, "write", "read", exempt_lw,
+                diags,
+            );
+            report_overlaps(
+                model, shard, x, y, launch, other, &l_reads, &o_writes, "read", "write", exempt_lr,
+                diags,
+            );
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn report_overlaps(
+    model: &Model<'_>,
+    shard: usize,
+    x: usize,
+    y: usize,
+    launch: &InstrSite,
+    other: &InstrSite,
+    a: &[Access],
+    b: &[Access],
+    a_kind: &str,
+    b_kind: &str,
+    exempt: Option<Access>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for ea in a {
+        for eb in b {
+            if !ea.overlaps(*eb) {
+                continue;
+            }
+            // Two atomic accumulations commute; the sum lands either way.
+            if ea.accum && eb.accum {
+                continue;
+            }
+            if exempt == Some(*ea) && exempt == Some(*eb) {
+                continue;
+            }
+            let lo = ea.start.max(eb.start);
+            let hi = ea.end.min(eb.end);
+            diags.push(Diagnostic {
+                tile: model.ens.global_tile(shard, x, y),
+                severity: Severity::Error,
+                rule: Rule::DataRace,
+                message: format!(
+                    "task {} (\"{}\") stmt {} launches a thread whose {a_kind} of \
+                     [{}, {}) races the {b_kind} of [{}, {}) by task {} (\"{}\") stmt \
+                     {}{} on bytes [{lo}, {hi}); the two are not ordered by the \
+                     activation graph, so element interleaving decides the result",
+                    launch.task,
+                    launch.task_name,
+                    launch.stmt,
+                    ea.start,
+                    ea.end,
+                    eb.start,
+                    eb.end,
+                    other.task,
+                    other.task_name,
+                    other.stmt,
+                    if other.background { " (thread)" } else { "" },
+                ),
+            });
+            // One diagnostic per site pair and direction is enough.
+            return;
+        }
+    }
+}
+
+/// The pipelined in-place loopback idiom: `reader` reads a memory
+/// descriptor and streams it out on a color, `writer` receives that color
+/// and writes the *identical* descriptor back, and a route loops the color
+/// from this ramp back to this ramp. The channel delivers element `i` only
+/// after the reader consumed it, so the write of `i` is ordered after the
+/// read of `i` and the pair is deterministic. Returns the exempt extent.
+fn flow_through(
+    model: &Model<'_>,
+    shard: usize,
+    x: usize,
+    y: usize,
+    reader: &InstrSite,
+    writer: &InstrSite,
+) -> Option<Access> {
+    let reader_send = reader.dst.as_ref().and_then(|op| match op.desc {
+        Descriptor::FabricOut { color, len, .. } if len > 0 => Some(color),
+        _ => None,
+    })?;
+    writer.sources().find(|op| {
+        matches!(op.desc, Descriptor::FabricIn { color, len, .. } if color == reader_send && len > 0)
+    })?;
+    let wdst = &writer.dst.as_ref()?.desc;
+    if !matches!(wdst, Descriptor::Mem { .. }) {
+        return None;
+    }
+    let identical = reader.sources().any(|op| op.desc == *wdst);
+    if !identical {
+        return None;
+    }
+    let looped =
+        model.flow_from_ramp(shard, x, y, reader_send).delivered.contains_key(&(shard, x, y));
+    if looped {
+        sram_extent(wdst)
+    } else {
+        None
+    }
+}
+
+/// Tasks ordered strictly *after* the launched thread completes: the
+/// completion trigger's target, grown by tasks whose every activation
+/// source already lies in the set.
+fn ordered_after(
+    core: &Core,
+    launch: &InstrSite,
+    reachable: &BTreeSet<TaskId>,
+) -> BTreeSet<TaskId> {
+    let mut after = BTreeSet::new();
+    let Some((seed, TaskAction::Activate | TaskAction::Unblock)) = launch.on_complete else {
+        return after;
+    };
+    after.insert(seed);
+    let sites = instruction_sites(core);
+    loop {
+        let mut grew = false;
+        for (id, task) in core.tasks() {
+            if after.contains(&id) || !reachable.contains(&id) {
+                continue;
+            }
+            if task.start_activated || core.task_activated(id) {
+                continue;
+            }
+            if core.entry_tasks().contains(&id) {
+                continue;
+            }
+            if core.bindings().iter().any(|b| b.task == id) {
+                continue;
+            }
+            // Every activation source must already be in the set.
+            let mut sources = 0usize;
+            let mut inside = 0usize;
+            for (oid, otask) in core.tasks() {
+                if !reachable.contains(&oid) {
+                    continue;
+                }
+                for stmt in &otask.body {
+                    if matches!(stmt, Stmt::TaskCtl { task: t, action: TaskAction::Activate } if *t == id)
+                    {
+                        sources += 1;
+                        if after.contains(&oid) {
+                            inside += 1;
+                        }
+                    }
+                }
+            }
+            for site in &sites {
+                if !reachable.contains(&site.task) {
+                    continue;
+                }
+                if matches!(site.on_complete, Some((t, TaskAction::Activate)) if t == id) {
+                    sources += 1;
+                    let from_this_launch =
+                        site.task == launch.task && site.stmt == launch.stmt && site.background;
+                    if after.contains(&site.task) || from_this_launch {
+                        inside += 1;
+                    }
+                }
+                if let Some(dst) = &site.dst {
+                    if let Descriptor::Fifo { fifo } = dst.desc {
+                        if core.fifo(fifo).onpush == Some(id) {
+                            sources += 1;
+                            if after.contains(&site.task) {
+                                inside += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            if sources > 0 && sources == inside && after.insert(id) {
+                grew = true;
+            }
+        }
+        if !grew {
+            return after;
+        }
+    }
+}
+
+/// Tasks that can run while the launched thread is live: the closure of
+/// the launching task under local activation edges — `TaskCtl`
+/// activations, completion triggers of *other* sites, FIFO `onpush`
+/// targets, and data triggers fed by colors the closure itself sends to
+/// its own ramp. Distinct host entry points are assumed host-sequenced
+/// and excluded unless the closure reaches them.
+fn concurrent_tasks(
+    tile: &wse_arch::fabric::Tile,
+    core: &Core,
+    launch: &InstrSite,
+    reachable: &BTreeSet<TaskId>,
+) -> BTreeSet<TaskId> {
+    let sites = instruction_sites(core);
+    let mut conc: BTreeSet<TaskId> = BTreeSet::new();
+    conc.insert(launch.task);
+    loop {
+        let mut grew = false;
+        let add = |set: &mut BTreeSet<TaskId>, id: TaskId, grew: &mut bool| {
+            if reachable.contains(&id) && set.insert(id) {
+                *grew = true;
+            }
+        };
+        for (id, task) in core.tasks() {
+            if !conc.contains(&id) {
+                continue;
+            }
+            for stmt in &task.body {
+                if let Stmt::TaskCtl { task: t, action: TaskAction::Activate } = stmt {
+                    add(&mut conc, *t, &mut grew);
+                }
+            }
+        }
+        // Colors the closure sends that loop back to this tile's ramp.
+        let mut self_colors: BTreeSet<wse_arch::types::Color> = BTreeSet::new();
+        for site in &sites {
+            if !conc.contains(&site.task) {
+                continue;
+            }
+            if let Some(dst) = &site.dst {
+                if let Descriptor::FabricOut { color, len, .. } = dst.desc {
+                    if len > 0 {
+                        self_colors.insert(color);
+                    }
+                }
+            }
+        }
+        for b in core.bindings() {
+            if !self_colors.contains(&b.color) {
+                continue;
+            }
+            let looped = tile.router.routes().any(|(p, c, fanout)| {
+                p == Port::Ramp && c == b.color && fanout.contains(&Port::Ramp)
+            });
+            if looped {
+                add(&mut conc, b.task, &mut grew);
+            }
+        }
+        for site in &sites {
+            if !conc.contains(&site.task) {
+                continue;
+            }
+            let is_this_launch =
+                site.task == launch.task && site.stmt == launch.stmt && site.background;
+            if !is_this_launch {
+                if let Some((t, TaskAction::Activate)) = site.on_complete {
+                    add(&mut conc, t, &mut grew);
+                }
+            }
+            if let Some(dst) = &site.dst {
+                if let Descriptor::Fifo { fifo } = dst.desc {
+                    if let Some(t) = core.fifo(fifo).onpush {
+                        add(&mut conc, t, &mut grew);
+                    }
+                }
+            }
+        }
+        if !grew {
+            return conc;
+        }
+    }
+}

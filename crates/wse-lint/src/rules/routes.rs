@@ -20,6 +20,7 @@
 
 use crate::program::{consumed_colors, produced_colors};
 use crate::{Diagnostic, Rule, Severity};
+use std::collections::BTreeSet;
 use wse_arch::fabric::Fabric;
 use wse_arch::types::{Color, Port, NUM_COLORS};
 
@@ -52,11 +53,15 @@ fn check_tile(fabric: &Fabric, x: usize, y: usize, diags: &mut Vec<Diagnostic>) 
     let consumed = consumed_colors(&tile.core);
     let produced = produced_colors(&tile.core);
 
+    // The same outgoing segment `(out, color)` may be fed by several input
+    // ports; its fate is a property of the segment, so report it once, not
+    // once per direction.
+    let mut reported: BTreeSet<(usize, Color)> = BTreeSet::new();
     for (in_port, color, fanout) in tile.router.routes() {
         for &out in fanout {
             if out == Port::Ramp {
                 // Delivery: the core must have a receive descriptor for it.
-                if !consumed.contains(&color) {
+                if !consumed.contains(&color) && reported.insert((out.index(), color)) {
                     diags.push(Diagnostic {
                         tile: (x, y),
                         severity: Severity::Error,
@@ -75,7 +80,9 @@ fn check_tile(fabric: &Fabric, x: usize, y: usize, diags: &mut Vec<Diagnostic>) 
             // declared edge channel (`Fabric::open_edge`) — the host drains
             // it, so nothing on-wafer needs to.
             let Some((nx, ny)) = neighbor(fabric, x, y, out) else {
-                if !fabric.edge_port_declared(x, y, out, color) {
+                if !fabric.edge_port_declared(x, y, out, color)
+                    && reported.insert((out.index(), color))
+                {
                     diags.push(Diagnostic {
                         tile: (x, y),
                         severity: Severity::Error,
@@ -91,7 +98,9 @@ fn check_tile(fabric: &Fabric, x: usize, y: usize, diags: &mut Vec<Diagnostic>) 
                 continue;
             };
             let arrives_at = out.opposite().expect("cardinal port");
-            if fabric.tile(nx, ny).router.route(arrives_at, color).is_none() {
+            if fabric.tile(nx, ny).router.route(arrives_at, color).is_none()
+                && reported.insert((out.index(), color))
+            {
                 diags.push(Diagnostic {
                     tile: (x, y),
                     severity: Severity::Error,

@@ -14,6 +14,7 @@
 //! * FIFOs that are written but have neither an `onpush` task nor any
 //!   reachable reader ([`crate::Rule::FifoNeverDrained`]).
 
+use crate::dataflow::reachable_tasks;
 use crate::program::instruction_sites;
 use crate::{Diagnostic, Rule, Severity};
 use std::collections::BTreeSet;
@@ -21,7 +22,6 @@ use wse_arch::core::Core;
 use wse_arch::dsr::Descriptor;
 use wse_arch::fabric::Fabric;
 use wse_arch::instr::TaskAction;
-use wse_arch::types::Port;
 
 /// Runs the task rules on every tile.
 pub fn check(fabric: &Fabric, diags: &mut Vec<Diagnostic>) {
@@ -37,63 +37,8 @@ fn check_tile(fabric: &Fabric, x: usize, y: usize, diags: &mut Vec<Diagnostic>) 
     let core = &tile.core;
     let sites = instruction_sites(core);
 
-    // Activation roots: already-activated tasks, declared entries, and data
-    // triggers whose color some route actually delivers to this ramp.
-    let mut reachable: BTreeSet<usize> = BTreeSet::new();
-    for (id, task) in core.tasks() {
-        if task.start_activated || core.task_activated(id) {
-            reachable.insert(id);
-        }
-    }
-    reachable.extend(core.entry_tasks().iter().copied());
-    for b in core.bindings() {
-        let delivered =
-            tile.router.routes().any(|(_, c, fanout)| c == b.color && fanout.contains(&Port::Ramp));
-        if delivered {
-            reachable.insert(b.task);
-        }
-    }
-
-    // Fixpoint: activations reachable tasks can perform.
-    loop {
-        let mut grew = false;
-        let add = |set: &mut BTreeSet<usize>, id: usize, grew: &mut bool| {
-            if set.insert(id) {
-                *grew = true;
-            }
-        };
-        for (id, task) in core.tasks() {
-            if !reachable.contains(&id) {
-                continue;
-            }
-            for stmt in &task.body {
-                if let wse_arch::instr::Stmt::TaskCtl { task: t, action: TaskAction::Activate } =
-                    stmt
-                {
-                    add(&mut reachable, *t, &mut grew);
-                }
-            }
-        }
-        for site in &sites {
-            if !reachable.contains(&site.task) {
-                continue;
-            }
-            if let Some((t, TaskAction::Activate)) = site.on_complete {
-                add(&mut reachable, t, &mut grew);
-            }
-            // A push into a FIFO activates its onpush task.
-            if let Some(dst) = &site.dst {
-                if let Descriptor::Fifo { fifo } = dst.desc {
-                    if let Some(t) = core.fifo(fifo).onpush {
-                        add(&mut reachable, t, &mut grew);
-                    }
-                }
-            }
-        }
-        if !grew {
-            break;
-        }
-    }
+    // The "can ever activate" fixpoint, shared with the global passes.
+    let reachable = reachable_tasks(tile);
 
     // Unblock edges available from reachable code.
     let mut unblockable: BTreeSet<usize> = BTreeSet::new();

@@ -86,6 +86,21 @@ fn dangling_route_is_detected() {
 }
 
 #[test]
+fn dangling_segment_fed_by_two_input_ports_is_reported_once() {
+    // Both the ramp and the west input forward color 3 into the same dead
+    // east segment. The segment's fate is one fact about the program, so
+    // it must yield one diagnostic, not one per feeding direction.
+    let mut f = Fabric::new(3, 1);
+    f.set_route(0, 0, Port::Ramp, 3, &[Port::East]);
+    f.set_route(1, 0, Port::Ramp, 3, &[Port::East]);
+    f.set_route(1, 0, Port::West, 3, &[Port::East]);
+    let diags = lint(&f);
+    let dangling: Vec<_> =
+        diags.iter().filter(|d| d.rule == Rule::RouteDangling && d.tile == (1, 0)).collect();
+    assert_eq!(dangling.len(), 1, "one report per dead segment: {dangling:#?}");
+}
+
+#[test]
 fn route_off_fabric_is_detected() {
     // Fabric::set_route guards this at config time; programs that configure
     // routers directly (or deserialize route tables) bypass that, which is

@@ -538,6 +538,42 @@ impl MultiFabric {
         Ok(max_elapsed)
     }
 
+    /// The paired seam channels in `wse-lint`'s [`SeamEdge`] form — the
+    /// ensemble topology the whole-fabric verification passes follow when
+    /// tracing producer flows across wafers.
+    ///
+    /// [`SeamEdge`]: wse_lint::dataflow::SeamEdge
+    pub fn seam_edges(&self) -> Vec<wse_lint::dataflow::SeamEdge> {
+        self.channels
+            .iter()
+            .map(|c| wse_lint::dataflow::SeamEdge {
+                src_shard: c.src,
+                sx: c.sx,
+                sy: c.sy,
+                sport: c.sport,
+                dst_shard: c.dst,
+                dx: c.dx,
+                dy: c.dy,
+                dport: c.dport,
+                color: c.color,
+            })
+            .collect()
+    }
+
+    /// Runs every `wse-lint` rule over the whole ensemble: per-shard rules
+    /// on each wafer (diagnostic x coordinates globalized by the wafer's
+    /// slab offset) plus the whole-ensemble deadlock, race, and progress
+    /// passes with seam channels included. Call after the programs are
+    /// built and seams are paired; no cycle is stepped.
+    pub fn lint(&self) -> Vec<wse_lint::Diagnostic> {
+        let ens = wse_lint::dataflow::Ensemble {
+            shards: self.shards.iter().collect(),
+            offsets: self.offsets.clone(),
+            seams: self.seam_edges(),
+        };
+        wse_lint::lint_ensemble(&ens)
+    }
+
     /// Merges per-wafer stall diagnoses into one globalized report.
     fn ensemble_stall(&self, window: u64, deadline_exceeded: bool) -> Box<StallReport> {
         let mut merged = StallReport {

@@ -23,6 +23,25 @@ cargo fmt --check
 echo "== wse-lint (shipped kernel configurations) =="
 cargo run -q --release --bin wse-lint
 
+echo "== wse-lint fixtures (broken programs vs expected diagnostics) =="
+# Every intentionally broken fixture must lint dirty with exactly the
+# checked-in diagnostics (scripts/expected_lints/) and exit 1: the rules
+# fire, the witnesses are stable, and nothing else regresses into the
+# report.
+fx_out="$(mktemp)"
+for fx in deadlock-request-reply deadlock-backpressure race-overlapping-writes \
+          race-write-after-read starved-no-producer starved-unreached-consumer; do
+  status=0
+  cargo run -q --release --bin wse-lint -- "fixture:$fx" > "$fx_out" 2>/dev/null || status=$?
+  if [ "$status" -ne 1 ]; then
+    echo "fixture $fx: expected exit status 1 (error diagnostics), got $status"
+    exit 1
+  fi
+  diff -u "scripts/expected_lints/$fx.txt" "$fx_out"
+done
+rm -f "$fx_out"
+echo "all $(ls scripts/expected_lints/*.txt | wc -l) fixtures match their expected diagnostics"
+
 echo "== fault-injection smoke (one seeded fault of each kind, twice, diffed) =="
 # The smoke sweep solves a small wafer BiCGStab under one seeded fault per
 # kind with checkpoint/rollback recovery enabled. Running it twice and
@@ -48,6 +67,9 @@ cargo run -q --release -p wse-bench --bin iter_profile -- --smoke > "$trace_b"
 diff -u "$trace_a" "$trace_b"
 grep -q "all phases within 15% of the analytic prediction" "$trace_a"
 grep -q "cycle identity:" "$trace_a"
+# The runtime sanitizer leg: armed shadow state must not perturb simulated
+# time and must find the shipped solver race-free.
+grep -q "cycle identity: .* runtime sanitizer armed (0 race trips)" "$trace_a"
 
 echo "== stepper throughput smoke (activity-driven vs reference, twice, diffed) =="
 # sim_throughput runs the same workloads under the optimized activity-driven

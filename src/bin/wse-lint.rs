@@ -4,13 +4,21 @@
 //! Usage:
 //!
 //! ```text
-//! wse-lint [CONFIG ...]
+//! wse-lint [--json] [CONFIG ...]
 //! ```
 //!
 //! With no arguments every standard configuration is checked. Exits with
 //! status 1 if any configuration produces an error-severity diagnostic.
 //! Available configurations: `spmv3d`, `spmv2d`, `allreduce`, `bicgstab`,
-//! `bicgstab-fused`, `cg`, `cg-single`, `bicgstab2d`.
+//! `bicgstab-fused`, `cg`, `cg-single`, `bicgstab2d`, plus
+//! `fixture:NAME` for each intentionally broken program in
+//! `wse_lint::fixtures` (the `lint_fixtures` verify stage diffs their
+//! output against checked-in expected diagnostics).
+//!
+//! Diagnostics print in a stable order — `(tile.y, tile.x, rule, message)`
+//! within each configuration, configurations in argument order — so output
+//! is diffable. `--json` emits one JSON array of every diagnostic instead
+//! of the human-readable report (same order, same exit status).
 
 use stencil::decomp::Block2D;
 use stencil::dia::DiaMatrix;
@@ -105,44 +113,95 @@ fn build(config: &str) -> Fabric {
             fabric
         }
         other => {
+            if let Some(name) = other.strip_prefix("fixture:") {
+                return wse_lint::fixtures::build(name).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown fixture `{name}`; available: {}",
+                        wse_lint::fixtures::ALL.join(", ")
+                    );
+                    std::process::exit(2);
+                });
+            }
             eprintln!("unknown configuration `{other}`; available: {}", ALL.join(", "));
             std::process::exit(2);
         }
     }
 }
 
+/// Escapes a string for a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        println!("usage: wse-lint [CONFIG ...]\nconfigurations: {}", ALL.join(", "));
+        println!(
+            "usage: wse-lint [--json] [CONFIG ...]\nconfigurations: {}, fixture:NAME\nfixtures: {}",
+            ALL.join(", "),
+            wse_lint::fixtures::ALL.join(", ")
+        );
         return;
     }
+    let json = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
     let configs: Vec<&str> =
         if args.is_empty() { ALL.to_vec() } else { args.iter().map(|s| s.as_str()).collect() };
 
     let mut errors = 0usize;
     let mut warnings = 0usize;
+    let mut records: Vec<String> = Vec::new();
     for config in configs {
         let fabric = build(config);
         let diags = lint(&fabric);
-        if diags.is_empty() {
+        if json {
+            for d in &diags {
+                records.push(format!(
+                    "{{\"config\":\"{}\",\"tile\":[{},{}],\"severity\":\"{}\",\
+                     \"rule\":\"{}\",\"message\":\"{}\"}}",
+                    json_escape(config),
+                    d.tile.0,
+                    d.tile.1,
+                    d.severity,
+                    d.rule,
+                    json_escape(&d.message)
+                ));
+            }
+        } else if diags.is_empty() {
             println!("{config}: clean ({}x{} fabric)", fabric.width(), fabric.height());
-            continue;
+        } else {
+            println!("{config}: {} diagnostic(s)", diags.len());
+            for d in &diags {
+                println!("  {d}");
+            }
         }
-        println!("{config}: {} diagnostic(s)", diags.len());
         for d in &diags {
-            println!("  {d}");
             match d.severity {
                 Severity::Error => errors += 1,
                 Severity::Warning => warnings += 1,
             }
         }
     }
+    if json {
+        println!("[{}]", records.join(","));
+    }
     if errors > 0 {
         eprintln!("wse-lint: {errors} error(s), {warnings} warning(s)");
         std::process::exit(1);
     }
-    if warnings > 0 {
+    if warnings > 0 && !json {
         println!("wse-lint: {warnings} warning(s)");
     }
 }
