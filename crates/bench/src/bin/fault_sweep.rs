@@ -12,7 +12,7 @@
 //!
 //! Usage:
 //! ```text
-//! fault_sweep [--smoke] [--seed N] [--trials N] [--json]
+//! fault_sweep [--smoke] [--seed N] [--trials N] [--json] [--multi K]
 //! ```
 //!
 //! `--smoke` runs one seeded fault of each kind on a small problem
@@ -20,13 +20,23 @@
 //! 4×4 wafer and several counts and trials. `--json` replaces the table
 //! with a single machine-readable JSON document (same data, same
 //! determinism).
+//!
+//! `--multi K` switches to the **ensemble leg**: a k-wafer hierarchical
+//! BiCGStab ([`wse_core::WaferBicgstabMulti`]) under the paper-default
+//! host link, sweeping the host-level fault classes (frame drop, frame
+//! corruption, link stall, wafer stall) through the reliable seam
+//! transport and the ensemble checkpoint/rollback engine. The table gains
+//! `retrans` (frames retransmitted) and `link_down` (retry-budget
+//! exhaustions) columns. Same seeding discipline, same bit-identical
+//! reproducibility.
 
 use stencil::mesh::Mesh3D;
 use stencil::problem::manufactured;
 use wse_arch::{Fabric, FaultKindClass, FaultPlan, SplitMix64};
 use wse_core::recovery::{RecoveryLog, RecoveryOutcome, RecoveryPolicy, ResidualTripwire};
-use wse_core::WaferBicgstab;
+use wse_core::{WaferBicgstab, WaferBicgstabMulti};
 use wse_float::F16;
+use wse_multi::{HostLink, MultiFabric};
 
 struct SweepConfig {
     mesh: Mesh3D,
@@ -36,6 +46,8 @@ struct SweepConfig {
     trials: usize,
     seed: u64,
     json: bool,
+    /// `Some(k)`: ensemble leg over k wafers and host-level fault classes.
+    multi: Option<usize>,
 }
 
 /// Per-(kind, count) aggregate over trials.
@@ -49,6 +61,10 @@ struct Cell {
     stalls: usize,
     trips: usize,
     false_conv: usize,
+    /// Ensemble leg only: frames retransmitted by the reliable transport.
+    retransmits: u64,
+    /// Ensemble leg only: links declared down (retry budget exhausted).
+    link_downs: usize,
 }
 
 fn policy() -> RecoveryPolicy {
@@ -73,7 +89,36 @@ fn main() {
         })
     };
     let seed = flag("--seed").unwrap_or(42);
-    let cfg = if smoke {
+    let multi = flag("--multi").map(|k| {
+        assert!(k >= 2, "--multi expects at least 2 wafers, got {k}");
+        k as usize
+    });
+    let cfg = if let Some(k) = multi {
+        // Ensemble leg: k slabs of at least 2 tiles each along X.
+        if smoke {
+            SweepConfig {
+                mesh: Mesh3D::new(2 * k, 2, 4),
+                fabric: (2 * k, 2),
+                iters: 10,
+                counts: vec![1],
+                trials: flag("--trials").unwrap_or(1) as usize,
+                seed,
+                json,
+                multi,
+            }
+        } else {
+            SweepConfig {
+                mesh: Mesh3D::new(4 * k, 4, 8),
+                fabric: (4 * k, 4),
+                iters: 16,
+                counts: vec![1, 2, 4],
+                trials: flag("--trials").unwrap_or(3) as usize,
+                seed,
+                json,
+                multi,
+            }
+        }
+    } else if smoke {
         SweepConfig {
             mesh: Mesh3D::new(2, 2, 4),
             fabric: (2, 2),
@@ -82,6 +127,7 @@ fn main() {
             trials: flag("--trials").unwrap_or(1) as usize,
             seed,
             json,
+            multi,
         }
     } else {
         SweepConfig {
@@ -92,9 +138,14 @@ fn main() {
             trials: flag("--trials").unwrap_or(3) as usize,
             seed,
             json,
+            multi,
         }
     };
-    run_sweep(&cfg);
+    if cfg.multi.is_some() {
+        run_multi_sweep(&cfg);
+    } else {
+        run_sweep(&cfg);
+    }
 }
 
 fn run_sweep(cfg: &SweepConfig) {
@@ -282,4 +333,196 @@ fn run_trial(
     cell.stalls += log.stalls;
     cell.trips += log.tripwire_trips;
     cell.false_conv += log.false_convergences;
+}
+
+// ---------------------------------------------------------------- ensemble
+
+/// The `--multi K` leg: host-level fault classes against the k-wafer
+/// hierarchical solver, through the reliable seam transport and the
+/// ensemble checkpoint/rollback engine.
+fn run_multi_sweep(cfg: &SweepConfig) {
+    let k = cfg.multi.expect("multi leg requires --multi K");
+    let p = manufactured(cfg.mesh, (1.0, -0.5, 0.5), 11).preconditioned();
+    let a16: stencil::DiaMatrix<F16> = p.matrix.convert();
+    let b16: Vec<F16> = p.rhs.iter().map(|&v| F16::from_f64(v)).collect();
+    let (w, h) = cfg.fabric;
+    let pol = policy();
+
+    // Fault-free ensemble baseline fixes the horizon and convergence point.
+    let mut multi = MultiFabric::new(w, h, k, HostLink::paper_default());
+    let solver = WaferBicgstabMulti::build(&mut multi, &a16);
+    let (_, stats, log) = solver.solve_with_recovery(&mut multi, &a16, &b16, cfg.iters, &pol);
+    let horizon = multi.cycle().max(1);
+    assert_eq!(
+        log.outcome,
+        RecoveryOutcome::Converged,
+        "ensemble baseline must converge ({} iters, rel {:.3e}); residuals: {:?}",
+        log.iterations,
+        log.final_rel_residual,
+        stats.residuals
+    );
+
+    let mut rows: Vec<(FaultKindClass, usize, Cell)> = Vec::new();
+    for kind in FaultKindClass::HOST_LINK {
+        for &count in &cfg.counts {
+            let mut cell = Cell::default();
+            for trial in 0..cfg.trials {
+                // Same per-cell seeding discipline as the on-wafer sweep.
+                let mut mix = SplitMix64::new(
+                    cfg.seed ^ (kind as u64) << 32 ^ (count as u64) << 16 ^ trial as u64,
+                );
+                let plan_seed = mix.next_u64();
+                run_multi_trial(cfg, k, &a16, &b16, plan_seed, count, kind, horizon, &mut cell);
+            }
+            rows.push((kind, count, cell));
+        }
+    }
+
+    if cfg.json {
+        print_multi_json(cfg, k, &log, horizon, &rows);
+    } else {
+        print_multi_table(cfg, k, &pol, &log, horizon, &rows);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_multi_trial(
+    cfg: &SweepConfig,
+    k: usize,
+    a16: &stencil::DiaMatrix<F16>,
+    b16: &[F16],
+    plan_seed: u64,
+    count: usize,
+    kind: FaultKindClass,
+    horizon: u64,
+    cell: &mut Cell,
+) {
+    let (w, h) = cfg.fabric;
+    let mut multi = MultiFabric::new(w, h, k, HostLink::paper_default());
+    let solver = WaferBicgstabMulti::build(&mut multi, a16);
+    let plan = FaultPlan::random_host_link(plan_seed, count, (horizon * 3 / 4).max(1), k, &[kind]);
+    multi.arm_faults(&plan);
+    let (_, _, log) = solver.solve_with_recovery(&mut multi, a16, b16, cfg.iters, &policy());
+    if log.outcome == RecoveryOutcome::Converged {
+        cell.converged += 1;
+    }
+    cell.applied += multi.fault_log().map_or(0, |l| l.applied.len() as u64);
+    cell.committed_iters += log.iterations;
+    cell.rollbacks += log.rollbacks;
+    cell.iterations_lost += log.iterations_lost;
+    cell.stalls += log.stalls;
+    cell.trips += log.tripwire_trips;
+    cell.false_conv += log.false_convergences;
+    cell.retransmits += multi.retransmits();
+    cell.link_downs += multi.link_down_records().len();
+}
+
+fn print_multi_table(
+    cfg: &SweepConfig,
+    k: usize,
+    pol: &RecoveryPolicy,
+    baseline: &RecoveryLog,
+    horizon: u64,
+    rows: &[(FaultKindClass, usize, Cell)],
+) {
+    let (w, h) = cfg.fabric;
+    println!(
+        "fault_sweep --multi {k}: hierarchical BiCGStab on {k}x {}x{h} wafers \
+         (global {w}x{h}), mesh {}x{}x{}, {} trials/cell, seed {}",
+        w / k,
+        cfg.mesh.nx,
+        cfg.mesh.ny,
+        cfg.mesh.nz,
+        cfg.trials,
+        cfg.seed
+    );
+    println!(
+        "policy: checkpoint every {} iters, {} retries, converge rel < {:.1e} \
+         (verified true rel < {:.1e}); paper-default host link, reliable transport",
+        pol.checkpoint_every, pol.max_retries, pol.tripwire.converged, pol.verify_rel
+    );
+    println!(
+        "baseline (fault-free): {:?} in {} iterations, rel {:.3e}, {} cycles",
+        baseline.outcome, baseline.iterations, baseline.final_rel_residual, horizon
+    );
+    println!();
+    println!(
+        "{:<18} {:>6} {:>7} {:>8} {:>9} {:>9} {:>10} {:>8} {:>9} {:>7} {:>8}",
+        "kind",
+        "faults",
+        "trials",
+        "success",
+        "avg_appl",
+        "avg_iter",
+        "avg_rollbk",
+        "retrans",
+        "link_down",
+        "stalls",
+        "false_cv"
+    );
+    let t = cfg.trials as f64;
+    for (kind, count, cell) in rows {
+        println!(
+            "{:<18} {:>6} {:>7} {:>8.2} {:>9.2} {:>9.2} {:>10.2} {:>8.2} {:>9.2} {:>7.2} {:>8.2}",
+            kind.label(),
+            count,
+            cfg.trials,
+            cell.converged as f64 / t,
+            cell.applied as f64 / t,
+            cell.committed_iters as f64 / t,
+            cell.rollbacks as f64 / t,
+            cell.retransmits as f64 / t,
+            cell.link_downs as f64 / t,
+            cell.stalls as f64 / t,
+            cell.false_conv as f64 / t,
+        );
+    }
+    println!();
+    println!(
+        "retrans = seam frames re-sent by the go-back-N transport; link_down = \
+         links whose retry budget exhausted (every one is named in the log)"
+    );
+}
+
+fn print_multi_json(
+    cfg: &SweepConfig,
+    k: usize,
+    baseline: &RecoveryLog,
+    horizon: u64,
+    rows: &[(FaultKindClass, usize, Cell)],
+) {
+    let (w, h) = cfg.fabric;
+    println!("{{");
+    println!(
+        "  \"config\": {{\"wafers\": {k}, \"fabric\": [{w}, {h}], \"mesh\": [{}, {}, {}], \
+         \"iters\": {}, \"trials\": {}, \"seed\": {}}},",
+        cfg.mesh.nx, cfg.mesh.ny, cfg.mesh.nz, cfg.iters, cfg.trials, cfg.seed
+    );
+    println!(
+        "  \"baseline\": {{\"outcome\": \"{:?}\", \"iterations\": {}, \
+         \"rel_residual\": {:.6e}, \"cycles\": {horizon}}},",
+        baseline.outcome, baseline.iterations, baseline.final_rel_residual
+    );
+    println!("  \"cells\": [");
+    for (i, (kind, count, cell)) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        println!(
+            "    {{\"kind\": \"{}\", \"faults\": {count}, \"trials\": {}, \
+             \"converged\": {}, \"applied\": {}, \"committed_iters\": {}, \
+             \"rollbacks\": {}, \"retransmits\": {}, \"link_downs\": {}, \
+             \"stalls\": {}, \"false_convergences\": {}}}{comma}",
+            kind.label(),
+            cfg.trials,
+            cell.converged,
+            cell.applied,
+            cell.committed_iters,
+            cell.rollbacks,
+            cell.retransmits,
+            cell.link_downs,
+            cell.stalls,
+            cell.false_conv,
+        );
+    }
+    println!("  ]");
+    println!("}}");
 }

@@ -38,8 +38,9 @@ use stencil::problem::manufactured;
 use stencil::DiaMatrix;
 use wse_arch::{Fabric, FabricTrace, TraceConfig};
 use wse_core::bicgstab::IterCycles;
-use wse_core::WaferBicgstab;
+use wse_core::{build_transparent, WaferBicgstab};
 use wse_float::F16;
+use wse_multi::HostLink;
 use wse_trace::{
     cross_validate, export_trace_json, stall_breakdown, utilization_ascii, validate_trace_json,
     PhaseReport,
@@ -220,6 +221,39 @@ fn run(cfg: &Config, out: Option<&str>) {
         "cycle identity: {sanitized_cycles} cycles with runtime sanitizer armed \
          ({} race trips)",
         sanitizer.total_trips()
+    );
+
+    // Reliable-transport run: the same program split across a k=2
+    // ensemble must land on the same cycle count whether the seam
+    // transport is disarmed (trusted link) or armed with no faults —
+    // frame headers and acks are control-plane metadata, so reliability
+    // costs nothing until a fault actually fires.
+    let p = manufactured(Mesh3D::new(vw, vh, vz), (1.0, -0.5, 0.5), 3).preconditioned();
+    let a16: DiaMatrix<F16> = p.matrix.convert();
+    let b16: Vec<F16> = p.rhs.iter().map(|&v| F16::from_f64(v)).collect();
+    let split_run = |armed: bool| {
+        let (solver, mut multi) = build_transparent(&a16, 2, HostLink::paper_default());
+        if armed {
+            multi.arm_transport();
+        }
+        solver.load_rhs(&mut multi, &b16);
+        let start = multi.cycle();
+        for _ in 0..cfg.iters {
+            solver.iterate(&mut multi);
+        }
+        (multi.cycle() - start, multi.retransmits())
+    };
+    let (plain_cycles, _) = split_run(false);
+    let (framed_cycles, retransmits) = split_run(true);
+    assert_eq!(
+        plain_cycles, framed_cycles,
+        "reliable transport perturbed the fault-free split: {plain_cycles} cycles \
+         disarmed vs {framed_cycles} armed"
+    );
+    assert_eq!(retransmits, 0, "a healthy link must never retransmit");
+    println!(
+        "cycle identity: {framed_cycles} cycles armed and disarmed transport \
+         (k=2 transparent split, 0 retransmits)"
     );
     eprintln!(
         "wall: disarmed {disarmed_wall:.3}s, armed {armed_wall:.3}s \

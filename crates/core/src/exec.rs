@@ -11,6 +11,7 @@
 //! split execution is bit-for-bit identical to the fused fabric, which is
 //! the cross-validation backbone of the multi-wafer runtime.
 
+use crate::recovery::{EnsembleCheckpoint, FabricCheckpoint};
 use wse_arch::fabric::StallReport;
 use wse_arch::types::{Reg, TaskId};
 use wse_arch::Fabric;
@@ -19,7 +20,16 @@ use wse_multi::MultiFabric;
 
 /// A machine the phase-driven solvers can run on: a single wafer or a
 /// linked multi-wafer ensemble addressed by global tile coordinates.
+///
+/// Beyond the data-movement surface, the trait carries the recovery
+/// surface the checkpoint/rollback engine
+/// ([`crate::recovery::run_with_recovery`]) needs: snapshot, restore,
+/// transient reset, and trace markers — so the same engine drives a
+/// single wafer or a whole ensemble.
 pub trait WaferExec {
+    /// Host-side snapshot of the solver-mutable machine state.
+    type Checkpoint;
+
     /// Global tile-grid dimensions `(width, height)`.
     fn dims(&self) -> (usize, usize);
     /// Activates a task on tile `(x, y)` (global coordinates).
@@ -44,9 +54,23 @@ pub trait WaferExec {
     fn set_reg(&mut self, x: usize, y: usize, reg: Reg, value: f32);
     /// Reads a core register on tile `(x, y)`.
     fn reg(&self, x: usize, y: usize, reg: Reg) -> f32;
+    /// Snapshots the solver-mutable state. Call only at a quiescent
+    /// boundary (deferred idle accounting is settled first, so the
+    /// capture is bit-exact under the activity-driven stepper).
+    fn checkpoint(&mut self) -> Self::Checkpoint;
+    /// Rolls back to a snapshot, discarding whatever a fault left in
+    /// flight.
+    fn restore_checkpoint(&mut self, ckpt: &Self::Checkpoint);
+    /// Clears transient execution state so a retry starts from a clean
+    /// machine (programs, SRAM, and clocks survive).
+    fn reset_transient(&mut self);
+    /// Drops a zero-length trace marker (no-op when untraced).
+    fn phase_marker(&mut self, name: &'static str);
 }
 
 impl WaferExec for Fabric {
+    type Checkpoint = FabricCheckpoint;
+
     fn dims(&self) -> (usize, usize) {
         (self.width(), self.height())
     }
@@ -82,6 +106,22 @@ impl WaferExec for Fabric {
     fn reg(&self, x: usize, y: usize, reg: Reg) -> f32 {
         self.tile(x, y).core.regs[reg]
     }
+
+    fn checkpoint(&mut self) -> FabricCheckpoint {
+        FabricCheckpoint::capture(self)
+    }
+
+    fn restore_checkpoint(&mut self, ckpt: &FabricCheckpoint) {
+        ckpt.restore(self);
+    }
+
+    fn reset_transient(&mut self) {
+        Fabric::reset_transient(self);
+    }
+
+    fn phase_marker(&mut self, name: &'static str) {
+        Fabric::phase_marker(self, name);
+    }
 }
 
 /// Global-coordinate execution over a wafer ensemble. Phases run in
@@ -89,6 +129,8 @@ impl WaferExec for Fabric {
 /// cross wafer seams through the declared edge channels — with
 /// [`wse_multi::HostLink::ideal`] this is bit-for-bit the fused fabric.
 impl WaferExec for MultiFabric {
+    type Checkpoint = EnsembleCheckpoint;
+
     fn dims(&self) -> (usize, usize) {
         (self.global_width(), self.height())
     }
@@ -128,5 +170,21 @@ impl WaferExec for MultiFabric {
     fn reg(&self, x: usize, y: usize, reg: Reg) -> f32 {
         let (m, lx) = self.to_local(x);
         self.shard(m).tile(lx, y).core.regs[reg]
+    }
+
+    fn checkpoint(&mut self) -> EnsembleCheckpoint {
+        EnsembleCheckpoint::capture(self)
+    }
+
+    fn restore_checkpoint(&mut self, ckpt: &EnsembleCheckpoint) {
+        ckpt.restore(self);
+    }
+
+    fn reset_transient(&mut self) {
+        MultiFabric::reset_transient(self);
+    }
+
+    fn phase_marker(&mut self, name: &'static str) {
+        MultiFabric::phase_marker(self, name);
     }
 }

@@ -37,8 +37,8 @@ pub use bicgstab::WaferBicgstab;
 pub use exec::WaferExec;
 pub use multi::{build_transparent, MultiIterCycles, MultiSolveStats, WaferBicgstabMulti};
 pub use recovery::{
-    FabricCheckpoint, RecoveryLog, RecoveryOutcome, RecoveryPolicy, ResidualTripwire,
-    TripwireVerdict,
+    EnsembleCheckpoint, FabricCheckpoint, RecoveryLog, RecoveryOutcome, RecoveryPolicy,
+    ResidualTripwire, TripwireVerdict,
 };
 pub use spmv3d::WaferSpmv;
 

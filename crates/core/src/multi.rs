@@ -43,7 +43,9 @@ use crate::bicgstab::{
     alloc_solver_vecs, build_scalar_tasks, regs, IterCycles, ScalarTasks, TileVecs,
 };
 use crate::exec::WaferExec;
-use crate::recovery::{self, ResidualTripwire};
+use crate::recovery::{
+    self, run_with_recovery, RecoveryLog, RecoveryOutcome, RecoveryPolicy, ResidualTripwire,
+};
 use crate::routing::configure_spmv_routes;
 use crate::spmv3d::{
     build_spmv_tile_halo, load_coefficients, tile_coefficients, HaloBuffers, SpmvLayout, SpmvTasks,
@@ -311,6 +313,12 @@ impl WaferBicgstabMulti {
         multi.phase_begin("halo");
         let r = multi.run_linked(budget, recovery::STALL_WINDOW);
         multi.phase_end();
+        if r.is_err() {
+            // The exchange wedged (link down, or a stall outlasting the
+            // watchdog): stamp the timeline so the recovery engine's
+            // re-run of this halo is visible in traces.
+            multi.phase_marker("halo_retry");
+        }
         r
     }
 
@@ -522,6 +530,60 @@ impl WaferBicgstabMulti {
             }
         }
         (self.read_x(multi), stats)
+    }
+
+    /// Like [`WaferBicgstabMulti::solve`], but runs under the
+    /// checkpoint/rollback recovery engine so the ensemble solve survives
+    /// injected faults — including host-link faults armed on the
+    /// [`MultiFabric`]: a dropped or corrupted seam frame is usually
+    /// masked by the reliable transport's retransmission, a dead link or
+    /// a dark stall trips the watchdog and rolls the whole ensemble back
+    /// to the last [`crate::recovery::EnsembleCheckpoint`], and
+    /// `Converged` claims are verified against `a`'s f64 true residual
+    /// before being believed. Any [`wse_multi::LinkDown`] declarations
+    /// made along the way are appended to the returned log's event trail,
+    /// so exhausted links are reported structurally, never silently.
+    pub fn solve_with_recovery(
+        &self,
+        multi: &mut MultiFabric,
+        a: &DiaMatrix<F16>,
+        b: &[F16],
+        iters: usize,
+        policy: &RecoveryPolicy,
+    ) -> (Vec<F16>, MultiSolveStats, RecoveryLog) {
+        let norm_b = {
+            let s: f64 = b.iter().map(|v| v.to_f64() * v.to_f64()).sum();
+            s.sqrt()
+        };
+        let mut stats = MultiSolveStats::default();
+        if norm_b == 0.0 {
+            let log = RecoveryLog { outcome: RecoveryOutcome::Converged, ..RecoveryLog::default() };
+            return (vec![F16::ZERO; b.len()], stats, log);
+        }
+        let mut log = run_with_recovery(
+            multi,
+            iters,
+            policy,
+            |m| self.try_load_rhs(m, b),
+            |m, i| {
+                // Re-entered with a rolled-back index after recovery: drop
+                // the records of the discarded iterations.
+                stats.iterations.truncate(i);
+                stats.residuals.truncate(i);
+                let c = self.try_iterate(m)?;
+                let rel = self.try_residual_norm(m)? as f64 / norm_b;
+                stats.iterations.push(c);
+                stats.residuals.push(rel);
+                Ok(rel)
+            },
+            |m| recovery::true_rel_residual(a, &self.read_x(m), b),
+        );
+        for down in multi.link_down_records() {
+            log.events.push(down.describe());
+        }
+        stats.iterations.truncate(log.iterations);
+        stats.residuals.truncate(log.iterations);
+        (self.read_x(multi), stats, log)
     }
 }
 

@@ -31,11 +31,13 @@
 //! check in place, a fault can cost iterations or retries, but never a silent
 //! wrong answer.
 
+use crate::exec::WaferExec;
 use stencil::dia::DiaMatrix;
 use wse_arch::fabric::StallReport;
 use wse_arch::types::NUM_REGS;
 use wse_arch::{Fabric, SchedSnapshot};
 use wse_float::F16;
+use wse_multi::MultiFabric;
 
 /// Stall-watchdog window (cycles of zero fabric-wide progress) used by the
 /// drivers' fallible phase runners. The simulator is deterministic and
@@ -227,7 +229,14 @@ pub struct FabricCheckpoint {
 
 impl FabricCheckpoint {
     /// Snapshots the fabric. Call only at a quiescent boundary.
-    pub fn capture(fabric: &Fabric) -> FabricCheckpoint {
+    ///
+    /// The activity-driven stepper defers per-tile idle accounting, so the
+    /// capture first settles that debt (exactly as [`Fabric::arm_trace`]
+    /// does) — otherwise two captures of the same logical state could
+    /// disagree on perf counters, and a restore would not be bit-identical
+    /// under the optimized stepper.
+    pub fn capture(fabric: &mut Fabric) -> FabricCheckpoint {
+        fabric.settle_idle();
         let (w, h) = (fabric.width(), fabric.height());
         let mut tiles = Vec::with_capacity(w * h);
         for y in 0..h {
@@ -272,6 +281,51 @@ impl FabricCheckpoint {
     }
 }
 
+/// Coordinated snapshot of a whole `k`-wafer ensemble: one
+/// [`FabricCheckpoint`] per wafer, captured together at an ensemble
+/// quiescent point. The host-combine state of the hierarchical AllReduce
+/// needs no separate capture — it lives in the root tiles' registers,
+/// which the per-wafer snapshots already hold; nothing may be in flight
+/// on the seams at capture time (asserted).
+#[derive(Clone, Debug)]
+pub struct EnsembleCheckpoint {
+    shards: Vec<FabricCheckpoint>,
+}
+
+impl EnsembleCheckpoint {
+    /// Snapshots every wafer. Call only at an ensemble quiescent boundary
+    /// (nothing queued on or in flight across any seam).
+    ///
+    /// # Panics
+    /// Panics if the ensemble is not quiescent.
+    pub fn capture(multi: &mut MultiFabric) -> EnsembleCheckpoint {
+        assert!(
+            multi.is_quiescent(),
+            "ensemble checkpoint requires quiescence (seam traffic in flight)"
+        );
+        let shards =
+            (0..multi.k()).map(|m| FabricCheckpoint::capture(multi.shard_mut(m))).collect();
+        EnsembleCheckpoint { shards }
+    }
+
+    /// Rolls the whole ensemble back: clears seam and reliable-transport
+    /// transients ([`MultiFabric::reset_transient`] — both ends of every
+    /// link restart their sequence space, down flags clear), then restores
+    /// every wafer.
+    pub fn restore(&self, multi: &mut MultiFabric) {
+        assert_eq!(self.shards.len(), multi.k(), "checkpoint/ensemble shape mismatch");
+        multi.reset_transient();
+        for (m, ckpt) in self.shards.iter().enumerate() {
+            ckpt.restore(multi.shard_mut(m));
+        }
+    }
+
+    /// Total snapshot payload in bytes across all wafers.
+    pub fn bytes(&self) -> usize {
+        self.shards.iter().map(FabricCheckpoint::bytes).sum()
+    }
+}
+
 /// The f64 reference residual ‖b − A x‖₂ / ‖b‖₂ (or the absolute norm when
 /// `b = 0`). This is the ground truth the recovery engine verifies
 /// `Converged` verdicts against — it reads the iterate itself, so it catches
@@ -296,9 +350,13 @@ pub fn true_rel_residual(a: &DiaMatrix<F16>, x: &[F16], b: &[F16]) -> f64 {
 
 /// Runs a solver iteration loop under checkpoint/rollback recovery.
 ///
-/// * `init` loads the problem onto a (possibly faulty) fabric; a stall here
-///   is retried from a [`Fabric::reset_transient`] machine.
-/// * `step(fabric, i)` runs committed iteration `i` and returns the
+/// Generic over [`WaferExec`], so the same engine recovers a single-wafer
+/// solve (checkpointing one [`Fabric`]) or a multi-wafer ensemble solve
+/// (checkpointing all `k` wafers together via [`EnsembleCheckpoint`]).
+///
+/// * `init` loads the problem onto a (possibly faulty) machine; a stall
+///   here is retried from a [`WaferExec::reset_transient`] machine.
+/// * `step(exec, i)` runs committed iteration `i` and returns the
 ///   relative (recursive) residual. After a rollback it is re-invoked with
 ///   the rolled-back index — implementations owning per-iteration records
 ///   must truncate them to `i` on entry.
@@ -308,14 +366,15 @@ pub fn true_rel_residual(a: &DiaMatrix<F16>, x: &[F16], b: &[F16]) -> f64 {
 /// Rollbacks across the whole solve (including `init` retries) are capped
 /// at `policy.max_retries`, so the engine always terminates: worst case is
 /// `max_iters` committed steps plus `max_retries` replayed segments.
-pub fn run_with_recovery(
-    fabric: &mut Fabric,
+pub fn run_with_recovery<E: WaferExec>(
+    exec: &mut E,
     max_iters: usize,
     policy: &RecoveryPolicy,
-    mut init: impl FnMut(&mut Fabric) -> Result<(), Box<StallReport>>,
-    mut step: impl FnMut(&mut Fabric, usize) -> Result<f64, Box<StallReport>>,
-    mut verify: impl FnMut(&Fabric) -> f64,
+    mut init: impl FnMut(&mut E) -> Result<(), Box<StallReport>>,
+    mut step: impl FnMut(&mut E, usize) -> Result<f64, Box<StallReport>>,
+    mut verify: impl FnMut(&E) -> f64,
 ) -> RecoveryLog {
+    let fabric = exec;
     let mut log = RecoveryLog::default();
     loop {
         match init(fabric) {
@@ -333,7 +392,7 @@ pub fn run_with_recovery(
         }
     }
 
-    let mut ckpt = FabricCheckpoint::capture(fabric);
+    let mut ckpt = fabric.checkpoint();
     let mut ckpt_iter = 0usize;
     log.checkpoints_taken = 1;
     fabric.phase_marker("checkpoint");
@@ -380,7 +439,7 @@ pub fn run_with_recovery(
                     && it.is_multiple_of(policy.checkpoint_every)
                     && it < max_iters
                 {
-                    ckpt = FabricCheckpoint::capture(fabric);
+                    ckpt = fabric.checkpoint();
                     ckpt_iter = it;
                     log.checkpoints_taken += 1;
                     fabric.phase_marker("checkpoint");
@@ -396,7 +455,7 @@ pub fn run_with_recovery(
                 log.rollbacks += 1;
                 log.iterations_lost += it - ckpt_iter;
                 it = ckpt_iter;
-                ckpt.restore(fabric);
+                fabric.restore_checkpoint(&ckpt);
                 fabric.phase_marker("rollback");
             }
         }
@@ -488,7 +547,7 @@ mod tests {
         let vals: Vec<F16> = (0..4).map(|i| F16::from_f64(i as f64 + 0.5)).collect();
         fabric.tile_mut(1, 1).mem.store_f16_slice(addr, &vals);
         fabric.tile_mut(0, 1).core.regs[7] = 42.0;
-        let ckpt = FabricCheckpoint::capture(&fabric);
+        let ckpt = FabricCheckpoint::capture(&mut fabric);
         assert!(ckpt.bytes() > 0);
         // Corrupt both, then restore.
         fabric.tile_mut(1, 1).mem.flip_bit(addr, 14);

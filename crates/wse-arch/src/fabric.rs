@@ -488,6 +488,11 @@ impl Fabric {
                     assert!(bit < 32, "payload bit {bit} out of range");
                     (x, y)
                 }
+                host => panic!(
+                    "{} targets the host interconnect: arm it on the MultiFabric \
+                     (wse-multi), not on a single wafer",
+                    host.label()
+                ),
             };
             assert!(x < self.w && y < self.h, "fault targets tile ({x},{y}) outside fabric");
         }
@@ -999,6 +1004,17 @@ impl Fabric {
         }
     }
 
+    /// Settles every live tile's deferred idle debt up to the current cycle.
+    ///
+    /// The activity-driven stepper defers per-tile idle accounting; any
+    /// observer that reads per-core counters directly (checkpoint capture,
+    /// external snapshots) must settle first, exactly as [`Fabric::arm_trace`]
+    /// and [`Fabric::perf`] do internally. Idempotent and cheap when there is
+    /// no outstanding debt.
+    pub fn settle_idle(&mut self) {
+        self.settle_all();
+    }
+
     /// Rebuilds the busy flags and active list from a full scan (reference
     /// stepping and transient resets — paths where incremental maintenance
     /// was bypassed).
@@ -1069,6 +1085,8 @@ impl Fabric {
                     fs.pending_links.push((y * w + x, port, None));
                     mark(y * w + x);
                 }
+                // Host-level kinds are rejected by `arm_faults`.
+                host => unreachable!("{} cannot reach a single fabric", host.label()),
             }
             fs.log.applied.push(FaultRecord { cycle, kind: ev.kind });
         }

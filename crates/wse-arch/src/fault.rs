@@ -20,6 +20,20 @@
 //! * **Link corrupt / link drop** — a one-shot transmission error: the next
 //!   flit leaving the chosen port is bit-flipped or silently lost.
 //!
+//! A second family targets the *ensemble* plane — the host interconnect
+//! that stitches wafers into a `MultiFabric` (wse-multi). These faults are
+//! armed on the ensemble, not on a single [`Fabric`] (arming one there
+//! panics — a lone wafer has no host links):
+//!
+//! * **Host-link drop / corrupt** — a one-shot wire error on the next frame
+//!   crossing one seam in one direction. The reliable transport detects
+//!   both (checksum + sequence gap) and retransmits.
+//! * **Host-link stall** — one seam goes dark for a bounded window in both
+//!   directions: frames and acks in transit are held, new traffic queues.
+//! * **Wafer stall** — one wafer drops off the host fabric for a window:
+//!   every seam touching it goes dark, modeling a host-visible machine
+//!   pause (PCIe hiccup, driver reset).
+//!
 //! [`Fabric::step`]: crate::fabric::Fabric::step
 //! [`Fabric`]: crate::fabric::Fabric
 
@@ -81,6 +95,44 @@ pub enum FaultKind {
         /// The output port whose next flit is lost.
         port: Port,
     },
+    /// Drop the next frame crossing host-link seam `seam` in direction
+    /// `dir` (0 = eastward, 1 = westward). One-shot; ensemble-level.
+    HostLinkDrop {
+        /// Seam index (between wafer `seam` and `seam + 1`).
+        seam: usize,
+        /// Direction: 0 = eastward, 1 = westward.
+        dir: u8,
+    },
+    /// Corrupt the next frame crossing host-link seam `seam` in direction
+    /// `dir` by XORing one payload bit (the frame checksum is computed
+    /// before the wire, so the receiver detects the damage). One-shot;
+    /// ensemble-level.
+    HostLinkCorrupt {
+        /// Seam index.
+        seam: usize,
+        /// Direction: 0 = eastward, 1 = westward.
+        dir: u8,
+        /// Payload bit to flip, `0..32`.
+        bit: u8,
+    },
+    /// Seam `seam` goes dark for `cycles` ensemble cycles in both
+    /// directions: nothing in flight is delivered and acks are held.
+    /// Bounded-window; ensemble-level.
+    HostLinkStall {
+        /// Seam index.
+        seam: usize,
+        /// Length of the dark window in ensemble cycles.
+        cycles: u64,
+    },
+    /// Wafer `wafer` drops off the host fabric for `cycles` ensemble
+    /// cycles: every seam touching it goes dark (a host-visible machine
+    /// pause). Bounded-window; ensemble-level.
+    WaferStall {
+        /// Wafer index within the ensemble.
+        wafer: usize,
+        /// Length of the pause in ensemble cycles.
+        cycles: u64,
+    },
 }
 
 impl FaultKind {
@@ -92,6 +144,10 @@ impl FaultKind {
             FaultKind::StuckPort { .. } => "stuck_port",
             FaultKind::LinkCorrupt { .. } => "link_corrupt",
             FaultKind::LinkDrop { .. } => "link_drop",
+            FaultKind::HostLinkDrop { .. } => "host_link_drop",
+            FaultKind::HostLinkCorrupt { .. } => "host_link_corrupt",
+            FaultKind::HostLinkStall { .. } => "host_link_stall",
+            FaultKind::WaferStall { .. } => "wafer_stall",
         }
     }
 
@@ -99,6 +155,18 @@ impl FaultKind {
     /// mask them; the solve is expected to exhaust its retry budget).
     pub fn is_permanent(&self) -> bool {
         matches!(self, FaultKind::TileKill { .. } | FaultKind::StuckPort { .. })
+    }
+
+    /// `true` for faults targeting the ensemble plane (host links between
+    /// wafers). These arm on a `MultiFabric`, never on a single fabric.
+    pub fn is_host_level(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::HostLinkDrop { .. }
+                | FaultKind::HostLinkCorrupt { .. }
+                | FaultKind::HostLinkStall { .. }
+                | FaultKind::WaferStall { .. }
+        )
     }
 }
 
@@ -163,6 +231,10 @@ impl FaultPlan {
     /// `sram_words` bounds the byte addresses bit flips may target (pass the
     /// portion of SRAM actually holding data so flips land where they
     /// matter). The same arguments always produce the same plan.
+    ///
+    /// # Panics
+    /// Panics if `kind_pool` contains an ensemble-level class (those draw
+    /// seam/wafer coordinates — use [`FaultPlan::random_host_link`]).
     pub fn random(
         seed: u64,
         n: usize,
@@ -195,6 +267,58 @@ impl FaultPlan {
                     FaultKind::LinkCorrupt { x, y, port, bit: rng.below(16) as u8 }
                 }
                 FaultKindClass::LinkDrop => FaultKind::LinkDrop { x, y, port },
+                FaultKindClass::HostLinkDrop
+                | FaultKindClass::HostLinkCorrupt
+                | FaultKindClass::HostLinkStall
+                | FaultKindClass::WaferStall => {
+                    panic!(
+                        "ensemble-level class {class:?} in an on-wafer pool (use random_host_link)"
+                    )
+                }
+            };
+            plan.push(at_cycle, kind);
+        }
+        plan
+    }
+
+    /// Draws `n` ensemble-level faults of `kind_pool` classes uniformly
+    /// over `0..horizon` cycles on a `k`-wafer ensemble, deterministically
+    /// from `seed`. Seam indices land in `0..k-1`, wafer indices in
+    /// `0..k`, and stall windows in `64..1088` cycles — short enough that
+    /// the reliable transport usually rides them out, long enough that
+    /// some trip the ensemble watchdog and exercise rollback.
+    ///
+    /// # Panics
+    /// Panics if `k < 2` (no seams), the pool is empty, or the pool
+    /// contains an on-wafer class.
+    pub fn random_host_link(
+        seed: u64,
+        n: usize,
+        horizon: u64,
+        k: usize,
+        kind_pool: &[FaultKindClass],
+    ) -> FaultPlan {
+        assert!(k >= 2, "host-link faults need at least 2 wafers, got {k}");
+        assert!(!kind_pool.is_empty(), "empty fault kind pool");
+        let mut rng = SplitMix64::new(seed);
+        let mut plan = FaultPlan::new();
+        for _ in 0..n {
+            let at_cycle = rng.below(horizon.max(1));
+            let seam = rng.below(k as u64 - 1) as usize;
+            let dir = rng.below(2) as u8;
+            let kind = match kind_pool[rng.below(kind_pool.len() as u64) as usize] {
+                FaultKindClass::HostLinkDrop => FaultKind::HostLinkDrop { seam, dir },
+                FaultKindClass::HostLinkCorrupt => {
+                    FaultKind::HostLinkCorrupt { seam, dir, bit: rng.below(16) as u8 }
+                }
+                FaultKindClass::HostLinkStall => {
+                    FaultKind::HostLinkStall { seam, cycles: 64 + rng.below(1024) }
+                }
+                FaultKindClass::WaferStall => FaultKind::WaferStall {
+                    wafer: rng.below(k as u64) as usize,
+                    cycles: 64 + rng.below(1024),
+                },
+                class => panic!("on-wafer class {class:?} in a host-link pool (use random)"),
             };
             plan.push(at_cycle, kind);
         }
@@ -216,16 +340,36 @@ pub enum FaultKindClass {
     LinkCorrupt,
     /// See [`FaultKind::LinkDrop`].
     LinkDrop,
+    /// See [`FaultKind::HostLinkDrop`].
+    HostLinkDrop,
+    /// See [`FaultKind::HostLinkCorrupt`].
+    HostLinkCorrupt,
+    /// See [`FaultKind::HostLinkStall`].
+    HostLinkStall,
+    /// See [`FaultKind::WaferStall`].
+    WaferStall,
 }
 
 impl FaultKindClass {
-    /// All classes, in a stable order (sweep axes iterate this).
+    /// All **on-wafer** classes, in a stable order (single-wafer sweep axes
+    /// iterate this; the name predates the ensemble-level classes, which
+    /// live in [`FaultKindClass::HOST_LINK`] so existing sweep output is
+    /// unchanged).
     pub const ALL: [FaultKindClass; 5] = [
         FaultKindClass::SramBitFlip,
         FaultKindClass::TileKill,
         FaultKindClass::StuckPort,
         FaultKindClass::LinkCorrupt,
         FaultKindClass::LinkDrop,
+    ];
+
+    /// All ensemble-level classes, in a stable order (multi-wafer sweep
+    /// axes iterate this).
+    pub const HOST_LINK: [FaultKindClass; 4] = [
+        FaultKindClass::HostLinkDrop,
+        FaultKindClass::HostLinkCorrupt,
+        FaultKindClass::HostLinkStall,
+        FaultKindClass::WaferStall,
     ];
 
     /// Short stable label (matches [`FaultKind::label`]).
@@ -236,6 +380,10 @@ impl FaultKindClass {
             FaultKindClass::StuckPort => "stuck_port",
             FaultKindClass::LinkCorrupt => "link_corrupt",
             FaultKindClass::LinkDrop => "link_drop",
+            FaultKindClass::HostLinkDrop => "host_link_drop",
+            FaultKindClass::HostLinkCorrupt => "host_link_corrupt",
+            FaultKindClass::HostLinkStall => "host_link_stall",
+            FaultKindClass::WaferStall => "wafer_stall",
         }
     }
 }
@@ -337,8 +485,42 @@ mod tests {
                     assert!(x < 3 && y < 2);
                     assert_ne!(port, Port::Ramp, "random link faults target cardinal ports");
                 }
+                host => panic!("on-wafer pool drew ensemble-level fault {host:?}"),
             }
         }
+    }
+
+    #[test]
+    fn random_host_link_plan_respects_bounds_and_reproduces() {
+        let k = 4;
+        let a = FaultPlan::random_host_link(99, 32, 5000, k, &FaultKindClass::HOST_LINK);
+        let b = FaultPlan::random_host_link(99, 32, 5000, k, &FaultKindClass::HOST_LINK);
+        assert_eq!(a.events(), b.events());
+        for ev in a.events() {
+            assert!(ev.at_cycle < 5000);
+            assert!(ev.kind.is_host_level());
+            match ev.kind {
+                FaultKind::HostLinkDrop { seam, dir } => {
+                    assert!(seam < k - 1 && dir < 2);
+                }
+                FaultKind::HostLinkCorrupt { seam, dir, bit } => {
+                    assert!(seam < k - 1 && dir < 2 && bit < 16);
+                }
+                FaultKind::HostLinkStall { seam, cycles } => {
+                    assert!(seam < k - 1 && (64..1088).contains(&cycles));
+                }
+                FaultKind::WaferStall { wafer, cycles } => {
+                    assert!(wafer < k && (64..1088).contains(&cycles));
+                }
+                wafer_local => panic!("host-link pool drew on-wafer fault {wafer_local:?}"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ensemble-level class")]
+    fn on_wafer_pool_rejects_host_link_classes() {
+        let _ = FaultPlan::random(1, 1, 100, 2, 2, 16, &[FaultKindClass::HostLinkDrop]);
     }
 
     #[test]
@@ -348,5 +530,10 @@ mod tests {
         assert!(FaultKind::TileKill { x: 0, y: 0 }.is_permanent());
         assert!(FaultKind::StuckPort { x: 0, y: 0, port: Port::East }.is_permanent());
         assert!(!FaultKind::SramBitFlip { x: 0, y: 0, addr: 0, bit: 0 }.is_permanent());
+        assert_eq!(FaultKind::HostLinkDrop { seam: 0, dir: 0 }.label(), "host_link_drop");
+        assert_eq!(FaultKindClass::WaferStall.label(), "wafer_stall");
+        assert!(FaultKind::WaferStall { wafer: 0, cycles: 64 }.is_host_level());
+        assert!(!FaultKind::WaferStall { wafer: 0, cycles: 64 }.is_permanent());
+        assert!(!FaultKind::LinkDrop { x: 0, y: 0, port: Port::East }.is_host_level());
     }
 }

@@ -29,13 +29,31 @@
 //!   host interconnect that carries fp16 halo planes between neighbor
 //!   wafers and the top level of the hierarchical AllReduce.
 
+//!
+//! A third concern rides on top of both: **reliable transport**
+//! ([`MultiFabric::arm_transport`] / [`MultiFabric::arm_faults`]). When
+//! armed, seam traffic is framed with sequence numbers and checksums,
+//! acked, and retransmitted on timeout, so injected host-link faults
+//! ([`FaultKind::HostLinkDrop`] and friends) are detected and masked —
+//! or surfaced as a structured [`LinkDown`] when the retry budget
+//! exhausts. Disarmed, the ensemble pays one pointer test per step and
+//! is bit-identical to the baseline path.
+//!
+//! [`FaultKind::HostLinkDrop`]: wse_arch::fault::FaultKind::HostLinkDrop
+
 #![warn(missing_docs)]
 
+pub mod transport;
+
+use crate::transport::{frame_checksum, Frame, TransportState};
 use rayon::prelude::*;
 use std::collections::VecDeque;
 use stencil::decomp::split_even;
 use wse_arch::fabric::{Fabric, StallReport};
+use wse_arch::fault::{FaultKind, FaultLog, FaultPlan, FaultRecord};
 use wse_arch::types::{Color, Flit, Port};
+
+pub use crate::transport::{LinkDown, LinkStats, ACK_SLACK, MAX_BACKOFF_DOUBLINGS, RETRY_BUDGET};
 
 /// Host interconnect model between neighboring wafers, in units of the
 /// wafer clock (the simulator's cycle).
@@ -130,6 +148,9 @@ pub struct MultiFabric {
     /// Flits injected into ingress queues so far — counted as ensemble
     /// progress so a long-latency link never trips the stall watchdog.
     injected: u64,
+    /// Reliable-transport state; `None` (the common case) costs one
+    /// pointer test per step, mirroring trace/sanitizer arming.
+    transport: Option<Box<TransportState>>,
 }
 
 impl MultiFabric {
@@ -154,6 +175,7 @@ impl MultiFabric {
             in_flight: Vec::new(),
             link_ready: vec![[0.0; 2]; k.saturating_sub(1)],
             injected: 0,
+            transport: None,
         }
     }
 
@@ -354,16 +376,27 @@ impl MultiFabric {
     }
 
     /// Sum of per-wafer progress counters plus cross-link deliveries —
-    /// the ensemble stall watchdog's progress measure.
+    /// the ensemble stall watchdog's progress measure. With the reliable
+    /// transport armed, retransmission attempts count too: the watchdog
+    /// holds off while the transport is still retrying and fires once it
+    /// has declared the link down (or a stall outlasts the window).
     pub fn total_progress(&self) -> u64 {
-        self.shards.iter().map(Fabric::progress).sum::<u64>() + self.injected
+        self.shards.iter().map(Fabric::progress).sum::<u64>()
+            + self.injected
+            + self.transport.as_ref().map_or(0, |t| t.activity)
     }
 
     /// `true` when every wafer is quiescent and nothing is queued on or
-    /// in flight across any seam.
+    /// in flight across any seam. With the reliable transport armed,
+    /// undelivered frames on the wire or held at the receiver also count
+    /// as pending work (unacked-but-delivered frames do not: acks are
+    /// control plane and never carry payload).
     pub fn is_quiescent(&self) -> bool {
         self.shards.iter().all(Fabric::is_quiescent)
             && self.in_flight.iter().all(VecDeque::is_empty)
+            && self.transport.as_ref().is_none_or(|t| {
+                t.channels.iter().all(|ch| ch.wire.is_empty() && ch.rx_hold.is_empty())
+            })
             && self
                 .channels
                 .iter()
@@ -384,12 +417,171 @@ impl MultiFabric {
         }
     }
 
+    /// Drops a zero-length phase marker on every traced wafer (no-op for
+    /// untraced ones) — recovery actions (`checkpoint`, `rollback`,
+    /// `halo_retry`) stamp the ensemble timeline through this.
+    pub fn phase_marker(&mut self, name: &'static str) {
+        for f in &mut self.shards {
+            f.phase_marker(name);
+        }
+    }
+
     /// Advances every wafer's clock by `cycles` without stepping
     /// (host-side dead time, e.g. the top level of the hierarchical
     /// AllReduce). Requires ensemble quiescence.
     pub fn advance_idle(&mut self, cycles: u64) {
         for f in &mut self.shards {
             f.advance_idle(cycles);
+        }
+    }
+
+    /// Arms the reliable seam transport with a schedule of ensemble-level
+    /// faults (see [`FaultPlan::random_host_link`]). Framing, acks, and
+    /// retransmission activate for all seam traffic; the scheduled faults
+    /// fire at their cycles. With an empty plan this is
+    /// [`MultiFabric::arm_transport`].
+    ///
+    /// # Panics
+    /// Panics if the plan contains an on-wafer fault kind (arm those on
+    /// the target shard via [`MultiFabric::shard_mut`]), or if a seam /
+    /// wafer index is out of range for this ensemble.
+    pub fn arm_faults(&mut self, plan: &FaultPlan) {
+        let k = self.k();
+        let events = plan.events();
+        for ev in &events {
+            match ev.kind {
+                FaultKind::HostLinkDrop { seam, dir } => {
+                    assert!(seam + 1 < k, "seam {seam} out of range for k={k}");
+                    assert!(dir < 2, "direction {dir} out of range");
+                }
+                FaultKind::HostLinkCorrupt { seam, dir, bit } => {
+                    assert!(seam + 1 < k, "seam {seam} out of range for k={k}");
+                    assert!(dir < 2, "direction {dir} out of range");
+                    assert!(bit < 32, "payload bit {bit} out of range");
+                }
+                FaultKind::HostLinkStall { seam, cycles } => {
+                    assert!(seam + 1 < k, "seam {seam} out of range for k={k}");
+                    assert!(cycles > 0, "zero-length stall");
+                }
+                FaultKind::WaferStall { wafer, cycles } => {
+                    assert!(wafer < k, "wafer {wafer} out of range for k={k}");
+                    assert!(cycles > 0, "zero-length stall");
+                }
+                wafer_local => panic!(
+                    "{} targets one wafer: arm it on the shard (shard_mut), not the ensemble",
+                    wafer_local.label()
+                ),
+            }
+        }
+        self.transport =
+            Some(Box::new(TransportState::new(self.channels.len(), k.saturating_sub(1), events)));
+    }
+
+    /// Arms the reliable transport with no scheduled faults: framing,
+    /// acks, and retransmission guard the seams against nothing — and
+    /// cost nothing, cycle-for-cycle (the identity is asserted by tests
+    /// and the `iter_profile` bench).
+    pub fn arm_transport(&mut self) {
+        self.arm_faults(&FaultPlan::new());
+    }
+
+    /// `true` once [`MultiFabric::arm_faults`] or
+    /// [`MultiFabric::arm_transport`] has run.
+    pub fn transport_armed(&self) -> bool {
+        self.transport.is_some()
+    }
+
+    /// The ensemble fault audit trail, if the transport is armed.
+    pub fn fault_log(&self) -> Option<&FaultLog> {
+        self.transport.as_ref().map(|t| &t.log)
+    }
+
+    /// Transport counters for seam `seam`, direction `dir` (0 = eastward,
+    /// 1 = westward). Zeroes when the transport is disarmed.
+    pub fn link_stats(&self, seam: usize, dir: usize) -> LinkStats {
+        assert!(seam + 1 < self.k() && dir < 2, "no seam {seam} direction {dir}");
+        self.transport.as_ref().map_or(LinkStats::default(), |t| t.stats[seam][dir])
+    }
+
+    /// Total frames retransmitted across every seam — the per-link
+    /// counter surfaced next to the `link_retransmit` trace markers.
+    pub fn retransmits(&self) -> u64 {
+        self.transport.as_ref().map_or(0, |t| t.stats.iter().flatten().map(|s| s.retransmits).sum())
+    }
+
+    /// Every link-down declaration made so far, oldest first. Survives
+    /// [`MultiFabric::reset_transient`] so recovery logs can report the
+    /// full history.
+    pub fn link_down_records(&self) -> &[LinkDown] {
+        self.transport.as_ref().map_or(&[], |t| &t.down_history)
+    }
+
+    /// `true` if any seam direction is currently declared down.
+    pub fn any_link_down(&self) -> bool {
+        self.transport.as_ref().is_some_and(|t| t.down.iter().flatten().any(|&d| d))
+    }
+
+    /// Clears in-flight ensemble state after a fault: every shard's
+    /// transient core/router/queue state (see [`Fabric::reset_transient`];
+    /// SRAM, programs, and clocks survive), everything in flight on the
+    /// seams, and — when the transport is armed — all framing state
+    /// (sequence spaces restart at zero on both ends) plus down flags, so
+    /// a rolled-back solve retries on fresh links. Stall windows, fault
+    /// schedules, stats, and the down history persist: the wall clock is
+    /// not rewound, so an outage outlives a rollback.
+    pub fn reset_transient(&mut self) {
+        for f in &mut self.shards {
+            f.reset_transient();
+        }
+        for q in &mut self.in_flight {
+            q.clear();
+        }
+        if let Some(t) = self.transport.as_deref_mut() {
+            for ch in &mut t.channels {
+                ch.reset();
+            }
+            for d in t.down.iter_mut().flatten() {
+                *d = false;
+            }
+        }
+    }
+
+    /// Applies fault events due at `cycle`: stall windows open, one-shot
+    /// drop/corrupt arms against the next matching frame.
+    fn apply_due_link_faults(&mut self, cycle: u64) {
+        let k = self.shards.len();
+        let Some(t) = self.transport.as_deref_mut() else { return };
+        while t.next_event < t.events.len() && t.events[t.next_event].at_cycle <= cycle {
+            let ev = t.events[t.next_event];
+            t.next_event += 1;
+            match ev.kind {
+                FaultKind::HostLinkDrop { seam, dir } => {
+                    t.pending_drop[seam][dir as usize] += 1;
+                }
+                FaultKind::HostLinkCorrupt { seam, dir, bit } => {
+                    t.pending_corrupt[seam][dir as usize].push_back(bit);
+                }
+                FaultKind::HostLinkStall { seam, cycles } => {
+                    for until in &mut t.stall_until[seam] {
+                        *until = (*until).max(cycle + cycles);
+                    }
+                }
+                FaultKind::WaferStall { wafer, cycles } => {
+                    let mut darken = |seam: usize| {
+                        for until in &mut t.stall_until[seam] {
+                            *until = (*until).max(cycle + cycles);
+                        }
+                    };
+                    if wafer > 0 {
+                        darken(wafer - 1);
+                    }
+                    if wafer + 1 < k {
+                        darken(wafer);
+                    }
+                }
+                _ => unreachable!("arm_faults rejects on-wafer kinds"),
+            }
+            t.log.applied.push(FaultRecord { cycle, kind: ev.kind });
         }
     }
 
@@ -403,6 +595,10 @@ impl MultiFabric {
     /// buffer, and arrival times follow bandwidth serialization plus
     /// latency.
     pub fn step_linked(&mut self) {
+        if self.transport.is_some() {
+            self.step_linked_reliable();
+            return;
+        }
         let ideal = self.link.is_ideal();
         // Seam credits for the coming cycle.
         for ci in 0..self.channels.len() {
@@ -461,6 +657,214 @@ impl MultiFabric {
                 }
                 self.in_flight[ci].pop_front();
                 self.injected += 1;
+            }
+        }
+    }
+
+    /// [`MultiFabric::step_linked`] with the reliable transport armed:
+    /// the same credit grant, parallel step, and serialization model,
+    /// plus framing / ack / retransmit bookkeeping and fault application.
+    ///
+    /// With no fault due, this path is cycle-identical to the disarmed
+    /// stepper: fresh frames serialize with the exact arithmetic of the
+    /// baseline path (headers and acks are control-plane metadata the
+    /// host carries out-of-band), delivery order per channel is FIFO, and
+    /// ack timeouts are sized off the frame's own delivery time so a
+    /// healthy link never retransmits.
+    fn step_linked_reliable(&mut self) {
+        let ideal = self.link.is_ideal();
+        let link = self.link;
+        let now0 = self.cycle();
+        self.apply_due_link_faults(now0);
+
+        // Sender side, before the step: process due acks, then fire any
+        // ack timeouts (go-back-N retransmission with bounded backoff).
+        for ci in 0..self.channels.len() {
+            let (seam, dir) = self.channels[ci].seam_dir();
+            let src = self.channels[ci].src;
+            let TransportState {
+                channels,
+                stats,
+                stall_until,
+                down,
+                down_history,
+                pending_drop,
+                pending_corrupt,
+                log,
+                activity,
+                ..
+            } = self.transport.as_deref_mut().unwrap();
+            if now0 < stall_until[seam][dir] {
+                continue; // the dark seam holds frames *and* acks
+            }
+            let ch = &mut channels[ci];
+            while let Some(&(due, cum)) = ch.acks.front() {
+                if due > now0 {
+                    break;
+                }
+                ch.acks.pop_front();
+                stats[seam][dir].acks += 1;
+                while ch.unacked.front().is_some_and(|f| f.seq < cum) {
+                    ch.unacked.pop_front();
+                    ch.attempts = 0;
+                }
+                if ch.unacked.is_empty() {
+                    ch.deadline = u64::MAX;
+                }
+            }
+            if down[seam][dir] || now0 < ch.deadline {
+                continue;
+            }
+            ch.attempts += 1;
+            if ch.attempts > RETRY_BUDGET {
+                down[seam][dir] = true;
+                down_history.push(LinkDown { cycle: now0, seam, dir, attempts: ch.attempts - 1 });
+                ch.deadline = u64::MAX;
+                continue;
+            }
+            stats[seam][dir].retransmits += ch.unacked.len() as u64;
+            *activity += ch.unacked.len() as u64;
+            let mut last_due = now0;
+            for i in 0..ch.unacked.len() {
+                let frame = ch.unacked[i];
+                let due = if ideal {
+                    now0
+                } else {
+                    let ready = &mut self.link_ready[seam][dir];
+                    *ready = ready.max(now0 as f64)
+                        + f64::from(frame.flit.bytes()) / link.bytes_per_cycle;
+                    ready.ceil() as u64 + link.latency_cycles
+                };
+                last_due = last_due.max(due);
+                // Retransmissions cross the same flaky wire: a pending
+                // one-shot fault hits whatever frame crosses next.
+                if pending_drop[seam][dir] > 0 {
+                    pending_drop[seam][dir] -= 1;
+                    stats[seam][dir].fault_dropped += 1;
+                    log.dropped_flits += 1;
+                } else {
+                    let mut wired = frame;
+                    if let Some(bit) = pending_corrupt[seam][dir].pop_front() {
+                        wired.flit.bits ^= 1 << bit;
+                        stats[seam][dir].fault_corrupted += 1;
+                        log.corrupted_flits += 1;
+                    }
+                    ch.wire.push_back((due, wired));
+                }
+            }
+            ch.deadline = last_due + link.latency_cycles + TransportState::slack(ch.attempts);
+            self.shards[src].phase_marker("link_retransmit");
+        }
+
+        // Seam credits for the coming cycle (identical to the baseline).
+        for ci in 0..self.channels.len() {
+            let c = self.channels[ci];
+            let credits = if ideal {
+                self.shards[c.dst].edge_in_space(c.dx, c.dy, c.dport, c.color)
+            } else {
+                8
+            };
+            self.shards[c.src].set_edge_credits(c.sx, c.sy, c.sport, c.color, credits);
+        }
+
+        self.shards.par_iter_mut().for_each(Fabric::step);
+        let now = self.shards[0].cycle();
+        debug_assert!(
+            self.shards.iter().all(|f| f.cycle() == now),
+            "linked wafers must share a clock"
+        );
+
+        // Drain egress into frames, applying any armed one-shot faults.
+        // Fresh frames serialize with the baseline arithmetic (a faulted
+        // frame occupies the wire whether or not it survives it).
+        for ci in 0..self.channels.len() {
+            let c = self.channels[ci];
+            let flits = self.shards[c.src].drain_edge_out(c.sx, c.sy, c.sport, c.color);
+            if flits.is_empty() {
+                continue;
+            }
+            let (seam, dir) = c.seam_dir();
+            let TransportState { channels, stats, pending_drop, pending_corrupt, log, .. } =
+                self.transport.as_deref_mut().unwrap();
+            let ch = &mut channels[ci];
+            for flit in flits {
+                let seq = ch.next_seq;
+                ch.next_seq += 1;
+                let frame = Frame { seq, flit, checksum: frame_checksum(seq, flit) };
+                stats[seam][dir].frames += 1;
+                let due = if ideal {
+                    now
+                } else {
+                    let ready = &mut self.link_ready[seam][dir];
+                    *ready = ready.max(now as f64) + f64::from(flit.bytes()) / link.bytes_per_cycle;
+                    ready.ceil() as u64 + link.latency_cycles
+                };
+                if pending_drop[seam][dir] > 0 {
+                    pending_drop[seam][dir] -= 1;
+                    stats[seam][dir].fault_dropped += 1;
+                    log.dropped_flits += 1;
+                } else {
+                    let mut wired = frame;
+                    if let Some(bit) = pending_corrupt[seam][dir].pop_front() {
+                        wired.flit.bits ^= 1 << bit;
+                        stats[seam][dir].fault_corrupted += 1;
+                        log.corrupted_flits += 1;
+                    }
+                    ch.wire.push_back((due, wired));
+                }
+                ch.unacked.push_back(frame);
+                let deadline = due + link.latency_cycles + TransportState::slack(ch.attempts);
+                ch.deadline =
+                    if ch.deadline == u64::MAX { deadline } else { ch.deadline.max(deadline) };
+            }
+        }
+
+        // Receiver side: validated payloads held for ingress space drain
+        // first (FIFO with the wire), then due arrivals — checksum, then
+        // sequence check; in-order frames deliver and ack cumulatively.
+        for ci in 0..self.channels.len() {
+            let c = self.channels[ci];
+            let (seam, dir) = c.seam_dir();
+            let TransportState { channels, stats, stall_until, .. } =
+                self.transport.as_deref_mut().unwrap();
+            let dark = now < stall_until[seam][dir];
+            let ch = &mut channels[ci];
+            loop {
+                if let Some(&flit) = ch.rx_hold.front() {
+                    if self.shards[c.dst].inject_edge(c.dx, c.dy, c.dport, c.color, flit) {
+                        ch.rx_hold.pop_front();
+                        self.injected += 1;
+                        continue;
+                    }
+                    debug_assert!(!ideal, "ideal-link credits guarantee ingress space");
+                    break;
+                }
+                let Some(&(due, frame)) = ch.wire.front() else { break };
+                if due > now || dark {
+                    break;
+                }
+                ch.wire.pop_front();
+                if frame_checksum(frame.seq, frame.flit) != frame.checksum {
+                    stats[seam][dir].checksum_discarded += 1;
+                    continue; // no ack: the sender's timeout recovers it
+                }
+                match frame.seq.cmp(&ch.expected) {
+                    std::cmp::Ordering::Less => {
+                        stats[seam][dir].dup_discarded += 1;
+                        ch.acks.push_back((now + link.latency_cycles, ch.expected));
+                    }
+                    std::cmp::Ordering::Greater => {
+                        // A gap: an earlier frame was lost. Go-back-N
+                        // discards until the retransmission arrives.
+                        stats[seam][dir].gap_discarded += 1;
+                        ch.acks.push_back((now + link.latency_cycles, ch.expected));
+                    }
+                    std::cmp::Ordering::Equal => {
+                        ch.expected += 1;
+                        ch.rx_hold.push_back(frame.flit);
+                        ch.acks.push_back((now + link.latency_cycles, ch.expected));
+                    }
+                }
             }
         }
     }
@@ -694,6 +1098,143 @@ mod tests {
         for (i, v) in got.iter().enumerate() {
             assert_eq!(v.to_f64(), (i + 1) as f64);
         }
+    }
+
+    /// Runs `stream_fabric(w, n)` split across `k` wafers and returns
+    /// (elapsed cycles, the received payload bits).
+    fn run_split(
+        multi: &mut MultiFabric,
+        w: usize,
+        n: u32,
+        raddr: u32,
+    ) -> Result<(u64, Vec<u16>), Box<StallReport>> {
+        let cycles = multi.run_linked(200_000, 2_048)?;
+        let (m, lx) = multi.to_local(w - 1);
+        let bits = multi
+            .shard(m)
+            .tile(lx, 0)
+            .mem
+            .load_f16_slice(raddr, n as usize)
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        Ok((cycles, bits))
+    }
+
+    #[test]
+    fn armed_transport_without_faults_is_cycle_identical() {
+        let n = 24u32;
+        let (template, raddr) = stream_fabric(6, n);
+        for link in [HostLink::ideal(), HostLink::paper_default(), HostLink::new(10.0, 0.05, 0.9)] {
+            let mut plain = MultiFabric::split_x(&template, 2, link);
+            let (base_cycles, base_bits) = run_split(&mut plain, 6, n, raddr).unwrap();
+
+            let mut armed = MultiFabric::split_x(&template, 2, link);
+            armed.arm_transport();
+            let (cycles, bits) = run_split(&mut armed, 6, n, raddr).unwrap();
+            assert_eq!(base_cycles, cycles, "armed transport changed timing on {link:?}");
+            assert_eq!(base_bits, bits, "armed transport changed payload on {link:?}");
+            assert_eq!(armed.retransmits(), 0, "healthy link retransmitted on {link:?}");
+            let stats = armed.link_stats(0, 0);
+            assert_eq!(stats.frames, u64::from(n), "every flit must be framed");
+            assert!(armed.link_down_records().is_empty());
+        }
+    }
+
+    #[test]
+    fn host_link_drop_recovers_via_retransmission() {
+        let n = 16u32;
+        let (template, raddr) = stream_fabric(4, n);
+        let mut plain = MultiFabric::split_x(&template, 2, HostLink::paper_default());
+        let (base_cycles, base_bits) = run_split(&mut plain, 4, n, raddr).unwrap();
+
+        let mut armed = MultiFabric::split_x(&template, 2, HostLink::paper_default());
+        armed.arm_faults(&FaultPlan::new().with(2, FaultKind::HostLinkDrop { seam: 0, dir: 0 }));
+        let (cycles, bits) = run_split(&mut armed, 4, n, raddr).unwrap();
+        assert_eq!(base_bits, bits, "retransmission must mask the drop bit-exactly");
+        assert!(cycles > base_cycles, "the retransmit round-trip costs cycles");
+        let stats = armed.link_stats(0, 0);
+        assert_eq!(stats.fault_dropped, 1);
+        assert!(stats.retransmits >= 1, "the lost frame must be re-sent");
+        assert!(stats.gap_discarded >= 1, "frames behind the loss are go-back-N discards");
+        assert_eq!(armed.fault_log().unwrap().dropped_flits, 1);
+        assert!(armed.link_down_records().is_empty());
+    }
+
+    #[test]
+    fn host_link_corrupt_is_detected_and_masked() {
+        let n = 16u32;
+        let (template, raddr) = stream_fabric(4, n);
+        let mut plain = MultiFabric::split_x(&template, 2, HostLink::paper_default());
+        let (_, base_bits) = run_split(&mut plain, 4, n, raddr).unwrap();
+
+        let mut armed = MultiFabric::split_x(&template, 2, HostLink::paper_default());
+        armed.arm_faults(
+            &FaultPlan::new().with(2, FaultKind::HostLinkCorrupt { seam: 0, dir: 0, bit: 7 }),
+        );
+        let (_, bits) = run_split(&mut armed, 4, n, raddr).unwrap();
+        assert_eq!(base_bits, bits, "checksum must catch the flip; retransmit must mask it");
+        let stats = armed.link_stats(0, 0);
+        assert_eq!(stats.fault_corrupted, 1);
+        assert_eq!(stats.checksum_discarded, 1, "the damaged frame is discarded, not delivered");
+        assert!(stats.retransmits >= 1);
+    }
+
+    #[test]
+    fn short_host_link_stall_rides_through() {
+        let n = 16u32;
+        let (template, raddr) = stream_fabric(4, n);
+        let mut plain = MultiFabric::split_x(&template, 2, HostLink::paper_default());
+        let (base_cycles, base_bits) = run_split(&mut plain, 4, n, raddr).unwrap();
+
+        for kind in [
+            FaultKind::HostLinkStall { seam: 0, cycles: 300 },
+            FaultKind::WaferStall { wafer: 1, cycles: 300 },
+        ] {
+            let mut armed = MultiFabric::split_x(&template, 2, HostLink::paper_default());
+            armed.arm_faults(&FaultPlan::new().with(5, kind));
+            let (cycles, bits) = run_split(&mut armed, 4, n, raddr).unwrap();
+            assert_eq!(base_bits, bits, "{kind:?} must not damage payload");
+            assert!(cycles >= base_cycles, "{kind:?} cannot speed the stream up");
+            assert!(armed.link_down_records().is_empty(), "{kind:?} is transient");
+        }
+    }
+
+    #[test]
+    fn unrelenting_drops_declare_the_link_down() {
+        let n = 16u32;
+        let (template, _) = stream_fabric(4, n);
+        let mut armed = MultiFabric::split_x(&template, 2, HostLink::paper_default());
+        // Swallow every frame and every retransmission: the retry budget
+        // must exhaust into a structured LinkDown, then the watchdog
+        // reports the stall — never a silent partial delivery.
+        let mut plan = FaultPlan::new();
+        for _ in 0..10_000 {
+            plan.push(0, FaultKind::HostLinkDrop { seam: 0, dir: 0 });
+        }
+        armed.arm_faults(&plan);
+        let err = armed.run_linked(200_000, 2_048).unwrap_err();
+        assert!(!err.deadline_exceeded, "this is a stall, not a deadline");
+        let downs = armed.link_down_records();
+        assert_eq!(downs.len(), 1, "exactly one declaration per seam direction");
+        assert_eq!((downs[0].seam, downs[0].dir), (0, 0));
+        assert_eq!(downs[0].attempts, RETRY_BUDGET);
+        assert!(armed.any_link_down());
+        // Rollback path: transient reset clears the down flag but keeps
+        // the history and the (already-applied) fault arming.
+        armed.reset_transient();
+        assert!(!armed.any_link_down());
+        assert_eq!(armed.link_down_records().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "targets one wafer")]
+    fn ensemble_rejects_on_wafer_fault_kinds() {
+        let (template, _) = stream_fabric(4, 4);
+        let mut multi = MultiFabric::split_x(&template, 2, HostLink::ideal());
+        multi.arm_faults(
+            &FaultPlan::new().with(0, FaultKind::LinkDrop { x: 0, y: 0, port: Port::East }),
+        );
     }
 
     #[test]

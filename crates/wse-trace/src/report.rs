@@ -61,6 +61,17 @@ impl PhaseReport {
         self.cycles(name) as f64 / (clock_ghz * 1e3)
     }
 
+    /// All instant markers (zero-cycle stamp rows) in first-seen order, as
+    /// `(name, count)`. The recovery engine stamps `"checkpoint"` and
+    /// `"rollback"`; the multi-wafer reliable transport stamps
+    /// `"link_retransmit"` (once per retransmitted seam window) and the
+    /// distributed solver `"halo_retry"` (once per failed halo exchange
+    /// handed to the recovery engine) — so a trace answers "how many
+    /// retransmissions in this window" without scanning raw spans.
+    pub fn marker_counts(&self) -> Vec<(&'static str, u64)> {
+        self.rows.iter().filter(|r| r.cycles == 0).map(|r| (r.name, r.spans)).collect()
+    }
+
     /// Window cycles not covered by any marked phase (drivers mark phases
     /// back-to-back, so this is normally setup/teardown overhead).
     pub fn unattributed_cycles(&self) -> u64 {
@@ -157,6 +168,25 @@ mod tests {
         assert_eq!(r.spans("checkpoint"), 1);
         assert_eq!(r.cycles("missing"), 0);
         assert_eq!(r.unattributed_cycles(), 120 - 110);
+    }
+
+    #[test]
+    fn transport_markers_surface_as_counts() {
+        let t = trace_with_phases(
+            vec![
+                PhaseSpan { name: "halo", start: 0, end: 40 },
+                PhaseSpan { name: "link_retransmit", start: 25, end: 25 },
+                PhaseSpan { name: "link_retransmit", start: 33, end: 33 },
+                PhaseSpan { name: "halo_retry", start: 40, end: 40 },
+                PhaseSpan { name: "rollback", start: 41, end: 41 },
+            ],
+            50,
+        );
+        let r = PhaseReport::from_trace(&t);
+        assert_eq!(r.marker_counts(), [("link_retransmit", 2), ("halo_retry", 1), ("rollback", 1)]);
+        // Markers never claim cycles: the halo phase keeps its 40.
+        assert_eq!(r.cycles("halo"), 40);
+        assert_eq!(r.unattributed_cycles(), 10);
     }
 
     #[test]

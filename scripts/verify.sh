@@ -54,6 +54,20 @@ cargo run -q --release -p wse-bench --bin fault_sweep -- --smoke > "$smoke_b"
 diff -u "$smoke_a" "$smoke_b"
 grep -q "baseline (fault-free): Converged" "$smoke_a"
 
+echo "== ensemble fault smoke (k=2 host-link faults, twice, diffed) =="
+# The --multi 2 leg drives the k=2 hierarchical solver through every
+# host-level fault class (frame drop/corrupt, link stall, wafer stall) with
+# the reliable seam transport and ensemble checkpoint/rollback armed. Two
+# runs must be bit-identical, and every class must still converge in the
+# smoke configuration (single fault, retransmission masks it).
+ens_a="$(mktemp)"; ens_b="$(mktemp)"
+trap 'rm -f "$smoke_a" "$smoke_b" "$ens_a" "$ens_b"' EXIT
+cargo run -q --release -p wse-bench --bin fault_sweep -- --multi 2 --smoke > "$ens_a"
+cargo run -q --release -p wse-bench --bin fault_sweep -- --multi 2 --smoke > "$ens_b"
+diff -u "$ens_a" "$ens_b"
+grep -q "baseline (fault-free): Converged" "$ens_a"
+grep -q "host_link_drop" "$ens_a"
+
 echo "== trace smoke (traced iteration profile, twice, diffed) =="
 # iter_profile calibrates the analytic model from untraced runs, runs a
 # traced BiCGStab iteration, exports a Perfetto trace, and cross-validates
@@ -61,7 +75,7 @@ echo "== trace smoke (traced iteration profile, twice, diffed) =="
 # (including the FNV-1a hash of the full Perfetto JSON) must be
 # bit-for-bit reproducible across runs.
 trace_a="$(mktemp)"; trace_b="$(mktemp)"
-trap 'rm -f "$smoke_a" "$smoke_b" "$trace_a" "$trace_b"' EXIT
+trap 'rm -f "$smoke_a" "$smoke_b" "$ens_a" "$ens_b" "$trace_a" "$trace_b"' EXIT
 cargo run -q --release -p wse-bench --bin iter_profile -- --smoke > "$trace_a"
 cargo run -q --release -p wse-bench --bin iter_profile -- --smoke > "$trace_b"
 diff -u "$trace_a" "$trace_b"
@@ -70,6 +84,9 @@ grep -q "cycle identity:" "$trace_a"
 # The runtime sanitizer leg: armed shadow state must not perturb simulated
 # time and must find the shipped solver race-free.
 grep -q "cycle identity: .* runtime sanitizer armed (0 race trips)" "$trace_a"
+# The reliable-transport leg: framing/acks on a healthy k=2 split must be
+# cycle-identical to the trusted link and never retransmit.
+grep -q "cycle identity: .* armed and disarmed transport" "$trace_a"
 
 echo "== stepper throughput smoke (activity-driven vs reference, twice, diffed) =="
 # sim_throughput runs the same workloads under the optimized activity-driven
@@ -78,7 +95,7 @@ echo "== stepper throughput smoke (activity-driven vs reference, twice, diffed) 
 # sparse-activity workload (single active column on 64x64). Wall timings go
 # to stderr; stdout is deterministic and diffed across two runs.
 thr_a="$(mktemp)"; thr_b="$(mktemp)"
-trap 'rm -f "$smoke_a" "$smoke_b" "$trace_a" "$trace_b" "$thr_a" "$thr_b"' EXIT
+trap 'rm -f "$smoke_a" "$smoke_b" "$ens_a" "$ens_b" "$trace_a" "$trace_b" "$thr_a" "$thr_b"' EXIT
 cargo run -q --release -p wse-bench --bin sim_throughput -- --smoke > "$thr_a"
 cargo run -q --release -p wse-bench --bin sim_throughput -- --smoke > "$thr_b"
 diff -u "$thr_a" "$thr_b"
@@ -92,7 +109,7 @@ echo "== multi-wafer smoke (k in {1,2,4} distributed BiCGStab, twice, diffed) ==
 # stdout (cycle counts, residuals, gate verdicts) is deterministic and
 # diffed across two runs.
 mw_a="$(mktemp)"; mw_b="$(mktemp)"
-trap 'rm -f "$smoke_a" "$smoke_b" "$trace_a" "$trace_b" "$thr_a" "$thr_b" "$mw_a" "$mw_b"' EXIT
+trap 'rm -f "$smoke_a" "$smoke_b" "$ens_a" "$ens_b" "$trace_a" "$trace_b" "$thr_a" "$thr_b" "$mw_a" "$mw_b"' EXIT
 cargo run -q --release -p wse-bench --bin multiwafer_scaling -- --smoke > "$mw_a"
 cargo run -q --release -p wse-bench --bin multiwafer_scaling -- --smoke > "$mw_b"
 diff -u "$mw_a" "$mw_b"

@@ -14,11 +14,13 @@ use wafer_stencil::arch::dsr::mk;
 use wafer_stencil::arch::fabric::StallReport;
 use wafer_stencil::arch::instr::{Op, Stmt, Task, TensorInstr};
 use wafer_stencil::arch::types::{Dtype, Port};
-use wafer_stencil::arch::{FaultKind, FaultPlan};
+use wafer_stencil::arch::{FaultKind, FaultKindClass, FaultPlan};
 use wafer_stencil::kernels::recovery::{
     true_rel_residual, RecoveryLog, RecoveryOutcome, RecoveryPolicy, ResidualTripwire,
 };
+use wafer_stencil::kernels::WaferBicgstabMulti;
 use wafer_stencil::prelude::*;
+use wse_multi::{HostLink, MultiFabric};
 
 /// fp16-scale recovery policy: the wafer iterates in fp16, so convergence is
 /// declared at the fp16 floor and verified against a commensurate true
@@ -203,7 +205,7 @@ fn checkpoint_restore_preserves_monotone_perf_and_trace_counters() {
     fabric.arm_trace(TraceConfig::default());
 
     solver.iterate(&mut fabric);
-    let ckpt = FabricCheckpoint::capture(&fabric);
+    let ckpt = FabricCheckpoint::capture(&mut fabric);
 
     solver.iterate(&mut fabric);
     let cycle_before = fabric.cycle();
@@ -234,6 +236,95 @@ fn checkpoint_restore_preserves_monotone_perf_and_trace_counters() {
     let stats = wse_trace::validate_trace_json(&json)
         .expect("trace spanning a rollback must still export a valid Perfetto document");
     assert!(stats.slices > 0, "expected task slices from three iterations");
+}
+
+/// The activity-driven stepper defers per-tile idle accounting, so a
+/// checkpoint captured mid-solve sees pending idle debt. Capture must
+/// settle that debt (exactly as `arm_trace` does): an immediate second
+/// capture is bit-identical, and replaying an iteration after a restore
+/// reproduces the pre-rollback iteration bit for bit.
+#[test]
+fn checkpoint_capture_settles_idle_debt_bit_identically() {
+    use wafer_stencil::kernels::recovery::FabricCheckpoint;
+
+    let mesh = Mesh3D::new(2, 2, 4);
+    let (a, b) = fp16_problem(mesh);
+    let mut fabric = Fabric::new(2, 2);
+    let solver = WaferBicgstab::build(&mut fabric, &a);
+    solver.load_rhs(&mut fabric, &b);
+    // One iteration leaves deferred idle debt on every tile that went
+    // quiet before the phase ended.
+    solver.iterate(&mut fabric);
+
+    let first = FabricCheckpoint::capture(&mut fabric);
+    let second = FabricCheckpoint::capture(&mut fabric);
+    assert_eq!(
+        format!("{first:?}"),
+        format!("{second:?}"),
+        "back-to-back captures of the same quiescent state must agree"
+    );
+
+    // Replay bit-identity across a rollback.
+    solver.iterate(&mut fabric);
+    let x_a = solver.read_x(&fabric);
+    let rr_a = solver.residual_norm(&mut fabric);
+    first.restore(&mut fabric);
+    solver.iterate(&mut fabric);
+    let x_b = solver.read_x(&fabric);
+    let rr_b = solver.residual_norm(&mut fabric);
+    assert_eq!(x_a, x_b, "replayed iteration must be bit-identical");
+    assert_eq!(rr_a.to_bits(), rr_b.to_bits(), "replayed residual must be bit-identical");
+}
+
+/// fp16-scale policy for the (smaller) ensemble meshes.
+fn multi_policy() -> RecoveryPolicy {
+    fp16_policy()
+}
+
+fn multi_problem() -> (Mesh3D, DiaMatrix<F16>, Vec<F16>) {
+    let mesh = Mesh3D::new(4, 2, 4);
+    let (a, b) = fp16_problem(mesh);
+    (mesh, a, b)
+}
+
+/// Fault-free k=2 recovering solve: returns the cycle horizon (for
+/// scheduling faults mid-solve) and its log.
+fn multi_baseline() -> (u64, RecoveryLog) {
+    let (_, a, b) = multi_problem();
+    let mut multi = MultiFabric::new(4, 2, 2, HostLink::paper_default());
+    let solver = WaferBicgstabMulti::build(&mut multi, &a);
+    let (_, _, log) = solver.solve_with_recovery(&mut multi, &a, &b, 16, &multi_policy());
+    (multi.cycle(), log)
+}
+
+/// The PR's acceptance path: a k=2 hierarchical solve with a host-link
+/// frame drop injected mid-solve completes — the reliable transport
+/// retransmits (or the engine rolls back) — and the claimed convergence
+/// is verified against the f64 true residual.
+#[test]
+fn k2_host_link_drop_mid_solve_recovers_and_verifies() {
+    let (horizon, base) = multi_baseline();
+    assert_eq!(base.outcome, RecoveryOutcome::Converged, "baseline: {base}");
+
+    let (_, a, b) = multi_problem();
+    let mut multi = MultiFabric::new(4, 2, 2, HostLink::paper_default());
+    let solver = WaferBicgstabMulti::build(&mut multi, &a);
+    multi.arm_faults(
+        &FaultPlan::new().with(horizon / 2, FaultKind::HostLinkDrop { seam: 0, dir: 0 }),
+    );
+    let (x, _, log) = solver.solve_with_recovery(&mut multi, &a, &b, 16, &multi_policy());
+
+    assert_eq!(log.outcome, RecoveryOutcome::Converged, "{log}");
+    let true_rel = true_rel_residual(&a, &x, &b);
+    assert!(true_rel < 0.1, "returned iterate must be verifiably good: {true_rel}");
+    // The drop actually happened and was masked, not skipped.
+    let flog = multi.fault_log().expect("transport armed");
+    assert_eq!(flog.dropped_flits, 1, "the armed drop must fire: {flog:?}");
+    assert!(
+        multi.retransmits() >= 1 || log.rollbacks >= 1,
+        "the drop must be repaired by retransmission or rollback: {log}"
+    );
+    assert!(!multi.any_link_down(), "a single drop must not kill the link");
 }
 
 proptest! {
@@ -282,6 +373,46 @@ proptest! {
             prop_assert!(
                 log.outcome == RecoveryOutcome::MaxIterations
                     || log.outcome == RecoveryOutcome::RetriesExhausted
+            );
+        }
+    }
+
+    /// Property: a single seeded host-link fault (frame drop or payload
+    /// corruption), at any point of a k=2 solve, either still yields a
+    /// *verifiably* correct answer — masked by retransmission or repaired
+    /// by rollback — or is flagged in the recovery log. Never a silently
+    /// wrong answer reported as converged.
+    #[test]
+    fn single_host_link_fault_never_yields_a_silent_wrong_answer(
+        seed in 0u64..1 << 32,
+        frac in 1u64..10,
+    ) {
+        let (horizon, base) = multi_baseline();
+        prop_assume!(base.outcome == RecoveryOutcome::Converged);
+
+        let (_, a, b) = multi_problem();
+        let mut multi = MultiFabric::new(4, 2, 2, HostLink::paper_default());
+        let solver = WaferBicgstabMulti::build(&mut multi, &a);
+        // One drop-or-corrupt fault, seeded placement, scheduled at a
+        // seeded fraction of the fault-free horizon.
+        let pool =
+            [FaultKindClass::HostLinkDrop, FaultKindClass::HostLinkCorrupt];
+        let plan = FaultPlan::random_host_link(seed, 1, (horizon * frac / 10).max(1), 2, &pool);
+        multi.arm_faults(&plan);
+        let (x, _, log) =
+            solver.solve_with_recovery(&mut multi, &a, &b, 16, &multi_policy());
+
+        if log.outcome == RecoveryOutcome::Converged {
+            let true_rel = true_rel_residual(&a, &x, &b);
+            prop_assert!(
+                true_rel < 0.1,
+                "claimed convergence with true rel {true_rel:.3e}; plan {plan:?}; log: {log}"
+            );
+        } else {
+            prop_assert!(
+                log.outcome == RecoveryOutcome::MaxIterations
+                    || log.outcome == RecoveryOutcome::RetriesExhausted,
+                "failure must be structured: {log}"
             );
         }
     }
