@@ -76,6 +76,7 @@ fn policy() -> RecoveryPolicy {
         max_retries: 3,
         verify_rel: 0.1,
         tripwire: ResidualTripwire { converged: 2e-2, diverged: 1e6 },
+        label: String::new(),
     }
 }
 

@@ -1,0 +1,173 @@
+//! Multi-tenant service benchmark: two tenants share one 8x4 fabric
+//! through the `wse-serve` front door — seeded open-loop arrivals over
+//! three job shapes, admission control, the compiled-program cache,
+//! batching, and per-tenant billing — reporting sustained solves/sec and
+//! sojourn-time percentiles.
+//!
+//! Stdout is bit-for-bit deterministic (simulated time only: fabric
+//! cycles at 0.9 GHz plus the service's fixed compile/load cost model),
+//! which `scripts/verify.sh` checks by diffing two `--smoke` runs. Host
+//! wall-clock — the cold-build vs warm-lookup speedup, the measured
+//! payoff of the program cache — goes to **stderr** and the JSON only.
+//! The full run writes `BENCH_service.json`.
+//!
+//! Usage:
+//! ```text
+//! service_bench [--smoke] [--out BENCH_service.json]
+//! ```
+
+use std::fmt::Write as _;
+use wse_arch::Fabric;
+use wse_serve::{
+    open_loop_arrivals, Backend, JobSpec, ProgramKey, ServiceReport, StencilKind, TenantSpec,
+    WaferService,
+};
+
+/// Arrival seed; fixed so every run replays the same workload.
+const ARRIVAL_SEED: u64 = 2020;
+/// Mean arrival rate, jobs per microsecond of simulated time.
+const ARRIVAL_RATE: f64 = 0.004;
+
+/// The benchmark's three job shapes (two meshes, two operators).
+fn shapes() -> [ProgramKey; 3] {
+    [
+        ProgramKey::bicgstab2d((8, 8), (4, 4), StencilKind::Laplace9),
+        ProgramKey::bicgstab2d((8, 8), (4, 4), StencilKind::convection(1.5, -0.5)),
+        ProgramKey::bicgstab2d((12, 8), (4, 4), StencilKind::Laplace9),
+    ]
+}
+
+/// Builds the two-tenant service and drives `jobs` seeded solves.
+fn run(jobs: usize, max_iters: usize) -> ServiceReport {
+    let mut svc = WaferService::new(
+        Backend::Single(Fabric::new(8, 4)),
+        vec![TenantSpec::new("acme", (3, 2), jobs), TenantSpec::new("zenith", (3, 2), jobs)],
+    )
+    .expect("two 3x2 tenants fit an 8x4 fabric");
+    let shapes = shapes();
+    // Tenants interleave; each submits same-shape pairs so the run
+    // exercises all three tiers (cold build, cache-hit blit, resident).
+    let specs: Vec<JobSpec> = (0..jobs)
+        .map(|i| JobSpec {
+            tenant: i % 2,
+            key: shapes[(i / 4) % 3],
+            rhs_seed: 9000 + i as u64,
+            max_iters,
+        })
+        .collect();
+    let arrivals = open_loop_arrivals(ARRIVAL_SEED, jobs, ARRIVAL_RATE);
+    svc.run(&specs, &arrivals);
+    svc.report()
+}
+
+/// Renders the checked-in benchmark JSON. Everything but the `host`
+/// object is deterministic.
+fn render_json(report: &ServiceReport) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"bench\": \"service_bench\",\n");
+    s.push_str("  \"config\": {\"fabric\": [8, 4], \"tenants\": [\"acme\", \"zenith\"], ");
+    let _ = writeln!(
+        s,
+        "\"shapes\": 3, \"arrival_seed\": {ARRIVAL_SEED}, \"arrival_per_us\": {ARRIVAL_RATE}}},"
+    );
+    let _ = writeln!(
+        s,
+        "  \"jobs\": {{\"submitted\": {}, \"completed\": {}, \"rejected\": {}}},",
+        report.submitted, report.completed, report.rejected
+    );
+    let _ = writeln!(
+        s,
+        "  \"tiers\": {{\"cold\": {}, \"hit\": {}, \"resident\": {}}},",
+        report.tiers.0, report.tiers.1, report.tiers.2
+    );
+    let _ = writeln!(
+        s,
+        "  \"cache\": {{\"cold\": {}, \"hits\": {}, \"hit_rate\": {:.3}}},",
+        report.cache.cold,
+        report.cache.hits,
+        report.cache.hit_rate()
+    );
+    let _ = writeln!(
+        s,
+        "  \"latency_us\": {{\"p50\": {:.3}, \"p99\": {:.3}, \"mean\": {:.3}, \"makespan\": {:.3}}},",
+        report.p50_us, report.p99_us, report.mean_us, report.makespan_us
+    );
+    let _ = writeln!(s, "  \"solves_per_sec\": {:.3},", report.solves_per_sec);
+    s.push_str("  \"billing\": [\n");
+    for (i, row) in report.billing.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"tenant\": \"{}\", \"completed\": {}, \"rejected\": {}, \"cycles\": {}, \
+             \"rollbacks\": {}, \"cold_builds\": {}}}{}",
+            row.tenant,
+            row.completed,
+            row.rejected,
+            row.cycles,
+            row.rollbacks,
+            row.cold_builds,
+            if i + 1 == report.billing.len() { "" } else { "," },
+        );
+    }
+    s.push_str("  ],\n");
+    // Host wall-clock: nondeterministic, machine-dependent — the measured
+    // cold-vs-warm payoff of the compiled-program cache.
+    let cold = mean(&report.cold_host_us);
+    let warm = mean(&report.warm_host_us);
+    let _ = writeln!(
+        s,
+        "  \"host\": {{\"cold_build_us_mean\": {:.1}, \"warm_lookup_us_mean\": {:.1}, \
+         \"warm_speedup\": {:.1}}}",
+        cold,
+        warm,
+        report.warm_speedup().unwrap_or(0.0)
+    );
+    s.push_str("}\n");
+    s
+}
+
+fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_service.json".to_string());
+
+    let (jobs, max_iters) = if smoke { (12, 4) } else { (48, 6) };
+    println!(
+        "service_bench: 2 tenants x 3 job shapes on an 8x4 fabric, \
+         {jobs} seeded open-loop arrivals"
+    );
+    let report = run(jobs, max_iters);
+    print!("{}", report.render());
+    println!("cache-hit-rate: {:.3}", report.cache.hit_rate());
+
+    // Wall-clock: stderr only, so stdout stays diffable.
+    eprintln!(
+        "host: cold build {:.1} us avg ({} builds), warm lookup {:.1} us avg ({} hits), \
+         speedup {:.1}x",
+        mean(&report.cold_host_us),
+        report.cold_host_us.len(),
+        mean(&report.warm_host_us),
+        report.warm_host_us.len(),
+        report.warm_speedup().unwrap_or(0.0)
+    );
+
+    assert!(report.rejected == 0, "benchmark workload must be fully admitted");
+    assert!(report.cache.hit_rate() > 0.0, "repeat shapes must hit the program cache");
+
+    if !smoke {
+        std::fs::write(&out, render_json(&report)).expect("write benchmark JSON");
+        eprintln!("wrote {out}");
+    }
+}

@@ -41,10 +41,17 @@ pub mod colors {
     pub const BC: u8 = 5;
 }
 
-/// A built AllReduce program over a `w × h` fabric region.
+/// A built AllReduce program over a `w × h` fabric region. The region's
+/// top-left tile sits at the build origin (`(0, 0)` unless built with
+/// [`AllReduce::build_at`]); task ids and tile coordinates in the API are
+/// region-relative. The handle is `Clone` so a program blitted to another
+/// region can be driven via [`AllReduce::rebased`].
+#[derive(Clone)]
 pub struct AllReduce {
     w: usize,
     h: usize,
+    ox: usize,
+    oy: usize,
     /// Input register (each core's contribution).
     pub r_in: Reg,
     /// Output register (the global sum, on every core).
@@ -85,29 +92,60 @@ impl AllReduce {
         r_acc: Reg,
         base: u8,
     ) -> AllReduce {
+        Self::build_at(fabric, 0, 0, w, h, r_in, r_out, r_acc, base)
+    }
+
+    /// Like [`AllReduce::build_with_base`], over the `w × h` region whose
+    /// top-left tile sits at `(ox, oy)` — the origin-parameterized builder
+    /// the multi-tenant service places tenant programs with. Routes and
+    /// tasks stay strictly inside the region.
+    ///
+    /// # Panics
+    /// Panics if the region is smaller than 2×2 or reaches past the fabric.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_at(
+        fabric: &mut Fabric,
+        ox: usize,
+        oy: usize,
+        w: usize,
+        h: usize,
+        r_in: Reg,
+        r_out: Reg,
+        r_acc: Reg,
+        base: u8,
+    ) -> AllReduce {
         assert!(w >= 2 && h >= 2, "AllReduce needs at least a 2x2 region");
-        assert!(w <= fabric.width() && h <= fabric.height(), "region exceeds fabric");
+        assert!(ox + w <= fabric.width() && oy + h <= fabric.height(), "region exceeds fabric");
         let cx0 = (w - 1) / 2;
         let cx1 = cx0 + 1;
         let cy0 = (h - 1) / 2;
         let cy1 = cy0 + 1;
 
-        Self::configure_routes(fabric, w, h, cx0, cx1, cy0, cy1, base);
+        Self::configure_routes(fabric, ox, oy, w, h, cx0, cx1, cy0, cy1, base);
 
         let mut tasks = Vec::with_capacity(w * h);
         for y in 0..h {
             for x in 0..w {
                 let (mut body, root_tail, recv) = Self::tile_body_parts(
-                    fabric, x, y, w, h, cx0, cx1, cy0, cy1, r_in, r_out, r_acc, base,
+                    fabric, ox, oy, x, y, w, h, cx0, cx1, cy0, cy1, r_in, r_out, r_acc, base,
                 );
                 body.extend(root_tail);
                 body.extend(recv);
-                let id = fabric.tile_mut(x, y).core.add_task(Task::new("allreduce", body));
-                fabric.tile_mut(x, y).core.mark_entry(id);
+                let core = &mut fabric.tile_mut(ox + x, oy + y).core;
+                let id = core.add_task(Task::new("allreduce", body));
+                core.mark_entry(id);
                 tasks.push(id);
             }
         }
-        AllReduce { w, h, r_in, r_out, r_acc, base, tasks }
+        AllReduce { w, h, ox, oy, r_in, r_out, r_acc, base, tasks }
+    }
+
+    /// A handle for the **same program** resident at another origin — used
+    /// after blitting the built region to a different place on a (possibly
+    /// different) fabric. Task ids are per-core and the program is
+    /// translation-invariant, so only the origin changes.
+    pub fn rebased(&self, ox: usize, oy: usize) -> AllReduce {
+        AllReduce { ox, oy, ..self.clone() }
     }
 
     /// The task id to activate on tile `(x, y)` (for phase chaining).
@@ -123,6 +161,8 @@ impl AllReduce {
     #[allow(clippy::too_many_arguments)]
     fn configure_routes(
         fabric: &mut Fabric,
+        ox: usize,
+        oy: usize,
         w: usize,
         h: usize,
         cx0: usize,
@@ -139,55 +179,60 @@ impl AllReduce {
             base + colors::FIN,
             base + colors::BC,
         );
+        // All route coordinates below are region-relative; `sr` rebases
+        // them onto the fabric at the region origin.
+        let mut sr = |x: usize, y: usize, from: Port, color: u8, fan: &[Port]| {
+            fabric.set_route(ox + x, oy + y, from, color, fan);
+        };
         // --- Row reduction. ---
         for y in 0..h {
             for x in 0..cx0 {
-                fabric.set_route(x, y, Port::Ramp, row_e, &[Port::East]);
+                sr(x, y, Port::Ramp, row_e, &[Port::East]);
                 if x > 0 {
-                    fabric.set_route(x, y, Port::West, row_e, &[Port::East]);
+                    sr(x, y, Port::West, row_e, &[Port::East]);
                 }
             }
             if cx0 > 0 {
-                fabric.set_route(cx0, y, Port::West, row_e, &[Port::Ramp]);
+                sr(cx0, y, Port::West, row_e, &[Port::Ramp]);
             }
             for x in cx1 + 1..w {
-                fabric.set_route(x, y, Port::Ramp, row_w, &[Port::West]);
+                sr(x, y, Port::Ramp, row_w, &[Port::West]);
                 if x < w - 1 {
-                    fabric.set_route(x, y, Port::East, row_w, &[Port::West]);
+                    sr(x, y, Port::East, row_w, &[Port::West]);
                 }
             }
             if cx1 < w - 1 {
-                fabric.set_route(cx1, y, Port::East, row_w, &[Port::Ramp]);
+                sr(cx1, y, Port::East, row_w, &[Port::Ramp]);
             }
         }
         // --- Column reduction on the two central columns. ---
         for &cx in &[cx0, cx1] {
             for y in 0..cy0 {
-                fabric.set_route(cx, y, Port::Ramp, col_s, &[Port::South]);
+                sr(cx, y, Port::Ramp, col_s, &[Port::South]);
                 if y > 0 {
-                    fabric.set_route(cx, y, Port::North, col_s, &[Port::South]);
+                    sr(cx, y, Port::North, col_s, &[Port::South]);
                 }
             }
             if cy0 > 0 {
-                fabric.set_route(cx, cy0, Port::North, col_s, &[Port::Ramp]);
+                sr(cx, cy0, Port::North, col_s, &[Port::Ramp]);
             }
             for y in cy1 + 1..h {
-                fabric.set_route(cx, y, Port::Ramp, col_n, &[Port::North]);
+                sr(cx, y, Port::Ramp, col_n, &[Port::North]);
                 if y < h - 1 {
-                    fabric.set_route(cx, y, Port::South, col_n, &[Port::North]);
+                    sr(cx, y, Port::South, col_n, &[Port::North]);
                 }
             }
             if cy1 < h - 1 {
-                fabric.set_route(cx, cy1, Port::South, col_n, &[Port::Ramp]);
+                sr(cx, cy1, Port::South, col_n, &[Port::Ramp]);
             }
         }
         // --- 4:1 to the root (cx0, cy0). ---
-        fabric.set_route(cx1, cy0, Port::Ramp, fin, &[Port::West]);
-        fabric.set_route(cx0, cy0, Port::East, fin, &[Port::Ramp]);
-        fabric.set_route(cx1, cy1, Port::Ramp, fin, &[Port::West]);
-        fabric.set_route(cx0, cy1, Port::East, fin, &[Port::North]);
-        fabric.set_route(cx0, cy1, Port::Ramp, fin, &[Port::North]);
-        fabric.set_route(cx0, cy0, Port::South, fin, &[Port::Ramp]);
+        sr(cx1, cy0, Port::Ramp, fin, &[Port::West]);
+        sr(cx0, cy0, Port::East, fin, &[Port::Ramp]);
+        sr(cx1, cy1, Port::Ramp, fin, &[Port::West]);
+        sr(cx0, cy1, Port::East, fin, &[Port::North]);
+        sr(cx0, cy1, Port::Ramp, fin, &[Port::North]);
+        sr(cx0, cy0, Port::South, fin, &[Port::Ramp]);
         // --- Broadcast from the root. ---
         {
             let mut fan = vec![Port::East, Port::South];
@@ -197,7 +242,7 @@ impl AllReduce {
             if cy0 > 0 {
                 fan.push(Port::North);
             }
-            fabric.set_route(cx0, cy0, Port::Ramp, bc, &fan);
+            sr(cx0, cy0, Port::Ramp, bc, &fan);
         }
         {
             // (cx1, cy0) relays vertically and into its row's right segment.
@@ -208,7 +253,7 @@ impl AllReduce {
             if cx1 < w - 1 {
                 fan.push(Port::East);
             }
-            fabric.set_route(cx1, cy0, Port::West, bc, &fan);
+            sr(cx1, cy0, Port::West, bc, &fan);
         }
         // Central columns relay away from the root and into their rows.
         for (cx, row_port, row_exists) in
@@ -229,7 +274,7 @@ impl AllReduce {
                 if row_exists {
                     fan.push(row_port);
                 }
-                fabric.set_route(cx, y, from, bc, &fan);
+                sr(cx, y, from, bc, &fan);
             }
         }
         // Row tiles outside the central columns relay outward.
@@ -239,14 +284,14 @@ impl AllReduce {
                 if x > 0 {
                     fan.push(Port::West);
                 }
-                fabric.set_route(x, y, Port::East, bc, &fan);
+                sr(x, y, Port::East, bc, &fan);
             }
             for x in cx1 + 1..w {
                 let mut fan = vec![Port::Ramp];
                 if x < w - 1 {
                     fan.push(Port::East);
                 }
-                fabric.set_route(x, y, Port::West, bc, &fan);
+                sr(x, y, Port::West, bc, &fan);
             }
         }
     }
@@ -261,6 +306,8 @@ impl AllReduce {
     #[allow(clippy::too_many_arguments)]
     fn tile_body_parts(
         fabric: &mut Fabric,
+        ox: usize,
+        oy: usize,
         x: usize,
         y: usize,
         w: usize,
@@ -282,7 +329,7 @@ impl AllReduce {
             base + colors::FIN,
             base + colors::BC,
         );
-        let core = &mut fabric.tile_mut(x, y).core;
+        let core = &mut fabric.tile_mut(ox + x, oy + y).core;
         let mut body = Vec::new();
         let in_central_col = x == cx0 || x == cx1;
 
@@ -403,16 +450,21 @@ impl AllReduce {
         y: usize,
     ) -> TaskId {
         assert_eq!((self.w, self.h), (other.w, other.h), "regions must match");
+        assert_eq!((self.ox, self.oy), (other.ox, other.oy), "origins must match");
+        let (ox, oy) = (self.ox, self.oy);
         let (w, h) = (self.w, self.h);
         let cx0 = (w - 1) / 2;
         let cx1 = cx0 + 1;
         let cy0 = (h - 1) / 2;
         let cy1 = cy0 + 1;
         let (w1, t1, r1) = Self::tile_body_parts(
-            fabric, x, y, w, h, cx0, cx1, cy0, cy1, self.r_in, self.r_out, self.r_acc, self.base,
+            fabric, ox, oy, x, y, w, h, cx0, cx1, cy0, cy1, self.r_in, self.r_out, self.r_acc,
+            self.base,
         );
         let (w2, t2, r2) = Self::tile_body_parts(
             fabric,
+            ox,
+            oy,
             x,
             y,
             w,
@@ -432,8 +484,9 @@ impl AllReduce {
         body.extend(t2);
         body.extend(r1);
         body.extend(r2);
-        let id = fabric.tile_mut(x, y).core.add_task(Task::new("allreduce-fused", body));
-        fabric.tile_mut(x, y).core.mark_entry(id);
+        let core = &mut fabric.tile_mut(ox + x, oy + y).core;
+        let id = core.add_task(Task::new("allreduce-fused", body));
+        core.mark_entry(id);
         id
     }
 
@@ -447,7 +500,7 @@ impl AllReduce {
         assert_eq!(values.len(), self.w * self.h, "one value per tile");
         for y in 0..self.h {
             for x in 0..self.w {
-                let core = &mut fabric.tile_mut(x, y).core;
+                let core = &mut fabric.tile_mut(self.ox + x, self.oy + y).core;
                 core.regs[self.r_in] = values[y * self.w + x];
                 core.activate(self.tasks[y * self.w + x]);
             }
@@ -458,7 +511,7 @@ impl AllReduce {
         let mut out = Vec::with_capacity(values.len());
         for y in 0..self.h {
             for x in 0..self.w {
-                out.push(fabric.tile(x, y).core.regs[self.r_out]);
+                out.push(fabric.tile(self.ox + x, self.oy + y).core.regs[self.r_out]);
             }
         }
         (out, cycles)
@@ -526,14 +579,14 @@ impl AllReduceSplit {
         let cy0 = (h - 1) / 2;
         let cy1 = cy0 + 1;
 
-        AllReduce::configure_routes(fabric, w, h, cx0, cx1, cy0, cy1, base);
+        AllReduce::configure_routes(fabric, 0, 0, w, h, cx0, cx1, cy0, cy1, base);
 
         let mut reduce = Vec::with_capacity(w * h);
         let mut bcast = Vec::with_capacity(w * h);
         for y in 0..h {
             for x in 0..w {
                 let (up, root_tail, recv) = AllReduce::tile_body_parts(
-                    fabric, x, y, w, h, cx0, cx1, cy0, cy1, r_in, r_out, r_acc, base,
+                    fabric, 0, 0, x, y, w, h, cx0, cx1, cy0, cy1, r_in, r_out, r_acc, base,
                 );
                 let core = &mut fabric.tile_mut(x, y).core;
                 let red = core.add_task(Task::new("allreduce-reduce", up));

@@ -64,9 +64,19 @@ struct Tile2dTasks {
 }
 
 /// The 2D-mapped wafer BiCGStab solver.
+///
+/// The program occupies the `fabric_w × fabric_h` tile region whose
+/// top-left tile sits at `origin` (`(0, 0)` unless built with
+/// [`WaferBicgstab2d::build_at`]). The handle is `Clone`: because routing
+/// is per-tile state, a built program is translation-invariant, and a
+/// region blitted elsewhere is driven through [`WaferBicgstab2d::rebased`]
+/// — this is what lets the multi-tenant service compile once on a scratch
+/// fabric and place the cached image into any tenant region.
+#[derive(Clone)]
 pub struct WaferBicgstab2d {
     fabric_w: usize,
     fabric_h: usize,
+    origin: (usize, usize),
     block: Block2D,
     lay_p: Vec<Spmv2dLayout>,
     #[allow(dead_code)] // kept for symmetric diagnostics/readback
@@ -128,6 +138,24 @@ impl WaferBicgstab2d {
     /// # Panics
     /// Panics on geometry mismatch, non-unit diagonal, or SRAM exhaustion.
     pub fn build(fabric: &mut Fabric, a: &DiaMatrix<F16>, block: Block2D) -> WaferBicgstab2d {
+        Self::build_at(fabric, a, block, (0, 0))
+    }
+
+    /// Like [`WaferBicgstab2d::build`], with the program's `w × h` tile
+    /// region placed so its top-left tile sits at `origin` — the
+    /// origin-parameterized builder tenant regions are populated with. All
+    /// routes and tasks stay strictly inside the region, so co-resident
+    /// programs in disjoint regions cannot interact.
+    ///
+    /// # Panics
+    /// Panics on geometry mismatch, non-unit diagonal, SRAM exhaustion, or
+    /// a region reaching past the fabric.
+    pub fn build_at(
+        fabric: &mut Fabric,
+        a: &DiaMatrix<F16>,
+        block: Block2D,
+        origin: (usize, usize),
+    ) -> WaferBicgstab2d {
         assert!(stencil::precond::has_unit_diagonal(a), "matrix must be diagonally preconditioned");
         let mesh3 = a.mesh();
         assert_eq!(mesh3.nz, 1, "2D mapping requires nz == 1");
@@ -136,8 +164,20 @@ impl WaferBicgstab2d {
         assert_eq!(h * block.by, mesh3.ny, "mesh y must tile evenly");
 
         assert!(w >= 2 && h >= 2, "2D solver needs at least a 2x2 tile region");
-        WaferSpmv2d::configure_routes(fabric, w, h);
-        let allreduce = AllReduce::build(fabric, w, h, regs::AR_IN, regs::AR_OUT, regs::AR_ACC);
+        let (ox, oy) = origin;
+        assert!(ox + w <= fabric.width() && oy + h <= fabric.height(), "region exceeds fabric");
+        WaferSpmv2d::configure_routes_at(fabric, ox, oy, w, h);
+        let allreduce = AllReduce::build_at(
+            fabric,
+            ox,
+            oy,
+            w,
+            h,
+            regs::AR_IN,
+            regs::AR_OUT,
+            regs::AR_ACC,
+            crate::allreduce::colors::DEFAULT_BASE,
+        );
 
         let (bx, by) = (block.bx, block.by);
         let n = (bx * by) as u32;
@@ -148,7 +188,7 @@ impl WaferBicgstab2d {
 
         for ty in 0..h {
             for tx in 0..w {
-                let tile = fabric.tile_mut(tx, ty);
+                let tile = fabric.tile_mut(ox + tx, oy + ty);
                 // One copy of the nine coefficient arrays, shared by both
                 // SpMV instances (as the paper's memory accounting assumes).
                 let mut coef = [0u32; 9];
@@ -428,7 +468,39 @@ impl WaferBicgstab2d {
             }
         }
         crate::debug_lint(fabric);
-        WaferBicgstab2d { fabric_w: w, fabric_h: h, block, lay_p, lay_q, vecs, tasks, allreduce }
+        WaferBicgstab2d {
+            fabric_w: w,
+            fabric_h: h,
+            origin,
+            block,
+            lay_p,
+            lay_q,
+            vecs,
+            tasks,
+            allreduce,
+        }
+    }
+
+    /// A handle for the **same program** resident at another origin — used
+    /// after blitting the built region (e.g. a cached compiled image) to a
+    /// different place on a possibly different fabric. Task ids, SRAM
+    /// addresses, and layouts are all per-tile state that the blit copied
+    /// verbatim; only the origin changes.
+    pub fn rebased(&self, origin: (usize, usize)) -> WaferBicgstab2d {
+        let mut s = self.clone();
+        s.origin = origin;
+        s.allreduce = self.allreduce.rebased(origin.0, origin.1);
+        s
+    }
+
+    /// The `(w, h)` tile extent of the program's region.
+    pub fn region_dims(&self) -> (usize, usize) {
+        (self.fabric_w, self.fabric_h)
+    }
+
+    /// The fabric coordinates of the region's top-left tile.
+    pub fn origin(&self) -> (usize, usize) {
+        self.origin
     }
 
     fn idx(&self, x: usize, y: usize) -> usize {
@@ -446,10 +518,11 @@ impl WaferBicgstab2d {
         name: &'static str,
         pick: impl Fn(&Tile2dTasks) -> TaskId,
     ) -> Result<u64, Box<StallReport>> {
+        let (ox, oy) = self.origin;
         for y in 0..self.fabric_h {
             for x in 0..self.fabric_w {
                 let t = pick(&self.tasks[self.idx(x, y)]);
-                fabric.tile_mut(x, y).core.activate(t);
+                fabric.tile_mut(ox + x, oy + y).core.activate(t);
             }
         }
         let budget = 2_000 * (self.block.points() as u64) + 100_000;
@@ -460,9 +533,10 @@ impl WaferBicgstab2d {
     }
 
     fn try_reduce(&self, fabric: &mut Fabric) -> Result<u64, Box<StallReport>> {
+        let (ox, oy) = self.origin;
         for y in 0..self.fabric_h {
             for x in 0..self.fabric_w {
-                fabric.tile_mut(x, y).core.activate(self.allreduce.task(x, y));
+                fabric.tile_mut(ox + x, oy + y).core.activate(self.allreduce.task(x, y));
             }
         }
         fabric.phase_begin("allreduce");
@@ -496,7 +570,7 @@ impl WaferBicgstab2d {
                 }
                 let (r, r0, x, p) =
                     (self.vecs[k].r, self.vecs[k].r0, self.vecs[k].x, self.lay_p[k].v);
-                let tile = fabric.tile_mut(tx, ty);
+                let tile = fabric.tile_mut(self.origin.0 + tx, self.origin.1 + ty);
                 tile.mem.store_f16_slice(r, &local);
                 tile.mem.store_f16_slice(r0, &local);
                 tile.mem.store_f16_slice(p, &local);
@@ -551,7 +625,7 @@ impl WaferBicgstab2d {
         self.try_phase(fabric, "dot", |t| t.dot_rr)?;
         self.try_reduce(fabric)?;
         self.try_phase(fabric, "scalar", |t| t.post_rr)?;
-        Ok(fabric.tile(0, 0).core.regs[regs::RR].max(0.0).sqrt())
+        Ok(fabric.tile(self.origin.0, self.origin.1).core.regs[regs::RR].max(0.0).sqrt())
     }
 
     /// Gathers the iterate (global 2D mesh order).
@@ -562,7 +636,8 @@ impl WaferBicgstab2d {
         for ty in 0..self.fabric_h {
             for tx in 0..self.fabric_w {
                 let k = self.idx(tx, ty);
-                let local = fabric.tile(tx, ty).mem.load_f16_slice(self.vecs[k].x, bx * by);
+                let tile = fabric.tile(self.origin.0 + tx, self.origin.1 + ty);
+                let local = tile.mem.load_f16_slice(self.vecs[k].x, bx * by);
                 for i in 0..bx {
                     for j in 0..by {
                         out[mesh.idx(tx * bx + i, ty * by + j)] = local[i * by + j];

@@ -130,6 +130,12 @@ pub struct RecoveryPolicy {
     pub verify_rel: f64,
     /// Residual monitor applied after every iteration.
     pub tripwire: ResidualTripwire,
+    /// Job/tenant attribution label. Copied into [`RecoveryLog::label`] and
+    /// prefixed (as `[label]`) onto every event string, so rollbacks in a
+    /// shared-fabric service are billable to the job that incurred them
+    /// instead of appearing as anonymous ensemble events. Empty disables
+    /// the prefix.
+    pub label: String,
 }
 
 impl Default for RecoveryPolicy {
@@ -139,7 +145,16 @@ impl Default for RecoveryPolicy {
             max_retries: 3,
             verify_rel: 1e-2,
             tripwire: ResidualTripwire::default(),
+            label: String::new(),
         }
+    }
+}
+
+impl RecoveryPolicy {
+    /// This policy with the given attribution label (builder-style).
+    pub fn labeled(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
     }
 }
 
@@ -177,7 +192,12 @@ pub struct RecoveryLog {
     pub false_convergences: usize,
     /// Last committed relative (recursive) residual.
     pub final_rel_residual: f64,
-    /// Human-readable trail of every anomaly, in order.
+    /// The job/tenant label from [`RecoveryPolicy::label`] (empty when
+    /// unlabeled) — lets a billing table attribute this log without
+    /// carrying the policy around.
+    pub label: String,
+    /// Human-readable trail of every anomaly, in order. Each entry is
+    /// prefixed with `[label]` when a label is set.
     pub events: Vec<String>,
 }
 
@@ -375,13 +395,14 @@ pub fn run_with_recovery<E: WaferExec>(
     mut verify: impl FnMut(&E) -> f64,
 ) -> RecoveryLog {
     let fabric = exec;
-    let mut log = RecoveryLog::default();
+    let mut log = RecoveryLog { label: policy.label.clone(), ..RecoveryLog::default() };
+    let tag = if policy.label.is_empty() { String::new() } else { format!("[{}] ", policy.label) };
     loop {
         match init(fabric) {
             Ok(()) => break,
             Err(r) => {
                 log.stalls += 1;
-                log.events.push(format!("load: {r}"));
+                log.events.push(format!("{tag}load: {r}"));
                 if log.rollbacks >= policy.max_retries {
                     log.outcome = RecoveryOutcome::RetriesExhausted;
                     return log;
@@ -408,7 +429,7 @@ pub fn run_with_recovery<E: WaferExec>(
         let next = match step(fabric, it) {
             Err(r) => {
                 log.stalls += 1;
-                Next::Rollback(format!("iter {it}: {r}"))
+                Next::Rollback(format!("{tag}iter {it}: {r}"))
             }
             Ok(rel) => match policy.tripwire.check(rel) {
                 TripwireVerdict::Continue => Next::Advance(rel),
@@ -422,12 +443,12 @@ pub fn run_with_recovery<E: WaferExec>(
                     }
                     log.false_convergences += 1;
                     Next::Rollback(format!(
-                        "iter {it}: false convergence (recursive rel {rel:.3e}, true rel {true_rel:.3e})"
+                        "{tag}iter {it}: false convergence (recursive rel {rel:.3e}, true rel {true_rel:.3e})"
                     ))
                 }
                 v @ (TripwireVerdict::Diverged | TripwireVerdict::NonFinite) => {
                     log.tripwire_trips += 1;
-                    Next::Rollback(format!("iter {it}: tripwire {v:?} (rel {rel:.3e})"))
+                    Next::Rollback(format!("{tag}iter {it}: tripwire {v:?} (rel {rel:.3e})"))
                 }
             },
         };

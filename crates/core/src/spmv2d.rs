@@ -133,24 +133,40 @@ impl WaferSpmv2d {
     }
 
     pub(crate) fn configure_routes(fabric: &mut Fabric, w: usize, h: usize) {
+        Self::configure_routes_at(fabric, 0, 0, w, h);
+    }
+
+    /// Halo-exchange routing for a `w × h` region whose top-left tile sits
+    /// at `(ox, oy)`. Routing is boundary-aware in **region** coordinates:
+    /// no route crosses the region's edge, so co-resident programs in
+    /// disjoint regions cannot interfere (the multi-tenant containment
+    /// invariant, checked by `wse-lint`'s region lint).
+    pub(crate) fn configure_routes_at(
+        fabric: &mut Fabric,
+        ox: usize,
+        oy: usize,
+        w: usize,
+        h: usize,
+    ) {
         use colors::*;
         for y in 0..h {
             for x in 0..w {
+                let (fx, fy) = (ox + x, oy + y);
                 if x + 1 < w {
-                    fabric.set_route(x, y, Port::Ramp, HALO_E, &[Port::East]);
-                    fabric.set_route(x, y, Port::East, HALO_W, &[Port::Ramp]);
+                    fabric.set_route(fx, fy, Port::Ramp, HALO_E, &[Port::East]);
+                    fabric.set_route(fx, fy, Port::East, HALO_W, &[Port::Ramp]);
                 }
                 if x > 0 {
-                    fabric.set_route(x, y, Port::Ramp, HALO_W, &[Port::West]);
-                    fabric.set_route(x, y, Port::West, HALO_E, &[Port::Ramp]);
+                    fabric.set_route(fx, fy, Port::Ramp, HALO_W, &[Port::West]);
+                    fabric.set_route(fx, fy, Port::West, HALO_E, &[Port::Ramp]);
                 }
                 if y + 1 < h {
-                    fabric.set_route(x, y, Port::Ramp, HALO_S, &[Port::South]);
-                    fabric.set_route(x, y, Port::South, HALO_N, &[Port::Ramp]);
+                    fabric.set_route(fx, fy, Port::Ramp, HALO_S, &[Port::South]);
+                    fabric.set_route(fx, fy, Port::South, HALO_N, &[Port::Ramp]);
                 }
                 if y > 0 {
-                    fabric.set_route(x, y, Port::Ramp, HALO_N, &[Port::North]);
-                    fabric.set_route(x, y, Port::North, HALO_S, &[Port::Ramp]);
+                    fabric.set_route(fx, fy, Port::Ramp, HALO_N, &[Port::North]);
+                    fabric.set_route(fx, fy, Port::North, HALO_S, &[Port::Ramp]);
                 }
             }
         }

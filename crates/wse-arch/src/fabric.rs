@@ -238,6 +238,9 @@ struct TraceState {
     /// Per-tile counter baselines at arm time, so the exported trace
     /// carries window deltas: `(busy, idle, flits_routed, backpressure)`.
     base: Vec<(u64, u64, u64, [u64; 5])>,
+    /// Per-tile event ring capacity, kept so tiles replaced mid-window
+    /// (a [`Fabric::blit_region`]) can be re-armed consistently.
+    ring_capacity: usize,
 }
 
 /// Reusable per-cycle scratch storage owned by the fabric. Every buffer is
@@ -564,6 +567,7 @@ impl Fabric {
             phases: Vec::new(),
             open: None,
             base,
+            ring_capacity: config.ring_capacity,
         }));
         // Conservatively wake every tile: arming must never be masked by
         // activity skipping (idle tiles fall back out after one sweep).
@@ -1903,6 +1907,215 @@ impl Tile {
     /// Peeks the head of the core's injection queue without removing it.
     fn core_peek_ramp_out(&self) -> Option<&(Color, Flit)> {
         self.core.peek_ramp_out()
+    }
+}
+
+/// A rectangular tile region of a fabric — the unit of multi-tenant
+/// partitioning. Tenant programs are built region-relative (routing is
+/// per-tile and therefore translation-invariant), so the same compiled
+/// program image can be placed at any origin whose region fits the fabric.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Region {
+    /// Leftmost tile column.
+    pub x: usize,
+    /// Topmost tile row.
+    pub y: usize,
+    /// Width in tiles.
+    pub w: usize,
+    /// Height in tiles.
+    pub h: usize,
+}
+
+impl Region {
+    /// Creates a region; extents must be nonzero.
+    ///
+    /// # Panics
+    /// Panics if either extent is zero.
+    pub fn new(x: usize, y: usize, w: usize, h: usize) -> Region {
+        assert!(w > 0 && h > 0, "region extents must be nonzero");
+        Region { x, y, w, h }
+    }
+
+    /// Number of tiles in the region.
+    pub fn area(&self) -> usize {
+        self.w * self.h
+    }
+
+    /// `true` if absolute tile `(x, y)` lies inside the region.
+    pub fn contains(&self, x: usize, y: usize) -> bool {
+        x >= self.x && x < self.x + self.w && y >= self.y && y < self.y + self.h
+    }
+
+    /// `true` if the two regions share at least one tile.
+    pub fn overlaps(&self, other: &Region) -> bool {
+        self.x < other.x + other.w
+            && other.x < self.x + self.w
+            && self.y < other.y + other.h
+            && other.y < self.y + self.h
+    }
+
+    /// `true` if a `w × h` program shape fits inside this region.
+    pub fn fits(&self, w: usize, h: usize) -> bool {
+        w <= self.w && h <= self.h
+    }
+}
+
+impl std::fmt::Display for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}@({},{})", self.w, self.h, self.x, self.y)
+    }
+}
+
+/// A read-only view of one region of a fabric: region-relative tile access
+/// plus the SRAM accounting the admission-control capacity checks read.
+pub struct RegionView<'a> {
+    fabric: &'a Fabric,
+    region: Region,
+}
+
+impl RegionView<'_> {
+    /// The viewed region.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+
+    /// Tile at *region-relative* coordinates `(rx, ry)`.
+    ///
+    /// # Panics
+    /// Panics if the coordinates fall outside the region.
+    pub fn tile(&self, rx: usize, ry: usize) -> &Tile {
+        assert!(rx < self.region.w && ry < self.region.h, "tile ({rx},{ry}) outside region");
+        self.fabric.tile(self.region.x + rx, self.region.y + ry)
+    }
+
+    /// Largest per-tile SRAM allocation in the region, in bytes — the
+    /// number admission control compares against [`crate::TILE_SRAM_BYTES`].
+    pub fn sram_used_max(&self) -> u32 {
+        let mut max = 0;
+        for ry in 0..self.region.h {
+            for rx in 0..self.region.w {
+                max = max.max(self.tile(rx, ry).mem.used());
+            }
+        }
+        max
+    }
+
+    /// Total SRAM allocated across the region, in bytes (the payload a
+    /// program load must move over the host interface).
+    pub fn sram_used_total(&self) -> u64 {
+        let mut total = 0u64;
+        for ry in 0..self.region.h {
+            for rx in 0..self.region.w {
+                total += u64::from(self.tile(rx, ry).mem.used());
+            }
+        }
+        total
+    }
+
+    /// `true` when every tile in the region is individually quiescent
+    /// (core idle and router empty) — the precondition for replacing the
+    /// resident program.
+    pub fn is_quiescent(&self) -> bool {
+        for ry in 0..self.region.h {
+            for rx in 0..self.region.w {
+                let t = self.tile(rx, ry);
+                if !t.core.is_quiescent() || t.router.queued() > 0 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl Fabric {
+    /// Asserts `region` lies inside the fabric.
+    fn check_region(&self, region: Region) {
+        assert!(
+            region.x + region.w <= self.w && region.y + region.h <= self.h,
+            "region {region} outside {}x{} fabric",
+            self.w,
+            self.h
+        );
+    }
+
+    /// A read-only [`RegionView`] of `region`.
+    ///
+    /// # Panics
+    /// Panics if the region reaches outside the fabric.
+    pub fn region(&self, region: Region) -> RegionView<'_> {
+        self.check_region(region);
+        RegionView { fabric: self, region }
+    }
+
+    /// Clones the tiles of `region` into a fresh region-sized fabric
+    /// (origin shifted to `(0, 0)`).
+    ///
+    /// Because routing state is per-tile, the extract is exactly the
+    /// program a region-sized fabric would hold — which makes it the
+    /// region-scoped lint entry's input: a route that escapes the region
+    /// surfaces as an off-fabric/dangling diagnostic on the extract.
+    /// Declared edge channels are *not* carried over (tenant programs are
+    /// required to be self-contained).
+    ///
+    /// # Panics
+    /// Panics if the region reaches outside the fabric.
+    pub fn extract_region(&self, region: Region) -> Fabric {
+        self.check_region(region);
+        let mut out = Fabric::new(region.w, region.h);
+        for ry in 0..region.h {
+            for rx in 0..region.w {
+                *out.tile_mut(rx, ry) = self.tile(region.x + rx, region.y + ry).clone();
+            }
+        }
+        out
+    }
+
+    /// Copies a region-sized `template` fabric's tiles into `region`,
+    /// replacing whatever program was resident there — the warm path of
+    /// the compiled-program cache. Tiles are handed out via
+    /// [`Fabric::tile_mut`], so activity masks are re-derived before the
+    /// next step.
+    ///
+    /// # Panics
+    /// Panics if the region reaches outside the fabric or the template's
+    /// dimensions differ from the region's.
+    pub fn blit_region(&mut self, region: Region, template: &Fabric) {
+        self.check_region(region);
+        assert_eq!(
+            (template.width(), template.height()),
+            (region.w, region.h),
+            "template shape does not match region {region}"
+        );
+        debug_assert!(template.is_quiescent(), "program template must be quiescent");
+        for ry in 0..region.h {
+            for rx in 0..region.w {
+                *self.tile_mut(region.x + rx, region.y + ry) = template.tile(rx, ry).clone();
+            }
+        }
+        // Under an armed trace the blit just replaced whole cores, whose
+        // clones carry the template's (unarmed, zeroed) trace and perf
+        // state. Re-arm them at the current cycle and rebase their counter
+        // baselines so the window stays consistent — otherwise take_trace
+        // would find unarmed cores and underflowing deltas.
+        if self.trace.is_some() {
+            let cycle = self.cycle;
+            let cap = self.trace.as_deref().expect("armed").ring_capacity;
+            for ry in 0..region.h {
+                for rx in 0..region.w {
+                    let i = self.index(region.x + rx, region.y + ry);
+                    let t = &mut self.tiles[i];
+                    t.core.arm_trace(cycle, cap);
+                    let base = (
+                        t.core.perf.busy_cycles,
+                        t.core.perf.idle_cycles,
+                        t.router.flits_routed,
+                        t.router.backpressure,
+                    );
+                    self.trace.as_deref_mut().expect("armed").base[i] = base;
+                }
+            }
+        }
     }
 }
 

@@ -281,6 +281,48 @@ impl FaultPlan {
         plan
     }
 
+    /// Like [`FaultPlan::random`], but every drawn tile coordinate lands
+    /// inside `region` — the multi-tenant service's model of a fault
+    /// domain confined to one tenant's partition. The draw is the same as
+    /// `random` over the region's local `w × h` grid, translated to the
+    /// region origin, so a region plan at any origin is the same logical
+    /// plan.
+    ///
+    /// # Panics
+    /// Panics if `kind_pool` contains an ensemble-level class.
+    pub fn random_in_region(
+        seed: u64,
+        n: usize,
+        horizon: u64,
+        region: crate::fabric::Region,
+        sram_words: u32,
+        kind_pool: &[FaultKindClass],
+    ) -> FaultPlan {
+        let local = Self::random(seed, n, horizon, region.w, region.h, sram_words, kind_pool);
+        let (ox, oy) = (region.x, region.y);
+        let mut plan = FaultPlan::new();
+        for ev in local.events {
+            let kind = match ev.kind {
+                FaultKind::SramBitFlip { x, y, addr, bit } => {
+                    FaultKind::SramBitFlip { x: x + ox, y: y + oy, addr, bit }
+                }
+                FaultKind::TileKill { x, y } => FaultKind::TileKill { x: x + ox, y: y + oy },
+                FaultKind::StuckPort { x, y, port } => {
+                    FaultKind::StuckPort { x: x + ox, y: y + oy, port }
+                }
+                FaultKind::LinkCorrupt { x, y, port, bit } => {
+                    FaultKind::LinkCorrupt { x: x + ox, y: y + oy, port, bit }
+                }
+                FaultKind::LinkDrop { x, y, port } => {
+                    FaultKind::LinkDrop { x: x + ox, y: y + oy, port }
+                }
+                host => unreachable!("{} cannot come from an on-wafer pool", host.label()),
+            };
+            plan.push(ev.at_cycle, kind);
+        }
+        plan
+    }
+
     /// Draws `n` ensemble-level faults of `kind_pool` classes uniformly
     /// over `0..horizon` cycles on a `k`-wafer ensemble, deterministically
     /// from `seed`. Seam indices land in `0..k-1`, wafer indices in

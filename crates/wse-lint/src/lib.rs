@@ -186,6 +186,31 @@ pub fn lint(fabric: &Fabric) -> Vec<Diagnostic> {
     lint_ensemble(&dataflow::Ensemble::single(fabric))
 }
 
+/// Runs every rule over one rectangular region of a fabric — the
+/// admission-control lint gate of the multi-tenant service: a tenant
+/// program is verified *in isolation* before (or after) it is placed on
+/// the shared fabric.
+///
+/// The region's tiles are extracted into a scratch region-sized fabric
+/// ([`Fabric::extract_region`] — routing is per-tile, so the extract is
+/// exactly the program a dedicated fabric of that shape would hold) and
+/// linted there. This makes containment an enforced invariant for free: a
+/// route that escapes the region surfaces as `route-off-fabric` /
+/// `route-dangling` on the extract. Diagnostic coordinates are mapped
+/// back to absolute fabric coordinates.
+///
+/// # Panics
+/// Panics if the region reaches outside the fabric.
+pub fn lint_region(fabric: &Fabric, region: wse_arch::Region) -> Vec<Diagnostic> {
+    let scratch = fabric.extract_region(region);
+    let mut diags = lint(&scratch);
+    for d in &mut diags {
+        d.tile.0 += region.x;
+        d.tile.1 += region.y;
+    }
+    diags
+}
+
 /// Runs every rule over a multi-wafer ensemble: the per-shard rules on each
 /// shard (diagnostic x coordinates globalized by the shard's offset), then
 /// the whole-ensemble passes — deadlock, data races, progress — over the

@@ -43,6 +43,7 @@
 
 #![warn(missing_docs)]
 
+pub mod tenancy;
 pub mod transport;
 
 use crate::transport::{frame_checksum, Frame, TransportState};

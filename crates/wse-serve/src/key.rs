@@ -1,0 +1,203 @@
+//! Cache keys for compiled wafer programs.
+//!
+//! A compiled program is fully determined by the problem geometry and the
+//! kernel configuration — the builders are deterministic functions of
+//! these (the program-build determinism test in `tests/` proves it), which
+//! is the correctness precondition for caching compiled images by value.
+
+use std::fmt;
+use stencil::dia::DiaMatrix;
+use stencil::mesh::Mesh2D;
+
+/// Which 9-point operator a job solves.
+///
+/// Real-valued parameters are stored as IEEE-754 bit patterns so the key
+/// stays `Eq + Hash` without tolerating any numeric fuzz: two jobs share a
+/// compiled program only if their operators are bit-identical.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum StencilKind {
+    /// The 9-point Laplacian.
+    Laplace9,
+    /// 9-point convection–diffusion with the given velocity field
+    /// (`f64::to_bits` of each component).
+    ConvectionDiffusion9 {
+        /// Bit pattern of the x velocity.
+        vx_bits: u64,
+        /// Bit pattern of the y velocity.
+        vy_bits: u64,
+    },
+}
+
+impl StencilKind {
+    /// Convection–diffusion with velocity `(vx, vy)`.
+    pub fn convection(vx: f64, vy: f64) -> StencilKind {
+        StencilKind::ConvectionDiffusion9 { vx_bits: vx.to_bits(), vy_bits: vy.to_bits() }
+    }
+
+    /// Assembles the operator on `mesh` (unscaled, f64).
+    pub fn matrix(&self, mesh: Mesh2D) -> DiaMatrix<f64> {
+        match *self {
+            StencilKind::Laplace9 => stencil::stencil9::laplace9(mesh),
+            StencilKind::ConvectionDiffusion9 { vx_bits, vy_bits } => {
+                stencil::stencil9::convection_diffusion9(
+                    mesh,
+                    (f64::from_bits(vx_bits), f64::from_bits(vy_bits)),
+                )
+            }
+        }
+    }
+}
+
+impl fmt::Display for StencilKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            StencilKind::Laplace9 => write!(f, "laplace9"),
+            StencilKind::ConvectionDiffusion9 { vx_bits, vy_bits } => {
+                write!(f, "convdiff9({},{})", f64::from_bits(vx_bits), f64::from_bits(vy_bits))
+            }
+        }
+    }
+}
+
+/// Which wafer solver the program runs.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum SolverKind {
+    /// BiCGStab on the 2D block mapping (§IV.2).
+    Bicgstab2d,
+}
+
+impl fmt::Display for SolverKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverKind::Bicgstab2d => write!(f, "bicgstab2d"),
+        }
+    }
+}
+
+/// On-wafer storage precision of the Krylov state.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// fp16 vectors, fp32 scalars (the paper's mixed precision).
+    F16,
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Precision::F16 => write!(f, "f16"),
+        }
+    }
+}
+
+/// The compiled-program cache key: everything the builders read.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ProgramKey {
+    /// Global mesh extents `(nx, ny)`.
+    pub mesh: (usize, usize),
+    /// Per-core block extents `(bx, by)`; must divide the mesh evenly.
+    pub block: (usize, usize),
+    /// The operator.
+    pub stencil: StencilKind,
+    /// The solver.
+    pub solver: SolverKind,
+    /// The storage precision.
+    pub precision: Precision,
+}
+
+impl ProgramKey {
+    /// A 2D BiCGStab key. `mesh` must tile evenly by `block` into a region
+    /// of at least 2×2 tiles (the solver's minimum).
+    ///
+    /// # Panics
+    /// Panics if the geometry is inconsistent.
+    pub fn bicgstab2d(mesh: (usize, usize), block: (usize, usize), stencil: StencilKind) -> Self {
+        let key = ProgramKey {
+            mesh,
+            block,
+            stencil,
+            solver: SolverKind::Bicgstab2d,
+            precision: Precision::F16,
+        };
+        let (w, h) = key.region_tiles();
+        assert!(w >= 2 && h >= 2, "2D solver needs at least 2x2 tiles, got {w}x{h}");
+        key
+    }
+
+    /// Tile extents `(w, h)` of the region this program occupies.
+    ///
+    /// # Panics
+    /// Panics if the mesh does not tile evenly by the block.
+    pub fn region_tiles(&self) -> (usize, usize) {
+        let (nx, ny) = self.mesh;
+        let (bx, by) = self.block;
+        assert!(bx > 0 && by > 0 && nx % bx == 0 && ny % by == 0, "mesh must tile evenly");
+        (nx / bx, ny / by)
+    }
+
+    /// Number of mesh points.
+    pub fn points(&self) -> usize {
+        self.mesh.0 * self.mesh.1
+    }
+
+    /// Conservative per-tile SRAM footprint estimate in bytes, used by
+    /// admission control *before* compiling: 9 coefficient arrays, the two
+    /// SpMV inputs `p`/`q`, the vectors `r`/`r0`/`x`, and two extended
+    /// `(bx+2)(by+2)` output buffers, all fp16. The builder's bump
+    /// allocator enforces the real budget; this estimate only lets the
+    /// service refuse obviously-oversized jobs without building them.
+    pub fn sram_estimate(&self) -> u32 {
+        let (bx, by) = self.block;
+        let block_arrays = 14 * bx * by;
+        let ubufs = 2 * (bx + 2) * (by + 2);
+        (2 * (block_arrays + ubufs)) as u32
+    }
+}
+
+impl fmt::Display for ProgramKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{}/{}x{}/{}/{}/{}",
+            self.mesh.0,
+            self.mesh.1,
+            self.block.0,
+            self.block.1,
+            self.stencil,
+            self.solver,
+            self.precision
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_hash_and_compare_by_value() {
+        use std::collections::HashSet;
+        let a = ProgramKey::bicgstab2d((8, 8), (4, 4), StencilKind::convection(1.5, -0.5));
+        let b = ProgramKey::bicgstab2d((8, 8), (4, 4), StencilKind::convection(1.5, -0.5));
+        let c = ProgramKey::bicgstab2d((8, 8), (4, 4), StencilKind::convection(1.5, -0.25));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let set: HashSet<_> = [a, b, c].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn region_and_estimate_arithmetic() {
+        let k = ProgramKey::bicgstab2d((12, 8), (4, 4), StencilKind::Laplace9);
+        assert_eq!(k.region_tiles(), (3, 2));
+        assert_eq!(k.points(), 96);
+        // 14 arrays of 16 + 2 buffers of 36, fp16.
+        assert_eq!(k.sram_estimate(), 2 * (14 * 16 + 2 * 36));
+        assert_eq!(k.to_string(), "12x8/4x4/laplace9/bicgstab2d/f16");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2x2")]
+    fn rejects_degenerate_regions() {
+        let _ = ProgramKey::bicgstab2d((8, 4), (4, 4), StencilKind::Laplace9);
+    }
+}

@@ -36,6 +36,33 @@ impl PhaseReport {
         report
     }
 
+    /// Aggregates only the spans overlapping the cycle window
+    /// `[start, end)`, clipping each span to it — the per-job attribution
+    /// primitive of the multi-tenant service: the driver records the fabric
+    /// cycle at which each job starts and finishes, and this carves one
+    /// job's share out of a shared trace. Phase names are `&'static str`,
+    /// so attribution is by *when* work ran, not by dynamic labels. Markers
+    /// are kept when their stamp cycle falls inside the window.
+    /// `window_cycles` is the window's width clipped to the trace.
+    pub fn from_trace_window(trace: &FabricTrace, start: u64, end: u64) -> PhaseReport {
+        let lo = start.max(trace.start_cycle);
+        let hi = end.min(trace.end_cycle);
+        let mut report = PhaseReport { rows: Vec::new(), window_cycles: hi.saturating_sub(lo) };
+        for span in &trace.phases {
+            if span.start == span.end {
+                // Instant marker: inside the half-open window?
+                if span.start >= lo && span.start < hi {
+                    report.add(span);
+                }
+            } else if span.start < hi && span.end > lo {
+                let clipped =
+                    PhaseSpan { name: span.name, start: span.start.max(lo), end: span.end.min(hi) };
+                report.add(&clipped);
+            }
+        }
+        report
+    }
+
     fn add(&mut self, span: &PhaseSpan) {
         match self.rows.iter_mut().find(|r| r.name == span.name) {
             Some(row) => {
@@ -187,6 +214,49 @@ mod tests {
         // Markers never claim cycles: the halo phase keeps its 40.
         assert_eq!(r.cycles("halo"), 40);
         assert_eq!(r.unattributed_cycles(), 10);
+    }
+
+    #[test]
+    fn window_report_clips_spans_and_attributes_markers() {
+        // Two back-to-back "jobs" on one fabric: job A runs [0, 60), job B
+        // [60, 120). A span straddling the boundary is split between them.
+        let t = trace_with_phases(
+            vec![
+                PhaseSpan { name: "spmv", start: 0, end: 50 },
+                PhaseSpan { name: "dot", start: 50, end: 70 },
+                PhaseSpan { name: "checkpoint", start: 55, end: 55 },
+                PhaseSpan { name: "spmv", start: 70, end: 110 },
+                PhaseSpan { name: "rollback", start: 80, end: 80 },
+            ],
+            120,
+        );
+        let a = PhaseReport::from_trace_window(&t, 0, 60);
+        assert_eq!(a.cycles("spmv"), 50);
+        assert_eq!(a.cycles("dot"), 10); // clipped at 60
+        assert_eq!(a.marker_counts(), [("checkpoint", 1)]);
+        assert_eq!(a.window_cycles, 60);
+
+        let b = PhaseReport::from_trace_window(&t, 60, 120);
+        assert_eq!(b.cycles("dot"), 10); // the other half
+        assert_eq!(b.cycles("spmv"), 40);
+        assert_eq!(b.marker_counts(), [("rollback", 1)]);
+
+        // The two windows partition the full-trace attribution.
+        let full = PhaseReport::from_trace(&t);
+        for name in ["spmv", "dot"] {
+            assert_eq!(a.cycles(name) + b.cycles(name), full.cycles(name), "{name}");
+        }
+    }
+
+    #[test]
+    fn window_report_clamps_to_the_trace() {
+        let t = trace_with_phases(vec![PhaseSpan { name: "spmv", start: 10, end: 30 }], 40);
+        let r = PhaseReport::from_trace_window(&t, 0, 1_000);
+        assert_eq!(r.cycles("spmv"), 20);
+        assert_eq!(r.window_cycles, 40);
+        let empty = PhaseReport::from_trace_window(&t, 500, 600);
+        assert_eq!(empty.rows.len(), 0);
+        assert_eq!(empty.window_cycles, 0);
     }
 
     #[test]

@@ -115,4 +115,22 @@ cargo run -q --release -p wse-bench --bin multiwafer_scaling -- --smoke > "$mw_b
 diff -u "$mw_a" "$mw_b"
 grep -q "model-fidelity gate k=4: .* PASS" "$mw_a"
 
+echo "== service smoke (2 tenants x 3 shapes through wse-serve, twice, diffed) =="
+# service_bench drives seeded open-loop arrivals from two tenants through
+# the multi-tenant front door: admission, the compiled-program cache,
+# batching, labeled recovery, and per-tenant billing. Host wall-clock (the
+# cold-vs-warm compile speedup) goes to stderr; stdout (tier counts,
+# latency percentiles, billing cycles) is deterministic and diffed across
+# two runs. The cache must be exercised: hit rate strictly positive.
+sv_a="$(mktemp)"; sv_b="$(mktemp)"
+trap 'rm -f "$smoke_a" "$smoke_b" "$ens_a" "$ens_b" "$trace_a" "$trace_b" "$thr_a" "$thr_b" "$mw_a" "$mw_b" "$sv_a" "$sv_b"' EXIT
+cargo run -q --release -p wse-bench --bin service_bench -- --smoke > "$sv_a"
+cargo run -q --release -p wse-bench --bin service_bench -- --smoke > "$sv_b"
+diff -u "$sv_a" "$sv_b"
+grep -q "jobs: submitted=12 completed=12 rejected=0" "$sv_a"
+hit_rate="$(sed -n 's/^cache-hit-rate: //p' "$sv_a")"
+awk "BEGIN { exit !($hit_rate > 0) }" || {
+  echo "service smoke: cache hit rate must be > 0, got $hit_rate"; exit 1;
+}
+
 echo "verify: OK"

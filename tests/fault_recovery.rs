@@ -31,6 +31,7 @@ fn fp16_policy() -> RecoveryPolicy {
         max_retries: 3,
         verify_rel: 0.1,
         tripwire: ResidualTripwire { converged: 2e-2, diverged: 1e6 },
+        label: String::new(),
     }
 }
 
