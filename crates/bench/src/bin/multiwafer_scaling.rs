@@ -1,18 +1,27 @@
-//! Multi-wafer weak-scaling benchmark: the distributed BiCGStab driver
-//! (`wse_core::WaferBicgstabMulti`) on simulated ensembles of k ∈ {1, 2, 4}
-//! wafers, each holding a fixed per-wafer slab, with the paper-default
-//! host interconnect (1 TB/s per seam, 0.2 µs one-way).
+//! Multi-wafer weak-scaling benchmark: the distributed single-reduction
+//! BiCGStab driver (`wse_core::WaferBicgstabMulti::build_fused`) on
+//! simulated ensembles of k ∈ {1, 2, 4, 8} wafers, each holding a fixed
+//! per-wafer slab, with the paper-default host interconnect (1 TB/s per
+//! seam, 0.2 µs one-way).
 //!
 //! For every k the ensemble runs real iterations and reports the cycle
-//! breakdown — on-wafer compute phases, seam halo exchanges, and the
-//! host-level AllReduce hops — plus µs/iteration at the inferred 0.9 GHz
-//! clock, next to the analytic `perf_model::multiwafer` prediction for
-//! the same shape. Weak-scaling efficiency is `t(k=1) / t(k)`.
+//! breakdown — on-wafer compute phases, the *exposed* and *hidden* parts
+//! of the seam halo exchanges, and the single fused host AllReduce
+//! round-trip — plus µs/iteration at the inferred 0.9 GHz clock, next to
+//! the analytic `perf_model::multiwafer` prediction for the same shape.
+//! Weak-scaling efficiency is `t(k=1) / t(k)`.
+//!
+//! Two gates run on every invocation:
+//! - **model fidelity**: the measured interconnect cycles (exposed halo +
+//!   host AllReduce) must bracket `interconnect_overlapped_us` fed the
+//!   measured SpMV window — at least the modeled wire time, at most 2× it;
+//! - **weak efficiency**: k=2 must beat the pre-overlap serial schedule's
+//!   0.31, and the full run must reach ≥ 0.8 at k=4.
 //!
 //! Wall-clock timings go to **stderr**; stdout is bit-for-bit
-//! deterministic (cycle counts, residuals, and the efficiency verdict),
-//! which `scripts/verify.sh` checks by diffing two `--smoke` runs. The
-//! full run additionally writes `BENCH_multiwafer.json`.
+//! deterministic (cycle counts, residuals, and the gate verdicts), which
+//! `scripts/verify.sh` checks by diffing two `--smoke` runs. The full run
+//! additionally writes `BENCH_multiwafer.json`.
 //!
 //! Usage:
 //! ```text
@@ -35,6 +44,9 @@ use wse_multi::{HostLink, MultiFabric};
 const SLAB_W: usize = 4;
 /// Fabric height (tiles along Y).
 const FAB_H: usize = 4;
+/// The serial-schedule k=2 smoke efficiency before overlap + fusion; the
+/// weak-efficiency gate must beat it.
+const SERIAL_K2_SMOKE_EFF: f64 = 0.31;
 
 /// One ensemble's measured result.
 struct Measurement {
@@ -55,10 +67,14 @@ impl Measurement {
     fn us_per_iter(&self, clock_ghz: f64) -> f64 {
         self.cycles_per_iter() / (clock_ghz * 1e3)
     }
+    /// Mean measured SpMV window, µs (two windows per iteration).
+    fn spmv_window_us(&self, clock_ghz: f64) -> f64 {
+        self.cycles.compute.spmv as f64 / (2.0 * self.iters as f64) / (clock_ghz * 1e3)
+    }
 }
 
 /// Builds a k-wafer ensemble over a weak-scaled manufactured problem and
-/// runs `iters` distributed iterations.
+/// runs `iters` distributed iterations of the fused solver.
 fn measure(k: usize, z: usize, iters: usize, clock_ghz: f64) -> Measurement {
     let mesh = Mesh3D::new(SLAB_W * k, FAB_H, z);
     let p = manufactured(mesh, (1.0, -0.5, 0.5), 3).preconditioned();
@@ -66,7 +82,7 @@ fn measure(k: usize, z: usize, iters: usize, clock_ghz: f64) -> Measurement {
     let b16: Vec<F16> = p.rhs.iter().map(|&v| F16::from_f64(v)).collect();
 
     let mut multi = MultiFabric::new(SLAB_W * k, FAB_H, k, HostLink::new(1000.0, 0.2, clock_ghz));
-    let solver = WaferBicgstabMulti::build(&mut multi, &a16);
+    let solver = WaferBicgstabMulti::build_fused(&mut multi, &a16);
     let wall = Instant::now();
     solver.load_rhs(&mut multi, &b16);
     let mut cycles = MultiIterCycles::default();
@@ -78,6 +94,7 @@ fn measure(k: usize, z: usize, iters: usize, clock_ghz: f64) -> Measurement {
         cycles.compute.update += c.compute.update;
         cycles.compute.scalar += c.compute.scalar;
         cycles.halo += c.halo;
+        cycles.halo_hidden += c.halo_hidden;
         cycles.host_allreduce += c.host_allreduce;
     }
     let norm_b: f64 = b16.iter().map(|v| v.to_f64() * v.to_f64()).sum::<f64>().sqrt();
@@ -105,8 +122,11 @@ fn render_json(results: &[Measurement], clock_ghz: f64) -> String {
         "  \"link\": {{\"gb_per_s\": 1000.0, \"latency_us\": 0.2}},\n  \"clock_ghz\": {clock_ghz},\n"
     ));
     s.push_str(
-        "  \"note\": \"weak scaling: fixed per-wafer slab, k wafers along X; \
-                cycles are simulated ensemble cycles, model is perf_model::multiwafer\",\n",
+        "  \"note\": \"weak scaling: fixed per-wafer slab, k wafers along X; fused \
+                single-reduction BiCGStab with overlapped halo exchange; halo_exposed is \
+                seam wire time left on the critical path, halo_hidden the part overlapped \
+                behind interior SpMV compute (excluded from totals); model is \
+                perf_model::multiwafer\",\n",
     );
     s.push_str("  \"results\": [\n");
     let t1 = results[0].us_per_iter(clock_ghz);
@@ -117,7 +137,8 @@ fn render_json(results: &[Measurement], clock_ghz: f64) -> String {
             "    {{\"k\": {}, \"mesh\": [{}, {}, {}], \"iters\": {}, \
              \"cycles_per_iter\": {:.1}, \"us_per_iter\": {:.3}, \
              \"phase_cycles\": {{\"spmv\": {}, \"dot\": {}, \"allreduce\": {}, \"update\": {}, \
-             \"scalar\": {}, \"halo\": {}, \"host_allreduce\": {}}}, \
+             \"scalar\": {}, \"halo_exposed\": {}, \"halo_hidden\": {}, \
+             \"host_allreduce_exposed\": {}}}, \
              \"model_us_per_iter\": {:.3}, \"weak_efficiency\": {:.3}, \
              \"final_rel_residual\": {:.3e}}}{}",
             m.k,
@@ -133,6 +154,7 @@ fn render_json(results: &[Measurement], clock_ghz: f64) -> String {
             m.cycles.compute.update,
             m.cycles.compute.scalar,
             m.cycles.halo,
+            m.cycles.halo_hidden,
             m.cycles.host_allreduce,
             m.model_time_us,
             t1 / us,
@@ -155,17 +177,20 @@ fn main() {
         .unwrap_or_else(|| "BENCH_multiwafer.json".to_string());
 
     let clock_ghz = Cs1Model::default().clock_ghz;
-    let (z, iters) = if smoke { (16, 2) } else { (64, 4) };
+    let (z, iters) = if smoke { (16, 2) } else { (256, 4) };
+    let ks: &[usize] = if smoke { &[1, 2, 4] } else { &[1, 2, 4, 8] };
     println!(
-        "multiwafer_scaling: k wafers x ({SLAB_W}x{FAB_H}x{z}) slab, 1000 GB/s / 0.2 us links"
+        "multiwafer_scaling: k wafers x ({SLAB_W}x{FAB_H}x{z}) slab, 1000 GB/s / 0.2 us links, \
+         fused single-reduction BiCGStab"
     );
 
     let mut results = Vec::new();
-    for k in [1usize, 2, 4] {
+    for &k in ks {
         let m = measure(k, z, iters, clock_ghz);
         println!(
             "k={}: mesh {}x{}x{}, {} iters, {:.0} cycles/iter \
-             (halo {} + host_allreduce {} of {} total), rel residual {:.3e}",
+             (halo_exposed {} + halo_hidden {} + host_allreduce {} of {} total), \
+             weak_eff {:.3}, rel residual {:.3e}",
             m.k,
             m.mesh.0,
             m.mesh.1,
@@ -173,8 +198,12 @@ fn main() {
             m.iters,
             m.cycles_per_iter(),
             m.cycles.halo,
+            m.cycles.halo_hidden,
             m.cycles.host_allreduce,
             m.cycles.total(),
+            results
+                .first()
+                .map_or(1.0, |t1: &Measurement| { t1.cycles_per_iter() / m.cycles_per_iter() }),
             m.final_residual
         );
         eprintln!(
@@ -188,16 +217,15 @@ fn main() {
     }
 
     // Model-fidelity gate: the cycles the ensemble actually spends on the
-    // interconnect (halo + host AllReduce hops) must bracket the analytic
-    // wire-time floor — at least the modeled time, at most 2x of it. (At
-    // this toy scale link latency dominates the tiny compute, so raw weak
-    // efficiency is not meaningful; at paper scale the same additive term
-    // is small against 28 us/iteration.)
+    // interconnect (exposed halo + the fused host AllReduce round-trip)
+    // must bracket the overlapped model fed the measured SpMV window — at
+    // least the modeled wire time, at most 2x of it.
     for m in &results[1..] {
         let model =
             MultiWafer { k: m.k, link_gb_s: 1000.0, link_latency_us: 0.2, ..Default::default() };
-        let (halo_us, reduce_us) = model.interconnect_us(FAB_H, z);
-        let model_cycles = ((halo_us + reduce_us) * clock_ghz * 1e3) as u64;
+        let (exposed_us, reduce_us) =
+            model.interconnect_overlapped_us(FAB_H, z, m.spmv_window_us(clock_ghz));
+        let model_cycles = ((exposed_us + reduce_us) * clock_ghz * 1e3) as u64;
         let sim = (m.cycles.halo + m.cycles.host_allreduce) / m.iters as u64;
         let ok = sim >= model_cycles && sim <= 2 * model_cycles;
         println!(
@@ -210,6 +238,34 @@ fn main() {
         );
         assert!(ok, "k={} interconnect {sim} cycles/iter vs model {model_cycles}", m.k);
     }
+
+    // Weak-efficiency gates: k=2 must beat the serial schedule it replaced
+    // even at smoke scale, and the full (z=256) run must hold >= 0.8 at k=4.
+    let t1 = results[0].cycles_per_iter();
+    let eff = |k: usize| {
+        let m = results.iter().find(|m| m.k == k).expect("measured k");
+        t1 / m.cycles_per_iter()
+    };
+    let e2 = eff(2);
+    let ok2 = e2 > SERIAL_K2_SMOKE_EFF;
+    println!(
+        "weak-efficiency gate k=2: {:.3} (must beat serial-schedule {:.2}): {}",
+        e2,
+        SERIAL_K2_SMOKE_EFF,
+        if ok2 { "PASS" } else { "FAIL" }
+    );
+    assert!(ok2, "k=2 weak efficiency {e2:.3} regressed to the serial schedule");
+    if !smoke {
+        let e4 = eff(4);
+        let ok4 = e4 >= 0.8;
+        println!(
+            "weak-efficiency gate k=4: {:.3} (must be >= 0.80): {}",
+            e4,
+            if ok4 { "PASS" } else { "FAIL" }
+        );
+        assert!(ok4, "k=4 weak efficiency {e4:.3} below the 0.8 target");
+    }
+
     // All ensembles converge on their (weak-scaled) problems.
     for m in &results {
         assert!(

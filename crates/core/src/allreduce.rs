@@ -624,6 +624,306 @@ impl AllReduceSplit {
     }
 }
 
+/// Virtual channels for the [`ChainReduce`] vector AllReduce. These alias
+/// the 2-D SpMV's halo colors (16..20), which is safe: the two programs are
+/// never resident on the same fabric, and routes are per-tile.
+pub mod chain_colors {
+    /// Westward row chains (every row reduces toward `x = 0`).
+    pub const ROW: u8 = 16;
+    /// Northward column chain on `x = 0` (toward the root `(0, 0)`).
+    pub const COL: u8 = 17;
+    /// Result broadcast from the root.
+    pub const BC: u8 = 18;
+}
+
+/// A **vector** AllReduce: element-wise sum of an `m`-word fp32 payload
+/// resident at the same address `pay` on every tile, reduced to the root
+/// tile `(0, 0)` by systolic chains (west along every row, then north along
+/// column 0), plus a broadcast phase that streams a host-written reply from
+/// the root to every tile's registers.
+///
+/// The scalar [`AllReduce`] tree cannot carry multi-word payloads — its
+/// `SumReg` fan-in interleaves flits from several senders, which is fine for
+/// commutative scalar accumulation but scrambles vector lanes. The chains
+/// here have exactly one upstream neighbour per tile, so lanes stay
+/// aligned: each relay computes `tx[i] = rx[i] + pay[i]` in lock-step.
+///
+/// This is the transport under the fused single-reduction BiCGStab: all of
+/// an iteration's dot products ride one payload, the host combines the
+/// per-wafer roots' partials over the host links (binomial tree), writes
+/// the derived scalars back to each root, and the broadcast loads them into
+/// every tile's registers — one host round-trip per solver iteration.
+pub struct ChainReduce {
+    w: usize,
+    h: usize,
+    /// Byte address of the `m`-word fp32 payload on every tile. After the
+    /// reduce phase, the root's copy holds the element-wise global sum.
+    pub pay: u32,
+    /// Payload length in fp32 words.
+    pub m: u32,
+    /// Byte address (root tile only) of the host-written broadcast source.
+    pub bc_src: u32,
+    reduce: Vec<TaskId>,
+    bcast: Vec<TaskId>,
+}
+
+impl ChainReduce {
+    /// Builds routes and per-tile reduce/broadcast tasks over the `w × h`
+    /// region at the fabric origin. `pay` is the payload address (same on
+    /// every tile); `bc_src` is where the host writes the reply on the root
+    /// before the broadcast phase; `bc_regs` lists the registers every tile
+    /// loads from the reply stream, in stream order.
+    ///
+    /// # Panics
+    /// Panics if the region is empty, exceeds the fabric, or `bc_regs` is
+    /// empty.
+    pub fn build(
+        fabric: &mut Fabric,
+        w: usize,
+        h: usize,
+        pay: u32,
+        m: u32,
+        bc_src: u32,
+        bc_regs: &[Reg],
+    ) -> ChainReduce {
+        assert!(w >= 1 && h >= 1, "ChainReduce needs a non-empty region");
+        assert!(w <= fabric.width() && h <= fabric.height(), "region exceeds fabric");
+        assert!(!bc_regs.is_empty(), "broadcast payload must be non-empty");
+        let nbc = bc_regs.len() as u32;
+
+        // --- Routes. ---
+        for y in 0..h {
+            // Row chains flow west; each relay consumes at the ramp and
+            // re-emits its partial from the ramp.
+            if w > 1 {
+                fabric.set_route(w - 1, y, Port::Ramp, chain_colors::ROW, &[Port::West]);
+                for x in 1..w - 1 {
+                    fabric.set_route(x, y, Port::East, chain_colors::ROW, &[Port::Ramp]);
+                    fabric.set_route(x, y, Port::Ramp, chain_colors::ROW, &[Port::West]);
+                }
+                fabric.set_route(0, y, Port::East, chain_colors::ROW, &[Port::Ramp]);
+            }
+        }
+        if h > 1 {
+            fabric.set_route(0, h - 1, Port::Ramp, chain_colors::COL, &[Port::North]);
+            for y in 1..h - 1 {
+                fabric.set_route(0, y, Port::South, chain_colors::COL, &[Port::Ramp]);
+                fabric.set_route(0, y, Port::Ramp, chain_colors::COL, &[Port::North]);
+            }
+            fabric.set_route(0, 0, Port::South, chain_colors::COL, &[Port::Ramp]);
+        }
+        // Broadcast: east along row 0, south down every column.
+        {
+            let mut fan = Vec::new();
+            if w > 1 {
+                fan.push(Port::East);
+            }
+            if h > 1 {
+                fan.push(Port::South);
+            }
+            if !fan.is_empty() {
+                fabric.set_route(0, 0, Port::Ramp, chain_colors::BC, &fan);
+            }
+        }
+        for x in 1..w {
+            let mut fan = vec![Port::Ramp];
+            if x < w - 1 {
+                fan.push(Port::East);
+            }
+            if h > 1 {
+                fan.push(Port::South);
+            }
+            fabric.set_route(x, 0, Port::West, chain_colors::BC, &fan);
+        }
+        for y in 1..h {
+            for x in 0..w {
+                let mut fan = vec![Port::Ramp];
+                if y < h - 1 {
+                    fan.push(Port::South);
+                }
+                fabric.set_route(x, y, Port::North, chain_colors::BC, &fan);
+            }
+        }
+
+        // --- Tasks. ---
+        let mut reduce = Vec::with_capacity(w * h);
+        let mut bcast = Vec::with_capacity(w * h);
+        for y in 0..h {
+            for x in 0..w {
+                let core = &mut fabric.tile_mut(x, y).core;
+                let d_pay = core.add_dsr(mk::tensor32(pay, m));
+                let mut body = Vec::new();
+                // Row segment: rightmost sends, middles relay-and-add,
+                // column 0 folds the row stream into its payload.
+                if w > 1 {
+                    body.push(Stmt::InitDsr { dsr: d_pay, desc: mk::tensor32(pay, m) });
+                    if x == w - 1 {
+                        let d_tx = core.add_dsr(mk::tx32(chain_colors::ROW, m));
+                        body.push(Stmt::InitDsr {
+                            dsr: d_tx,
+                            desc: mk::tx32(chain_colors::ROW, m),
+                        });
+                        body.push(Stmt::Exec(TensorInstr {
+                            op: Op::Copy,
+                            dst: Some(d_tx),
+                            a: Some(d_pay),
+                            b: None,
+                        }));
+                    } else if x > 0 {
+                        let d_tx = core.add_dsr(mk::tx32(chain_colors::ROW, m));
+                        let d_rx = core.add_dsr(mk::rx32(chain_colors::ROW, m));
+                        body.push(Stmt::InitDsr {
+                            dsr: d_tx,
+                            desc: mk::tx32(chain_colors::ROW, m),
+                        });
+                        body.push(Stmt::InitDsr {
+                            dsr: d_rx,
+                            desc: mk::rx32(chain_colors::ROW, m),
+                        });
+                        body.push(Stmt::Exec(TensorInstr {
+                            op: Op::Add,
+                            dst: Some(d_tx),
+                            a: Some(d_rx),
+                            b: Some(d_pay),
+                        }));
+                    } else {
+                        let d_rx = core.add_dsr(mk::rx32(chain_colors::ROW, m));
+                        body.push(Stmt::InitDsr {
+                            dsr: d_rx,
+                            desc: mk::rx32(chain_colors::ROW, m),
+                        });
+                        body.push(Stmt::Exec(TensorInstr {
+                            op: Op::AddAssign,
+                            dst: Some(d_pay),
+                            a: Some(d_rx),
+                            b: None,
+                        }));
+                    }
+                }
+                // Column segment on x = 0, after the row fold above.
+                if x == 0 && h > 1 {
+                    let d_pay2 = core.add_dsr(mk::tensor32(pay, m));
+                    body.push(Stmt::InitDsr { dsr: d_pay2, desc: mk::tensor32(pay, m) });
+                    if y == h - 1 {
+                        let d_tx = core.add_dsr(mk::tx32(chain_colors::COL, m));
+                        body.push(Stmt::InitDsr {
+                            dsr: d_tx,
+                            desc: mk::tx32(chain_colors::COL, m),
+                        });
+                        body.push(Stmt::Exec(TensorInstr {
+                            op: Op::Copy,
+                            dst: Some(d_tx),
+                            a: Some(d_pay2),
+                            b: None,
+                        }));
+                    } else if y > 0 {
+                        let d_tx = core.add_dsr(mk::tx32(chain_colors::COL, m));
+                        let d_rx = core.add_dsr(mk::rx32(chain_colors::COL, m));
+                        body.push(Stmt::InitDsr {
+                            dsr: d_tx,
+                            desc: mk::tx32(chain_colors::COL, m),
+                        });
+                        body.push(Stmt::InitDsr {
+                            dsr: d_rx,
+                            desc: mk::rx32(chain_colors::COL, m),
+                        });
+                        body.push(Stmt::Exec(TensorInstr {
+                            op: Op::Add,
+                            dst: Some(d_tx),
+                            a: Some(d_rx),
+                            b: Some(d_pay2),
+                        }));
+                    } else {
+                        let d_rx = core.add_dsr(mk::rx32(chain_colors::COL, m));
+                        body.push(Stmt::InitDsr {
+                            dsr: d_rx,
+                            desc: mk::rx32(chain_colors::COL, m),
+                        });
+                        body.push(Stmt::Exec(TensorInstr {
+                            op: Op::AddAssign,
+                            dst: Some(d_pay2),
+                            a: Some(d_rx),
+                            b: None,
+                        }));
+                    }
+                }
+                let red = core.add_task(Task::new("chain-reduce", body));
+                core.mark_entry(red);
+                reduce.push(red);
+
+                // Broadcast task: the root streams the host reply out and
+                // loads its own registers from memory; everyone else loads
+                // the registers straight off the stream, in order.
+                let mut bc_body = Vec::new();
+                if x == 0 && y == 0 {
+                    if w > 1 || h > 1 {
+                        let d_src = core.add_dsr(mk::tensor32(bc_src, nbc));
+                        let d_tx = core.add_dsr(mk::tx32(chain_colors::BC, nbc));
+                        bc_body.push(Stmt::InitDsr { dsr: d_src, desc: mk::tensor32(bc_src, nbc) });
+                        bc_body.push(Stmt::InitDsr {
+                            dsr: d_tx,
+                            desc: mk::tx32(chain_colors::BC, nbc),
+                        });
+                        bc_body.push(Stmt::Exec(TensorInstr {
+                            op: Op::Copy,
+                            dst: Some(d_tx),
+                            a: Some(d_src),
+                            b: None,
+                        }));
+                    }
+                    for (i, &reg) in bc_regs.iter().enumerate() {
+                        let desc = mk::tensor32(bc_src + 4 * i as u32, 1);
+                        let d = core.add_dsr(desc);
+                        bc_body.push(Stmt::InitDsr { dsr: d, desc });
+                        bc_body.push(Stmt::Exec(TensorInstr {
+                            op: Op::LoadReg { reg },
+                            dst: None,
+                            a: Some(d),
+                            b: None,
+                        }));
+                    }
+                } else {
+                    for &reg in bc_regs {
+                        let desc = mk::rx32(chain_colors::BC, 1);
+                        let d = core.add_dsr(desc);
+                        bc_body.push(Stmt::InitDsr { dsr: d, desc });
+                        bc_body.push(Stmt::Exec(TensorInstr {
+                            op: Op::LoadReg { reg },
+                            dst: None,
+                            a: Some(d),
+                            b: None,
+                        }));
+                    }
+                }
+                let bc = core.add_task(Task::new("chain-bcast", bc_body));
+                core.mark_entry(bc);
+                bcast.push(bc);
+            }
+        }
+        ChainReduce { w, h, pay, m, bc_src, reduce, bcast }
+    }
+
+    /// The reduce-phase task to activate on tile `(x, y)`.
+    pub fn reduce_task(&self, x: usize, y: usize) -> TaskId {
+        self.reduce[y * self.w + x]
+    }
+
+    /// The broadcast-phase task to activate on tile `(x, y)`.
+    pub fn bcast_task(&self, x: usize, y: usize) -> TaskId {
+        self.bcast[y * self.w + x]
+    }
+
+    /// The root tile whose payload holds the reduced vector.
+    pub fn root(&self) -> (usize, usize) {
+        (0, 0)
+    }
+
+    /// The region this instance was built over.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.w, self.h)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -722,6 +1022,96 @@ mod tests {
             for x in 0..w {
                 let got = fabric.tile(x, y).core.regs[R_OUT];
                 assert!((got - expect).abs() <= 1e-3, "tile ({x},{y}) got {got}");
+            }
+        }
+    }
+
+    #[test]
+    fn chain_reduce_sums_vector_payloads_lane_aligned() {
+        // Each tile contributes a distinct m-word payload; the root must
+        // end with the exact element-wise sum (fp32, deterministic order).
+        let (w, h, m) = (5usize, 4usize, 14u32);
+        let mut fabric = Fabric::new(w, h);
+        let mut pay = 0;
+        let mut bc_src = 0;
+        for y in 0..h {
+            for x in 0..w {
+                let t = fabric.tile_mut(x, y);
+                pay = t.mem.alloc_vec(m, wse_arch::types::Dtype::F32).unwrap();
+                bc_src = t.mem.alloc_vec(7, wse_arch::types::Dtype::F32).unwrap();
+                for j in 0..m {
+                    let v = (y * w + x) as f32 + j as f32 * 0.125;
+                    t.mem.write_f32(pay + 4 * j, v);
+                }
+            }
+        }
+        let regs: [Reg; 7] = [2, 3, 6, 7, 12, 9, 11];
+        let cr = ChainReduce::build(&mut fabric, w, h, pay, m, bc_src, &regs);
+        for y in 0..h {
+            for x in 0..w {
+                let t = cr.reduce_task(x, y);
+                fabric.tile_mut(x, y).core.activate(t);
+            }
+        }
+        fabric.run_until_quiescent(100_000).unwrap();
+        let tile_sum: f32 = (0..w * h).map(|i| i as f32).sum();
+        for j in 0..m {
+            let got = fabric.tile(0, 0).mem.read_f32(pay + 4 * j);
+            let expect = tile_sum + (w * h) as f32 * j as f32 * 0.125;
+            assert!((got - expect).abs() < 1e-3, "lane {j}: got {got}, expect {expect}");
+        }
+        // Host writes a 7-word reply on the root; broadcast loads it into
+        // the named registers on every tile.
+        for (i, _) in regs.iter().enumerate() {
+            fabric.tile_mut(0, 0).mem.write_f32(bc_src + 4 * i as u32, 10.0 + i as f32);
+        }
+        for y in 0..h {
+            for x in 0..w {
+                let t = cr.bcast_task(x, y);
+                fabric.tile_mut(x, y).core.activate(t);
+            }
+        }
+        fabric.run_until_quiescent(100_000).unwrap();
+        for y in 0..h {
+            for x in 0..w {
+                for (i, &r) in regs.iter().enumerate() {
+                    let got = fabric.tile(x, y).core.regs[r];
+                    assert_eq!(got, 10.0 + i as f32, "tile ({x},{y}) reg {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chain_reduce_reruns_and_degenerate_regions() {
+        // Re-running must re-fold from the current payload (descriptors
+        // rewound per activation), and 1xN / Nx1 / 1x1 regions must work.
+        for (w, h) in [(1usize, 1usize), (1, 4), (4, 1), (3, 3)] {
+            let mut fabric = Fabric::new(w.max(2), h.max(2));
+            let mut pay = 0;
+            let mut bc_src = 0;
+            for y in 0..h.max(2) {
+                for x in 0..w.max(2) {
+                    let t = fabric.tile_mut(x, y);
+                    pay = t.mem.alloc_vec(3, wse_arch::types::Dtype::F32).unwrap();
+                    bc_src = t.mem.alloc_vec(1, wse_arch::types::Dtype::F32).unwrap();
+                }
+            }
+            let cr = ChainReduce::build(&mut fabric, w, h, pay, 3, bc_src, &[5]);
+            for round in 1..=2u32 {
+                for y in 0..h {
+                    for x in 0..w {
+                        let t = fabric.tile_mut(x, y);
+                        for j in 0..3 {
+                            t.mem.write_f32(pay + 4 * j, round as f32);
+                        }
+                        let task = cr.reduce_task(x, y);
+                        t.core.activate(task);
+                    }
+                }
+                fabric.run_until_quiescent(100_000).unwrap();
+                let got = fabric.tile(0, 0).mem.read_f32(pay + 4);
+                assert_eq!(got, (w * h) as f32 * round as f32, "{w}x{h} round {round}");
             }
         }
     }

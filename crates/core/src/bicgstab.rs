@@ -56,6 +56,9 @@ pub mod regs {
     pub const TMP: Reg = 10;
     /// ‖r‖² from the observability dot.
     pub const RR: Reg = 11;
+    /// α·ω — the fused single-reduction iteration's `r += αω·(A s)`
+    /// correction scalar (see `crate::multi`).
+    pub const ALPHA_OMEGA: Reg = 12;
     /// Local dot accumulator.
     pub const DOT_ACC: Reg = 20;
     /// AllReduce input.

@@ -27,7 +27,11 @@ use wse_arch::{Fabric, Tile};
 use wse_float::F16;
 
 /// Virtual channels for the halo exchange (disjoint from SpMV-3D and
-/// AllReduce colors).
+/// scalar-AllReduce colors). The fused multi-wafer solver's
+/// [`crate::allreduce::chain_colors`] (16–18) alias these, which is safe:
+/// a 2-D SpMV program and a chain-reduce program are never resident on
+/// the same fabric, and routes are per-tile. The multi-wafer seam halo
+/// (colors 22–23 in [`crate::multi`]) stays disjoint from both.
 pub mod colors {
     /// Eastward halo strips.
     pub const HALO_E: u8 = 16;

@@ -30,12 +30,18 @@ use stencil::precond::has_unit_diagonal;
 use wse_arch::dsr::mk;
 use wse_arch::fifo::Fifo;
 use wse_arch::instr::{Op, Stmt, Task, TaskAction, TensorInstr};
-use wse_arch::types::{Dtype, TaskId};
+use wse_arch::types::{Color, Dtype, TaskId};
 use wse_arch::{Fabric, Tile};
 use wse_float::F16;
 
 /// Depth of the intermediate-product FIFOs ("We used a FIFO depth of 20").
 pub const FIFO_DEPTH: u32 = 20;
+
+/// Background-thread slot the overlapped seam-halo send launches into (the
+/// SpMV kernel itself occupies slots 0–3, 5 and 6).
+pub const HALO_SEND_SLOT: u8 = 7;
+/// Background-thread slot the overlapped seam-halo receive launches into.
+pub const HALO_RECV_SLOT: u8 = 8;
 
 /// Byte addresses of one tile's SpMV data.
 #[derive(Copy, Clone, Debug)]
@@ -131,6 +137,19 @@ pub fn build_spmv_tile(
     )
 }
 
+/// How a seam tile's ±x halo contribution enters the SpMV.
+enum SeamFold {
+    /// Fold each present halo buffer in with a synchronous fused
+    /// multiply-add right after the z terms (the buffer was filled by a
+    /// separate, serial halo phase).
+    Sync(HaloBuffers),
+    /// Interior-first: the named [`build_overlap_halo`] fold tasks carry
+    /// the halo terms. The SpMV body only *unblocks* them once `u` is
+    /// initialized; each fires when its receive also completes, so halo
+    /// wire time hides behind the interior compute.
+    Overlap(Vec<TaskId>),
+}
+
 /// [`build_spmv_tile`] with wafer-seam halo terms: for each `Some` halo
 /// buffer, the kernel adds `u += a_x± · halo` as a synchronous fused
 /// multiply-add right after the in-memory z terms. With both halos `None`
@@ -144,6 +163,49 @@ pub fn build_spmv_tile_halo(
     region_h: usize,
     layout: SpmvLayout,
     halo: HaloBuffers,
+    continuation: Option<(TaskId, TaskAction)>,
+) -> SpmvTasks {
+    build_spmv_tile_seam(tile, x, y, region_w, region_h, layout, SeamFold::Sync(halo), continuation)
+}
+
+/// [`build_spmv_tile`] in the **interior-first overlapped** schedule: the
+/// interior compute starts immediately, and each task in `folds` (built
+/// with [`build_overlap_halo`]) is unblocked right after `u` is
+/// initialized by the z terms. With `folds` empty the built program is
+/// identical to [`build_spmv_tile`]'s — interior tiles never pay for the
+/// seam machinery.
+#[allow(clippy::too_many_arguments)]
+pub fn build_spmv_tile_overlapped(
+    tile: &mut Tile,
+    x: usize,
+    y: usize,
+    region_w: usize,
+    region_h: usize,
+    layout: SpmvLayout,
+    folds: Vec<TaskId>,
+    continuation: Option<(TaskId, TaskAction)>,
+) -> SpmvTasks {
+    build_spmv_tile_seam(
+        tile,
+        x,
+        y,
+        region_w,
+        region_h,
+        layout,
+        SeamFold::Overlap(folds),
+        continuation,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_spmv_tile_seam(
+    tile: &mut Tile,
+    x: usize,
+    y: usize,
+    region_w: usize,
+    region_h: usize,
+    layout: SpmvLayout,
+    seam: SeamFold,
     continuation: Option<(TaskId, TaskAction)>,
 ) -> SpmvTasks {
     let z = layout.z;
@@ -290,20 +352,33 @@ pub fn build_spmv_tile_halo(
         b: Some(d_zp_b),
     }));
 
-    // Wafer-seam halo terms: the ±x neighbor's column arrived by host
-    // interconnect into SRAM before this phase, so it is folded in from
-    // memory like the z terms (no fabric stream exists for it).
-    for (buf, coeff) in [(halo.xp, layout.diag[0]), (halo.xm, layout.diag[1])] {
-        if let Some(base) = buf {
-            let d_a = core.add_dsr(mk::tensor16(coeff, z));
-            let d_b = core.add_dsr(mk::tensor16(base, z));
-            let d_u = core.add_dsr(mk::tensor16(layout.u, z));
-            body.push(Stmt::Exec(TensorInstr {
-                op: Op::FmaAssign,
-                dst: Some(d_u),
-                a: Some(d_a),
-                b: Some(d_b),
-            }));
+    // Wafer-seam halo terms. Serial schedule: the ±x neighbor's column
+    // arrived by host interconnect into SRAM before this phase, so it is
+    // folded in from memory like the z terms (no fabric stream exists for
+    // it). Overlapped schedule: `u` is now initialized, so release the
+    // fold barriers — each fires as soon as its background receive also
+    // lands, concurrently with the product threads below (the fold is an
+    // accumulate-class FMA, so it commutes with the FIFO drains).
+    match &seam {
+        SeamFold::Sync(halo) => {
+            for (buf, coeff) in [(halo.xp, layout.diag[0]), (halo.xm, layout.diag[1])] {
+                if let Some(base) = buf {
+                    let d_a = core.add_dsr(mk::tensor16(coeff, z));
+                    let d_b = core.add_dsr(mk::tensor16(base, z));
+                    let d_u = core.add_dsr(mk::tensor16(layout.u, z));
+                    body.push(Stmt::Exec(TensorInstr {
+                        op: Op::FmaAssign,
+                        dst: Some(d_u),
+                        a: Some(d_a),
+                        b: Some(d_b),
+                    }));
+                }
+            }
+        }
+        SeamFold::Overlap(folds) => {
+            for &fold in folds {
+                body.push(Stmt::TaskCtl { task: fold, action: TaskAction::Unblock });
+            }
         }
     }
 
@@ -336,6 +411,90 @@ pub fn build_spmv_tile_halo(
     let start = core.add_task(Task::new("spmv", body));
     core.mark_entry(start);
     SpmvTasks { start, last_barrier: *chain.last().unwrap() }
+}
+
+/// Task ids of one seam tile's overlapped halo machinery for one SpMV
+/// flavor (one iterate vector). The driver activates `send` and `recv`
+/// together with the SpMV entry task, in the same phase.
+#[derive(Copy, Clone, Debug)]
+pub struct OverlapHalo {
+    /// Launches the boundary column outbound on a background thread and
+    /// retires immediately — the main thread is free for interior compute.
+    pub send: TaskId,
+    /// Launches the background receive of the neighbor wafer's column into
+    /// the halo buffer; its completion `Activate`s `fold`.
+    pub recv: TaskId,
+    /// Two-way barrier folding `u += coeff · halo`: `Activate`d by the
+    /// receive landing, `Unblock`ed by the SpMV body once `u` is
+    /// initialized. Re-blocks itself first, so it is armed again for the
+    /// next invocation.
+    pub fold: TaskId,
+}
+
+/// Builds the interior-first halo exchange for one seam side of one tile:
+/// a launch-and-retire send of `src_live`, a background receive into
+/// `buf`, and the fold task adding `coeff · buf` into `u`. Pass the fold
+/// id to [`build_spmv_tile_overlapped`] so the SpMV releases it at the
+/// right time.
+#[allow(clippy::too_many_arguments)]
+pub fn build_overlap_halo(
+    tile: &mut Tile,
+    src_live: u32,
+    buf: u32,
+    coeff: u32,
+    u: u32,
+    send_color: Color,
+    recv_color: Color,
+    z: u32,
+) -> OverlapHalo {
+    let core = &mut tile.core;
+    let d_src = core.add_dsr(mk::tensor16(src_live, z));
+    let d_tx = core.add_dsr(mk::tx16(send_color, z));
+    let d_rx = core.add_dsr(mk::rx16(recv_color, z));
+    let d_buf_w = core.add_dsr(mk::tensor16(buf, z));
+    let d_buf_r = core.add_dsr(mk::tensor16(buf, z));
+    let d_coeff = core.add_dsr(mk::tensor16(coeff, z));
+    let d_u = core.add_dsr(mk::tensor16(u, z));
+
+    let fold = core.add_task(Task::new("halo-fold", vec![]).blocked());
+    core.set_task_body(
+        fold,
+        vec![
+            Stmt::TaskCtl { task: fold, action: TaskAction::Block },
+            Stmt::Exec(TensorInstr {
+                op: Op::FmaAssign,
+                dst: Some(d_u),
+                a: Some(d_coeff),
+                b: Some(d_buf_r),
+            }),
+        ],
+    );
+
+    let send = core.add_task(Task::new(
+        "halo-send",
+        vec![
+            Stmt::InitDsr { dsr: d_tx, desc: mk::tx16(send_color, z) },
+            Stmt::Launch {
+                slot: HALO_SEND_SLOT,
+                instr: TensorInstr { op: Op::Copy, dst: Some(d_tx), a: Some(d_src), b: None },
+                on_complete: None,
+            },
+        ],
+    ));
+    let recv = core.add_task(Task::new(
+        "halo-recv",
+        vec![
+            Stmt::InitDsr { dsr: d_rx, desc: mk::rx16(recv_color, z) },
+            Stmt::Launch {
+                slot: HALO_RECV_SLOT,
+                instr: TensorInstr { op: Op::Copy, dst: Some(d_buf_w), a: Some(d_rx), b: None },
+                on_complete: Some((fold, TaskAction::Activate)),
+            },
+        ],
+    ));
+    core.mark_entry(send);
+    core.mark_entry(recv);
+    OverlapHalo { send, recv, fold }
 }
 
 /// Builds the **naive ablation** of the SpMV: no FIFO decoupling, no

@@ -88,6 +88,33 @@ impl MultiWafer {
         (halo_us, reduce_extra_us)
     }
 
+    /// The interconnect terms `(halo_exposed_us, reduce_us)` of the
+    /// **overlapped + fused** schedule (the `wse-core` multi-wafer
+    /// default): the halo term is only the wire time left exposed after
+    /// hiding one `my × z` fp16 plane behind an SpMV window of
+    /// `spmv_window_us` (two windows per iteration), and the reduction
+    /// term is the *single* fused round-trip per iteration — 14 fp32 dot
+    /// lanes up and a 7-word reply down the `⌈log₂ k⌉`-level binomial
+    /// host tree — instead of [`MultiWafer::interconnect_us`]'s four
+    /// scalar rounds.
+    pub fn interconnect_overlapped_us(
+        &self,
+        my: usize,
+        z: usize,
+        spmv_window_us: f64,
+    ) -> (f64, f64) {
+        if self.k <= 1 {
+            return (0.0, 0.0);
+        }
+        let plane_bytes = my as f64 * z as f64 * 2.0;
+        let wire_us = self.link_latency_us + plane_bytes / (self.link_gb_s * 1e3);
+        let halo_exposed_us = 2.0 * (wire_us - spmv_window_us).max(0.0);
+        let levels = (self.k as f64).log2().ceil();
+        let payload_us = (14.0 * 4.0) / (self.link_gb_s * 1e3);
+        let reduce_us = 2.0 * levels * (self.link_latency_us + payload_us);
+        (halo_exposed_us, reduce_us)
+    }
+
     /// The minimum link bandwidth (GB/s) keeping weak-scaling efficiency
     /// above `target` at the given `z` (latency terms held fixed).
     pub fn required_bandwidth(&self, z: usize, target: f64) -> f64 {
@@ -144,6 +171,36 @@ mod tests {
         let tuned = MultiWafer { link_gb_s: need, ..mw };
         let p = tuned.predict(1536);
         assert!((p.efficiency - 0.9).abs() < 0.05, "efficiency {}", p.efficiency);
+    }
+
+    #[test]
+    fn overlapped_interconnect_hides_the_halo_behind_a_wide_spmv() {
+        let mw = MultiWafer::default();
+        let (serial_halo, serial_reduce) = mw.interconnect_us(595, 1536);
+        // A paper-scale SpMV window (tens of µs) swallows the wire time
+        // entirely: nothing exposed, and the fused single reduction costs
+        // far less than four scalar rounds.
+        let (exposed, reduce) = mw.interconnect_overlapped_us(595, 1536, 30.0);
+        assert_eq!(exposed, 0.0, "wire time should hide behind a 30 µs window");
+        assert!(reduce < serial_reduce / 3.0, "fused {reduce} vs serial {serial_reduce}");
+        // A zero-width window degenerates to the serial halo term.
+        let (all_exposed, _) = mw.interconnect_overlapped_us(595, 1536, 0.0);
+        assert!((all_exposed - serial_halo).abs() < 1e-9);
+        // k=1 has no seams in either schedule.
+        let solo = MultiWafer { k: 1, ..mw };
+        assert_eq!(solo.interconnect_overlapped_us(595, 1536, 0.0), (0.0, 0.0));
+    }
+
+    #[test]
+    fn overlapped_exposure_is_monotone_in_window_width() {
+        let mw = MultiWafer { link_gb_s: 10.0, ..Default::default() };
+        let mut prev = f64::INFINITY;
+        for window in [0.0, 5.0, 50.0, 500.0] {
+            let (exposed, _) = mw.interconnect_overlapped_us(595, 1536, window);
+            assert!(exposed <= prev, "wider window must expose less: {exposed} > {prev}");
+            prev = exposed;
+        }
+        assert_eq!(prev, 0.0, "a huge window hides even a starved link's transfer");
     }
 
     #[test]

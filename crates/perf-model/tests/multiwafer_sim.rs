@@ -32,7 +32,10 @@ fn simulated_k2_interconnect_time_brackets_model_prediction() {
 
     let clock_ghz = Cs1Model::default().clock_ghz;
     let mut multi = MultiFabric::new(gw, h, k, HostLink::new(1000.0, 0.2, clock_ghz));
-    let dist = WaferBicgstabMulti::build(&mut multi, &a);
+    // The serial model prices the serial schedule: every halo plane and all
+    // four scalar rounds sit on the critical path. The overlapped default
+    // deliberately undercuts this floor — see the companion test below.
+    let dist = WaferBicgstabMulti::build_serial(&mut multi, &a);
     dist.load_rhs(&mut multi, &b);
     let c = dist.iterate(&mut multi);
     let sim_extra = c.halo + c.host_allreduce;
@@ -54,6 +57,58 @@ fn simulated_k2_interconnect_time_brackets_model_prediction() {
         sim_extra <= 2 * model_cycles,
         "simulation ({sim_extra} cycles) far exceeds the model ({model_cycles} cycles): \
          the model is missing a first-order term"
+    );
+}
+
+#[test]
+fn simulated_k2_overlapped_fused_beats_the_serial_wire_floor() {
+    // Same weak-scaled shape as above, but the overlapped interior-first
+    // schedule plus the single-reduction fused solver.
+    let (gw, h, z, k) = (8usize, 4usize, 16usize, 2usize);
+    let mesh = Mesh3D::new(gw, h, z);
+    let a64 = poisson(mesh);
+    let b64: Vec<f64> = (0..mesh.len()).map(|i| ((i * 29 % 101) as f64 / 101.0) - 0.4).collect();
+    let sys = jacobi_scale(&a64, &b64);
+    let a: DiaMatrix<F16> = sys.matrix.convert();
+    let b: Vec<F16> = sys.rhs.iter().map(|&v| F16::from_f64(v)).collect();
+
+    let clock_ghz = Cs1Model::default().clock_ghz;
+    let mut multi = MultiFabric::new(gw, h, k, HostLink::new(1000.0, 0.2, clock_ghz));
+    let dist = WaferBicgstabMulti::build_fused(&mut multi, &a);
+    dist.load_rhs(&mut multi, &b);
+    let c = dist.iterate(&mut multi);
+    let sim_extra = c.halo + c.host_allreduce;
+    eprintln!(
+        "fused k=2: halo_exposed={} halo_hidden={} host_allreduce={} spmv={}",
+        c.halo, c.halo_hidden, c.host_allreduce, c.compute.spmv
+    );
+
+    // The whole point of the PR: the overlapped + fused interconnect time
+    // drops below the serial schedule's wire-time floor.
+    let model = MultiWafer { k, ..Default::default() };
+    let (halo_us, reduce_us) = model.interconnect_us(h, z);
+    let serial_floor = ((halo_us + reduce_us) * clock_ghz * 1e3) as u64;
+    assert!(
+        sim_extra < serial_floor,
+        "overlapped+fused ({sim_extra} cycles) should beat the serial wire floor ({serial_floor})"
+    );
+
+    // The overlapped model brackets the measured terms when fed the
+    // simulator's own SpMV window (two windows per iteration).
+    let window_us = (c.compute.spmv as f64 / 2.0) / (clock_ghz * 1e3);
+    let (exposed_us, fused_reduce_us) = model.interconnect_overlapped_us(h, z, window_us);
+    let reduce_cycles = (fused_reduce_us * clock_ghz * 1e3) as u64;
+    assert!(
+        c.host_allreduce >= reduce_cycles && c.host_allreduce <= 2 * reduce_cycles,
+        "fused host round-trip {} outside [{reduce_cycles}, {}]",
+        c.host_allreduce,
+        2 * reduce_cycles
+    );
+    let exposed_floor = (exposed_us * clock_ghz * 1e3) as u64;
+    assert!(
+        c.halo >= exposed_floor,
+        "measured exposure {} beat the model's exposed wire time {exposed_floor}",
+        c.halo
     );
 }
 

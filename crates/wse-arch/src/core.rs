@@ -97,8 +97,13 @@ pub struct Core {
     entries: Vec<TaskId>,
     /// Words received from the router, one queue per color.
     ramp_in: Vec<VecDeque<Flit>>,
-    /// Words awaiting injection into the router.
-    ramp_out: VecDeque<(Color, Flit)>,
+    /// Words awaiting injection into the router, one queue per color (the
+    /// hardware gives every fabric color its own egress queue). Injection
+    /// round-robins across non-empty colors so a thin stream (e.g. a seam
+    /// halo) is never starved behind a bulk stream sharing the ramp.
+    ramp_out: Vec<VecDeque<Flit>>,
+    /// Round-robin cursor over `ramp_out` colors.
+    ramp_rr: usize,
     /// Performance counters.
     pub perf: CorePerf,
     /// Armed trace collection; `None` (the default) keeps every hook on a
@@ -129,7 +134,8 @@ impl Core {
             rr_cursor: 0,
             entries: Vec::new(),
             ramp_in: (0..NUM_COLORS).map(|_| VecDeque::new()).collect(),
-            ramp_out: VecDeque::new(),
+            ramp_out: (0..NUM_COLORS).map(|_| VecDeque::new()).collect(),
+            ramp_rr: 0,
             perf: CorePerf::default(),
             trace: None,
             sanitize: None,
@@ -231,6 +237,16 @@ impl Core {
         self.tasks[task].activated = true;
     }
 
+    /// Externally re-blocks a task, clearing any pending activation — the
+    /// host-side reset of a two-way barrier. Drivers use this to re-arm
+    /// wait tasks whose `Unblock` half fired in a phase where the
+    /// `Activate` half intentionally never would (e.g. a compute
+    /// calibration run with communication disabled).
+    pub fn block(&mut self, task: TaskId) {
+        self.tasks[task].blocked = true;
+        self.tasks[task].activated = false;
+    }
+
     /// Declares `task` an entry point the host will activate externally.
     /// Kernel builders call this for every task they hand back to host-side
     /// drivers, so the static verifier can seed its reachability analysis.
@@ -310,7 +326,7 @@ impl Core {
     pub fn is_quiescent(&self) -> bool {
         self.main.is_none()
             && self.threads.iter().all(|t| t.is_none())
-            && self.ramp_out.is_empty()
+            && self.ramp_out.iter().all(|q| q.is_empty())
             && self.tasks.iter().all(|t| !t.activated || t.blocked)
     }
 
@@ -356,35 +372,70 @@ impl Core {
         self.ramp_in[color as usize].push_back(flit);
     }
 
+    /// The next color the round-robin injection arbiter would serve, if
+    /// any queue is non-empty.
+    fn ramp_out_next_color(&self) -> Option<usize> {
+        let n = self.ramp_out.len();
+        (0..n).map(|i| (self.ramp_rr + i) % n).find(|&c| !self.ramp_out[c].is_empty())
+    }
+
     /// Takes up to `budget_bytes` of injection from the core (router-side).
     pub fn drain_ramp_out(&mut self, budget_bytes: u32) -> Vec<(Color, Flit)> {
         let mut out = Vec::new();
         let mut budget = budget_bytes;
-        while let Some(&(_, flit)) = self.ramp_out.front() {
+        while let Some((color, flit)) = self.peek_ramp_out() {
             if flit.bytes() > budget {
                 break;
             }
             budget -= flit.bytes();
-            out.push(self.ramp_out.pop_front().unwrap());
+            self.pop_ramp_out();
+            out.push((color, flit));
         }
         out
     }
 
-    /// Pops the head injection flit without allocating (router-side; pair
-    /// with [`Core::peek_ramp_out`] after bandwidth and space checks).
+    /// Pops the arbiter's head injection flit without allocating
+    /// (router-side; pair with [`Core::peek_ramp_out`] after bandwidth and
+    /// space checks).
     pub fn pop_ramp_out(&mut self) -> Option<(Color, Flit)> {
-        self.ramp_out.pop_front()
+        let c = self.ramp_out_next_color()?;
+        let flit = self.ramp_out[c].pop_front().unwrap();
+        self.ramp_rr = (c + 1) % self.ramp_out.len();
+        Some((c as Color, flit))
     }
 
-    /// Pending injection queue length (diagnostics).
+    /// Pending injection queue length across all colors (diagnostics).
     pub fn ramp_out_len(&self) -> usize {
-        self.ramp_out.len()
+        self.ramp_out.iter().map(|q| q.len()).sum()
     }
 
-    /// Peeks the head of the injection queue without removing it
-    /// (router-side).
-    pub fn peek_ramp_out(&self) -> Option<&(Color, Flit)> {
-        self.ramp_out.front()
+    /// Peeks the flit the round-robin injection arbiter would send next,
+    /// without removing it (router-side).
+    pub fn peek_ramp_out(&self) -> Option<(Color, Flit)> {
+        let c = self.ramp_out_next_color()?;
+        Some((c as Color, self.ramp_out[c][0]))
+    }
+
+    /// Pops the first flit (in round-robin arbiter order) that fits
+    /// `budget` bytes and whose color passes `ready` — a blocked color
+    /// does not head-of-line-block the other colors' queues.
+    pub fn pop_ramp_out_ready(
+        &mut self,
+        budget: u32,
+        ready: impl Fn(Color) -> bool,
+    ) -> Option<(Color, Flit)> {
+        let n = self.ramp_out.len();
+        for i in 0..n {
+            let c = (self.ramp_rr + i) % n;
+            if let Some(&flit) = self.ramp_out[c].front() {
+                if flit.bytes() <= budget && ready(c as Color) {
+                    self.ramp_out[c].pop_front();
+                    self.ramp_rr = (c + 1) % n;
+                    return Some((c as Color, flit));
+                }
+            }
+        }
+        None
     }
 
     /// Unconsumed ramp-in words (diagnostics; should be zero after a
@@ -421,7 +472,10 @@ impl Core {
         for q in &mut self.ramp_in {
             q.clear();
         }
-        self.ramp_out.clear();
+        for q in &mut self.ramp_out {
+            q.clear();
+        }
+        self.ramp_rr = 0;
         for t in &mut self.tasks {
             t.activated = t.task.start_activated;
             t.blocked = t.task.start_blocked;
@@ -884,7 +938,9 @@ impl Core {
         match self.dsrs[id].desc {
             Descriptor::Mem { .. } => true,
             Descriptor::FabricIn { .. } => panic!("FabricIn used as a destination"),
-            Descriptor::FabricOut { .. } => self.ramp_out.len() < RAMP_OUT_CAPACITY,
+            Descriptor::FabricOut { color, .. } => {
+                self.ramp_out[color as usize].len() < RAMP_OUT_CAPACITY
+            }
             Descriptor::Fifo { fifo } => !self.fifos[fifo].is_full(),
         }
     }
@@ -944,7 +1000,7 @@ impl Core {
             Descriptor::FabricOut { color, dtype: d, .. } => {
                 debug_assert_eq!(d, dtype);
                 let flit = Flit { bits, dtype: d };
-                self.ramp_out.push_back((color, flit));
+                self.ramp_out[color as usize].push_back(flit);
                 self.dsrs[id].advance(1);
                 self.perf.flits_sent += 1;
                 None

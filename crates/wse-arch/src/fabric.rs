@@ -318,11 +318,9 @@ fn step_and_drain(t: &mut Tile, accounted: &mut u64, cycle: u64) -> u64 {
     // Respect the ramp queue's *minimum* color space conservatively:
     // drain one flit at a time, checking the target queue.
     let mut budget = PORT_BYTES_PER_CYCLE;
-    while let Some(&(color, flit)) = core.peek_ramp_out() {
-        if flit.bytes() > budget || router.space(Port::Ramp, color) == 0 {
-            break;
-        }
-        core.pop_ramp_out();
+    while let Some((color, flit)) =
+        core.pop_ramp_out_ready(budget, |c| router.space(Port::Ramp, c) > 0)
+    {
         router.enqueue(Port::Ramp, color, flit);
         budget -= flit.bytes();
     }
@@ -665,6 +663,26 @@ impl Fabric {
         let cycle = self.cycle;
         let Some(ts) = self.trace.as_deref_mut() else { return };
         ts.phases.push(PhaseSpan { name, start: cycle, end: cycle });
+    }
+
+    /// Retroactively records a span over `[start, end)` — attribution the
+    /// driver can only compute after a phase ran (e.g. how much of a merged
+    /// compute+communication window the communication was exposed for).
+    /// The span may overlap other phases; [`PhaseReport`] consumers treat
+    /// such overlap rows as annotations, not wall-clock partitions. Does
+    /// not disturb an open phase span. No-op when tracing is disarmed.
+    pub fn phase_span(&mut self, name: &'static str, start: u64, end: u64) {
+        let Some(ts) = self.trace.as_deref_mut() else { return };
+        debug_assert!(start <= end, "phase_span: start {start} after end {end}");
+        // Keep `phases` sorted by start (the documented invariant) even
+        // though this span is recorded after later phases opened.
+        let at = ts.phases.partition_point(|s| s.start <= start);
+        ts.phases.insert(at, PhaseSpan { name, start, end: end.max(start) });
+        if let Some(open) = ts.open.as_mut() {
+            if at <= *open {
+                *open += 1;
+            }
+        }
     }
 
     /// Disarms tracing and returns the collected [`FabricTrace`] (`None`
@@ -1522,13 +1540,11 @@ impl Fabric {
             // Respect the ramp queue's *minimum* color space conservatively:
             // drain one flit at a time, checking the target queue.
             let mut budget = PORT_BYTES_PER_CYCLE;
-            while let Some(&(color, flit)) = t.core_peek_ramp_out() {
-                if flit.bytes() > budget || t.router.space(Port::Ramp, color) == 0 {
-                    break;
-                }
-                let drained = t.core.drain_ramp_out(flit.bytes());
-                debug_assert_eq!(drained.len(), 1);
-                t.router.enqueue(Port::Ramp, color, flit);
+            let (core, router) = (&mut t.core, &mut t.router);
+            while let Some((color, flit)) =
+                core.pop_ramp_out_ready(budget, |c| router.space(Port::Ramp, c) > 0)
+            {
+                router.enqueue(Port::Ramp, color, flit);
                 budget -= flit.bytes();
             }
         }
@@ -1903,12 +1919,7 @@ impl Fabric {
     }
 }
 
-impl Tile {
-    /// Peeks the head of the core's injection queue without removing it.
-    fn core_peek_ramp_out(&self) -> Option<&(Color, Flit)> {
-        self.core.peek_ramp_out()
-    }
-}
+impl Tile {}
 
 /// A rectangular tile region of a fabric — the unit of multi-tenant
 /// partitioning. Tenant programs are built region-relative (routing is

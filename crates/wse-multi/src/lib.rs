@@ -427,6 +427,17 @@ impl MultiFabric {
         }
     }
 
+    /// Records a retroactive phase span `[start, end]` on every traced
+    /// wafer. The overlapped halo schedule uses this: how much of a merged
+    /// `spmv+halo` window was hidden (`halo_overlap`) versus exposed
+    /// (`halo_exposed`) is only known once the window closes, so the
+    /// driver stamps those sub-spans after the fact.
+    pub fn phase_span(&mut self, name: &'static str, start: u64, end: u64) {
+        for f in &mut self.shards {
+            f.phase_span(name, start, end);
+        }
+    }
+
     /// Advances every wafer's clock by `cycles` without stepping
     /// (host-side dead time, e.g. the top level of the hierarchical
     /// AllReduce). Requires ensemble quiescence.

@@ -217,6 +217,44 @@ mod tests {
     }
 
     #[test]
+    fn overlap_attribution_spans_aggregate_alongside_the_merged_window() {
+        // The overlapped multi-wafer driver emits one merged "spmv+halo"
+        // span per window plus retroactive attribution sub-spans: the
+        // hidden share at the window's head, the exposed share at its
+        // tail. The report must keep all three rows separately so
+        // hidden-vs-exposed wire time can be read without re-parsing raw
+        // spans, and the attribution rows must never claim cycles the
+        // merged window doesn't cover.
+        let t = trace_with_phases(
+            vec![
+                PhaseSpan { name: "spmv+halo", start: 100, end: 300 },
+                PhaseSpan { name: "halo_overlap", start: 100, end: 180 },
+                PhaseSpan { name: "halo_exposed", start: 280, end: 300 },
+                PhaseSpan { name: "spmv+halo", start: 350, end: 540 },
+                PhaseSpan { name: "halo_overlap", start: 350, end: 420 },
+            ],
+            600,
+        );
+        let r = PhaseReport::from_trace(&t);
+        assert_eq!(r.spans("spmv+halo"), 2);
+        assert_eq!(r.cycles("spmv+halo"), 390);
+        assert_eq!(r.cycles("halo_overlap"), 150);
+        assert_eq!(r.cycles("halo_exposed"), 20);
+        // Attribution stays inside the windows it annotates.
+        assert!(r.cycles("halo_overlap") + r.cycles("halo_exposed") <= r.cycles("spmv+halo"));
+        // A fully hidden exchange simply has no exposed row.
+        let hidden_only = PhaseReport::from_trace(&trace_with_phases(
+            vec![
+                PhaseSpan { name: "spmv+halo", start: 0, end: 200 },
+                PhaseSpan { name: "halo_overlap", start: 0, end: 90 },
+            ],
+            200,
+        ));
+        assert_eq!(hidden_only.cycles("halo_exposed"), 0);
+        assert_eq!(hidden_only.spans("halo_exposed"), 0);
+    }
+
+    #[test]
     fn window_report_clips_spans_and_attributes_markers() {
         // Two back-to-back "jobs" on one fabric: job A runs [0, 60), job B
         // [60, 120). A span straddling the boundary is split between them.

@@ -102,18 +102,21 @@ diff -u "$thr_a" "$thr_b"
 grep -q "smoke gate: sparse speedup >= 3x: PASS" "$thr_a"
 
 echo "== multi-wafer smoke (k in {1,2,4} distributed BiCGStab, twice, diffed) =="
-# multiwafer_scaling runs the distributed solver on simulated 1-, 2-, and
-# 4-wafer ensembles with paper-default host links and gates the measured
-# interconnect cycles (halo + host AllReduce hops) against the analytic
-# perf_model::multiwafer wire-time floor. Wall timings go to stderr;
-# stdout (cycle counts, residuals, gate verdicts) is deterministic and
-# diffed across two runs.
+# multiwafer_scaling runs the overlapped + fused distributed solver on
+# simulated 1-, 2-, and 4-wafer ensembles with paper-default host links
+# and gates (a) the measured interconnect cycles (exposed halo + host
+# AllReduce hops) against the analytic perf_model::multiwafer overlapped
+# model and (b) the k=2 weak-scaling efficiency against the pre-overlap
+# serial schedule's 0.31. Wall timings go to stderr; stdout (cycle
+# counts, residuals, gate verdicts) is deterministic and diffed across
+# two runs.
 mw_a="$(mktemp)"; mw_b="$(mktemp)"
 trap 'rm -f "$smoke_a" "$smoke_b" "$ens_a" "$ens_b" "$trace_a" "$trace_b" "$thr_a" "$thr_b" "$mw_a" "$mw_b"' EXIT
 cargo run -q --release -p wse-bench --bin multiwafer_scaling -- --smoke > "$mw_a"
 cargo run -q --release -p wse-bench --bin multiwafer_scaling -- --smoke > "$mw_b"
 diff -u "$mw_a" "$mw_b"
 grep -q "model-fidelity gate k=4: .* PASS" "$mw_a"
+grep -q "weak-efficiency gate k=2: .* PASS" "$mw_a"
 
 echo "== service smoke (2 tenants x 3 shapes through wse-serve, twice, diffed) =="
 # service_bench drives seeded open-loop arrivals from two tenants through
