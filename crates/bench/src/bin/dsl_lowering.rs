@@ -1,0 +1,288 @@
+//! DSL lowering benchmark: host-side lower+lint cost and per-apply cycle
+//! counts for the catalog's 5-, 7-, 9-, and 25-point operators.
+//!
+//! Each operator is lowered from its declarative [`wse_dsl::StencilSpec`]
+//! onto a fresh fabric, lint-verified with the full `wse-lint` ensemble
+//! (the same gate `wse-serve` admission runs), then driven through several
+//! `u = A v` applications. Three numbers per operator:
+//!
+//! - **lower_us** — host wall-clock for plan + emit (routes, SRAM packing,
+//!   coefficient load, task build);
+//! - **lint_us** — host wall-clock for the static verifier over the built
+//!   fabric;
+//! - **cycles (cold / max)** — simulated fabric cycles for the first
+//!   application on the freshly lowered program, and the maximum over all
+//!   repeats (repeat counts wobble by a few cycles with residual router
+//!   phase, deterministically — the simulator is bit-reproducible, so both
+//!   numbers are stable across runs).
+//!
+//! Every application is also checked against the operator's host mirror
+//! (`wse_dsl::host`, or the exact f64 matvec on the Listing-1 path) and
+//! must match **bit for bit** — the bench doubles as an end-to-end
+//! correctness gate over all three emitters.
+//!
+//! Wall-clock timings go to **stderr**; stdout (operator table, cycle
+//! counts, verdicts) is bit-for-bit deterministic, which
+//! `scripts/verify.sh` checks by diffing two `--smoke` runs. The full run
+//! additionally writes `BENCH_dsl.json`.
+//!
+//! Usage:
+//! ```text
+//! dsl_lowering [--smoke] [--out BENCH_dsl.json]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use stencil::decomp::Block2D;
+use stencil::mesh::Mesh3D;
+use wse_arch::Fabric;
+use wse_dsl::host::{block_reference_apply, relay_reference_apply};
+use wse_dsl::{lower, StencilSpec};
+
+/// How many times each operator is applied; every apply is checked
+/// bit-exact against the host mirror.
+const SMOKE_ITERS: usize = 5;
+const FULL_ITERS: usize = 5;
+
+/// One operator's workload geometry.
+struct Workload {
+    operator: &'static str,
+    mesh: Mesh3D,
+    fabric: (usize, usize),
+    block: Option<Block2D>,
+}
+
+/// One operator's measured result.
+struct Measurement {
+    operator: &'static str,
+    kind: &'static str,
+    taps: usize,
+    mesh: Mesh3D,
+    fabric: (usize, usize),
+    lower_us: f64,
+    lint_us: f64,
+    cycles_cold: u64,
+    cycles_max: u64,
+}
+
+/// Deterministic dtype-exact iterate: few mantissa bits, so fp16
+/// round-trips exactly and the bit-exact host-mirror comparison is
+/// meaningful on every path.
+fn test_iterate(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i * 37 + 11) % 23) as f64 * 0.0625 - 0.625).collect()
+}
+
+/// Lowers, lints, applies, and cross-checks one operator.
+fn measure(w: &Workload, iters: usize) -> Measurement {
+    let spec = wse_dsl::catalog::get(w.operator).expect("catalog operator");
+    let a = spec.matrix(w.mesh).expect("catalog operator must assemble");
+
+    let mut fabric = Fabric::new(w.fabric.0, w.fabric.1);
+    let t0 = Instant::now();
+    let lowered = lower(&mut fabric, &spec, &a, w.block)
+        .unwrap_or_else(|e| panic!("{} must lower: {e}", w.operator));
+    let lower_us = t0.elapsed().as_secs_f64() * 1e6;
+
+    let t1 = Instant::now();
+    let diags = wse_lint::lint(&fabric);
+    let lint_us = t1.elapsed().as_secs_f64() * 1e6;
+    assert!(diags.is_empty(), "{}: lint findings on a catalog operator: {diags:?}", w.operator);
+
+    let v = test_iterate(w.mesh.len());
+    let want = host_mirror(&spec, &lowered, &a, w, &v);
+    // Repeat counts wobble by a few cycles with residual router phase —
+    // deterministically (the simulator is bit-reproducible), so the cold
+    // first apply and the max over repeats are both stable across runs.
+    let mut seq = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let (got, c) = lowered.apply(&mut fabric, &v);
+        assert_eq!(got, want, "{}: device diverged from the host mirror", w.operator);
+        seq.push(c);
+    }
+
+    Measurement {
+        operator: w.operator,
+        kind: lowered.kind(),
+        taps: spec.taps.len(),
+        mesh: w.mesh,
+        fabric: w.fabric,
+        lower_us,
+        lint_us,
+        cycles_cold: seq[0],
+        cycles_max: seq.iter().copied().max().unwrap(),
+    }
+}
+
+/// The host-side reference for one application, matched to the emitter the
+/// lowering layer selected.
+fn host_mirror(
+    spec: &StencilSpec,
+    lowered: &wse_dsl::Lowered,
+    a: &stencil::dia::DiaMatrix<f64>,
+    w: &Workload,
+    v: &[f64],
+) -> Vec<f64> {
+    match lowered.kind() {
+        "block" => {
+            let (rx, ry, _) = spec.radius();
+            block_reference_apply(
+                a,
+                &spec.offsets(),
+                w.block.expect("block mapping has a block"),
+                w.fabric.0,
+                w.fabric.1,
+                rx.max(ry),
+                lowered.dtype,
+                v,
+            )
+        }
+        "relay" => relay_reference_apply(spec, a, lowered.dtype, v),
+        // Listing 1 on exact data: the fp16 result equals the exact matvec.
+        "listing1" => {
+            let mut exact = vec![0.0; v.len()];
+            a.matvec_f64(v, &mut exact);
+            exact
+        }
+        other => panic!("unknown emitter kind {other}"),
+    }
+}
+
+/// Renders the measurement set as the checked-in benchmark JSON.
+fn render_json(results: &[Measurement]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"bench\": \"dsl_lowering\",\n");
+    s.push_str("  \"units\": {\"lower_us\": \"host wall microseconds for plan + emit\", ");
+    s.push_str("\"lint_us\": \"host wall microseconds for the static verifier\", ");
+    s.push_str("\"cycles_cold\": \"simulated cycles for the first u = A v on a fresh program\", ");
+    s.push_str("\"cycles_max\": \"max simulated cycles over repeated applies\"},\n");
+    s.push_str("  \"results\": [\n");
+    for (k, m) in results.iter().enumerate() {
+        let points = m.mesh.len() as f64;
+        let _ = writeln!(
+            s,
+            "    {{\"operator\": \"{}\", \"kind\": \"{}\", \"taps\": {}, \
+             \"mesh\": \"{}x{}x{}\", \"fabric\": \"{}x{}\", \"lower_us\": {:.0}, \
+             \"lint_us\": {:.0}, \"cycles_cold\": {}, \"cycles_max\": {}, \
+             \"cycles_per_point\": {:.3}}}{}",
+            m.operator,
+            m.kind,
+            m.taps,
+            m.mesh.nx,
+            m.mesh.ny,
+            m.mesh.nz,
+            m.fabric.0,
+            m.fabric.1,
+            m.lower_us,
+            m.lint_us,
+            m.cycles_cold,
+            m.cycles_max,
+            m.cycles_cold as f64 / points,
+            if k + 1 == results.len() { "" } else { "," },
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_dsl.json".to_string());
+
+    let workloads = if smoke {
+        vec![
+            Workload {
+                operator: "star5-2d",
+                mesh: Mesh3D::new(8, 8, 1),
+                fabric: (2, 2),
+                block: Some(Block2D::new(4, 4)),
+            },
+            Workload {
+                operator: "star7-3d",
+                mesh: Mesh3D::new(3, 3, 8),
+                fabric: (3, 3),
+                block: None,
+            },
+            Workload {
+                operator: "star9-2d",
+                mesh: Mesh3D::new(8, 8, 1),
+                fabric: (2, 2),
+                block: Some(Block2D::new(4, 4)),
+            },
+            Workload {
+                operator: "star25-3d",
+                mesh: Mesh3D::new(5, 4, 12),
+                fabric: (5, 4),
+                block: None,
+            },
+        ]
+    } else {
+        vec![
+            Workload {
+                operator: "star5-2d",
+                mesh: Mesh3D::new(24, 24, 1),
+                fabric: (3, 3),
+                block: Some(Block2D::new(8, 8)),
+            },
+            Workload {
+                operator: "star7-3d",
+                mesh: Mesh3D::new(4, 4, 64),
+                fabric: (4, 4),
+                block: None,
+            },
+            Workload {
+                operator: "star9-2d",
+                mesh: Mesh3D::new(24, 24, 1),
+                fabric: (3, 3),
+                block: Some(Block2D::new(8, 8)),
+            },
+            Workload {
+                operator: "star25-3d",
+                mesh: Mesh3D::new(6, 6, 48),
+                fabric: (6, 6),
+                block: None,
+            },
+        ]
+    };
+    let iters = if smoke { SMOKE_ITERS } else { FULL_ITERS };
+
+    println!("dsl_lowering: declarative front-end lower+lint cost and per-apply cycles");
+    let mut results = Vec::new();
+    for w in &workloads {
+        let m = measure(w, iters);
+        println!(
+            "{}: kind={} taps={} mesh={}x{}x{} fabric={}x{} cycles={} (max {} over repeats) \
+             host-mirror=bit-exact",
+            m.operator,
+            m.kind,
+            m.taps,
+            m.mesh.nx,
+            m.mesh.ny,
+            m.mesh.nz,
+            m.fabric.0,
+            m.fabric.1,
+            m.cycles_cold,
+            m.cycles_max,
+        );
+        eprintln!(
+            "  host wall: lower {:.0} us, lint {:.0} us ({} applies checked)",
+            m.lower_us, m.lint_us, iters
+        );
+        results.push(m);
+    }
+    println!(
+        "all {} operators: lowered lint-clean, host mirror bit-exact across {} applies",
+        results.len(),
+        iters
+    );
+
+    if !smoke {
+        std::fs::write(&out, render_json(&results)).expect("write benchmark JSON");
+        eprintln!("wrote {out}");
+    }
+}

@@ -23,10 +23,11 @@ use wse_arch::Fabric;
 /// the communication-fusion variant merges the ω-step's two reductions into
 /// one round this way). The default base is 10, clear of the SpMV's 0..5.
 pub mod colors {
-    /// Default color base.
-    pub const DEFAULT_BASE: u8 = 10;
+    /// Default color base (the whole-wafer allocation lives in
+    /// [`wse_dsl::colors`]).
+    pub const DEFAULT_BASE: u8 = wse_dsl::colors::ALLREDUCE_BASE;
     /// Colors consumed per instance.
-    pub const SPAN: u8 = 6;
+    pub const SPAN: u8 = wse_dsl::colors::ALLREDUCE_SPAN;
     /// Left half-rows flowing east toward the center-left column.
     pub const ROW_E: u8 = 0;
     /// Right half-rows flowing west toward the center-right column.

@@ -84,10 +84,10 @@ use wse_multi::MultiFabric;
 
 /// Virtual channel carrying halo planes eastward across wafer seams.
 /// Clear of the SpMV tessellation (0..5) and both AllReduce instances
-/// (10..22).
-pub const HALO_EAST: Color = 22;
+/// (10..22); allocated in [`wse_dsl::colors`].
+pub const HALO_EAST: Color = wse_dsl::colors::SEAM_EAST;
 /// Virtual channel carrying halo planes westward across wafer seams.
-pub const HALO_WEST: Color = 23;
+pub const HALO_WEST: Color = wse_dsl::colors::SEAM_WEST;
 
 /// Number of fp32 dot-product lanes in the fused iteration's payload.
 const PAY_LANES: u32 = 14;

@@ -1,5 +1,5 @@
 //! The 2D 9-point SpMV with block-per-core mapping and output-halo exchange
-//! (§IV.2 of the paper).
+//! (§IV.2 of the paper) — now a façade over the [`wse_dsl`] lowering layer.
 //!
 //! "For the 2D problem we map a rectangular region of the mesh of v to each
 //! core, and store all elements of the corresponding columns of A. After
@@ -9,42 +9,28 @@
 //! direction, and in this way avoid communication along diagonals of the
 //! tile grid."
 //!
-//! Per core: the local `bx × by` block of `v` is multiplied against the nine
-//! stored **column** coefficient arrays with fused FMACs into a
-//! `(bx+2) × (by+2)` extended output buffer; the four edge strips (the
-//! output halo) are then exchanged — first the x direction (full-height
-//! strips, so corner products ride along), then the y direction — and added
-//! into the neighbors' interiors.
+//! The emitter lives in [`wse_dsl::block2d`] (generalized to halo radius
+//! ≤ 2 and both precisions); this module keeps the original public surface
+//! — [`Spmv2dLayout`] with its fixed nine-array coefficient block, and
+//! [`WaferSpmv2d`] — as thin wrappers. At radius 1 the generalized emitter
+//! produces **byte-identical** programs to the original hand-written
+//! builder; `wse-serve`'s `tests/dsl_retrofit.rs` pins the program digest.
 
 use stencil::decomp::Block2D;
-use stencil::dia::{DiaMatrix, Offset3};
+use stencil::dia::DiaMatrix;
 use stencil::mesh::Mesh2D;
-use wse_arch::dsr::mk;
-use wse_arch::dsr::Descriptor;
-use wse_arch::instr::{Op, Stmt, Task, TaskAction, TensorInstr};
-use wse_arch::types::{Dtype, Port, TaskId};
+use wse_arch::types::{Dtype, TaskId};
 use wse_arch::{Fabric, Tile};
+use wse_dsl::block2d::{self, BlockLayout};
+use wse_dsl::ir::StencilSpec;
 use wse_float::F16;
 
-/// Virtual channels for the halo exchange (disjoint from SpMV-3D and
-/// scalar-AllReduce colors). The fused multi-wafer solver's
-/// [`crate::allreduce::chain_colors`] (16–18) alias these, which is safe:
-/// a 2-D SpMV program and a chain-reduce program are never resident on
-/// the same fabric, and routes are per-tile. The multi-wafer seam halo
-/// (colors 22–23 in [`crate::multi`]) stays disjoint from both.
+/// Virtual channels for the halo exchange — re-exported from the
+/// whole-wafer color map ([`wse_dsl::colors`]), which documents the
+/// aliasing rules that used to live here.
 pub mod colors {
-    /// Eastward halo strips.
-    pub const HALO_E: u8 = 16;
-    /// Westward halo strips.
-    pub const HALO_W: u8 = 17;
-    /// Southward halo strips.
-    pub const HALO_S: u8 = 18;
-    /// Northward halo strips.
-    pub const HALO_N: u8 = 19;
+    pub use wse_dsl::colors::{HALO_E, HALO_N, HALO_S, HALO_W};
 }
-
-/// Register used as the zero constant when clearing the output buffer.
-const R_ZERO: usize = 30;
 
 /// Byte addresses of one tile's 2D SpMV data.
 #[derive(Copy, Clone, Debug)]
@@ -52,7 +38,7 @@ pub struct Spmv2dLayout {
     /// Block extents.
     pub block: Block2D,
     /// Nine column-coefficient arrays (`bx·by` each), indexed like
-    /// [`Offset3::nine_point_2d`].
+    /// [`stencil::dia::Offset3::nine_point_2d`].
     pub coef: [u32; 9],
     /// Local iterate block, `bx·by` words, row-major (y fastest).
     pub v: u32,
@@ -68,17 +54,7 @@ impl Spmv2dLayout {
     /// Panics when the block exceeds the 48 KB budget — by construction this
     /// reproduces the paper's "up-to 38×38" limit.
     pub fn alloc(tile: &mut Tile, block: Block2D) -> Spmv2dLayout {
-        let n = (block.bx * block.by) as u32;
-        let mut coef = [0u32; 9];
-        for c in &mut coef {
-            *c = tile.mem.alloc_vec(n, Dtype::F16).expect("SRAM: 2D coefficients");
-        }
-        let v = tile.mem.alloc_vec(n, Dtype::F16).expect("SRAM: 2D iterate");
-        let ubuf = tile
-            .mem
-            .alloc_vec(((block.bx + 2) * (block.by + 2)) as u32, Dtype::F16)
-            .expect("SRAM: 2D output buffer");
-        Spmv2dLayout { block, coef, v, ubuf }
+        Self::from_block(&BlockLayout::alloc(tile, block, 9, 1, Dtype::F16))
     }
 
     /// Byte address of `ubuf[i][j]` (extended coordinates, `i` along x).
@@ -89,6 +65,26 @@ impl Spmv2dLayout {
     /// Byte address of `v[i][j]` (block coordinates).
     pub fn v_addr(&self, i: usize, j: usize) -> u32 {
         self.v + 2 * (i * self.block.by + j) as u32
+    }
+
+    /// The generalized-layout view the shared emitter consumes.
+    fn as_block(&self) -> BlockLayout {
+        BlockLayout {
+            block: self.block,
+            r: 1,
+            dtype: Dtype::F16,
+            coef: self.coef.to_vec(),
+            v: self.v,
+            ubuf: self.ubuf,
+        }
+    }
+
+    fn from_block(b: &BlockLayout) -> Spmv2dLayout {
+        assert_eq!(b.r, 1, "legacy 2D layout is radius 1");
+        assert_eq!(b.coef.len(), 9, "legacy 2D layout has nine coefficient arrays");
+        let mut coef = [0u32; 9];
+        coef.copy_from_slice(&b.coef);
+        Spmv2dLayout { block: b.block, coef, v: b.v, ubuf: b.ubuf }
     }
 }
 
@@ -103,7 +99,8 @@ pub struct WaferSpmv2d {
 
 impl WaferSpmv2d {
     /// Distributes a 9-point 2D matrix over a fabric of `w × h` cores, each
-    /// holding a `block` region. The matrix mesh must equal
+    /// holding a `block` region, by lowering the nine-point stencil spec
+    /// through [`wse_dsl::lower`]. The matrix mesh must equal
     /// `block.covered_mesh(w, h)`.
     ///
     /// # Panics
@@ -117,34 +114,15 @@ impl WaferSpmv2d {
         assert_eq!(h * block.by, mesh3.ny, "mesh y must tile evenly");
         assert!(w <= fabric.width() && h <= fabric.height(), "mesh exceeds fabric");
 
-        Self::configure_routes(fabric, w, h);
-
-        let mut layouts = Vec::with_capacity(w * h);
-        let mut tasks = Vec::with_capacity(w * h);
-        for ty in 0..h {
-            for tx in 0..w {
-                let tile = fabric.tile_mut(tx, ty);
-                let layout = Spmv2dLayout::alloc(tile, block);
-                Self::load_tile_coefficients(tile, &layout, a, tx, ty);
-                let task = Self::build_tile_task(tile, &layout, tx, ty, w, h);
-                tile.core.mark_entry(task);
-                layouts.push(layout);
-                tasks.push(task);
-            }
-        }
-        crate::debug_lint(fabric);
+        let a64: DiaMatrix<f64> = a.convert();
+        let spec = StencilSpec::var_nine_point_2d();
+        let lowered = wse_dsl::lower(fabric, &spec, &a64, Some(block))
+            .unwrap_or_else(|e| panic!("2D SpMV lowering rejected: {e}"));
+        let (w, h, block, layouts, tasks) = lowered.into_block_parts();
+        let layouts = layouts.iter().map(Spmv2dLayout::from_block).collect();
         WaferSpmv2d { fabric_w: w, fabric_h: h, block, layouts, tasks }
     }
 
-    pub(crate) fn configure_routes(fabric: &mut Fabric, w: usize, h: usize) {
-        Self::configure_routes_at(fabric, 0, 0, w, h);
-    }
-
-    /// Halo-exchange routing for a `w × h` region whose top-left tile sits
-    /// at `(ox, oy)`. Routing is boundary-aware in **region** coordinates:
-    /// no route crosses the region's edge, so co-resident programs in
-    /// disjoint regions cannot interfere (the multi-tenant containment
-    /// invariant, checked by `wse-lint`'s region lint).
     pub(crate) fn configure_routes_at(
         fabric: &mut Fabric,
         ox: usize,
@@ -152,35 +130,9 @@ impl WaferSpmv2d {
         w: usize,
         h: usize,
     ) {
-        use colors::*;
-        for y in 0..h {
-            for x in 0..w {
-                let (fx, fy) = (ox + x, oy + y);
-                if x + 1 < w {
-                    fabric.set_route(fx, fy, Port::Ramp, HALO_E, &[Port::East]);
-                    fabric.set_route(fx, fy, Port::East, HALO_W, &[Port::Ramp]);
-                }
-                if x > 0 {
-                    fabric.set_route(fx, fy, Port::Ramp, HALO_W, &[Port::West]);
-                    fabric.set_route(fx, fy, Port::West, HALO_E, &[Port::Ramp]);
-                }
-                if y + 1 < h {
-                    fabric.set_route(fx, fy, Port::Ramp, HALO_S, &[Port::South]);
-                    fabric.set_route(fx, fy, Port::South, HALO_N, &[Port::Ramp]);
-                }
-                if y > 0 {
-                    fabric.set_route(fx, fy, Port::Ramp, HALO_N, &[Port::North]);
-                    fabric.set_route(fx, fy, Port::North, HALO_S, &[Port::Ramp]);
-                }
-            }
-        }
+        block2d::configure_block_routes_at(fabric, ox, oy, w, h, 1);
     }
 
-    /// Stores per-core **column** coefficients: `coef[o][i][j]` multiplies
-    /// local `v[i][j]` and contributes to the output at extended position
-    /// `(i+1+dx, j+1+dy)` — i.e. it is the matrix entry
-    /// `A[(gi+dx, gj+dy), (gi, gj)]`, the transpose view of the row-stored
-    /// DIA bands.
     pub(crate) fn load_tile_coefficients(
         tile: &mut Tile,
         layout: &Spmv2dLayout,
@@ -188,32 +140,16 @@ impl WaferSpmv2d {
         tx: usize,
         ty: usize,
     ) {
-        let mesh = a.mesh();
-        let b = layout.block;
-        for (o, off) in Offset3::nine_point_2d().iter().enumerate() {
-            let mut data = vec![F16::ZERO; b.bx * b.by];
-            for i in 0..b.bx {
-                for j in 0..b.by {
-                    let gi = tx * b.bx + i;
-                    let gj = ty * b.by + j;
-                    // Row = (gi+dx, gj+dy); its coefficient toward column
-                    // (gi, gj) sits at offset (-dx, -dy) in row storage.
-                    let ri = gi as i64 + off.dx as i64;
-                    let rj = gj as i64 + off.dy as i64;
-                    if ri < 0 || rj < 0 || ri >= mesh.nx as i64 || rj >= mesh.ny as i64 {
-                        continue;
-                    }
-                    let mirror = Offset3::new(-off.dx, -off.dy, 0);
-                    data[i * b.by + j] = a.coeff(ri as usize, rj as usize, 0, mirror);
-                }
-            }
-            tile.mem.store_f16_slice(layout.coef[o], &data);
-        }
+        block2d::load_block_coefficients(
+            tile,
+            &layout.as_block(),
+            a,
+            &stencil::dia::Offset3::nine_point_2d(),
+            tx,
+            ty,
+        );
     }
 
-    /// Builds the per-tile task: zero `ubuf`, nine FMAC passes (one per
-    /// offset, row-at-a-time), then the two-round halo exchange with a
-    /// barrier between rounds.
     pub(crate) fn build_tile_task(
         tile: &mut Tile,
         layout: &Spmv2dLayout,
@@ -222,249 +158,15 @@ impl WaferSpmv2d {
         w: usize,
         h: usize,
     ) -> TaskId {
-        use colors::*;
-        let b = layout.block;
-        let (bx, by) = (b.bx, b.by);
-        let core = &mut tile.core;
-        let ub_w = (by + 2) as u32;
-
-        let mut body: Vec<Stmt> = vec![Stmt::SetReg { reg: R_ZERO, value: 0.0 }];
-
-        // Zero the extended buffer with a register broadcast (source-free:
-        // a single DSR, so the cursor semantics are trivially correct on
-        // every invocation).
-        let n_ub = ((bx + 2) * (by + 2)) as u32;
-        let d_ub_all = core.add_dsr(mk::tensor16(layout.ubuf, n_ub));
-        body.push(Stmt::Exec(TensorInstr {
-            op: Op::StoreReg { reg: R_ZERO },
-            dst: Some(d_ub_all),
-            a: None,
-            b: None,
-        }));
-
-        // Nine offsets × bx rows of fused multiply-accumulate. (This is
-        // where the paper's "all 9 multiplies and adds ... on the same core,
-        // we are able to use the fused multiply-accumulate instruction"
-        // shows up.)
-        for (o, off) in Offset3::nine_point_2d().iter().enumerate() {
-            for i in 0..bx {
-                let d_dst = core.add_dsr(mk::tensor16(
-                    layout.u_addr((i as i64 + 1 + off.dx as i64) as usize, (1 + off.dy) as usize),
-                    by as u32,
-                ));
-                let d_coef =
-                    core.add_dsr(mk::tensor16(layout.coef[o] + 2 * (i * by) as u32, by as u32));
-                let d_v = core.add_dsr(mk::tensor16(layout.v_addr(i, 0), by as u32));
-                body.push(Stmt::Exec(TensorInstr {
-                    op: Op::FmaAssign,
-                    dst: Some(d_dst),
-                    a: Some(d_coef),
-                    b: Some(d_v),
-                }));
-            }
-        }
-
-        // --- Halo exchange round 1: x direction, full-height strips. ---
-        // Send east strip (extended column bx+1), receive west neighbor's
-        // east strip into interior column 1; symmetric westward.
-        let strip_h = (by + 2) as u32;
-        let has_e = tx + 1 < w;
-        let has_w = tx > 0;
-        let has_s = ty + 1 < h;
-        let has_n = ty > 0;
-
-        // Barrier between rounds: chain of two-input barriers over the
-        // launched threads of round 1.
-        let round2 = core.add_task(Task::new("halo-y", vec![]));
-        let mut r1_threads = 0usize;
-        r1_threads += usize::from(has_e) * 2; // send E + add-from-E
-        r1_threads += usize::from(has_w) * 2;
-        let mut chain: Vec<TaskId> = Vec::new();
-        if r1_threads >= 2 {
-            let n = r1_threads - 1;
-            for _ in 0..n {
-                // Every barrier starts blocked: it needs BOTH its Activate
-                // and its Unblock trigger before it may run.
-                chain.push(core.add_task(Task::new("halo-x-barrier", vec![]).blocked()));
-            }
-            for i in 0..n {
-                let next = if i + 1 < n {
-                    Stmt::TaskCtl { task: chain[i + 1], action: TaskAction::Activate }
-                } else {
-                    Stmt::TaskCtl { task: round2, action: TaskAction::Activate }
-                };
-                // Re-block first (the paper's two-way barrier reset), so the
-                // chain is armed again for the next SpMV invocation.
-                core.set_task_body(
-                    chain[i],
-                    vec![Stmt::TaskCtl { task: chain[i], action: TaskAction::Block }, next],
-                );
-            }
-        }
-        let trigger = |k: usize, chain: &Vec<TaskId>| -> Option<(TaskId, TaskAction)> {
-            if chain.is_empty() {
-                return None;
-            }
-            Some(match k {
-                0 => (chain[0], TaskAction::Activate),
-                1 => (chain[0], TaskAction::Unblock),
-                k => (chain[k - 1], TaskAction::Unblock),
-            })
-        };
-
-        let mut k = 0usize;
-        let mut slot = 0u8;
-        if has_e {
-            // Send extended column bx+1 (stride = row width).
-            let d_src = core.add_dsr(Descriptor::Mem {
-                addr: layout.u_addr(bx + 1, 0),
-                len: strip_h,
-                stride: 1,
-                dtype: Dtype::F16,
-                rewind: true,
-            });
-            let d_tx = core.add_dsr(mk::tx16(HALO_E, strip_h));
-            body.push(Stmt::InitDsr { dsr: d_tx, desc: mk::tx16(HALO_E, strip_h) });
-            body.push(Stmt::Launch {
-                slot,
-                instr: TensorInstr { op: Op::Copy, dst: Some(d_tx), a: Some(d_src), b: None },
-                on_complete: trigger(k, &chain),
-            });
-            slot += 1;
-            k += 1;
-            // Receive from the east neighbor's westward send into interior
-            // column bx.
-            let d_rx = core.add_dsr(mk::rx16(HALO_W, strip_h));
-            let d_acc = core.add_dsr(Descriptor::Mem {
-                addr: layout.u_addr(bx, 0),
-                len: strip_h,
-                stride: 1,
-                dtype: Dtype::F16,
-                rewind: true,
-            });
-            body.push(Stmt::InitDsr { dsr: d_rx, desc: mk::rx16(HALO_W, strip_h) });
-            body.push(Stmt::Launch {
-                slot,
-                instr: TensorInstr { op: Op::AddAssign, dst: Some(d_acc), a: Some(d_rx), b: None },
-                on_complete: trigger(k, &chain),
-            });
-            slot += 1;
-            k += 1;
-        }
-        if has_w {
-            let d_src = core.add_dsr(Descriptor::Mem {
-                addr: layout.u_addr(0, 0),
-                len: strip_h,
-                stride: 1,
-                dtype: Dtype::F16,
-                rewind: true,
-            });
-            let d_tx = core.add_dsr(mk::tx16(HALO_W, strip_h));
-            body.push(Stmt::InitDsr { dsr: d_tx, desc: mk::tx16(HALO_W, strip_h) });
-            body.push(Stmt::Launch {
-                slot,
-                instr: TensorInstr { op: Op::Copy, dst: Some(d_tx), a: Some(d_src), b: None },
-                on_complete: trigger(k, &chain),
-            });
-            slot += 1;
-            k += 1;
-            let d_rx = core.add_dsr(mk::rx16(HALO_E, strip_h));
-            let d_acc = core.add_dsr(Descriptor::Mem {
-                addr: layout.u_addr(1, 0),
-                len: strip_h,
-                stride: 1,
-                dtype: Dtype::F16,
-                rewind: true,
-            });
-            body.push(Stmt::InitDsr { dsr: d_rx, desc: mk::rx16(HALO_E, strip_h) });
-            body.push(Stmt::Launch {
-                slot,
-                instr: TensorInstr { op: Op::AddAssign, dst: Some(d_acc), a: Some(d_rx), b: None },
-                on_complete: trigger(k, &chain),
-            });
-            k += 1;
-        }
-        let _ = (slot, k);
-        if chain.is_empty() {
-            // No x neighbors: go straight to round 2.
-            body.push(Stmt::TaskCtl { task: round2, action: TaskAction::Activate });
-        }
-
-        // --- Round 2 (y direction): interior-width strips (rows 0 and
-        // by+1 of the extended buffer, columns 1..=bx... i.e. along x). ---
-        // In our layout a "row j = const" strip is strided by (by+2).
-        let mut r2_body: Vec<Stmt> = Vec::new();
-        let strip_w = bx as u32;
-        let stride = ub_w;
-        let mut slot2 = 4u8;
-        if has_s {
-            // Output halo for the +y neighbor: extended row j = by+1,
-            // interior columns i = 1..=bx.
-            let d_src = core.add_dsr(Descriptor::Mem {
-                addr: layout.u_addr(1, by + 1),
-                len: strip_w,
-                stride,
-                dtype: Dtype::F16,
-                rewind: true,
-            });
-            let d_tx = core.add_dsr(mk::tx16(HALO_S, strip_w));
-            r2_body.push(Stmt::InitDsr { dsr: d_tx, desc: mk::tx16(HALO_S, strip_w) });
-            r2_body.push(Stmt::Launch {
-                slot: slot2,
-                instr: TensorInstr { op: Op::Copy, dst: Some(d_tx), a: Some(d_src), b: None },
-                on_complete: None,
-            });
-            slot2 += 1;
-            let d_rx = core.add_dsr(mk::rx16(HALO_N, strip_w));
-            let d_acc = core.add_dsr(Descriptor::Mem {
-                addr: layout.u_addr(1, by),
-                len: strip_w,
-                stride,
-                dtype: Dtype::F16,
-                rewind: true,
-            });
-            r2_body.push(Stmt::InitDsr { dsr: d_rx, desc: mk::rx16(HALO_N, strip_w) });
-            r2_body.push(Stmt::Launch {
-                slot: slot2,
-                instr: TensorInstr { op: Op::AddAssign, dst: Some(d_acc), a: Some(d_rx), b: None },
-                on_complete: None,
-            });
-            slot2 += 1;
-        }
-        if has_n {
-            let d_src = core.add_dsr(Descriptor::Mem {
-                addr: layout.u_addr(1, 0),
-                len: strip_w,
-                stride,
-                dtype: Dtype::F16,
-                rewind: true,
-            });
-            let d_tx = core.add_dsr(mk::tx16(HALO_N, strip_w));
-            r2_body.push(Stmt::InitDsr { dsr: d_tx, desc: mk::tx16(HALO_N, strip_w) });
-            r2_body.push(Stmt::Launch {
-                slot: slot2,
-                instr: TensorInstr { op: Op::Copy, dst: Some(d_tx), a: Some(d_src), b: None },
-                on_complete: None,
-            });
-            slot2 += 1;
-            let d_rx = core.add_dsr(mk::rx16(HALO_S, strip_w));
-            let d_acc = core.add_dsr(Descriptor::Mem {
-                addr: layout.u_addr(1, 1),
-                len: strip_w,
-                stride,
-                dtype: Dtype::F16,
-                rewind: true,
-            });
-            r2_body.push(Stmt::InitDsr { dsr: d_rx, desc: mk::rx16(HALO_S, strip_w) });
-            r2_body.push(Stmt::Launch {
-                slot: slot2,
-                instr: TensorInstr { op: Op::AddAssign, dst: Some(d_acc), a: Some(d_rx), b: None },
-                on_complete: None,
-            });
-        }
-        core.set_task_body(round2, r2_body);
-
-        core.add_task(Task::new("spmv2d", body))
+        block2d::build_block_tile_task(
+            tile,
+            &layout.as_block(),
+            &stencil::dia::Offset3::nine_point_2d(),
+            tx,
+            ty,
+            w,
+            h,
+        )
     }
 
     /// Executes `u = A v`. Input and output are in global mesh order
@@ -516,6 +218,7 @@ impl WaferSpmv2d {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use stencil::dia::Offset3;
 
     /// Exact-arithmetic 9-point operator: unit diagonal, −1/8 couplings.
     fn exact9(mesh: Mesh2D) -> (DiaMatrix<F16>, Vec<F16>) {

@@ -1,6 +1,7 @@
-//! The 3D 7-point SpMV kernel — Listing 1 / Fig. 4 of the paper.
-//!
-//! Per tile, the kernel computes `u = A v` for its Z-column of the mesh:
+//! The 3D 7-point SpMV kernel — Listing 1 / Fig. 4 of the paper — now a
+//! façade over [`wse_dsl::zcolumn`], where the Z-column emitter moved so
+//! the DSL lowering layer and the hand-written solver drivers share one
+//! implementation. The per-tile dataflow is unchanged:
 //!
 //! * the local iterate `v` is **broadcast** on the tile's own color to its
 //!   four neighbors and looped back to its own ramp,
@@ -18,672 +19,26 @@
 //! * a chain of two-way barriers (block/unblock/activate) detects completion
 //!   and hands control back (the paper's `xdone/ydone/.../xycdone` tree).
 //!
-//! One deviation from Listing 1 is documented in DESIGN.md: the paper also
-//! sources the `zp` term from the loopback to save memory bandwidth; this
-//! model folds memory bandwidth into the datapath SIMD widths, so `zp` reads
-//! the in-memory copy and the loopback feeds only the main-diagonal add.
+//! [`WaferSpmv::build`] routes through [`wse_dsl::lower`] — the 7-point
+//! spec lowers onto the Listing-1 dataflow whenever the matrix diagonal is
+//! unit, which `build` asserts. The emitted program is byte-identical to
+//! the original hand-written builder's (`wse-serve`'s
+//! `tests/dsl_retrofit.rs` pins the program digest).
 
-use crate::routing::{configure_spmv_routes, incoming_colors, spmv_color};
 use stencil::decomp::Mapping3D;
-use stencil::dia::{DiaMatrix, Offset3};
+use stencil::dia::DiaMatrix;
 use stencil::precond::has_unit_diagonal;
-use wse_arch::dsr::mk;
-use wse_arch::fifo::Fifo;
-use wse_arch::instr::{Op, Stmt, Task, TaskAction, TensorInstr};
-use wse_arch::types::{Color, Dtype, TaskId};
-use wse_arch::{Fabric, Tile};
+use wse_arch::Fabric;
+use wse_dsl::ir::StencilSpec;
 use wse_float::F16;
 
-/// Depth of the intermediate-product FIFOs ("We used a FIFO depth of 20").
-pub const FIFO_DEPTH: u32 = 20;
+pub use wse_dsl::zcolumn::{
+    build_overlap_halo, build_spmv_tile, build_spmv_tile_halo, build_spmv_tile_naive,
+    build_spmv_tile_overlapped, load_coefficients, load_iterate, read_result, tile_coefficients,
+    HaloBuffers, OverlapHalo, SpmvLayout, SpmvTasks, FIFO_DEPTH, HALO_RECV_SLOT, HALO_SEND_SLOT,
+};
 
-/// Background-thread slot the overlapped seam-halo send launches into (the
-/// SpMV kernel itself occupies slots 0–3, 5 and 6).
-pub const HALO_SEND_SLOT: u8 = 7;
-/// Background-thread slot the overlapped seam-halo receive launches into.
-pub const HALO_RECV_SLOT: u8 = 8;
-
-/// Byte addresses of one tile's SpMV data.
-#[derive(Copy, Clone, Debug)]
-pub struct SpmvLayout {
-    /// Local Z extent.
-    pub z: u32,
-    /// Coefficient vectors `[xp, xm, yp, ym, zp, zm]`, each `z` fp16 words.
-    pub diag: [u32; 6],
-    /// Zero-padded iterate: `z + 2` words, live data at `[1 ..= z]`.
-    pub vpad: u32,
-    /// Result vector `u`, `z` words.
-    pub u: u32,
-}
-
-impl SpmvLayout {
-    /// Allocates the layout in a tile's SRAM.
-    ///
-    /// # Panics
-    /// Panics if the tile runs out of SRAM (the 48 KB budget is real).
-    pub fn alloc(tile: &mut Tile, z: u32) -> SpmvLayout {
-        let mut diag = [0u32; 6];
-        for d in &mut diag {
-            *d = tile.mem.alloc_vec(z, Dtype::F16).expect("SRAM for diagonals");
-        }
-        let vpad = tile.mem.alloc_vec(z + 2, Dtype::F16).expect("SRAM for vpad");
-        let u = tile.mem.alloc_vec(z, Dtype::F16).expect("SRAM for u");
-        SpmvLayout { z, diag, vpad, u }
-    }
-
-    /// Base address of the live (unpadded) part of `v`.
-    pub fn v_live(&self) -> u32 {
-        self.vpad + 2
-    }
-}
-
-/// Task ids of one tile's SpMV program.
-#[derive(Clone, Debug)]
-pub struct SpmvTasks {
-    /// The entry task; activate it to start one SpMV.
-    pub start: TaskId,
-    /// The final barrier; its body fires the continuation. Also activatable
-    /// for tests.
-    pub last_barrier: TaskId,
-}
-
-/// Which neighbors a tile has (edge tiles have fewer streams).
-#[derive(Copy, Clone, Debug, Default)]
-struct Neighbors {
-    xp: bool,
-    xm: bool,
-    yp: bool,
-    ym: bool,
-}
-
-/// SRAM halo buffers holding a **neighbor wafer's** boundary column of the
-/// iterate (`z` fp16 words each). On a wafer-seam tile the ±x mesh
-/// neighbor lives on another wafer: no broadcast stream arrives for it, so
-/// an explicit halo-exchange phase fills these buffers over the host
-/// interconnect before the SpMV runs, and the kernel folds each present
-/// side in with one extra fused multiply-add from memory.
-#[derive(Copy, Clone, Debug, Default)]
-pub struct HaloBuffers {
-    /// The +x neighbor's column (east seam), if this tile sits on one.
-    pub xp: Option<u32>,
-    /// The −x neighbor's column (west seam), if this tile sits on one.
-    pub xm: Option<u32>,
-}
-
-/// Builds one tile's SpMV program. `continuation` (task, action) fires when
-/// the SpMV completes.
-///
-/// The caller must have configured the tessellation routes
-/// ([`configure_spmv_routes`]) and loaded coefficients via
-/// [`load_coefficients`].
-pub fn build_spmv_tile(
-    tile: &mut Tile,
-    x: usize,
-    y: usize,
-    region_w: usize,
-    region_h: usize,
-    layout: SpmvLayout,
-    continuation: Option<(TaskId, TaskAction)>,
-) -> SpmvTasks {
-    build_spmv_tile_halo(
-        tile,
-        x,
-        y,
-        region_w,
-        region_h,
-        layout,
-        HaloBuffers::default(),
-        continuation,
-    )
-}
-
-/// How a seam tile's ±x halo contribution enters the SpMV.
-enum SeamFold {
-    /// Fold each present halo buffer in with a synchronous fused
-    /// multiply-add right after the z terms (the buffer was filled by a
-    /// separate, serial halo phase).
-    Sync(HaloBuffers),
-    /// Interior-first: the named [`build_overlap_halo`] fold tasks carry
-    /// the halo terms. The SpMV body only *unblocks* them once `u` is
-    /// initialized; each fires when its receive also completes, so halo
-    /// wire time hides behind the interior compute.
-    Overlap(Vec<TaskId>),
-}
-
-/// [`build_spmv_tile`] with wafer-seam halo terms: for each `Some` halo
-/// buffer, the kernel adds `u += a_x± · halo` as a synchronous fused
-/// multiply-add right after the in-memory z terms. With both halos `None`
-/// the built program is identical to [`build_spmv_tile`]'s.
-#[allow(clippy::too_many_arguments)]
-pub fn build_spmv_tile_halo(
-    tile: &mut Tile,
-    x: usize,
-    y: usize,
-    region_w: usize,
-    region_h: usize,
-    layout: SpmvLayout,
-    halo: HaloBuffers,
-    continuation: Option<(TaskId, TaskAction)>,
-) -> SpmvTasks {
-    build_spmv_tile_seam(tile, x, y, region_w, region_h, layout, SeamFold::Sync(halo), continuation)
-}
-
-/// [`build_spmv_tile`] in the **interior-first overlapped** schedule: the
-/// interior compute starts immediately, and each task in `folds` (built
-/// with [`build_overlap_halo`]) is unblocked right after `u` is
-/// initialized by the z terms. With `folds` empty the built program is
-/// identical to [`build_spmv_tile`]'s — interior tiles never pay for the
-/// seam machinery.
-#[allow(clippy::too_many_arguments)]
-pub fn build_spmv_tile_overlapped(
-    tile: &mut Tile,
-    x: usize,
-    y: usize,
-    region_w: usize,
-    region_h: usize,
-    layout: SpmvLayout,
-    folds: Vec<TaskId>,
-    continuation: Option<(TaskId, TaskAction)>,
-) -> SpmvTasks {
-    build_spmv_tile_seam(
-        tile,
-        x,
-        y,
-        region_w,
-        region_h,
-        layout,
-        SeamFold::Overlap(folds),
-        continuation,
-    )
-}
-
-#[allow(clippy::too_many_arguments)]
-fn build_spmv_tile_seam(
-    tile: &mut Tile,
-    x: usize,
-    y: usize,
-    region_w: usize,
-    region_h: usize,
-    layout: SpmvLayout,
-    seam: SeamFold,
-    continuation: Option<(TaskId, TaskAction)>,
-) -> SpmvTasks {
-    let z = layout.z;
-    let mine = spmv_color(x, y);
-    let (cxp, cxm, cyp, cym) = incoming_colors(x, y);
-    let nb = Neighbors { xp: x + 1 < region_w, xm: x > 0, yp: y + 1 < region_h, ym: y > 0 };
-
-    let core = &mut tile.core;
-
-    // --- DSRs over memory (coefficients, padded iterate, result). ---
-    let d_send_src = core.add_dsr(mk::tensor16(layout.v_live(), z));
-    let d_zm_a = core.add_dsr(mk::tensor16(layout.diag[5], z));
-    let d_zm_b = core.add_dsr(mk::tensor16(layout.vpad, z)); // v[z-1]
-    let d_zp_a = core.add_dsr(mk::tensor16(layout.diag[4], z));
-    let d_zp_b = core.add_dsr(mk::tensor16(layout.vpad + 4, z)); // v[z+1]
-    let d_u_init = core.add_dsr(mk::tensor16(layout.u, z));
-    let d_u_zp = core.add_dsr(mk::tensor16(layout.u, z));
-    let d_xp_a = core.add_dsr(mk::tensor16(layout.diag[0], z));
-    let d_xm_a = core.add_dsr(mk::tensor16(layout.diag[1], z));
-    let d_yp_a = core.add_dsr(mk::tensor16(layout.diag[2], z));
-    let d_ym_a = core.add_dsr(mk::tensor16(layout.diag[3], z));
-
-    // Fabric and accumulator DSRs are re-initialized at the top of each SpMV
-    // invocation (their cursors are consumed by use).
-    let d_tx = core.add_dsr(mk::tx16(mine, z));
-    let d_c_rx = core.add_dsr(mk::rx16(mine, z));
-    let d_c_acc = core.add_dsr(mk::acc16(layout.u, z));
-    let d_xp_rx = core.add_dsr(mk::rx16(cxp, z));
-    let d_xm_rx = core.add_dsr(mk::rx16(cxm, z));
-    let d_yp_rx = core.add_dsr(mk::rx16(cyp, z));
-    let d_ym_rx = core.add_dsr(mk::rx16(cym, z));
-    let d_xp_acc = core.add_dsr(mk::acc16(layout.u, z));
-    let d_xm_acc = core.add_dsr(mk::acc16(layout.u, z));
-    let d_yp_acc = core.add_dsr(mk::acc16(layout.u, z));
-    let d_ym_acc = core.add_dsr(mk::acc16(layout.u, z));
-
-    // --- Completion chain. Participating threads: one per existing
-    // neighbor, plus the loopback add and the send. ---
-    let mut threads = 2; // c add + send
-    for present in [nb.xp, nb.xm, nb.yp, nb.ym] {
-        if present {
-            threads += 1;
-        }
-    }
-    // Chain tasks C1..C(threads-1): C1 triggered by (T1 Activate, T2
-    // Unblock); each later Ci starts blocked, is activated by C(i-1)'s body
-    // and unblocked by T(i+1)'s completion. The last body fires the
-    // continuation.
-    let nchain = threads - 1;
-    let mut chain: Vec<TaskId> = Vec::with_capacity(nchain);
-    for _ in 0..nchain {
-        // Every barrier starts blocked: it needs both its Activate and its
-        // Unblock trigger before it may run (the paper's two-way barriers).
-        chain.push(core.add_task(Task::new("spmv-barrier", vec![]).blocked()));
-    }
-    // Fill chain bodies. Like the paper's tree ("task xdone { block(xdone),
-    // unblock(xydone) }"), each barrier RE-BLOCKS ITSELF first so it is
-    // armed again for the next SpMV invocation.
-    for i in 0..nchain {
-        let mut body = vec![Stmt::TaskCtl { task: chain[i], action: TaskAction::Block }];
-        if i + 1 < nchain {
-            body.push(Stmt::TaskCtl { task: chain[i + 1], action: TaskAction::Activate });
-        } else if let Some((task, action)) = continuation {
-            body.push(Stmt::TaskCtl { task, action });
-        }
-        core.set_task_body(chain[i], body);
-    }
-    // Trigger assignment: thread k (0-based) → k == 0: Activate C1;
-    // k == 1: Unblock C1; k >= 2: Unblock C(k-1).
-    let trigger = |k: usize| -> (TaskId, TaskAction) {
-        match k {
-            0 => (chain[0], TaskAction::Activate),
-            1 => (chain[0], TaskAction::Unblock),
-            k => (chain[k - 1], TaskAction::Unblock),
-        }
-    };
-
-    // --- FIFOs + sumtask. ---
-    // sumtask is created first (empty) so FIFOs can reference it; its body
-    // is filled once FIFO DSR ids exist. A tile with no neighbors (1x1
-    // fabric) has no FIFOs and therefore no sumtask at all.
-    let present = [nb.xp, nb.xm, nb.yp, nb.ym];
-    let sumtask =
-        present.iter().any(|&p| p).then(|| core.add_task(Task::new("sumtask", vec![]).priority(3)));
-    let mut fifo_dsrs = Vec::new();
-    let mut sum_body = Vec::new();
-    let accs = [d_xp_acc, d_xm_acc, d_yp_acc, d_ym_acc];
-    for i in 0..4 {
-        if !present[i] {
-            fifo_dsrs.push(None);
-            continue;
-        }
-        let base = tile.mem.alloc_vec(FIFO_DEPTH, Dtype::F16).expect("SRAM for fifo");
-        let fid = core.add_fifo(Fifo::new(base, FIFO_DEPTH, Dtype::F16, sumtask));
-        let dsr = core.add_dsr(mk::fifo(fid));
-        fifo_dsrs.push(Some(dsr));
-        sum_body.push(Stmt::Exec(TensorInstr {
-            op: Op::AddAssign,
-            dst: Some(accs[i]),
-            a: Some(dsr),
-            b: None,
-        }));
-    }
-    if let Some(sumtask) = sumtask {
-        core.set_task_body(sumtask, sum_body);
-    }
-
-    // --- The spmv entry task. ---
-    let mut body = vec![
-        // Re-arm the one-shot fabric descriptors and accumulators.
-        Stmt::InitDsr { dsr: d_tx, desc: mk::tx16(mine, z) },
-        Stmt::InitDsr { dsr: d_c_rx, desc: mk::rx16(mine, z) },
-        Stmt::InitDsr { dsr: d_c_acc, desc: mk::acc16(layout.u, z) },
-    ];
-    let rxs = [d_xp_rx, d_xm_rx, d_yp_rx, d_ym_rx];
-    let colors = [cxp, cxm, cyp, cym];
-    for i in 0..4 {
-        if present[i] {
-            body.push(Stmt::InitDsr { dsr: rxs[i], desc: mk::rx16(colors[i], z) });
-            body.push(Stmt::InitDsr { dsr: accs[i], desc: mk::acc16(layout.u, z) });
-        }
-    }
-
-    let mut thread_no = 0;
-    // Send local vector to neighbors + loopback.
-    body.push(Stmt::Launch {
-        slot: 5,
-        instr: TensorInstr { op: Op::Copy, dst: Some(d_tx), a: Some(d_send_src), b: None },
-        on_complete: Some(trigger(thread_no)),
-    });
-    thread_no += 1;
-
-    // Initialize u with the zm term, then accumulate zp — both synchronous.
-    body.push(Stmt::Exec(TensorInstr {
-        op: Op::Mul,
-        dst: Some(d_u_init),
-        a: Some(d_zm_a),
-        b: Some(d_zm_b),
-    }));
-    body.push(Stmt::Exec(TensorInstr {
-        op: Op::FmaAssign,
-        dst: Some(d_u_zp),
-        a: Some(d_zp_a),
-        b: Some(d_zp_b),
-    }));
-
-    // Wafer-seam halo terms. Serial schedule: the ±x neighbor's column
-    // arrived by host interconnect into SRAM before this phase, so it is
-    // folded in from memory like the z terms (no fabric stream exists for
-    // it). Overlapped schedule: `u` is now initialized, so release the
-    // fold barriers — each fires as soon as its background receive also
-    // lands, concurrently with the product threads below (the fold is an
-    // accumulate-class FMA, so it commutes with the FIFO drains).
-    match &seam {
-        SeamFold::Sync(halo) => {
-            for (buf, coeff) in [(halo.xp, layout.diag[0]), (halo.xm, layout.diag[1])] {
-                if let Some(base) = buf {
-                    let d_a = core.add_dsr(mk::tensor16(coeff, z));
-                    let d_b = core.add_dsr(mk::tensor16(base, z));
-                    let d_u = core.add_dsr(mk::tensor16(layout.u, z));
-                    body.push(Stmt::Exec(TensorInstr {
-                        op: Op::FmaAssign,
-                        dst: Some(d_u),
-                        a: Some(d_a),
-                        b: Some(d_b),
-                    }));
-                }
-            }
-        }
-        SeamFold::Overlap(folds) => {
-            for &fold in folds {
-                body.push(Stmt::TaskCtl { task: fold, action: TaskAction::Unblock });
-            }
-        }
-    }
-
-    // Neighbor product threads into FIFOs.
-    let diags = [d_xp_a, d_xm_a, d_yp_a, d_ym_a];
-    for i in 0..4 {
-        if !present[i] {
-            continue;
-        }
-        body.push(Stmt::Launch {
-            slot: i as u8,
-            instr: TensorInstr {
-                op: Op::Mul,
-                dst: Some(fifo_dsrs[i].unwrap()),
-                a: Some(rxs[i]),
-                b: Some(diags[i]),
-            },
-            on_complete: Some(trigger(thread_no)),
-        });
-        thread_no += 1;
-    }
-
-    // Main-diagonal add from the loopback (no FIFO, no multiply).
-    body.push(Stmt::Launch {
-        slot: 6,
-        instr: TensorInstr { op: Op::AddAssign, dst: Some(d_c_acc), a: Some(d_c_rx), b: None },
-        on_complete: Some(trigger(thread_no)),
-    });
-
-    let start = core.add_task(Task::new("spmv", body));
-    core.mark_entry(start);
-    SpmvTasks { start, last_barrier: *chain.last().unwrap() }
-}
-
-/// Task ids of one seam tile's overlapped halo machinery for one SpMV
-/// flavor (one iterate vector). The driver activates `send` and `recv`
-/// together with the SpMV entry task, in the same phase.
-#[derive(Copy, Clone, Debug)]
-pub struct OverlapHalo {
-    /// Launches the boundary column outbound on a background thread and
-    /// retires immediately — the main thread is free for interior compute.
-    pub send: TaskId,
-    /// Launches the background receive of the neighbor wafer's column into
-    /// the halo buffer; its completion `Activate`s `fold`.
-    pub recv: TaskId,
-    /// Two-way barrier folding `u += coeff · halo`: `Activate`d by the
-    /// receive landing, `Unblock`ed by the SpMV body once `u` is
-    /// initialized. Re-blocks itself first, so it is armed again for the
-    /// next invocation.
-    pub fold: TaskId,
-}
-
-/// Builds the interior-first halo exchange for one seam side of one tile:
-/// a launch-and-retire send of `src_live`, a background receive into
-/// `buf`, and the fold task adding `coeff · buf` into `u`. Pass the fold
-/// id to [`build_spmv_tile_overlapped`] so the SpMV releases it at the
-/// right time.
-#[allow(clippy::too_many_arguments)]
-pub fn build_overlap_halo(
-    tile: &mut Tile,
-    src_live: u32,
-    buf: u32,
-    coeff: u32,
-    u: u32,
-    send_color: Color,
-    recv_color: Color,
-    z: u32,
-) -> OverlapHalo {
-    let core = &mut tile.core;
-    let d_src = core.add_dsr(mk::tensor16(src_live, z));
-    let d_tx = core.add_dsr(mk::tx16(send_color, z));
-    let d_rx = core.add_dsr(mk::rx16(recv_color, z));
-    let d_buf_w = core.add_dsr(mk::tensor16(buf, z));
-    let d_buf_r = core.add_dsr(mk::tensor16(buf, z));
-    let d_coeff = core.add_dsr(mk::tensor16(coeff, z));
-    let d_u = core.add_dsr(mk::tensor16(u, z));
-
-    let fold = core.add_task(Task::new("halo-fold", vec![]).blocked());
-    core.set_task_body(
-        fold,
-        vec![
-            Stmt::TaskCtl { task: fold, action: TaskAction::Block },
-            Stmt::Exec(TensorInstr {
-                op: Op::FmaAssign,
-                dst: Some(d_u),
-                a: Some(d_coeff),
-                b: Some(d_buf_r),
-            }),
-        ],
-    );
-
-    let send = core.add_task(Task::new(
-        "halo-send",
-        vec![
-            Stmt::InitDsr { dsr: d_tx, desc: mk::tx16(send_color, z) },
-            Stmt::Launch {
-                slot: HALO_SEND_SLOT,
-                instr: TensorInstr { op: Op::Copy, dst: Some(d_tx), a: Some(d_src), b: None },
-                on_complete: None,
-            },
-        ],
-    ));
-    let recv = core.add_task(Task::new(
-        "halo-recv",
-        vec![
-            Stmt::InitDsr { dsr: d_rx, desc: mk::rx16(recv_color, z) },
-            Stmt::Launch {
-                slot: HALO_RECV_SLOT,
-                instr: TensorInstr { op: Op::Copy, dst: Some(d_buf_w), a: Some(d_rx), b: None },
-                on_complete: Some((fold, TaskAction::Activate)),
-            },
-        ],
-    ));
-    core.mark_entry(send);
-    core.mark_entry(recv);
-    OverlapHalo { send, recv, fold }
-}
-
-/// Builds the **naive ablation** of the SpMV: no FIFO decoupling, no
-/// multiply/receive overlap — each neighbor stream is received *fully* into
-/// a scratch buffer (blocking, sequential), and only then multiplied and
-/// accumulated. This is the design the paper's Listing-1 dataflow exists to
-/// beat; `experiments commhiding`-style measurements quantify the gap.
-///
-/// Costs four extra `z`-length scratch buffers of SRAM.
-pub fn build_spmv_tile_naive(
-    tile: &mut Tile,
-    x: usize,
-    y: usize,
-    region_w: usize,
-    region_h: usize,
-    layout: SpmvLayout,
-) -> SpmvTasks {
-    let z = layout.z;
-    let mine = spmv_color(x, y);
-    let (cxp, cxm, cyp, cym) = incoming_colors(x, y);
-    let present = [x + 1 < region_w, x > 0, y + 1 < region_h, y > 0];
-    let colors = [cxp, cxm, cyp, cym];
-
-    // Scratch receive buffers.
-    let mut bufs = [0u32; 4];
-    for (i, b) in bufs.iter_mut().enumerate() {
-        if present[i] {
-            *b = tile.mem.alloc_vec(z, Dtype::F16).expect("SRAM: naive rx buffer");
-        }
-    }
-    let cbuf = tile.mem.alloc_vec(z, Dtype::F16).expect("SRAM: naive loopback buffer");
-
-    let core = &mut tile.core;
-    let d_send_src = core.add_dsr(mk::tensor16(layout.v_live(), z));
-    let d_tx = core.add_dsr(mk::tx16(mine, z));
-    let d_zm_a = core.add_dsr(mk::tensor16(layout.diag[5], z));
-    let d_zm_b = core.add_dsr(mk::tensor16(layout.vpad, z));
-    let d_zp_a = core.add_dsr(mk::tensor16(layout.diag[4], z));
-    let d_zp_b = core.add_dsr(mk::tensor16(layout.vpad + 4, z));
-    let d_u_init = core.add_dsr(mk::tensor16(layout.u, z));
-    let d_u_zp = core.add_dsr(mk::tensor16(layout.u, z));
-
-    // Completion chain over the background threads (send, loopback copy, one
-    // receive per present neighbor), same two-way-barrier idiom as the real
-    // kernel. The receives must all run CONCURRENTLY even in the naive
-    // variant: the broadcast fanout is all-or-nothing, so draining neighbor
-    // streams one at a time lets an undrained branch backpressure a sender
-    // that a third tile is blocked on — a circular wait once z outgrows the
-    // queue slack.
-    let threads = 2 + present.iter().filter(|&&p| p).count();
-    let nchain = threads - 1;
-    let mut chain: Vec<TaskId> = Vec::with_capacity(nchain);
-    for _ in 0..nchain {
-        chain.push(core.add_task(Task::new("naive-barrier", vec![]).blocked()));
-    }
-    // The multiplies wait for the whole chain: no receive/multiply overlap,
-    // which is the point of the ablation.
-    let fma = core.add_task(Task::new("spmv-naive-fma", vec![]));
-    for i in 0..nchain {
-        let mut cbody = vec![Stmt::TaskCtl { task: chain[i], action: TaskAction::Block }];
-        if i + 1 < nchain {
-            cbody.push(Stmt::TaskCtl { task: chain[i + 1], action: TaskAction::Activate });
-        } else {
-            cbody.push(Stmt::TaskCtl { task: fma, action: TaskAction::Activate });
-        }
-        core.set_task_body(chain[i], cbody);
-    }
-    let trigger = |k: usize| -> (TaskId, TaskAction) {
-        match k {
-            0 => (chain[0], TaskAction::Activate),
-            1 => (chain[0], TaskAction::Unblock),
-            k => (chain[k - 1], TaskAction::Unblock),
-        }
-    };
-
-    let mut body = vec![
-        Stmt::InitDsr { dsr: d_tx, desc: mk::tx16(mine, z) },
-        Stmt::Launch {
-            slot: 5,
-            instr: TensorInstr { op: Op::Copy, dst: Some(d_tx), a: Some(d_send_src), b: None },
-            on_complete: Some(trigger(0)),
-        },
-    ];
-    let mut thread_no = 1;
-
-    // Each neighbor stream is received *fully* into scratch by a background
-    // thread; every multiply pass — including the purely local z terms —
-    // happens only after all streams landed. Zero receive/compute overlap.
-    let mut fma_body = vec![
-        Stmt::Exec(TensorInstr {
-            op: Op::Mul,
-            dst: Some(d_u_init),
-            a: Some(d_zm_a),
-            b: Some(d_zm_b),
-        }),
-        Stmt::Exec(TensorInstr {
-            op: Op::FmaAssign,
-            dst: Some(d_u_zp),
-            a: Some(d_zp_a),
-            b: Some(d_zp_b),
-        }),
-    ];
-    for i in 0..4 {
-        if !present[i] {
-            continue;
-        }
-        let d_rx = core.add_dsr(mk::rx16(colors[i], z));
-        let d_buf_w = core.add_dsr(mk::tensor16(bufs[i], z));
-        body.push(Stmt::InitDsr { dsr: d_rx, desc: mk::rx16(colors[i], z) });
-        body.push(Stmt::Launch {
-            slot: i as u8,
-            instr: TensorInstr { op: Op::Copy, dst: Some(d_buf_w), a: Some(d_rx), b: None },
-            on_complete: Some(trigger(thread_no)),
-        });
-        thread_no += 1;
-        let d_buf_r = core.add_dsr(mk::tensor16(bufs[i], z));
-        let d_a = core.add_dsr(mk::tensor16(layout.diag[i], z));
-        let d_u = core.add_dsr(mk::tensor16(layout.u, z));
-        fma_body.push(Stmt::Exec(TensorInstr {
-            op: Op::FmaAssign,
-            dst: Some(d_u),
-            a: Some(d_a),
-            b: Some(d_buf_r),
-        }));
-    }
-    // Loopback diagonal, equally buffered through scratch.
-    let d_c_rx = core.add_dsr(mk::rx16(mine, z));
-    let d_cbuf_w = core.add_dsr(mk::tensor16(cbuf, z));
-    body.push(Stmt::InitDsr { dsr: d_c_rx, desc: mk::rx16(mine, z) });
-    body.push(Stmt::Launch {
-        slot: 6,
-        instr: TensorInstr { op: Op::Copy, dst: Some(d_cbuf_w), a: Some(d_c_rx), b: None },
-        on_complete: Some(trigger(thread_no)),
-    });
-
-    let d_cbuf_r = core.add_dsr(mk::tensor16(cbuf, z));
-    let d_u_c = core.add_dsr(mk::tensor16(layout.u, z));
-    fma_body.push(Stmt::Exec(TensorInstr {
-        op: Op::AddAssign,
-        dst: Some(d_u_c),
-        a: Some(d_cbuf_r),
-        b: None,
-    }));
-    core.set_task_body(fma, fma_body);
-
-    let start = core.add_task(Task::new("spmv-naive", body));
-    core.mark_entry(start);
-    SpmvTasks { start, last_barrier: *chain.last().unwrap() }
-}
-
-/// Extracts tile `(x, y)`'s six off-diagonal coefficient vectors from a
-/// unit-diagonal 7-point matrix, in the kernel's `[xp, xm, yp, ym, zp, zm]`
-/// order.
-pub fn tile_coefficients(a: &DiaMatrix<F16>, x: usize, y: usize) -> [Vec<F16>; 6] {
-    let mesh = a.mesh();
-    let order = [
-        Offset3::new(1, 0, 0),
-        Offset3::new(-1, 0, 0),
-        Offset3::new(0, 1, 0),
-        Offset3::new(0, -1, 0),
-        Offset3::new(0, 0, 1),
-        Offset3::new(0, 0, -1),
-    ];
-    order.map(|off| (0..mesh.nz).map(|zz| a.coeff(x, y, zz, off)).collect())
-}
-
-/// Loads a tile's coefficients into its SRAM.
-pub fn load_coefficients(tile: &mut Tile, layout: &SpmvLayout, coeffs: &[Vec<F16>; 6]) {
-    for (i, c) in coeffs.iter().enumerate() {
-        assert_eq!(c.len() as u32, layout.z, "coefficient length");
-        tile.mem.store_f16_slice(layout.diag[i], c);
-    }
-}
-
-/// Writes a tile's local iterate (with zero padding).
-pub fn load_iterate(tile: &mut Tile, layout: &SpmvLayout, v: &[F16]) {
-    assert_eq!(v.len() as u32, layout.z, "iterate length");
-    tile.mem.write_f16(layout.vpad, F16::ZERO);
-    tile.mem.store_f16_slice(layout.v_live(), v);
-    tile.mem.write_f16(layout.vpad + 2 * (layout.z + 1), F16::ZERO);
-}
-
-/// Reads a tile's result vector.
-pub fn read_result(tile: &Tile, layout: &SpmvLayout) -> Vec<F16> {
-    tile.mem.load_f16_slice(layout.u, layout.z as usize)
-}
-
-/// A whole-fabric SpMV: matrix distributed over a `w × h` region, one
-/// Z-column per tile.
+/// The whole-fabric SpMV: mapping, per-tile layouts, and per-tile task ids.
 pub struct WaferSpmv {
     mapping: Mapping3D,
     layouts: Vec<SpmvLayout>,
@@ -692,7 +47,7 @@ pub struct WaferSpmv {
 
 impl WaferSpmv {
     /// Distributes a unit-diagonal 7-point matrix across the fabric and
-    /// builds every tile's program.
+    /// builds every tile's program through the DSL lowering layer.
     ///
     /// # Panics
     /// Panics if the matrix is not unit-diagonal 7-point, or the mesh does
@@ -700,25 +55,11 @@ impl WaferSpmv {
     pub fn build(fabric: &mut Fabric, a: &DiaMatrix<F16>) -> WaferSpmv {
         assert!(has_unit_diagonal(a), "wafer SpMV requires a diagonally preconditioned matrix");
         assert_eq!(a.offsets().len(), 7, "wafer SpMV requires a 7-point stencil");
-        let mesh = a.mesh();
-        let mapping = Mapping3D::new(mesh, fabric.width(), fabric.height());
-        configure_spmv_routes(fabric, mapping.fabric_w, mapping.fabric_h);
-
-        let mut layouts = Vec::with_capacity(mapping.cores());
-        let mut tasks = Vec::with_capacity(mapping.cores());
-        for y in 0..mapping.fabric_h {
-            for x in 0..mapping.fabric_w {
-                let tile = fabric.tile_mut(x, y);
-                let layout = SpmvLayout::alloc(tile, mapping.z as u32);
-                let coeffs = tile_coefficients(a, x, y);
-                load_coefficients(tile, &layout, &coeffs);
-                let t =
-                    build_spmv_tile(tile, x, y, mapping.fabric_w, mapping.fabric_h, layout, None);
-                layouts.push(layout);
-                tasks.push(t);
-            }
-        }
-        crate::debug_lint(fabric);
+        let a64: DiaMatrix<f64> = a.convert();
+        let spec = StencilSpec::var_seven_point_3d();
+        let lowered = wse_dsl::lower(fabric, &spec, &a64, None)
+            .unwrap_or_else(|e| panic!("3D SpMV lowering rejected: {e}"));
+        let (mapping, layouts, tasks) = lowered.into_zcolumn_parts();
         WaferSpmv { mapping, layouts, tasks }
     }
 
@@ -769,6 +110,8 @@ impl WaferSpmv {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::routing::configure_spmv_routes;
+    use stencil::dia::Offset3;
     use stencil::mesh::Mesh3D;
     use stencil::precond::jacobi_scale;
     use stencil::stencil7::{convection_diffusion, poisson};

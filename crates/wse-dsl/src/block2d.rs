@@ -1,0 +1,448 @@
+//! The generalized 2D block mapping with output-halo exchange (§IV.2 of the
+//! paper), radius `r ≤ 2`.
+//!
+//! "For the 2D problem we map a rectangular region of the mesh of v to each
+//! core, and store all elements of the corresponding columns of A. After
+//! multiplication of the local v with the local A we have generated products
+//! in an output halo that must be sent to neighboring tiles. ... We complete
+//! a round of send and add in one direction, then a round for the other
+//! direction, and in this way avoid communication along diagonals of the
+//! tile grid."
+//!
+//! Per core: the local `bx × by` block of `v` is multiplied against the
+//! stored **column** coefficient arrays (one per tap) with fused FMACs into
+//! a `(bx+2r) × (by+2r)` extended output buffer; the edge wings (the output
+//! halo, `r` columns/rows deep) are then exchanged — first the x direction
+//! (full-height wings, so corner products ride along), then the y direction
+//! — and added into the neighbors' interiors.
+//!
+//! At radius 1 with fp16 and the nine-point tap order this emits a program
+//! **byte-identical** to the original hand-written `wse-core::spmv2d`
+//! builder (the retrofit regression in `tests/dsl_retrofit.rs` pins the
+//! program digest), which is why some orderings below look arbitrary: they
+//! are frozen by that contract. The x-round wing is `r` *contiguous*
+//! extended columns, so any radius still needs exactly one send and one
+//! receive thread per side; the y round streams each of the `r` halo rows
+//! on its own color pair ([`crate::colors::halo_s`]).
+
+use crate::colors::{halo_n, halo_s, HALO_E, HALO_W};
+use stencil::decomp::Block2D;
+use stencil::dia::{DiaMatrix, Offset3};
+use stencil::scalar::Scalar;
+use wse_arch::dsr::Descriptor;
+use wse_arch::instr::{Op, Stmt, Task, TaskAction, TensorInstr};
+use wse_arch::types::{Color, Dtype, Port, TaskId};
+use wse_arch::{Fabric, Tile};
+use wse_float::F16;
+
+/// Register used as the zero constant when clearing the output buffer.
+const R_ZERO: usize = 30;
+
+/// Contiguous rewinding memory tensor of `dtype`.
+fn t_mem(addr: u32, len: u32, dtype: Dtype) -> Descriptor {
+    Descriptor::Mem { addr, len, stride: 1, dtype, rewind: true }
+}
+
+/// Strided rewinding memory tensor of `dtype`.
+fn t_strided(addr: u32, len: u32, stride: u32, dtype: Dtype) -> Descriptor {
+    Descriptor::Mem { addr, len, stride, dtype, rewind: true }
+}
+
+fn t_tx(color: Color, len: u32, dtype: Dtype) -> Descriptor {
+    Descriptor::FabricOut { color, len, dtype }
+}
+
+fn t_rx(color: Color, len: u32, dtype: Dtype) -> Descriptor {
+    Descriptor::FabricIn { color, len, dtype }
+}
+
+/// Byte addresses of one tile's block-mapped data.
+#[derive(Clone, Debug)]
+pub struct BlockLayout {
+    /// Block extents.
+    pub block: Block2D,
+    /// Halo radius.
+    pub r: usize,
+    /// Element type.
+    pub dtype: Dtype,
+    /// Column-coefficient arrays (`bx·by` each), one per tap in spec order.
+    pub coef: Vec<u32>,
+    /// Local iterate block, `bx·by` words, row-major (y fastest).
+    pub v: u32,
+    /// Extended output buffer, `(bx+2r)·(by+2r)` words, row-major with
+    /// width `by + 2r`.
+    pub ubuf: u32,
+}
+
+impl BlockLayout {
+    /// Allocates the layout in a tile's SRAM, in the frozen order
+    /// (coefficient arrays, iterate, output buffer).
+    ///
+    /// # Panics
+    /// Panics when the block exceeds the 48 KB budget; [`crate::plan`]
+    /// rejects such specs before any tile exists.
+    pub fn alloc(
+        tile: &mut Tile,
+        block: Block2D,
+        ntaps: usize,
+        r: usize,
+        dtype: Dtype,
+    ) -> BlockLayout {
+        let n = (block.bx * block.by) as u32;
+        let mut coef = Vec::with_capacity(ntaps);
+        for _ in 0..ntaps {
+            coef.push(tile.mem.alloc_vec(n, dtype).expect("SRAM: 2D coefficients"));
+        }
+        let v = tile.mem.alloc_vec(n, dtype).expect("SRAM: 2D iterate");
+        let ubuf = tile
+            .mem
+            .alloc_vec(((block.bx + 2 * r) * (block.by + 2 * r)) as u32, dtype)
+            .expect("SRAM: 2D output buffer");
+        BlockLayout { block, r, dtype, coef, v, ubuf }
+    }
+
+    /// Byte address of `ubuf[i][j]` (extended coordinates, `i` along x).
+    pub fn u_addr(&self, i: usize, j: usize) -> u32 {
+        self.ubuf + self.dtype.bytes() * (i * (self.block.by + 2 * self.r) + j) as u32
+    }
+
+    /// Byte address of `v[i][j]` (block coordinates).
+    pub fn v_addr(&self, i: usize, j: usize) -> u32 {
+        self.v + self.dtype.bytes() * (i * self.block.by + j) as u32
+    }
+}
+
+/// Halo-exchange routing for a `w × h` region at the fabric origin.
+pub fn configure_block_routes(fabric: &mut Fabric, w: usize, h: usize, r: usize) {
+    configure_block_routes_at(fabric, 0, 0, w, h, r);
+}
+
+/// Halo-exchange routing for a `w × h` region whose top-left tile sits at
+/// `(ox, oy)`. Routing is boundary-aware in **region** coordinates: no
+/// route crosses the region's edge, so co-resident programs in disjoint
+/// regions cannot interfere (the multi-tenant containment invariant,
+/// checked by `wse-lint`'s region lint). The x direction uses one color
+/// pair regardless of radius (the wing is contiguous); the y direction
+/// uses one pair per halo ring.
+pub fn configure_block_routes_at(
+    fabric: &mut Fabric,
+    ox: usize,
+    oy: usize,
+    w: usize,
+    h: usize,
+    r: usize,
+) {
+    for y in 0..h {
+        for x in 0..w {
+            let (fx, fy) = (ox + x, oy + y);
+            if x + 1 < w {
+                fabric.set_route(fx, fy, Port::Ramp, HALO_E, &[Port::East]);
+                fabric.set_route(fx, fy, Port::East, HALO_W, &[Port::Ramp]);
+            }
+            if x > 0 {
+                fabric.set_route(fx, fy, Port::Ramp, HALO_W, &[Port::West]);
+                fabric.set_route(fx, fy, Port::West, HALO_E, &[Port::Ramp]);
+            }
+            if y + 1 < h {
+                for k in 0..r {
+                    fabric.set_route(fx, fy, Port::Ramp, halo_s(k), &[Port::South]);
+                    fabric.set_route(fx, fy, Port::South, halo_n(k), &[Port::Ramp]);
+                }
+            }
+            if y > 0 {
+                for k in 0..r {
+                    fabric.set_route(fx, fy, Port::Ramp, halo_n(k), &[Port::North]);
+                    fabric.set_route(fx, fy, Port::North, halo_s(k), &[Port::Ramp]);
+                }
+            }
+        }
+    }
+}
+
+/// Stores per-core **column** coefficients: `coef[o][i][j]` multiplies
+/// local `v[i][j]` and contributes to the output at extended position
+/// `(i+r+dx, j+r+dy)` — i.e. it is the matrix entry
+/// `A[(gi+dx, gj+dy), (gi, gj)]`, the transpose view of the row-stored DIA
+/// bands. The `f64` matrix carries scalar values exactly
+/// ([`Scalar::to_f64`] is exact for every implementor), so rounding once
+/// into `dtype` here reproduces the bytes a native-precision matrix would
+/// have stored.
+pub fn load_block_coefficients<S: Scalar>(
+    tile: &mut Tile,
+    layout: &BlockLayout,
+    a: &DiaMatrix<S>,
+    offsets: &[Offset3],
+    tx: usize,
+    ty: usize,
+) {
+    let mesh = a.mesh();
+    let b = layout.block;
+    for (o, off) in offsets.iter().enumerate() {
+        let mut data = vec![0.0f64; b.bx * b.by];
+        for i in 0..b.bx {
+            for j in 0..b.by {
+                let gi = tx * b.bx + i;
+                let gj = ty * b.by + j;
+                // Row = (gi+dx, gj+dy); its coefficient toward column
+                // (gi, gj) sits at offset (-dx, -dy) in row storage.
+                let ri = gi as i64 + off.dx as i64;
+                let rj = gj as i64 + off.dy as i64;
+                if ri < 0 || rj < 0 || ri >= mesh.nx as i64 || rj >= mesh.ny as i64 {
+                    continue;
+                }
+                let mirror = Offset3::new(-off.dx, -off.dy, 0);
+                data[i * b.by + j] = a.coeff(ri as usize, rj as usize, 0, mirror).to_f64();
+            }
+        }
+        store_scalar_slice(tile, layout.coef[o], &data, layout.dtype);
+    }
+}
+
+/// Stores `data` at `addr`, rounding each value once into `dtype`.
+pub fn store_scalar_slice(tile: &mut Tile, addr: u32, data: &[f64], dtype: Dtype) {
+    match dtype {
+        Dtype::F16 => {
+            let h: Vec<F16> = data.iter().map(|&v| F16::from_f64(v)).collect();
+            tile.mem.store_f16_slice(addr, &h);
+        }
+        Dtype::F32 => {
+            for (i, &v) in data.iter().enumerate() {
+                tile.mem.write_f32(addr + 4 * i as u32, f32::from_f64(v));
+            }
+        }
+    }
+}
+
+/// Loads `len` values from `addr`, widening each exactly to `f64`.
+pub fn load_scalar_slice(tile: &Tile, addr: u32, len: usize, dtype: Dtype) -> Vec<f64> {
+    match dtype {
+        Dtype::F16 => tile.mem.load_f16_slice(addr, len).iter().map(|h| h.to_f64()).collect(),
+        Dtype::F32 => (0..len).map(|i| tile.mem.read_f32(addr + 4 * i as u32) as f64).collect(),
+    }
+}
+
+/// Builds the per-tile task: zero `ubuf`, one FMAC pass per tap (row at a
+/// time), then the two-round halo exchange with a barrier between rounds.
+/// The caller marks the returned task as an entry point.
+pub fn build_block_tile_task(
+    tile: &mut Tile,
+    layout: &BlockLayout,
+    offsets: &[Offset3],
+    tx: usize,
+    ty: usize,
+    w: usize,
+    h: usize,
+) -> TaskId {
+    let b = layout.block;
+    let (bx, by) = (b.bx, b.by);
+    let r = layout.r;
+    let dt = layout.dtype;
+    let esz = dt.bytes();
+    let core = &mut tile.core;
+    let ub_w = (by + 2 * r) as u32;
+
+    let mut body: Vec<Stmt> = vec![Stmt::SetReg { reg: R_ZERO, value: 0.0 }];
+
+    // Zero the extended buffer with a register broadcast (source-free: a
+    // single DSR, so the cursor semantics are trivially correct on every
+    // invocation).
+    let n_ub = ((bx + 2 * r) * (by + 2 * r)) as u32;
+    let d_ub_all = core.add_dsr(t_mem(layout.ubuf, n_ub, dt));
+    body.push(Stmt::Exec(TensorInstr {
+        op: Op::StoreReg { reg: R_ZERO },
+        dst: Some(d_ub_all),
+        a: None,
+        b: None,
+    }));
+
+    // One fused multiply-accumulate pass per tap × bx rows. (This is where
+    // the paper's "all 9 multiplies and adds ... on the same core, we are
+    // able to use the fused multiply-accumulate instruction" shows up.)
+    for (o, off) in offsets.iter().enumerate() {
+        for i in 0..bx {
+            let d_dst = core.add_dsr(t_mem(
+                layout.u_addr(
+                    (i as i64 + r as i64 + off.dx as i64) as usize,
+                    (r as i64 + off.dy as i64) as usize,
+                ),
+                by as u32,
+                dt,
+            ));
+            let d_coef = core.add_dsr(t_mem(layout.coef[o] + esz * (i * by) as u32, by as u32, dt));
+            let d_v = core.add_dsr(t_mem(layout.v_addr(i, 0), by as u32, dt));
+            body.push(Stmt::Exec(TensorInstr {
+                op: Op::FmaAssign,
+                dst: Some(d_dst),
+                a: Some(d_coef),
+                b: Some(d_v),
+            }));
+        }
+    }
+
+    // --- Halo exchange round 1: x direction, full-height wings of r
+    // contiguous extended columns. Send the east wing (extended columns
+    // bx+r .. bx+2r), receive the east neighbor's westward wing into
+    // interior columns bx .. bx+r; symmetric westward. ---
+    let strip_h = (r * (by + 2 * r)) as u32;
+    let has_e = tx + 1 < w;
+    let has_w = tx > 0;
+    let has_s = ty + 1 < h;
+    let has_n = ty > 0;
+
+    // Barrier between rounds: chain of two-input barriers over the
+    // launched threads of round 1.
+    let round2 = core.add_task(Task::new("halo-y", vec![]));
+    let mut r1_threads = 0usize;
+    r1_threads += usize::from(has_e) * 2; // send E + add-from-E
+    r1_threads += usize::from(has_w) * 2;
+    let mut chain: Vec<TaskId> = Vec::new();
+    if r1_threads >= 2 {
+        let n = r1_threads - 1;
+        for _ in 0..n {
+            // Every barrier starts blocked: it needs BOTH its Activate
+            // and its Unblock trigger before it may run.
+            chain.push(core.add_task(Task::new("halo-x-barrier", vec![]).blocked()));
+        }
+        for i in 0..n {
+            let next = if i + 1 < n {
+                Stmt::TaskCtl { task: chain[i + 1], action: TaskAction::Activate }
+            } else {
+                Stmt::TaskCtl { task: round2, action: TaskAction::Activate }
+            };
+            // Re-block first (the paper's two-way barrier reset), so the
+            // chain is armed again for the next SpMV invocation.
+            core.set_task_body(
+                chain[i],
+                vec![Stmt::TaskCtl { task: chain[i], action: TaskAction::Block }, next],
+            );
+        }
+    }
+    let trigger = |k: usize, chain: &Vec<TaskId>| -> Option<(TaskId, TaskAction)> {
+        if chain.is_empty() {
+            return None;
+        }
+        Some(match k {
+            0 => (chain[0], TaskAction::Activate),
+            1 => (chain[0], TaskAction::Unblock),
+            k => (chain[k - 1], TaskAction::Unblock),
+        })
+    };
+
+    let mut k = 0usize;
+    let mut slot = 0u8;
+    if has_e {
+        // Send the east wing (contiguous columns bx+r .. bx+2r).
+        let d_src = core.add_dsr(t_mem(layout.u_addr(bx + r, 0), strip_h, dt));
+        let d_tx = core.add_dsr(t_tx(HALO_E, strip_h, dt));
+        body.push(Stmt::InitDsr { dsr: d_tx, desc: t_tx(HALO_E, strip_h, dt) });
+        body.push(Stmt::Launch {
+            slot,
+            instr: TensorInstr { op: Op::Copy, dst: Some(d_tx), a: Some(d_src), b: None },
+            on_complete: trigger(k, &chain),
+        });
+        slot += 1;
+        k += 1;
+        // Receive the east neighbor's westward wing into interior columns
+        // bx .. bx+r.
+        let d_rx = core.add_dsr(t_rx(HALO_W, strip_h, dt));
+        let d_acc = core.add_dsr(t_mem(layout.u_addr(bx, 0), strip_h, dt));
+        body.push(Stmt::InitDsr { dsr: d_rx, desc: t_rx(HALO_W, strip_h, dt) });
+        body.push(Stmt::Launch {
+            slot,
+            instr: TensorInstr { op: Op::AddAssign, dst: Some(d_acc), a: Some(d_rx), b: None },
+            on_complete: trigger(k, &chain),
+        });
+        slot += 1;
+        k += 1;
+    }
+    if has_w {
+        let d_src = core.add_dsr(t_mem(layout.u_addr(0, 0), strip_h, dt));
+        let d_tx = core.add_dsr(t_tx(HALO_W, strip_h, dt));
+        body.push(Stmt::InitDsr { dsr: d_tx, desc: t_tx(HALO_W, strip_h, dt) });
+        body.push(Stmt::Launch {
+            slot,
+            instr: TensorInstr { op: Op::Copy, dst: Some(d_tx), a: Some(d_src), b: None },
+            on_complete: trigger(k, &chain),
+        });
+        slot += 1;
+        k += 1;
+        let d_rx = core.add_dsr(t_rx(HALO_E, strip_h, dt));
+        let d_acc = core.add_dsr(t_mem(layout.u_addr(r, 0), strip_h, dt));
+        body.push(Stmt::InitDsr { dsr: d_rx, desc: t_rx(HALO_E, strip_h, dt) });
+        body.push(Stmt::Launch {
+            slot,
+            instr: TensorInstr { op: Op::AddAssign, dst: Some(d_acc), a: Some(d_rx), b: None },
+            on_complete: trigger(k, &chain),
+        });
+        k += 1;
+    }
+    let _ = (slot, k);
+    if chain.is_empty() {
+        // No x neighbors: go straight to round 2.
+        body.push(Stmt::TaskCtl { task: round2, action: TaskAction::Activate });
+    }
+
+    // --- Round 2 (y direction): interior-width strips, one per halo ring,
+    // each ring on its own color pair. A "row j = const" strip is strided
+    // by (by + 2r). ---
+    let mut r2_body: Vec<Stmt> = Vec::new();
+    let strip_w = bx as u32;
+    let stride = ub_w;
+    // Radius 1 keeps the frozen slot base 4 (round-1 slots stay untouched);
+    // radius 2 needs 4r = 8 launch slots, so it reuses the round-1 slots —
+    // safe because the inter-round barrier guarantees they retired, and a
+    // busy slot only stall-retries anyway.
+    let mut slot2 = if 4 * r + 4 <= 9 { 4u8 } else { 0u8 };
+    if has_s {
+        for ring in 0..r {
+            // Output halo for the +y neighbor: extended row j = by+r+ring,
+            // interior columns i = r .. r+bx.
+            let d_src =
+                core.add_dsr(t_strided(layout.u_addr(r, by + r + ring), strip_w, stride, dt));
+            let d_tx = core.add_dsr(t_tx(halo_s(ring), strip_w, dt));
+            r2_body.push(Stmt::InitDsr { dsr: d_tx, desc: t_tx(halo_s(ring), strip_w, dt) });
+            r2_body.push(Stmt::Launch {
+                slot: slot2,
+                instr: TensorInstr { op: Op::Copy, dst: Some(d_tx), a: Some(d_src), b: None },
+                on_complete: None,
+            });
+            slot2 += 1;
+            let d_rx = core.add_dsr(t_rx(halo_n(ring), strip_w, dt));
+            let d_acc = core.add_dsr(t_strided(layout.u_addr(r, by + ring), strip_w, stride, dt));
+            r2_body.push(Stmt::InitDsr { dsr: d_rx, desc: t_rx(halo_n(ring), strip_w, dt) });
+            r2_body.push(Stmt::Launch {
+                slot: slot2,
+                instr: TensorInstr { op: Op::AddAssign, dst: Some(d_acc), a: Some(d_rx), b: None },
+                on_complete: None,
+            });
+            slot2 += 1;
+        }
+    }
+    if has_n {
+        for ring in 0..r {
+            let d_src = core.add_dsr(t_strided(layout.u_addr(r, ring), strip_w, stride, dt));
+            let d_tx = core.add_dsr(t_tx(halo_n(ring), strip_w, dt));
+            r2_body.push(Stmt::InitDsr { dsr: d_tx, desc: t_tx(halo_n(ring), strip_w, dt) });
+            r2_body.push(Stmt::Launch {
+                slot: slot2,
+                instr: TensorInstr { op: Op::Copy, dst: Some(d_tx), a: Some(d_src), b: None },
+                on_complete: None,
+            });
+            slot2 += 1;
+            let d_rx = core.add_dsr(t_rx(halo_s(ring), strip_w, dt));
+            let d_acc = core.add_dsr(t_strided(layout.u_addr(r, r + ring), strip_w, stride, dt));
+            r2_body.push(Stmt::InitDsr { dsr: d_rx, desc: t_rx(halo_s(ring), strip_w, dt) });
+            r2_body.push(Stmt::Launch {
+                slot: slot2,
+                instr: TensorInstr { op: Op::AddAssign, dst: Some(d_acc), a: Some(d_rx), b: None },
+                on_complete: None,
+            });
+            slot2 += 1;
+        }
+    }
+    core.set_task_body(round2, r2_body);
+
+    // The task name is frozen at "spmv2d" for program-digest stability with
+    // the original hand-written builder.
+    core.add_task(Task::new("spmv2d", body))
+}

@@ -1,0 +1,129 @@
+//! Named, checked-in stencil operators defined **purely as DSL data** — no
+//! builder code anywhere. These are the demonstration operators of the DSL
+//! (the 9-point box and the 25-point star of Jacquelin et al.) plus the
+//! classic Laplacians, and they double as the service-cacheable tenant set:
+//! `wse-serve` keys compiled programs by catalog name + spec fingerprint.
+//!
+//! All catalog weights are small powers of two so that fp16 materialization
+//! is exact (`F16::from_f64` rounds once and these values round to
+//! themselves), which keeps host/device cross-checks bit-for-bit even at
+//! half precision.
+
+use crate::ir::{Boundary, Precision, StencilSpec, Tap};
+
+/// The catalog, in a stable order.
+pub const NAMES: [&str; 5] = ["star5-2d", "box9-2d", "star9-2d", "star7-3d", "star25-3d"];
+
+/// Looks up a catalog operator by name.
+pub fn get(name: &str) -> Option<StencilSpec> {
+    let spec = match name {
+        // 5-point 2D Laplacian: center 1, edge neighbors −1/4.
+        "star5-2d" => StencilSpec::new(
+            name,
+            vec![
+                Tap::constant(0, 0, 0, 1.0),
+                Tap::constant(1, 0, 0, -0.25),
+                Tap::constant(-1, 0, 0, -0.25),
+                Tap::constant(0, 1, 0, -0.25),
+                Tap::constant(0, -1, 0, -0.25),
+            ],
+            Precision::F16,
+            Boundary::Dirichlet0,
+        ),
+        // 9-point 2D box: center 1, all eight neighbors −1/8.
+        "box9-2d" => {
+            let mut taps = vec![Tap::constant(0, 0, 0, 1.0)];
+            for dx in -1..=1i32 {
+                for dy in -1..=1i32 {
+                    if (dx, dy) != (0, 0) {
+                        taps.push(Tap::constant(dx, dy, 0, -0.125));
+                    }
+                }
+            }
+            StencilSpec::new(name, taps, Precision::F16, Boundary::Dirichlet0)
+        }
+        // 9-point 2D star (radius 2): fourth-order Laplacian flavor with
+        // power-of-two weights.
+        "star9-2d" => {
+            let mut taps = vec![Tap::constant(0, 0, 0, 1.0)];
+            for (d, c) in [(1i32, -0.25), (2, 0.0625)] {
+                taps.push(Tap::constant(d, 0, 0, c));
+                taps.push(Tap::constant(-d, 0, 0, c));
+                taps.push(Tap::constant(0, d, 0, c));
+                taps.push(Tap::constant(0, -d, 0, c));
+            }
+            StencilSpec::new(name, taps, Precision::F16, Boundary::Dirichlet0)
+        }
+        // 7-point 3D star: center 1 (unit diagonal — eligible for the
+        // Listing-1 Z-column mapping), six face neighbors −1/8.
+        "star7-3d" => {
+            let mut taps = vec![Tap::constant(0, 0, 0, 1.0)];
+            for (dx, dy, dz) in
+                [(1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)]
+            {
+                taps.push(Tap::constant(dx, dy, dz, -0.125));
+            }
+            StencilSpec::new(name, taps, Precision::F16, Boundary::Dirichlet0)
+        }
+        // 25-point 3D star (radius 4 on every axis), the shape Jacquelin
+        // et al. map on the WSE: center 1, per-distance axis weights.
+        "star25-3d" => {
+            let mut taps = vec![Tap::constant(0, 0, 0, 1.0)];
+            for (d, c) in [(1i32, -0.25), (2, 0.125), (3, -0.0625), (4, 0.03125)] {
+                for (dx, dy, dz) in [(d, 0, 0), (0, d, 0), (0, 0, d)] {
+                    taps.push(Tap::constant(dx, dy, dz, c));
+                    taps.push(Tap::constant(-dx, -dy, -dz, c));
+                }
+            }
+            StencilSpec::new(name, taps, Precision::F16, Boundary::Dirichlet0)
+        }
+        _ => return None,
+    };
+    Some(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_catalog_operator_validates() {
+        for name in NAMES {
+            let spec = get(name).unwrap();
+            spec.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(spec.all_const(), "{name} must be pure data");
+        }
+        assert!(get("no-such-operator").is_none());
+    }
+
+    #[test]
+    fn tap_counts_match_names() {
+        for (name, n) in
+            [("star5-2d", 5), ("box9-2d", 9), ("star9-2d", 9), ("star7-3d", 7), ("star25-3d", 25)]
+        {
+            assert_eq!(get(name).unwrap().taps.len(), n, "{name}");
+        }
+    }
+
+    #[test]
+    fn catalog_weights_are_fp16_exact() {
+        for name in NAMES {
+            for t in get(name).unwrap().taps {
+                if let crate::ir::CoefKind::Const(c) = t.coef {
+                    let roundtrip = wse_float::F16::from_f64(c).to_f64();
+                    assert_eq!(roundtrip, c, "{name}: {c} not fp16-exact");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn star25_radius_and_shape() {
+        let s = get("star25-3d").unwrap();
+        assert!(s.is_star());
+        assert_eq!(s.radius(), (4, 4, 4));
+        let s9 = get("star9-2d").unwrap();
+        assert!(s9.is_2d());
+        assert_eq!(s9.radius(), (2, 2, 0));
+    }
+}

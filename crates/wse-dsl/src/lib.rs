@@ -1,0 +1,58 @@
+//! Declarative stencil front-end and the shared lowering layer.
+//!
+//! The hand-written builders in `wse-core` each re-derived routing, virtual
+//! channel (color) assignment, SRAM layout, and task wiring from scratch.
+//! This crate factors that machinery into one place:
+//!
+//! * [`ir`] — the stencil IR: a named set of taps (relative mesh offsets
+//!   with constant or per-cell-variable coefficients), a precision, and a
+//!   boundary condition. Operators are **data**, not builder code.
+//! * [`colors`] — the single whole-wafer virtual-channel map every emitter
+//!   consumes (previously duplicated across `spmv2d`/`spmv3d`/`allreduce`).
+//! * [`plan`] — validation and resource planning: structured
+//!   [`ir::DslError`]s for illegal specs (offset beyond the routable
+//!   radius, SRAM over the 48 KB budget) **before any fabric is touched**.
+//! * [`tess`] — the Fig. 5 tessellation channel assignment (moved from
+//!   `wse-core::routing`).
+//! * [`block2d`] — the generalized radius-`r` 2D block mapping with
+//!   output-halo exchange; at radius 1 it emits byte-identical programs to
+//!   the original hand-written `spmv2d` builder.
+//! * [`zcolumn`] — the Listing-1 Z-column dataflow (moved from
+//!   `wse-core::spmv3d`).
+//! * [`relay`] — store-and-forward relay rounds for wide 3D star stencils
+//!   (e.g. the 25-point star of Jacquelin et al.) using only four colors.
+//! * [`lower`] — the dispatch from spec + mesh to one of the three
+//!   mappings, producing a [`lower::Lowered`] program handle.
+//! * [`host`] — order-mirroring host reference applies (bit-exact per
+//!   datapath dtype).
+//!
+//! `wse-core`'s `spmv2d`/`spmv3d`/`routing` modules are now façades over
+//! this crate, so every existing call site is served by the lowering layer.
+
+#![warn(missing_docs)]
+
+pub mod block2d;
+pub mod catalog;
+pub mod colors;
+pub mod host;
+pub mod ir;
+pub mod lower;
+pub mod plan;
+pub mod relay;
+pub mod tess;
+pub mod zcolumn;
+
+pub use ir::{Boundary, CoefKind, DslError, Precision, StencilSpec, Tap};
+pub use lower::{lower, lower_spec, Lowered};
+pub use plan::{plan, Plan};
+
+/// Statically verifies a fully built wafer program in debug builds,
+/// panicking with the diagnostic report on any finding (the same invariant
+/// `wse-core::debug_lint` enforces for the hand-written drivers). Release
+/// builds skip the check.
+pub(crate) fn debug_lint(fabric: &wse_arch::Fabric) {
+    #[cfg(debug_assertions)]
+    wse_lint::assert_clean(fabric);
+    #[cfg(not(debug_assertions))]
+    let _ = fabric;
+}

@@ -1,0 +1,463 @@
+//! The shared lowering layer: spec + matrix + fabric geometry → a fully
+//! built, lint-clean wafer program behind one handle.
+//!
+//! [`lower`] first runs [`crate::plan`] (all structured rejections happen
+//! there, before any fabric state exists), then dispatches to one of the
+//! three emitters:
+//!
+//! * 2D meshes → [`crate::block2d`] (the 9-point section's block mapping,
+//!   generalized to radius ≤ 2);
+//! * 3D 7-point fp16 stars over a unit-diagonal matrix → [`crate::zcolumn`]
+//!   (the paper's Listing-1 dataflow — the fastest path, so it wins
+//!   whenever eligible);
+//! * every other 3D star → [`crate::relay`] (store-and-forward rounds,
+//!   radius ≤ 4 per axis on four colors).
+//!
+//! The emitted program is verified by `wse-lint` in debug builds before the
+//! handle is returned: a `Lowered` is lint-clean by construction.
+
+use stencil::decomp::{Block2D, Mapping3D};
+use stencil::dia::DiaMatrix;
+use stencil::mesh::Mesh3D;
+use stencil::precond::has_unit_diagonal;
+use wse_arch::types::{Dtype, TaskId};
+use wse_arch::Fabric;
+use wse_float::F16;
+
+use crate::block2d::{
+    build_block_tile_task, configure_block_routes, load_block_coefficients, load_scalar_slice,
+    store_scalar_slice, BlockLayout,
+};
+use crate::ir::{DslError, StencilSpec};
+use crate::plan::{listing1_eligible, plan, Geometry, MappingPlan};
+use crate::relay::{
+    build_relay_tile, configure_relay_routes, load_relay_coefficients, RelayLayout, RelayTasks,
+};
+use crate::tess::configure_spmv_routes;
+use crate::zcolumn::{
+    build_spmv_tile, load_coefficients, load_iterate, read_result, tile_coefficients, SpmvLayout,
+    SpmvTasks,
+};
+
+/// A stencil operator lowered onto a fabric: routes configured, SRAM
+/// packed, coefficients loaded, tasks wired, and (in debug builds)
+/// lint-verified. Drive it with [`Lowered::apply`].
+pub struct Lowered {
+    /// The spec's name.
+    pub name: String,
+    /// The spec fingerprint ([`StencilSpec::fingerprint`]) — cache key
+    /// material for compiled-program caches.
+    pub fingerprint: u64,
+    /// Element type of the datapath.
+    pub dtype: Dtype,
+    detail: Detail,
+}
+
+enum Detail {
+    Block {
+        w: usize,
+        h: usize,
+        block: Block2D,
+        r: usize,
+        mesh: Mesh3D,
+        layouts: Vec<BlockLayout>,
+        tasks: Vec<TaskId>,
+    },
+    Listing1 {
+        mapping: Mapping3D,
+        layouts: Vec<SpmvLayout>,
+        tasks: Vec<SpmvTasks>,
+    },
+    Relay {
+        w: usize,
+        h: usize,
+        rounds: usize,
+        mesh: Mesh3D,
+        layouts: Vec<RelayLayout>,
+        tasks: Vec<RelayTasks>,
+    },
+}
+
+/// Lowers `spec` with its coefficient matrix `a` onto `fabric`.
+///
+/// `block` supplies the per-tile block extents for 2D meshes (ignored for
+/// 3D). All validation happens in [`plan`] **before any fabric state is
+/// created**; on `Err` the fabric is untouched.
+pub fn lower(
+    fabric: &mut Fabric,
+    spec: &StencilSpec,
+    a: &DiaMatrix<f64>,
+    block: Option<Block2D>,
+) -> Result<Lowered, DslError> {
+    let mesh = a.mesh();
+    let geometry = Geometry { fabric_w: fabric.width(), fabric_h: fabric.height(), block };
+    let p = plan(spec, mesh, geometry)?;
+    let offsets = spec.offsets();
+
+    let detail = match p.mapping {
+        MappingPlan::Block { w, h, block, r } => {
+            configure_block_routes(fabric, w, h, r);
+            let mut layouts = Vec::with_capacity(w * h);
+            let mut tasks = Vec::with_capacity(w * h);
+            for ty in 0..h {
+                for tx in 0..w {
+                    let tile = fabric.tile_mut(tx, ty);
+                    let layout = BlockLayout::alloc(tile, block, offsets.len(), r, p.dtype);
+                    load_block_coefficients(tile, &layout, a, &offsets, tx, ty);
+                    let task = build_block_tile_task(tile, &layout, &offsets, tx, ty, w, h);
+                    tile.core.mark_entry(task);
+                    layouts.push(layout);
+                    tasks.push(task);
+                }
+            }
+            crate::debug_lint(fabric);
+            Detail::Block { w, h, block, r, mesh, layouts, tasks }
+        }
+        MappingPlan::Relay { .. } if listing1_eligible(spec) && has_unit_diagonal(a) => {
+            // The paper's Listing-1 dataflow: strictly faster than one
+            // relay round (neighbor columns stream through FIFOs while the
+            // diagonal FMACs run), so it wins whenever eligible.
+            let a16 = convert_f16(a);
+            let mapping = Mapping3D::new(mesh, fabric.width(), fabric.height());
+            configure_spmv_routes(fabric, mapping.fabric_w, mapping.fabric_h);
+            let mut layouts = Vec::with_capacity(mapping.cores());
+            let mut tasks = Vec::with_capacity(mapping.cores());
+            for y in 0..mapping.fabric_h {
+                for x in 0..mapping.fabric_w {
+                    let tile = fabric.tile_mut(x, y);
+                    let layout = SpmvLayout::alloc(tile, mapping.z as u32);
+                    let coeffs = tile_coefficients(&a16, x, y);
+                    load_coefficients(tile, &layout, &coeffs);
+                    let t = build_spmv_tile(
+                        tile,
+                        x,
+                        y,
+                        mapping.fabric_w,
+                        mapping.fabric_h,
+                        layout,
+                        None,
+                    );
+                    layouts.push(layout);
+                    tasks.push(t);
+                }
+            }
+            crate::debug_lint(fabric);
+            Detail::Listing1 { mapping, layouts, tasks }
+        }
+        MappingPlan::Relay { w, h, z, rx, ry, rz, rounds } => {
+            configure_relay_routes(fabric, w, h, rx, ry);
+            let ncoefvecs =
+                if crate::plan::relay_uses_registers(spec) { 0 } else { spec.taps.len() };
+            let mut layouts = Vec::with_capacity(w * h);
+            let mut tasks = Vec::with_capacity(w * h);
+            for y in 0..h {
+                for x in 0..w {
+                    let tile = fabric.tile_mut(x, y);
+                    let layout =
+                        RelayLayout::alloc(tile, z as u32, ncoefvecs, (rx, ry, rz), p.dtype);
+                    load_relay_coefficients(tile, &layout, spec, a, x, y);
+                    let t = build_relay_tile(tile, x, y, w, h, &layout, spec);
+                    layouts.push(layout);
+                    tasks.push(t);
+                }
+            }
+            crate::debug_lint(fabric);
+            Detail::Relay { w, h, rounds, mesh, layouts, tasks }
+        }
+        MappingPlan::Listing1 { .. } => unreachable!("plan defers the Listing-1 choice to lower"),
+    };
+
+    Ok(Lowered { name: spec.name.clone(), fingerprint: p.fingerprint, dtype: p.dtype, detail })
+}
+
+/// Lowers an **all-constant** spec by materializing its matrix on `mesh`
+/// first ([`StencilSpec::matrix`]). Per-cell-variable specs need a caller
+/// matrix — use [`lower`].
+pub fn lower_spec(
+    fabric: &mut Fabric,
+    spec: &StencilSpec,
+    mesh: Mesh3D,
+    block: Option<Block2D>,
+) -> Result<Lowered, DslError> {
+    let a = spec.matrix(mesh)?;
+    lower(fabric, spec, &a, block)
+}
+
+fn convert_f16(a: &DiaMatrix<f64>) -> DiaMatrix<F16> {
+    let mesh = a.mesh();
+    let mut out = DiaMatrix::<F16>::new(mesh, a.offsets());
+    for off in a.offsets().to_vec() {
+        for (x, y, z) in mesh.iter() {
+            if mesh.neighbor(x, y, z, off.dx, off.dy, off.dz).is_some() {
+                out.set(x, y, z, off, F16::from_f64(a.coeff(x, y, z, off)));
+            }
+        }
+    }
+    out
+}
+
+impl std::fmt::Debug for Lowered {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lowered")
+            .field("name", &self.name)
+            .field("fingerprint", &self.fingerprint)
+            .field("dtype", &self.dtype)
+            .field("kind", &self.kind())
+            .finish()
+    }
+}
+
+impl Lowered {
+    /// Which emitter produced the program: `"block"`, `"listing1"`, or
+    /// `"relay"`.
+    pub fn kind(&self) -> &'static str {
+        match self.detail {
+            Detail::Block { .. } => "block",
+            Detail::Listing1 { .. } => "listing1",
+            Detail::Relay { .. } => "relay",
+        }
+    }
+
+    /// Executes one operator application `u = A v` on the fabric. `v` is in
+    /// global mesh order (exact dtype-representable values); returns the
+    /// result (widened exactly to `f64`) and the cycle count.
+    ///
+    /// # Panics
+    /// Panics if the fabric fails to quiesce or `v` has the wrong length.
+    pub fn apply(&self, fabric: &mut Fabric, v: &[f64]) -> (Vec<f64>, u64) {
+        match &self.detail {
+            Detail::Block { w, h, block, r, mesh, layouts, tasks } => {
+                let (bx, by) = (block.bx, block.by);
+                assert_eq!(v.len(), mesh.len(), "iterate length mismatch");
+                for ty in 0..*h {
+                    for tx in 0..*w {
+                        let layout = &layouts[ty * w + tx];
+                        let mut local = vec![0.0f64; bx * by];
+                        for i in 0..bx {
+                            for j in 0..by {
+                                local[i * by + j] = v[mesh.idx(tx * bx + i, ty * by + j, 0)];
+                            }
+                        }
+                        let tile = fabric.tile_mut(tx, ty);
+                        store_scalar_slice(tile, layout.v, &local, self.dtype);
+                        tile.core.activate(tasks[ty * w + tx]);
+                    }
+                }
+                let budget = 2_000 * (bx * by) as u64 + 100_000;
+                let cycles = fabric
+                    .run_until_quiescent(budget)
+                    .unwrap_or_else(|e| panic!("dsl block apply stalled: {e}"));
+                let mut out = vec![0.0; mesh.len()];
+                for ty in 0..*h {
+                    for tx in 0..*w {
+                        let layout = &layouts[ty * w + tx];
+                        let tile = fabric.tile(tx, ty);
+                        for i in 0..bx {
+                            let row =
+                                load_scalar_slice(tile, layout.u_addr(i + r, *r), by, self.dtype);
+                            for (j, &u) in row.iter().enumerate() {
+                                out[mesh.idx(tx * bx + i, ty * by + j, 0)] = u;
+                            }
+                        }
+                    }
+                }
+                (out, cycles)
+            }
+            Detail::Listing1 { mapping, layouts, tasks } => {
+                let m = *mapping;
+                assert_eq!(v.len(), m.cores() * m.z, "iterate length mismatch");
+                for y in 0..m.fabric_h {
+                    for x in 0..m.fabric_w {
+                        let i = y * m.fabric_w + x;
+                        let rows = m.core_rows(x, y);
+                        let v16: Vec<F16> = v[rows].iter().map(|&s| F16::from_f64(s)).collect();
+                        let tile = fabric.tile_mut(x, y);
+                        load_iterate(tile, &layouts[i], &v16);
+                        tile.core.activate(tasks[i].start);
+                    }
+                }
+                let budget = 64 * m.z as u64 + 10_000;
+                let cycles = fabric
+                    .run_until_quiescent(budget)
+                    .unwrap_or_else(|e| panic!("dsl listing1 apply stalled: {e}"));
+                let mut out = vec![0.0; v.len()];
+                for y in 0..m.fabric_h {
+                    for x in 0..m.fabric_w {
+                        let i = y * m.fabric_w + x;
+                        let u = read_result(fabric.tile(x, y), &layouts[i]);
+                        for (k, h16) in u.iter().enumerate() {
+                            out[m.core_rows(x, y).start + k] = h16.to_f64();
+                        }
+                    }
+                }
+                (out, cycles)
+            }
+            Detail::Relay { w, h, rounds, mesh, layouts, tasks } => {
+                assert_eq!(v.len(), mesh.len(), "iterate length mismatch");
+                let z = mesh.nz;
+                for y in 0..*h {
+                    for x in 0..*w {
+                        let i = y * w + x;
+                        let base = mesh.idx(x, y, 0);
+                        let col = &v[base..base + z];
+                        let tile = fabric.tile_mut(x, y);
+                        store_scalar_slice(tile, layouts[i].v_live(), col, self.dtype);
+                        tile.core.activate(tasks[i].start);
+                    }
+                }
+                let budget = (*rounds as u64 + 4) * (64 * z as u64 + 10_000) + 100_000;
+                let cycles = fabric
+                    .run_until_quiescent(budget)
+                    .unwrap_or_else(|e| panic!("dsl relay apply stalled: {e}"));
+                let mut out = vec![0.0; mesh.len()];
+                for y in 0..*h {
+                    for x in 0..*w {
+                        let i = y * w + x;
+                        let u = load_scalar_slice(fabric.tile(x, y), layouts[i].u, z, self.dtype);
+                        let base = mesh.idx(x, y, 0);
+                        out[base..base + z].copy_from_slice(&u);
+                    }
+                }
+                (out, cycles)
+            }
+        }
+    }
+
+    /// Decomposes a block-mapped program into the pieces `wse-core`'s
+    /// `WaferSpmv2d` façade stores: `(w, h, block, layouts, tasks)`.
+    ///
+    /// # Panics
+    /// Panics when the program was not lowered onto the block mapping.
+    pub fn into_block_parts(self) -> (usize, usize, Block2D, Vec<BlockLayout>, Vec<TaskId>) {
+        match self.detail {
+            Detail::Block { w, h, block, layouts, tasks, .. } => (w, h, block, layouts, tasks),
+            _ => panic!("not a block-mapped program"),
+        }
+    }
+
+    /// Decomposes a Listing-1 program into the pieces `wse-core`'s
+    /// `WaferSpmv` façade stores: `(mapping, layouts, tasks)`.
+    ///
+    /// # Panics
+    /// Panics when the program was not lowered onto the Listing-1 dataflow.
+    pub fn into_zcolumn_parts(self) -> (Mapping3D, Vec<SpmvLayout>, Vec<SpmvTasks>) {
+        match self.detail {
+            Detail::Listing1 { mapping, layouts, tasks } => (mapping, layouts, tasks),
+            _ => panic!("not a Listing-1 program"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use crate::host::{block_reference_apply, relay_reference_apply};
+    use crate::ir::Precision;
+
+    /// Deterministic dtype-exact test iterate: a few mantissa bits, so fp16
+    /// round-trips exactly and exact-arithmetic comparisons are meaningful.
+    fn test_iterate(n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i * 37 + 11) % 23) as f64 * 0.0625 - 0.625).collect()
+    }
+
+    #[test]
+    fn star9_2d_block_matches_reference_bitwise_f16() {
+        let spec = catalog::get("star9-2d").unwrap();
+        let mesh = Mesh3D::new(8, 8, 1);
+        let a = spec.matrix(mesh).unwrap();
+        let mut fabric = Fabric::new(2, 2);
+        let lowered = lower_spec(&mut fabric, &spec, mesh, Some(Block2D::new(4, 4))).unwrap();
+        assert_eq!(lowered.kind(), "block");
+        let v = test_iterate(mesh.len());
+        let (got, _cycles) = lowered.apply(&mut fabric, &v);
+        let want =
+            block_reference_apply(&a, &spec.offsets(), Block2D::new(4, 4), 2, 2, 2, Dtype::F16, &v);
+        assert_eq!(got, want, "device and host mirror must agree bit-for-bit");
+    }
+
+    #[test]
+    fn star9_2d_block_matches_reference_bitwise_f32() {
+        let spec = catalog::get("star9-2d").unwrap().with_precision(Precision::F32);
+        let mesh = Mesh3D::new(8, 8, 1);
+        let a = spec.matrix(mesh).unwrap();
+        let mut fabric = Fabric::new(2, 2);
+        let lowered = lower_spec(&mut fabric, &spec, mesh, Some(Block2D::new(4, 4))).unwrap();
+        let v: Vec<f64> = (0..mesh.len()).map(|i| ((i * 13 + 5) % 97) as f64 * 1e-2).collect();
+        let (got, _cycles) = lowered.apply(&mut fabric, &v);
+        let want =
+            block_reference_apply(&a, &spec.offsets(), Block2D::new(4, 4), 2, 2, 2, Dtype::F32, &v);
+        assert_eq!(got, want, "fp32 must agree bit-for-bit");
+        // And the fp32 result tracks the f64 reference closely.
+        let mut exact = vec![0.0; mesh.len()];
+        a.matvec_f64(&v, &mut exact);
+        for (g, e) in got.iter().zip(&exact) {
+            assert!((g - e).abs() < 1e-5, "{g} vs {e}");
+        }
+    }
+
+    #[test]
+    fn star25_3d_relay_matches_reference_bitwise() {
+        let spec = catalog::get("star25-3d").unwrap();
+        let mesh = Mesh3D::new(5, 4, 12);
+        let a = spec.matrix(mesh).unwrap();
+        let mut fabric = Fabric::new(5, 4);
+        let lowered = lower_spec(&mut fabric, &spec, mesh, None).unwrap();
+        assert_eq!(lowered.kind(), "relay");
+        let v = test_iterate(mesh.len());
+        let (got, _cycles) = lowered.apply(&mut fabric, &v);
+        let want = relay_reference_apply(&spec, &a, Dtype::F16, &v);
+        assert_eq!(got, want, "device and host mirror must agree bit-for-bit");
+        // Exact data ⇒ the fp16 result equals the f64 reference exactly.
+        let mut exact = vec![0.0; mesh.len()];
+        a.matvec_f64(&v, &mut exact);
+        assert_eq!(got, exact);
+    }
+
+    #[test]
+    fn star7_3d_selects_listing1_and_matches_exact_reference() {
+        let spec = catalog::get("star7-3d").unwrap();
+        let mesh = Mesh3D::new(3, 3, 8);
+        let a = spec.matrix(mesh).unwrap();
+        let mut fabric = Fabric::new(3, 3);
+        let lowered = lower_spec(&mut fabric, &spec, mesh, None).unwrap();
+        assert_eq!(lowered.kind(), "listing1", "unit-diagonal 7-point goes to Listing 1");
+        let v = test_iterate(mesh.len());
+        let (got, _cycles) = lowered.apply(&mut fabric, &v);
+        let mut exact = vec![0.0; mesh.len()];
+        a.matvec_f64(&v, &mut exact);
+        assert_eq!(got, exact, "exact data ⇒ order-independent, bit-equal result");
+    }
+
+    #[test]
+    fn five_point_runs_on_single_tile() {
+        let spec = catalog::get("star5-2d").unwrap();
+        let mesh = Mesh3D::new(4, 4, 1);
+        let a = spec.matrix(mesh).unwrap();
+        let mut fabric = Fabric::new(1, 1);
+        let lowered = lower_spec(&mut fabric, &spec, mesh, Some(Block2D::new(4, 4))).unwrap();
+        let v = test_iterate(mesh.len());
+        let (got, _cycles) = lowered.apply(&mut fabric, &v);
+        let want =
+            block_reference_apply(&a, &spec.offsets(), Block2D::new(4, 4), 1, 1, 1, Dtype::F16, &v);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn errors_precede_fabric_mutation() {
+        // A spec too wide for the block mapping fails in plan(); the fabric
+        // is reusable for a subsequent legal lowering.
+        let wide = StencilSpec::new(
+            "wide",
+            vec![crate::ir::Tap::constant(0, 0, 0, 1.0), crate::ir::Tap::constant(3, 0, 0, 0.5)],
+            Precision::F16,
+            crate::ir::Boundary::Dirichlet0,
+        );
+        let mesh = Mesh3D::new(8, 8, 1);
+        let mut fabric = Fabric::new(2, 2);
+        let err = lower_spec(&mut fabric, &wide, mesh, Some(Block2D::new(4, 4))).unwrap_err();
+        assert!(matches!(err, DslError::RadiusOverflow { .. }));
+        let spec = catalog::get("box9-2d").unwrap();
+        lower_spec(&mut fabric, &spec, mesh, Some(Block2D::new(4, 4))).unwrap();
+    }
+}

@@ -26,12 +26,52 @@ pub enum StencilKind {
         /// Bit pattern of the y velocity.
         vy_bits: u64,
     },
+    /// A declarative operator from the `wse-dsl` catalog.
+    ///
+    /// The name alone is not a sound cache key — a catalog revision could
+    /// silently alias a stale compiled program — so the key also pins the
+    /// spec's [`wse_dsl::StencilSpec::fingerprint`], which covers every
+    /// tap, coefficient bit pattern, precision, and boundary condition.
+    Dsl {
+        /// Catalog name (see [`wse_dsl::catalog::NAMES`]), e.g. `box9-2d`.
+        name: &'static str,
+        /// Fingerprint of the named spec at key-construction time.
+        fingerprint: u64,
+    },
 }
 
 impl StencilKind {
     /// Convection–diffusion with velocity `(vx, vy)`.
     pub fn convection(vx: f64, vy: f64) -> StencilKind {
         StencilKind::ConvectionDiffusion9 { vx_bits: vx.to_bits(), vy_bits: vy.to_bits() }
+    }
+
+    /// A catalog-defined DSL operator as a cacheable tenant stencil.
+    ///
+    /// The 2D solver consumes 9-point radius-1 operators, so the named
+    /// spec must cover exactly the 2D box neighborhood: nine constant taps
+    /// with `|dx| ≤ 1`, `|dy| ≤ 1`, `dz = 0` (`box9-2d` qualifies;
+    /// `star5-2d` and the wider stars do not).
+    ///
+    /// # Panics
+    /// Panics if the name is not in the catalog or the spec is not a
+    /// 9-point 2D box operator.
+    pub fn dsl(name: &'static str) -> StencilKind {
+        let spec = wse_dsl::catalog::get(name).unwrap_or_else(|| {
+            panic!(
+                "unknown catalog operator `{name}`; available: {}",
+                wse_dsl::catalog::NAMES.join(", ")
+            )
+        });
+        let offsets = spec.offsets();
+        let is_box9 = offsets.len() == 9
+            && offsets.iter().all(|o| o.dx.abs() <= 1 && o.dy.abs() <= 1 && o.dz == 0);
+        assert!(
+            is_box9,
+            "catalog operator `{name}` is not a 9-point 2D box stencil \
+             (the 2D solver's operator shape)"
+        );
+        StencilKind::Dsl { name, fingerprint: spec.fingerprint() }
     }
 
     /// Assembles the operator on `mesh` (unscaled, f64).
@@ -44,6 +84,16 @@ impl StencilKind {
                     (f64::from_bits(vx_bits), f64::from_bits(vy_bits)),
                 )
             }
+            StencilKind::Dsl { name, fingerprint } => {
+                let spec = wse_dsl::catalog::get(name)
+                    .unwrap_or_else(|| panic!("catalog operator `{name}` vanished"));
+                assert_eq!(
+                    spec.fingerprint(),
+                    fingerprint,
+                    "catalog operator `{name}` changed since this key was built"
+                );
+                spec.matrix(mesh.as_3d()).expect("catalog operator must assemble")
+            }
         }
     }
 }
@@ -54,6 +104,9 @@ impl fmt::Display for StencilKind {
             StencilKind::Laplace9 => write!(f, "laplace9"),
             StencilKind::ConvectionDiffusion9 { vx_bits, vy_bits } => {
                 write!(f, "convdiff9({},{})", f64::from_bits(vx_bits), f64::from_bits(vy_bits))
+            }
+            StencilKind::Dsl { name, fingerprint } => {
+                write!(f, "dsl:{name}@{fingerprint:016x}")
             }
         }
     }
@@ -199,5 +252,33 @@ mod tests {
     #[should_panic(expected = "at least 2x2")]
     fn rejects_degenerate_regions() {
         let _ = ProgramKey::bicgstab2d((8, 4), (4, 4), StencilKind::Laplace9);
+    }
+
+    #[test]
+    fn dsl_keys_are_stable_values() {
+        let a = StencilKind::dsl("box9-2d");
+        let b = StencilKind::dsl("box9-2d");
+        assert_eq!(a, b);
+        assert_ne!(a, StencilKind::Laplace9);
+        let k = ProgramKey::bicgstab2d((8, 8), (4, 4), a);
+        let fp = wse_dsl::catalog::get("box9-2d").unwrap().fingerprint();
+        assert_eq!(k.to_string(), format!("8x8/4x4/dsl:box9-2d@{fp:016x}/bicgstab2d/f16"));
+        // The DSL operator assembles over the same mesh shape the built-in
+        // stencils do: 9 bands on an nz = 1 mesh.
+        let m = a.matrix(Mesh2D::new(8, 8));
+        assert_eq!(m.offsets().len(), 9);
+        assert_eq!(m.mesh().nz, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a 9-point 2D box stencil")]
+    fn rejects_non_box9_dsl_operators() {
+        let _ = StencilKind::dsl("star5-2d");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown catalog operator")]
+    fn rejects_unknown_dsl_operators() {
+        let _ = StencilKind::dsl("no-such-operator");
     }
 }

@@ -1,0 +1,539 @@
+//! DSL-retrofit bit-exactness regression.
+//!
+//! `wse-core`'s `WaferSpmv` (3D 7-point) and `WaferSpmv2d` (2D 9-point)
+//! builders now route through `wse-dsl`'s lowering layer. This test pins the
+//! refactor: it carries **frozen copies of the pre-refactor hand-written
+//! builders** (verbatim snapshots of the code they replaced) and asserts the
+//! lowered programs are **byte-identical** — equal [`program_digest`]s,
+//! which hash every tile's SRAM contents, textual program dump, register
+//! file, and routing table.
+//!
+//! If a change to the lowering layer alters allocation order, DSR order,
+//! task order, route insertion order, task names, or any emitted byte, this
+//! test fails — exactly the regression the retrofit promised not to cause.
+
+use stencil::decomp::{Block2D, Mapping3D};
+use stencil::dia::{DiaMatrix, Offset3};
+use stencil::mesh::{Mesh2D, Mesh3D};
+use stencil::precond::jacobi_scale;
+use stencil::stencil7::convection_diffusion;
+use stencil::stencil9::laplace9;
+use wse_arch::dsr::{mk, Descriptor};
+use wse_arch::instr::{Op, Stmt, Task, TaskAction, TensorInstr};
+use wse_arch::types::{Dtype, Port, TaskId};
+use wse_arch::{Fabric, Tile};
+use wse_core::routing::configure_spmv_routes;
+use wse_core::spmv2d::WaferSpmv2d;
+use wse_core::spmv3d::{
+    build_spmv_tile, load_coefficients, tile_coefficients, SpmvLayout, WaferSpmv,
+};
+use wse_float::F16;
+use wse_serve::program::program_digest;
+
+// ---------------------------------------------------------------------------
+// Frozen pre-refactor 3D builder (hand-written `WaferSpmv::build`, verbatim
+// loop structure; the per-tile emitters were moved, not rewritten, so they
+// are shared).
+// ---------------------------------------------------------------------------
+
+fn legacy_build_3d(fabric: &mut Fabric, a: &DiaMatrix<F16>) {
+    let mesh = a.mesh();
+    let mapping = Mapping3D::new(mesh, fabric.width(), fabric.height());
+    configure_spmv_routes(fabric, mapping.fabric_w, mapping.fabric_h);
+    for y in 0..mapping.fabric_h {
+        for x in 0..mapping.fabric_w {
+            let tile = fabric.tile_mut(x, y);
+            let layout = SpmvLayout::alloc(tile, mapping.z as u32);
+            let coeffs = tile_coefficients(a, x, y);
+            load_coefficients(tile, &layout, &coeffs);
+            let _ = build_spmv_tile(tile, x, y, mapping.fabric_w, mapping.fabric_h, layout, None);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frozen pre-refactor 2D builder: a verbatim snapshot of the hand-written
+// `WaferSpmv2d` internals (layout, routes, coefficient load, task emission)
+// as they stood before the DSL retrofit.
+// ---------------------------------------------------------------------------
+
+mod frozen2d {
+    use super::*;
+
+    pub const HALO_E: u8 = 16;
+    pub const HALO_W: u8 = 17;
+    pub const HALO_S: u8 = 18;
+    pub const HALO_N: u8 = 19;
+
+    const R_ZERO: usize = 30;
+
+    #[derive(Copy, Clone, Debug)]
+    pub struct Spmv2dLayout {
+        pub block: Block2D,
+        pub coef: [u32; 9],
+        pub v: u32,
+        pub ubuf: u32,
+    }
+
+    impl Spmv2dLayout {
+        pub fn alloc(tile: &mut Tile, block: Block2D) -> Spmv2dLayout {
+            let n = (block.bx * block.by) as u32;
+            let mut coef = [0u32; 9];
+            for c in &mut coef {
+                *c = tile.mem.alloc_vec(n, Dtype::F16).expect("SRAM: 2D coefficients");
+            }
+            let v = tile.mem.alloc_vec(n, Dtype::F16).expect("SRAM: 2D iterate");
+            let ubuf = tile
+                .mem
+                .alloc_vec(((block.bx + 2) * (block.by + 2)) as u32, Dtype::F16)
+                .expect("SRAM: 2D output buffer");
+            Spmv2dLayout { block, coef, v, ubuf }
+        }
+
+        pub fn u_addr(&self, i: usize, j: usize) -> u32 {
+            self.ubuf + 2 * (i * (self.block.by + 2) + j) as u32
+        }
+
+        pub fn v_addr(&self, i: usize, j: usize) -> u32 {
+            self.v + 2 * (i * self.block.by + j) as u32
+        }
+    }
+
+    pub fn build(fabric: &mut Fabric, a: &DiaMatrix<F16>, block: Block2D) {
+        let mesh3 = a.mesh();
+        assert_eq!(mesh3.nz, 1, "2D kernel requires nz == 1");
+        assert_eq!(a.offsets().len(), 9, "9-point stencil required");
+        let (w, h) = (mesh3.nx / block.bx, mesh3.ny / block.by);
+        assert_eq!(w * block.bx, mesh3.nx, "mesh x must tile evenly");
+        assert_eq!(h * block.by, mesh3.ny, "mesh y must tile evenly");
+        assert!(w <= fabric.width() && h <= fabric.height(), "mesh exceeds fabric");
+
+        configure_routes(fabric, w, h);
+
+        for ty in 0..h {
+            for tx in 0..w {
+                let tile = fabric.tile_mut(tx, ty);
+                let layout = Spmv2dLayout::alloc(tile, block);
+                load_tile_coefficients(tile, &layout, a, tx, ty);
+                let task = build_tile_task(tile, &layout, tx, ty, w, h);
+                tile.core.mark_entry(task);
+            }
+        }
+    }
+
+    fn configure_routes(fabric: &mut Fabric, w: usize, h: usize) {
+        for y in 0..h {
+            for x in 0..w {
+                if x + 1 < w {
+                    fabric.set_route(x, y, Port::Ramp, HALO_E, &[Port::East]);
+                    fabric.set_route(x, y, Port::East, HALO_W, &[Port::Ramp]);
+                }
+                if x > 0 {
+                    fabric.set_route(x, y, Port::Ramp, HALO_W, &[Port::West]);
+                    fabric.set_route(x, y, Port::West, HALO_E, &[Port::Ramp]);
+                }
+                if y + 1 < h {
+                    fabric.set_route(x, y, Port::Ramp, HALO_S, &[Port::South]);
+                    fabric.set_route(x, y, Port::South, HALO_N, &[Port::Ramp]);
+                }
+                if y > 0 {
+                    fabric.set_route(x, y, Port::Ramp, HALO_N, &[Port::North]);
+                    fabric.set_route(x, y, Port::North, HALO_S, &[Port::Ramp]);
+                }
+            }
+        }
+    }
+
+    fn load_tile_coefficients(
+        tile: &mut Tile,
+        layout: &Spmv2dLayout,
+        a: &DiaMatrix<F16>,
+        tx: usize,
+        ty: usize,
+    ) {
+        let mesh = a.mesh();
+        let b = layout.block;
+        for (o, off) in Offset3::nine_point_2d().iter().enumerate() {
+            let mut data = vec![F16::ZERO; b.bx * b.by];
+            for i in 0..b.bx {
+                for j in 0..b.by {
+                    let gi = tx * b.bx + i;
+                    let gj = ty * b.by + j;
+                    let ri = gi as i64 + off.dx as i64;
+                    let rj = gj as i64 + off.dy as i64;
+                    if ri < 0 || rj < 0 || ri >= mesh.nx as i64 || rj >= mesh.ny as i64 {
+                        continue;
+                    }
+                    let mirror = Offset3::new(-off.dx, -off.dy, 0);
+                    data[i * b.by + j] = a.coeff(ri as usize, rj as usize, 0, mirror);
+                }
+            }
+            tile.mem.store_f16_slice(layout.coef[o], &data);
+        }
+    }
+
+    fn build_tile_task(
+        tile: &mut Tile,
+        layout: &Spmv2dLayout,
+        tx: usize,
+        ty: usize,
+        w: usize,
+        h: usize,
+    ) -> TaskId {
+        let b = layout.block;
+        let (bx, by) = (b.bx, b.by);
+        let core = &mut tile.core;
+        let ub_w = (by + 2) as u32;
+
+        let mut body: Vec<Stmt> = vec![Stmt::SetReg { reg: R_ZERO, value: 0.0 }];
+
+        let n_ub = ((bx + 2) * (by + 2)) as u32;
+        let d_ub_all = core.add_dsr(mk::tensor16(layout.ubuf, n_ub));
+        body.push(Stmt::Exec(TensorInstr {
+            op: Op::StoreReg { reg: R_ZERO },
+            dst: Some(d_ub_all),
+            a: None,
+            b: None,
+        }));
+
+        for (o, off) in Offset3::nine_point_2d().iter().enumerate() {
+            for i in 0..bx {
+                let d_dst = core.add_dsr(mk::tensor16(
+                    layout.u_addr((i as i64 + 1 + off.dx as i64) as usize, (1 + off.dy) as usize),
+                    by as u32,
+                ));
+                let d_coef =
+                    core.add_dsr(mk::tensor16(layout.coef[o] + 2 * (i * by) as u32, by as u32));
+                let d_v = core.add_dsr(mk::tensor16(layout.v_addr(i, 0), by as u32));
+                body.push(Stmt::Exec(TensorInstr {
+                    op: Op::FmaAssign,
+                    dst: Some(d_dst),
+                    a: Some(d_coef),
+                    b: Some(d_v),
+                }));
+            }
+        }
+
+        let strip_h = (by + 2) as u32;
+        let has_e = tx + 1 < w;
+        let has_w = tx > 0;
+        let has_s = ty + 1 < h;
+        let has_n = ty > 0;
+
+        let round2 = core.add_task(Task::new("halo-y", vec![]));
+        let mut r1_threads = 0usize;
+        r1_threads += usize::from(has_e) * 2;
+        r1_threads += usize::from(has_w) * 2;
+        let mut chain: Vec<TaskId> = Vec::new();
+        if r1_threads >= 2 {
+            let n = r1_threads - 1;
+            for _ in 0..n {
+                chain.push(core.add_task(Task::new("halo-x-barrier", vec![]).blocked()));
+            }
+            for i in 0..n {
+                let next = if i + 1 < n {
+                    Stmt::TaskCtl { task: chain[i + 1], action: TaskAction::Activate }
+                } else {
+                    Stmt::TaskCtl { task: round2, action: TaskAction::Activate }
+                };
+                core.set_task_body(
+                    chain[i],
+                    vec![Stmt::TaskCtl { task: chain[i], action: TaskAction::Block }, next],
+                );
+            }
+        }
+        let trigger = |k: usize, chain: &Vec<TaskId>| -> Option<(TaskId, TaskAction)> {
+            if chain.is_empty() {
+                return None;
+            }
+            Some(match k {
+                0 => (chain[0], TaskAction::Activate),
+                1 => (chain[0], TaskAction::Unblock),
+                k => (chain[k - 1], TaskAction::Unblock),
+            })
+        };
+
+        let mut k = 0usize;
+        let mut slot = 0u8;
+        if has_e {
+            let d_src = core.add_dsr(Descriptor::Mem {
+                addr: layout.u_addr(bx + 1, 0),
+                len: strip_h,
+                stride: 1,
+                dtype: Dtype::F16,
+                rewind: true,
+            });
+            let d_tx = core.add_dsr(mk::tx16(HALO_E, strip_h));
+            body.push(Stmt::InitDsr { dsr: d_tx, desc: mk::tx16(HALO_E, strip_h) });
+            body.push(Stmt::Launch {
+                slot,
+                instr: TensorInstr { op: Op::Copy, dst: Some(d_tx), a: Some(d_src), b: None },
+                on_complete: trigger(k, &chain),
+            });
+            slot += 1;
+            k += 1;
+            let d_rx = core.add_dsr(mk::rx16(HALO_W, strip_h));
+            let d_acc = core.add_dsr(Descriptor::Mem {
+                addr: layout.u_addr(bx, 0),
+                len: strip_h,
+                stride: 1,
+                dtype: Dtype::F16,
+                rewind: true,
+            });
+            body.push(Stmt::InitDsr { dsr: d_rx, desc: mk::rx16(HALO_W, strip_h) });
+            body.push(Stmt::Launch {
+                slot,
+                instr: TensorInstr { op: Op::AddAssign, dst: Some(d_acc), a: Some(d_rx), b: None },
+                on_complete: trigger(k, &chain),
+            });
+            slot += 1;
+            k += 1;
+        }
+        if has_w {
+            let d_src = core.add_dsr(Descriptor::Mem {
+                addr: layout.u_addr(0, 0),
+                len: strip_h,
+                stride: 1,
+                dtype: Dtype::F16,
+                rewind: true,
+            });
+            let d_tx = core.add_dsr(mk::tx16(HALO_W, strip_h));
+            body.push(Stmt::InitDsr { dsr: d_tx, desc: mk::tx16(HALO_W, strip_h) });
+            body.push(Stmt::Launch {
+                slot,
+                instr: TensorInstr { op: Op::Copy, dst: Some(d_tx), a: Some(d_src), b: None },
+                on_complete: trigger(k, &chain),
+            });
+            slot += 1;
+            k += 1;
+            let d_rx = core.add_dsr(mk::rx16(HALO_E, strip_h));
+            let d_acc = core.add_dsr(Descriptor::Mem {
+                addr: layout.u_addr(1, 0),
+                len: strip_h,
+                stride: 1,
+                dtype: Dtype::F16,
+                rewind: true,
+            });
+            body.push(Stmt::InitDsr { dsr: d_rx, desc: mk::rx16(HALO_E, strip_h) });
+            body.push(Stmt::Launch {
+                slot,
+                instr: TensorInstr { op: Op::AddAssign, dst: Some(d_acc), a: Some(d_rx), b: None },
+                on_complete: trigger(k, &chain),
+            });
+            k += 1;
+        }
+        let _ = (slot, k);
+        if chain.is_empty() {
+            body.push(Stmt::TaskCtl { task: round2, action: TaskAction::Activate });
+        }
+
+        let mut r2_body: Vec<Stmt> = Vec::new();
+        let strip_w = bx as u32;
+        let stride = ub_w;
+        let mut slot2 = 4u8;
+        if has_s {
+            let d_src = core.add_dsr(Descriptor::Mem {
+                addr: layout.u_addr(1, by + 1),
+                len: strip_w,
+                stride,
+                dtype: Dtype::F16,
+                rewind: true,
+            });
+            let d_tx = core.add_dsr(mk::tx16(HALO_S, strip_w));
+            r2_body.push(Stmt::InitDsr { dsr: d_tx, desc: mk::tx16(HALO_S, strip_w) });
+            r2_body.push(Stmt::Launch {
+                slot: slot2,
+                instr: TensorInstr { op: Op::Copy, dst: Some(d_tx), a: Some(d_src), b: None },
+                on_complete: None,
+            });
+            slot2 += 1;
+            let d_rx = core.add_dsr(mk::rx16(HALO_N, strip_w));
+            let d_acc = core.add_dsr(Descriptor::Mem {
+                addr: layout.u_addr(1, by),
+                len: strip_w,
+                stride,
+                dtype: Dtype::F16,
+                rewind: true,
+            });
+            r2_body.push(Stmt::InitDsr { dsr: d_rx, desc: mk::rx16(HALO_N, strip_w) });
+            r2_body.push(Stmt::Launch {
+                slot: slot2,
+                instr: TensorInstr { op: Op::AddAssign, dst: Some(d_acc), a: Some(d_rx), b: None },
+                on_complete: None,
+            });
+            slot2 += 1;
+        }
+        if has_n {
+            let d_src = core.add_dsr(Descriptor::Mem {
+                addr: layout.u_addr(1, 0),
+                len: strip_w,
+                stride,
+                dtype: Dtype::F16,
+                rewind: true,
+            });
+            let d_tx = core.add_dsr(mk::tx16(HALO_N, strip_w));
+            r2_body.push(Stmt::InitDsr { dsr: d_tx, desc: mk::tx16(HALO_N, strip_w) });
+            r2_body.push(Stmt::Launch {
+                slot: slot2,
+                instr: TensorInstr { op: Op::Copy, dst: Some(d_tx), a: Some(d_src), b: None },
+                on_complete: None,
+            });
+            slot2 += 1;
+            let d_rx = core.add_dsr(mk::rx16(HALO_S, strip_w));
+            let d_acc = core.add_dsr(Descriptor::Mem {
+                addr: layout.u_addr(1, 1),
+                len: strip_w,
+                stride,
+                dtype: Dtype::F16,
+                rewind: true,
+            });
+            r2_body.push(Stmt::InitDsr { dsr: d_rx, desc: mk::rx16(HALO_S, strip_w) });
+            r2_body.push(Stmt::Launch {
+                slot: slot2,
+                instr: TensorInstr { op: Op::AddAssign, dst: Some(d_acc), a: Some(d_rx), b: None },
+                on_complete: None,
+            });
+        }
+        core.set_task_body(round2, r2_body);
+
+        core.add_task(Task::new("spmv2d", body))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Test systems.
+// ---------------------------------------------------------------------------
+
+fn system_3d(mesh: Mesh3D) -> DiaMatrix<F16> {
+    let a = convection_diffusion(mesh, (1.0, -0.5, 0.25), 1.0);
+    let sys = jacobi_scale(&a, &vec![0.0; mesh.len()]);
+    sys.matrix.convert()
+}
+
+fn system_2d(nx: usize, ny: usize) -> DiaMatrix<F16> {
+    laplace9(Mesh2D::new(nx, ny)).convert()
+}
+
+// ---------------------------------------------------------------------------
+// The regressions.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn lowered_spmv3d_program_is_byte_identical_to_legacy_builder() {
+    let mesh = Mesh3D::new(3, 3, 12);
+    let a = system_3d(mesh);
+
+    let mut legacy = Fabric::new(3, 3);
+    legacy_build_3d(&mut legacy, &a);
+
+    let mut lowered = Fabric::new(3, 3);
+    let _ = WaferSpmv::build(&mut lowered, &a);
+
+    assert_eq!(
+        program_digest(&legacy),
+        program_digest(&lowered),
+        "3D retrofit changed the emitted program"
+    );
+}
+
+#[test]
+fn lowered_spmv3d_single_column_is_byte_identical_to_legacy_builder() {
+    let mesh = Mesh3D::new(1, 1, 16);
+    let a = system_3d(mesh);
+
+    let mut legacy = Fabric::new(1, 1);
+    legacy_build_3d(&mut legacy, &a);
+
+    let mut lowered = Fabric::new(1, 1);
+    let _ = WaferSpmv::build(&mut lowered, &a);
+
+    assert_eq!(program_digest(&legacy), program_digest(&lowered));
+}
+
+#[test]
+fn lowered_spmv2d_program_is_byte_identical_to_legacy_builder() {
+    let a = system_2d(12, 8);
+    let block = Block2D::new(4, 4);
+
+    let mut legacy = Fabric::new(3, 2);
+    frozen2d::build(&mut legacy, &a, block);
+
+    let mut lowered = Fabric::new(3, 2);
+    let _ = WaferSpmv2d::build(&mut lowered, &a, block);
+
+    assert_eq!(
+        program_digest(&legacy),
+        program_digest(&lowered),
+        "2D retrofit changed the emitted program"
+    );
+}
+
+#[test]
+fn lowered_spmv2d_single_tile_is_byte_identical_to_legacy_builder() {
+    let a = system_2d(6, 6);
+    let block = Block2D::new(6, 6);
+
+    let mut legacy = Fabric::new(1, 1);
+    frozen2d::build(&mut legacy, &a, block);
+
+    let mut lowered = Fabric::new(1, 1);
+    let _ = WaferSpmv2d::build(&mut lowered, &a, block);
+
+    assert_eq!(program_digest(&legacy), program_digest(&lowered));
+}
+
+#[test]
+fn lowered_spmv2d_tall_and_wide_edge_tiles_are_byte_identical() {
+    // Asymmetric fabric shapes exercise every has_e/has_w/has_s/has_n
+    // combination in the halo-exchange task emission.
+    for (nx, ny, bx, by, fw, fh) in [(12, 3, 3, 3, 4, 1), (3, 12, 3, 3, 1, 4)] {
+        let a = system_2d(nx, ny);
+        let block = Block2D::new(bx, by);
+
+        let mut legacy = Fabric::new(fw, fh);
+        frozen2d::build(&mut legacy, &a, block);
+
+        let mut lowered = Fabric::new(fw, fh);
+        let _ = WaferSpmv2d::build(&mut lowered, &a, block);
+
+        assert_eq!(
+            program_digest(&legacy),
+            program_digest(&lowered),
+            "digest mismatch for {nx}x{ny} mesh on {fw}x{fh} fabric"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cache soundness for DSL-keyed tenants: same DSL source => same key =>
+// same compiled digest, so `box9-2d` jobs from different tenants share one
+// cache entry exactly like the built-in operators do.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn dsl_operator_is_a_cacheable_tenant() {
+    use wse_serve::program::CompiledProgram;
+    use wse_serve::{ProgramKey, StencilKind};
+
+    let key = ProgramKey::bicgstab2d((8, 8), (4, 4), StencilKind::dsl("box9-2d"));
+    assert_eq!(key, ProgramKey::bicgstab2d((8, 8), (4, 4), StencilKind::dsl("box9-2d")));
+
+    // Same DSL source, two independent compiles: the lint gate passes and
+    // the images are byte-identical.
+    let a = CompiledProgram::compile(&key).expect("DSL operator must pass the admission gate");
+    let b = CompiledProgram::compile(&key).expect("DSL operator must pass the admission gate");
+    assert_eq!(a.digest, b.digest, "same DSL source must compile to the same digest");
+
+    // `box9-2d` (center 1, eight neighbors -1/8) IS the Jacobi-scaled
+    // 9-point Laplacian, so the DSL source must reproduce the hand-built
+    // `Laplace9` program byte for byte — distinct keys, identical images.
+    let laplace = ProgramKey::bicgstab2d((8, 8), (4, 4), StencilKind::Laplace9);
+    assert_ne!(key, laplace);
+    let c = CompiledProgram::compile(&laplace).unwrap();
+    assert_eq!(a.digest, c.digest, "box9-2d must lower to the scaled-Laplacian program");
+
+    // A genuinely different operator compiles to a different program.
+    let conv = ProgramKey::bicgstab2d((8, 8), (4, 4), StencilKind::convection(1.5, -0.5));
+    let d = CompiledProgram::compile(&conv).unwrap();
+    assert_ne!(a.digest, d.digest, "distinct operators must not share an image");
+}

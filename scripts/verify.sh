@@ -30,7 +30,8 @@ echo "== wse-lint fixtures (broken programs vs expected diagnostics) =="
 # report.
 fx_out="$(mktemp)"
 for fx in deadlock-request-reply deadlock-backpressure race-overlapping-writes \
-          race-write-after-read starved-no-producer starved-unreached-consumer; do
+          race-write-after-read starved-no-producer starved-unreached-consumer \
+          dsl-radius-overflow dsl-sram-overflow; do
   status=0
   cargo run -q --release --bin wse-lint -- "fixture:$fx" > "$fx_out" 2>/dev/null || status=$?
   if [ "$status" -ne 1 ]; then
@@ -135,5 +136,18 @@ hit_rate="$(sed -n 's/^cache-hit-rate: //p' "$sv_a")"
 awk "BEGIN { exit !($hit_rate > 0) }" || {
   echo "service smoke: cache hit rate must be > 0, got $hit_rate"; exit 1;
 }
+
+echo "== DSL lowering smoke (4 catalog operators lower+lint+apply, twice, diffed) =="
+# dsl_lowering lowers the 5/7/9/25-point catalog operators through the
+# declarative front-end, lint-verifies each program, and checks every
+# application bit-exact against the host mirror. Host wall timings go to
+# stderr; stdout (emitter kinds, cycle counts, verdicts) is deterministic
+# and diffed across two runs.
+dl_a="$(mktemp)"; dl_b="$(mktemp)"
+trap 'rm -f "$smoke_a" "$smoke_b" "$ens_a" "$ens_b" "$trace_a" "$trace_b" "$thr_a" "$thr_b" "$mw_a" "$mw_b" "$sv_a" "$sv_b" "$dl_a" "$dl_b"' EXIT
+cargo run -q --release -p wse-bench --bin dsl_lowering -- --smoke > "$dl_a"
+cargo run -q --release -p wse-bench --bin dsl_lowering -- --smoke > "$dl_b"
+diff -u "$dl_a" "$dl_b"
+grep -q "all 4 operators: lowered lint-clean, host mirror bit-exact" "$dl_a"
 
 echo "verify: OK"

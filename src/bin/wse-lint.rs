@@ -10,10 +10,17 @@
 //! With no arguments every standard configuration is checked. Exits with
 //! status 1 if any configuration produces an error-severity diagnostic.
 //! Available configurations: `spmv3d`, `spmv2d`, `allreduce`, `bicgstab`,
-//! `bicgstab-fused`, `cg`, `cg-single`, `bicgstab2d`, plus
-//! `fixture:NAME` for each intentionally broken program in
-//! `wse_lint::fixtures` (the `lint_fixtures` verify stage diffs their
-//! output against checked-in expected diagnostics).
+//! `bicgstab-fused`, `cg`, `cg-single`, `bicgstab2d`, `dsl-star9-2d`,
+//! `dsl-star25-3d`, plus `fixture:NAME` for each intentionally broken
+//! program in `wse_lint::fixtures` (the `lint_fixtures` verify stage diffs
+//! their output against checked-in expected diagnostics).
+//!
+//! Two fixtures are DSL rejections rather than broken fabric programs:
+//! `fixture:dsl-radius-overflow` and `fixture:dsl-sram-overflow` feed an
+//! illegal stencil spec to `wse_dsl::lower_spec` and report the structured
+//! error the front-end returns **before any fabric is touched** (the tool
+//! verifies the fabric really is still pristine and exits 1, like any other
+//! failing fixture).
 //!
 //! Diagnostics print in a stable order — `(tile.y, tile.x, rule, message)`
 //! within each configuration, configurations in argument order — so output
@@ -44,6 +51,8 @@ const ALL: &[&str] = &[
     "cg",
     "cg-single",
     "bicgstab2d",
+    "dsl-star9-2d",
+    "dsl-star25-3d",
 ];
 
 fn system3d(w: usize, h: usize, z: usize) -> DiaMatrix<F16> {
@@ -112,6 +121,20 @@ fn build(config: &str) -> Fabric {
             let _ = WaferBicgstab2d::build(&mut fabric, &a, block);
             fabric
         }
+        "dsl-star9-2d" => {
+            let spec = wse_dsl::catalog::get("star9-2d").expect("catalog operator");
+            let mut fabric = Fabric::new(2, 2);
+            wse_dsl::lower_spec(&mut fabric, &spec, Mesh3D::new(8, 8, 1), Some(Block2D::new(4, 4)))
+                .expect("catalog operator must lower");
+            fabric
+        }
+        "dsl-star25-3d" => {
+            let spec = wse_dsl::catalog::get("star25-3d").expect("catalog operator");
+            let mut fabric = Fabric::new(5, 4);
+            wse_dsl::lower_spec(&mut fabric, &spec, Mesh3D::new(5, 4, 12), None)
+                .expect("catalog operator must lower");
+            fabric
+        }
         other => {
             if let Some(name) = other.strip_prefix("fixture:") {
                 return wse_lint::fixtures::build(name).unwrap_or_else(|| {
@@ -126,6 +149,46 @@ fn build(config: &str) -> Fabric {
             std::process::exit(2);
         }
     }
+}
+
+/// The DSL-rejection fixtures: intentionally illegal stencil specs the
+/// `wse-dsl` front-end must refuse with a structured error **before any
+/// fabric is touched**. Returns the error and whether the probe fabric
+/// really stayed pristine (no SRAM, no tasks, no routes).
+fn dsl_fixture(name: &str) -> Option<(wse_dsl::DslError, bool)> {
+    use wse_dsl::{Boundary, Precision, StencilSpec, Tap};
+    let (spec, mesh) = match name {
+        // A tap seven hops out: past the relay mapping's routable radius.
+        "dsl-radius-overflow" => (
+            StencilSpec::new(
+                "bad-radius",
+                vec![Tap::constant(0, 0, 0, 1.0), Tap::constant(7, 0, 0, -0.125)],
+                Precision::F16,
+                Boundary::Dirichlet0,
+            ),
+            Mesh3D::new(3, 3, 8),
+        ),
+        // A 4096-point column: seven coefficient vectors plus buffers blow
+        // the 48 KB tile budget.
+        "dsl-sram-overflow" => {
+            (wse_dsl::catalog::get("star7-3d").expect("catalog operator"), Mesh3D::new(2, 2, 4096))
+        }
+        _ => return None,
+    };
+    let mut fabric = Fabric::new(8, 8);
+    let err = match wse_dsl::lower_spec(&mut fabric, &spec, mesh, None) {
+        Err(e) => e,
+        Ok(_) => panic!("fixture {name} unexpectedly lowered clean"),
+    };
+    let untouched = (0..fabric.height()).all(|y| {
+        (0..fabric.width()).all(|x| {
+            let t = fabric.tile(x, y);
+            t.mem.used() == 0
+                && t.core.dump_program().is_empty()
+                && t.router.routes().next().is_none()
+        })
+    });
+    Some((err, untouched))
 }
 
 /// Escapes a string for a JSON string literal.
@@ -164,6 +227,26 @@ fn main() {
     let mut warnings = 0usize;
     let mut records: Vec<String> = Vec::new();
     for config in configs {
+        // DSL-rejection fixtures never produce a fabric; report the
+        // structured front-end error in the same diffable format.
+        if let Some((err, untouched)) = config.strip_prefix("fixture:").and_then(dsl_fixture) {
+            if json {
+                records.push(format!(
+                    "{{\"config\":\"{}\",\"tile\":[0,0],\"severity\":\"error\",\
+                     \"rule\":\"dsl-reject\",\"message\":\"{}\"}}",
+                    json_escape(config),
+                    json_escape(&err.to_string())
+                ));
+            } else {
+                println!("{config}: rejected by the DSL front-end (fabric untouched: {untouched})");
+                println!("  error: [dsl-reject] {err}");
+            }
+            if !untouched {
+                eprintln!("{config}: rejection mutated the fabric — the before-any-fabric contract is broken");
+            }
+            errors += 1;
+            continue;
+        }
         let fabric = build(config);
         let diags = lint(&fabric);
         if json {
